@@ -1,0 +1,68 @@
+//! Ablation: distributed probing vs GNP-style centralized ID assignment
+//! (the §5 extension).
+//!
+//! Compares, on the PlanetLab-style substrate:
+//!
+//! * per-join probing cost (messages sent by the joiner), and
+//! * resulting multicast quality (median/95th-pct RDP of a server rekey
+//!   multicast over the assembled group),
+//!
+//! for the paper's distributed protocol against centralized assignment
+//! where joiners probe only `L` landmarks.
+
+use rekey_bench::harness::build_net;
+use rekey_bench::{arg_usize, Topology};
+use rekey_id::IdSpec;
+use rekey_net::{CoordinateSystem, HostId};
+use rekey_proto::{AssignParams, Group};
+use rekey_sim::seeded_rng;
+use rekey_table::PrimaryPolicy;
+use rekey_tmesh::{metrics::PathMetrics, Source};
+
+fn main() {
+    let users = arg_usize("--users", 226);
+    let landmarks = arg_usize("--landmarks", 16);
+    let spec = IdSpec::PAPER;
+    eprintln!("ablation_gnp: {users} joins, {landmarks} landmarks…");
+
+    let mut rng = seeded_rng(0x6a9);
+    let net = build_net(Topology::PlanetLab, users + 1, &mut rng);
+    let server = HostId(users);
+    let coords = CoordinateSystem::spread(users, landmarks);
+
+    println!("# ablation_gnp: distributed §3.1 probing vs centralized GNP assignment");
+    println!("scheme\tmean_messages_per_join\tmedian_rdp\tp95_rdp\trdp_below_2_pct");
+
+    for centralized in [false, true] {
+        let mut group = Group::new(
+            &spec,
+            server,
+            4,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams::paper(),
+        );
+        let mut messages = 0u64;
+        for h in 0..users {
+            let out = if centralized {
+                group.join_centralized(HostId(h), &net, &coords, h as u64).unwrap()
+            } else {
+                group.join(HostId(h), &net, h as u64).unwrap()
+            };
+            messages += out.stats.queries + out.stats.probes;
+        }
+        let mesh = group.tmesh();
+        let outcome = mesh.multicast(&net, Source::Server);
+        outcome.exactly_once().expect("Theorem 1");
+        let metrics = PathMetrics::from_outcome(&mesh, &net, &outcome);
+        let mut rdps: Vec<f64> = metrics.rdp.iter().flatten().copied().collect();
+        rdps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "{}\t{:.1}\t{:.2}\t{:.2}\t{:.0}",
+            if centralized { "centralized_gnp" } else { "distributed" },
+            messages as f64 / users as f64,
+            rdps[rdps.len() / 2],
+            rdps[rdps.len() * 95 / 100],
+            100.0 * metrics.fraction_rdp_below(2.0),
+        );
+    }
+}

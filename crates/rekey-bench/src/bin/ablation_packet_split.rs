@@ -1,0 +1,97 @@
+//! Ablation: splitting granularity (§2.5, last paragraph).
+//!
+//! "An alternative way is to split and re-compose the rekey message at
+//! packet level, instead of encryption level. In this case, the rekey
+//! bandwidth overhead would be larger." We quantify this by re-running the
+//! Fig. 13 T-mesh transport with the message grouped into fixed-size
+//! packets: a packet is forwarded to a next hop iff *any* contained
+//! encryption is needed in that hop's subtree, and the receiver is charged
+//! for the whole packet.
+
+use rekey_bench::{arg_usize, grow_group, rekey_message_for_churn, ChurnPlan, Topology};
+use rekey_id::IdSpec;
+use rekey_keytree::ModifiedKeyTree;
+use rekey_net::Network;
+use rekey_proto::{split_for_neighbor, AssignParams};
+use rekey_sim::seeded_rng;
+use rekey_table::PrimaryPolicy;
+use rekey_tmesh::forward::{server_next_hops, user_next_hops};
+
+fn main() {
+    let users = arg_usize("--users", 512);
+    let churn = arg_usize("--churn", 128);
+    let spec = IdSpec::PAPER;
+    eprintln!("ablation_packet_split: {users} users, {churn}+{churn} churn…");
+
+    let mut build = grow_group(
+        Topology::GtItm,
+        users,
+        churn,
+        &spec,
+        4,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::paper(),
+        2_048_000_000,
+        0x9acc,
+    );
+    let mut rng = seeded_rng(0x9acd);
+    let ids: Vec<_> = build.group.members().iter().map(|m| m.id.clone()).collect();
+    let mut tree = ModifiedKeyTree::new(&spec);
+    tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+    let plan = ChurnPlan { initial: users, joins: churn, leaves: churn };
+    let mut next_host = users + 1;
+    let (joins, leaves) =
+        rekey_message_for_churn(&mut build.group, &build.net, &plan, &mut next_host, &mut rng);
+    let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+    let mesh = build.group.tmesh();
+    let n = mesh.members().len();
+    let index = |id: &rekey_id::UserId| {
+        mesh.members().iter().position(|m| &m.id == id).expect("member")
+    };
+
+    println!("# ablation_packet_split: total encryptions received, by splitting granularity");
+    println!("# message: {} encryptions; packet sizes in encryptions per packet", out.cost());
+    println!("granularity\ttotal_received\tmax_received_per_user\tavg_received_per_user");
+
+    // Packet size sweep: 1 (pure encryption-level) to 64.
+    for packet_size in [1usize, 4, 8, 18, 32, 64] {
+        // Pre-assign encryptions to packets in message order.
+        let packet_of: Vec<usize> = (0..out.cost()).map(|e| e / packet_size).collect();
+        let packet_count = out.cost().div_ceil(packet_size);
+        let packet_sizes: Vec<u64> = (0..packet_count)
+            .map(|p| packet_of.iter().filter(|&&q| q == p).count() as u64)
+            .collect();
+
+        let mut received = vec![0u64; n];
+        let full: Vec<usize> = (0..out.cost()).collect();
+        let mut queue = std::collections::VecDeque::new();
+        for hop in server_next_hops(mesh.server_table()) {
+            let to = index(&hop.neighbor.member.id);
+            let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+            queue.push_back((to, hop.forward_level, split_for_neighbor(&full, &out.encryptions, &prefix)));
+        }
+        while let Some((member, level, needed)) = queue.pop_front() {
+            // Charge whole packets containing any needed encryption.
+            let mut packets: Vec<usize> = needed.iter().map(|&e| packet_of[e]).collect();
+            packets.sort_unstable();
+            packets.dedup();
+            received[member] += packets.iter().map(|&p| packet_sizes[p]).sum::<u64>();
+            for hop in user_next_hops(mesh.table(member), level) {
+                let to = index(&hop.neighbor.member.id);
+                let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+                queue.push_back((
+                    to,
+                    hop.forward_level,
+                    split_for_neighbor(&needed, &out.encryptions, &prefix),
+                ));
+            }
+        }
+        let total: u64 = received.iter().sum();
+        let max = received.iter().max().copied().unwrap_or(0);
+        println!(
+            "packet={packet_size}\t{total}\t{max}\t{:.1}",
+            total as f64 / n as f64
+        );
+    }
+    let _ = build.net.one_way(rekey_net::HostId(0), rekey_net::HostId(1));
+}

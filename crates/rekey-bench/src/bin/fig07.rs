@@ -1,0 +1,52 @@
+//! Regenerates **Figure 7** of the paper: rekey path latency on the GT-ITM topology with 256 user joins.
+//!
+//! Prints three TSV tables (inverse CDFs of user stress, application-layer
+//! delay in ms, and RDP) with one column per scheme. Override the run count
+//! with `--runs N` and group size with `--users N`.
+
+use rekey_bench::{arg_usize, latency_figure, print_series_table, LatencyConfig, Topology};
+
+fn main() {
+    let mut cfg = LatencyConfig::paper(Topology::GtItm, 256, false);
+    cfg.runs = arg_usize("--runs", 10);
+    cfg.users = arg_usize("--users", cfg.users);
+    eprintln!("fig7: {} users, {} runs on {:?} ({} path)…",
+        cfg.users, cfg.runs, cfg.topology, if cfg.data_path { "data" } else { "rekey" });
+    let fig = latency_figure(&cfg);
+    print_series_table(
+        "fig7a: inverse CDF of user stress",
+        &[
+            ("nice", &fig.stress.nice),
+            ("nice_p95", &fig.stress.nice_p95),
+            ("tmesh", &fig.stress.tmesh),
+            ("tmesh_p95", &fig.stress.tmesh_p95),
+        ],
+    );
+    print_series_table(
+        "fig7b: inverse CDF of application-layer delay (ms)",
+        &[
+            ("nice", &fig.delay_ms.nice),
+            ("nice_p95", &fig.delay_ms.nice_p95),
+            ("tmesh", &fig.delay_ms.tmesh),
+            ("tmesh_p95", &fig.delay_ms.tmesh_p95),
+        ],
+    );
+    print_series_table(
+        "fig7c: inverse CDF of RDP",
+        &[
+            ("nice", &fig.rdp.nice),
+            ("nice_p95", &fig.rdp.nice_p95),
+            ("tmesh", &fig.rdp.tmesh),
+            ("tmesh_p95", &fig.rdp.tmesh_p95),
+        ],
+    );
+    eprintln!(
+        "fig7: T-mesh RDP<2 for {:.0}% of users, RDP<3 for {:.0}%; NICE RDP<2 for {:.0}%, RDP<3 for {:.0}%",
+        frac_below(&fig.rdp.tmesh, 2.0), frac_below(&fig.rdp.tmesh, 3.0),
+        frac_below(&fig.rdp.nice, 2.0), frac_below(&fig.rdp.nice, 3.0),
+    );
+}
+
+fn frac_below(series: &[f64], bound: f64) -> f64 {
+    100.0 * series.iter().filter(|&&v| v < bound).count() as f64 / series.len() as f64
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Figure 14** of the paper: sensitivity of T-mesh rekey path
+//! latency to the delay thresholds `R_1 … R_{D−1}` and the ID depth `D`.
+//!
+//! Setup per §4.4: PlanetLab topology with 226 joins; the key server
+//! multicasts one rekey message per setting; inverse CDFs of the
+//! application-layer delay and RDP are printed per `(D, R…)` variant.
+
+use rekey_bench::{arg_usize, grow_group, print_series_table, Topology};
+use rekey_id::IdSpec;
+use rekey_net::ms;
+use rekey_proto::AssignParams;
+use rekey_table::PrimaryPolicy;
+use rekey_tmesh::{metrics::PathMetrics, Source};
+
+fn main() {
+    let users = arg_usize("--users", 226);
+    let seed = arg_usize("--seed", 0x14) as u64;
+    eprintln!("fig14: {users} joins on PlanetLab, threshold sweep…");
+
+    // (label, D, thresholds in ms)
+    let variants: Vec<(String, usize, Vec<u64>)> = vec![
+        ("D5(150,30,9,3)".into(), 5, vec![150, 30, 9, 3]),
+        ("D5(90,30,9,3)".into(), 5, vec![90, 30, 9, 3]),
+        ("D6(150,50,30,9,3)".into(), 6, vec![150, 50, 30, 9, 3]),
+        ("D6(150,80,30,9,3)".into(), 6, vec![150, 80, 30, 9, 3]),
+        ("D4(150,30,9)".into(), 4, vec![150, 30, 9]),
+    ];
+
+    let mut delay_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut rdp_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    for (label, depth, thresholds) in &variants {
+        let spec = IdSpec::new(*depth, 256).expect("valid spec");
+        let assign = AssignParams {
+            p: 10,
+            f_percentile: 80,
+            thresholds: thresholds.iter().map(|&t| ms(t)).collect(),
+        };
+        let build = grow_group(
+            Topology::PlanetLab,
+            users,
+            0,
+            &spec,
+            4,
+            PrimaryPolicy::SmallestRtt,
+            assign,
+            452_000_000,
+            seed,
+        );
+        let mesh = build.group.tmesh();
+        let outcome = mesh.multicast(&build.net, Source::Server);
+        outcome.exactly_once().expect("Theorem 1");
+        let metrics = PathMetrics::from_outcome(&mesh, &build.net, &outcome);
+        let mut delays: Vec<f64> =
+            metrics.delay.iter().flatten().map(|&d| d as f64 / 1000.0).collect();
+        let mut rdps: Vec<f64> = metrics.rdp.iter().flatten().copied().collect();
+        delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rdps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!(
+            "fig14: {label}: median delay {:.1} ms, median RDP {:.2}",
+            delays[delays.len() / 2],
+            rdps[rdps.len() / 2]
+        );
+        delay_cols.push((label.clone(), delays));
+        rdp_cols.push((label.clone(), rdps));
+    }
+
+    print_series_table(
+        "fig14a: inverse CDF of application-layer delay (ms) per threshold setting",
+        &delay_cols.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect::<Vec<_>>(),
+    );
+    print_series_table(
+        "fig14b: inverse CDF of RDP per threshold setting",
+        &rdp_cols.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,54 @@
+//! Validates the §3.1.4 analysis: the total number of messages exchanged
+//! while a joining user determines its ID is `O(P · D · N^{1/D})` on
+//! average.
+//!
+//! Sweeps the group size `N` on the PlanetLab-style substrate and prints
+//! the measured mean queries/probes per join against the analytical bound.
+
+use rekey_bench::{arg_usize, grow_group, Topology};
+use rekey_id::IdSpec;
+use rekey_net::HostId;
+use rekey_proto::AssignParams;
+use rekey_table::PrimaryPolicy;
+
+fn main() {
+    let max_users = arg_usize("--users", 512);
+    let probes_per_point = arg_usize("--probes", 20);
+    let spec = IdSpec::new(4, 64).expect("valid spec");
+    let assign = AssignParams::for_depth(spec.depth());
+    println!("# join_cost: ID assignment message cost vs group size");
+    println!("N\tmean_queries\tmean_probes\tbound_PDN", );
+
+    let mut n = 32;
+    while n <= max_users {
+        let build = grow_group(
+            Topology::PlanetLab,
+            n,
+            probes_per_point,
+            &spec,
+            4,
+            PrimaryPolicy::SmallestRtt,
+            assign.clone(),
+            1_000_000_000,
+            0x10c0 + n as u64,
+        );
+        let mut group = build.group.clone();
+        let mut queries = 0f64;
+        let mut probes = 0f64;
+        for p in 0..probes_per_point {
+            let out = group.join(HostId(n + 1 + p), &build.net, 10_000 + p as u64).unwrap();
+            queries += out.stats.queries as f64;
+            probes += out.stats.probes as f64;
+        }
+        let bound = assign.p as f64
+            * spec.depth() as f64
+            * (n as f64).powf(1.0 / spec.depth() as f64);
+        println!(
+            "{n}\t{:.1}\t{:.1}\t{:.1}",
+            queries / probes_per_point as f64,
+            probes / probes_per_point as f64,
+            bound
+        );
+        n *= 2;
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Every figure has a dedicated binary in `src/bin/` (`fig06` … `fig14`,
+//! plus `join_cost` and the ablations); each prints TSV series to stdout.
+//! `EXPERIMENTS.md` in the repository root records paper-vs-measured for
+//! every experiment.
+
+pub mod harness;
+pub mod output;
+
+pub use harness::{
+    arg_usize, grow_group, grow_nice, latency_figure, rekey_message_for_churn, ChurnPlan,
+    GroupBuild, LatencyConfig, LatencyFigure, SchemeSeries, Topology,
+};
+pub use output::{fraction_axis, print_series_table, ranked_mean};

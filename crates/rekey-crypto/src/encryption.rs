@@ -1,0 +1,254 @@
+//! Encryptions: new keys wrapped under other keys (the paper's `{k'}_k`).
+//!
+//! The paper defines "`{k'}_k` denotes key `k'` encrypted by key `k`, and is
+//! referred to as an *encryption*", and identifies each encryption by "the ID
+//! of the encrypting key" (§2.4). [`Encryption::id`] returns exactly that, so
+//! Lemma 3 reads: a user needs an encryption iff
+//! `encryption.id().is_prefix_of_id(user_id)`.
+
+use std::fmt;
+
+use rand::Rng;
+use rekey_id::IdPrefix;
+
+use crate::chacha::{self, NONCE_LEN};
+use crate::key::{Key, KeyMaterial};
+use crate::siphash::{siphash24, TAG_LEN};
+
+/// Errors produced when opening (decrypting) an [`Encryption`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnwrapError {
+    /// The supplied key's ID does not match the encrypting key's ID.
+    WrongKeyId {
+        /// ID of the encrypting key recorded in the encryption.
+        expected: IdPrefix,
+        /// ID of the key that was supplied.
+        actual: IdPrefix,
+    },
+    /// The MAC tag did not verify: wrong key version or corrupted data.
+    BadTag,
+}
+
+impl fmt::Display for UnwrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnwrapError::WrongKeyId { expected, actual } => {
+                write!(f, "encryption requires key {expected}, got {actual}")
+            }
+            UnwrapError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for UnwrapError {}
+
+/// A single encryption `{k'}_k`: the material of a new key `k'` wrapped
+/// (ChaCha20 + SipHash-2-4, encrypt-then-MAC) under an encrypting key `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encryption {
+    encrypting_id: IdPrefix,
+    encrypting_version: u64,
+    encrypted_id: IdPrefix,
+    encrypted_version: u64,
+    nonce: [u8; NONCE_LEN],
+    ciphertext: [u8; chacha::KEY_LEN],
+    tag: [u8; TAG_LEN],
+}
+
+impl Encryption {
+    /// Wraps `new_key` under `encrypting_key` with a fresh random nonce.
+    pub fn seal<R: Rng + ?Sized>(encrypting_key: &Key, new_key: &Key, rng: &mut R) -> Encryption {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill(&mut nonce[..]);
+        let mut ciphertext = *new_key.material().as_bytes();
+        chacha::xor_stream(encrypting_key.material().as_bytes(), 0, &nonce, &mut ciphertext);
+        let mut enc = Encryption {
+            encrypting_id: encrypting_key.id().clone(),
+            encrypting_version: encrypting_key.version(),
+            encrypted_id: new_key.id().clone(),
+            encrypted_version: new_key.version(),
+            nonce,
+            ciphertext,
+            tag: [0u8; TAG_LEN],
+        };
+        enc.tag = enc.compute_tag(encrypting_key.material());
+        enc
+    }
+
+    fn mac_input(&self) -> Vec<u8> {
+        // Bind the tag to the full encryption identity (IDs, versions, nonce,
+        // ciphertext) so replays across nodes/versions are detected.
+        let mut input = Vec::with_capacity(64);
+        input.push(self.encrypting_id.len() as u8);
+        for &d in self.encrypting_id.digits() {
+            input.extend_from_slice(&d.to_le_bytes());
+        }
+        input.extend_from_slice(&self.encrypting_version.to_le_bytes());
+        input.push(self.encrypted_id.len() as u8);
+        for &d in self.encrypted_id.digits() {
+            input.extend_from_slice(&d.to_le_bytes());
+        }
+        input.extend_from_slice(&self.encrypted_version.to_le_bytes());
+        input.extend_from_slice(&self.nonce);
+        input.extend_from_slice(&self.ciphertext);
+        input
+    }
+
+    fn compute_tag(&self, wrap_key: &KeyMaterial) -> [u8; TAG_LEN] {
+        siphash24(&wrap_key.mac_subkey(), &self.mac_input())
+    }
+
+    /// Unwraps the encryption with `key`, returning the encrypted new key.
+    ///
+    /// # Errors
+    ///
+    /// * [`UnwrapError::WrongKeyId`] — `key` is not the encrypting key for
+    ///   this encryption (checkable without cryptography via [`Self::id`]).
+    /// * [`UnwrapError::BadTag`] — wrong key material (e.g. a stale version)
+    ///   or corrupted ciphertext.
+    pub fn open(&self, key: &Key) -> Result<Key, UnwrapError> {
+        if key.id() != &self.encrypting_id {
+            return Err(UnwrapError::WrongKeyId {
+                expected: self.encrypting_id.clone(),
+                actual: key.id().clone(),
+            });
+        }
+        if self.compute_tag(key.material()) != self.tag {
+            return Err(UnwrapError::BadTag);
+        }
+        let mut plaintext = self.ciphertext;
+        chacha::xor_stream(key.material().as_bytes(), 0, &self.nonce, &mut plaintext);
+        Ok(Key::new(
+            self.encrypted_id.clone(),
+            self.encrypted_version,
+            KeyMaterial::from_bytes(plaintext),
+        ))
+    }
+
+    /// The encryption's ID: the ID of the **encrypting** key (§2.4).
+    ///
+    /// This drives both Lemma 3 (a user needs the encryption iff this ID is
+    /// a prefix of the user's ID) and the splitting rule of Fig. 5.
+    pub fn id(&self) -> &IdPrefix {
+        &self.encrypting_id
+    }
+
+    /// Version of the encrypting key the wrap was made under.
+    pub fn encrypting_version(&self) -> u64 {
+        self.encrypting_version
+    }
+
+    /// ID of the key carried *inside* the encryption.
+    pub fn encrypted_id(&self) -> &IdPrefix {
+        &self.encrypted_id
+    }
+
+    /// Version of the key carried inside the encryption.
+    pub fn encrypted_version(&self) -> u64 {
+        self.encrypted_version
+    }
+
+    /// The raw cryptographic parts `(nonce, ciphertext, tag)` for wire
+    /// encoding (see [`crate::wire`]).
+    pub fn wire_parts(&self) -> (&[u8; NONCE_LEN], &[u8; chacha::KEY_LEN], &[u8; TAG_LEN]) {
+        (&self.nonce, &self.ciphertext, &self.tag)
+    }
+
+    /// Reassembles an encryption from decoded wire parts. The result is
+    /// only as trustworthy as its tag: [`Encryption::open`] still verifies
+    /// authenticity.
+    pub fn from_wire_parts(
+        encrypting_id: IdPrefix,
+        encrypting_version: u64,
+        encrypted_id: IdPrefix,
+        encrypted_version: u64,
+        nonce: [u8; NONCE_LEN],
+        ciphertext: [u8; chacha::KEY_LEN],
+        tag: [u8; TAG_LEN],
+    ) -> Encryption {
+        Encryption {
+            encrypting_id,
+            encrypting_version,
+            encrypted_id,
+            encrypted_version,
+            nonce,
+            ciphertext,
+            tag,
+        }
+    }
+
+    /// Serialised size in bytes, used for bandwidth accounting.
+    ///
+    /// Layout: 1 length byte + 2 bytes/digit for each of the two IDs, two
+    /// 8-byte versions, nonce, 32-byte wrapped key and 8-byte tag.
+    pub fn wire_size(&self) -> usize {
+        let id_bytes =
+            2 + 2 * self.encrypting_id.len() + 2 * self.encrypted_id.len();
+        id_bytes + 16 + NONCE_LEN + chacha::KEY_LEN + TAG_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_id::IdSpec;
+
+    fn setup() -> (StdRng, Key, Key) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = IdSpec::new(3, 4).unwrap();
+        let aux = Key::random(IdPrefix::new(&spec, vec![2]).unwrap(), &mut rng);
+        let group = Key::random(IdPrefix::root(), &mut rng);
+        (rng, aux, group)
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let (mut rng, aux, group) = setup();
+        let new_group = group.next_version(&mut rng);
+        let enc = Encryption::seal(&aux, &new_group, &mut rng);
+        assert_eq!(enc.id(), aux.id());
+        assert_eq!(enc.encrypted_id(), group.id());
+        assert_eq!(enc.encrypted_version(), 1);
+        let opened = enc.open(&aux).expect("must open with correct key");
+        assert_eq!(opened, new_group);
+    }
+
+    #[test]
+    fn open_with_wrong_key_id_fails() {
+        let (mut rng, aux, group) = setup();
+        let enc = Encryption::seal(&aux, &group.next_version(&mut rng), &mut rng);
+        let err = enc.open(&group).unwrap_err();
+        assert!(matches!(err, UnwrapError::WrongKeyId { .. }));
+        assert!(err.to_string().contains("requires key"));
+    }
+
+    #[test]
+    fn open_with_stale_key_version_fails() {
+        let (mut rng, aux, group) = setup();
+        let new_aux = aux.next_version(&mut rng);
+        let enc = Encryption::seal(&new_aux, &group.next_version(&mut rng), &mut rng);
+        // Same ID but old material: must be rejected by the MAC.
+        assert_eq!(enc.open(&aux), Err(UnwrapError::BadTag));
+        assert!(enc.open(&new_aux).is_ok());
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_detected() {
+        let (mut rng, aux, group) = setup();
+        let mut enc = Encryption::seal(&aux, &group.next_version(&mut rng), &mut rng);
+        enc.ciphertext[0] ^= 1;
+        assert_eq!(enc.open(&aux), Err(UnwrapError::BadTag));
+    }
+
+    #[test]
+    fn wire_size_scales_with_id_length() {
+        let (mut rng, aux, group) = setup();
+        let enc_short = Encryption::seal(&group, &group.next_version(&mut rng), &mut rng);
+        let enc_long = Encryption::seal(&aux, &group.next_version(&mut rng), &mut rng);
+        assert!(enc_long.wire_size() > enc_short.wire_size());
+        // group->group wrap: 2 + 16 + 12 + 32 + 8 = 70 bytes.
+        assert_eq!(enc_short.wire_size(), 70);
+    }
+}

@@ -1,0 +1,50 @@
+//! Key material, ChaCha20 key wrapping and rekey *encryptions* for the group
+//! rekeying system (Zhang, Lam & Liu, ICDCS 2005, §2.4).
+//!
+//! The paper's rekey messages are sets of *encryptions* — new keys encrypted
+//! under keys that (some) users already hold. This crate makes those objects
+//! concrete and verifiable:
+//!
+//! * [`chacha`] — ChaCha20 (RFC 8439), implemented from the specification
+//!   with the RFC test vectors.
+//! * [`siphash`] — SipHash-2-4, the MAC for encrypt-then-MAC key wraps.
+//! * [`KeyMaterial`] / [`Key`] — 256-bit keys carrying the paper's
+//!   identification scheme (key ID = ID-tree node ID).
+//! * [`Encryption`] — `{k'}_k` with [`Encryption::id`] equal to the ID of
+//!   the *encrypting* key, exactly as §2.4 defines it.
+//!
+//! # Example: one rekey hop, end to end
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rekey_crypto::{Encryption, Key};
+//! use rekey_id::{IdPrefix, IdSpec};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let spec = IdSpec::new(5, 256)?;
+//! // An auxiliary key for ID subtree [3] and the current group key.
+//! let aux = Key::random(IdPrefix::new(&spec, vec![3])?, &mut rng);
+//! let group = Key::random(IdPrefix::root(), &mut rng);
+//!
+//! // The server rekeys the group and wraps the new group key under the aux key.
+//! let new_group = group.next_version(&mut rng);
+//! let enc = Encryption::seal(&aux, &new_group, &mut rng);
+//!
+//! // A user holding the aux key recovers the new group key.
+//! assert_eq!(enc.open(&aux).unwrap(), new_group);
+//! // Lemma 3: the encryption is needed by users whose ID starts with digit 3.
+//! assert_eq!(enc.id(), aux.id());
+//! # Ok::<(), rekey_id::IdError>(())
+//! ```
+
+pub mod chacha;
+pub mod siphash;
+pub mod wire;
+
+mod data;
+mod encryption;
+mod key;
+
+pub use data::{OpenError, SealedData};
+pub use encryption::{Encryption, UnwrapError};
+pub use key::{Key, KeyMaterial};

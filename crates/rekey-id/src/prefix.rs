@@ -1,0 +1,239 @@
+//! ID prefixes: the node IDs of the conceptual ID tree.
+
+use std::fmt;
+
+use crate::{IdError, IdSpec, UserId};
+
+/// The ID of a node in the ID tree: a string of `0..=D` digits.
+///
+/// * The empty prefix `[]` is the ID of the ID-tree root (and of the key
+///   server, and of the group key in the modified key tree).
+/// * A length-`l` prefix names a level-`l` ID subtree.
+/// * A length-`D` prefix names a leaf, i.e. a user.
+///
+/// Per the paper, "an ID is a prefix of itself, and a null string is a prefix
+/// of any ID".
+///
+/// ```
+/// use rekey_id::{IdPrefix, IdSpec, UserId};
+/// let spec = IdSpec::new(3, 10)?;
+/// let u = UserId::new(&spec, vec![2, 0, 1])?;
+/// let p = IdPrefix::new(&spec, vec![2, 0])?;
+/// assert!(p.is_prefix_of_id(&u));
+/// assert!(IdPrefix::root().is_prefix_of(&p));
+/// assert_eq!(p.child(1).digits(), &[2, 0, 1]);
+/// # Ok::<(), rekey_id::IdError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdPrefix {
+    digits: Vec<u16>,
+}
+
+impl IdPrefix {
+    /// The null prefix `[]`: ID of the ID-tree root, the key server, and the
+    /// group key.
+    pub fn root() -> IdPrefix {
+        IdPrefix { digits: Vec::new() }
+    }
+
+    /// Creates a prefix from digits, validating against `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::PrefixTooLong`] if more than `D` digits are given,
+    /// or [`IdError::DigitOutOfRange`] for digits `>= B`.
+    pub fn new(spec: &IdSpec, digits: Vec<u16>) -> Result<IdPrefix, IdError> {
+        if digits.len() > spec.depth() {
+            return Err(IdError::PrefixTooLong { max: spec.depth(), actual: digits.len() });
+        }
+        for (index, &digit) in digits.iter().enumerate() {
+            if digit >= spec.base() {
+                return Err(IdError::DigitOutOfRange { index, digit, base: spec.base() });
+            }
+        }
+        Ok(IdPrefix { digits })
+    }
+
+    pub(crate) fn from_digits_unchecked(digits: Vec<u16>) -> IdPrefix {
+        IdPrefix { digits }
+    }
+
+    /// The digits of this prefix.
+    pub fn digits(&self) -> &[u16] {
+        &self.digits
+    }
+
+    /// Number of digits; equals the ID-tree level of the node this prefix
+    /// names.
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// `true` iff this is the null prefix `[]`.
+    pub fn is_empty(&self) -> bool {
+        self.digits.is_empty()
+    }
+
+    /// The last digit, if any.
+    pub fn last_digit(&self) -> Option<u16> {
+        self.digits.last().copied()
+    }
+
+    /// The parent node's ID (one digit shorter), or `None` for the root.
+    pub fn parent(&self) -> Option<IdPrefix> {
+        if self.digits.is_empty() {
+            None
+        } else {
+            Some(IdPrefix { digits: self.digits[..self.digits.len() - 1].to_vec() })
+        }
+    }
+
+    /// The ID of the child obtained by appending `digit`.
+    ///
+    /// If this prefix is a user's level-`i` prefix, `child(j)` is the ID of
+    /// the user's `(i, j)`-ID subtree (Definition 2).
+    pub fn child(&self, digit: u16) -> IdPrefix {
+        let mut digits = self.digits.clone();
+        digits.push(digit);
+        IdPrefix { digits }
+    }
+
+    /// The first `len` digits of this prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn truncate(&self, len: usize) -> IdPrefix {
+        assert!(len <= self.digits.len(), "truncate length exceeds prefix length");
+        IdPrefix { digits: self.digits[..len].to_vec() }
+    }
+
+    /// `true` iff `self` is a prefix of `other` (including `self == other`).
+    pub fn is_prefix_of(&self, other: &IdPrefix) -> bool {
+        other.digits.len() >= self.digits.len()
+            && other.digits[..self.digits.len()] == self.digits[..]
+    }
+
+    /// `true` iff `self` is a prefix of the user ID `id`.
+    pub fn is_prefix_of_id(&self, id: &UserId) -> bool {
+        id.digits().len() >= self.digits.len()
+            && id.digits()[..self.digits.len()] == self.digits[..]
+    }
+
+    /// `true` iff one of `self`, `other` is a prefix of the other.
+    ///
+    /// This is exactly the condition of the `REKEY-MESSAGE-SPLIT` routine
+    /// (Fig. 5) and Theorem 2: an encryption `e` is relevant to the subtree
+    /// rooted at prefix `p` iff `e.id().is_related(p)`.
+    pub fn is_related(&self, other: &IdPrefix) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// Converts a full-length prefix back into a [`UserId`].
+    ///
+    /// Returns `None` if this prefix is shorter than `spec.depth()`.
+    pub fn to_user_id(&self, spec: &IdSpec) -> Option<UserId> {
+        if self.digits.len() == spec.depth() {
+            UserId::new(spec, self.digits.clone()).ok()
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for IdPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.digits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<UserId> for IdPrefix {
+    fn from(id: UserId) -> IdPrefix {
+        IdPrefix { digits: id.digits().to_vec() }
+    }
+}
+
+impl From<&UserId> for IdPrefix {
+    fn from(id: &UserId) -> IdPrefix {
+        IdPrefix { digits: id.digits().to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> IdSpec {
+        IdSpec::new(3, 4).unwrap()
+    }
+
+    #[test]
+    fn root_is_empty_and_prefix_of_everything() {
+        let root = IdPrefix::root();
+        assert!(root.is_empty());
+        assert_eq!(root.len(), 0);
+        assert_eq!(root.to_string(), "[]");
+        let p = IdPrefix::new(&spec(), vec![3, 2]).unwrap();
+        assert!(root.is_prefix_of(&p));
+        assert!(!p.is_prefix_of(&root));
+        assert!(root.is_prefix_of(&root));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(IdPrefix::new(&spec(), vec![0, 1, 2, 3]).is_err());
+        assert!(IdPrefix::new(&spec(), vec![4]).is_err());
+        assert!(IdPrefix::new(&spec(), vec![]).is_ok());
+        assert!(IdPrefix::new(&spec(), vec![0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let p = IdPrefix::new(&spec(), vec![1, 2]).unwrap();
+        assert_eq!(p.child(3).parent(), Some(p.clone()));
+        assert_eq!(p.parent().unwrap().digits(), &[1]);
+        assert_eq!(IdPrefix::root().parent(), None);
+        assert_eq!(p.last_digit(), Some(2));
+        assert_eq!(IdPrefix::root().last_digit(), None);
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let a = IdPrefix::new(&spec(), vec![1]).unwrap();
+        let b = IdPrefix::new(&spec(), vec![1, 2]).unwrap();
+        let c = IdPrefix::new(&spec(), vec![2]).unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_related(&b));
+        assert!(b.is_related(&a));
+        assert!(!a.is_related(&c));
+        assert!(a.is_related(&a));
+    }
+
+    #[test]
+    fn id_conversions() {
+        let s = spec();
+        let u = UserId::new(&s, vec![1, 2, 3]).unwrap();
+        let p: IdPrefix = (&u).into();
+        assert_eq!(p.to_user_id(&s), Some(u.clone()));
+        assert_eq!(u.prefix(1).to_user_id(&s), None);
+        assert!(u.prefix(0).is_prefix_of_id(&u));
+        assert!(u.prefix(3).is_prefix_of_id(&u));
+        assert!(!p.child(0).is_prefix_of_id(&u));
+    }
+
+    #[test]
+    fn truncate_takes_leading_digits() {
+        let p = IdPrefix::new(&spec(), vec![3, 1, 2]).unwrap();
+        assert_eq!(p.truncate(0), IdPrefix::root());
+        assert_eq!(p.truncate(2).digits(), &[3, 1]);
+        assert_eq!(p.truncate(3), p);
+    }
+}

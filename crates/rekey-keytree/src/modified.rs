@@ -1,0 +1,448 @@
+//! The modified key tree (§2.4): fixed height `D`, structure matching the
+//! ID tree exactly, growing horizontally as users join.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rand::Rng;
+use rekey_crypto::{Encryption, Key};
+use rekey_id::{IdPrefix, IdSpec, IdTree, UserId};
+
+/// Errors produced by key-tree batch operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyTreeError {
+    /// A join request named a user that is already in the tree.
+    AlreadyMember(UserId),
+    /// A leave request named a user that is not in the tree.
+    NotMember(UserId),
+    /// The same user appears twice in one batch.
+    DuplicateRequest(UserId),
+}
+
+impl fmt::Display for KeyTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyTreeError::AlreadyMember(u) => write!(f, "user {u} is already a member"),
+            KeyTreeError::NotMember(u) => write!(f, "user {u} is not a member"),
+            KeyTreeError::DuplicateRequest(u) => write!(f, "user {u} appears twice in the batch"),
+        }
+    }
+}
+
+impl std::error::Error for KeyTreeError {}
+
+/// The result of one batch rekey interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RekeyOutcome {
+    /// The rekey message: all generated encryptions, ordered by decreasing
+    /// encrypting-key ID length so receivers can unwrap in a single pass.
+    pub encryptions: Vec<Encryption>,
+    /// IDs of the k-nodes whose keys were changed.
+    pub updated: Vec<IdPrefix>,
+}
+
+impl RekeyOutcome {
+    /// The paper's *rekey cost*: "the number of encryptions contained in a
+    /// rekey message" (§4.2).
+    pub fn cost(&self) -> usize {
+        self.encryptions.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    key: Key,
+    /// Child digits; empty for u-nodes (full-length IDs).
+    children: BTreeSet<u16>,
+}
+
+/// The modified key tree.
+///
+/// * Nodes are identified by ID prefixes; a node of ID length `D` is a
+///   **u-node** holding a user's individual key, shorter IDs are
+///   **k-nodes** holding the group key (root) or auxiliary keys.
+/// * "The key server makes the structure of the key tree match exactly that
+///   of the ID tree" — [`ModifiedKeyTree::matches_id_tree`] checks this
+///   invariant and the test suite enforces it under random churn.
+///
+/// Batch rekeying follows §2.4: per interval, joined u-nodes are added
+/// (creating missing k-nodes), departed u-nodes removed (pruning empty
+/// k-nodes), every k-node on an affected path gets a fresh key, and one
+/// encryption is generated per (changed k-node, child) pair.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rekey_id::{IdSpec, UserId};
+/// use rekey_keytree::ModifiedKeyTree;
+///
+/// let spec = IdSpec::new(2, 4)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut tree = ModifiedKeyTree::new(&spec);
+/// let a = UserId::new(&spec, vec![0, 0])?;
+/// let b = UserId::new(&spec, vec![2, 1])?;
+/// tree.batch_rekey(&[a.clone(), b], &[], &mut rng).unwrap();
+/// // `a` holds its individual key, the aux key of subtree [0] and the
+/// // group key.
+/// assert_eq!(tree.user_path_keys(&a).len(), 3);
+/// # Ok::<(), rekey_id::IdError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModifiedKeyTree {
+    spec: IdSpec,
+    nodes: BTreeMap<IdPrefix, TreeNode>,
+}
+
+impl ModifiedKeyTree {
+    /// Creates an empty tree (no users, no group key yet).
+    pub fn new(spec: &IdSpec) -> ModifiedKeyTree {
+        ModifiedKeyTree { spec: *spec, nodes: BTreeMap::new() }
+    }
+
+    /// The ID-space specification.
+    pub fn spec(&self) -> &IdSpec {
+        &self.spec
+    }
+
+    /// The current group key, if the group is non-empty.
+    pub fn group_key(&self) -> Option<&Key> {
+        self.key(&IdPrefix::root())
+    }
+
+    /// The key stored at ID-tree node `id`, if present.
+    pub fn key(&self, id: &IdPrefix) -> Option<&Key> {
+        self.nodes.get(id).map(|n| &n.key)
+    }
+
+    /// `true` iff `user` has a u-node in the tree.
+    pub fn contains_user(&self, user: &UserId) -> bool {
+        self.nodes.contains_key(&user.as_prefix())
+    }
+
+    /// Number of users (u-nodes).
+    pub fn user_count(&self) -> usize {
+        let depth = self.spec.depth();
+        self.nodes.keys().filter(|p| p.len() == depth).count()
+    }
+
+    /// Total number of nodes (k-nodes and u-nodes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All keys on the path from `user`'s u-node to the root, u-node first.
+    /// This is exactly the key set a user holds (§2.4); empty if the user is
+    /// not a member.
+    pub fn user_path_keys(&self, user: &UserId) -> Vec<Key> {
+        if !self.contains_user(user) {
+            return Vec::new();
+        }
+        (0..=self.spec.depth())
+            .rev()
+            .map(|l| self.nodes[&user.prefix(l)].key.clone())
+            .collect()
+    }
+
+    /// Checks the structural invariant: the key tree's node set equals the
+    /// ID tree's node set for the current membership.
+    pub fn matches_id_tree(&self, tree: &IdTree) -> bool {
+        if self.nodes.len() != tree.node_count() {
+            return false;
+        }
+        self.nodes.iter().all(|(id, node)| {
+            tree.node(id).is_some_and(|t| {
+                node.children.iter().copied().eq(t.child_digits())
+            })
+        })
+    }
+
+    /// Validates a batch: no duplicates within joins or within leaves,
+    /// joins absent (unless the same ID leaves in this batch — the slot is
+    /// vacated first), leaves present.
+    fn validate_batch(&self, joins: &[UserId], leaves: &[UserId]) -> Result<(), KeyTreeError> {
+        let mut seen = BTreeSet::new();
+        for u in joins {
+            if !seen.insert(u.clone()) {
+                return Err(KeyTreeError::DuplicateRequest(u.clone()));
+            }
+        }
+        let joining = seen;
+        let mut seen = BTreeSet::new();
+        for u in leaves {
+            if !seen.insert(u.clone()) {
+                return Err(KeyTreeError::DuplicateRequest(u.clone()));
+            }
+            if !self.contains_user(u) {
+                return Err(KeyTreeError::NotMember(u.clone()));
+            }
+        }
+        for u in &joining {
+            if self.contains_user(u) && !seen.contains(u) {
+                return Err(KeyTreeError::AlreadyMember(u.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes one rekey interval: `joins` and `leaves` as a batch
+    /// (§2.4). Returns the rekey message.
+    ///
+    /// Joining users receive their initial key set via unicast
+    /// ([`ModifiedKeyTree::user_path_keys`] after this call), exactly as in
+    /// §3.1: "the key server sends u … all the keys on the path from u's
+    /// corresponding u-node to the root".
+    ///
+    /// # Errors
+    ///
+    /// Rejects batches with duplicate users, joins of current members, or
+    /// leaves of non-members; the tree is left unchanged on error.
+    pub fn batch_rekey<R: Rng + ?Sized>(
+        &mut self,
+        joins: &[UserId],
+        leaves: &[UserId],
+        rng: &mut R,
+    ) -> Result<RekeyOutcome, KeyTreeError> {
+        self.validate_batch(joins, leaves)?;
+        let depth = self.spec.depth();
+        let mut changed: BTreeSet<IdPrefix> = BTreeSet::new();
+
+        // "For each leaving user u, the key server deletes from the key tree
+        // the u-node with ID u.ID. At each level i … the k-node whose ID
+        // equals u.ID[0 : i−1] is deleted if the k-node does not have any
+        // descendants."
+        for u in leaves {
+            self.nodes.remove(&u.as_prefix());
+            for level in (0..depth).rev() {
+                let id = u.prefix(level);
+                let child_digit = u.digit(level);
+                if !self.nodes.contains_key(&id.child(child_digit)) {
+                    self.nodes
+                        .get_mut(&id)
+                        .expect("ancestors of an unprocessed leaf always exist")
+                        .children
+                        .remove(&child_digit);
+                }
+                if self.nodes[&id].children.is_empty() {
+                    self.nodes.remove(&id);
+                    changed.remove(&id);
+                } else {
+                    changed.insert(id);
+                }
+            }
+        }
+
+        // "For each joining user u, the key server adds into the key tree a
+        // u-node with ID u.ID. At each level i … a k-node with ID
+        // u.ID[0 : i−1] is added if such a k-node does not exist."
+        for u in joins {
+            self.nodes.insert(
+                u.as_prefix(),
+                TreeNode { key: Key::random(u.as_prefix(), rng), children: BTreeSet::new() },
+            );
+            for level in (0..depth).rev() {
+                let id = u.prefix(level);
+                let node = self.nodes.entry(id.clone()).or_insert_with(|| TreeNode {
+                    key: Key::random(id.clone(), rng),
+                    children: BTreeSet::new(),
+                });
+                node.children.insert(u.digit(level));
+                changed.insert(id);
+            }
+        }
+
+        // "At the beginning of the next rekey interval, the key server
+        // updates all the keys on the path from each newly joined or
+        // departed u-node to the root, and then generates encryptions."
+        for id in &changed {
+            let node = self.nodes.get_mut(id).expect("changed node must exist");
+            node.key = node.key.next_version(rng);
+        }
+
+        // One encryption per (changed k-node, child): the child's (possibly
+        // new) key wraps the changed node's new key.
+        let mut encryptions = Vec::new();
+        // Deeper encrypting keys first so receivers can unwrap in one pass.
+        let mut changed_sorted: Vec<&IdPrefix> = changed.iter().collect();
+        changed_sorted.sort_by_key(|id| std::cmp::Reverse(id.len()));
+        for id in changed_sorted {
+            let node = &self.nodes[id];
+            let new_key = node.key.clone();
+            for &digit in &node.children {
+                let child = &self.nodes[&id.child(digit)];
+                encryptions.push(Encryption::seal(&child.key, &new_key, rng));
+            }
+        }
+        Ok(RekeyOutcome { encryptions, updated: changed.into_iter().collect() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> IdSpec {
+        IdSpec::new(2, 4).unwrap()
+    }
+
+    fn uid(digits: [u16; 2]) -> UserId {
+        UserId::new(&spec(), digits.to_vec()).unwrap()
+    }
+
+    /// Builds the Fig. 1 / Fig. 4 example group.
+    fn fig4_tree(rng: &mut StdRng) -> ModifiedKeyTree {
+        let mut tree = ModifiedKeyTree::new(&spec());
+        let joins: Vec<UserId> =
+            [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)).collect();
+        tree.batch_rekey(&joins, &[], rng).unwrap();
+        tree
+    }
+
+    #[test]
+    fn structure_matches_id_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = fig4_tree(&mut rng);
+        let id_tree = IdTree::from_users(
+            &spec(),
+            [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)),
+        );
+        assert!(tree.matches_id_tree(&id_tree));
+        assert_eq!(tree.user_count(), 5);
+        assert_eq!(tree.node_count(), 8);
+    }
+
+    /// The paper's worked example: u5 = [2,2] leaves; the server changes
+    /// k1-5 → k1-4 and k345 → k34 and generates exactly four encryptions:
+    /// {k1-4}k12, {k1-4}k34, {k34}k3, {k34}k4.
+    #[test]
+    fn fig4_single_leave_generates_four_encryptions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tree = fig4_tree(&mut rng);
+        let out = tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
+        assert_eq!(out.cost(), 4);
+        let mut ids: Vec<String> = out.encryptions.iter().map(|e| e.id().to_string()).collect();
+        ids.sort();
+        assert_eq!(ids, vec!["[0]", "[2,0]", "[2,1]", "[2]"]);
+        // Updated nodes: the root and [2].
+        let updated: Vec<String> = out.updated.iter().map(|p| p.to_string()).collect();
+        assert_eq!(updated, vec!["[]", "[2]"]);
+        assert!(!tree.contains_user(&uid([2, 2])));
+    }
+
+    #[test]
+    fn users_hold_path_keys() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = fig4_tree(&mut rng);
+        let keys = tree.user_path_keys(&uid([2, 2]));
+        assert_eq!(keys.len(), 3); // individual, aux [2], group
+        assert_eq!(keys[0].id().to_string(), "[2,2]");
+        assert_eq!(keys[1].id().to_string(), "[2]");
+        assert!(keys[2].id().is_empty());
+        assert!(tree.user_path_keys(&uid([3, 3])).is_empty());
+    }
+
+    #[test]
+    fn pure_join_rekeys_join_path_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tree = fig4_tree(&mut rng);
+        let old_group_version = tree.group_key().unwrap().version();
+        let out = tree.batch_rekey(&[uid([0, 2])], &[], &mut rng).unwrap();
+        // Updated: root and [0]. Encryptions: root under [0] and [2];
+        // [0]-key under [0,0], [0,1], [0,2] ⇒ 5 total.
+        assert_eq!(out.cost(), 5);
+        assert_eq!(tree.group_key().unwrap().version(), old_group_version + 1);
+        assert!(tree.contains_user(&uid([0, 2])));
+    }
+
+    #[test]
+    fn leave_that_empties_subtree_prunes_nodes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tree = fig4_tree(&mut rng);
+        let out = tree
+            .batch_rekey(&[], &[uid([0, 0]), uid([0, 1])], &mut rng)
+            .unwrap();
+        // Subtree [0] disappears entirely; only the root is updated, with a
+        // single child [2] left ⇒ exactly one encryption.
+        assert_eq!(out.cost(), 1);
+        assert_eq!(out.encryptions[0].id().to_string(), "[2]");
+        assert!(tree.key(&IdPrefix::new(&spec(), vec![0]).unwrap()).is_none());
+        let id_tree = IdTree::from_users(
+            &spec(),
+            [[2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)),
+        );
+        assert!(tree.matches_id_tree(&id_tree));
+    }
+
+    #[test]
+    fn batch_validation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut tree = fig4_tree(&mut rng);
+        assert_eq!(
+            tree.batch_rekey(&[uid([0, 0])], &[], &mut rng),
+            Err(KeyTreeError::AlreadyMember(uid([0, 0])))
+        );
+        assert_eq!(
+            tree.batch_rekey(&[], &[uid([3, 3])], &mut rng),
+            Err(KeyTreeError::NotMember(uid([3, 3])))
+        );
+        assert_eq!(
+            tree.batch_rekey(&[uid([3, 3])], &[uid([3, 3])], &mut rng),
+            Err(KeyTreeError::NotMember(uid([3, 3])))
+        );
+        assert_eq!(
+            tree.batch_rekey(&[uid([3, 3]), uid([3, 3])], &[], &mut rng),
+            Err(KeyTreeError::DuplicateRequest(uid([3, 3])))
+        );
+        // Tree unchanged after errors.
+        assert_eq!(tree.user_count(), 5);
+    }
+
+    /// A joining user may be assigned the exact ID of a user leaving in the
+    /// same interval: the slot is vacated first and all its path keys still
+    /// change (forward secrecy for the leaver).
+    #[test]
+    fn id_reuse_within_one_batch() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut tree = fig4_tree(&mut rng);
+        let old_individual = tree.key(&uid([2, 2]).as_prefix()).unwrap().clone();
+        let old_group = tree.group_key().unwrap().clone();
+        let out = tree.batch_rekey(&[uid([2, 2])], &[uid([2, 2])], &mut rng).unwrap();
+        assert!(out.cost() > 0);
+        assert!(tree.contains_user(&uid([2, 2])));
+        assert_eq!(tree.user_count(), 5);
+        assert_ne!(tree.key(&uid([2, 2]).as_prefix()).unwrap(), &old_individual);
+        assert_ne!(tree.group_key().unwrap(), &old_group);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_message() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tree = fig4_tree(&mut rng);
+        let out = tree.batch_rekey(&[], &[], &mut rng).unwrap();
+        assert_eq!(out.cost(), 0);
+        assert!(out.updated.is_empty());
+    }
+
+    #[test]
+    fn last_user_leaving_empties_tree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut tree = ModifiedKeyTree::new(&spec());
+        tree.batch_rekey(&[uid([1, 1])], &[], &mut rng).unwrap();
+        assert!(tree.group_key().is_some());
+        let out = tree.batch_rekey(&[], &[uid([1, 1])], &mut rng).unwrap();
+        assert_eq!(out.cost(), 0);
+        assert_eq!(tree.node_count(), 0);
+        assert!(tree.group_key().is_none());
+    }
+
+    #[test]
+    fn encryptions_ordered_deep_to_shallow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tree = fig4_tree(&mut rng);
+        let out = tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
+        let lens: Vec<usize> = out.encryptions.iter().map(|e| e.id().len()).collect();
+        let mut sorted = lens.clone();
+        sorted.sort_by_key(|&l| std::cmp::Reverse(l));
+        assert_eq!(lens, sorted);
+    }
+}

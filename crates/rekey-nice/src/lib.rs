@@ -1,0 +1,39 @@
+//! NICE application-layer multicast — the baseline ALM scheme of the
+//! paper's evaluation (§4).
+//!
+//! NICE (Banerjee, Bhattacharjee & Kommareddy, SIGCOMM 2002) arranges
+//! members into a hierarchy of bounded-size clusters: every member is in a
+//! layer-0 cluster; cluster leaders (topological centers) form layer 1, and
+//! so on up to a single top cluster whose leader is the *root*. The paper
+//! re-implemented NICE from its protocol description, and so do we:
+//!
+//! * [`Cluster`] — member sets with center leaders, split/merge heuristics;
+//! * [`NiceHierarchy`] — sequential joins/leaves with maintenance keeping
+//!   cluster sizes in `[k, 3k−1]` (`k = 3` ⇒ "three to eight users");
+//! * delivery ([`NiceHierarchy::rekey_multicast`],
+//!   [`NiceHierarchy::data_multicast`]) — the key server unicasts rekey
+//!   messages to the root which floods top-down; a data sender unicasts to
+//!   its local cluster leader (bottom-up then top-down), per §4.1.
+//!
+//! ```
+//! use rekey_net::{HostId, MatrixNetwork, PlanetLabParams};
+//! use rekey_nice::{NiceHierarchy, NiceParams};
+//! # use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+//! let mut nice = NiceHierarchy::new(NiceParams::default());
+//! for i in 0..10 {
+//!     nice.join(HostId(i), &net);
+//! }
+//! let out = nice.rekey_multicast(&net, HostId(15));
+//! assert_eq!(out.reached(), 10);
+//! ```
+
+mod cluster;
+mod deliver;
+mod hierarchy;
+
+pub use cluster::Cluster;
+pub use deliver::{NiceDelivery, NiceOutcome};
+pub use hierarchy::{NiceHierarchy, NiceParams};

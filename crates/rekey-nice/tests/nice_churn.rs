@@ -1,0 +1,117 @@
+//! Property tests: the NICE hierarchy under arbitrary join/leave
+//! sequences — structural invariants and delivery completeness must hold
+//! after every operation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rekey_net::{HostId, MatrixNetwork, Network, PlanetLabParams};
+use rekey_nice::{NiceHierarchy, NiceParams};
+
+fn net(seed: u64) -> MatrixNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut params = PlanetLabParams::small();
+    params.continent_hosts = vec![20, 14];
+    MatrixNetwork::synthetic_planetlab(&params, &mut rng)
+}
+
+/// Applies a churn script: each byte either joins the lowest absent host
+/// (even) or removes a present host (odd), keeping at least one member.
+fn apply_script(
+    h: &mut NiceHierarchy,
+    net: &MatrixNetwork,
+    script: &[u8],
+) -> Vec<HostId> {
+    let capacity = net.host_count() - 1;
+    let mut present: Vec<bool> = vec![false; capacity];
+    for &b in script {
+        let count = present.iter().filter(|&&p| p).count();
+        if b % 2 == 0 || count <= 1 {
+            if let Some(slot) = (0..capacity).cycle().skip(usize::from(b) % capacity).take(capacity).find(|&i| !present[i]) {
+                h.join(HostId(slot), net);
+                present[slot] = true;
+            }
+        } else {
+            let victims: Vec<usize> = (0..capacity).filter(|&i| present[i]).collect();
+            let v = victims[usize::from(b) % victims.len()];
+            h.leave(HostId(v), net);
+            present[v] = false;
+        }
+    }
+    (0..capacity).filter(|&i| present[i]).map(HostId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cluster sizes, leader chains and layer structure hold after every
+    /// single operation.
+    #[test]
+    fn invariants_hold_after_every_operation(script in vec(any::<u8>(), 1..48), seed in 0u64..200) {
+        let net = net(seed);
+        let mut h = NiceHierarchy::new(NiceParams::default());
+        let capacity = net.host_count() - 1;
+        let mut present: Vec<bool> = vec![false; capacity];
+        for &b in &script {
+            let count = present.iter().filter(|&&p| p).count();
+            if b % 2 == 0 || count <= 1 {
+                let absent: Vec<usize> = (0..capacity).filter(|&i| !present[i]).collect();
+                if let Some(&slot) = absent.get(usize::from(b) % absent.len().max(1)) {
+                    h.join(HostId(slot), &net);
+                    present[slot] = true;
+                }
+            } else {
+                let victims: Vec<usize> = (0..capacity).filter(|&i| present[i]).collect();
+                if !victims.is_empty() {
+                    let v = victims[usize::from(b) % victims.len()];
+                    h.leave(HostId(v), &net);
+                    present[v] = false;
+                }
+            }
+            h.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(h.member_count(), present.iter().filter(|&&p| p).count());
+        }
+    }
+
+    /// Rekey and data multicast reach every member exactly once whatever
+    /// the churn history that produced the hierarchy.
+    #[test]
+    fn delivery_complete_after_churn(script in vec(any::<u8>(), 1..40), seed in 0u64..200) {
+        let net = net(seed);
+        let mut h = NiceHierarchy::new(NiceParams::default());
+        let members = apply_script(&mut h, &net, &script);
+        prop_assume!(!members.is_empty());
+        h.check_invariants().map_err(TestCaseError::fail)?;
+
+        let server = HostId(net.host_count() - 1);
+        let out = h.rekey_multicast(&net, server);
+        prop_assert_eq!(out.reached(), members.len());
+        for &m in &members {
+            prop_assert_eq!(out.duplicates(m), 0);
+        }
+
+        let sender = members[script[0] as usize % members.len()];
+        let out = h.data_multicast(&net, sender);
+        prop_assert_eq!(out.reached(), members.len() - 1);
+        prop_assert!(out.delivery(sender).is_none());
+    }
+}
+
+/// A hand-written worst case: repeated join/leave of the same host at a
+/// cluster boundary (size oscillating around the split threshold).
+#[test]
+fn split_merge_oscillation() {
+    let net = net(99);
+    let mut h = NiceHierarchy::new(NiceParams { k: 3 });
+    for i in 0..9 {
+        h.join(HostId(i), &net);
+    }
+    // Oscillate around 8/9 members, the split boundary for k = 3.
+    for _ in 0..20 {
+        h.leave(HostId(8), &net);
+        h.check_invariants().unwrap();
+        h.join(HostId(8), &net);
+        h.check_invariants().unwrap();
+    }
+    assert_eq!(h.member_count(), 9);
+}

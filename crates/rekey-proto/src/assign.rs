@@ -1,0 +1,374 @@
+//! Topology-aware user ID assignment (§3.1).
+//!
+//! A joining user determines its ID digit by digit. For digit `i` it
+//!
+//! 1. **collects** up to `P` user records per `(i, j)`-ID subtree by
+//!    querying users it already knows (each query returns the queried
+//!    user's table neighbors matching a target prefix);
+//! 2. **measures** the gateway-router RTT `r(u, w)` to every collected
+//!    user;
+//! 3. computes the `F`-percentile of the RTTs per subtree and joins the
+//!    subtree `b` with the smallest percentile if it is `≤ R_{i+1}`,
+//!    otherwise stops probing;
+//! 4. **notifies** the key server, which assigns the remaining digits so
+//!    the final ID is unique (footnote 3 fallback included).
+//!
+//! The paper sets `P = 10`, `F = 80`-percentile and
+//! `R = (150, 30, 9, 3)` ms for `D = 5`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rekey_id::{IdPrefix, IdSpec, IdTree, UserId};
+use rekey_net::{ms, HostId, Micros, Network};
+use rekey_table::{Member, NeighborTable};
+use rekey_tmesh::metrics::percentile;
+
+/// Parameters of the ID assignment protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignParams {
+    /// Users to collect per `(i, j)`-ID subtree (the paper's `P = 10`).
+    pub p: usize,
+    /// Percentile of measured RTTs compared against the thresholds (the
+    /// paper's `F = 80`).
+    pub f_percentile: u8,
+    /// Delay thresholds `R_1 … R_{D−1}` in µs; `thresholds[i]` (= `R_{i+1}`)
+    /// gates digit `i`.
+    pub thresholds: Vec<Micros>,
+}
+
+impl AssignParams {
+    /// The paper's simulation defaults for `D = 5`:
+    /// `P = 10`, `F = 80`, `R = (150, 30, 9, 3)` ms.
+    pub fn paper() -> AssignParams {
+        AssignParams { p: 10, f_percentile: 80, thresholds: vec![ms(150), ms(30), ms(9), ms(3)] }
+    }
+
+    /// Paper-style defaults scaled to an arbitrary depth: thresholds halve
+    /// (at least) per level, starting at 150 ms.
+    pub fn for_depth(depth: usize) -> AssignParams {
+        assert!(depth >= 1);
+        if depth == 5 {
+            return AssignParams::paper();
+        }
+        let base = [ms(150), ms(30), ms(9), ms(3), ms(1), ms(1), ms(1)];
+        AssignParams {
+            p: 10,
+            f_percentile: 80,
+            thresholds: base[..depth.saturating_sub(1).min(base.len())].to_vec(),
+        }
+    }
+}
+
+/// Message-cost statistics of one assignment run (§3.1.4 analyses the total
+/// as `O(P · D · N^{1/D})` on average).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssignStats {
+    /// Query messages sent to other users (responses are counted by the
+    /// caller as one message each).
+    pub queries: u64,
+    /// RTT probes performed in step 2.
+    pub probes: u64,
+    /// How many digits were determined by probing (the server assigned the
+    /// rest).
+    pub digits_probed: usize,
+}
+
+/// Read-only view of the group the assignment protocol runs against.
+pub(crate) struct GroupView<'a> {
+    pub spec: &'a IdSpec,
+    pub members: &'a [Member],
+    pub tables: &'a [NeighborTable],
+    pub index_of: &'a dyn Fn(&UserId) -> usize,
+}
+
+/// A query to user `member_idx` for neighbor records matching `target`:
+/// returns the user records the queried user knows (its own record
+/// included when it matches).
+fn query(view: &GroupView<'_>, member_idx: usize, target: &IdPrefix) -> Vec<Member> {
+    let table = &view.tables[member_idx];
+    let mut out: Vec<Member> = table
+        .iter_all()
+        .filter(|r| target.is_prefix_of_id(&r.member.id))
+        .map(|r| r.member.clone())
+        .collect();
+    let own = &view.members[member_idx];
+    if target.is_prefix_of_id(&own.id) {
+        out.push(own.clone());
+    }
+    out
+}
+
+/// Runs steps 1–3 for every digit; returns the digits the joiner determined
+/// by probing plus the message statistics.
+pub(crate) fn probe_digits(
+    view: &GroupView<'_>,
+    params: &AssignParams,
+    joiner: HostId,
+    seed: usize,
+    net: &impl Network,
+) -> (Vec<u16>, AssignStats) {
+    let depth = view.spec.depth();
+    let base = view.spec.base();
+    let mut stats = AssignStats::default();
+    let mut digits: Vec<u16> = Vec::new();
+    // Users known to share the currently-determined prefix with the joiner.
+    let mut seeds: Vec<UserId> = vec![view.members[seed].id.clone()];
+
+    // The last digit is always assigned by the key server for uniqueness.
+    for i in 0..depth.saturating_sub(1) {
+        let prefix = IdPrefix::new(view.spec, digits.clone()).expect("digits are valid");
+
+        // Step 1: collect user records per (i, j)-ID subtree.
+        let mut collected: BTreeMap<u16, BTreeMap<UserId, Member>> = BTreeMap::new();
+        let mut queried: BTreeSet<UserId> = BTreeSet::new();
+        let insert = |collected: &mut BTreeMap<u16, BTreeMap<UserId, Member>>, m: Member| {
+            collected.entry(m.id.digit(i)).or_default().insert(m.id.clone(), m);
+        };
+        for s in &seeds {
+            let idx = (view.index_of)(s);
+            insert(&mut collected, view.members[idx].clone());
+            if queried.insert(s.clone()) {
+                stats.queries += 1;
+                for m in query(view, idx, &prefix) {
+                    insert(&mut collected, m);
+                }
+            }
+        }
+        // Per-subtree refinement queries until P collected or exhausted.
+        for j in 0..base {
+            let target = prefix.child(j);
+            while let Some(bucket) = collected.get(&j) {
+                if bucket.len() >= params.p {
+                    break;
+                }
+                let Some(next) =
+                    bucket.keys().find(|id| !queried.contains(*id)).cloned()
+                else {
+                    break;
+                };
+                queried.insert(next.clone());
+                stats.queries += 1;
+                let idx = (view.index_of)(&next);
+                for m in query(view, idx, &target) {
+                    insert(&mut collected, m);
+                }
+            }
+        }
+
+        // Step 2: measure gateway RTTs to every collected user.
+        // Step 3: smallest F-percentile per subtree vs. threshold R_{i+1}.
+        let mut best: Option<(Micros, u16)> = None;
+        for (&j, bucket) in &collected {
+            let rtts: Vec<Micros> = bucket
+                .values()
+                .take(params.p)
+                .map(|m| {
+                    stats.probes += 1;
+                    net.gateway_rtt(joiner, m.host)
+                })
+                .collect();
+            if rtts.is_empty() {
+                continue;
+            }
+            let f = percentile(&rtts, params.f_percentile);
+            if best.is_none_or(|(bf, bj)| (f, j) < (bf, bj)) {
+                best = Some((f, j));
+            }
+        }
+        let threshold = params.thresholds.get(i).copied().unwrap_or(0);
+        match best {
+            Some((f, b)) if f <= threshold => {
+                digits.push(b);
+                stats.digits_probed += 1;
+                seeds = collected.remove(&b).expect("chosen bucket").into_keys().collect();
+            }
+            _ => break, // step 4 with a partial prefix
+        }
+    }
+    (digits, stats)
+}
+
+/// Centralized digit determination via network coordinates (the GNP
+/// extension of §5): "if the key server knows the GNP coordinates of all
+/// the users, it can determine the ID for a joining user by centralized
+/// computing". No queries or per-candidate probes are exchanged — the
+/// joiner only measured the landmarks; `estimate(h)` returns the estimated
+/// gateway RTT between the joiner and host `h`.
+///
+/// Returns the digits determined plus the number of estimate evaluations
+/// (server-local computation, not messages).
+pub(crate) fn centralized_digits(
+    spec: &IdSpec,
+    params: &AssignParams,
+    members: &[Member],
+    estimate: &dyn Fn(rekey_net::HostId) -> Micros,
+) -> (Vec<u16>, u64) {
+    let mut digits: Vec<u16> = Vec::new();
+    let mut evaluations = 0u64;
+    let mut candidates: Vec<&Member> = members.iter().collect();
+    for i in 0..spec.depth().saturating_sub(1) {
+        // Bucket the candidates (members sharing the determined prefix) by
+        // their digit `i`, keeping up to P per bucket.
+        let mut buckets: std::collections::BTreeMap<u16, Vec<&Member>> =
+            std::collections::BTreeMap::new();
+        for m in &candidates {
+            let bucket = buckets.entry(m.id.digit(i)).or_default();
+            if bucket.len() < params.p {
+                bucket.push(m);
+            }
+        }
+        let mut best: Option<(Micros, u16)> = None;
+        for (&j, bucket) in &buckets {
+            let rtts: Vec<Micros> = bucket
+                .iter()
+                .map(|m| {
+                    evaluations += 1;
+                    estimate(m.host)
+                })
+                .collect();
+            if rtts.is_empty() {
+                continue;
+            }
+            let f = percentile(&rtts, params.f_percentile);
+            if best.is_none_or(|(bf, bj)| (f, j) < (bf, bj)) {
+                best = Some((f, j));
+            }
+        }
+        let threshold = params.thresholds.get(i).copied().unwrap_or(0);
+        match best {
+            Some((f, b)) if f <= threshold => {
+                digits.push(b);
+                candidates.retain(|m| m.id.digit(i) == b);
+            }
+            _ => break,
+        }
+    }
+    (digits, evaluations)
+}
+
+/// Step 4, server side: given the digits the joiner determined, assigns the
+/// remaining digits so that the new user lands in a fresh subtree and the
+/// full ID is unique. Implements footnote 3: when no fresh sibling subtree
+/// exists under the determined prefix, earlier digits are modified; as a
+/// last resort any free ID is assigned.
+///
+/// Returns `None` only when the ID space is exhausted.
+pub(crate) fn server_complete(
+    spec: &IdSpec,
+    id_tree: &IdTree,
+    determined: &[u16],
+) -> Option<UserId> {
+    let depth = spec.depth();
+    let base = spec.base();
+    // Try to keep as many determined digits as possible: for cut from
+    // len(determined) down to 0, look for a fresh digit right after the cut.
+    for cut in (0..=determined.len()).rev() {
+        let prefix = IdPrefix::new(spec, determined[..cut].to_vec()).expect("validated digits");
+        if id_tree.node(&prefix).is_none() && !prefix.is_empty() {
+            // The determined prefix itself is fresh: pad with zeros.
+            let mut digits = determined[..cut].to_vec();
+            digits.resize(depth, 0);
+            return UserId::new(spec, digits).ok();
+        }
+        for x in 0..base {
+            let candidate = prefix.child(x);
+            if candidate.len() <= depth && id_tree.node(&candidate).is_none() {
+                let mut digits = candidate.digits().to_vec();
+                digits.resize(depth, 0);
+                return UserId::new(spec, digits).ok();
+            }
+        }
+    }
+    // Every level-1 subtree exists: force the user into one with free space
+    // (footnote 3's last resort) by depth-first search for a free slot.
+    fn dfs(spec: &IdSpec, tree: &IdTree, prefix: IdPrefix) -> Option<UserId> {
+        if prefix.len() == spec.depth() {
+            return if tree.node(&prefix).is_none() { prefix.to_user_id(spec) } else { None };
+        }
+        for x in 0..spec.base() {
+            let child = prefix.child(x);
+            if tree.node(&child).is_none() {
+                let mut digits = child.digits().to_vec();
+                digits.resize(spec.depth(), 0);
+                return UserId::new(spec, digits).ok();
+            }
+            if let Some(found) = dfs(spec, tree, child) {
+                return Some(found);
+            }
+        }
+        None
+    }
+    dfs(spec, id_tree, IdPrefix::root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> IdSpec {
+        IdSpec::new(3, 4).unwrap()
+    }
+
+    fn tree_of(ids: &[[u16; 3]]) -> IdTree {
+        IdTree::from_users(
+            &spec(),
+            ids.iter().map(|d| UserId::new(&spec(), d.to_vec()).unwrap()),
+        )
+    }
+
+    #[test]
+    fn server_completes_with_fresh_sibling() {
+        let tree = tree_of(&[[0, 0, 0], [0, 1, 0]]);
+        // Joiner determined [0]: fresh sibling subtree [0, 2] is available.
+        let id = server_complete(&spec(), &tree, &[0]).unwrap();
+        assert_eq!(id.digit(0), 0);
+        assert!(tree.node(&id.prefix(2)).is_none(), "must land in a fresh level-2 subtree");
+    }
+
+    #[test]
+    fn server_completes_full_prefix_with_unique_last_digit() {
+        let tree = tree_of(&[[0, 0, 0], [0, 0, 1]]);
+        let id = server_complete(&spec(), &tree, &[0, 0]).unwrap();
+        assert_eq!(&id.digits()[..2], &[0, 0]);
+        assert!(!tree.contains_user(&id));
+    }
+
+    #[test]
+    fn footnote3_modifies_earlier_digits_when_subtree_full() {
+        // Fill every child of [0, 0]: determined [0, 0] cannot host a new
+        // unique leaf → the server must modify digit 1.
+        let ids: Vec<[u16; 3]> = (0..4).map(|x| [0, 0, x]).collect();
+        let tree = tree_of(&ids);
+        let id = server_complete(&spec(), &tree, &[0, 0]).unwrap();
+        assert_eq!(id.digit(0), 0);
+        assert_ne!(id.digit(1), 0, "digit 1 must be modified");
+        assert!(!tree.contains_user(&id));
+    }
+
+    #[test]
+    fn exhausted_space_returns_none() {
+        let small = IdSpec::new(1, 2).unwrap();
+        let tree = IdTree::from_users(
+            &small,
+            (0..2).map(|x| UserId::new(&small, vec![x]).unwrap()),
+        );
+        assert_eq!(server_complete(&small, &tree, &[]), None);
+    }
+
+    #[test]
+    fn empty_prefix_finds_any_fresh_level1_subtree() {
+        let tree = tree_of(&[[1, 0, 0]]);
+        let id = server_complete(&spec(), &tree, &[]).unwrap();
+        assert_ne!(id.digit(0), 1, "prefers a fresh level-1 subtree");
+    }
+
+    #[test]
+    fn paper_params() {
+        let p = AssignParams::paper();
+        assert_eq!(p.p, 10);
+        assert_eq!(p.f_percentile, 80);
+        assert_eq!(p.thresholds, vec![150_000, 30_000, 9_000, 3_000]);
+        assert_eq!(AssignParams::for_depth(5), p);
+        assert_eq!(AssignParams::for_depth(3).thresholds.len(), 2);
+    }
+}

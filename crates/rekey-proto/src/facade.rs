@@ -1,0 +1,489 @@
+//! The high-level API a deployment would actually use: a [`GroupServer`]
+//! that owns membership, ID assignment, the key tree and rekey intervals,
+//! and a [`UserAgent`] that holds one member's keys, consumes rekey
+//! messages and seals/opens group data traffic.
+//!
+//! The division of labour follows the paper exactly:
+//!
+//! * joins and leaves are *requested* at any time, accumulated, and take
+//!   cryptographic effect when the server [ends the rekey
+//!   interval](GroupServer::end_interval) (periodic batch rekeying, §2.4);
+//! * new members get their ID at join time and their key set via unicast
+//!   ([`WelcomePacket`]) when the interval ends;
+//! * the rekey message is delivered over T-mesh with
+//!   `REKEY-MESSAGE-SPLIT`; each agent absorbs the encryptions addressed
+//!   to it and is then able to open data sealed under the new group key.
+
+use rand::Rng;
+use rekey_crypto::{Key, SealedData};
+use rekey_id::{IdSpec, UserId};
+use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyOutcome};
+use rekey_net::{HostId, Micros, Network};
+use rekey_sim::{seeded_rng, SimRng};
+use rekey_table::PrimaryPolicy;
+use rekey_tmesh::TmeshGroup;
+
+use crate::assign::AssignParams;
+use crate::group::{Group, GroupError};
+use crate::split::tmesh_rekey_transport;
+
+/// What a newly joined member receives from the key server via unicast at
+/// the end of its first rekey interval: its ID and its path keys (§3.1).
+#[derive(Debug, Clone)]
+pub struct WelcomePacket {
+    /// The member's assigned ID.
+    pub id: UserId,
+    /// All keys on the path from the member's u-node to the root.
+    pub keys: Vec<Key>,
+    /// The rekey interval this key set belongs to.
+    pub interval: u64,
+}
+
+/// The output of one rekey interval.
+#[derive(Debug, Clone)]
+pub struct IntervalOutcome {
+    /// Interval number (1-based).
+    pub interval: u64,
+    /// The batch rekey message to multicast to the group.
+    pub rekey: RekeyOutcome,
+    /// Welcome packets for members that joined during the interval
+    /// (delivered via unicast, not multicast).
+    pub welcomes: Vec<WelcomePacket>,
+    /// IDs that left during the interval.
+    pub departed: Vec<UserId>,
+}
+
+/// Per-member delivery produced by [`GroupServer::deliver`]: the exact
+/// encryptions the split rekey transport hands each member.
+#[derive(Debug, Clone)]
+pub struct DeliveredRekey {
+    /// `per_member[i]` holds the encryptions member `i` received.
+    pub per_member: Vec<Vec<rekey_crypto::Encryption>>,
+    /// Total encryptions received, summed over members.
+    pub total_received: u64,
+}
+
+/// The key server: the single authority of the secure group.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rekey_net::{HostId, MatrixNetwork, Network, PlanetLabParams};
+/// use rekey_proto::{GroupServer, UserAgent};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+/// let mut server = GroupServer::new(HostId(net.host_count() - 1), 42);
+/// for h in 0..4 {
+///     server.request_join(HostId(h), &net, h as u64)?;
+/// }
+/// let outcome = server.end_interval();
+/// let agents: Vec<UserAgent> =
+///     outcome.welcomes.into_iter().map(UserAgent::from_welcome).collect();
+/// for agent in &agents {
+///     assert_eq!(agent.group_key(), server.tree().group_key());
+/// }
+/// # Ok::<(), rekey_proto::GroupError>(())
+/// ```
+#[derive(Debug)]
+pub struct GroupServer {
+    group: Group,
+    tree: ModifiedKeyTree,
+    /// Join/leave requests of the current interval, in arrival order
+    /// (`true` = join). Order matters: the same ID can be left by one
+    /// person and joined by another within one interval (ID reuse), or
+    /// joined and left by a transient member (which cancels out).
+    pending: Vec<(bool, UserId)>,
+    interval: u64,
+    rng: SimRng,
+}
+
+impl GroupServer {
+    /// Creates a server with the paper's default parameters (`D = 5`,
+    /// `B = 256`, `K = 4`, `P = 10`, `F = 80`, `R = 150/30/9/3` ms).
+    pub fn new(server_host: HostId, seed: u64) -> GroupServer {
+        GroupServer::with_params(
+            &IdSpec::PAPER,
+            server_host,
+            4,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams::paper(),
+            seed,
+        )
+    }
+
+    /// Creates a server with explicit parameters.
+    pub fn with_params(
+        spec: &IdSpec,
+        server_host: HostId,
+        k: usize,
+        policy: PrimaryPolicy,
+        assign: AssignParams,
+        seed: u64,
+    ) -> GroupServer {
+        GroupServer {
+            group: Group::new(spec, server_host, k, policy, assign),
+            tree: ModifiedKeyTree::new(spec),
+            pending: Vec::new(),
+            interval: 0,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// The underlying membership state.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The server-side key tree.
+    pub fn tree(&self) -> &ModifiedKeyTree {
+        &self.tree
+    }
+
+    /// Completed rekey intervals so far.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of members whose joins/leaves are pending for the current
+    /// interval.
+    pub fn pending(&self) -> (usize, usize) {
+        let joins = self.pending.iter().filter(|(is_join, _)| *is_join).count();
+        (joins, self.pending.len() - joins)
+    }
+
+    /// Admits a new member: runs the ID assignment protocol immediately
+    /// (the member starts participating in the overlay) and schedules its
+    /// keys for the end of the interval.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::IdSpaceFull`] when no unique ID exists.
+    pub fn request_join(
+        &mut self,
+        host: HostId,
+        net: &impl Network,
+        now: Micros,
+    ) -> Result<UserId, GroupError> {
+        let outcome = self.group.join(host, net, now)?;
+        self.pending.push((true, outcome.id.clone()));
+        Ok(outcome.id)
+    }
+
+    /// Processes a leave request: the member stops participating in the
+    /// overlay immediately; its keys are invalidated when the interval
+    /// ends.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::NotMember`] if `id` is not in the group.
+    pub fn request_leave(&mut self, id: &UserId, net: &impl Network) -> Result<(), GroupError> {
+        self.group.leave(id, net)?;
+        self.pending.push((false, id.clone()));
+        Ok(())
+    }
+
+    /// Ends the current rekey interval: batch-rekeys the tree for all
+    /// pending joins and leaves, and produces the rekey message plus the
+    /// welcome packets for the joiners.
+    pub fn end_interval(&mut self) -> IntervalOutcome {
+        self.interval += 1;
+        let pending = std::mem::take(&mut self.pending);
+        // Reduce each ID's request sequence to its net effect. Requests are
+        // validated against live membership, so per ID: the *first* op is a
+        // leave iff the ID was a member before the interval, and the *last*
+        // op is a join iff it is a member after. The four combinations map
+        // to (leave+join = reuse), (leave only), (join only), and
+        // (join-then-leave of a transient member = nothing at all).
+        let mut first: std::collections::BTreeMap<&UserId, bool> = Default::default();
+        let mut last: std::collections::BTreeMap<&UserId, bool> = Default::default();
+        for (is_join, id) in &pending {
+            first.entry(id).or_insert(*is_join);
+            last.insert(id, *is_join);
+        }
+        let leaves: Vec<UserId> = first
+            .iter()
+            .filter(|(_, &is_join)| !is_join)
+            .map(|(id, _)| (*id).clone())
+            .collect();
+        let joins: Vec<UserId> = last
+            .iter()
+            .filter(|(_, &is_join)| is_join)
+            .map(|(id, _)| (*id).clone())
+            .collect();
+        let rekey = self
+            .tree
+            .batch_rekey(&joins, &leaves, &mut self.rng)
+            .expect("pending lists mirror membership changes");
+        let welcomes = joins
+            .into_iter()
+            .map(|id| WelcomePacket {
+                keys: self.tree.user_path_keys(&id),
+                id,
+                interval: self.interval,
+            })
+            .collect();
+        IntervalOutcome { interval: self.interval, rekey, welcomes, departed: leaves }
+    }
+
+    /// Snapshots the current overlay for multicast sessions.
+    pub fn mesh(&self) -> TmeshGroup {
+        self.group.tmesh()
+    }
+
+    /// Convenience: runs the split rekey transport for an interval outcome
+    /// and returns the per-member encryption deliveries, ready to feed to
+    /// [`UserAgent::handle_rekey`].
+    pub fn deliver(&self, net: &impl Network, outcome: &IntervalOutcome) -> DeliveredRekey {
+        let mesh = self.mesh();
+        let report = tmesh_rekey_transport(&mesh, net, &outcome.rekey.encryptions, true, true);
+        let sets = report.received_sets.expect("detail requested");
+        let per_member = sets
+            .into_iter()
+            .map(|s| s.into_iter().map(|e| outcome.rekey.encryptions[e].clone()).collect())
+            .collect();
+        DeliveredRekey { per_member, total_received: report.received.iter().sum() }
+    }
+}
+
+/// Errors produced by [`UserAgent`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// The agent holds no group key yet (welcome not processed).
+    NoGroupKey,
+    /// Sealed data could not be opened.
+    Open(rekey_crypto::OpenError),
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::NoGroupKey => write!(f, "agent holds no group key"),
+            AgentError::Open(e) => write!(f, "cannot open sealed data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+/// One member's key state and data-plane operations.
+#[derive(Debug, Clone)]
+pub struct UserAgent {
+    ring: KeyRing,
+    interval: u64,
+}
+
+impl UserAgent {
+    /// Creates an agent from the server's welcome packet.
+    pub fn from_welcome(welcome: WelcomePacket) -> UserAgent {
+        UserAgent {
+            ring: KeyRing::new(welcome.id, welcome.keys),
+            interval: welcome.interval,
+        }
+    }
+
+    /// The member's ID.
+    pub fn id(&self) -> &UserId {
+        self.ring.user()
+    }
+
+    /// The current group key, if held.
+    pub fn group_key(&self) -> Option<&Key> {
+        self.ring.group_key()
+    }
+
+    /// The last rekey interval this agent has processed.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Consumes the encryptions delivered by one rekey interval; returns
+    /// the number of keys installed.
+    pub fn handle_rekey(&mut self, interval: u64, encryptions: &[rekey_crypto::Encryption]) -> usize {
+        let installed = self.ring.absorb(encryptions);
+        self.interval = self.interval.max(interval);
+        installed
+    }
+
+    /// Seals application data under the current group key.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::NoGroupKey`] before the first welcome is processed.
+    pub fn seal_data<R: Rng + ?Sized>(
+        &self,
+        plaintext: &[u8],
+        rng: &mut R,
+    ) -> Result<SealedData, AgentError> {
+        let key = self.ring.group_key().ok_or(AgentError::NoGroupKey)?;
+        Ok(SealedData::seal(key, plaintext, rng))
+    }
+
+    /// Opens sealed group data.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::NoGroupKey`] with an empty ring;
+    /// [`AgentError::Open`] when the data was sealed under a different
+    /// group-key generation than this agent holds.
+    pub fn open_data(&self, sealed: &SealedData) -> Result<Vec<u8>, AgentError> {
+        let key = self.ring.group_key().ok_or(AgentError::NoGroupKey)?;
+        sealed.open(key).map_err(AgentError::Open)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekey_net::{MatrixNetwork, PlanetLabParams};
+    use std::collections::HashMap;
+
+    fn setup(n: usize) -> (MatrixNetwork, GroupServer, HashMap<UserId, UserAgent>) {
+        let mut rng = seeded_rng(0xFACADE);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let server_host = HostId(net.host_count() - 1);
+        let mut server = GroupServer::with_params(
+            &IdSpec::new(3, 8).unwrap(),
+            server_host,
+            2,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams::for_depth(3),
+            7,
+        );
+        for h in 0..n {
+            server.request_join(HostId(h), &net, h as u64).unwrap();
+        }
+        let outcome = server.end_interval();
+        assert_eq!(outcome.welcomes.len(), n);
+        let agents = outcome
+            .welcomes
+            .into_iter()
+            .map(|w| (w.id.clone(), UserAgent::from_welcome(w)))
+            .collect();
+        (net, server, agents)
+    }
+
+    #[test]
+    fn bootstrap_interval_welcomes_everyone() {
+        let (_, server, agents) = setup(8);
+        assert_eq!(server.interval(), 1);
+        assert_eq!(server.pending(), (0, 0));
+        for agent in agents.values() {
+            assert_eq!(agent.group_key(), server.tree().group_key());
+        }
+    }
+
+    #[test]
+    fn churn_interval_updates_every_agent() {
+        let (net, mut server, mut agents) = setup(10);
+        // Two leaves, one join.
+        let victims: Vec<UserId> =
+            server.group().members().iter().take(2).map(|m| m.id.clone()).collect();
+        for v in &victims {
+            server.request_leave(v, &net).unwrap();
+            agents.remove(v);
+        }
+        server.request_join(HostId(12), &net, 99).unwrap();
+        let outcome = server.end_interval();
+        assert_eq!(outcome.departed, victims);
+        for w in outcome.welcomes.clone() {
+            agents.insert(w.id.clone(), UserAgent::from_welcome(w));
+        }
+
+        let delivered = server.deliver(&net, &outcome);
+        for (i, member) in server.mesh().members().iter().enumerate() {
+            let agent = agents.get_mut(&member.id).expect("agent per member");
+            agent.handle_rekey(outcome.interval, &delivered.per_member[i]);
+            assert_eq!(agent.group_key(), server.tree().group_key(), "{}", member.id);
+            assert_eq!(agent.interval(), 2);
+        }
+    }
+
+    #[test]
+    fn data_plane_round_trip_and_forward_secrecy() {
+        let (net, mut server, mut agents) = setup(9);
+        let mut rng = seeded_rng(1);
+
+        // A member sends sealed data: everyone can open it.
+        let sender = agents.values().next().unwrap().clone();
+        let sealed = sender.seal_data(b"state update", &mut rng).unwrap();
+        for agent in agents.values() {
+            assert_eq!(agent.open_data(&sealed).unwrap(), b"state update");
+        }
+
+        // One member leaves; after the interval the departed agent cannot
+        // open new traffic.
+        let victim = server.group().members()[0].id.clone();
+        server.request_leave(&victim, &net).unwrap();
+        let departed = agents.remove(&victim).unwrap();
+        let outcome = server.end_interval();
+        let delivered = server.deliver(&net, &outcome);
+        for (i, member) in server.mesh().members().iter().enumerate() {
+            agents
+                .get_mut(&member.id)
+                .unwrap()
+                .handle_rekey(outcome.interval, &delivered.per_member[i]);
+        }
+        let fresh = agents.values().next().unwrap().seal_data(b"post-leave", &mut rng).unwrap();
+        for agent in agents.values() {
+            assert_eq!(agent.open_data(&fresh).unwrap(), b"post-leave");
+        }
+        assert!(matches!(departed.open_data(&fresh), Err(AgentError::Open(_))));
+    }
+
+    /// A member that joins and leaves within the same interval must not
+    /// panic the server nor leak into the key tree.
+    #[test]
+    fn join_then_leave_within_one_interval_cancels() {
+        let (net, mut server, _) = setup(4);
+        let id = server.request_join(HostId(9), &net, 99).unwrap();
+        server.request_leave(&id, &net).unwrap();
+        let out = server.end_interval();
+        assert!(out.welcomes.iter().all(|w| w.id != id));
+        assert!(!server.tree().contains_user(&id));
+        assert_eq!(server.group().member(&id), None);
+        // The transient member's requests cancel; nothing to rekey.
+        assert_eq!(out.rekey.cost(), 0);
+    }
+
+    /// The opposite order — a leave followed by a join that reuses the
+    /// departed ID (forced here by a full ID space) — must keep both sides
+    /// of the batch: the leaver's keys change and the newcomer is welcomed.
+    #[test]
+    fn leave_then_rejoin_reusing_the_id() {
+        let mut rng = seeded_rng(0xF00);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let spec = IdSpec::new(2, 2).unwrap(); // 4 IDs total
+        let mut server = GroupServer::with_params(
+            &spec,
+            HostId(net.host_count() - 1),
+            2,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams::for_depth(2),
+            9,
+        );
+        for h in 0..4 {
+            server.request_join(HostId(h), &net, h as u64).unwrap();
+        }
+        server.end_interval();
+        let victim = server.group().members()[0].id.clone();
+        let old_group_key = server.tree().group_key().unwrap().clone();
+        server.request_leave(&victim, &net).unwrap();
+        let reused = server.request_join(HostId(7), &net, 99).unwrap();
+        assert_eq!(reused, victim, "a full ID space forces reuse");
+        let out = server.end_interval();
+        assert_eq!(out.departed, vec![victim.clone()]);
+        assert_eq!(out.welcomes.len(), 1);
+        assert_eq!(out.welcomes[0].id, victim);
+        assert!(out.rekey.cost() > 0);
+        assert_ne!(server.tree().group_key(), Some(&old_group_key));
+    }
+
+    #[test]
+    fn empty_interval_is_cheap() {
+        let (_, mut server, _) = setup(5);
+        let outcome = server.end_interval();
+        assert_eq!(outcome.rekey.cost(), 0);
+        assert!(outcome.welcomes.is_empty());
+        assert!(outcome.departed.is_empty());
+    }
+}

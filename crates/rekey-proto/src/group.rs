@@ -1,0 +1,412 @@
+//! Group membership lifecycle: joins with topology-aware ID assignment,
+//! leaves, and incremental neighbor-table maintenance.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use rekey_id::{IdSpec, IdTree, UserId};
+use rekey_net::{HostId, Micros, Network};
+use rekey_table::{
+    check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable,
+    PrimaryPolicy, ServerTable,
+};
+use rekey_tmesh::TmeshGroup;
+
+use crate::assign::{centralized_digits, probe_digits, server_complete, AssignParams, AssignStats, GroupView};
+
+/// Errors produced by group lifecycle operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The ID space is exhausted — no unique ID can be assigned.
+    IdSpaceFull,
+    /// A leave named a user that is not in the group.
+    NotMember(UserId),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::IdSpaceFull => write!(f, "user ID space is exhausted"),
+            GroupError::NotMember(u) => write!(f, "user {u} is not a group member"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// The result of one join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// The assigned user ID.
+    pub id: UserId,
+    /// Message-cost statistics of the assignment protocol.
+    pub stats: AssignStats,
+}
+
+/// A secure group: the key server plus its members, with every member's
+/// neighbor table maintained under churn (the simplified-Silk model the
+/// paper's simulations use, §4).
+///
+/// `Group` owns membership, ID assignment and tables; key management lives
+/// in `rekey_keytree` and is driven by the caller (see the protocol
+/// harnesses and examples).
+#[derive(Debug, Clone)]
+pub struct Group {
+    spec: IdSpec,
+    k: usize,
+    policy: PrimaryPolicy,
+    assign: AssignParams,
+    server_host: HostId,
+    members: Vec<Member>,
+    tables: Vec<NeighborTable>,
+    server_table: ServerTable,
+    id_tree: IdTree,
+    index: HashMap<UserId, usize>,
+}
+
+impl Group {
+    /// Creates an empty group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(
+        spec: &IdSpec,
+        server_host: HostId,
+        k: usize,
+        policy: PrimaryPolicy,
+        assign: AssignParams,
+    ) -> Group {
+        Group {
+            spec: *spec,
+            k,
+            policy,
+            assign,
+            server_host,
+            members: Vec::new(),
+            tables: Vec::new(),
+            server_table: ServerTable::new(spec, k),
+            id_tree: IdTree::new(spec),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The ID-space specification.
+    pub fn spec(&self) -> &IdSpec {
+        &self.spec
+    }
+
+    /// Current members, in join order.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` iff the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The key server's host.
+    pub fn server_host(&self) -> HostId {
+        self.server_host
+    }
+
+    /// The member with the given ID, if present.
+    pub fn member(&self, id: &UserId) -> Option<&Member> {
+        self.index.get(id).map(|&i| &self.members[i])
+    }
+
+    /// The ID tree of the current membership.
+    pub fn id_tree(&self) -> &IdTree {
+        &self.id_tree
+    }
+
+    /// The neighbor table of the member at index `i`.
+    pub fn table(&self, i: usize) -> &NeighborTable {
+        &self.tables[i]
+    }
+
+    /// Joins `host`: runs the ID assignment protocol of §3.1 against the
+    /// current membership, then installs the new member into every table.
+    ///
+    /// The first join receives the all-zero ID, as in §3.1: "If u is the
+    /// first join in the group, the key server assigns its user ID as D
+    /// digits of 0".
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::IdSpaceFull`] when no unique ID exists.
+    pub fn join(
+        &mut self,
+        host: HostId,
+        net: &impl Network,
+        now: Micros,
+    ) -> Result<JoinOutcome, GroupError> {
+        let (id, stats) = if self.members.is_empty() {
+            (UserId::new(&self.spec, vec![0; self.spec.depth()]).expect("zeros fit"), AssignStats::default())
+        } else {
+            // The key server hands the joiner the record of an existing
+            // user; we use the member with the smallest RTT the server
+            // knows of deterministically — any member works, the protocol
+            // corrects from there. We pick by host index for determinism.
+            let seed = (host.0) % self.members.len();
+            let index = &self.index;
+            let index_of = move |id: &UserId| index[id];
+            let view = GroupView {
+                spec: &self.spec,
+                members: &self.members,
+                tables: &self.tables,
+                index_of: &index_of,
+            };
+            let (digits, stats) = probe_digits(&view, &self.assign, host, seed, net);
+            let id = server_complete(&self.spec, &self.id_tree, &digits)
+                .ok_or(GroupError::IdSpaceFull)?;
+            (id, stats)
+        };
+        self.insert_member(Member { id: id.clone(), host, joined_at: now }, net);
+        Ok(JoinOutcome { id, stats })
+    }
+
+    /// Joins `host` using **centralized** ID assignment over network
+    /// coordinates (§5's GNP extension): the joiner probes only the
+    /// landmarks of `coords`; the server — which stores every member's
+    /// coordinate — determines the digits by computing over RTT estimates.
+    ///
+    /// `AssignStats::probes` counts the landmark probes;
+    /// `AssignStats::queries` is 0 (no user is queried).
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::IdSpaceFull`] when no unique ID exists.
+    pub fn join_centralized(
+        &mut self,
+        host: HostId,
+        net: &impl Network,
+        coords: &rekey_net::CoordinateSystem,
+        now: Micros,
+    ) -> Result<JoinOutcome, GroupError> {
+        let (id, stats) = if self.members.is_empty() {
+            (
+                UserId::new(&self.spec, vec![0; self.spec.depth()]).expect("zeros fit"),
+                AssignStats::default(),
+            )
+        } else {
+            let joiner_coord = coords.measure(host, net);
+            let estimate = |h: HostId| {
+                // The server holds each member's coordinate (measured when
+                // the member joined); estimation is a local computation.
+                joiner_coord.estimate_rtt(&coords.measure(h, net))
+            };
+            let (digits, _) =
+                centralized_digits(&self.spec, &self.assign, &self.members, &estimate);
+            let id = server_complete(&self.spec, &self.id_tree, &digits)
+                .ok_or(GroupError::IdSpaceFull)?;
+            let stats = AssignStats {
+                queries: 0,
+                probes: coords.probe_cost() as u64,
+                digits_probed: digits.len(),
+            };
+            (id, stats)
+        };
+        self.insert_member(Member { id: id.clone(), host, joined_at: now }, net);
+        Ok(JoinOutcome { id, stats })
+    }
+
+    /// Adds a member with a caller-chosen ID (for tests and ablations, e.g.
+    /// the random-ID ablation of §2.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is already taken.
+    pub fn join_with_id(&mut self, id: UserId, host: HostId, net: &impl Network, now: Micros) {
+        assert!(!self.index.contains_key(&id), "ID {id} already taken");
+        self.insert_member(Member { id, host, joined_at: now }, net);
+    }
+
+    fn insert_member(&mut self, member: Member, net: &impl Network) {
+        // Build the newcomer's table and insert it into everyone else's.
+        let table =
+            rekey_table::oracle::build_table(&self.spec, &member, &self.members, net, self.k, self.policy);
+        for (i, existing) in self.members.iter().enumerate() {
+            let rtt = net.rtt(existing.host, member.host);
+            self.tables[i].insert(NeighborRecord { member: member.clone(), rtt });
+        }
+        self.server_table.insert(NeighborRecord {
+            member: member.clone(),
+            rtt: net.rtt(self.server_host, member.host),
+        });
+        self.id_tree.insert(&member.id);
+        self.index.insert(member.id.clone(), self.members.len());
+        self.members.push(member);
+        self.tables.push(table);
+    }
+
+    /// Removes a member and repairs every table that referenced it, keeping
+    /// K-consistency (Definition 3).
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::NotMember`] if `id` is not in the group.
+    pub fn leave(&mut self, id: &UserId, net: &impl Network) -> Result<Member, GroupError> {
+        let idx = *self.index.get(id).ok_or_else(|| GroupError::NotMember(id.clone()))?;
+        let departed = self.members.remove(idx);
+        self.tables.remove(idx);
+        self.index.remove(id);
+        for (i, m) in self.members.iter().enumerate().skip(idx) {
+            self.index.insert(m.id.clone(), i);
+        }
+        self.id_tree.remove(id);
+        self.server_table.remove(id);
+        // Remove from all tables, refilling entries from global knowledge
+        // (the role Silk's failure-recovery protocol plays in the paper).
+        for i in 0..self.members.len() {
+            let owner = self.members[i].clone();
+            if !self.tables[i].remove(id) {
+                continue;
+            }
+            let Some((row, col)) = self.tables[i].slot_for(id) else { continue };
+            let candidates = self.id_tree.ij_subtree_users(&owner.id, row, col);
+            for cand in candidates {
+                let m = self.members[self.index[&cand]].clone();
+                let rtt = net.rtt(owner.host, m.host);
+                self.tables[i].insert(NeighborRecord { member: m, rtt });
+            }
+        }
+        // Refill the server entry for the departed user's digit.
+        for m in self.id_tree.ij_subtree_users(&departed.id, 0, departed.id.digit(0)) {
+            let member = self.members[self.index[&m]].clone();
+            let rtt = net.rtt(self.server_host, member.host);
+            self.server_table.insert(NeighborRecord { member, rtt });
+        }
+        Ok(departed)
+    }
+
+    /// Checks K-consistency of all current tables (Definition 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(&self) -> Result<(), ConsistencyViolation> {
+        check_consistency(&self.spec, &self.members, &self.tables, self.k)
+    }
+
+    /// Snapshots the group as a [`TmeshGroup`] ready to run multicast
+    /// sessions.
+    pub fn tmesh(&self) -> TmeshGroup {
+        TmeshGroup::from_tables(
+            &self.spec,
+            self.members.clone(),
+            self.tables.iter().cloned().map(Rc::new).collect(),
+            Rc::new(self.server_table.clone()),
+            self.server_host,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rekey_net::{MatrixNetwork, PlanetLabParams};
+
+    fn setup(n: usize, seed: u64) -> (Group, MatrixNetwork) {
+        let spec = IdSpec::new(3, 4).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let mut group = Group::new(
+            &spec,
+            HostId(net.host_count() - 1),
+            2,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams::for_depth(3),
+        );
+        for h in 0..n {
+            group.join(HostId(h), &net, h as u64).unwrap();
+        }
+        (group, net)
+    }
+
+    #[test]
+    fn first_join_gets_all_zero_id() {
+        let (group, _) = setup(1, 1);
+        assert_eq!(group.members()[0].id.digits(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn joins_yield_unique_ids_and_consistent_tables() {
+        let (group, _) = setup(14, 2);
+        assert_eq!(group.len(), 14);
+        let mut ids: Vec<_> = group.members().iter().map(|m| m.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 14, "IDs must be unique");
+        group.check().expect("K-consistent after joins");
+    }
+
+    #[test]
+    fn leaves_repair_tables() {
+        let (mut group, net) = setup(14, 3);
+        let victims: Vec<UserId> =
+            group.members().iter().step_by(3).map(|m| m.id.clone()).collect();
+        for v in &victims {
+            group.leave(v, &net).unwrap();
+            group.check().expect("K-consistent after each leave");
+        }
+        assert_eq!(group.len(), 14 - victims.len());
+        let missing = victims[0].clone();
+        assert_eq!(group.leave(&missing, &net), Err(GroupError::NotMember(missing)));
+    }
+
+    #[test]
+    fn colocated_hosts_share_subtrees() {
+        // Two hosts on the same site should end up sharing a long prefix
+        // when thresholds allow.
+        let spec = IdSpec::new(3, 4).unwrap();
+        let rtt = vec![
+            vec![0, 1, 500_000, 500_000],
+            vec![1, 0, 500_000, 500_000],
+            vec![500_000, 500_000, 0, 1],
+            vec![500_000, 500_000, 1, 0],
+        ];
+        let net = MatrixNetwork::from_matrix(rtt, vec![0; 4]);
+        let mut group = Group::new(
+            &spec,
+            HostId(3),
+            2,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams { p: 10, f_percentile: 80, thresholds: vec![150_000, 30_000] },
+        );
+        group.join(HostId(0), &net, 0).unwrap();
+        group.join(HostId(2), &net, 1).unwrap();
+        group.join(HostId(1), &net, 2).unwrap();
+        let id0 = &group.members()[0].id;
+        let id1 = &group.member(&group.members()[2].id.clone()).unwrap().id;
+        let id2 = &group.members()[1].id;
+        // Host 1 is 1 µs from host 0 → same level-2 subtree (2 shared digits).
+        assert_eq!(id0.common_prefix_len(id1), 2, "{id0} vs {id1}");
+        // Host 2 is 500 ms away → different level-1 subtree.
+        assert_eq!(id0.common_prefix_len(id2), 0, "{id0} vs {id2}");
+    }
+
+    #[test]
+    fn tmesh_snapshot_multicasts_exactly_once() {
+        let (group, net) = setup(12, 4);
+        let mesh = group.tmesh();
+        let outcome = mesh.multicast(&net, rekey_tmesh::Source::Server);
+        assert!(outcome.exactly_once().is_ok());
+    }
+
+    #[test]
+    fn join_stats_track_messages() {
+        let (mut group, net) = setup(10, 5);
+        let out = group.join(HostId(12), &net, 99).unwrap();
+        assert!(out.stats.queries > 0);
+        assert!(out.stats.probes > 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Group rekeying protocols: topology-aware user ID assignment, membership
+//! lifecycle, rekey message splitting, and the seven rekey transport
+//! protocols of Table 2 (Zhang, Lam & Liu, ICDCS 2005, §2.5, §3, §4.3).
+//!
+//! * [`assign`] / [`AssignParams`] — the four-step ID assignment protocol
+//!   of §3.1 (`P = 10`, `F = 80`-percentile, thresholds
+//!   `R = (150, 30, 9, 3)` ms) including the footnote-3 uniqueness
+//!   fallback;
+//! * [`Group`] — the key server's view: membership, ID assignment, and
+//!   K-consistent neighbor-table maintenance under churn;
+//! * [`split`] — `REKEY-MESSAGE-SPLIT` (Fig. 5) over T-mesh, plus the
+//!   cluster-heuristic delivery of Appendix B;
+//! * [`protocols`] — NICE- and IP-multicast-based baselines and the
+//!   [`RekeyProtocol`] matrix, producing the per-user / per-link
+//!   encryption counts of Fig. 13;
+//! * [`concurrent`] — rekey and data transport sharing bandwidth-limited
+//!   access links, measuring the data-latency inflation an unsplit rekey
+//!   burst causes (the §1 motivation, quantified).
+//!
+//! ```
+//! use rekey_id::IdSpec;
+//! use rekey_net::{HostId, MatrixNetwork, PlanetLabParams};
+//! use rekey_proto::{AssignParams, Group};
+//! use rekey_table::PrimaryPolicy;
+//! # use rand::SeedableRng;
+//!
+//! let spec = IdSpec::new(3, 4)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+//! let mut group = Group::new(
+//!     &spec,
+//!     HostId(15),
+//!     4,
+//!     PrimaryPolicy::SmallestRtt,
+//!     AssignParams::for_depth(3),
+//! );
+//! for h in 0..8 {
+//!     group.join(HostId(h), &net, h as u64)?;
+//! }
+//! group.check()?; // K-consistent tables (Definition 3)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod assign;
+pub mod concurrent;
+pub mod distributed;
+mod facade;
+mod group;
+pub mod protocols;
+mod recovery;
+pub mod split;
+
+pub use assign::{AssignParams, AssignStats};
+pub use facade::{
+    AgentError, DeliveredRekey, GroupServer, IntervalOutcome, UserAgent, WelcomePacket,
+};
+pub use group::{Group, GroupError, JoinOutcome};
+pub use protocols::{ipmc_rekey_transport, nice_rekey_transport, RekeyProtocol};
+pub use recovery::{lossy_rekey_transport, LossyReport};
+pub use split::{cluster_rekey_transport, split_for_neighbor, tmesh_rekey_transport, BandwidthReport};

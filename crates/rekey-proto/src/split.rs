@@ -1,0 +1,227 @@
+//! Rekey transport over T-mesh with the `REKEY-MESSAGE-SPLIT` routine
+//! (Fig. 5) and the cluster-heuristic delivery of Appendix B.
+//!
+//! The splitting rule: the copy composed for the `(s, j)`-primary neighbor
+//! `w` contains encryption `e` iff `e.ID` is a prefix of `w.ID[0 : s]` or
+//! `w.ID[0 : s]` is a prefix of `e.ID` — in this crate's indexing, iff
+//! `e.id().is_related(&w.prefix(s + 1))`. Theorem 2 proves this keeps
+//! exactly the encryptions needed by `w` or its downstream users.
+
+use std::collections::VecDeque;
+
+use rekey_crypto::Encryption;
+use rekey_id::IdPrefix;
+use rekey_net::{HostId, LinkLoad, Network};
+use rekey_tmesh::forward::{server_next_hops, user_next_hops};
+use rekey_tmesh::TmeshGroup;
+
+/// Per-member and per-link bandwidth accounting of one rekey transport
+/// session (the Fig. 13 metrics).
+#[derive(Debug, Clone)]
+pub struct BandwidthReport {
+    /// Encryptions received per member (by member index).
+    pub received: Vec<u64>,
+    /// Encryptions forwarded per member.
+    pub forwarded: Vec<u64>,
+    /// Encryptions traversing each physical link (`None` on link-less
+    /// substrates).
+    pub link_load: Option<LinkLoad>,
+    /// When collected: the exact encryption indices received per member
+    /// (used to verify Theorem 2 / Corollary 1 in tests).
+    pub received_sets: Option<Vec<Vec<usize>>>,
+}
+
+impl BandwidthReport {
+    fn new(members: usize, net: &impl Network, detail: bool) -> BandwidthReport {
+        BandwidthReport {
+            received: vec![0; members],
+            forwarded: vec![0; members],
+            link_load: (net.link_count() > 0).then(|| LinkLoad::new(net.link_count())),
+            received_sets: detail.then(|| vec![Vec::new(); members]),
+        }
+    }
+
+    fn account_link(&mut self, net: &impl Network, from: HostId, to: HostId, units: u64) {
+        if units == 0 {
+            return;
+        }
+        if let Some(load) = self.link_load.as_mut() {
+            if let Some(path) = net.path_links(from, to) {
+                load.add_path(&path, units);
+            }
+        }
+    }
+}
+
+/// Which encryptions of `message` belong in the copy composed for the
+/// `(s, j)`-primary neighbor `w` — the loop body of `REKEY-MESSAGE-SPLIT`
+/// (Fig. 5).
+pub fn split_for_neighbor(message: &[usize], all: &[Encryption], w_prefix: &IdPrefix) -> Vec<usize> {
+    message.iter().copied().filter(|&e| all[e].id().is_related(w_prefix)).collect()
+}
+
+/// Runs one rekey transport session over T-mesh (protocols `P1`/`P2` of
+/// Table 2): the key server multicasts `message`; with `split` the
+/// `REKEY-MESSAGE-SPLIT` routine composes a separate copy per next hop,
+/// otherwise every copy carries the whole message.
+///
+/// Set `detail` to also record exactly which encryptions each member
+/// received (for correctness tests).
+pub fn tmesh_rekey_transport(
+    group: &TmeshGroup,
+    net: &impl Network,
+    message: &[Encryption],
+    split: bool,
+    detail: bool,
+) -> BandwidthReport {
+    let n = group.members().len();
+    let mut report = BandwidthReport::new(n, net, detail);
+    let full: Vec<usize> = (0..message.len()).collect();
+    let index = |id: &rekey_id::UserId| {
+        group
+            .members()
+            .iter()
+            .position(|m| &m.id == id)
+            .expect("neighbor is a member")
+    };
+
+    let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
+    for hop in server_next_hops(group.server_table()) {
+        let to = index(&hop.neighbor.member.id);
+        let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+        let subset =
+            if split { split_for_neighbor(&full, message, &prefix) } else { full.clone() };
+        report.account_link(net, group.server_host(), group.members()[to].host, subset.len() as u64);
+        queue.push_back((to, hop.forward_level, subset));
+    }
+
+    while let Some((member, level, msg)) = queue.pop_front() {
+        report.received[member] += msg.len() as u64;
+        if let Some(sets) = report.received_sets.as_mut() {
+            sets[member].extend(msg.iter().copied());
+        }
+        for hop in user_next_hops(group.table(member), level) {
+            let to = index(&hop.neighbor.member.id);
+            let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+            let subset =
+                if split { split_for_neighbor(&msg, message, &prefix) } else { msg.clone() };
+            report.forwarded[member] += subset.len() as u64;
+            report.account_link(
+                net,
+                group.members()[member].host,
+                group.members()[to].host,
+                subset.len() as u64,
+            );
+            queue.push_back((to, hop.forward_level, subset));
+        }
+    }
+    report
+}
+
+/// Runs one rekey transport session under the cluster rekeying heuristic
+/// (protocols `P3`/`P4` of Table 2, Appendix B):
+///
+/// * the multicast proceeds as usual for forwarding levels `< D − 1`, so
+///   exactly one member per bottom cluster receives the message (the
+///   cluster leader when tables use
+///   [`rekey_table::PrimaryPolicy::EarliestJoinAtBottom`]);
+/// * a non-leader receiver forwards the message to its cluster leader;
+/// * the leader extracts the new group key and unicasts one
+///   pairwise-encrypted copy (counted as one encryption) to each other
+///   cluster member.
+///
+/// `is_leader(i)` tells whether member `i` currently leads its cluster and
+/// `cluster_of(i)` lists the member indices of `i`'s cluster.
+pub fn cluster_rekey_transport(
+    group: &TmeshGroup,
+    net: &impl Network,
+    message: &[Encryption],
+    split: bool,
+    is_leader: &dyn Fn(usize) -> bool,
+    cluster_of: &dyn Fn(usize) -> Vec<usize>,
+) -> BandwidthReport {
+    let n = group.members().len();
+    let depth = group.spec().depth();
+    let mut report = BandwidthReport::new(n, net, false);
+    let full: Vec<usize> = (0..message.len()).collect();
+    let index = |id: &rekey_id::UserId| {
+        group
+            .members()
+            .iter()
+            .position(|m| &m.id == id)
+            .expect("neighbor is a member")
+    };
+
+    // The leader (or designated receiver) fans the group key out to its
+    // cluster over pairwise keys.
+    let deliver_to_cluster = |report: &mut BandwidthReport, receiver: usize| {
+        let mut leader = receiver;
+        if !is_leader(receiver) {
+            // Forward the whole received copy to the cluster leader.
+            let peers = cluster_of(receiver);
+            if let Some(&l) = peers.iter().find(|&&m| is_leader(m)) {
+                report.forwarded[receiver] += report.received[receiver];
+                let units = report.received[receiver];
+                report.account_link(
+                    net,
+                    group.members()[receiver].host,
+                    group.members()[l].host,
+                    units,
+                );
+                report.received[l] += units;
+                leader = l;
+            }
+        }
+        for peer in cluster_of(leader) {
+            if peer == leader {
+                continue;
+            }
+            // One pairwise-wrapped group key per member.
+            if report.received[peer] == 0 {
+                report.forwarded[leader] += 1;
+                report.received[peer] += 1;
+                report.account_link(
+                    net,
+                    group.members()[leader].host,
+                    group.members()[peer].host,
+                    1,
+                );
+            }
+        }
+    };
+
+    let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
+    for hop in server_next_hops(group.server_table()) {
+        let to = index(&hop.neighbor.member.id);
+        let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+        let subset =
+            if split { split_for_neighbor(&full, message, &prefix) } else { full.clone() };
+        report.account_link(net, group.server_host(), group.members()[to].host, subset.len() as u64);
+        queue.push_back((to, hop.forward_level, subset));
+    }
+
+    while let Some((member, level, msg)) = queue.pop_front() {
+        report.received[member] += msg.len() as u64;
+        // Forward only at levels < D − 1 (Appendix B): the bottom row is
+        // replaced by the leader's pairwise unicasts.
+        for hop in user_next_hops(group.table(member), level) {
+            if hop.row + 1 >= depth {
+                continue;
+            }
+            let to = index(&hop.neighbor.member.id);
+            let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+            let subset =
+                if split { split_for_neighbor(&msg, message, &prefix) } else { msg.clone() };
+            report.forwarded[member] += subset.len() as u64;
+            report.account_link(
+                net,
+                group.members()[member].host,
+                group.members()[to].host,
+                subset.len() as u64,
+            );
+            queue.push_back((to, hop.forward_level, subset));
+        }
+        deliver_to_cluster(&mut report, member);
+    }
+    report
+}

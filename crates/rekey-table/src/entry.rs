@@ -1,0 +1,168 @@
+//! Neighbor records and single table entries.
+
+use rekey_id::UserId;
+use rekey_net::{HostId, Micros};
+
+/// A group member as seen by the table layer: its ID, its network host, and
+/// the time the key server assigned its ID (the paper's *joining time*,
+/// Appendix B, used by the cluster rekeying heuristic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// The member's user ID.
+    pub id: UserId,
+    /// The member's network host.
+    pub host: HostId,
+    /// Joining time per the key server's clock, microseconds.
+    pub joined_at: Micros,
+}
+
+/// One neighbor stored in a table entry: a member's *user record* plus the
+/// performance measure the paper prescribes for rekey transport — "the RTT
+/// between the neighbor and the owner of the table" (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborRecord {
+    /// The neighbor's user record.
+    pub member: Member,
+    /// RTT between this neighbor and the table owner, microseconds.
+    pub rtt: Micros,
+}
+
+/// A single `(i, j)`-entry: up to `K` neighbors of the owner's `(i, j)`-ID
+/// subtree, "arranged in increasing order of their RTTs" (§2.2).
+///
+/// The first neighbor is the entry's **primary** neighbor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableEntry {
+    neighbors: Vec<NeighborRecord>,
+}
+
+impl TableEntry {
+    /// An empty entry.
+    pub fn new() -> TableEntry {
+        TableEntry::default()
+    }
+
+    /// Inserts a neighbor keeping RTT order, evicting the worst neighbor if
+    /// the entry already holds `capacity` records. Returns `false` (and
+    /// leaves the entry unchanged) if the neighbor is already present or if
+    /// it would rank below a full entry's worst record.
+    pub fn insert(&mut self, record: NeighborRecord, capacity: usize) -> bool {
+        if self.neighbors.iter().any(|n| n.member.id == record.member.id) {
+            return false;
+        }
+        let pos = self.neighbors.partition_point(|n| n.rtt <= record.rtt);
+        if pos >= capacity {
+            return false;
+        }
+        self.neighbors.insert(pos, record);
+        self.neighbors.truncate(capacity);
+        true
+    }
+
+    /// Removes the neighbor with the given ID; returns `true` if present.
+    pub fn remove(&mut self, id: &UserId) -> bool {
+        let before = self.neighbors.len();
+        self.neighbors.retain(|n| &n.member.id != id);
+        self.neighbors.len() != before
+    }
+
+    /// The primary neighbor: the stored record with the smallest RTT.
+    pub fn primary(&self) -> Option<&NeighborRecord> {
+        self.neighbors.first()
+    }
+
+    /// The stored neighbor with the earliest joining time (used as primary
+    /// at row `D − 2` under the cluster rekeying heuristic, Appendix B).
+    pub fn earliest_joined(&self) -> Option<&NeighborRecord> {
+        self.neighbors.iter().min_by_key(|n| (n.member.joined_at, n.member.id.clone()))
+    }
+
+    /// Number of stored neighbors.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// `true` iff no neighbors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Iterates over neighbors in increasing RTT order.
+    pub fn iter(&self) -> impl Iterator<Item = &NeighborRecord> {
+        self.neighbors.iter()
+    }
+
+    /// `true` iff a neighbor with this ID is stored.
+    pub fn contains(&self, id: &UserId) -> bool {
+        self.neighbors.iter().any(|n| &n.member.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekey_id::IdSpec;
+
+    fn rec(digit: u16, rtt: Micros, joined_at: Micros) -> NeighborRecord {
+        let spec = IdSpec::new(2, 8).unwrap();
+        NeighborRecord {
+            member: Member {
+                id: UserId::new(&spec, vec![digit, 0]).unwrap(),
+                host: HostId(digit as usize),
+                joined_at,
+            },
+            rtt,
+        }
+    }
+
+    #[test]
+    fn keeps_rtt_order_and_capacity() {
+        let mut e = TableEntry::new();
+        assert!(e.insert(rec(1, 30, 0), 2));
+        assert!(e.insert(rec(2, 10, 0), 2));
+        assert_eq!(e.primary().unwrap().rtt, 10);
+        // Full entry: a better record evicts the worst…
+        assert!(e.insert(rec(3, 20, 0), 2));
+        assert_eq!(e.len(), 2);
+        assert!(!e.contains(&rec(1, 0, 0).member.id));
+        // …and a worse record is rejected.
+        assert!(!e.insert(rec(4, 99, 0), 2));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut e = TableEntry::new();
+        assert!(e.insert(rec(1, 30, 0), 4));
+        assert!(!e.insert(rec(1, 20, 0), 4));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut e = TableEntry::new();
+        e.insert(rec(1, 30, 0), 4);
+        e.insert(rec(2, 10, 0), 4);
+        assert!(e.remove(&rec(1, 0, 0).member.id));
+        assert!(!e.remove(&rec(1, 0, 0).member.id));
+        assert_eq!(e.primary().unwrap().member.host, HostId(2));
+    }
+
+    #[test]
+    fn earliest_joined_ignores_rtt() {
+        let mut e = TableEntry::new();
+        e.insert(rec(1, 5, 900), 4);
+        e.insert(rec(2, 50, 100), 4);
+        assert_eq!(e.primary().unwrap().member.joined_at, 900);
+        assert_eq!(e.earliest_joined().unwrap().member.joined_at, 100);
+    }
+
+    #[test]
+    fn ties_insert_stably() {
+        let mut e = TableEntry::new();
+        e.insert(rec(1, 10, 0), 4);
+        e.insert(rec(2, 10, 0), 4);
+        // Equal RTT: first inserted stays primary.
+        assert_eq!(e.primary().unwrap().member.host, HostId(1));
+    }
+}

@@ -1,0 +1,54 @@
+//! Hypercube-routing neighbor tables and K-consistency (Zhang, Lam & Liu,
+//! ICDCS 2005, §2.2).
+//!
+//! Each user maintains a table of `D` rows × `B` entries; the `(i, j)`-entry
+//! holds up to `K` members of the user's `(i, j)`-ID subtree sorted by RTT,
+//! the first being the entry's *primary* neighbor. The tables embed
+//! multicast trees rooted at the key server and at every user — the T-mesh
+//! multicast scheme (`rekey-tmesh`) is driven entirely by these tables.
+//!
+//! The correctness invariant is **K-consistency** (Definition 3), checked by
+//! [`check_consistency`]; 1-consistency is what Theorem 1 (exactly-once
+//! delivery) requires. Tables can be built two ways:
+//!
+//! * [`oracle`] — global-knowledge construction, equivalent to a converged
+//!   Silk join-protocol run (the paper's own simulations simplify Silk the
+//!   same way, §4);
+//! * incrementally via [`NeighborTable::insert`]/[`NeighborTable::remove`],
+//!   which the join/leave protocols in `rekey-proto` use.
+//!
+//! ```
+//! use rekey_id::{IdSpec, UserId};
+//! use rekey_net::{MatrixNetwork, PlanetLabParams, HostId};
+//! use rekey_table::{oracle, Member, PrimaryPolicy, check_consistency};
+//!
+//! let spec = IdSpec::new(2, 4)?;
+//! let mut rng = rekey_sim_compat_rng();
+//! # fn rekey_sim_compat_rng() -> impl rand::Rng {
+//! #     use rand::SeedableRng; rand::rngs::StdRng::seed_from_u64(5)
+//! # }
+//! let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+//! let members: Vec<Member> = [[0u16, 1], [2, 3], [2, 0]]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(h, d)| Member {
+//!         id: UserId::new(&spec, d.to_vec()).unwrap(),
+//!         host: HostId(h),
+//!         joined_at: 0,
+//!     })
+//!     .collect();
+//! let tables = oracle::build_all_tables(&spec, &members, &net, 4, PrimaryPolicy::SmallestRtt);
+//! check_consistency(&spec, &members, &tables, 4)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod consistency;
+mod entry;
+pub mod oracle;
+mod server;
+mod table;
+
+pub use consistency::{check_consistency, ConsistencyViolation};
+pub use entry::{Member, NeighborRecord, TableEntry};
+pub use server::ServerTable;
+pub use table::{NeighborTable, PrimaryPolicy};

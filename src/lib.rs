@@ -1,0 +1,45 @@
+//! Umbrella crate re-exporting the whole group-rekeying workspace.
+//!
+//! This is a reproduction of *"Efficient Group Rekeying Using
+//! Application-Layer Multicast"* (Zhang, Lam & Liu, IEEE ICDCS 2005). See the
+//! individual crates for the system pieces:
+//!
+//! * [`id`] — user IDs, prefixes and the ID tree (§2.1).
+//! * [`crypto`] — key material and ChaCha20 key-wrap encryptions.
+//! * [`net`] — network substrates (transit-stub topologies, PlanetLab-style
+//!   RTT matrices, routing, link stress).
+//! * [`sim`] — the discrete event simulation engine.
+//! * [`table`] — hypercube-routing neighbor tables and K-consistency (§2.2).
+//! * [`tmesh`] — the T-mesh multicast scheme (§2.3).
+//! * [`keytree`] — the modified and original key trees and batch rekeying
+//!   (§2.4, §4.2, Appendix B).
+//! * [`nice`] — the NICE ALM baseline.
+//! * [`ipmc`] — the DVMRP-style IP multicast baseline.
+//! * [`proto`] — user ID assignment, rekey message splitting and the seven
+//!   rekey transport protocols (§3, §2.5, §4.3).
+//!
+//! # Notation (the paper's Table 1)
+//!
+//! | Paper symbol | Meaning | Here |
+//! |---|---|---|
+//! | `B` | base of each digit in a user ID | [`id::IdSpec::base`] |
+//! | `D` | number of digits in a user ID | [`id::IdSpec::depth`] |
+//! | `F`-percentile | percentile of measured RTTs used by a joining user | [`proto::AssignParams::f_percentile`] |
+//! | `K` | maximum neighbors per table entry | [`table::NeighborTable::k`] |
+//! | `N` | total number of users in a group | [`proto::Group::len`] |
+//! | `P` | users collected per `(i, j)`-ID subtree | [`proto::AssignParams::p`] |
+//! | `R_i` | RTT thresholds, `i = 1 … D−1` | [`proto::AssignParams::thresholds`] |
+//! | `u.ID` | user `u`'s ID | [`id::UserId`] |
+//! | `u.ID[i]` | `i`-th digit of `u.ID` | [`id::UserId::digit`] |
+//! | `u.ID[0 : i]` | first `i + 1` digits of `u.ID` | `u.prefix(i + 1)` ([`id::UserId::prefix`]) |
+
+pub use rekey_crypto as crypto;
+pub use rekey_id as id;
+pub use rekey_ipmc as ipmc;
+pub use rekey_keytree as keytree;
+pub use rekey_net as net;
+pub use rekey_nice as nice;
+pub use rekey_proto as proto;
+pub use rekey_sim as sim;
+pub use rekey_table as table;
+pub use rekey_tmesh as tmesh;

@@ -1,0 +1,117 @@
+//! Reproducibility tests: every simulation in the workspace is
+//! deterministic under a fixed seed — same topology, same IDs, same
+//! multicast trees, same rekey messages, same experiment outputs.
+//! This is a stated design property (DESIGN.md §5) that the figure
+//! regeneration relies on.
+
+use group_rekeying::id::{IdSpec, UserId};
+use group_rekeying::keytree::ModifiedKeyTree;
+use group_rekeying::net::gtitm::{generate, GtItmParams};
+use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams};
+use group_rekeying::proto::distributed::run_distributed_joins;
+use group_rekeying::proto::{tmesh_rekey_transport, AssignParams, Group};
+use group_rekeying::sim::seeded_rng;
+use group_rekeying::table::PrimaryPolicy;
+use group_rekeying::tmesh::Source;
+
+fn grow(seed: u64) -> (MatrixNetwork, Group) {
+    let mut rng = seeded_rng(seed);
+    let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+    let spec = IdSpec::new(3, 8).unwrap();
+    let mut group = Group::new(
+        &spec,
+        HostId(net.host_count() - 1),
+        2,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::for_depth(3),
+    );
+    for h in 0..12 {
+        group.join(HostId(h), &net, h as u64).unwrap();
+    }
+    (net, group)
+}
+
+#[test]
+fn topology_generation_is_deterministic() {
+    let a = generate(&GtItmParams::small(), &mut seeded_rng(5));
+    let b = generate(&GtItmParams::small(), &mut seeded_rng(5));
+    assert_eq!(a.graph().router_count(), b.graph().router_count());
+    assert_eq!(a.graph().link_count(), b.graph().link_count());
+    for l in 0..a.graph().link_count() {
+        let id = group_rekeying::net::LinkId(l);
+        assert_eq!(a.graph().link(id), b.graph().link(id));
+    }
+    let c = generate(&GtItmParams::small(), &mut seeded_rng(6));
+    assert_ne!(
+        (a.graph().router_count(), a.graph().link_count())
+            == (c.graph().router_count(), c.graph().link_count())
+            && (0..a.graph().link_count()).all(|l| {
+                a.graph().link(group_rekeying::net::LinkId(l))
+                    == c.graph().link(group_rekeying::net::LinkId(l))
+            }),
+        true,
+        "different seeds must differ somewhere"
+    );
+}
+
+#[test]
+fn rtt_matrices_are_deterministic() {
+    let a = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut seeded_rng(9));
+    let b = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut seeded_rng(9));
+    for x in 0..a.host_count() {
+        for y in 0..a.host_count() {
+            assert_eq!(a.rtt(HostId(x), HostId(y)), b.rtt(HostId(x), HostId(y)));
+        }
+    }
+}
+
+#[test]
+fn group_growth_and_multicast_are_deterministic() {
+    let (net_a, group_a) = grow(77);
+    let (net_b, group_b) = grow(77);
+    let ids_a: Vec<UserId> = group_a.members().iter().map(|m| m.id.clone()).collect();
+    let ids_b: Vec<UserId> = group_b.members().iter().map(|m| m.id.clone()).collect();
+    assert_eq!(ids_a, ids_b, "ID assignment is deterministic");
+
+    let out_a = group_a.tmesh().multicast(&net_a, Source::Server);
+    let out_b = group_b.tmesh().multicast(&net_b, Source::Server);
+    assert_eq!(out_a.transmissions(), out_b.transmissions());
+    assert_eq!(out_a.finished_at(), out_b.finished_at());
+}
+
+#[test]
+fn rekey_messages_and_split_transport_are_deterministic() {
+    let run = |seed: u64| -> (Vec<String>, Vec<u64>) {
+        let (net, mut group) = grow(seed);
+        let mut rng = seeded_rng(seed ^ 0xAAAA);
+        let ids: Vec<UserId> = group.members().iter().map(|m| m.id.clone()).collect();
+        let mut tree = ModifiedKeyTree::new(group.spec());
+        tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+        let leaver = ids[5].clone();
+        group.leave(&leaver, &net).unwrap();
+        let out = tree.batch_rekey(&[], &[leaver], &mut rng).unwrap();
+        let enc_ids: Vec<String> = out.encryptions.iter().map(|e| e.id().to_string()).collect();
+        let report = tmesh_rekey_transport(&group.tmesh(), &net, &out.encryptions, true, false);
+        (enc_ids, report.received)
+    };
+    assert_eq!(run(33), run(33));
+    // Different seed ⇒ different topology ⇒ (almost surely) different IDs.
+    assert_ne!(run(33).0, run(34).0);
+}
+
+#[test]
+fn distributed_join_protocol_is_deterministic() {
+    let run = || {
+        let mut rng = seeded_rng(1234);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let spec = IdSpec::new(3, 8).unwrap();
+        let times: Vec<u64> = (0..10).map(|i| i * 1_500).collect(); // concurrent
+        run_distributed_joins(&spec, &AssignParams::for_depth(3), 2, &net, 10, &times)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.members, b.members);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.finished_at, b.finished_at);
+}
