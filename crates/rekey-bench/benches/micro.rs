@@ -65,12 +65,25 @@ fn bench_tables(c: &mut Criterion) {
 
     g.bench_function("oracle_build_one_table_200", |b| {
         b.iter(|| {
-            oracle::build_table(&spec, &members[0], &members, &net, 4, PrimaryPolicy::SmallestRtt)
+            oracle::build_table(
+                &spec,
+                &members[0],
+                &members,
+                &net,
+                4,
+                PrimaryPolicy::SmallestRtt,
+            )
         })
     });
 
-    let table =
-        oracle::build_table(&spec, &members[0], &members, &net, 4, PrimaryPolicy::SmallestRtt);
+    let table = oracle::build_table(
+        &spec,
+        &members[0],
+        &members,
+        &net,
+        4,
+        PrimaryPolicy::SmallestRtt,
+    );
     g.bench_function("neighbor_insert_remove", |b| {
         let extra = Member {
             id: UserId::from_index(&spec, 999_999_999),
@@ -80,7 +93,10 @@ fn bench_tables(c: &mut Criterion) {
         b.iter_batched(
             || table.clone(),
             |mut t| {
-                t.insert(NeighborRecord { member: extra.clone(), rtt: 1 });
+                t.insert(NeighborRecord {
+                    member: extra.clone(),
+                    rtt: 1,
+                });
                 t.remove(&extra.id);
             },
             BatchSize::SmallInput,
@@ -106,8 +122,10 @@ fn bench_split(c: &mut Criterion) {
         })
         .collect();
     let root = Key::random(IdPrefix::root(), &mut r);
-    let message: Vec<Encryption> =
-        keys.iter().map(|k| Encryption::seal(k, &root, &mut r)).collect();
+    let message: Vec<Encryption> = keys
+        .iter()
+        .map(|k| Encryption::seal(k, &root, &mut r))
+        .collect();
     let indices: Vec<usize> = (0..message.len()).collect();
     let target = UserId::from_index(&spec, 123_456).prefix(2);
 

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use rekey_id::{IdSpec, UserId};
 use rekey_keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree, OriginalKeyTree};
 use rekey_net::{HostId, MatrixNetwork, PlanetLabParams};
-use rekey_proto::tmesh_rekey_transport;
+use rekey_proto::{tmesh_rekey_transport, TransportOptions};
 use rekey_table::{Member, PrimaryPolicy};
 use rekey_tmesh::{Source, TmeshGroup};
 
@@ -79,7 +79,11 @@ fn build_mesh(users: usize, r: &mut impl Rng) -> (MatrixNetwork, TmeshGroup, Vec
     let members: Vec<Member> = ids
         .iter()
         .enumerate()
-        .map(|(i, id)| Member { id: id.clone(), host: HostId(i % (users / 2)), joined_at: i as u64 })
+        .map(|(i, id)| Member {
+            id: id.clone(),
+            host: HostId(i % (users / 2)),
+            joined_at: i as u64,
+        })
         .collect();
     let server = HostId(users / 2 + 1);
     let mesh = TmeshGroup::build(&spec, members, server, &net, 4, PrimaryPolicy::SmallestRtt);
@@ -93,9 +97,11 @@ fn bench_sessions(c: &mut Criterion) {
         let mut r = rng();
         let (net, mesh, _) = build_mesh(users, &mut r);
         g.throughput(Throughput::Elements(users as u64));
-        g.bench_with_input(BenchmarkId::new("server_multicast", users), &users, |b, _| {
-            b.iter(|| mesh.multicast(&net, Source::Server))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("server_multicast", users),
+            &users,
+            |b, _| b.iter(|| mesh.multicast(&net, Source::Server)),
+        );
     }
     g.finish();
 }
@@ -112,10 +118,10 @@ fn bench_split_transport(c: &mut Criterion) {
     let out = tree.batch_rekey(&[], &ids[..32], &mut r).unwrap();
     g.throughput(Throughput::Elements(out.cost() as u64));
     g.bench_function("with_split", |b| {
-        b.iter(|| tmesh_rekey_transport(&mesh, &net, &out.encryptions, true, false))
+        b.iter(|| tmesh_rekey_transport(&mesh, &net, &out.encryptions, TransportOptions::split()))
     });
     g.bench_function("without_split", |b| {
-        b.iter(|| tmesh_rekey_transport(&mesh, &net, &out.encryptions, false, false))
+        b.iter(|| tmesh_rekey_transport(&mesh, &net, &out.encryptions, TransportOptions::flood()))
     });
     g.finish();
 }

@@ -44,7 +44,9 @@ fn main() {
         let mut messages = 0u64;
         for h in 0..users {
             let out = if centralized {
-                group.join_centralized(HostId(h), &net, &coords, h as u64).unwrap()
+                group
+                    .join_centralized(HostId(h), &net, &coords, h as u64)
+                    .unwrap()
             } else {
                 group.join(HostId(h), &net, h as u64).unwrap()
             };
@@ -58,7 +60,11 @@ fn main() {
         rdps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         println!(
             "{}\t{:.1}\t{:.2}\t{:.2}\t{:.0}",
-            if centralized { "centralized_gnp" } else { "distributed" },
+            if centralized {
+                "centralized_gnp"
+            } else {
+                "distributed"
+            },
             messages as f64 / users as f64,
             rdps[rdps.len() / 2],
             rdps[rdps.len() * 95 / 100],

@@ -34,8 +34,10 @@ fn main() {
         let mut rng = seeded_rng(0xFA11 + k as u64);
         let mut failed: Vec<usize> = (0..users).collect();
         failed.shuffle(&mut rng);
-        let failed: std::collections::HashSet<usize> =
-            failed.into_iter().take(users * fail_fraction_pct / 100).collect();
+        let failed: std::collections::HashSet<usize> = failed
+            .into_iter()
+            .take(users * fail_fraction_pct / 100)
+            .collect();
         let failed_ids: std::collections::HashSet<_> = failed
             .iter()
             .map(|&i| build.group.members()[i].id.clone())
@@ -58,8 +60,10 @@ fn main() {
                         continue;
                     }
                     entries += 1;
-                    let alive =
-                        entry.iter().filter(|r| !failed_ids.contains(&r.member.id)).count();
+                    let alive = entry
+                        .iter()
+                        .filter(|r| !failed_ids.contains(&r.member.id))
+                        .count();
                     if alive == 0 {
                         lost += 1;
                     } else if alive > 1 || !failed_ids.contains(&entry.primary().unwrap().member.id)

@@ -33,15 +33,28 @@ fn main() {
     let ids: Vec<_> = build.group.members().iter().map(|m| m.id.clone()).collect();
     let mut tree = ModifiedKeyTree::new(&spec);
     tree.batch_rekey(&ids, &[], &mut rng).unwrap();
-    let plan = ChurnPlan { initial: users, joins: churn, leaves: churn };
+    let plan = ChurnPlan {
+        initial: users,
+        joins: churn,
+        leaves: churn,
+    };
     let mut next_host = users + 1;
-    let (joins, leaves) =
-        rekey_message_for_churn(&mut build.group, &build.net, &plan, &mut next_host, &mut rng);
+    let (joins, leaves) = rekey_message_for_churn(
+        &mut build.group,
+        &build.net,
+        &plan,
+        &mut next_host,
+        &mut rng,
+    );
     let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
     let mesh = build.group.tmesh();
 
     println!("# ablation_loss: split rekey transport under per-copy loss + unicast recovery");
-    println!("# message: {} encryptions, {} members", out.cost(), mesh.members().len());
+    println!(
+        "# message: {} encryptions, {} members",
+        out.cost(),
+        mesh.members().len()
+    );
     println!("loss_pct\tcopies_lost\trecovering_members\trecovery_encs\trecovery_msgs");
     for loss_pct in [0u32, 1, 2, 5, 10, 20, 40] {
         let report = lossy_rekey_transport(

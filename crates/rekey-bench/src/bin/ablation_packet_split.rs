@@ -38,19 +38,34 @@ fn main() {
     let ids: Vec<_> = build.group.members().iter().map(|m| m.id.clone()).collect();
     let mut tree = ModifiedKeyTree::new(&spec);
     tree.batch_rekey(&ids, &[], &mut rng).unwrap();
-    let plan = ChurnPlan { initial: users, joins: churn, leaves: churn };
+    let plan = ChurnPlan {
+        initial: users,
+        joins: churn,
+        leaves: churn,
+    };
     let mut next_host = users + 1;
-    let (joins, leaves) =
-        rekey_message_for_churn(&mut build.group, &build.net, &plan, &mut next_host, &mut rng);
+    let (joins, leaves) = rekey_message_for_churn(
+        &mut build.group,
+        &build.net,
+        &plan,
+        &mut next_host,
+        &mut rng,
+    );
     let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
     let mesh = build.group.tmesh();
     let n = mesh.members().len();
     let index = |id: &rekey_id::UserId| {
-        mesh.members().iter().position(|m| &m.id == id).expect("member")
+        mesh.members()
+            .iter()
+            .position(|m| &m.id == id)
+            .expect("member")
     };
 
     println!("# ablation_packet_split: total encryptions received, by splitting granularity");
-    println!("# message: {} encryptions; packet sizes in encryptions per packet", out.cost());
+    println!(
+        "# message: {} encryptions; packet sizes in encryptions per packet",
+        out.cost()
+    );
     println!("granularity\ttotal_received\tmax_received_per_user\tavg_received_per_user");
 
     // Packet size sweep: 1 (pure encryption-level) to 64.
@@ -68,7 +83,11 @@ fn main() {
         for hop in server_next_hops(mesh.server_table()) {
             let to = index(&hop.neighbor.member.id);
             let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
-            queue.push_back((to, hop.forward_level, split_for_neighbor(&full, &out.encryptions, &prefix)));
+            queue.push_back((
+                to,
+                hop.forward_level,
+                split_for_neighbor(&full, &out.encryptions, &prefix),
+            ));
         }
         while let Some((member, level, needed)) = queue.pop_front() {
             // Charge whole packets containing any needed encryption.
@@ -93,5 +112,7 @@ fn main() {
             total as f64 / n as f64
         );
     }
-    let _ = build.net.one_way(rekey_net::HostId(0), rekey_net::HostId(1));
+    let _ = build
+        .net
+        .one_way(rekey_net::HostId(0), rekey_net::HostId(1));
 }

@@ -1,0 +1,102 @@
+//! Measures the indexed transport core (member index + prefix-range split
+//! index) against the reference per-hop-scan implementation preserved in
+//! `rekey_proto::split::reference`, at N ∈ {512, 2048, 8192} members.
+//!
+//! Prints a JSON document (the committed `BENCH_transport.json`) to
+//! stdout. Progress goes to stderr. Run with `--release`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rekey_bench::transport_fixture;
+use rekey_net::MatrixNetwork;
+use rekey_proto::split::reference;
+use rekey_proto::{tmesh_rekey_transport, TransportOptions};
+use rekey_tmesh::TmeshGroup;
+
+/// Times `f` adaptively: warm up once, then run batches until at least
+/// `MIN_TIME` has elapsed, and report mean nanoseconds per iteration.
+fn time_ns(mut f: impl FnMut() -> u64) -> f64 {
+    const MIN_TIME_NS: u128 = 400_000_000;
+    const MIN_ITERS: u32 = 5;
+    black_box(f());
+    let mut iters = 0u32;
+    let start = Instant::now();
+    while iters < MIN_ITERS || start.elapsed().as_nanos() < MIN_TIME_NS {
+        black_box(f());
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+struct Row {
+    users: usize,
+    message: usize,
+    split_indexed_ns: f64,
+    split_reference_ns: f64,
+    flood_indexed_ns: f64,
+    flood_reference_ns: f64,
+}
+
+fn run_size(users: usize, leaves: usize) -> Row {
+    eprintln!("bench_transport: building fixture for {users} users ({leaves} leave)…");
+    let (net, mesh, encryptions): (MatrixNetwork, TmeshGroup, _) =
+        transport_fixture(users, leaves, 0xBE7C);
+    eprintln!(
+        "bench_transport: {users} users, message = {} encryptions",
+        encryptions.len()
+    );
+    let split_indexed_ns = time_ns(|| {
+        tmesh_rekey_transport(&mesh, &net, &encryptions, TransportOptions::split()).received[0]
+    });
+    let split_reference_ns = time_ns(|| {
+        reference::tmesh_rekey_transport(&mesh, &net, &encryptions, TransportOptions::split())
+            .received[0]
+    });
+    let flood_indexed_ns = time_ns(|| {
+        tmesh_rekey_transport(&mesh, &net, &encryptions, TransportOptions::flood()).received[0]
+    });
+    let flood_reference_ns = time_ns(|| {
+        reference::tmesh_rekey_transport(&mesh, &net, &encryptions, TransportOptions::flood())
+            .received[0]
+    });
+    Row {
+        users,
+        message: encryptions.len(),
+        split_indexed_ns,
+        split_reference_ns,
+        flood_indexed_ns,
+        flood_reference_ns,
+    }
+}
+
+fn main() {
+    let rows: Vec<Row> = [(512usize, 32usize), (2048, 128), (8192, 512)]
+        .map(|(n, l)| run_size(n, l))
+        .into();
+    println!("{{");
+    println!("  \"bench\": \"tmesh_rekey_transport: indexed core vs reference per-hop scan\",");
+    println!("  \"unit\": \"mean ns per full transport session\",");
+    println!("  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!("    {{");
+        println!("      \"users\": {},", r.users);
+        println!("      \"message_encryptions\": {},", r.message);
+        println!(
+            "      \"split\": {{\"indexed_ns\": {:.0}, \"reference_ns\": {:.0}, \"speedup\": {:.2}}},",
+            r.split_indexed_ns,
+            r.split_reference_ns,
+            r.split_reference_ns / r.split_indexed_ns
+        );
+        println!(
+            "      \"flood\": {{\"indexed_ns\": {:.0}, \"reference_ns\": {:.0}, \"speedup\": {:.2}}}",
+            r.flood_indexed_ns,
+            r.flood_reference_ns,
+            r.flood_reference_ns / r.flood_indexed_ns
+        );
+        println!("    }}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -19,7 +19,9 @@ fn main() {
     let users = arg_usize("--users", 1024);
     let churn = arg_usize("--churn", 256);
     let spec = IdSpec::PAPER;
-    eprintln!("concurrent_transport: {users} users, burst = one {churn}+{churn}-churn rekey message…");
+    eprintln!(
+        "concurrent_transport: {users} users, burst = one {churn}+{churn}-churn rekey message…"
+    );
 
     let mut build = grow_group(
         Topology::PlanetLab,
@@ -36,7 +38,11 @@ fn main() {
     let ids: Vec<_> = build.group.members().iter().map(|m| m.id.clone()).collect();
     let mut tree = ModifiedKeyTree::new(&spec);
     tree.batch_rekey(&ids, &[], &mut rng).unwrap();
-    let plan = rekey_bench::ChurnPlan { initial: users, joins: churn, leaves: churn };
+    let plan = rekey_bench::ChurnPlan {
+        initial: users,
+        joins: churn,
+        leaves: churn,
+    };
     let mut next_host = users + 1;
     let (joins, leaves) = rekey_bench::rekey_message_for_churn(
         &mut build.group,
@@ -48,10 +54,16 @@ fn main() {
     let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
     let enc_ids: Vec<IdPrefix> = out.encryptions.iter().map(|e| e.id().clone()).collect();
     let mesh = build.group.tmesh();
-    eprintln!("concurrent_transport: rekey message = {} encryptions", enc_ids.len());
+    eprintln!(
+        "concurrent_transport: rekey message = {} encryptions",
+        enc_ids.len()
+    );
 
     println!("# concurrent_transport: data-frame latency under a concurrent rekey burst");
-    println!("# 60 frames at 50 fps; message of {} encryptions injected at t = 0", enc_ids.len());
+    println!(
+        "# 60 frames at 50 fps; message of {} encryptions injected at t = 0",
+        enc_ids.len()
+    );
     println!("bandwidth_mbps\tload\tmean_ms\tp50_ms\tp95_ms\tmax_ms");
     for mbps in [2u64, 10, 100] {
         let params = TrafficParams {

@@ -10,8 +10,13 @@ fn main() {
     let mut cfg = LatencyConfig::paper(Topology::GtItm, 1024, false);
     cfg.runs = arg_usize("--runs", 5);
     cfg.users = arg_usize("--users", cfg.users);
-    eprintln!("fig8: {} users, {} runs on {:?} ({} path)…",
-        cfg.users, cfg.runs, cfg.topology, if cfg.data_path { "data" } else { "rekey" });
+    eprintln!(
+        "fig8: {} users, {} runs on {:?} ({} path)…",
+        cfg.users,
+        cfg.runs,
+        cfg.topology,
+        if cfg.data_path { "data" } else { "rekey" }
+    );
     let fig = latency_figure(&cfg);
     print_series_table(
         "fig8a: inverse CDF of user stress",

@@ -10,8 +10,13 @@ fn main() {
     let mut cfg = LatencyConfig::paper(Topology::PlanetLab, 226, true);
     cfg.runs = arg_usize("--runs", 100);
     cfg.users = arg_usize("--users", cfg.users);
-    eprintln!("fig9: {} users, {} runs on {:?} ({} path)…",
-        cfg.users, cfg.runs, cfg.topology, if cfg.data_path { "data" } else { "rekey" });
+    eprintln!(
+        "fig9: {} users, {} runs on {:?} ({} path)…",
+        cfg.users,
+        cfg.runs,
+        cfg.topology,
+        if cfg.data_path { "data" } else { "rekey" }
+    );
     let fig = latency_figure(&cfg);
     print_series_table(
         "fig9a: inverse CDF of user stress",

@@ -10,8 +10,13 @@ fn main() {
     let mut cfg = LatencyConfig::paper(Topology::GtItm, 256, true);
     cfg.runs = arg_usize("--runs", 10);
     cfg.users = arg_usize("--users", cfg.users);
-    eprintln!("fig10: {} users, {} runs on {:?} ({} path)…",
-        cfg.users, cfg.runs, cfg.topology, if cfg.data_path { "data" } else { "rekey" });
+    eprintln!(
+        "fig10: {} users, {} runs on {:?} ({} path)…",
+        cfg.users,
+        cfg.runs,
+        cfg.topology,
+        if cfg.data_path { "data" } else { "rekey" }
+    );
     let fig = latency_figure(&cfg);
     print_series_table(
         "fig10a: inverse CDF of user stress",

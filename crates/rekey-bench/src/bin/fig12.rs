@@ -52,26 +52,45 @@ fn main() {
 
         // Server-side trees over the initial membership.
         let mut base_modified = ModifiedKeyTree::new(&spec);
-        base_modified.batch_rekey(&base_ids, &[], &mut rng).expect("initial joins");
+        base_modified
+            .batch_rekey(&base_ids, &[], &mut rng)
+            .expect("initial joins");
         let base_original = OriginalKeyTree::balanced(4, &base_ids);
         let mut base_cluster = ClusteredKeyTree::new(&spec);
-        base_cluster.batch_rekey(&ordered, &[], &mut rng).expect("initial joins");
+        base_cluster
+            .batch_rekey(&ordered, &[], &mut rng)
+            .expect("initial joins");
 
         for (ji, &j) in grid.iter().enumerate() {
             for (li, &l) in grid.iter().enumerate() {
                 let mut group = build.group.clone();
-                let plan = ChurnPlan { initial, joins: j, leaves: l };
+                let plan = ChurnPlan {
+                    initial,
+                    joins: j,
+                    leaves: l,
+                };
                 let mut next_host = initial + 1;
-                let (joins, leaves) =
-                    rekey_message_for_churn(&mut group, &build.net, &plan, &mut next_host, &mut rng);
+                let (joins, leaves) = rekey_message_for_churn(
+                    &mut group,
+                    &build.net,
+                    &plan,
+                    &mut next_host,
+                    &mut rng,
+                );
 
                 let mut modified = base_modified.clone();
                 let mut original = base_original.clone();
                 let mut cluster = base_cluster.clone();
                 let cell = &mut sums[ji * grid.len() + li];
-                cell[0] += modified.batch_rekey(&joins, &leaves, &mut rng).unwrap().cost() as f64;
+                cell[0] += modified
+                    .batch_rekey(&joins, &leaves, &mut rng)
+                    .unwrap()
+                    .cost() as f64;
                 cell[1] += original.batch_rekey(&joins, &leaves).cost() as f64;
-                cell[2] += cluster.batch_rekey(&joins, &leaves, &mut rng).unwrap().cost() as f64;
+                cell[2] += cluster
+                    .batch_rekey(&joins, &leaves, &mut rng)
+                    .unwrap()
+                    .cost() as f64;
             }
         }
         eprintln!("fig12: run {} / {runs} done", run + 1);
@@ -84,7 +103,11 @@ fn main() {
             let cell = sums[ji * grid.len() + li];
             let n = runs as f64;
             let (m, o, c) = (cell[0] / n, cell[1] / n, cell[2] / n);
-            println!("{j}\t{l}\t{m:.1}\t{o:.1}\t{c:.1}\t{:.1}\t{:.1}", m - o, c - o);
+            println!(
+                "{j}\t{l}\t{m:.1}\t{o:.1}\t{c:.1}\t{:.1}\t{:.1}",
+                m - o,
+                c - o
+            );
         }
     }
 }

@@ -13,13 +13,15 @@
 use std::collections::{HashMap, HashSet};
 
 use rekey_bench::harness::AnyNet;
-use rekey_bench::{arg_usize, grow_group, print_series_table, rekey_message_for_churn, ChurnPlan, Topology};
+use rekey_bench::{
+    arg_usize, grow_group, print_series_table, rekey_message_for_churn, ChurnPlan, Topology,
+};
 use rekey_id::{IdSpec, UserId};
 use rekey_keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree};
 use rekey_net::HostId;
 use rekey_proto::{
     cluster_rekey_transport, ipmc_rekey_transport, nice_rekey_transport, tmesh_rekey_transport,
-    AssignParams, BandwidthReport,
+    AssignParams, BandwidthReport, TransportOptions,
 };
 use rekey_sim::seeded_rng;
 use rekey_table::{oracle, PrimaryPolicy};
@@ -52,16 +54,29 @@ fn main() {
 
     // Server-side key state over the initial membership.
     let mut modified = ModifiedKeyTree::new(&spec);
-    modified.batch_rekey(&base_ids, &[], &mut rng).expect("initial joins");
+    modified
+        .batch_rekey(&base_ids, &[], &mut rng)
+        .expect("initial joins");
     let mut original = OriginalKeyTree::balanced(4, &base_ids);
     let mut cluster = ClusteredKeyTree::new(&spec);
-    cluster.batch_rekey(&ordered, &[], &mut rng).expect("initial joins");
+    cluster
+        .batch_rekey(&ordered, &[], &mut rng)
+        .expect("initial joins");
 
     // The measured churn interval.
-    let plan = ChurnPlan { initial, joins: churn, leaves: churn };
+    let plan = ChurnPlan {
+        initial,
+        joins: churn,
+        leaves: churn,
+    };
     let mut next_host = initial + 1;
-    let (joins, leaves) =
-        rekey_message_for_churn(&mut build.group, &build.net, &plan, &mut next_host, &mut rng);
+    let (joins, leaves) = rekey_message_for_churn(
+        &mut build.group,
+        &build.net,
+        &plan,
+        &mut next_host,
+        &mut rng,
+    );
     let out_modified = modified.batch_rekey(&joins, &leaves, &mut rng).unwrap();
     let out_original = original.batch_rekey(&joins, &leaves);
     let out_cluster = cluster.batch_rekey(&joins, &leaves, &mut rng).unwrap();
@@ -77,13 +92,24 @@ fn main() {
     let hosts: Vec<HostId> = members.iter().map(|m| m.host).collect();
     let mesh = build.group.tmesh();
     // Tables with leader-aware primaries for the cluster protocols.
-    let cluster_tables =
-        oracle::build_all_tables(&spec, &members, &build.net, 4, PrimaryPolicy::EarliestJoinAtBottom);
+    let cluster_tables = oracle::build_all_tables(
+        &spec,
+        &members,
+        &build.net,
+        4,
+        PrimaryPolicy::EarliestJoinAtBottom,
+    );
     let cluster_mesh = TmeshGroup::from_tables(
         &spec,
         members.clone(),
         cluster_tables.into_iter().map(std::rc::Rc::new).collect(),
-        std::rc::Rc::new(oracle::build_server_table(&spec, &members, build.server, &build.net, 4)),
+        std::rc::Rc::new(oracle::build_server_table(
+            &spec,
+            &members,
+            build.server,
+            &build.net,
+            4,
+        )),
         build.server,
     );
     let is_leader = |i: usize| cluster.tree().contains_user(&members[i].id);
@@ -112,8 +138,7 @@ fn main() {
     let needs: HashMap<HostId, HashSet<usize>> = members
         .iter()
         .map(|m| {
-            let path: HashSet<usize> =
-                original.user_path(&m.id).into_iter().map(|n| n.0).collect();
+            let path: HashSet<usize> = original.user_path(&m.id).into_iter().map(|n| n.0).collect();
             let needed: HashSet<usize> = out_original
                 .encryptions
                 .iter()
@@ -125,15 +150,78 @@ fn main() {
         })
         .collect();
 
-    let AnyNet::Routed(routed) = &build.net else { panic!("fig13 runs on GT-ITM") };
+    let AnyNet::Routed(routed) = &build.net else {
+        panic!("fig13 runs on GT-ITM")
+    };
     let reports: Vec<(&str, BandwidthReport)> = vec![
-        ("P0(nice)", nice_rekey_transport(&nice, &build.net, build.server, &hosts, &needs, out_original.cost(), false)),
-        ("P0'(nice+split)", nice_rekey_transport(&nice, &build.net, build.server, &hosts, &needs, out_original.cost(), true)),
-        ("P1(tmesh)", tmesh_rekey_transport(&mesh, &build.net, &out_modified.encryptions, false, false)),
-        ("P2(tmesh+split)", tmesh_rekey_transport(&mesh, &build.net, &out_modified.encryptions, true, false)),
-        ("P3(tmesh+cluster)", cluster_rekey_transport(&cluster_mesh, &build.net, &out_cluster.rekey.encryptions, false, &is_leader, &cluster_of)),
-        ("P4(tmesh+cluster+split)", cluster_rekey_transport(&cluster_mesh, &build.net, &out_cluster.rekey.encryptions, true, &is_leader, &cluster_of)),
-        ("Pm(ipmc)", ipmc_rekey_transport(routed, build.server, &hosts, out_original.cost())),
+        (
+            "P0(nice)",
+            nice_rekey_transport(
+                &nice,
+                &build.net,
+                build.server,
+                &hosts,
+                &needs,
+                out_original.cost(),
+                false,
+            ),
+        ),
+        (
+            "P0'(nice+split)",
+            nice_rekey_transport(
+                &nice,
+                &build.net,
+                build.server,
+                &hosts,
+                &needs,
+                out_original.cost(),
+                true,
+            ),
+        ),
+        (
+            "P1(tmesh)",
+            tmesh_rekey_transport(
+                &mesh,
+                &build.net,
+                &out_modified.encryptions,
+                TransportOptions::flood(),
+            ),
+        ),
+        (
+            "P2(tmesh+split)",
+            tmesh_rekey_transport(
+                &mesh,
+                &build.net,
+                &out_modified.encryptions,
+                TransportOptions::split(),
+            ),
+        ),
+        (
+            "P3(tmesh+cluster)",
+            cluster_rekey_transport(
+                &cluster_mesh,
+                &build.net,
+                &out_cluster.rekey.encryptions,
+                TransportOptions::flood(),
+                &is_leader,
+                &cluster_of,
+            ),
+        ),
+        (
+            "P4(tmesh+cluster+split)",
+            cluster_rekey_transport(
+                &cluster_mesh,
+                &build.net,
+                &out_cluster.rekey.encryptions,
+                TransportOptions::split(),
+                &is_leader,
+                &cluster_of,
+            ),
+        ),
+        (
+            "Pm(ipmc)",
+            ipmc_rekey_transport(routed, build.server, &hosts, out_original.cost()),
+        ),
     ];
 
     let sorted = |v: &[u64]| -> Vec<f64> {
@@ -141,29 +229,45 @@ fn main() {
         s.sort_by(|a, b| a.partial_cmp(b).unwrap());
         s
     };
-    let recv: Vec<(&str, Vec<f64>)> =
-        reports.iter().map(|(n, r)| (*n, sorted(&r.received))).collect();
-    let fwd: Vec<(&str, Vec<f64>)> =
-        reports.iter().map(|(n, r)| (*n, sorted(&r.forwarded))).collect();
+    let recv: Vec<(&str, Vec<f64>)> = reports
+        .iter()
+        .map(|(n, r)| (*n, sorted(&r.received)))
+        .collect();
+    let fwd: Vec<(&str, Vec<f64>)> = reports
+        .iter()
+        .map(|(n, r)| (*n, sorted(&r.forwarded)))
+        .collect();
     let link: Vec<(&str, Vec<f64>)> = reports
         .iter()
         .map(|(n, r)| {
-            let loads = r.link_load.as_ref().expect("GT-ITM has links").sorted_loads();
+            let loads = r
+                .link_load
+                .as_ref()
+                .expect("GT-ITM has links")
+                .sorted_loads();
             (*n, loads.into_iter().map(|x| x as f64).collect())
         })
         .collect();
 
     print_series_table(
         "fig13a: inverse CDF of encryptions received per user",
-        &recv.iter().map(|(n, s)| (*n, s.as_slice())).collect::<Vec<_>>(),
+        &recv
+            .iter()
+            .map(|(n, s)| (*n, s.as_slice()))
+            .collect::<Vec<_>>(),
     );
     print_series_table(
         "fig13b: inverse CDF of encryptions forwarded per user",
-        &fwd.iter().map(|(n, s)| (*n, s.as_slice())).collect::<Vec<_>>(),
+        &fwd.iter()
+            .map(|(n, s)| (*n, s.as_slice()))
+            .collect::<Vec<_>>(),
     );
     print_series_table(
         "fig13c: inverse CDF of encryptions per network link",
-        &link.iter().map(|(n, s)| (*n, s.as_slice())).collect::<Vec<_>>(),
+        &link
+            .iter()
+            .map(|(n, s)| (*n, s.as_slice()))
+            .collect::<Vec<_>>(),
     );
 
     for (name, r) in &reports {

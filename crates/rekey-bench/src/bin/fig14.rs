@@ -50,8 +50,12 @@ fn main() {
         let outcome = mesh.multicast(&build.net, Source::Server);
         outcome.exactly_once().expect("Theorem 1");
         let metrics = PathMetrics::from_outcome(&mesh, &build.net, &outcome);
-        let mut delays: Vec<f64> =
-            metrics.delay.iter().flatten().map(|&d| d as f64 / 1000.0).collect();
+        let mut delays: Vec<f64> = metrics
+            .delay
+            .iter()
+            .flatten()
+            .map(|&d| d as f64 / 1000.0)
+            .collect();
         let mut rdps: Vec<f64> = metrics.rdp.iter().flatten().copied().collect();
         delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
         rdps.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -66,10 +70,16 @@ fn main() {
 
     print_series_table(
         "fig14a: inverse CDF of application-layer delay (ms) per threshold setting",
-        &delay_cols.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect::<Vec<_>>(),
+        &delay_cols
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_slice()))
+            .collect::<Vec<_>>(),
     );
     print_series_table(
         "fig14b: inverse CDF of RDP per threshold setting",
-        &rdp_cols.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect::<Vec<_>>(),
+        &rdp_cols
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_slice()))
+            .collect::<Vec<_>>(),
     );
 }

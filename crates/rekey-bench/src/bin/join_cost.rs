@@ -17,7 +17,7 @@ fn main() {
     let spec = IdSpec::new(4, 64).expect("valid spec");
     let assign = AssignParams::for_depth(spec.depth());
     println!("# join_cost: ID assignment message cost vs group size");
-    println!("N\tmean_queries\tmean_probes\tbound_PDN", );
+    println!("N\tmean_queries\tmean_probes\tbound_PDN",);
 
     let mut n = 32;
     while n <= max_users {
@@ -36,13 +36,14 @@ fn main() {
         let mut queries = 0f64;
         let mut probes = 0f64;
         for p in 0..probes_per_point {
-            let out = group.join(HostId(n + 1 + p), &build.net, 10_000 + p as u64).unwrap();
+            let out = group
+                .join(HostId(n + 1 + p), &build.net, 10_000 + p as u64)
+                .unwrap();
             queries += out.stats.queries as f64;
             probes += out.stats.probes as f64;
         }
-        let bound = assign.p as f64
-            * spec.depth() as f64
-            * (n as f64).powf(1.0 / spec.depth() as f64);
+        let bound =
+            assign.p as f64 * spec.depth() as f64 * (n as f64).powf(1.0 / spec.depth() as f64);
         println!(
             "{n}\t{:.1}\t{:.1}\t{:.1}",
             queries / probes_per_point as f64,

@@ -3,14 +3,16 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rekey_id::IdSpec;
+use rekey_crypto::Encryption;
+use rekey_id::{IdSpec, UserId};
+use rekey_keytree::ModifiedKeyTree;
 use rekey_net::gtitm::{generate, GtItmParams};
 use rekey_net::{HostId, LinkId, MatrixNetwork, Micros, Network, PlanetLabParams, RoutedNetwork};
 use rekey_nice::{NiceHierarchy, NiceParams};
 use rekey_proto::{AssignParams, Group};
 use rekey_sim::{seeded_rng, SimRng};
-use rekey_table::PrimaryPolicy;
-use rekey_tmesh::{metrics::PathMetrics, Source};
+use rekey_table::{Member, PrimaryPolicy};
+use rekey_tmesh::{metrics::PathMetrics, Source, TmeshGroup};
 
 use crate::output::{ranked_mean, ranked_quantile};
 
@@ -101,12 +103,17 @@ pub fn planetlab_params(hosts: usize) -> PlanetLabParams {
 /// Builds a substrate with `hosts` hosts.
 pub fn build_net(topology: Topology, hosts: usize, rng: &mut SimRng) -> AnyNet {
     match topology {
-        Topology::PlanetLab => {
-            AnyNet::Matrix(MatrixNetwork::synthetic_planetlab(&planetlab_params(hosts), rng))
-        }
+        Topology::PlanetLab => AnyNet::Matrix(MatrixNetwork::synthetic_planetlab(
+            &planetlab_params(hosts),
+            rng,
+        )),
         Topology::GtItm => {
             let topo = generate(&GtItmParams::default(), rng);
-            AnyNet::Routed(RoutedNetwork::random_attachment(topo.into_graph(), hosts, rng))
+            AnyNet::Routed(RoutedNetwork::random_attachment(
+                topo.into_graph(),
+                hosts,
+                rng,
+            ))
         }
     }
 }
@@ -150,9 +157,16 @@ pub fn grow_group(
     let mut times: Vec<Micros> = (0..users).map(|_| rng.gen_range(0..=interval)).collect();
     times.sort_unstable();
     for (host, at) in join_order.iter().zip(times) {
-        group.join(*host, &net, at).expect("ID space is large enough");
+        group
+            .join(*host, &net, at)
+            .expect("ID space is large enough");
     }
-    GroupBuild { net, group, join_order, server }
+    GroupBuild {
+        net,
+        group,
+        join_order,
+        server,
+    }
 }
 
 /// Builds a NICE hierarchy over the same hosts in the same join order
@@ -265,9 +279,15 @@ pub fn latency_figure(cfg: &LatencyConfig) -> LatencyFigure {
         let (source, nice_out) = if cfg.data_path {
             let sender_idx = rng.gen_range(0..build.group.len());
             let sender_host = build.group.members()[sender_idx].host;
-            (Source::User(sender_idx), nice.data_multicast(&build.net, sender_host))
+            (
+                Source::User(sender_idx),
+                nice.data_multicast(&build.net, sender_host),
+            )
         } else {
-            (Source::Server, nice.rekey_multicast(&build.net, build.server))
+            (
+                Source::Server,
+                nice.rekey_multicast(&build.net, build.server),
+            )
         };
         let outcome = mesh.multicast(&build.net, source);
         outcome.exactly_once().expect("Theorem 1");
@@ -275,7 +295,14 @@ pub fn latency_figure(cfg: &LatencyConfig) -> LatencyFigure {
         let sender_host = mesh.host_of(source);
 
         stress_t.push(metrics.stress.iter().map(|&s| s as f64).collect());
-        delay_t.push(metrics.delay.iter().flatten().map(|&d| d as f64 / 1000.0).collect());
+        delay_t.push(
+            metrics
+                .delay
+                .iter()
+                .flatten()
+                .map(|&d| d as f64 / 1000.0)
+                .collect(),
+        );
         rdp_t.push(metrics.rdp.iter().flatten().copied().collect());
 
         let mut sn = Vec::new();
@@ -356,6 +383,53 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Fixture for the transport-scaling benchmarks: a T-mesh over `users`
+/// members plus the rekey message of an interval in which `leaves` of
+/// them depart.
+///
+/// Built by the oracle constructor rather than the join protocol so the
+/// mesh scales to thousands of members quickly. The substrate is capped
+/// at 1024 hosts (the flattened all-pairs RTT matrix grows quadratically)
+/// and members beyond that share hosts round-robin, which leaves the
+/// transport's work — hop enumeration and payload composition — exactly
+/// as it would be with distinct hosts.
+pub fn transport_fixture(
+    users: usize,
+    leaves: usize,
+    seed: u64,
+) -> (MatrixNetwork, TmeshGroup, Vec<Encryption>) {
+    assert!(leaves <= users);
+    let spec = IdSpec::PAPER;
+    let mut rng = seeded_rng(seed);
+    let member_hosts = users.min(1024);
+    let net = MatrixNetwork::synthetic_planetlab(&planetlab_params(member_hosts + 1), &mut rng);
+    let mut seen = std::collections::HashSet::new();
+    let mut ids: Vec<UserId> = Vec::with_capacity(users);
+    while ids.len() < users {
+        let id = UserId::from_index(&spec, rng.gen_range(0..spec.id_space()));
+        if seen.insert(id.clone()) {
+            ids.push(id);
+        }
+    }
+    let members: Vec<Member> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| Member {
+            id: id.clone(),
+            host: HostId(i % member_hosts),
+            joined_at: i as u64,
+        })
+        .collect();
+    let server = HostId(member_hosts);
+    let mesh = TmeshGroup::build(&spec, members, server, &net, 4, PrimaryPolicy::SmallestRtt);
+    let mut tree = ModifiedKeyTree::new(&spec);
+    tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+    // NOTE: the message rekeys members who stay in the mesh snapshot —
+    // fine for throughput measurement purposes.
+    let out = tree.batch_rekey(&[], &ids[..leaves], &mut rng).unwrap();
+    (net, mesh, out.encryptions)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,9 +497,18 @@ mod tests {
         );
         let mut next_host = 17;
         let mut rng = seeded_rng(5);
-        let plan = ChurnPlan { initial: 16, joins: 4, leaves: 4 };
-        let (j, l) =
-            rekey_message_for_churn(&mut build.group, &build.net, &plan, &mut next_host, &mut rng);
+        let plan = ChurnPlan {
+            initial: 16,
+            joins: 4,
+            leaves: 4,
+        };
+        let (j, l) = rekey_message_for_churn(
+            &mut build.group,
+            &build.net,
+            &plan,
+            &mut next_host,
+            &mut rng,
+        );
         assert_eq!(j.len(), 4);
         assert_eq!(l.len(), 4);
         assert_eq!(build.group.len(), 16);

@@ -6,7 +6,9 @@ pub fn fraction_axis(samples: usize) -> Vec<f64> {
     if samples <= 1 {
         return vec![1.0];
     }
-    (0..samples).map(|i| i as f64 / (samples - 1) as f64).collect()
+    (0..samples)
+        .map(|i| i as f64 / (samples - 1) as f64)
+        .collect()
 }
 
 /// Rank-wise mean across runs: every run contributes a sorted sample

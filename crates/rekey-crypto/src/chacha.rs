@@ -72,7 +72,10 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 /// 256 GiB with a single nonce), which cannot happen for key wraps.
 pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
     let blocks_needed = data.len().div_ceil(BLOCK_LEN) as u64;
-    assert!(u64::from(counter) + blocks_needed <= u64::from(u32::MAX) + 1, "counter overflow");
+    assert!(
+        u64::from(counter) + blocks_needed <= u64::from(u32::MAX) + 1,
+        "counter overflow"
+    );
     for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
         let ks = block(key, counter.wrapping_add(i as u32), nonce);
         for (b, k) in chunk.iter_mut().zip(ks.iter()) {

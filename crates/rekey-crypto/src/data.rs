@@ -135,7 +135,13 @@ impl SealedData {
 
     /// The raw parts for wire encoding (see [`crate::wire`]).
     pub fn wire_parts(&self) -> (&IdPrefix, u64, &[u8; NONCE_LEN], &[u8], &[u8; TAG_LEN]) {
-        (&self.key_id, self.key_version, &self.nonce, &self.ciphertext, &self.tag)
+        (
+            &self.key_id,
+            self.key_version,
+            &self.nonce,
+            &self.ciphertext,
+            &self.tag,
+        )
     }
 
     /// Reassembles sealed data from decoded wire parts; [`SealedData::open`]
@@ -147,7 +153,13 @@ impl SealedData {
         ciphertext: Vec<u8>,
         tag: [u8; TAG_LEN],
     ) -> SealedData {
-        SealedData { key_id, key_version, nonce, ciphertext, tag }
+        SealedData {
+            key_id,
+            key_version,
+            nonce,
+            ciphertext,
+            tag,
+        }
     }
 
     /// Serialised size in bytes.
@@ -188,7 +200,10 @@ mod tests {
         let sealed = SealedData::seal(&newer, b"secret", &mut rng);
         assert_eq!(
             sealed.open(&key),
-            Err(OpenError::WrongKeyVersion { expected: 1, actual: 0 })
+            Err(OpenError::WrongKeyVersion {
+                expected: 1,
+                actual: 0
+            })
         );
     }
 
@@ -198,7 +213,10 @@ mod tests {
         let sealed = SealedData::seal(&key, b"x", &mut rng);
         let spec = rekey_id::IdSpec::new(3, 4).unwrap();
         let aux = Key::random(IdPrefix::new(&spec, vec![1]).unwrap(), &mut rng);
-        assert!(matches!(sealed.open(&aux), Err(OpenError::WrongKeyId { .. })));
+        assert!(matches!(
+            sealed.open(&aux),
+            Err(OpenError::WrongKeyId { .. })
+        ));
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl Encryption {
         let mut nonce = [0u8; NONCE_LEN];
         rng.fill(&mut nonce[..]);
         let mut ciphertext = *new_key.material().as_bytes();
-        chacha::xor_stream(encrypting_key.material().as_bytes(), 0, &nonce, &mut ciphertext);
+        chacha::xor_stream(
+            encrypting_key.material().as_bytes(),
+            0,
+            &nonce,
+            &mut ciphertext,
+        );
         let mut enc = Encryption {
             encrypting_id: encrypting_key.id().clone(),
             encrypting_version: encrypting_key.version(),
@@ -182,8 +187,7 @@ impl Encryption {
     /// Layout: 1 length byte + 2 bytes/digit for each of the two IDs, two
     /// 8-byte versions, nonce, 32-byte wrapped key and 8-byte tag.
     pub fn wire_size(&self) -> usize {
-        let id_bytes =
-            2 + 2 * self.encrypting_id.len() + 2 * self.encrypted_id.len();
+        let id_bytes = 2 + 2 * self.encrypting_id.len() + 2 * self.encrypted_id.len();
         id_bytes + 16 + NONCE_LEN + chacha::KEY_LEN + TAG_LEN
     }
 }

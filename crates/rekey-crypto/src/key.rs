@@ -48,7 +48,11 @@ impl KeyMaterial {
 
 impl fmt::Debug for KeyMaterial {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "KeyMaterial({:02x}{:02x}{:02x}{:02x}…)", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "KeyMaterial({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -72,12 +76,20 @@ pub struct Key {
 impl Key {
     /// Creates a key with the given identity and material.
     pub fn new(id: IdPrefix, version: u64, material: KeyMaterial) -> Key {
-        Key { id, version, material }
+        Key {
+            id,
+            version,
+            material,
+        }
     }
 
     /// Creates version-0 random key material for ID-tree node `id`.
     pub fn random<R: Rng + ?Sized>(id: IdPrefix, rng: &mut R) -> Key {
-        Key { id, version: 0, material: KeyMaterial::random(rng) }
+        Key {
+            id,
+            version: 0,
+            material: KeyMaterial::random(rng),
+        }
     }
 
     /// The key's ID: the ID of its ID-tree node.
@@ -97,7 +109,11 @@ impl Key {
 
     /// Produces the next version of this key with fresh material.
     pub fn next_version<R: Rng + ?Sized>(&self, rng: &mut R) -> Key {
-        Key { id: self.id.clone(), version: self.version + 1, material: KeyMaterial::random(rng) }
+        Key {
+            id: self.id.clone(),
+            version: self.version + 1,
+            material: KeyMaterial::random(rng),
+        }
     }
 }
 

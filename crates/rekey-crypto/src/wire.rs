@@ -91,15 +91,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
@@ -157,7 +163,9 @@ fn decode_encryption_inner(r: &mut Reader<'_>, spec: &IdSpec) -> Result<Encrypti
     let nonce: [u8; NONCE_LEN] = r.take(NONCE_LEN)?.try_into().expect("nonce");
     let ciphertext: [u8; KEY_LEN] = r.take(KEY_LEN)?.try_into().expect("ciphertext");
     let tag: [u8; TAG_LEN] = r.take(TAG_LEN)?.try_into().expect("tag");
-    Ok(Encryption::from_wire_parts(enc_id, enc_ver, tgt_id, tgt_ver, nonce, ciphertext, tag))
+    Ok(Encryption::from_wire_parts(
+        enc_id, enc_ver, tgt_id, tgt_ver, nonce, ciphertext, tag,
+    ))
 }
 
 /// Decodes one encryption, requiring the whole input to be consumed.
@@ -229,7 +237,13 @@ pub fn decode_sealed_data(buf: &[u8], spec: &IdSpec) -> Result<SealedData, Decod
     let ciphertext = r.take(len)?.to_vec();
     let tag: [u8; TAG_LEN] = r.take(TAG_LEN)?.try_into().expect("tag");
     r.finish()?;
-    Ok(SealedData::from_wire_parts(key_id, key_version, nonce, ciphertext, tag))
+    Ok(SealedData::from_wire_parts(
+        key_id,
+        key_version,
+        nonce,
+        ciphertext,
+        tag,
+    ))
 }
 
 /// Encodes a key (for the join-time unicast of path keys).
@@ -282,11 +296,15 @@ mod tests {
     #[test]
     fn rekey_message_round_trip() {
         let (mut rng, spec, aux, group) = fixtures();
-        let msg: Vec<Encryption> =
-            (0..5).map(|_| Encryption::seal(&aux, &group, &mut rng)).collect();
+        let msg: Vec<Encryption> = (0..5)
+            .map(|_| Encryption::seal(&aux, &group, &mut rng))
+            .collect();
         let buf = encode_rekey_message(&msg);
         assert_eq!(decode_rekey_message(&buf, &spec).unwrap(), msg);
-        assert_eq!(decode_rekey_message(&encode_rekey_message(&[]), &spec).unwrap(), vec![]);
+        assert_eq!(
+            decode_rekey_message(&encode_rekey_message(&[]), &spec).unwrap(),
+            vec![]
+        );
     }
 
     #[test]
@@ -313,7 +331,10 @@ mod tests {
         let e = Encryption::seal(&aux, &group, &mut rng);
         let mut buf = Vec::new();
         encode_encryption(&e, &mut buf);
-        assert_eq!(decode_encryption(&buf[..buf.len() - 1], &spec), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode_encryption(&buf[..buf.len() - 1], &spec),
+            Err(DecodeError::Truncated)
+        );
         let mut wrong = buf.clone();
         wrong[0] = TAG_SEALED_DATA;
         assert!(matches!(
@@ -322,7 +343,10 @@ mod tests {
         ));
         let mut trailing = buf.clone();
         trailing.push(0);
-        assert_eq!(decode_encryption(&trailing, &spec), Err(DecodeError::TrailingBytes(1)));
+        assert_eq!(
+            decode_encryption(&trailing, &spec),
+            Err(DecodeError::TrailingBytes(1))
+        );
     }
 
     #[test]
@@ -335,7 +359,10 @@ mod tests {
         let e = Encryption::seal(&aux, &group, &mut rng);
         let mut buf = Vec::new();
         encode_encryption(&e, &mut buf);
-        assert!(matches!(decode_encryption(&buf, &tiny), Err(DecodeError::BadId(_))));
+        assert!(matches!(
+            decode_encryption(&buf, &tiny),
+            Err(DecodeError::BadId(_))
+        ));
     }
 
     #[test]

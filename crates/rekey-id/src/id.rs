@@ -52,7 +52,10 @@ impl fmt::Display for IdError {
                 write!(f, "ID prefix may have at most {max} digits, got {actual}")
             }
             IdError::DigitOutOfRange { index, digit, base } => {
-                write!(f, "digit {digit} at index {index} is out of range for base {base}")
+                write!(
+                    f,
+                    "digit {digit} at index {index} is out of range for base {base}"
+                )
             }
         }
     }
@@ -89,11 +92,18 @@ impl UserId {
     /// [`IdError::DigitOutOfRange`] if any digit is `>= spec.base()`.
     pub fn new(spec: &IdSpec, digits: Vec<u16>) -> Result<UserId, IdError> {
         if digits.len() != spec.depth() {
-            return Err(IdError::WrongLength { expected: spec.depth(), actual: digits.len() });
+            return Err(IdError::WrongLength {
+                expected: spec.depth(),
+                actual: digits.len(),
+            });
         }
         for (index, &digit) in digits.iter().enumerate() {
             if digit >= spec.base() {
-                return Err(IdError::DigitOutOfRange { index, digit, base: spec.base() });
+                return Err(IdError::DigitOutOfRange {
+                    index,
+                    digit,
+                    base: spec.base(),
+                });
             }
         }
         Ok(UserId { digits })
@@ -143,7 +153,10 @@ impl UserId {
     ///
     /// Panics if `len > D`.
     pub fn prefix(&self, len: usize) -> IdPrefix {
-        assert!(len <= self.digits.len(), "prefix length {len} exceeds ID depth");
+        assert!(
+            len <= self.digits.len(),
+            "prefix length {len} exceeds ID depth"
+        );
         IdPrefix::from_digits_unchecked(self.digits[..len].to_vec())
     }
 
@@ -199,7 +212,11 @@ mod tests {
         assert!(UserId::new(&spec(), vec![0, 1, 2, 3]).is_err());
         assert_eq!(
             UserId::new(&spec(), vec![0, 1, 4]),
-            Err(IdError::DigitOutOfRange { index: 2, digit: 4, base: 4 })
+            Err(IdError::DigitOutOfRange {
+                index: 2,
+                digit: 4,
+                base: 4
+            })
         );
         assert!(UserId::new(&spec(), vec![3, 3, 3]).is_ok());
     }
@@ -207,7 +224,9 @@ mod tests {
     #[test]
     fn from_index_round_trips_lexicographic_order() {
         let spec = spec();
-        let all: Vec<UserId> = (0..spec.id_space()).map(|i| UserId::from_index(&spec, i)).collect();
+        let all: Vec<UserId> = (0..spec.id_space())
+            .map(|i| UserId::from_index(&spec, i))
+            .collect();
         let mut sorted = all.clone();
         sorted.sort();
         assert_eq!(all, sorted);

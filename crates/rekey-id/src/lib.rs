@@ -44,7 +44,7 @@ mod prefix;
 mod tree;
 
 pub use id::{IdError, UserId};
-pub use prefix::IdPrefix;
+pub use prefix::{subtree_cmp, IdPrefix};
 pub use tree::{IdTree, IdTreeNode};
 
 /// The shape of the ID space: `depth` digits (the paper's `D`) of base
@@ -66,7 +66,10 @@ pub struct IdSpec {
 
 impl IdSpec {
     /// The configuration used in the paper's simulations: `D = 5`, `B = 256`.
-    pub const PAPER: IdSpec = IdSpec { depth: 5, base: 256 };
+    pub const PAPER: IdSpec = IdSpec {
+        depth: 5,
+        base: 256,
+    };
 
     /// Creates a new ID-space specification.
     ///

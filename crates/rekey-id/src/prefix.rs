@@ -44,11 +44,18 @@ impl IdPrefix {
     /// or [`IdError::DigitOutOfRange`] for digits `>= B`.
     pub fn new(spec: &IdSpec, digits: Vec<u16>) -> Result<IdPrefix, IdError> {
         if digits.len() > spec.depth() {
-            return Err(IdError::PrefixTooLong { max: spec.depth(), actual: digits.len() });
+            return Err(IdError::PrefixTooLong {
+                max: spec.depth(),
+                actual: digits.len(),
+            });
         }
         for (index, &digit) in digits.iter().enumerate() {
             if digit >= spec.base() {
-                return Err(IdError::DigitOutOfRange { index, digit, base: spec.base() });
+                return Err(IdError::DigitOutOfRange {
+                    index,
+                    digit,
+                    base: spec.base(),
+                });
             }
         }
         Ok(IdPrefix { digits })
@@ -84,7 +91,9 @@ impl IdPrefix {
         if self.digits.is_empty() {
             None
         } else {
-            Some(IdPrefix { digits: self.digits[..self.digits.len() - 1].to_vec() })
+            Some(IdPrefix {
+                digits: self.digits[..self.digits.len() - 1].to_vec(),
+            })
         }
     }
 
@@ -104,8 +113,13 @@ impl IdPrefix {
     ///
     /// Panics if `len > self.len()`.
     pub fn truncate(&self, len: usize) -> IdPrefix {
-        assert!(len <= self.digits.len(), "truncate length exceeds prefix length");
-        IdPrefix { digits: self.digits[..len].to_vec() }
+        assert!(
+            len <= self.digits.len(),
+            "truncate length exceeds prefix length"
+        );
+        IdPrefix {
+            digits: self.digits[..len].to_vec(),
+        }
     }
 
     /// `true` iff `self` is a prefix of `other` (including `self == other`).
@@ -129,6 +143,60 @@ impl IdPrefix {
         self.is_prefix_of(other) || other.is_prefix_of(self)
     }
 
+    /// Locates `digits` relative to this prefix's *descendant block* in
+    /// lexicographic digit order.
+    ///
+    /// When ID strings are sorted lexicographically, the descendants of a
+    /// prefix `p` (including `p` itself) form one contiguous run. This
+    /// comparator drives binary search for that run:
+    ///
+    /// * `Less` — `digits` sorts before every descendant of `self`
+    ///   (this includes every *proper ancestor* of `self`, since a shorter
+    ///   prefix sorts before its extensions);
+    /// * `Equal` — `self` is a prefix of `digits` (a descendant);
+    /// * `Greater` — `digits` sorts after every descendant of `self`.
+    ///
+    /// Together with the ancestor chain from [`IdPrefix::ancestors`], this
+    /// decomposes Theorem 2's relatedness predicate
+    /// ([`IdPrefix::is_related`]) into one contiguous range plus at most
+    /// `D` exact matches — the basis of the transport layer's prefix-range
+    /// split index.
+    ///
+    /// ```
+    /// use std::cmp::Ordering;
+    /// use rekey_id::{IdPrefix, IdSpec};
+    /// let spec = IdSpec::new(3, 10)?;
+    /// let p = IdPrefix::new(&spec, vec![2, 0])?;
+    /// assert_eq!(p.subtree_cmp(&[1, 9, 9]), Ordering::Less);
+    /// assert_eq!(p.subtree_cmp(&[2]), Ordering::Less); // proper ancestor
+    /// assert_eq!(p.subtree_cmp(&[2, 0]), Ordering::Equal);
+    /// assert_eq!(p.subtree_cmp(&[2, 0, 7]), Ordering::Equal);
+    /// assert_eq!(p.subtree_cmp(&[2, 1]), Ordering::Greater);
+    /// # Ok::<(), rekey_id::IdError>(())
+    /// ```
+    pub fn subtree_cmp(&self, digits: &[u16]) -> std::cmp::Ordering {
+        subtree_cmp(&self.digits, digits)
+    }
+
+    /// The proper ancestors of this prefix, root first: `[]`, the length-1
+    /// prefix, …, up to (excluding) `self`.
+    ///
+    /// ```
+    /// use rekey_id::{IdPrefix, IdSpec};
+    /// let spec = IdSpec::new(3, 10)?;
+    /// let p = IdPrefix::new(&spec, vec![2, 0])?;
+    /// let chain: Vec<IdPrefix> = p.ancestors().collect();
+    /// assert_eq!(chain.len(), 2);
+    /// assert!(chain[0].is_empty());
+    /// assert_eq!(chain[1].digits(), &[2]);
+    /// # Ok::<(), rekey_id::IdError>(())
+    /// ```
+    pub fn ancestors(&self) -> impl Iterator<Item = IdPrefix> + '_ {
+        (0..self.digits.len()).map(move |len| IdPrefix {
+            digits: self.digits[..len].to_vec(),
+        })
+    }
+
     /// Converts a full-length prefix back into a [`UserId`].
     ///
     /// Returns `None` if this prefix is shorter than `spec.depth()`.
@@ -138,6 +206,23 @@ impl IdPrefix {
         } else {
             None
         }
+    }
+}
+
+/// Slice-level form of [`IdPrefix::subtree_cmp`], for callers that index
+/// raw digit strings without materialising an `IdPrefix` per comparison
+/// (the transport layer's split index binary-searches with this).
+pub fn subtree_cmp(prefix: &[u16], digits: &[u16]) -> std::cmp::Ordering {
+    let shared = prefix.len().min(digits.len());
+    match digits[..shared].cmp(&prefix[..shared]) {
+        std::cmp::Ordering::Equal => {
+            if digits.len() >= prefix.len() {
+                std::cmp::Ordering::Equal
+            } else {
+                std::cmp::Ordering::Less
+            }
+        }
+        unequal => unequal,
     }
 }
 
@@ -156,13 +241,17 @@ impl fmt::Display for IdPrefix {
 
 impl From<UserId> for IdPrefix {
     fn from(id: UserId) -> IdPrefix {
-        IdPrefix { digits: id.digits().to_vec() }
+        IdPrefix {
+            digits: id.digits().to_vec(),
+        }
     }
 }
 
 impl From<&UserId> for IdPrefix {
     fn from(id: &UserId) -> IdPrefix {
-        IdPrefix { digits: id.digits().to_vec() }
+        IdPrefix {
+            digits: id.digits().to_vec(),
+        }
     }
 }
 
@@ -227,6 +316,59 @@ mod tests {
         assert!(u.prefix(0).is_prefix_of_id(&u));
         assert!(u.prefix(3).is_prefix_of_id(&u));
         assert!(!p.child(0).is_prefix_of_id(&u));
+    }
+
+    #[test]
+    fn subtree_cmp_matches_is_related_partition() {
+        use std::cmp::Ordering;
+        let s = spec();
+        // Exhaustive over all prefixes of a small spec: subtree_cmp(x) is
+        // Equal iff self is a prefix of x; and sorting by digits makes the
+        // Equal class contiguous.
+        let mut all: Vec<IdPrefix> = Vec::new();
+        for len in 0..=s.depth() {
+            let mut stack = vec![Vec::new()];
+            for _ in 0..len {
+                let mut next = Vec::new();
+                for d in &stack {
+                    for digit in 0..s.base() {
+                        let mut e = d.clone();
+                        e.push(digit);
+                        next.push(e);
+                    }
+                }
+                stack = next;
+            }
+            all.extend(stack.into_iter().map(|d| IdPrefix::new(&s, d).unwrap()));
+        }
+        all.sort();
+        for p in &all {
+            let classes: Vec<Ordering> = all.iter().map(|x| p.subtree_cmp(x.digits())).collect();
+            for (x, class) in all.iter().zip(&classes) {
+                assert_eq!(*class == Ordering::Equal, p.is_prefix_of(x), "{p} vs {x}");
+            }
+            // Contiguity: no Less after an Equal, no Equal after a Greater.
+            let run: Vec<Ordering> = classes.clone();
+            let first_eq = run.iter().position(|&c| c == Ordering::Equal);
+            let last_eq = run.iter().rposition(|&c| c == Ordering::Equal);
+            if let (Some(lo), Some(hi)) = (first_eq, last_eq) {
+                assert!(run[lo..=hi].iter().all(|&c| c == Ordering::Equal), "{p}");
+                assert!(run[..lo].iter().all(|&c| c == Ordering::Less), "{p}");
+                assert!(run[hi + 1..].iter().all(|&c| c == Ordering::Greater), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_yield_proper_prefix_chain() {
+        let p = IdPrefix::new(&spec(), vec![1, 2, 3]).unwrap();
+        let chain: Vec<IdPrefix> = p.ancestors().collect();
+        assert_eq!(chain.len(), 3);
+        assert!(chain[0].is_empty());
+        assert_eq!(chain[1].digits(), &[1]);
+        assert_eq!(chain[2].digits(), &[1, 2]);
+        assert!(chain.iter().all(|a| a.is_prefix_of(&p) && a != &p));
+        assert_eq!(IdPrefix::root().ancestors().count(), 0);
     }
 
     #[test]

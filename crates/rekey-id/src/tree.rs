@@ -68,7 +68,10 @@ impl IdTree {
     where
         I: IntoIterator<Item = UserId>,
     {
-        let mut tree = IdTree { spec: *spec, nodes: BTreeMap::new() };
+        let mut tree = IdTree {
+            spec: *spec,
+            nodes: BTreeMap::new(),
+        };
         for user in users {
             tree.insert(&user);
         }
@@ -78,7 +81,10 @@ impl IdTree {
     /// An empty ID tree (no users, no nodes — not even a root: per
     /// Definition 1 a node exists only if some user ID has it as a prefix).
     pub fn new(spec: &IdSpec) -> IdTree {
-        IdTree { spec: *spec, nodes: BTreeMap::new() }
+        IdTree {
+            spec: *spec,
+            nodes: BTreeMap::new(),
+        }
     }
 
     /// The ID-space specification this tree was built for.
@@ -125,7 +131,9 @@ impl IdTree {
                 self.nodes.remove(&id);
                 if let Some(parent) = id.parent() {
                     if let Some(parent_node) = self.nodes.get_mut(&parent) {
-                        parent_node.children.remove(&id.last_digit().expect("non-root"));
+                        parent_node
+                            .children
+                            .remove(&id.last_digit().expect("non-root"));
                     }
                 }
             }
@@ -145,7 +153,9 @@ impl IdTree {
 
     /// Total number of users in the group.
     pub fn user_count(&self) -> usize {
-        self.nodes.get(&IdPrefix::root()).map_or(0, |n| n.user_count)
+        self.nodes
+            .get(&IdPrefix::root())
+            .map_or(0, |n| n.user_count)
     }
 
     /// Total number of ID-tree nodes (all levels, including leaves).

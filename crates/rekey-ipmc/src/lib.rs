@@ -70,15 +70,18 @@ pub fn source_tree(net: &RoutedNetwork, source: HostId, receivers: &[HostId]) ->
             links.extend(path);
         }
     }
-    SourceTree { delays, links: links.into_iter().collect() }
+    SourceTree {
+        delays,
+        links: links.into_iter().collect(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use rekey_net::Network;
     use rekey_net::gtitm::{generate, GtItmParams};
+    use rekey_net::Network;
 
     fn network(n: usize, seed: u64) -> RoutedNetwork {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -114,7 +117,11 @@ mod tests {
         let receivers: Vec<HostId> = (1..10).map(HostId).collect();
         let tree = source_tree(&net, HostId(0), &receivers);
         let load = tree.link_load(net.graph().link_count(), 37);
-        assert_eq!(load.max(), 37, "every tree link carries the full message once");
+        assert_eq!(
+            load.max(),
+            37,
+            "every tree link carries the full message once"
+        );
         assert_eq!(load.total(), 37 * tree.links().len() as u64);
     }
 

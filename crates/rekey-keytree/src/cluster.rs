@@ -103,7 +103,9 @@ impl ClusteredKeyTree {
 
     /// `true` iff `user` is in the group.
     pub fn contains_user(&self, user: &UserId) -> bool {
-        self.cluster_id(user).map(|c| self.clusters[&c].contains(user)).unwrap_or(false)
+        self.cluster_id(user)
+            .map(|c| self.clusters[&c].contains(user))
+            .unwrap_or(false)
     }
 
     /// The cluster (level-`(D−1)` subtree) ID `user` belongs to, if that
@@ -162,8 +164,11 @@ impl ClusteredKeyTree {
             }
         }
 
-        let old_leaders: std::collections::BTreeSet<UserId> =
-            self.clusters.values().filter_map(|c| c.leader().cloned()).collect();
+        let old_leaders: std::collections::BTreeSet<UserId> = self
+            .clusters
+            .values()
+            .filter_map(|c| c.leader().cloned())
+            .collect();
 
         // Apply membership changes: leaves first so a reused ID lands in a
         // vacated slot.
@@ -182,8 +187,11 @@ impl ClusteredKeyTree {
             self.join_seq += 1;
         }
 
-        let new_leaders: std::collections::BTreeSet<UserId> =
-            self.clusters.values().filter_map(|c| c.leader().cloned()).collect();
+        let new_leaders: std::collections::BTreeSet<UserId> = self
+            .clusters
+            .values()
+            .filter_map(|c| c.leader().cloned())
+            .collect();
 
         // A leader ID present on both sides still churns when the *person*
         // left and a new user re-acquired the ID in this batch.
@@ -205,11 +213,17 @@ impl ClusteredKeyTree {
         // After a group-key change every leader refreshes its non-leader
         // members over pairwise keys.
         let leader_unicasts = if rekey.cost() > 0 {
-            self.clusters.values().map(|c| (c.members.len() - 1) as u64).sum()
+            self.clusters
+                .values()
+                .map(|c| (c.members.len() - 1) as u64)
+                .sum()
         } else {
             0
         };
-        Ok(ClusterRekeyOutcome { rekey, leader_unicasts })
+        Ok(ClusterRekeyOutcome {
+            rekey,
+            leader_unicasts,
+        })
     }
 }
 
@@ -244,9 +258,12 @@ mod tests {
     fn non_leader_churn_is_free() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut ct = ClusteredKeyTree::new(&spec());
-        ct.batch_rekey(&[uid([0, 0, 0]), uid([2, 1, 0])], &[], &mut rng).unwrap();
+        ct.batch_rekey(&[uid([0, 0, 0]), uid([2, 1, 0])], &[], &mut rng)
+            .unwrap();
         // Same cluster as [0,0,0]:
-        let out = ct.batch_rekey(&[uid([0, 0, 1]), uid([0, 0, 2])], &[], &mut rng).unwrap();
+        let out = ct
+            .batch_rekey(&[uid([0, 0, 1]), uid([0, 0, 2])], &[], &mut rng)
+            .unwrap();
         assert_eq!(out.cost(), 0, "non-leader joins incur no group rekeying");
         assert_eq!(ct.user_count(), 4);
         assert_eq!(ct.tree().user_count(), 2, "only leaders have u-nodes");
@@ -259,8 +276,12 @@ mod tests {
     fn leader_leave_hands_over_and_rekeys() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut ct = ClusteredKeyTree::new(&spec());
-        ct.batch_rekey(&[uid([0, 0, 0]), uid([0, 0, 1]), uid([2, 0, 0])], &[], &mut rng)
-            .unwrap();
+        ct.batch_rekey(
+            &[uid([0, 0, 0]), uid([0, 0, 1]), uid([2, 0, 0])],
+            &[],
+            &mut rng,
+        )
+        .unwrap();
         assert!(ct.is_leader(&uid([0, 0, 0])));
         let out = ct.batch_rekey(&[], &[uid([0, 0, 0])], &mut rng).unwrap();
         // Earliest-joined survivor takes over.
@@ -277,7 +298,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut ct = ClusteredKeyTree::new(&spec());
         ct.batch_rekey(
-            &[uid([0, 0, 0]), uid([0, 0, 1]), uid([0, 0, 2]), uid([2, 0, 0])],
+            &[
+                uid([0, 0, 0]),
+                uid([0, 0, 1]),
+                uid([0, 0, 2]),
+                uid([2, 0, 0]),
+            ],
             &[],
             &mut rng,
         )
@@ -293,10 +319,15 @@ mod tests {
     fn cluster_emptying_removes_tree_leaf() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut ct = ClusteredKeyTree::new(&spec());
-        ct.batch_rekey(&[uid([0, 0, 0]), uid([0, 0, 1]), uid([3, 3, 3])], &[], &mut rng)
+        ct.batch_rekey(
+            &[uid([0, 0, 0]), uid([0, 0, 1]), uid([3, 3, 3])],
+            &[],
+            &mut rng,
+        )
+        .unwrap();
+        let out = ct
+            .batch_rekey(&[], &[uid([0, 0, 0]), uid([0, 0, 1])], &mut rng)
             .unwrap();
-        let out =
-            ct.batch_rekey(&[], &[uid([0, 0, 0]), uid([0, 0, 1])], &mut rng).unwrap();
         assert!(out.cost() > 0);
         assert_eq!(ct.tree().user_count(), 1);
         assert_eq!(ct.user_count(), 1);
@@ -324,7 +355,8 @@ mod tests {
     fn same_batch_handover() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut ct = ClusteredKeyTree::new(&spec());
-        ct.batch_rekey(&[uid([0, 0, 0]), uid([1, 0, 0])], &[], &mut rng).unwrap();
+        ct.batch_rekey(&[uid([0, 0, 0]), uid([1, 0, 0])], &[], &mut rng)
+            .unwrap();
         let out = ct
             .batch_rekey(&[uid([0, 0, 3])], &[uid([0, 0, 0])], &mut rng)
             .unwrap();

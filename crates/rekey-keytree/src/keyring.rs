@@ -77,15 +77,26 @@ impl KeyRing {
     /// Encryptions may arrive in any order; the method iterates to a fixed
     /// point so that chains (individual → aux → … → group key) resolve even
     /// if shallow wraps appear first.
-    pub fn absorb(&mut self, encryptions: &[Encryption]) -> usize {
+    ///
+    /// Takes any re-iterable borrowing iterator (a slice, a `Vec`, or an
+    /// index-based view over a shared encryption buffer), so callers never
+    /// have to clone `Encryption`s into a contiguous buffer first.
+    pub fn absorb<'a, I>(&mut self, encryptions: I) -> usize
+    where
+        I: IntoIterator<Item = &'a Encryption>,
+        I::IntoIter: Clone,
+    {
+        let encryptions = encryptions.into_iter();
         let mut installed = 0;
         loop {
             let mut progress = false;
-            for e in encryptions {
+            for e in encryptions.clone() {
                 if !self.needs(e) {
                     continue;
                 }
-                let Some(wrap_key) = self.keys.get(e.id()) else { continue };
+                let Some(wrap_key) = self.keys.get(e.id()) else {
+                    continue;
+                };
                 if wrap_key.version() != e.encrypting_version() {
                     continue;
                 }
@@ -97,7 +108,9 @@ impl KeyRing {
                 {
                     continue;
                 }
-                let new_key = e.open(wrap_key).expect("ID and version matched, unwrap must work");
+                let new_key = e
+                    .open(wrap_key)
+                    .expect("ID and version matched, unwrap must work");
                 self.keys.insert(new_key.id().clone(), new_key);
                 installed += 1;
                 progress = true;
@@ -135,8 +148,10 @@ mod tests {
 
     fn group() -> (StdRng, ModifiedKeyTree, Vec<UserId>) {
         let mut rng = StdRng::seed_from_u64(33);
-        let users: Vec<UserId> =
-            [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)).collect();
+        let users: Vec<UserId> = [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]]
+            .iter()
+            .map(|d| uid(*d))
+            .collect();
         let mut tree = ModifiedKeyTree::new(&spec());
         tree.batch_rekey(&users, &[], &mut rng).unwrap();
         (rng, tree, users)
@@ -149,7 +164,9 @@ mod tests {
         assert!(ring.matches_path(&spec(), &tree.user_path_keys(&users[0])));
 
         // u5 = [2,2] leaves; user [0,0] needs only {new group}_{k[0]}.
-        let out = tree.batch_rekey(&[], &[users[4].clone()], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .unwrap();
         let needed: Vec<_> = out.encryptions.iter().filter(|e| ring.needs(e)).collect();
         assert_eq!(needed.len(), 1);
         let installed = ring.absorb(&out.encryptions);
@@ -162,7 +179,9 @@ mod tests {
     fn absorb_resolves_chains_in_any_order() {
         let (mut rng, mut tree, users) = group();
         let mut ring = KeyRing::new(users[2].clone(), tree.user_path_keys(&users[2]));
-        let out = tree.batch_rekey(&[], &[users[4].clone()], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .unwrap();
         // User [2,0] needs the new aux key [2] (via its individual key) and
         // then the new group key (via the new aux key).
         let mut reversed = out.encryptions.clone();
@@ -177,9 +196,14 @@ mod tests {
         let (mut rng, mut tree, users) = group();
         let mut departed_ring = KeyRing::new(users[4].clone(), tree.user_path_keys(&users[4]));
         let old_group = departed_ring.group_key().unwrap().clone();
-        let out = tree.batch_rekey(&[], &[users[4].clone()], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .unwrap();
         let installed = departed_ring.absorb(&out.encryptions);
-        assert_eq!(installed, 0, "forward secrecy: departed user learns nothing");
+        assert_eq!(
+            installed, 0,
+            "forward secrecy: departed user learns nothing"
+        );
         assert_eq!(departed_ring.group_key(), Some(&old_group));
         assert_ne!(tree.group_key(), Some(&old_group));
     }
@@ -206,8 +230,12 @@ mod tests {
     fn stale_wrap_versions_are_ignored() {
         let (mut rng, mut tree, users) = group();
         let mut ring = KeyRing::new(users[0].clone(), tree.user_path_keys(&users[0]));
-        let out1 = tree.batch_rekey(&[], &[users[4].clone()], &mut rng).unwrap();
-        let out2 = tree.batch_rekey(&[], &[users[3].clone()], &mut rng).unwrap();
+        let out1 = tree
+            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .unwrap();
+        let out2 = tree
+            .batch_rekey(&[], &[users[3].clone()], &mut rng)
+            .unwrap();
         // Apply the *second* interval first: wraps under keys the ring does
         // not yet have versions for must not panic, just not install.
         ring.absorb(&out2.encryptions);

@@ -95,7 +95,10 @@ pub struct ModifiedKeyTree {
 impl ModifiedKeyTree {
     /// Creates an empty tree (no users, no group key yet).
     pub fn new(spec: &IdSpec) -> ModifiedKeyTree {
-        ModifiedKeyTree { spec: *spec, nodes: BTreeMap::new() }
+        ModifiedKeyTree {
+            spec: *spec,
+            nodes: BTreeMap::new(),
+        }
     }
 
     /// The ID-space specification.
@@ -149,9 +152,8 @@ impl ModifiedKeyTree {
             return false;
         }
         self.nodes.iter().all(|(id, node)| {
-            tree.node(id).is_some_and(|t| {
-                node.children.iter().copied().eq(t.child_digits())
-            })
+            tree.node(id)
+                .is_some_and(|t| node.children.iter().copied().eq(t.child_digits()))
         })
     }
 
@@ -236,7 +238,10 @@ impl ModifiedKeyTree {
         for u in joins {
             self.nodes.insert(
                 u.as_prefix(),
-                TreeNode { key: Key::random(u.as_prefix(), rng), children: BTreeSet::new() },
+                TreeNode {
+                    key: Key::random(u.as_prefix(), rng),
+                    children: BTreeSet::new(),
+                },
             );
             for level in (0..depth).rev() {
                 let id = u.prefix(level);
@@ -271,7 +276,10 @@ impl ModifiedKeyTree {
                 encryptions.push(Encryption::seal(&child.key, &new_key, rng));
             }
         }
-        Ok(RekeyOutcome { encryptions, updated: changed.into_iter().collect() })
+        Ok(RekeyOutcome {
+            encryptions,
+            updated: changed.into_iter().collect(),
+        })
     }
 }
 
@@ -292,8 +300,10 @@ mod tests {
     /// Builds the Fig. 1 / Fig. 4 example group.
     fn fig4_tree(rng: &mut StdRng) -> ModifiedKeyTree {
         let mut tree = ModifiedKeyTree::new(&spec());
-        let joins: Vec<UserId> =
-            [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)).collect();
+        let joins: Vec<UserId> = [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]]
+            .iter()
+            .map(|d| uid(*d))
+            .collect();
         tree.batch_rekey(&joins, &[], rng).unwrap();
         tree
     }
@@ -304,7 +314,9 @@ mod tests {
         let tree = fig4_tree(&mut rng);
         let id_tree = IdTree::from_users(
             &spec(),
-            [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)),
+            [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]]
+                .iter()
+                .map(|d| uid(*d)),
         );
         assert!(tree.matches_id_tree(&id_tree));
         assert_eq!(tree.user_count(), 5);
@@ -365,11 +377,10 @@ mod tests {
         // single child [2] left ⇒ exactly one encryption.
         assert_eq!(out.cost(), 1);
         assert_eq!(out.encryptions[0].id().to_string(), "[2]");
-        assert!(tree.key(&IdPrefix::new(&spec(), vec![0]).unwrap()).is_none());
-        let id_tree = IdTree::from_users(
-            &spec(),
-            [[2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)),
-        );
+        assert!(tree
+            .key(&IdPrefix::new(&spec(), vec![0]).unwrap())
+            .is_none());
+        let id_tree = IdTree::from_users(&spec(), [[2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)));
         assert!(tree.matches_id_tree(&id_tree));
     }
 
@@ -406,7 +417,9 @@ mod tests {
         let mut tree = fig4_tree(&mut rng);
         let old_individual = tree.key(&uid([2, 2]).as_prefix()).unwrap().clone();
         let old_group = tree.group_key().unwrap().clone();
-        let out = tree.batch_rekey(&[uid([2, 2])], &[uid([2, 2])], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[uid([2, 2])], &[uid([2, 2])], &mut rng)
+            .unwrap();
         assert!(out.cost() > 0);
         assert!(tree.contains_user(&uid([2, 2])));
         assert_eq!(tree.user_count(), 5);

@@ -90,7 +90,13 @@ impl OriginalKeyTree {
     /// Panics if `degree < 2`.
     pub fn new(degree: usize) -> OriginalKeyTree {
         assert!(degree >= 2, "key tree degree must be at least 2");
-        OriginalKeyTree { degree, nodes: Vec::new(), free: Vec::new(), root: None, users: HashMap::new() }
+        OriginalKeyTree {
+            degree,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: None,
+            users: HashMap::new(),
+        }
     }
 
     /// Builds a full, balanced tree over `users` (the paper's initial
@@ -145,7 +151,13 @@ impl OriginalKeyTree {
     }
 
     fn alloc_internal(&mut self) -> usize {
-        self.alloc(ONode { parent: None, children: Vec::new(), user: None, in_use: true, version: 0 })
+        self.alloc(ONode {
+            parent: None,
+            children: Vec::new(),
+            user: None,
+            in_use: true,
+            version: 0,
+        })
     }
 
     fn attach(&mut self, parent: usize, child: usize) {
@@ -182,7 +194,12 @@ impl OriginalKeyTree {
     /// Height of the tree: edges on the longest root-to-leaf path.
     pub fn height(&self) -> usize {
         fn depth_of(nodes: &[ONode], idx: usize) -> usize {
-            nodes[idx].children.iter().map(|&c| 1 + depth_of(nodes, c)).max().unwrap_or(0)
+            nodes[idx]
+                .children
+                .iter()
+                .map(|&c| 1 + depth_of(nodes, c))
+                .max()
+                .unwrap_or(0)
         }
         self.root.map_or(0, |r| depth_of(&self.nodes, r))
     }
@@ -190,7 +207,9 @@ impl OriginalKeyTree {
     /// Node indices on `user`'s leaf-to-root path (leaf first) — the keys
     /// the user holds.
     pub fn user_path(&self, user: &UserId) -> Vec<NodeIdx> {
-        let Some(&leaf) = self.users.get(user) else { return Vec::new() };
+        let Some(&leaf) = self.users.get(user) else {
+            return Vec::new();
+        };
         let mut path = vec![NodeIdx(leaf)];
         let mut cursor = leaf;
         while let Some(p) = self.nodes[cursor].parent {
@@ -257,11 +276,17 @@ impl OriginalKeyTree {
     pub fn batch_rekey(&mut self, joins: &[UserId], leaves: &[UserId]) -> OrigRekeyOutcome {
         let mut join_set = HashSet::new();
         for u in joins {
-            assert!(join_set.insert(u.clone()), "user {u} appears twice in the batch");
+            assert!(
+                join_set.insert(u.clone()),
+                "user {u} appears twice in the batch"
+            );
         }
         let mut leave_set = HashSet::new();
         for u in leaves {
-            assert!(leave_set.insert(u.clone()), "user {u} appears twice in the batch");
+            assert!(
+                leave_set.insert(u.clone()),
+                "user {u} appears twice in the batch"
+            );
             assert!(self.contains_user(u), "leave of non-member {u}");
         }
         for u in joins {
@@ -275,16 +300,22 @@ impl OriginalKeyTree {
 
         // A join that reuses the ID of a same-batch leave takes over that
         // exact slot: a fresh individual key in place, path rekeyed.
-        let overlap: HashSet<UserId> =
-            join_set.intersection(&leave_set).cloned().collect();
+        let overlap: HashSet<UserId> = join_set.intersection(&leave_set).cloned().collect();
         for u in &overlap {
             let leaf = self.users[u];
             self.nodes[leaf].version += 1;
             changed_parents.insert(self.nodes[leaf].parent.unwrap_or(leaf));
         }
-        let joins: Vec<UserId> = joins.iter().filter(|u| !overlap.contains(u)).cloned().collect();
-        let leaves: Vec<UserId> =
-            leaves.iter().filter(|u| !overlap.contains(u)).cloned().collect();
+        let joins: Vec<UserId> = joins
+            .iter()
+            .filter(|u| !overlap.contains(u))
+            .cloned()
+            .collect();
+        let leaves: Vec<UserId> = leaves
+            .iter()
+            .filter(|u| !overlap.contains(u))
+            .cloned()
+            .collect();
         let (joins, leaves) = (&joins[..], &leaves[..]);
 
         let mut departed: Vec<usize> = leaves.iter().map(|u| self.users[u]).collect();
@@ -296,7 +327,10 @@ impl OriginalKeyTree {
         let replaced = departed.len().min(joins.len());
         for &leaf in departed.iter().take(replaced) {
             let user = joins_iter.next().expect("counted").clone();
-            let old = self.nodes[leaf].user.take().expect("departed node is a leaf");
+            let old = self.nodes[leaf]
+                .user
+                .take()
+                .expect("departed node is a leaf");
             self.users.remove(&old);
             self.nodes[leaf].user = Some(user.clone());
             self.nodes[leaf].version += 1; // fresh individual key
@@ -341,7 +375,10 @@ impl OriginalKeyTree {
 
         // Phase 3: surplus departures are pruned.
         for &leaf in departed.iter().skip(replaced) {
-            let user = self.nodes[leaf].user.clone().expect("departed node is a leaf");
+            let user = self.nodes[leaf]
+                .user
+                .clone()
+                .expect("departed node is a leaf");
             let parent = self.nodes[leaf].parent;
             self.release(leaf);
             self.users.remove(&user);
@@ -381,8 +418,10 @@ impl OriginalKeyTree {
         for &idx in &updated {
             self.nodes[idx].version += 1;
             for &child in &self.nodes[idx].children {
-                encryptions
-                    .push(OrigEncryption { encrypting: NodeIdx(child), target: NodeIdx(idx) });
+                encryptions.push(OrigEncryption {
+                    encrypting: NodeIdx(child),
+                    target: NodeIdx(idx),
+                });
             }
         }
         OrigRekeyOutcome {
@@ -472,7 +511,12 @@ impl OriginalKeyTree {
                 seen.insert(idx);
                 stack.extend(self.nodes[idx].children.iter().copied());
             }
-            let live = self.nodes.iter().enumerate().filter(|(_, n)| n.in_use).count();
+            let live = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.in_use)
+                .count();
             if seen.len() != live {
                 return Err(format!("{} live nodes, {} reachable", live, seen.len()));
             }
@@ -490,7 +534,9 @@ mod tests {
 
     fn users(n: usize) -> Vec<UserId> {
         let spec = IdSpec::new(5, 256).unwrap();
-        (0..n as u64).map(|i| UserId::from_index(&spec, i)).collect()
+        (0..n as u64)
+            .map(|i| UserId::from_index(&spec, i))
+            .collect()
     }
 
     #[test]
@@ -601,8 +647,11 @@ mod tests {
         // A surviving user needs an encryption iff its encrypting node is on
         // the user's path.
         let path: HashSet<usize> = tree.user_path(&us[1]).into_iter().map(|n| n.0).collect();
-        let needed: Vec<&OrigEncryption> =
-            out.encryptions.iter().filter(|e| path.contains(&e.encrypting.0)).collect();
+        let needed: Vec<&OrigEncryption> = out
+            .encryptions
+            .iter()
+            .filter(|e| path.contains(&e.encrypting.0))
+            .collect();
         // Exactly one per updated ancestor of u1 that is on u1's path side.
         assert!(!needed.is_empty());
         assert!(needed.len() <= tree.user_path(&us[1]).len());

@@ -43,7 +43,11 @@ impl Coordinate {
     ///
     /// Panics if the coordinates have different dimensionality.
     pub fn estimate_rtt(&self, other: &Coordinate) -> Micros {
-        assert_eq!(self.rtts.len(), other.rtts.len(), "coordinate dimension mismatch");
+        assert_eq!(
+            self.rtts.len(),
+            other.rtts.len(),
+            "coordinate dimension mismatch"
+        );
         let mut lower = 0;
         let mut upper = Micros::MAX;
         for (&a, &b) in self.rtts.iter().zip(&other.rtts) {
@@ -95,7 +99,11 @@ impl CoordinateSystem {
     /// the ID assignment operates on gateway RTTs, §3.1.2).
     pub fn measure(&self, host: HostId, net: &impl Network) -> Coordinate {
         Coordinate {
-            rtts: self.landmarks.iter().map(|&l| net.gateway_rtt(host, l)).collect(),
+            rtts: self
+                .landmarks
+                .iter()
+                .map(|&l| net.gateway_rtt(host, l))
+                .collect(),
         }
     }
 }
@@ -158,8 +166,9 @@ mod tests {
     fn estimates_classify_near_vs_far_pairs() {
         let net = net();
         let cs = CoordinateSystem::spread(net.host_count(), 12);
-        let coords: Vec<Coordinate> =
-            (0..net.host_count()).map(|h| cs.measure(HostId(h), &net)).collect();
+        let coords: Vec<Coordinate> = (0..net.host_count())
+            .map(|h| cs.measure(HostId(h), &net))
+            .collect();
         let mut correct = 0usize;
         let mut total = 0usize;
         for a in 0..coords.len() {
@@ -176,7 +185,10 @@ mod tests {
             }
         }
         let accuracy = correct as f64 / total as f64;
-        assert!(accuracy > 0.85, "near/far classification accuracy {accuracy:.2} too low");
+        assert!(
+            accuracy > 0.85,
+            "near/far classification accuracy {accuracy:.2} too low"
+        );
     }
 
     #[test]

@@ -130,7 +130,10 @@ mod tests {
         let g = diamond();
         let sp = shortest_paths(&g, RouterId(0));
         let routers = sp.path_routers(RouterId(3)).unwrap();
-        assert_eq!(routers, vec![RouterId(0), RouterId(2), RouterId(1), RouterId(3)]);
+        assert_eq!(
+            routers,
+            vec![RouterId(0), RouterId(2), RouterId(1), RouterId(3)]
+        );
         let links = sp.path_links(RouterId(3)).unwrap();
         assert_eq!(links.len(), 3);
         // Path delay equals the distance.

@@ -90,7 +90,10 @@ impl RouterGraph {
     /// Panics on self-loops or out-of-range router IDs.
     pub fn add_link(&mut self, a: RouterId, b: RouterId, one_way: Micros) -> LinkId {
         assert_ne!(a, b, "self-loop links are not allowed");
-        assert!(a.0 < self.adjacency.len() && b.0 < self.adjacency.len(), "unknown router");
+        assert!(
+            a.0 < self.adjacency.len() && b.0 < self.adjacency.len(),
+            "unknown router"
+        );
         let id = LinkId(self.links.len());
         self.links.push(Link { a, b, one_way });
         self.adjacency[a.0].push((b, id));

@@ -144,7 +144,10 @@ fn connect_random<R: Rng + ?Sized>(
 ///
 /// Panics if any count parameter is zero or `stub_nodes_min > stub_nodes_max`.
 pub fn generate<R: Rng + ?Sized>(params: &GtItmParams, rng: &mut R) -> TransitStubTopology {
-    assert!(params.transit_domains > 0, "need at least one transit domain");
+    assert!(
+        params.transit_domains > 0,
+        "need at least one transit domain"
+    );
     assert!(params.transit_nodes_per_domain > 0, "need transit nodes");
     assert!(params.stub_nodes_min > 0 && params.stub_nodes_min <= params.stub_nodes_max);
     let mut graph = RouterGraph::new();
@@ -155,7 +158,13 @@ pub fn generate<R: Rng + ?Sized>(params: &GtItmParams, rng: &mut R) -> TransitSt
     // Transit domains.
     for _ in 0..params.transit_domains {
         let nodes = graph.add_routers(params.transit_nodes_per_domain);
-        connect_random(&mut graph, &nodes, params.extra_transit_edge_prob, params.transit_delay, rng);
+        connect_random(
+            &mut graph,
+            &nodes,
+            params.extra_transit_edge_prob,
+            params.transit_delay,
+            rng,
+        );
         transit_routers.extend_from_slice(&nodes);
         domains.push(nodes);
     }
@@ -184,15 +193,29 @@ pub fn generate<R: Rng + ?Sized>(params: &GtItmParams, rng: &mut R) -> TransitSt
         for _ in 0..params.stub_domains_per_transit_node {
             let size = rng.gen_range(params.stub_nodes_min..=params.stub_nodes_max);
             let nodes = graph.add_routers(size);
-            connect_random(&mut graph, &nodes, params.extra_stub_edge_prob, params.stub_delay, rng);
+            connect_random(
+                &mut graph,
+                &nodes,
+                params.extra_stub_edge_prob,
+                params.stub_delay,
+                rng,
+            );
             let gateway = nodes[rng.gen_range(0..nodes.len())];
-            graph.add_link(transit, gateway, one_way_from_two_way(rng, params.stub_transit_delay));
+            graph.add_link(
+                transit,
+                gateway,
+                one_way_from_two_way(rng, params.stub_transit_delay),
+            );
             stub_routers.extend_from_slice(&nodes);
         }
     }
 
     debug_assert!(graph.is_connected());
-    TransitStubTopology { graph, transit_routers, stub_routers }
+    TransitStubTopology {
+        graph,
+        transit_routers,
+        stub_routers,
+    }
 }
 
 #[cfg(test)]
@@ -220,8 +243,14 @@ mod tests {
         let topo = generate(&GtItmParams::default(), &mut rng);
         let routers = topo.graph().router_count();
         let links = topo.graph().link_count();
-        assert!((4200..=5800).contains(&routers), "router count {routers} far from 5000");
-        assert!((10_000..=16_000).contains(&links), "link count {links} far from 13000");
+        assert!(
+            (4200..=5800).contains(&routers),
+            "router count {routers} far from 5000"
+        );
+        assert!(
+            (10_000..=16_000).contains(&links),
+            "link count {links} far from 13000"
+        );
         assert!(topo.graph().is_connected());
     }
 
@@ -234,9 +263,14 @@ mod tests {
         for l in 0..g.link_count() {
             let d = g.link(crate::LinkId(l)).one_way;
             // Every one-way delay must be half of some configured two-way range.
-            let ok = [params.stub_delay, params.stub_transit_delay, params.transit_delay, params.inter_domain_delay]
-                .iter()
-                .any(|&(lo, hi)| d >= lo / 2 && d <= hi / 2 + 1);
+            let ok = [
+                params.stub_delay,
+                params.stub_transit_delay,
+                params.transit_delay,
+                params.inter_domain_delay,
+            ]
+            .iter()
+            .any(|&(lo, hi)| d >= lo / 2 && d <= hi / 2 + 1);
             assert!(ok, "delay {d} in no class");
         }
     }
@@ -248,7 +282,10 @@ mod tests {
         assert_eq!(t1.graph().router_count(), t2.graph().router_count());
         assert_eq!(t1.graph().link_count(), t2.graph().link_count());
         for l in 0..t1.graph().link_count() {
-            assert_eq!(t1.graph().link(crate::LinkId(l)), t2.graph().link(crate::LinkId(l)));
+            assert_eq!(
+                t1.graph().link(crate::LinkId(l)),
+                t2.graph().link(crate::LinkId(l))
+            );
         }
     }
 }

@@ -130,7 +130,12 @@ impl MatrixNetwork {
                 flat.push(v);
             }
         }
-        MatrixNetwork { n, gateway_rtt: flat, access, continent: vec![0; n] }
+        MatrixNetwork {
+            n,
+            gateway_rtt: flat,
+            access,
+            continent: vec![0; n],
+        }
     }
 
     /// Synthesises a PlanetLab-like RTT matrix.
@@ -154,7 +159,9 @@ impl MatrixNetwork {
         for (c, &hosts) in params.continent_hosts.iter().enumerate() {
             let mut remaining = hosts;
             while remaining > 0 {
-                let size = rng.gen_range(params.site_size.0..=params.site_size.1).min(remaining);
+                let size = rng
+                    .gen_range(params.site_size.0..=params.site_size.1)
+                    .min(remaining);
                 let site_id = site_offsets.len();
                 site_offsets.push(rng.gen_range(params.site_offset.0..=params.site_offset.1));
                 site_continent.push(c);
@@ -189,8 +196,15 @@ impl MatrixNetwork {
                 gateway_rtt[j * n + i] = rtt;
             }
         }
-        let access = (0..n).map(|_| rng.gen_range(params.access.0..=params.access.1)).collect();
-        MatrixNetwork { n, gateway_rtt, access, continent }
+        let access = (0..n)
+            .map(|_| rng.gen_range(params.access.0..=params.access.1))
+            .collect();
+        MatrixNetwork {
+            n,
+            gateway_rtt,
+            access,
+            continent,
+        }
     }
 
     /// The continent index assigned to host `h` (0 for matrices built with

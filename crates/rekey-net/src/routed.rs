@@ -36,9 +36,16 @@ impl RoutedNetwork {
     /// Panics if any attachment router is out of range for `graph`.
     pub fn new(graph: RouterGraph, attachments: Vec<RouterId>) -> RoutedNetwork {
         for &r in &attachments {
-            assert!(r.0 < graph.router_count(), "attachment router {r} out of range");
+            assert!(
+                r.0 < graph.router_count(),
+                "attachment router {r} out of range"
+            );
         }
-        RoutedNetwork { graph, attachments, sssp_cache: RefCell::new(HashMap::new()) }
+        RoutedNetwork {
+            graph,
+            attachments,
+            sssp_cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Attaches `hosts` hosts to uniformly random routers.
@@ -47,9 +54,13 @@ impl RoutedNetwork {
         hosts: usize,
         rng: &mut R,
     ) -> RoutedNetwork {
-        assert!(graph.router_count() > 0, "cannot attach hosts to an empty graph");
-        let attachments =
-            (0..hosts).map(|_| RouterId(rng.gen_range(0..graph.router_count()))).collect();
+        assert!(
+            graph.router_count() > 0,
+            "cannot attach hosts to an empty graph"
+        );
+        let attachments = (0..hosts)
+            .map(|_| RouterId(rng.gen_range(0..graph.router_count())))
+            .collect();
         RoutedNetwork::new(graph, attachments)
     }
 
@@ -62,7 +73,9 @@ impl RoutedNetwork {
         rng: &mut R,
     ) -> RoutedNetwork {
         assert!(!candidates.is_empty(), "need at least one candidate router");
-        let attachments = (0..hosts).map(|_| candidates[rng.gen_range(0..candidates.len())]).collect();
+        let attachments = (0..hosts)
+            .map(|_| candidates[rng.gen_range(0..candidates.len())])
+            .collect();
         RoutedNetwork::new(graph, attachments)
     }
 
@@ -118,7 +131,8 @@ impl Network for RoutedNetwork {
         if a == b {
             return Some(Vec::new());
         }
-        self.sssp(self.attachments[a.0]).path_links(self.attachments[b.0])
+        self.sssp(self.attachments[a.0])
+            .path_links(self.attachments[b.0])
     }
 
     fn link_count(&self) -> usize {
@@ -175,8 +189,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let topo = generate(&GtItmParams::small(), &mut rng);
         let stub = topo.stub_routers().to_vec();
-        let net =
-            RoutedNetwork::random_attachment_among(topo.into_graph(), &stub, 20, &mut rng);
+        let net = RoutedNetwork::random_attachment_among(topo.into_graph(), &stub, 20, &mut rng);
         assert_eq!(net.host_count(), 20);
         for h in 0..20 {
             assert!(stub.contains(&net.attachment(HostId(h))));
@@ -184,7 +197,10 @@ mod tests {
         // Symmetry of delays over an undirected graph.
         for a in 0..5 {
             for b in 0..5 {
-                assert_eq!(net.one_way(HostId(a), HostId(b)), net.one_way(HostId(b), HostId(a)));
+                assert_eq!(
+                    net.one_way(HostId(a), HostId(b)),
+                    net.one_way(HostId(b), HostId(a))
+                );
             }
         }
     }

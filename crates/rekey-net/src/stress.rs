@@ -16,7 +16,9 @@ pub struct LinkLoad {
 impl LinkLoad {
     /// Creates a zeroed accumulator for `link_count` links.
     pub fn new(link_count: usize) -> LinkLoad {
-        LinkLoad { per_link: vec![0; link_count] }
+        LinkLoad {
+            per_link: vec![0; link_count],
+        }
     }
 
     /// Adds `amount` to one link.
@@ -65,7 +67,11 @@ impl LinkLoad {
 
     /// Iterates over `(link, load)` pairs with nonzero load.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (LinkId, u64)> + '_ {
-        self.per_link.iter().enumerate().filter(|&(_, &v)| v > 0).map(|(i, &v)| (LinkId(i), v))
+        self.per_link
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(i, &v)| (LinkId(i), v))
     }
 }
 

@@ -18,7 +18,10 @@ pub struct Cluster {
 impl Cluster {
     /// Creates a singleton cluster.
     pub fn singleton(host: HostId) -> Cluster {
-        Cluster { members: vec![host], leader: host }
+        Cluster {
+            members: vec![host],
+            leader: host,
+        }
     }
 
     /// Number of members.
@@ -74,7 +77,11 @@ impl Cluster {
     ///
     /// Panics if the cluster has fewer than two members.
     pub fn split(&self, net: &impl Network) -> (Cluster, Cluster) {
-        assert!(self.members.len() >= 2, "cannot split a cluster of {}", self.members.len());
+        assert!(
+            self.members.len() >= 2,
+            "cannot split a cluster of {}",
+            self.members.len()
+        );
         // Farthest pair (quadratic; clusters are ≤ 3k−1 members).
         let (mut seed_a, mut seed_b, mut worst) = (self.members[0], self.members[1], 0);
         for (i, &a) in self.members.iter().enumerate() {
@@ -89,8 +96,12 @@ impl Cluster {
         }
         let mut half_a = vec![seed_a];
         let mut half_b = vec![seed_b];
-        let mut rest: Vec<HostId> =
-            self.members.iter().copied().filter(|&m| m != seed_a && m != seed_b).collect();
+        let mut rest: Vec<HostId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != seed_a && m != seed_b)
+            .collect();
         // Assign by proximity, keeping sizes balanced (|difference| ≤ 1).
         rest.sort_by_key(|&m| {
             let da = net.rtt(m, seed_a) as i64;
@@ -107,8 +118,14 @@ impl Cluster {
                 half_b.push(m);
             }
         }
-        let mut a = Cluster { members: half_a, leader: seed_a };
-        let mut b = Cluster { members: half_b, leader: seed_b };
+        let mut a = Cluster {
+            members: half_a,
+            leader: seed_a,
+        };
+        let mut b = Cluster {
+            members: half_b,
+            leader: seed_b,
+        };
         a.refresh_leader(net);
         b.refresh_leader(net);
         (a, b)
@@ -116,7 +133,11 @@ impl Cluster {
 
     /// Maximum RTT from the leader to any member (the cluster "radius").
     pub fn radius(&self, net: &impl Network) -> Micros {
-        self.members.iter().map(|&m| net.rtt(self.leader, m)).max().unwrap_or(0)
+        self.members
+            .iter()
+            .map(|&m| net.rtt(self.leader, m))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -163,7 +184,12 @@ mod tests {
         let (a, b) = c.split(&net);
         assert_eq!(a.len() + b.len(), 6);
         assert!((a.len() as i64 - b.len() as i64).abs() <= 1);
-        let site = |c: &Cluster| c.members.iter().map(|h| usize::from(h.0 >= 3)).sum::<usize>();
+        let site = |c: &Cluster| {
+            c.members
+                .iter()
+                .map(|h| usize::from(h.0 >= 3))
+                .sum::<usize>()
+        };
         // Each half must be all-one-site (0 or len matches).
         assert!(site(&a) == 0 || site(&a) == a.len());
         assert!(site(&b) == 0 || site(&b) == b.len());

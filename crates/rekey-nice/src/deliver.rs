@@ -111,7 +111,13 @@ impl NiceHierarchy {
                 *outcome.duplicates.entry(p.to).or_insert(0) += 1;
                 continue;
             }
-            outcome.arrivals.insert(p.to, NiceDelivery { arrival: at, from: p.from });
+            outcome.arrivals.insert(
+                p.to,
+                NiceDelivery {
+                    arrival: at,
+                    from: p.from,
+                },
+            );
             // Forward to all peers in all clusters this member belongs to,
             // except the cluster the copy arrived in (NICE data plane).
             for (layer, ci) in self.clusters_of(p.to) {
@@ -182,8 +188,14 @@ impl NiceHierarchy {
         if leader == sender {
             // The sender leads its cluster: it starts the dissemination
             // itself (no unicast hop). It is the origin, not a receiver.
-            let seed =
-                Pending { at: 0, seq: 0, to: sender, from: None, via: None, suppress: None };
+            let seed = Pending {
+                at: 0,
+                seq: 0,
+                to: sender,
+                from: None,
+                via: None,
+                suppress: None,
+            };
             let mut outcome = self.run_delivery(net, seed, None);
             outcome.arrivals.remove(&sender);
             return outcome;
@@ -240,7 +252,10 @@ mod tests {
         for sender in h.members() {
             let out = h.data_multicast(&net, sender);
             // The sender never receives its own message back…
-            assert!(out.delivery(sender).is_none(), "sender {sender} got a copy back");
+            assert!(
+                out.delivery(sender).is_none(),
+                "sender {sender} got a copy back"
+            );
             // …and everyone else gets exactly one copy.
             assert_eq!(out.reached(), 11);
             for &m in &h.members() {
@@ -255,7 +270,10 @@ mod tests {
         let out = h.rekey_multicast(&net, HostId(15));
         let root = h.root().unwrap();
         assert_eq!(out.delivery(root).unwrap().from, None);
-        assert_eq!(out.delivery(root).unwrap().arrival, net.one_way(HostId(15), root));
+        assert_eq!(
+            out.delivery(root).unwrap().arrival,
+            net.one_way(HostId(15), root)
+        );
         // Arrival times are non-decreasing along forwarding edges.
         for &(from, to) in out.transmissions() {
             if let (Some(df), Some(dt)) = (out.delivery(from), out.delivery(to)) {

@@ -42,7 +42,10 @@ pub struct NiceHierarchy {
 impl NiceHierarchy {
     /// Creates an empty hierarchy.
     pub fn new(params: NiceParams) -> NiceHierarchy {
-        NiceHierarchy { params, layers: Vec::new() }
+        NiceHierarchy {
+            params,
+            layers: Vec::new(),
+        }
     }
 
     /// The protocol parameters.
@@ -67,18 +70,26 @@ impl NiceHierarchy {
     /// All group members (layer 0).
     pub fn members(&self) -> Vec<HostId> {
         self.layers.first().map_or_else(Vec::new, |layer| {
-            layer.iter().flat_map(|c| c.members.iter().copied()).collect()
+            layer
+                .iter()
+                .flat_map(|c| c.members.iter().copied())
+                .collect()
         })
     }
 
     /// Number of group members.
     pub fn member_count(&self) -> usize {
-        self.layers.first().map_or(0, |layer| layer.iter().map(Cluster::len).sum())
+        self.layers
+            .first()
+            .map_or(0, |layer| layer.iter().map(Cluster::len).sum())
     }
 
     /// The root: leader of the (single) top cluster.
     pub fn root(&self) -> Option<HostId> {
-        self.layers.last().and_then(|layer| layer.first()).map(|c| c.leader)
+        self.layers
+            .last()
+            .and_then(|layer| layer.first())
+            .map(|c| c.leader)
     }
 
     /// All clusters `host` belongs to, as `(layer, cluster_index)` pairs.
@@ -102,7 +113,10 @@ impl NiceHierarchy {
     ///
     /// Panics if `host` is already a member.
     pub fn join(&mut self, host: HostId, net: &impl Network) {
-        assert!(!self.members().contains(&host), "{host} is already a member");
+        assert!(
+            !self.members().contains(&host),
+            "{host} is already a member"
+        );
         if self.layers.is_empty() {
             self.layers.push(vec![Cluster::singleton(host)]);
             return;
@@ -160,9 +174,7 @@ impl NiceHierarchy {
                 if layer_ref.len() <= 1 {
                     break;
                 }
-                let Some(small) =
-                    layer_ref.iter().position(|c| c.len() < self.params.k)
-                else {
+                let Some(small) = layer_ref.iter().position(|c| c.len() < self.params.k) else {
                     break;
                 };
                 let small_leader = layer_ref[small].leader;
@@ -204,15 +216,20 @@ impl NiceHierarchy {
             // Reconcile the layer above with the current leader set.
             let leaders: Vec<HostId> = self.layers[layer].iter().map(|c| c.leader).collect();
             if self.layers.len() == layer + 1 {
-                self.layers.push(vec![Cluster { members: leaders.clone(), leader: leaders[0] }]);
+                self.layers.push(vec![Cluster {
+                    members: leaders.clone(),
+                    leader: leaders[0],
+                }]);
             } else {
                 let upper = &mut self.layers[layer + 1];
                 for c in upper.iter_mut() {
                     c.members.retain(|m| leaders.contains(m));
                 }
                 upper.retain(|c| !c.is_empty());
-                let present: Vec<HostId> =
-                    upper.iter().flat_map(|c| c.members.iter().copied()).collect();
+                let present: Vec<HostId> = upper
+                    .iter()
+                    .flat_map(|c| c.members.iter().copied())
+                    .collect();
                 for &l in &leaders {
                     if !present.contains(&l) {
                         if upper.is_empty() {
@@ -260,7 +277,10 @@ impl NiceHierarchy {
                 }
                 if layer.len() > 1 && (c.len() < self.params.k || c.len() > self.params.max_size())
                 {
-                    return Err(format!("cluster size {} out of bounds at layer {li}", c.len()));
+                    return Err(format!(
+                        "cluster size {} out of bounds at layer {li}",
+                        c.len()
+                    ));
                 }
             }
             if li + 1 < self.layers.len() {
@@ -271,7 +291,10 @@ impl NiceHierarchy {
                     .flat_map(|c| c.members.iter().copied())
                     .collect();
                 if leaders != upper {
-                    return Err(format!("layer {} members are not layer-{li} leaders", li + 1));
+                    return Err(format!(
+                        "layer {} members are not layer-{li} leaders",
+                        li + 1
+                    ));
                 }
             }
         }

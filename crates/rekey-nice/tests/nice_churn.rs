@@ -17,17 +17,18 @@ fn net(seed: u64) -> MatrixNetwork {
 
 /// Applies a churn script: each byte either joins the lowest absent host
 /// (even) or removes a present host (odd), keeping at least one member.
-fn apply_script(
-    h: &mut NiceHierarchy,
-    net: &MatrixNetwork,
-    script: &[u8],
-) -> Vec<HostId> {
+fn apply_script(h: &mut NiceHierarchy, net: &MatrixNetwork, script: &[u8]) -> Vec<HostId> {
     let capacity = net.host_count() - 1;
     let mut present: Vec<bool> = vec![false; capacity];
     for &b in script {
         let count = present.iter().filter(|&&p| p).count();
         if b % 2 == 0 || count <= 1 {
-            if let Some(slot) = (0..capacity).cycle().skip(usize::from(b) % capacity).take(capacity).find(|&i| !present[i]) {
+            if let Some(slot) = (0..capacity)
+                .cycle()
+                .skip(usize::from(b) % capacity)
+                .take(capacity)
+                .find(|&i| !present[i])
+            {
                 h.join(HostId(slot), net);
                 present[slot] = true;
             }

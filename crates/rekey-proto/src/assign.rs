@@ -40,7 +40,11 @@ impl AssignParams {
     /// The paper's simulation defaults for `D = 5`:
     /// `P = 10`, `F = 80`, `R = (150, 30, 9, 3)` ms.
     pub fn paper() -> AssignParams {
-        AssignParams { p: 10, f_percentile: 80, thresholds: vec![ms(150), ms(30), ms(9), ms(3)] }
+        AssignParams {
+            p: 10,
+            f_percentile: 80,
+            thresholds: vec![ms(150), ms(30), ms(9), ms(3)],
+        }
     }
 
     /// Paper-style defaults scaled to an arbitrary depth: thresholds halve
@@ -122,7 +126,10 @@ pub(crate) fn probe_digits(
         let mut collected: BTreeMap<u16, BTreeMap<UserId, Member>> = BTreeMap::new();
         let mut queried: BTreeSet<UserId> = BTreeSet::new();
         let insert = |collected: &mut BTreeMap<u16, BTreeMap<UserId, Member>>, m: Member| {
-            collected.entry(m.id.digit(i)).or_default().insert(m.id.clone(), m);
+            collected
+                .entry(m.id.digit(i))
+                .or_default()
+                .insert(m.id.clone(), m);
         };
         for s in &seeds {
             let idx = (view.index_of)(s);
@@ -141,9 +148,7 @@ pub(crate) fn probe_digits(
                 if bucket.len() >= params.p {
                     break;
                 }
-                let Some(next) =
-                    bucket.keys().find(|id| !queried.contains(*id)).cloned()
-                else {
+                let Some(next) = bucket.keys().find(|id| !queried.contains(*id)).cloned() else {
                     break;
                 };
                 queried.insert(next.clone());
@@ -180,7 +185,11 @@ pub(crate) fn probe_digits(
             Some((f, b)) if f <= threshold => {
                 digits.push(b);
                 stats.digits_probed += 1;
-                seeds = collected.remove(&b).expect("chosen bucket").into_keys().collect();
+                seeds = collected
+                    .remove(&b)
+                    .expect("chosen bucket")
+                    .into_keys()
+                    .collect();
             }
             _ => break, // step 4 with a partial prefix
         }
@@ -283,7 +292,11 @@ pub(crate) fn server_complete(
     // (footnote 3's last resort) by depth-first search for a free slot.
     fn dfs(spec: &IdSpec, tree: &IdTree, prefix: IdPrefix) -> Option<UserId> {
         if prefix.len() == spec.depth() {
-            return if tree.node(&prefix).is_none() { prefix.to_user_id(spec) } else { None };
+            return if tree.node(&prefix).is_none() {
+                prefix.to_user_id(spec)
+            } else {
+                None
+            };
         }
         for x in 0..spec.base() {
             let child = prefix.child(x);
@@ -312,7 +325,8 @@ mod tests {
     fn tree_of(ids: &[[u16; 3]]) -> IdTree {
         IdTree::from_users(
             &spec(),
-            ids.iter().map(|d| UserId::new(&spec(), d.to_vec()).unwrap()),
+            ids.iter()
+                .map(|d| UserId::new(&spec(), d.to_vec()).unwrap()),
         )
     }
 
@@ -322,7 +336,10 @@ mod tests {
         // Joiner determined [0]: fresh sibling subtree [0, 2] is available.
         let id = server_complete(&spec(), &tree, &[0]).unwrap();
         assert_eq!(id.digit(0), 0);
-        assert!(tree.node(&id.prefix(2)).is_none(), "must land in a fresh level-2 subtree");
+        assert!(
+            tree.node(&id.prefix(2)).is_none(),
+            "must land in a fresh level-2 subtree"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ use rekey_sim::{Ctx, Node, NodeId, SimTime, Simulation};
 use rekey_tmesh::forward::{server_next_hops, user_next_hops};
 use rekey_tmesh::TmeshGroup;
 
+use crate::transport::SplitIndex;
+
 /// Messages of the concurrent session.
 #[derive(Debug, Clone)]
 pub enum TrafficMsg {
@@ -100,16 +102,22 @@ struct TrafficNode {
     table: Option<Rc<rekey_table::NeighborTable>>,
     server_table: Option<Rc<rekey_table::ServerTable>>,
     index: Rc<HashMap<UserId, usize>>,
-    prefixes: Rc<Vec<IdPrefix>>, // encryption IDs of the session's message
+    /// Prefix-range index over the session message's encryption IDs,
+    /// shared by every node (see [`crate::SplitIndex`]).
+    message: Rc<SplitIndex>,
     split: bool,
     got_rekey: bool,
     frame_arrivals: Vec<(u32, SimTime)>,
 }
 
 impl TrafficNode {
+    /// The copy composed for a neighbor under `neighbor_prefix`. Under
+    /// splitting, hop prefixes refine along forwarding chains, so the
+    /// received subset filtered by the neighbor prefix equals the global
+    /// related set of that prefix — one range extraction, no scan.
     fn split_for(&self, msg: &[usize], neighbor_prefix: &IdPrefix) -> Vec<usize> {
         if self.split {
-            msg.iter().copied().filter(|&e| self.prefixes[e].is_related(neighbor_prefix)).collect()
+            self.message.indices(neighbor_prefix.digits()).collect()
         } else {
             msg.to_vec()
         }
@@ -119,11 +127,25 @@ impl TrafficNode {
         let hops: Vec<(UserId, usize, usize, u16)> = match (&self.server_table, &self.table) {
             (Some(st), _) => server_next_hops(st)
                 .into_iter()
-                .map(|h| (h.neighbor.member.id.clone(), h.forward_level, h.row, h.column))
+                .map(|h| {
+                    (
+                        h.neighbor.member.id.clone(),
+                        h.forward_level,
+                        h.row,
+                        h.column,
+                    )
+                })
                 .collect(),
             (None, Some(t)) => user_next_hops(t, level)
                 .into_iter()
-                .map(|h| (h.neighbor.member.id.clone(), h.forward_level, h.row, h.column))
+                .map(|h| {
+                    (
+                        h.neighbor.member.id.clone(),
+                        h.forward_level,
+                        h.row,
+                        h.column,
+                    )
+                })
                 .collect(),
             _ => Vec::new(),
         };
@@ -132,7 +154,10 @@ impl TrafficNode {
             let subset = self.split_for(encs, &prefix);
             ctx.send(
                 NodeId(self.index[&id]),
-                TrafficMsg::RekeyCopy { forward_level, encryptions: Rc::new(subset) },
+                TrafficMsg::RekeyCopy {
+                    forward_level,
+                    encryptions: Rc::new(subset),
+                },
             );
         }
     }
@@ -144,7 +169,10 @@ impl TrafficNode {
                 .map(|h| (h.neighbor.member.id.clone(), h.forward_level))
                 .collect();
             for (id, forward_level) in hops {
-                ctx.send(NodeId(self.index[&id]), TrafficMsg::DataCopy { forward_level, seq });
+                ctx.send(
+                    NodeId(self.index[&id]),
+                    TrafficMsg::DataCopy { forward_level, seq },
+                );
             }
         }
     }
@@ -156,11 +184,14 @@ impl Node for TrafficNode {
     fn receive(&mut self, ctx: &mut Ctx<'_, TrafficMsg>, _from: NodeId, msg: TrafficMsg) {
         match msg {
             TrafficMsg::StartRekey => {
-                let all: Vec<usize> = (0..self.prefixes.len()).collect();
+                let all: Vec<usize> = (0..self.message.len()).collect();
                 self.forward_rekey(ctx, 0, &all);
             }
             TrafficMsg::StartData { seq } => self.forward_data(ctx, 0, seq),
-            TrafficMsg::RekeyCopy { forward_level, encryptions } => {
+            TrafficMsg::RekeyCopy {
+                forward_level,
+                encryptions,
+            } => {
                 if !self.got_rekey {
                     self.got_rekey = true;
                     self.forward_rekey(ctx, forward_level, &encryptions);
@@ -237,14 +268,14 @@ pub fn run_concurrent_session(
         index.insert(m.id.clone(), i);
     }
     let index = Rc::new(index);
-    let prefixes = Rc::new(encryption_ids.to_vec());
+    let message = Rc::new(SplitIndex::from_ids(encryption_ids));
 
     let mut nodes: Vec<TrafficNode> = (0..n)
         .map(|i| TrafficNode {
             table: Some(Rc::new(group.table(i).clone())),
             server_table: None,
             index: Rc::clone(&index),
-            prefixes: Rc::clone(&prefixes),
+            message: Rc::clone(&message),
             split: load == RekeyLoad::Split,
             got_rekey: false,
             frame_arrivals: Vec::new(),
@@ -254,7 +285,7 @@ pub fn run_concurrent_session(
         table: None,
         server_table: Some(Rc::new(group.server_table().clone())),
         index: Rc::clone(&index),
-        prefixes: Rc::clone(&prefixes),
+        message: Rc::clone(&message),
         split: load == RekeyLoad::Split,
         got_rekey: false,
         frame_arrivals: Vec::new(),
@@ -277,7 +308,12 @@ pub fn run_concurrent_session(
     for seq in 0..params.frames {
         let at = u64::from(seq) * params.frame_gap;
         frame_sent_at.push(at);
-        sim.inject_at(at, NodeId(data_sender), NodeId(data_sender), TrafficMsg::StartData { seq });
+        sim.inject_at(
+            at,
+            NodeId(data_sender),
+            NodeId(data_sender),
+            TrafficMsg::StartData { seq },
+        );
     }
     let finished_at = sim.run_until_idle();
 
@@ -290,7 +326,10 @@ pub fn run_concurrent_session(
             frame_latencies.push(at - frame_sent_at[seq as usize]);
         }
     }
-    ConcurrentOutcome { frame_latencies, finished_at }
+    ConcurrentOutcome {
+        frame_latencies,
+        finished_at,
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +341,7 @@ mod tests {
     use rekey_table::{Member, PrimaryPolicy};
 
     fn setup(n: usize) -> (MatrixNetwork, TmeshGroup, Vec<IdPrefix>) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0C0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::default(), &mut rng);
         let spec = IdSpec::new(3, 8).unwrap();
         let mut used = std::collections::HashSet::new();
@@ -314,7 +353,11 @@ mod tests {
                         break c;
                     }
                 };
-                Member { id, host: HostId(i), joined_at: i as u64 }
+                Member {
+                    id,
+                    host: HostId(i),
+                    joined_at: i as u64,
+                }
             })
             .collect();
         let server = HostId(net.host_count() - 1);
@@ -336,7 +379,10 @@ mod tests {
     #[test]
     fn every_member_gets_every_frame_under_all_loads() {
         let (net, group, encs) = setup(24);
-        let params = TrafficParams { frames: 5, ..TrafficParams::default() };
+        let params = TrafficParams {
+            frames: 5,
+            ..TrafficParams::default()
+        };
         for load in [RekeyLoad::None, RekeyLoad::Split, RekeyLoad::Unsplit] {
             let out = run_concurrent_session(&group, &net, &encs, load, 0, &params);
             assert_eq!(
@@ -357,20 +403,22 @@ mod tests {
         // (~96 ms of serialisation each); the 1.2 s data window overlaps
         // the whole burst, while the data stream alone uses well under a
         // fifth of any link.
-        let params = TrafficParams { frames: 60, ..TrafficParams::default() };
-        let baseline =
-            run_concurrent_session(&group, &net, &encs, RekeyLoad::None, 3, &params);
+        let params = TrafficParams {
+            frames: 60,
+            ..TrafficParams::default()
+        };
+        let baseline = run_concurrent_session(&group, &net, &encs, RekeyLoad::None, 3, &params);
         let split = run_concurrent_session(&group, &net, &encs, RekeyLoad::Split, 3, &params);
-        let unsplit =
-            run_concurrent_session(&group, &net, &encs, RekeyLoad::Unsplit, 3, &params);
+        let unsplit = run_concurrent_session(&group, &net, &encs, RekeyLoad::Unsplit, 3, &params);
         let mean = |o: &ConcurrentOutcome| {
-            o.frame_latencies.iter().sum::<u64>() as f64
-                / o.frame_latencies.len() as f64
-                / 1000.0
+            o.frame_latencies.iter().sum::<u64>() as f64 / o.frame_latencies.len() as f64 / 1000.0
         };
         let (b, s, u) = (mean(&baseline), mean(&split), mean(&unsplit));
-        let (b95, s95, u95) =
-            (baseline.latency_ms(0.95), split.latency_ms(0.95), unsplit.latency_ms(0.95));
+        let (b95, s95, u95) = (
+            baseline.latency_ms(0.95),
+            split.latency_ms(0.95),
+            unsplit.latency_ms(0.95),
+        );
         assert!(
             u > s * 1.05 && u95 > s95,
             "unsplit rekey must visibly inflate data latency: mean {b:.1}/{s:.1}/{u:.1} ms, \
@@ -385,7 +433,10 @@ mod tests {
     #[test]
     fn zero_frames_is_a_clean_noop() {
         let (net, group, encs) = setup(8);
-        let params = TrafficParams { frames: 0, ..TrafficParams::default() };
+        let params = TrafficParams {
+            frames: 0,
+            ..TrafficParams::default()
+        };
         let out = run_concurrent_session(&group, &net, &encs, RekeyLoad::Split, 0, &params);
         assert!(out.frame_latencies.is_empty());
     }

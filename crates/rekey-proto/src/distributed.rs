@@ -151,14 +151,8 @@ pub struct DistributedJoinStats {
 enum JoinPhase {
     Idle,
     AwaitBootstrap,
-    Collect {
-        round: usize,
-        outstanding: usize,
-    },
-    Measure {
-        round: usize,
-        outstanding: usize,
-    },
+    Collect { round: usize, outstanding: usize },
+    Measure { round: usize, outstanding: usize },
     AwaitAssignment,
     Done,
 }
@@ -242,7 +236,9 @@ pub struct ServerNode {
 
 impl std::fmt::Debug for ServerNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServerNode").field("members", &self.members.len()).finish()
+        f.debug_struct("ServerNode")
+            .field("members", &self.members.len())
+            .finish()
     }
 }
 
@@ -265,7 +261,9 @@ impl std::fmt::Debug for ProtoActor {
 
 impl ProtoNode {
     fn gateway_rtt_to(&self, measured: Micros, peer_access: Micros) -> Micros {
-        measured.saturating_sub(self.access_rtt).saturating_sub(peer_access)
+        measured
+            .saturating_sub(self.access_rtt)
+            .saturating_sub(peer_access)
     }
 
     fn record_of(&self) -> WireRecord {
@@ -284,7 +282,10 @@ impl ProtoNode {
                 .take(round)
                 .copied()
                 .eq(r.member.id.digits()[..round].iter().copied());
-            self.joiner.known.entry(r.member.id.clone()).or_insert_with(|| r.clone());
+            self.joiner
+                .known
+                .entry(r.member.id.clone())
+                .or_insert_with(|| r.clone());
             if matches {
                 self.joiner
                     .buckets
@@ -298,7 +299,12 @@ impl ProtoNode {
     /// Issues outstanding queries for the current round; returns the number
     /// sent. Queries go to collected-but-unqueried users, per bucket, until
     /// `P` records per bucket or exhaustion.
-    fn issue_queries(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, node_of: &dyn Fn(&UserId) -> NodeId, round: usize) -> usize {
+    fn issue_queries(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtoMsg>,
+        node_of: &dyn Fn(&UserId) -> NodeId,
+        round: usize,
+    ) -> usize {
         let prefix = IdPrefix::new(&self.spec, self.joiner.digits[..round].to_vec())
             .expect("determined digits are valid");
         let mut to_query = Vec::new();
@@ -334,7 +340,11 @@ impl ProtoNode {
     }
 
     /// Issues pings to every collected-but-unmeasured user; returns count.
-    fn issue_pings(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, node_of: &dyn Fn(&UserId) -> NodeId) -> usize {
+    fn issue_pings(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtoMsg>,
+        node_of: &dyn Fn(&UserId) -> NodeId,
+    ) -> usize {
         let targets: Vec<UserId> = self
             .joiner
             .buckets
@@ -348,7 +358,13 @@ impl ProtoNode {
             let token = self.joiner.next_token;
             self.joiner.next_token += 1;
             self.joiner.pending_pings.insert(token, id.clone());
-            ctx.send(node_of(&id), ProtoMsg::Ping { token, sent_at: ctx.now() });
+            ctx.send(
+                node_of(&id),
+                ProtoMsg::Ping {
+                    token,
+                    sent_at: ctx.now(),
+                },
+            );
             self.joiner.stats.pings += 1;
             sent += 1;
         }
@@ -389,20 +405,32 @@ impl ProtoNode {
     fn advance(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, node_of: &dyn Fn(&UserId) -> NodeId) {
         loop {
             match self.joiner.phase {
-                JoinPhase::Collect { round, outstanding: 0 } => {
+                JoinPhase::Collect {
+                    round,
+                    outstanding: 0,
+                } => {
                     let sent = self.issue_queries(ctx, node_of, round);
                     if sent > 0 {
-                        self.joiner.phase = JoinPhase::Collect { round, outstanding: sent };
+                        self.joiner.phase = JoinPhase::Collect {
+                            round,
+                            outstanding: sent,
+                        };
                         return;
                     }
                     // Collection exhausted: measure.
                     let pings = self.issue_pings(ctx, node_of);
-                    self.joiner.phase = JoinPhase::Measure { round, outstanding: pings };
+                    self.joiner.phase = JoinPhase::Measure {
+                        round,
+                        outstanding: pings,
+                    };
                     if pings > 0 {
                         return;
                     }
                 }
-                JoinPhase::Measure { round, outstanding: 0 } => {
+                JoinPhase::Measure {
+                    round,
+                    outstanding: 0,
+                } => {
                     match self.decide_digit(round) {
                         Some(digit) if round + 1 < self.spec.depth() => {
                             self.joiner.digits.push(digit);
@@ -425,7 +453,10 @@ impl ProtoNode {
                                     .or_default()
                                     .insert(id, r);
                             }
-                            self.joiner.phase = JoinPhase::Collect { round: next, outstanding: 0 };
+                            self.joiner.phase = JoinPhase::Collect {
+                                round: next,
+                                outstanding: 0,
+                            };
                         }
                         _ => {
                             self.notify_server(ctx);
@@ -449,16 +480,31 @@ impl ProtoNode {
         );
     }
 
-    fn complete_join(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, member: Member, extra: Vec<WireRecord>) {
+    fn complete_join(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtoMsg>,
+        member: Member,
+        extra: Vec<WireRecord>,
+    ) {
         self.member = Some(member.clone());
-        let mut table =
-            NeighborTable::new(&self.spec, member.id.clone(), self.k, PrimaryPolicy::SmallestRtt);
+        let mut table = NeighborTable::new(
+            &self.spec,
+            member.id.clone(),
+            self.k,
+            PrimaryPolicy::SmallestRtt,
+        );
         for (id, rec) in &self.joiner.known {
             let rtt = self.joiner.rtt.get(id).copied().unwrap_or(Micros::MAX / 4);
-            table.insert(NeighborRecord { member: rec.member.clone(), rtt });
+            table.insert(NeighborRecord {
+                member: rec.member.clone(),
+                rtt,
+            });
         }
         for rec in extra {
-            table.insert(NeighborRecord { member: rec.member.clone(), rtt: Micros::MAX / 4 });
+            table.insert(NeighborRecord {
+                member: rec.member.clone(),
+                rtt: Micros::MAX / 4,
+            });
         }
         self.table = Some(table);
         self.joiner.stats.elapsed = ctx.now().saturating_sub(self.joiner.started_at);
@@ -500,24 +546,32 @@ impl ServerNode {
                     self.process_departure(ctx, &id);
                 }
             }
-            ProtoMsg::FailureNotice { failed } => {
-                if self.members.contains_key(&failed) {
-                    self.process_departure(ctx, &failed);
-                }
+            ProtoMsg::FailureNotice { failed } if self.members.contains_key(&failed) => {
+                self.process_departure(ctx, &failed);
             }
+            ProtoMsg::FailureNotice { .. } => {}
             ProtoMsg::DigitsNotification { digits, sent_at } => {
                 let id = crate::assign::server_complete(&self.spec, &self.id_tree, &digits)
                     .expect("ID space is large enough for the simulation");
                 self.join_seq += 1;
-                let member = Member { id: id.clone(), host: HostId(from.0), joined_at: self.join_seq };
+                let member = Member {
+                    id: id.clone(),
+                    host: HostId(from.0),
+                    joined_at: self.join_seq,
+                };
                 self.id_tree.insert(&id);
                 // The request/notification round trip measures the RTT.
                 let rtt = (ctx.now().saturating_sub(sent_at)) * 2;
-                let record = WireRecord { member: member.clone(), access_rtt: 0 };
-                self.table.insert(NeighborRecord { member: member.clone(), rtt });
+                let record = WireRecord {
+                    member: member.clone(),
+                    access_rtt: 0,
+                };
+                self.table.insert(NeighborRecord {
+                    member: member.clone(),
+                    rtt,
+                });
                 // Delta of members the joiner could not have collected.
-                let snapshot =
-                    self.bootstrap_snapshot.remove(&from.0).unwrap_or_default();
+                let snapshot = self.bootstrap_snapshot.remove(&from.0).unwrap_or_default();
                 let extra: Vec<WireRecord> = self
                     .members
                     .values()
@@ -528,7 +582,9 @@ impl ServerNode {
                 for existing in self.members.values() {
                     ctx.send(
                         NodeId(existing.member.host.0),
-                        ProtoMsg::NewMember { record: record.clone() },
+                        ProtoMsg::NewMember {
+                            record: record.clone(),
+                        },
                     );
                 }
                 self.members.insert(id, record.clone());
@@ -598,7 +654,10 @@ impl ProtoNode {
                             .entry(rec.member.id.digit(0))
                             .or_default()
                             .insert(rec.member.id.clone(), rec);
-                        self.joiner.phase = JoinPhase::Collect { round: 0, outstanding: 0 };
+                        self.joiner.phase = JoinPhase::Collect {
+                            round: 0,
+                            outstanding: 0,
+                        };
                         let known = self.known_hosts();
                         self.advance(ctx, &|id| node_of(known[id]));
                     }
@@ -607,13 +666,19 @@ impl ProtoNode {
             ProtoMsg::QueryReply { records } => {
                 if let JoinPhase::Collect { round, outstanding } = self.joiner.phase {
                     self.absorb_records(round, records);
-                    self.joiner.phase =
-                        JoinPhase::Collect { round, outstanding: outstanding.saturating_sub(1) };
+                    self.joiner.phase = JoinPhase::Collect {
+                        round,
+                        outstanding: outstanding.saturating_sub(1),
+                    };
                     let known = self.known_hosts();
                     self.advance(ctx, &|id| node_of(known[id]));
                 }
             }
-            ProtoMsg::Pong { token, sent_at, access_rtt } => {
+            ProtoMsg::Pong {
+                token,
+                sent_at,
+                access_rtt,
+            } => {
                 if let Some(id) = self.joiner.pending_pings.remove(&token) {
                     // The ping/pong round trip *is* the end-host RTT.
                     let measured = ctx.now().saturating_sub(sent_at);
@@ -622,8 +687,10 @@ impl ProtoNode {
                         rec.access_rtt = access_rtt;
                     }
                     if let JoinPhase::Measure { round, outstanding } = self.joiner.phase {
-                        self.joiner.phase =
-                            JoinPhase::Measure { round, outstanding: outstanding.saturating_sub(1) };
+                        self.joiner.phase = JoinPhase::Measure {
+                            round,
+                            outstanding: outstanding.saturating_sub(1),
+                        };
                         let known = self.known_hosts();
                         self.advance(ctx, &|id| node_of(known[id]));
                     }
@@ -638,7 +705,10 @@ impl ProtoNode {
                 if let Some(table) = &self.table {
                     for r in table.iter_all() {
                         if target.is_prefix_of_id(&r.member.id) {
-                            records.push(WireRecord { member: r.member.clone(), access_rtt: 0 });
+                            records.push(WireRecord {
+                                member: r.member.clone(),
+                                access_rtt: 0,
+                            });
                         }
                     }
                 }
@@ -653,9 +723,19 @@ impl ProtoNode {
                 ctx.send(from, ProtoMsg::QueryReply { records });
             }
             ProtoMsg::Ping { token, sent_at } => {
-                ctx.send(from, ProtoMsg::Pong { token, sent_at, access_rtt: self.access_rtt });
+                ctx.send(
+                    from,
+                    ProtoMsg::Pong {
+                        token,
+                        sent_at,
+                        access_rtt: self.access_rtt,
+                    },
+                );
             }
-            ProtoMsg::MemberLeft { departed, replacements } => {
+            ProtoMsg::MemberLeft {
+                departed,
+                replacements,
+            } => {
                 if self.member.as_ref().is_some_and(|m| m.id == departed) {
                     return;
                 }
@@ -701,7 +781,11 @@ impl ProtoNode {
     }
 
     fn known_hosts(&self) -> BTreeMap<UserId, HostId> {
-        self.joiner.known.iter().map(|(id, r)| (id.clone(), r.member.host)).collect()
+        self.joiner
+            .known
+            .iter()
+            .map(|(id, r)| (id.clone(), r.member.host))
+            .collect()
     }
 }
 
@@ -759,7 +843,10 @@ pub fn run_distributed_session(
     leaves: &[(usize, SimTime)],
 ) -> DistributedJoinRun {
     assert_eq!(start_times.len(), joins, "one start time per join");
-    assert!(joins < net.host_count(), "need a host per joiner plus the server");
+    assert!(
+        joins < net.host_count(),
+        "need a host per joiner plus the server"
+    );
     let server_host = HostId(net.host_count() - 1);
     let server_node = NodeId(net.host_count() - 1);
 
@@ -771,7 +858,8 @@ pub fn run_distributed_session(
         // peers lets us solve, but for simplicity we read the difference
         // against the server and halve it (exact when the server's access
         // is negligible, which holds for RoutedNetwork where it is 0).
-        net.rtt(h, server_host).saturating_sub(net.gateway_rtt(h, server_host))
+        net.rtt(h, server_host)
+            .saturating_sub(net.gateway_rtt(h, server_host))
     };
 
     let mut nodes: Vec<ProtoActor> = (0..net.host_count() - 1)
@@ -803,7 +891,12 @@ pub fn run_distributed_session(
     let delay = move |a: NodeId, b: NodeId| net.one_way(hosts[a.0], hosts[b.0]).max(1);
     let mut sim = Simulation::new(nodes, delay);
     for (i, &at) in start_times.iter().enumerate() {
-        sim.inject_at(at, NodeId(i), NodeId(i), ProtoMsg::JoinRequest { sent_at: at });
+        sim.inject_at(
+            at,
+            NodeId(i),
+            NodeId(i),
+            ProtoMsg::JoinRequest { sent_at: at },
+        );
     }
     for &(node, at) in leaves {
         sim.inject_at(at, NodeId(node), NodeId(node), ProtoMsg::LeaveRequest);
@@ -823,5 +916,11 @@ pub fn run_distributed_session(
             }
         }
     }
-    DistributedJoinRun { members, tables, stats, messages, finished_at }
+    DistributedJoinRun {
+        members,
+        tables,
+        stats,
+        messages,
+        finished_at,
+    }
 }

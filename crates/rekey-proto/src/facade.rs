@@ -26,6 +26,100 @@ use rekey_tmesh::TmeshGroup;
 use crate::assign::AssignParams;
 use crate::group::{Group, GroupError};
 use crate::split::tmesh_rekey_transport;
+use crate::transport::TransportOptions;
+
+/// Configuration of a [`GroupServer`], built fluently instead of through
+/// six positional arguments.
+///
+/// ```
+/// use rekey_id::IdSpec;
+/// use rekey_net::HostId;
+/// use rekey_proto::GroupConfig;
+/// use rekey_table::PrimaryPolicy;
+///
+/// // The paper's parameters, with a leader-friendly primary policy:
+/// let server = GroupConfig::paper()
+///     .k(4)
+///     .policy(PrimaryPolicy::EarliestJoinAtBottom)
+///     .seed(42)
+///     .build(HostId(0));
+/// assert_eq!(server.interval(), 0);
+///
+/// // A small spec for tests; assignment thresholds follow the depth.
+/// let spec = IdSpec::new(3, 8)?;
+/// let server = GroupConfig::for_spec(&spec).k(2).build(HostId(9));
+/// # Ok::<(), rekey_id::IdError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    spec: IdSpec,
+    k: usize,
+    policy: PrimaryPolicy,
+    assign: AssignParams,
+    seed: u64,
+}
+
+impl GroupConfig {
+    /// The paper's defaults: `D = 5`, `B = 256`, `K = 4`, smallest-RTT
+    /// primaries, `P = 10`, `F = 80`, `R = 150/30/9/3` ms, seed 0.
+    pub fn paper() -> GroupConfig {
+        GroupConfig {
+            spec: IdSpec::PAPER,
+            k: 4,
+            policy: PrimaryPolicy::SmallestRtt,
+            assign: AssignParams::paper(),
+            seed: 0,
+        }
+    }
+
+    /// Defaults scaled to `spec`: assignment thresholds from
+    /// [`AssignParams::for_depth`], `K = 4`, smallest-RTT primaries,
+    /// seed 0.
+    pub fn for_spec(spec: &IdSpec) -> GroupConfig {
+        GroupConfig {
+            spec: *spec,
+            k: 4,
+            policy: PrimaryPolicy::SmallestRtt,
+            assign: AssignParams::for_depth(spec.depth()),
+            seed: 0,
+        }
+    }
+
+    /// Neighbor-table redundancy `K` (Definition 3).
+    pub fn k(mut self, k: usize) -> GroupConfig {
+        self.k = k;
+        self
+    }
+
+    /// Primary-neighbor selection policy.
+    pub fn policy(mut self, policy: PrimaryPolicy) -> GroupConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// ID-assignment protocol parameters (§3.1).
+    pub fn assign(mut self, assign: AssignParams) -> GroupConfig {
+        self.assign = assign;
+        self
+    }
+
+    /// Seed of the server's key-generation RNG.
+    pub fn seed(mut self, seed: u64) -> GroupConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the server at `server_host`.
+    pub fn build(self, server_host: HostId) -> GroupServer {
+        GroupServer {
+            group: Group::new(&self.spec, server_host, self.k, self.policy, self.assign),
+            tree: ModifiedKeyTree::new(&self.spec),
+            pending: Vec::new(),
+            interval: 0,
+            rng: seeded_rng(self.seed),
+        }
+    }
+}
 
 /// What a newly joined member receives from the key server via unicast at
 /// the end of its first rekey interval: its ID and its path keys (§3.1).
@@ -54,13 +148,54 @@ pub struct IntervalOutcome {
 }
 
 /// Per-member delivery produced by [`GroupServer::deliver`]: the exact
-/// encryptions the split rekey transport hands each member.
+/// encryptions the split rekey transport hands each member, as indices
+/// into the interval's shared encryption buffer.
+///
+/// Nothing is cloned: [`RekeyDelivery::member`] yields borrowed
+/// [`Encryption`](rekey_crypto::Encryption)s straight out of the
+/// [`IntervalOutcome`], ready to feed to [`UserAgent::handle_rekey`].
 #[derive(Debug, Clone)]
-pub struct DeliveredRekey {
-    /// `per_member[i]` holds the encryptions member `i` received.
-    pub per_member: Vec<Vec<rekey_crypto::Encryption>>,
+pub struct RekeyDelivery<'a> {
+    encryptions: &'a [rekey_crypto::Encryption],
+    per_member: Vec<Vec<usize>>,
+    total_received: u64,
+}
+
+impl<'a> RekeyDelivery<'a> {
+    /// The encryptions member `i` received, borrowed from the interval's
+    /// message buffer. The iterator is `Clone`, as
+    /// [`UserAgent::handle_rekey`] requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a member index of the delivering mesh.
+    pub fn member(
+        &self,
+        i: usize,
+    ) -> impl Iterator<Item = &'a rekey_crypto::Encryption> + Clone + '_ {
+        let encryptions = self.encryptions;
+        self.per_member[i].iter().map(move |&e| &encryptions[e])
+    }
+
+    /// The encryption indices member `i` received.
+    pub fn member_indices(&self, i: usize) -> &[usize] {
+        &self.per_member[i]
+    }
+
+    /// Number of members covered by this delivery.
+    pub fn members(&self) -> usize {
+        self.per_member.len()
+    }
+
+    /// The interval's shared encryption buffer.
+    pub fn encryptions(&self) -> &'a [rekey_crypto::Encryption] {
+        self.encryptions
+    }
+
     /// Total encryptions received, summed over members.
-    pub total_received: u64,
+    pub fn total_received(&self) -> u64 {
+        self.total_received
+    }
 }
 
 /// The key server: the single authority of the secure group.
@@ -100,33 +235,9 @@ pub struct GroupServer {
 impl GroupServer {
     /// Creates a server with the paper's default parameters (`D = 5`,
     /// `B = 256`, `K = 4`, `P = 10`, `F = 80`, `R = 150/30/9/3` ms).
+    /// Use [`GroupConfig`] to change any of them.
     pub fn new(server_host: HostId, seed: u64) -> GroupServer {
-        GroupServer::with_params(
-            &IdSpec::PAPER,
-            server_host,
-            4,
-            PrimaryPolicy::SmallestRtt,
-            AssignParams::paper(),
-            seed,
-        )
-    }
-
-    /// Creates a server with explicit parameters.
-    pub fn with_params(
-        spec: &IdSpec,
-        server_host: HostId,
-        k: usize,
-        policy: PrimaryPolicy,
-        assign: AssignParams,
-        seed: u64,
-    ) -> GroupServer {
-        GroupServer {
-            group: Group::new(spec, server_host, k, policy, assign),
-            tree: ModifiedKeyTree::new(spec),
-            pending: Vec::new(),
-            interval: 0,
-            rng: seeded_rng(seed),
-        }
+        GroupConfig::paper().seed(seed).build(server_host)
     }
 
     /// The underlying membership state.
@@ -222,7 +333,12 @@ impl GroupServer {
                 interval: self.interval,
             })
             .collect();
-        IntervalOutcome { interval: self.interval, rekey, welcomes, departed: leaves }
+        IntervalOutcome {
+            interval: self.interval,
+            rekey,
+            welcomes,
+            departed: leaves,
+        }
     }
 
     /// Snapshots the current overlay for multicast sessions.
@@ -231,22 +347,45 @@ impl GroupServer {
     }
 
     /// Convenience: runs the split rekey transport for an interval outcome
-    /// and returns the per-member encryption deliveries, ready to feed to
+    /// and returns the per-member deliveries as index views into the
+    /// outcome's encryption buffer (no clones), ready to feed to
     /// [`UserAgent::handle_rekey`].
-    pub fn deliver(&self, net: &impl Network, outcome: &IntervalOutcome) -> DeliveredRekey {
+    ///
+    /// An empty interval (no membership change, empty rekey message)
+    /// short-circuits: no transport session runs and no per-member
+    /// payloads are allocated.
+    pub fn deliver<'a>(
+        &self,
+        net: &impl Network,
+        outcome: &'a IntervalOutcome,
+    ) -> RekeyDelivery<'a> {
+        let encryptions = outcome.rekey.encryptions.as_slice();
+        if encryptions.is_empty() {
+            return RekeyDelivery {
+                encryptions,
+                per_member: vec![Vec::new(); self.group.members().len()],
+                total_received: 0,
+            };
+        }
         let mesh = self.mesh();
-        let report = tmesh_rekey_transport(&mesh, net, &outcome.rekey.encryptions, true, true);
-        let sets = report.received_sets.expect("detail requested");
-        let per_member = sets
-            .into_iter()
-            .map(|s| s.into_iter().map(|e| outcome.rekey.encryptions[e].clone()).collect())
-            .collect();
-        DeliveredRekey { per_member, total_received: report.received.iter().sum() }
+        let report = tmesh_rekey_transport(
+            &mesh,
+            net,
+            encryptions,
+            TransportOptions::split().with_detail(),
+        );
+        let per_member = report.received_sets.expect("detail requested");
+        RekeyDelivery {
+            encryptions,
+            per_member,
+            total_received: report.received.iter().sum(),
+        }
     }
 }
 
 /// Errors produced by [`UserAgent`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AgentError {
     /// The agent holds no group key yet (welcome not processed).
     NoGroupKey,
@@ -264,6 +403,83 @@ impl std::fmt::Display for AgentError {
 }
 
 impl std::error::Error for AgentError {}
+
+/// The one error type of the facade: everything [`GroupServer`] and
+/// [`UserAgent`] can fail with, so applications drive both sides of the
+/// protocol behind a single `?`.
+///
+/// ```
+/// use rekey_proto::{AgentError, GroupError, RekeyError};
+/// fn app() -> Result<(), RekeyError> {
+///     Err(GroupError::IdSpaceFull)?; // server-side failures convert…
+///     Err(AgentError::NoGroupKey)?; // …and so do agent-side ones
+///     Ok(())
+/// }
+/// assert!(matches!(app(), Err(RekeyError::Group(GroupError::IdSpaceFull))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RekeyError {
+    /// A group lifecycle operation failed on the server.
+    Group(GroupError),
+    /// A key-state or data-plane operation failed on an agent.
+    Agent(AgentError),
+}
+
+impl From<GroupError> for RekeyError {
+    fn from(e: GroupError) -> RekeyError {
+        RekeyError::Group(e)
+    }
+}
+
+impl From<AgentError> for RekeyError {
+    fn from(e: AgentError) -> RekeyError {
+        RekeyError::Agent(e)
+    }
+}
+
+impl std::fmt::Display for RekeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RekeyError::Group(e) => write!(f, "{e}"),
+            RekeyError::Agent(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RekeyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RekeyError::Group(e) => Some(e),
+            RekeyError::Agent(e) => Some(e),
+        }
+    }
+}
+
+/// What [`UserAgent::handle_rekey`] did with a delivered rekey message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RekeyStatus {
+    /// The message advanced the agent to `interval`; `installed` keys were
+    /// unwrapped and installed.
+    Applied {
+        /// Number of keys installed from the message.
+        installed: usize,
+    },
+    /// The message belongs to an interval the agent has already processed
+    /// (e.g. a replay, or the rekey of the interval whose welcome packet
+    /// already carried the keys). Nothing was absorbed.
+    StaleInterval,
+}
+
+impl RekeyStatus {
+    /// Keys installed: 0 for [`RekeyStatus::StaleInterval`].
+    pub fn installed(&self) -> usize {
+        match self {
+            RekeyStatus::Applied { installed } => *installed,
+            RekeyStatus::StaleInterval => 0,
+        }
+    }
+}
 
 /// One member's key state and data-plane operations.
 #[derive(Debug, Clone)]
@@ -296,12 +512,28 @@ impl UserAgent {
         self.interval
     }
 
-    /// Consumes the encryptions delivered by one rekey interval; returns
-    /// the number of keys installed.
-    pub fn handle_rekey(&mut self, interval: u64, encryptions: &[rekey_crypto::Encryption]) -> usize {
+    /// Consumes the encryptions delivered by one rekey interval.
+    ///
+    /// A message for an interval the agent has already reached is reported
+    /// as [`RekeyStatus::StaleInterval`] and NOT absorbed — the agent's key
+    /// state for that interval is already complete (its welcome packet or
+    /// an earlier delivery established it), and silently re-absorbing would
+    /// mask replays and mis-routed deliveries.
+    ///
+    /// Accepts any re-iterable borrowing iterator — a slice, or a
+    /// [`RekeyDelivery::member`] view straight off the transport, with no
+    /// `Encryption` clones in between.
+    pub fn handle_rekey<'a, I>(&mut self, interval: u64, encryptions: I) -> RekeyStatus
+    where
+        I: IntoIterator<Item = &'a rekey_crypto::Encryption>,
+        I::IntoIter: Clone,
+    {
+        if interval <= self.interval {
+            return RekeyStatus::StaleInterval;
+        }
         let installed = self.ring.absorb(encryptions);
-        self.interval = self.interval.max(interval);
-        installed
+        self.interval = interval;
+        RekeyStatus::Applied { installed }
     }
 
     /// Seals application data under the current group key.
@@ -341,14 +573,10 @@ mod tests {
         let mut rng = seeded_rng(0xFACADE);
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
         let server_host = HostId(net.host_count() - 1);
-        let mut server = GroupServer::with_params(
-            &IdSpec::new(3, 8).unwrap(),
-            server_host,
-            2,
-            PrimaryPolicy::SmallestRtt,
-            AssignParams::for_depth(3),
-            7,
-        );
+        let mut server = GroupConfig::for_spec(&IdSpec::new(3, 8).unwrap())
+            .k(2)
+            .seed(7)
+            .build(server_host);
         for h in 0..n {
             server.request_join(HostId(h), &net, h as u64).unwrap();
         }
@@ -376,8 +604,13 @@ mod tests {
     fn churn_interval_updates_every_agent() {
         let (net, mut server, mut agents) = setup(10);
         // Two leaves, one join.
-        let victims: Vec<UserId> =
-            server.group().members().iter().take(2).map(|m| m.id.clone()).collect();
+        let victims: Vec<UserId> = server
+            .group()
+            .members()
+            .iter()
+            .take(2)
+            .map(|m| m.id.clone())
+            .collect();
         for v in &victims {
             server.request_leave(v, &net).unwrap();
             agents.remove(v);
@@ -392,10 +625,33 @@ mod tests {
         let delivered = server.deliver(&net, &outcome);
         for (i, member) in server.mesh().members().iter().enumerate() {
             let agent = agents.get_mut(&member.id).expect("agent per member");
-            agent.handle_rekey(outcome.interval, &delivered.per_member[i]);
-            assert_eq!(agent.group_key(), server.tree().group_key(), "{}", member.id);
+            let status = agent.handle_rekey(outcome.interval, delivered.member(i));
+            // The interval's joiner got its keys in the welcome packet, so
+            // the rekey of its own interval is stale for it; everyone else
+            // applies the message.
+            if member.host == HostId(12) {
+                assert_eq!(status, RekeyStatus::StaleInterval);
+            } else {
+                assert!(matches!(status, RekeyStatus::Applied { .. }));
+            }
+            assert_eq!(
+                agent.group_key(),
+                server.tree().group_key(),
+                "{}",
+                member.id
+            );
             assert_eq!(agent.interval(), 2);
         }
+
+        // Replaying the same interval is reported stale and changes nothing.
+        let replay_victim = server.mesh().members()[0].id.clone();
+        let agent = agents.get_mut(&replay_victim).unwrap();
+        let key_before = agent.group_key().cloned();
+        assert_eq!(
+            agent.handle_rekey(outcome.interval, delivered.member(0)),
+            RekeyStatus::StaleInterval
+        );
+        assert_eq!(agent.group_key().cloned(), key_before);
     }
 
     #[test]
@@ -421,13 +677,21 @@ mod tests {
             agents
                 .get_mut(&member.id)
                 .unwrap()
-                .handle_rekey(outcome.interval, &delivered.per_member[i]);
+                .handle_rekey(outcome.interval, delivered.member(i));
         }
-        let fresh = agents.values().next().unwrap().seal_data(b"post-leave", &mut rng).unwrap();
+        let fresh = agents
+            .values()
+            .next()
+            .unwrap()
+            .seal_data(b"post-leave", &mut rng)
+            .unwrap();
         for agent in agents.values() {
             assert_eq!(agent.open_data(&fresh).unwrap(), b"post-leave");
         }
-        assert!(matches!(departed.open_data(&fresh), Err(AgentError::Open(_))));
+        assert!(matches!(
+            departed.open_data(&fresh),
+            Err(AgentError::Open(_))
+        ));
     }
 
     /// A member that joins and leaves within the same interval must not
@@ -453,14 +717,10 @@ mod tests {
         let mut rng = seeded_rng(0xF00);
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
         let spec = IdSpec::new(2, 2).unwrap(); // 4 IDs total
-        let mut server = GroupServer::with_params(
-            &spec,
-            HostId(net.host_count() - 1),
-            2,
-            PrimaryPolicy::SmallestRtt,
-            AssignParams::for_depth(2),
-            9,
-        );
+        let mut server = GroupConfig::for_spec(&spec)
+            .k(2)
+            .seed(9)
+            .build(HostId(net.host_count() - 1));
         for h in 0..4 {
             server.request_join(HostId(h), &net, h as u64).unwrap();
         }
@@ -485,5 +745,23 @@ mod tests {
         assert_eq!(outcome.rekey.cost(), 0);
         assert!(outcome.welcomes.is_empty());
         assert!(outcome.departed.is_empty());
+    }
+
+    /// Delivering an empty interval must not run a transport session nor
+    /// allocate per-member payloads — the delivery borrows the (empty)
+    /// encryption slice and every member's share is empty.
+    #[test]
+    fn empty_interval_delivery_allocates_no_payloads() {
+        let (net, mut server, _) = setup(5);
+        let outcome = server.end_interval();
+        assert_eq!(outcome.rekey.cost(), 0);
+        let delivered = server.deliver(&net, &outcome);
+        assert_eq!(delivered.members(), 5);
+        assert_eq!(delivered.total_received(), 0);
+        assert!(delivered.encryptions().is_empty());
+        for i in 0..delivered.members() {
+            assert!(delivered.member_indices(i).is_empty());
+            assert_eq!(delivered.member(i).count(), 0);
+        }
     }
 }

@@ -8,15 +8,18 @@ use std::rc::Rc;
 use rekey_id::{IdSpec, IdTree, UserId};
 use rekey_net::{HostId, Micros, Network};
 use rekey_table::{
-    check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable,
-    PrimaryPolicy, ServerTable,
+    check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable, PrimaryPolicy,
+    ServerTable,
 };
 use rekey_tmesh::TmeshGroup;
 
-use crate::assign::{centralized_digits, probe_digits, server_complete, AssignParams, AssignStats, GroupView};
+use crate::assign::{
+    centralized_digits, probe_digits, server_complete, AssignParams, AssignStats, GroupView,
+};
 
 /// Errors produced by group lifecycle operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GroupError {
     /// The ID space is exhausted — no unique ID can be assigned.
     IdSpaceFull,
@@ -149,7 +152,10 @@ impl Group {
         now: Micros,
     ) -> Result<JoinOutcome, GroupError> {
         let (id, stats) = if self.members.is_empty() {
-            (UserId::new(&self.spec, vec![0; self.spec.depth()]).expect("zeros fit"), AssignStats::default())
+            (
+                UserId::new(&self.spec, vec![0; self.spec.depth()]).expect("zeros fit"),
+                AssignStats::default(),
+            )
         } else {
             // The key server hands the joiner the record of an existing
             // user; we use the member with the smallest RTT the server
@@ -169,7 +175,14 @@ impl Group {
                 .ok_or(GroupError::IdSpaceFull)?;
             (id, stats)
         };
-        self.insert_member(Member { id: id.clone(), host, joined_at: now }, net);
+        self.insert_member(
+            Member {
+                id: id.clone(),
+                host,
+                joined_at: now,
+            },
+            net,
+        );
         Ok(JoinOutcome { id, stats })
     }
 
@@ -214,7 +227,14 @@ impl Group {
             };
             (id, stats)
         };
-        self.insert_member(Member { id: id.clone(), host, joined_at: now }, net);
+        self.insert_member(
+            Member {
+                id: id.clone(),
+                host,
+                joined_at: now,
+            },
+            net,
+        );
         Ok(JoinOutcome { id, stats })
     }
 
@@ -226,16 +246,32 @@ impl Group {
     /// Panics if the ID is already taken.
     pub fn join_with_id(&mut self, id: UserId, host: HostId, net: &impl Network, now: Micros) {
         assert!(!self.index.contains_key(&id), "ID {id} already taken");
-        self.insert_member(Member { id, host, joined_at: now }, net);
+        self.insert_member(
+            Member {
+                id,
+                host,
+                joined_at: now,
+            },
+            net,
+        );
     }
 
     fn insert_member(&mut self, member: Member, net: &impl Network) {
         // Build the newcomer's table and insert it into everyone else's.
-        let table =
-            rekey_table::oracle::build_table(&self.spec, &member, &self.members, net, self.k, self.policy);
+        let table = rekey_table::oracle::build_table(
+            &self.spec,
+            &member,
+            &self.members,
+            net,
+            self.k,
+            self.policy,
+        );
         for (i, existing) in self.members.iter().enumerate() {
             let rtt = net.rtt(existing.host, member.host);
-            self.tables[i].insert(NeighborRecord { member: member.clone(), rtt });
+            self.tables[i].insert(NeighborRecord {
+                member: member.clone(),
+                rtt,
+            });
         }
         self.server_table.insert(NeighborRecord {
             member: member.clone(),
@@ -254,7 +290,10 @@ impl Group {
     ///
     /// [`GroupError::NotMember`] if `id` is not in the group.
     pub fn leave(&mut self, id: &UserId, net: &impl Network) -> Result<Member, GroupError> {
-        let idx = *self.index.get(id).ok_or_else(|| GroupError::NotMember(id.clone()))?;
+        let idx = *self
+            .index
+            .get(id)
+            .ok_or_else(|| GroupError::NotMember(id.clone()))?;
         let departed = self.members.remove(idx);
         self.tables.remove(idx);
         self.index.remove(id);
@@ -270,7 +309,9 @@ impl Group {
             if !self.tables[i].remove(id) {
                 continue;
             }
-            let Some((row, col)) = self.tables[i].slot_for(id) else { continue };
+            let Some((row, col)) = self.tables[i].slot_for(id) else {
+                continue;
+            };
             let candidates = self.id_tree.ij_subtree_users(&owner.id, row, col);
             for cand in candidates {
                 let m = self.members[self.index[&cand]].clone();
@@ -279,7 +320,10 @@ impl Group {
             }
         }
         // Refill the server entry for the departed user's digit.
-        for m in self.id_tree.ij_subtree_users(&departed.id, 0, departed.id.digit(0)) {
+        for m in self
+            .id_tree
+            .ij_subtree_users(&departed.id, 0, departed.id.digit(0))
+        {
             let member = self.members[self.index[&m]].clone();
             let rtt = net.rtt(self.server_host, member.host);
             self.server_table.insert(NeighborRecord { member, rtt });
@@ -352,15 +396,22 @@ mod tests {
     #[test]
     fn leaves_repair_tables() {
         let (mut group, net) = setup(14, 3);
-        let victims: Vec<UserId> =
-            group.members().iter().step_by(3).map(|m| m.id.clone()).collect();
+        let victims: Vec<UserId> = group
+            .members()
+            .iter()
+            .step_by(3)
+            .map(|m| m.id.clone())
+            .collect();
         for v in &victims {
             group.leave(v, &net).unwrap();
             group.check().expect("K-consistent after each leave");
         }
         assert_eq!(group.len(), 14 - victims.len());
         let missing = victims[0].clone();
-        assert_eq!(group.leave(&missing, &net), Err(GroupError::NotMember(missing)));
+        assert_eq!(
+            group.leave(&missing, &net),
+            Err(GroupError::NotMember(missing))
+        );
     }
 
     #[test]
@@ -380,7 +431,11 @@ mod tests {
             HostId(3),
             2,
             PrimaryPolicy::SmallestRtt,
-            AssignParams { p: 10, f_percentile: 80, thresholds: vec![150_000, 30_000] },
+            AssignParams {
+                p: 10,
+                f_percentile: 80,
+                thresholds: vec![150_000, 30_000],
+            },
         );
         group.join(HostId(0), &net, 0).unwrap();
         group.join(HostId(2), &net, 1).unwrap();

@@ -49,12 +49,15 @@ mod group;
 pub mod protocols;
 mod recovery;
 pub mod split;
+pub mod transport;
 
 pub use assign::{AssignParams, AssignStats};
 pub use facade::{
-    AgentError, DeliveredRekey, GroupServer, IntervalOutcome, UserAgent, WelcomePacket,
+    AgentError, GroupConfig, GroupServer, IntervalOutcome, RekeyDelivery, RekeyError, RekeyStatus,
+    UserAgent, WelcomePacket,
 };
 pub use group::{Group, GroupError, JoinOutcome};
 pub use protocols::{ipmc_rekey_transport, nice_rekey_transport, RekeyProtocol};
 pub use recovery::{lossy_rekey_transport, LossyReport};
-pub use split::{cluster_rekey_transport, split_for_neighbor, tmesh_rekey_transport, BandwidthReport};
+pub use split::{cluster_rekey_transport, split_for_neighbor, tmesh_rekey_transport};
+pub use transport::{BandwidthReport, MemberIndex, SplitIndex, TransportOptions};

@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 use rekey_net::{HostId, LinkLoad, Network, RoutedNetwork};
 use rekey_nice::NiceHierarchy;
 
-use crate::split::BandwidthReport;
+use crate::transport::BandwidthReport;
 
 /// The seven rekey transport protocols compared in Fig. 13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,9 +148,7 @@ pub fn nice_rekey_transport(
             };
             report.forwarded[host_index[&p]] += units;
             report.received[host_index[&c]] += units;
-            if let (Some(load), Some(path)) =
-                (report.link_load.as_mut(), net.path_links(p, c))
-            {
+            if let (Some(load), Some(path)) = (report.link_load.as_mut(), net.path_links(p, c)) {
                 load.add_path(&path, units);
             }
             stack.push(c);
@@ -200,11 +198,14 @@ mod tests {
     fn nice_no_split_floods_full_message() {
         let (net, hosts, nice) = setup(12, 1);
         let needs = HashMap::new();
-        let report =
-            nice_rekey_transport(&nice, &net, HostId(12), &hosts, &needs, 100, false);
+        let report = nice_rekey_transport(&nice, &net, HostId(12), &hosts, &needs, 100, false);
         assert!(report.received.iter().all(|&r| r == 100));
         let fan: u64 = report.forwarded.iter().sum();
-        assert_eq!(fan, 100 * (hosts.len() as u64 - 1), "one full copy per non-root member");
+        assert_eq!(
+            fan,
+            100 * (hosts.len() as u64 - 1),
+            "one full copy per non-root member"
+        );
     }
 
     #[test]
@@ -213,8 +214,7 @@ mod tests {
         // Each host needs exactly one private encryption.
         let needs: HashMap<HostId, HashSet<usize>> =
             hosts.iter().map(|&h| (h, HashSet::from([h.0]))).collect();
-        let report =
-            nice_rekey_transport(&nice, &net, HostId(12), &hosts, &needs, 12, true);
+        let report = nice_rekey_transport(&nice, &net, HostId(12), &hosts, &needs, 12, true);
         // Everyone receives at least its own encryption, far less than 12
         // in total across interior nodes.
         assert!(report.received.iter().all(|&r| r >= 1));

@@ -15,14 +15,14 @@
 //! needs (Lemma 3 makes this locally checkable — its own path prefixes)
 //! and unicasts the server for the difference.
 
-use std::collections::VecDeque;
-
 use rand::Rng;
 use rekey_crypto::Encryption;
 use rekey_net::Network;
 use rekey_sim::SimRng;
 use rekey_tmesh::forward::{server_next_hops, user_next_hops};
 use rekey_tmesh::TmeshGroup;
+
+use crate::transport::RekeySession;
 
 /// Outcome of a lossy rekey transport plus its unicast recovery pass.
 #[derive(Debug, Clone)]
@@ -62,55 +62,54 @@ pub fn lossy_rekey_transport(
     loss: f64,
     rng: &mut SimRng,
 ) -> LossyReport {
-    assert!((0.0..1.0).contains(&loss), "loss probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&loss),
+        "loss probability must be in [0, 1)"
+    );
     let n = group.members().len();
-    let index = |id: &rekey_id::UserId| {
-        group.members().iter().position(|m| &m.id == id).expect("member")
-    };
-    let full: Vec<usize> = (0..message.len()).collect();
+    let mut session = RekeySession::new(group, message, true);
     let mut received: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut copies_lost = 0u64;
 
-    let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
+    // Which copies are delivered does not depend on payload contents, so
+    // the loss draws here consume the RNG in the exact sequence the former
+    // scan-per-hop implementation did.
     for hop in server_next_hops(group.server_table()) {
-        let to = index(&hop.neighbor.member.id);
-        let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
-        let subset = crate::split::split_for_neighbor(&full, message, &prefix);
+        let to = session.members.of_hop(&hop);
+        let payload = session.initial_payload(&hop);
         if rng.gen_bool(loss) {
             copies_lost += 1;
             continue;
         }
-        queue.push_back((to, hop.forward_level, subset));
+        session.queue.push_back((to, hop.forward_level, payload, 0));
     }
-    while let Some((member, level, msg)) = queue.pop_front() {
-        received[member].extend(msg.iter().copied());
+    while let Some((member, level, payload, _)) = session.queue.pop_front() {
+        session.payload_extend(payload, &mut received[member]);
         for hop in user_next_hops(group.table(member), level) {
-            let to = index(&hop.neighbor.member.id);
-            let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
-            let subset = crate::split::split_for_neighbor(&msg, message, &prefix);
+            let to = session.members.of_hop(&hop);
+            let next = session.payload_for(payload, &hop);
             if rng.gen_bool(loss) {
                 copies_lost += 1;
                 continue;
             }
-            queue.push_back((to, hop.forward_level, subset));
+            session.queue.push_back((to, hop.forward_level, next, 0));
         }
     }
 
     // Recovery: each member checks its *own* needs (Lemma 3) and fetches
-    // the difference from the server via unicast.
+    // the difference from the server via unicast. A member's needs are the
+    // encryptions whose IDs lie on its path — exactly the related set of
+    // its full-length ID, so the split index answers it directly.
     let mut recovering_members = Vec::new();
     let mut recovery_encryptions = 0u64;
     let mut final_sets = received.clone();
     for (i, member) in group.members().iter().enumerate() {
-        let needed: Vec<usize> = message
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.id().is_prefix_of_id(&member.id))
-            .map(|(k, _)| k)
-            .collect();
         let have: std::collections::BTreeSet<usize> = received[i].iter().copied().collect();
-        let missing: Vec<usize> =
-            needed.into_iter().filter(|e| !have.contains(e)).collect();
+        let missing: Vec<usize> = session
+            .index
+            .indices(member.id.digits())
+            .filter(|e| !have.contains(e))
+            .collect();
         if !missing.is_empty() {
             recovery_encryptions += missing.len() as u64;
             final_sets[i].extend(missing);
@@ -141,7 +140,13 @@ mod tests {
     fn fixture(
         n: usize,
         seed: u64,
-    ) -> (MatrixNetwork, crate::Group, ModifiedKeyTree, Rings, rand::rngs::StdRng) {
+    ) -> (
+        MatrixNetwork,
+        crate::Group,
+        ModifiedKeyTree,
+        Rings,
+        rand::rngs::StdRng,
+    ) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::default(), &mut rng);
         let spec = IdSpec::new(3, 8).unwrap();
@@ -161,7 +166,10 @@ mod tests {
             .members()
             .iter()
             .map(|m| {
-                (m.id.clone(), KeyRing::new(m.id.clone(), tree.user_path_keys(&m.id)))
+                (
+                    m.id.clone(),
+                    KeyRing::new(m.id.clone(), tree.user_path_keys(&m.id)),
+                )
             })
             .collect();
         (net, group, tree, rings, rng)
@@ -188,16 +196,19 @@ mod tests {
     #[test]
     fn recovery_restores_every_member_key_state() {
         let (net, mut group, mut tree, mut rings, mut rng) = fixture(40, 2);
-        let leavers: Vec<_> =
-            group.members().iter().step_by(5).map(|m| m.id.clone()).collect();
+        let leavers: Vec<_> = group
+            .members()
+            .iter()
+            .step_by(5)
+            .map(|m| m.id.clone())
+            .collect();
         for l in &leavers {
             group.leave(l, &net).unwrap();
             rings.remove(l);
         }
         let out = tree.batch_rekey(&[], &leavers, &mut rng).unwrap();
         let mesh = group.tmesh();
-        let report =
-            lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.25, &mut seeded_rng(9));
+        let report = lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.25, &mut seeded_rng(9));
         assert!(report.copies_lost > 0, "25% loss must drop something");
         assert!(!report.recovering_members.is_empty());
 
@@ -206,9 +217,7 @@ mod tests {
         let spec = *group.spec();
         for (i, member) in mesh.members().iter().enumerate() {
             let ring = rings.get_mut(&member.id).expect("survivor has a ring");
-            let encs: Vec<_> =
-                report.final_sets[i].iter().map(|&e| out.encryptions[e].clone()).collect();
-            ring.absorb(&encs);
+            ring.absorb(report.final_sets[i].iter().map(|&e| &out.encryptions[e]));
             assert!(
                 ring.matches_path(&spec, &tree.user_path_keys(&member.id)),
                 "{} lacks keys after recovery",
@@ -231,10 +240,8 @@ mod tests {
         group.leave(&leaver, &net).unwrap();
         let out = tree.batch_rekey(&[], &[leaver], &mut rng).unwrap();
         let mesh = group.tmesh();
-        let low =
-            lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.05, &mut seeded_rng(11));
-        let high =
-            lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.5, &mut seeded_rng(11));
+        let low = lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.05, &mut seeded_rng(11));
+        let high = lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.5, &mut seeded_rng(11));
         assert!(high.recovering_members.len() >= low.recovering_members.len());
         assert!(high.copies_lost > low.copies_lost);
     }

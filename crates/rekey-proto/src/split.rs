@@ -6,113 +6,82 @@
 //! `w.ID[0 : s]` is a prefix of `e.ID` — in this crate's indexing, iff
 //! `e.id().is_related(&w.prefix(s + 1))`. Theorem 2 proves this keeps
 //! exactly the encryptions needed by `w` or its downstream users.
-
-use std::collections::VecDeque;
+//!
+//! The transports here run on the indexed core of [`crate::transport`]:
+//! hop payloads are described by their split prefix and resolved against a
+//! [`crate::SplitIndex`] built once per session, so each hop costs
+//! O(D log M) binary searching instead of an O(M) scan, and no per-edge
+//! subset vector is allocated. The former scan-per-hop implementation is
+//! preserved verbatim in [`reference`] as the correctness oracle and
+//! benchmark baseline.
 
 use rekey_crypto::Encryption;
 use rekey_id::IdPrefix;
-use rekey_net::{HostId, LinkLoad, Network};
+use rekey_net::Network;
 use rekey_tmesh::forward::{server_next_hops, user_next_hops};
 use rekey_tmesh::TmeshGroup;
 
-/// Per-member and per-link bandwidth accounting of one rekey transport
-/// session (the Fig. 13 metrics).
-#[derive(Debug, Clone)]
-pub struct BandwidthReport {
-    /// Encryptions received per member (by member index).
-    pub received: Vec<u64>,
-    /// Encryptions forwarded per member.
-    pub forwarded: Vec<u64>,
-    /// Encryptions traversing each physical link (`None` on link-less
-    /// substrates).
-    pub link_load: Option<LinkLoad>,
-    /// When collected: the exact encryption indices received per member
-    /// (used to verify Theorem 2 / Corollary 1 in tests).
-    pub received_sets: Option<Vec<Vec<usize>>>,
-}
-
-impl BandwidthReport {
-    fn new(members: usize, net: &impl Network, detail: bool) -> BandwidthReport {
-        BandwidthReport {
-            received: vec![0; members],
-            forwarded: vec![0; members],
-            link_load: (net.link_count() > 0).then(|| LinkLoad::new(net.link_count())),
-            received_sets: detail.then(|| vec![Vec::new(); members]),
-        }
-    }
-
-    fn account_link(&mut self, net: &impl Network, from: HostId, to: HostId, units: u64) {
-        if units == 0 {
-            return;
-        }
-        if let Some(load) = self.link_load.as_mut() {
-            if let Some(path) = net.path_links(from, to) {
-                load.add_path(&path, units);
-            }
-        }
-    }
-}
+use crate::transport::{BandwidthReport, RekeySession, TransportOptions};
 
 /// Which encryptions of `message` belong in the copy composed for the
 /// `(s, j)`-primary neighbor `w` — the loop body of `REKEY-MESSAGE-SPLIT`
-/// (Fig. 5).
-pub fn split_for_neighbor(message: &[usize], all: &[Encryption], w_prefix: &IdPrefix) -> Vec<usize> {
-    message.iter().copied().filter(|&e| all[e].id().is_related(w_prefix)).collect()
+/// (Fig. 5), as the paper states it.
+///
+/// This is the naive O(M) scan; the transports resolve the same set by
+/// range extraction from a [`crate::SplitIndex`]. Kept public as the
+/// oracle the equivalence tests and benchmarks compare against.
+pub fn split_for_neighbor(
+    message: &[usize],
+    all: &[Encryption],
+    w_prefix: &IdPrefix,
+) -> Vec<usize> {
+    message
+        .iter()
+        .copied()
+        .filter(|&e| all[e].id().is_related(w_prefix))
+        .collect()
 }
 
 /// Runs one rekey transport session over T-mesh (protocols `P1`/`P2` of
-/// Table 2): the key server multicasts `message`; with `split` the
-/// `REKEY-MESSAGE-SPLIT` routine composes a separate copy per next hop,
-/// otherwise every copy carries the whole message.
-///
-/// Set `detail` to also record exactly which encryptions each member
-/// received (for correctness tests).
+/// Table 2): the key server multicasts `message`; with
+/// [`TransportOptions::split`] the `REKEY-MESSAGE-SPLIT` routine composes
+/// a separate copy per next hop, otherwise every copy carries the whole
+/// message. [`TransportOptions::detail`] also records exactly which
+/// encryptions each member received (for correctness tests).
 pub fn tmesh_rekey_transport(
     group: &TmeshGroup,
     net: &impl Network,
     message: &[Encryption],
-    split: bool,
-    detail: bool,
+    options: TransportOptions,
 ) -> BandwidthReport {
     let n = group.members().len();
-    let mut report = BandwidthReport::new(n, net, detail);
-    let full: Vec<usize> = (0..message.len()).collect();
-    let index = |id: &rekey_id::UserId| {
-        group
-            .members()
-            .iter()
-            .position(|m| &m.id == id)
-            .expect("neighbor is a member")
-    };
+    let mut report = BandwidthReport::new(n, net, options.detail);
+    let mut session = RekeySession::new(group, message, options.split);
 
-    let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
     for hop in server_next_hops(group.server_table()) {
-        let to = index(&hop.neighbor.member.id);
-        let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
-        let subset =
-            if split { split_for_neighbor(&full, message, &prefix) } else { full.clone() };
-        report.account_link(net, group.server_host(), group.members()[to].host, subset.len() as u64);
-        queue.push_back((to, hop.forward_level, subset));
+        let to = session.members.of_hop(&hop);
+        let payload = session.initial_payload(&hop);
+        let units = session.payload_len(payload);
+        report.account_link(net, group.server_host(), session.host(to), units);
+        session
+            .queue
+            .push_back((to, hop.forward_level, payload, units));
     }
 
-    while let Some((member, level, msg)) = queue.pop_front() {
-        report.received[member] += msg.len() as u64;
+    while let Some((member, level, payload, units)) = session.queue.pop_front() {
+        report.received[member] += units;
         if let Some(sets) = report.received_sets.as_mut() {
-            sets[member].extend(msg.iter().copied());
+            session.payload_extend(payload, &mut sets[member]);
         }
         for hop in user_next_hops(group.table(member), level) {
-            let to = index(&hop.neighbor.member.id);
-            let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
-            let subset =
-                if split { split_for_neighbor(&msg, message, &prefix) } else { msg.clone() };
-            report.forwarded[member] += subset.len() as u64;
-            report.account_link(
-                net,
-                group.members()[member].host,
-                group.members()[to].host,
-                subset.len() as u64,
-            );
-            queue.push_back((to, hop.forward_level, subset));
+            let to = session.members.of_hop(&hop);
+            let next = session.payload_for(payload, &hop);
+            let next_units = session.payload_len(next);
+            report.forwarded[member] += next_units;
+            report.account_link(net, session.host(member), session.host(to), next_units);
+            session
+                .queue
+                .push_back((to, hop.forward_level, next, next_units));
         }
     }
     report
@@ -131,26 +100,22 @@ pub fn tmesh_rekey_transport(
 ///   cluster member.
 ///
 /// `is_leader(i)` tells whether member `i` currently leads its cluster and
-/// `cluster_of(i)` lists the member indices of `i`'s cluster.
+/// `cluster_of(i)` lists the member indices of `i`'s cluster. With
+/// [`TransportOptions::detail`], `received_sets` records the multicast
+/// copies only — the leader's pairwise unicasts carry the group key under
+/// a pairwise key, not message encryptions.
 pub fn cluster_rekey_transport(
     group: &TmeshGroup,
     net: &impl Network,
     message: &[Encryption],
-    split: bool,
+    options: TransportOptions,
     is_leader: &dyn Fn(usize) -> bool,
     cluster_of: &dyn Fn(usize) -> Vec<usize>,
 ) -> BandwidthReport {
     let n = group.members().len();
     let depth = group.spec().depth();
-    let mut report = BandwidthReport::new(n, net, false);
-    let full: Vec<usize> = (0..message.len()).collect();
-    let index = |id: &rekey_id::UserId| {
-        group
-            .members()
-            .iter()
-            .position(|m| &m.id == id)
-            .expect("neighbor is a member")
-    };
+    let mut report = BandwidthReport::new(n, net, options.detail);
+    let mut session = RekeySession::new(group, message, options.split);
 
     // The leader (or designated receiver) fans the group key out to its
     // cluster over pairwise keys.
@@ -190,38 +155,222 @@ pub fn cluster_rekey_transport(
         }
     };
 
-    let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
     for hop in server_next_hops(group.server_table()) {
-        let to = index(&hop.neighbor.member.id);
-        let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
-        let subset =
-            if split { split_for_neighbor(&full, message, &prefix) } else { full.clone() };
-        report.account_link(net, group.server_host(), group.members()[to].host, subset.len() as u64);
-        queue.push_back((to, hop.forward_level, subset));
+        let to = session.members.of_hop(&hop);
+        let payload = session.initial_payload(&hop);
+        let units = session.payload_len(payload);
+        report.account_link(net, group.server_host(), session.host(to), units);
+        session
+            .queue
+            .push_back((to, hop.forward_level, payload, units));
     }
 
-    while let Some((member, level, msg)) = queue.pop_front() {
-        report.received[member] += msg.len() as u64;
+    while let Some((member, level, payload, units)) = session.queue.pop_front() {
+        report.received[member] += units;
+        if let Some(sets) = report.received_sets.as_mut() {
+            session.payload_extend(payload, &mut sets[member]);
+        }
         // Forward only at levels < D − 1 (Appendix B): the bottom row is
         // replaced by the leader's pairwise unicasts.
         for hop in user_next_hops(group.table(member), level) {
             if hop.row + 1 >= depth {
                 continue;
             }
+            let to = session.members.of_hop(&hop);
+            let next = session.payload_for(payload, &hop);
+            let next_units = session.payload_len(next);
+            report.forwarded[member] += next_units;
+            report.account_link(net, session.host(member), session.host(to), next_units);
+            session
+                .queue
+                .push_back((to, hop.forward_level, next, next_units));
+        }
+        deliver_to_cluster(&mut report, member);
+    }
+    report
+}
+
+/// The pre-index transport implementations: an O(N) member scan per hop
+/// and an O(M) relatedness scan per composed copy, allocating one subset
+/// vector per edge. Kept verbatim as the correctness oracle (the
+/// equivalence proptests compare against these) and as the benchmark
+/// baseline for the indexed core.
+pub mod reference {
+    use std::collections::VecDeque;
+
+    use rekey_crypto::Encryption;
+    use rekey_net::Network;
+    use rekey_tmesh::forward::{server_next_hops, user_next_hops};
+    use rekey_tmesh::TmeshGroup;
+
+    use super::split_for_neighbor;
+    use crate::transport::{BandwidthReport, TransportOptions};
+
+    /// [`crate::tmesh_rekey_transport`] as originally implemented: scan
+    /// per hop, subset vector per edge.
+    pub fn tmesh_rekey_transport(
+        group: &TmeshGroup,
+        net: &impl Network,
+        message: &[Encryption],
+        options: TransportOptions,
+    ) -> BandwidthReport {
+        let TransportOptions { split, detail } = options;
+        let n = group.members().len();
+        let mut report = BandwidthReport::new(n, net, detail);
+        let full: Vec<usize> = (0..message.len()).collect();
+        let index = |id: &rekey_id::UserId| {
+            group
+                .members()
+                .iter()
+                .position(|m| &m.id == id)
+                .expect("neighbor is a member")
+        };
+
+        let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
+        for hop in server_next_hops(group.server_table()) {
             let to = index(&hop.neighbor.member.id);
             let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
-            let subset =
-                if split { split_for_neighbor(&msg, message, &prefix) } else { msg.clone() };
-            report.forwarded[member] += subset.len() as u64;
+            let subset = if split {
+                split_for_neighbor(&full, message, &prefix)
+            } else {
+                full.clone()
+            };
             report.account_link(
                 net,
-                group.members()[member].host,
+                group.server_host(),
                 group.members()[to].host,
                 subset.len() as u64,
             );
             queue.push_back((to, hop.forward_level, subset));
         }
-        deliver_to_cluster(&mut report, member);
+
+        while let Some((member, level, msg)) = queue.pop_front() {
+            report.received[member] += msg.len() as u64;
+            if let Some(sets) = report.received_sets.as_mut() {
+                sets[member].extend(msg.iter().copied());
+            }
+            for hop in user_next_hops(group.table(member), level) {
+                let to = index(&hop.neighbor.member.id);
+                let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+                let subset = if split {
+                    split_for_neighbor(&msg, message, &prefix)
+                } else {
+                    msg.clone()
+                };
+                report.forwarded[member] += subset.len() as u64;
+                report.account_link(
+                    net,
+                    group.members()[member].host,
+                    group.members()[to].host,
+                    subset.len() as u64,
+                );
+                queue.push_back((to, hop.forward_level, subset));
+            }
+        }
+        report
     }
-    report
+
+    /// [`crate::cluster_rekey_transport`] as originally implemented.
+    pub fn cluster_rekey_transport(
+        group: &TmeshGroup,
+        net: &impl Network,
+        message: &[Encryption],
+        options: TransportOptions,
+        is_leader: &dyn Fn(usize) -> bool,
+        cluster_of: &dyn Fn(usize) -> Vec<usize>,
+    ) -> BandwidthReport {
+        let TransportOptions { split, detail } = options;
+        let n = group.members().len();
+        let depth = group.spec().depth();
+        let mut report = BandwidthReport::new(n, net, detail);
+        let full: Vec<usize> = (0..message.len()).collect();
+        let index = |id: &rekey_id::UserId| {
+            group
+                .members()
+                .iter()
+                .position(|m| &m.id == id)
+                .expect("neighbor is a member")
+        };
+
+        let deliver_to_cluster = |report: &mut BandwidthReport, receiver: usize| {
+            let mut leader = receiver;
+            if !is_leader(receiver) {
+                let peers = cluster_of(receiver);
+                if let Some(&l) = peers.iter().find(|&&m| is_leader(m)) {
+                    report.forwarded[receiver] += report.received[receiver];
+                    let units = report.received[receiver];
+                    report.account_link(
+                        net,
+                        group.members()[receiver].host,
+                        group.members()[l].host,
+                        units,
+                    );
+                    report.received[l] += units;
+                    leader = l;
+                }
+            }
+            for peer in cluster_of(leader) {
+                if peer == leader {
+                    continue;
+                }
+                if report.received[peer] == 0 {
+                    report.forwarded[leader] += 1;
+                    report.received[peer] += 1;
+                    report.account_link(
+                        net,
+                        group.members()[leader].host,
+                        group.members()[peer].host,
+                        1,
+                    );
+                }
+            }
+        };
+
+        let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
+        for hop in server_next_hops(group.server_table()) {
+            let to = index(&hop.neighbor.member.id);
+            let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+            let subset = if split {
+                split_for_neighbor(&full, message, &prefix)
+            } else {
+                full.clone()
+            };
+            report.account_link(
+                net,
+                group.server_host(),
+                group.members()[to].host,
+                subset.len() as u64,
+            );
+            queue.push_back((to, hop.forward_level, subset));
+        }
+
+        while let Some((member, level, msg)) = queue.pop_front() {
+            report.received[member] += msg.len() as u64;
+            if let Some(sets) = report.received_sets.as_mut() {
+                sets[member].extend(msg.iter().copied());
+            }
+            for hop in user_next_hops(group.table(member), level) {
+                if hop.row + 1 >= depth {
+                    continue;
+                }
+                let to = index(&hop.neighbor.member.id);
+                let prefix = hop.neighbor.member.id.prefix(hop.row + 1);
+                let subset = if split {
+                    split_for_neighbor(&msg, message, &prefix)
+                } else {
+                    msg.clone()
+                };
+                report.forwarded[member] += subset.len() as u64;
+                report.account_link(
+                    net,
+                    group.members()[member].host,
+                    group.members()[to].host,
+                    subset.len() as u64,
+                );
+                queue.push_back((to, hop.forward_level, subset));
+            }
+            deliver_to_cluster(&mut report, member);
+        }
+        report
+    }
 }

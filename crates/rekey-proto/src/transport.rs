@@ -1,0 +1,561 @@
+//! The shared rekey-transport core: indexed routing and prefix-range
+//! splitting.
+//!
+//! All three rekey transports ([`crate::tmesh_rekey_transport`],
+//! [`crate::cluster_rekey_transport`], [`crate::lossy_rekey_transport`])
+//! drive the same BFS over T-mesh forwarding hops. This module holds the
+//! machinery they share:
+//!
+//! * [`MemberIndex`] — O(1) `UserId → member index` resolution per hop
+//!   (backed by the map `TmeshGroup` builds once per session), replacing
+//!   the former O(N) `members().position(..)` scan per edge;
+//! * [`SplitIndex`] — the `REKEY-MESSAGE-SPLIT` routine (Fig. 5) as
+//!   contiguous-range extraction. Encryption indices are sorted once by
+//!   encryption ID; Theorem 2's relatedness predicate for a hop prefix `p`
+//!   then decomposes into **one descendant range** (IDs with `p` as
+//!   prefix — contiguous in the sorted order) plus **at most `D` ancestor
+//!   runs** (exact matches of `p`'s proper prefixes), each found by binary
+//!   search in O(log M). A hop's payload is described, counted, and
+//!   iterated without scanning the message;
+//! * [`PrefixBuf`] — a fixed-capacity digit buffer so queued hops carry
+//!   their split prefix without a heap allocation per edge (the former
+//!   implementation cloned a fresh `Vec<usize>` subset per edge).
+//!
+//! # Why range extraction is exact (not just an over-approximation)
+//!
+//! Along any forwarding chain the hop prefixes strictly refine: a member
+//! `m` that received its copy for prefix `p₁ = m.ID[0..l]` forwards copies
+//! for prefixes `p₂` with `p₁ ⊑ p₂` (rows `s ≥ l` of `m`'s table share
+//! `m`'s first `s ≥ l` digits). For `p₁ ⊑ p₂`, every encryption related to
+//! `p₂` is also related to `p₁`, so filtering the *received subset* by
+//! `p₂` — what Fig. 5 literally does — equals filtering the *full
+//! message* by `p₂`. By induction from the server (which starts with the
+//! full message), the payload of every hop is exactly the global related
+//! set of that hop's prefix, which is what [`SplitIndex`] extracts.
+
+use std::collections::VecDeque;
+
+use rekey_crypto::Encryption;
+use rekey_id::{IdPrefix, UserId};
+use rekey_net::{HostId, LinkLoad, Network};
+use rekey_tmesh::forward::Hop;
+use rekey_tmesh::TmeshGroup;
+
+/// Hard cap on ID-tree depth supported by the allocation-free hop buffers.
+/// The paper's spec is `D = 5`; every spec in this workspace is far below
+/// this.
+pub const MAX_DEPTH: usize = 12;
+
+/// Options for a rekey transport session, replacing the former
+/// `(split: bool, detail: bool)` positional flags.
+///
+/// ```
+/// use rekey_proto::TransportOptions;
+/// let opts = TransportOptions::split().with_detail();
+/// assert!(opts.split && opts.detail);
+/// assert!(!TransportOptions::flood().split);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportOptions {
+    /// Run `REKEY-MESSAGE-SPLIT` (Fig. 5): each hop carries only the
+    /// encryptions related to its subtree. Without it every copy carries
+    /// the whole message.
+    pub split: bool,
+    /// Record exactly which encryption indices each member received
+    /// (`BandwidthReport::received_sets`), for correctness checks.
+    pub detail: bool,
+}
+
+impl TransportOptions {
+    /// Splitting on, detail off: the paper's split protocols.
+    pub fn split() -> TransportOptions {
+        TransportOptions {
+            split: true,
+            detail: false,
+        }
+    }
+
+    /// Splitting off (every copy carries the full message).
+    pub fn flood() -> TransportOptions {
+        TransportOptions {
+            split: false,
+            detail: false,
+        }
+    }
+
+    /// Additionally record per-member received encryption index sets.
+    pub fn with_detail(mut self) -> TransportOptions {
+        self.detail = true;
+        self
+    }
+}
+
+/// O(1) member resolution for transport hops.
+///
+/// Wraps the `UserId → index` map that [`TmeshGroup`] builds once per
+/// session, giving transports a named handle for the lookup that used to
+/// be an O(N) scan per edge.
+#[derive(Clone, Copy)]
+pub struct MemberIndex<'a> {
+    group: &'a TmeshGroup,
+}
+
+impl<'a> MemberIndex<'a> {
+    pub fn new(group: &'a TmeshGroup) -> MemberIndex<'a> {
+        MemberIndex { group }
+    }
+
+    /// The member index of `id`, if it is a session member.
+    pub fn get(&self, id: &UserId) -> Option<usize> {
+        self.group.member_index(id)
+    }
+
+    /// The member index of a hop's receiving neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neighbor is not a session member (tables and member
+    /// list out of sync — a bug by construction of `TmeshGroup`).
+    pub fn of_hop(&self, hop: &Hop<'_>) -> usize {
+        self.get(&hop.neighbor.member.id)
+            .expect("hop neighbor is a session member")
+    }
+}
+
+/// A fixed-capacity prefix digit buffer: the split key a queued hop
+/// carries, without per-edge heap allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixBuf {
+    len: u8,
+    digits: [u16; MAX_DEPTH],
+}
+
+impl PrefixBuf {
+    /// Captures `digits` (a prefix of some member ID).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits.len() > MAX_DEPTH`.
+    pub fn new(digits: &[u16]) -> PrefixBuf {
+        assert!(
+            digits.len() <= MAX_DEPTH,
+            "ID-tree depth exceeds transport MAX_DEPTH"
+        );
+        let mut buf = PrefixBuf {
+            len: digits.len() as u8,
+            digits: [0; MAX_DEPTH],
+        };
+        buf.digits[..digits.len()].copy_from_slice(digits);
+        buf
+    }
+
+    /// The `(row, ·)`-subtree prefix served by `hop`: the receiving
+    /// neighbor's level-`row + 1` prefix (see [`Hop::prefix`]).
+    pub fn of_hop(hop: &Hop<'_>) -> PrefixBuf {
+        PrefixBuf::new(&hop.neighbor.member.id.digits()[..hop.row + 1])
+    }
+
+    pub fn as_slice(&self) -> &[u16] {
+        &self.digits[..self.len as usize]
+    }
+}
+
+/// The set of positions in a [`SplitIndex`]'s sorted order that are
+/// related to one prefix: at most `MAX_DEPTH` ancestor runs plus one
+/// descendant range, disjoint and in ascending order.
+#[derive(Clone, Copy, Debug)]
+pub struct RelatedRanges {
+    count: usize,
+    ranges: [(u32, u32); MAX_DEPTH + 1],
+}
+
+impl RelatedRanges {
+    fn push(&mut self, lo: usize, hi: usize) {
+        if lo < hi {
+            self.ranges[self.count] = (lo as u32, hi as u32);
+            self.count += 1;
+        }
+    }
+
+    /// Total number of related encryptions.
+    pub fn total(&self) -> usize {
+        self.ranges[..self.count]
+            .iter()
+            .map(|&(lo, hi)| (hi - lo) as usize)
+            .sum()
+    }
+
+    /// The ranges as `(start, end)` position pairs into the sorted order.
+    pub fn as_slice(&self) -> &[(u32, u32)] {
+        &self.ranges[..self.count]
+    }
+}
+
+/// The prefix-range split index: the rekey message's encryption IDs
+/// sorted once, answering "which encryptions are related to prefix `p`"
+/// (Theorem 2 / Fig. 5) in O(D log M) per query instead of O(M).
+///
+/// The index owns a flattened copy of the digit strings (a few bytes per
+/// entry), so it can be shared and outlive the message it was built from.
+///
+/// ```
+/// # use rekey_proto::SplitIndex;
+/// # use rekey_crypto::{Encryption, Key};
+/// # use rekey_id::{IdPrefix, IdSpec};
+/// # use rand::SeedableRng;
+/// # let spec = IdSpec::new(3, 4).unwrap();
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// # let group_key = Key::random(IdPrefix::root(), &mut rng);
+/// # let mut mk = |digits: Vec<u16>| {
+/// #     let encrypting = Key::random(IdPrefix::new(&spec, digits).unwrap(), &mut rng);
+/// #     Encryption::seal(&encrypting, &group_key, &mut rng)
+/// # };
+/// let message = vec![mk(vec![]), mk(vec![0]), mk(vec![0, 1]), mk(vec![2])];
+/// let index = SplitIndex::build(&message);
+/// // Related to [0]: the root (ancestor), [0] and [0,1] (descendants) — not [2].
+/// let mut related: Vec<usize> = index.indices(&[0]).collect();
+/// related.sort_unstable();
+/// assert_eq!(related, vec![0, 1, 2]);
+/// assert_eq!(index.count(&[0]), 3);
+/// ```
+pub struct SplitIndex {
+    /// Digit strings of every entry, flattened; entry `i` occupies
+    /// `digits[bounds[i]..bounds[i + 1]]`.
+    digits: Vec<u16>,
+    bounds: Vec<u32>,
+    /// Entry indices sorted lexicographically by digit string.
+    order: Vec<u32>,
+}
+
+impl SplitIndex {
+    /// Indexes a rekey message by encryption ID: O(M log M), once per
+    /// session.
+    pub fn build(message: &[Encryption]) -> SplitIndex {
+        SplitIndex::from_digit_strings(message.iter().map(|e| e.id().digits()))
+    }
+
+    /// Indexes a list of encryption IDs directly (for harnesses that
+    /// model messages as ID lists, e.g. the concurrent-traffic simulator).
+    pub fn from_ids(ids: &[IdPrefix]) -> SplitIndex {
+        SplitIndex::from_digit_strings(ids.iter().map(|p| p.digits()))
+    }
+
+    /// Indexes arbitrary digit strings; entry `i` is the `i`-th yielded
+    /// string.
+    pub fn from_digit_strings<'a>(ids: impl Iterator<Item = &'a [u16]>) -> SplitIndex {
+        let mut digits = Vec::new();
+        let mut bounds = Vec::with_capacity(ids.size_hint().0 + 1);
+        bounds.push(0u32);
+        for id in ids {
+            digits.extend_from_slice(id);
+            bounds.push(digits.len() as u32);
+        }
+        let entries = bounds.len() - 1;
+        assert!(
+            entries < u32::MAX as usize,
+            "message too large for split index"
+        );
+        let at = |e: u32| -> &[u16] {
+            &digits[bounds[e as usize] as usize..bounds[e as usize + 1] as usize]
+        };
+        let mut order: Vec<u32> = (0..entries as u32).collect();
+        order.sort_unstable_by(|&a, &b| at(a).cmp(at(b)));
+        SplitIndex {
+            digits,
+            bounds,
+            order,
+        }
+    }
+
+    /// Number of indexed entries (the message size `M`).
+    pub fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The digit string of entry `e`.
+    fn id_at(&self, e: u32) -> &[u16] {
+        &self.digits[self.bounds[e as usize] as usize..self.bounds[e as usize + 1] as usize]
+    }
+
+    /// The positions (in sorted order) of all entries related to
+    /// `prefix`: `e.id ⊑ prefix` or `prefix ⊑ e.id`.
+    pub fn related_ranges(&self, prefix: &[u16]) -> RelatedRanges {
+        let mut out = RelatedRanges {
+            count: 0,
+            ranges: [(0, 0); MAX_DEPTH + 1],
+        };
+        // Proper ancestors of `prefix`: exact-match runs, each located by
+        // two binary searches. They sort strictly before the descendant
+        // block, and in chain order, so `out` stays sorted and disjoint.
+        for k in 0..prefix.len() {
+            let ancestor = &prefix[..k];
+            let lo = self.order.partition_point(|&e| self.id_at(e) < ancestor);
+            let hi = lo + self.order[lo..].partition_point(|&e| self.id_at(e) == ancestor);
+            out.push(lo, hi);
+        }
+        // Descendants (prefix itself included): one contiguous block.
+        let lo = self.order.partition_point(|&e| {
+            rekey_id::subtree_cmp(prefix, self.id_at(e)) == std::cmp::Ordering::Less
+        });
+        let hi = lo
+            + self.order[lo..].partition_point(|&e| {
+                rekey_id::subtree_cmp(prefix, self.id_at(e)) == std::cmp::Ordering::Equal
+            });
+        out.push(lo, hi);
+        out
+    }
+
+    /// How many entries are related to `prefix`: O(D log M).
+    pub fn count(&self, prefix: &[u16]) -> usize {
+        self.related_ranges(prefix).total()
+    }
+
+    /// The entry indices related to `prefix`, in sorted-by-ID order
+    /// (ancestor chain first, then the descendant block).
+    pub fn indices<'s>(&'s self, prefix: &[u16]) -> impl Iterator<Item = usize> + 's {
+        let ranges = self.related_ranges(prefix);
+        (0..ranges.count)
+            .flat_map(move |r| ranges.ranges[r].0..ranges.ranges[r].1)
+            .map(move |pos| self.order[pos as usize] as usize)
+    }
+}
+
+/// Per-member and per-link bandwidth accounting of one rekey transport
+/// session (the Fig. 13 metrics).
+#[derive(Debug, Clone)]
+pub struct BandwidthReport {
+    /// Encryptions received per member (by member index).
+    pub received: Vec<u64>,
+    /// Encryptions forwarded per member.
+    pub forwarded: Vec<u64>,
+    /// Encryptions traversing each physical link (`None` on link-less
+    /// substrates).
+    pub link_load: Option<LinkLoad>,
+    /// When collected: the exact encryption indices received per member
+    /// (used to verify Theorem 2 / Corollary 1 in tests).
+    pub received_sets: Option<Vec<Vec<usize>>>,
+}
+
+impl BandwidthReport {
+    pub(crate) fn new(members: usize, net: &impl Network, detail: bool) -> BandwidthReport {
+        BandwidthReport {
+            received: vec![0; members],
+            forwarded: vec![0; members],
+            link_load: (net.link_count() > 0).then(|| LinkLoad::new(net.link_count())),
+            received_sets: detail.then(|| vec![Vec::new(); members]),
+        }
+    }
+
+    pub(crate) fn account_link(
+        &mut self,
+        net: &impl Network,
+        from: HostId,
+        to: HostId,
+        units: u64,
+    ) {
+        if units == 0 {
+            return;
+        }
+        if let Some(load) = self.link_load.as_mut() {
+            if let Some(path) = net.path_links(from, to) {
+                load.add_path(&path, units);
+            }
+        }
+    }
+}
+
+/// The payload of one queued overlay copy. Under splitting a payload is
+/// fully described by the hop's prefix (see the module docs for why this
+/// is exact); without splitting every copy is the full message.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Payload {
+    Full,
+    Related(PrefixBuf),
+}
+
+/// One queued overlay copy: receiving member, its forwarding level, the
+/// payload descriptor, and the payload size in encryptions. No heap.
+pub(crate) type QueuedCopy = (usize, usize, Payload, u64);
+
+/// The state shared by one rekey transport session: the mesh, the member
+/// index, the split index over the message, and the BFS queue.
+pub(crate) struct RekeySession<'a> {
+    pub group: &'a TmeshGroup,
+    pub members: MemberIndex<'a>,
+    pub index: SplitIndex,
+    pub split: bool,
+    pub queue: VecDeque<QueuedCopy>,
+}
+
+impl<'a> RekeySession<'a> {
+    pub fn new(group: &'a TmeshGroup, message: &[Encryption], split: bool) -> RekeySession<'a> {
+        assert!(
+            group.spec().depth() <= MAX_DEPTH,
+            "ID-tree depth exceeds transport MAX_DEPTH"
+        );
+        RekeySession {
+            group,
+            members: MemberIndex::new(group),
+            index: SplitIndex::build(message),
+            split,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The payload composed for `hop`: the split extract for its subtree
+    /// prefix, or the incoming payload unchanged without splitting.
+    pub fn payload_for(&self, incoming: Payload, hop: &Hop<'_>) -> Payload {
+        if self.split {
+            Payload::Related(PrefixBuf::of_hop(hop))
+        } else {
+            incoming
+        }
+    }
+
+    /// Number of encryptions a payload carries.
+    pub fn payload_len(&self, payload: Payload) -> u64 {
+        match payload {
+            Payload::Full => self.index.len() as u64,
+            Payload::Related(prefix) => self.index.count(prefix.as_slice()) as u64,
+        }
+    }
+
+    /// Appends a payload's encryption indices to `out`.
+    pub fn payload_extend(&self, payload: Payload, out: &mut Vec<usize>) {
+        match payload {
+            Payload::Full => out.extend(0..self.index.len()),
+            Payload::Related(prefix) => out.extend(self.index.indices(prefix.as_slice())),
+        }
+    }
+
+    /// The payload the server composes for an initial hop.
+    pub fn initial_payload(&self, hop: &Hop<'_>) -> Payload {
+        self.payload_for(Payload::Full, hop)
+    }
+
+    pub fn host(&self, member: usize) -> HostId {
+        self.group.members()[member].host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rekey_crypto::Key;
+    use rekey_id::{IdPrefix, IdSpec};
+
+    fn encryptions(spec: &IdSpec, ids: &[&[u16]]) -> Vec<Encryption> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let group_key = Key::random(IdPrefix::root(), &mut rng);
+        ids.iter()
+            .map(|digits| {
+                let encrypting =
+                    Key::random(IdPrefix::new(spec, digits.to_vec()).unwrap(), &mut rng);
+                Encryption::seal(&encrypting, &group_key, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn options_constructors() {
+        assert_eq!(
+            TransportOptions::split(),
+            TransportOptions {
+                split: true,
+                detail: false
+            }
+        );
+        assert_eq!(
+            TransportOptions::flood(),
+            TransportOptions {
+                split: false,
+                detail: false
+            }
+        );
+        assert!(TransportOptions::flood().with_detail().detail);
+        assert_eq!(TransportOptions::default(), TransportOptions::flood());
+    }
+
+    #[test]
+    fn split_index_matches_naive_relatedness_exhaustively() {
+        let spec = IdSpec::new(3, 3).unwrap();
+        // All prefixes of a depth-3 base-3 space, some duplicated.
+        let mut ids: Vec<Vec<u16>> = vec![vec![]];
+        for a in 0..3u16 {
+            ids.push(vec![a]);
+            for b in 0..3u16 {
+                ids.push(vec![a, b]);
+                for c in 0..3u16 {
+                    ids.push(vec![a, b, c]);
+                }
+            }
+        }
+        ids.extend_from_slice(&[vec![1], vec![1, 2], vec![]]); // duplicates
+        let id_refs: Vec<&[u16]> = ids.iter().map(|v| v.as_slice()).collect();
+        let message = encryptions(&spec, &id_refs);
+        let index = SplitIndex::build(&message);
+
+        for probe in &ids {
+            let prefix = IdPrefix::new(&spec, probe.clone()).unwrap();
+            let mut expected: Vec<usize> = (0..message.len())
+                .filter(|&e| message[e].id().is_related(&prefix))
+                .collect();
+            let mut got: Vec<usize> = index.indices(probe).collect();
+            assert_eq!(
+                got.len(),
+                index.count(probe),
+                "count vs indices at {prefix}"
+            );
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "related set mismatch at {prefix}");
+        }
+    }
+
+    #[test]
+    fn split_index_from_ids_matches_build() {
+        let spec = IdSpec::new(2, 4).unwrap();
+        let ids: Vec<IdPrefix> = [vec![], vec![0], vec![0, 1], vec![3], vec![3, 2]]
+            .into_iter()
+            .map(|d| IdPrefix::new(&spec, d).unwrap())
+            .collect();
+        let id_refs: Vec<&[u16]> = ids.iter().map(|p| p.digits()).collect();
+        let message = encryptions(&spec, &id_refs);
+        let from_encs = SplitIndex::build(&message);
+        let from_ids = SplitIndex::from_ids(&ids);
+        for probe in &ids {
+            let mut a: Vec<usize> = from_encs.indices(probe.digits()).collect();
+            let mut b: Vec<usize> = from_ids.indices(probe.digits()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "at {probe}");
+        }
+    }
+
+    #[test]
+    fn split_index_on_empty_message() {
+        let index = SplitIndex::build(&[]);
+        assert!(index.is_empty());
+        assert_eq!(index.count(&[0, 1]), 0);
+        assert_eq!(index.indices(&[]).count(), 0);
+    }
+
+    #[test]
+    fn prefix_buf_round_trips() {
+        let buf = PrefixBuf::new(&[3, 1, 4]);
+        assert_eq!(buf.as_slice(), &[3, 1, 4]);
+        assert_eq!(PrefixBuf::new(&[]).as_slice(), &[] as &[u16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_DEPTH")]
+    fn prefix_buf_rejects_overlong() {
+        let digits = [0u16; MAX_DEPTH + 1];
+        let _ = PrefixBuf::new(&digits);
+    }
+}

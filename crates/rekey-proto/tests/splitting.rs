@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use rekey_id::{IdSpec, UserId};
 use rekey_keytree::{KeyRing, ModifiedKeyTree};
 use rekey_net::{HostId, MatrixNetwork, Network, PlanetLabParams};
-use rekey_proto::{tmesh_rekey_transport, AssignParams, Group};
+use rekey_proto::{tmesh_rekey_transport, AssignParams, Group, TransportOptions};
 use rekey_table::PrimaryPolicy;
 use rekey_tmesh::{Source, TmeshGroup};
 
@@ -40,14 +40,24 @@ fn fixture(spec: IdSpec, n: usize, seed: u64) -> Fixture {
     let mut rings = HashMap::new();
     for h in 0..n {
         let out = group.join(HostId(h), &net, h as u64).unwrap();
-        tree.batch_rekey(std::slice::from_ref(&out.id), &[], &mut rng).unwrap();
-        rings.insert(out.id.clone(), KeyRing::new(out.id.clone(), tree.user_path_keys(&out.id)));
+        tree.batch_rekey(std::slice::from_ref(&out.id), &[], &mut rng)
+            .unwrap();
+        rings.insert(
+            out.id.clone(),
+            KeyRing::new(out.id.clone(), tree.user_path_keys(&out.id)),
+        );
     }
     // Bring every ring up to date with the joins that happened after it.
     for (id, ring) in rings.iter_mut() {
         *ring = KeyRing::new(id.clone(), tree.user_path_keys(id));
     }
-    Fixture { net, group, tree, rings, rng }
+    Fixture {
+        net,
+        group,
+        tree,
+        rings,
+        rng,
+    }
 }
 
 /// Downstream sets per member, derived from an actual multicast session.
@@ -85,27 +95,48 @@ fn corollary1_split_delivers_exactly_the_needed_encryptions() {
     let mut fx = fixture(spec, 40, 11);
 
     // One churn interval: 6 joins, 6 leaves.
-    let leaves: Vec<UserId> =
-        fx.group.members().iter().step_by(7).take(6).map(|m| m.id.clone()).collect();
+    let leaves: Vec<UserId> = fx
+        .group
+        .members()
+        .iter()
+        .step_by(7)
+        .take(6)
+        .map(|m| m.id.clone())
+        .collect();
     for l in &leaves {
         fx.group.leave(l, &fx.net).unwrap();
     }
     let mut joins = Vec::new();
     for h in 100..106 {
-        joins.push(fx.group.join(HostId(h), &fx.net, 1000 + h as u64).unwrap().id);
+        joins.push(
+            fx.group
+                .join(HostId(h), &fx.net, 1000 + h as u64)
+                .unwrap()
+                .id,
+        );
     }
     let out = fx.tree.batch_rekey(&joins, &leaves, &mut fx.rng).unwrap();
     assert!(out.cost() > 0);
 
     let mesh = fx.group.tmesh();
-    let report = tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, true, true);
+    let report = tmesh_rekey_transport(
+        &mesh,
+        &fx.net,
+        &out.encryptions,
+        TransportOptions::split().with_detail(),
+    );
     let received = report.received_sets.as_ref().unwrap();
     let downstream = downstream_sets(&mesh, &fx.net);
 
     for (i, member) in mesh.members().iter().enumerate() {
         // Exactly once: no duplicates among received encryptions.
         let set: BTreeSet<usize> = received[i].iter().copied().collect();
-        assert_eq!(set.len(), received[i].len(), "duplicate encryption at {}", member.id);
+        assert_eq!(
+            set.len(),
+            received[i].len(),
+            "duplicate encryption at {}",
+            member.id
+        );
 
         // Expected set per Corollary 1: encryptions needed by the member or
         // by at least one downstream user.
@@ -146,24 +177,33 @@ fn split_end_to_end_key_delivery_over_churn_intervals() {
         }
         let mut joins = Vec::new();
         for _ in 0..4 {
-            let out = fx.group.join(HostId(next_host), &fx.net, next_host as u64).unwrap();
+            let out = fx
+                .group
+                .join(HostId(next_host), &fx.net, next_host as u64)
+                .unwrap();
             next_host += 1;
             joins.push(out.id);
         }
         let out = fx.tree.batch_rekey(&joins, &leaves, &mut fx.rng).unwrap();
         for j in &joins {
-            fx.rings.insert(j.clone(), KeyRing::new(j.clone(), fx.tree.user_path_keys(j)));
+            fx.rings.insert(
+                j.clone(),
+                KeyRing::new(j.clone(), fx.tree.user_path_keys(j)),
+            );
         }
 
         // Deliver with splitting; members absorb only what they received.
         let mesh = fx.group.tmesh();
-        let report = tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, true, true);
+        let report = tmesh_rekey_transport(
+            &mesh,
+            &fx.net,
+            &out.encryptions,
+            TransportOptions::split().with_detail(),
+        );
         let received = report.received_sets.as_ref().unwrap();
         for (i, member) in mesh.members().iter().enumerate() {
-            let encs: Vec<_> =
-                received[i].iter().map(|&e| out.encryptions[e].clone()).collect();
             let ring = fx.rings.get_mut(&member.id).expect("member has a ring");
-            ring.absorb(&encs);
+            ring.absorb(received[i].iter().map(|&e| &out.encryptions[e]));
             assert!(
                 ring.matches_path(&spec, &fx.tree.user_path_keys(&member.id)),
                 "interval {interval}: {} lacks current keys",
@@ -177,15 +217,22 @@ fn split_end_to_end_key_delivery_over_churn_intervals() {
 fn splitting_reduces_received_bandwidth_massively() {
     let spec = IdSpec::new(3, 8).unwrap();
     let mut fx = fixture(spec, 50, 33);
-    let leaves: Vec<UserId> =
-        fx.group.members().iter().step_by(4).take(10).map(|m| m.id.clone()).collect();
+    let leaves: Vec<UserId> = fx
+        .group
+        .members()
+        .iter()
+        .step_by(4)
+        .take(10)
+        .map(|m| m.id.clone())
+        .collect();
     for l in &leaves {
         fx.group.leave(l, &fx.net).unwrap();
     }
     let out = fx.tree.batch_rekey(&[], &leaves, &mut fx.rng).unwrap();
     let mesh = fx.group.tmesh();
-    let with = tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, true, false);
-    let without = tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, false, false);
+    let with = tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, TransportOptions::split());
+    let without =
+        tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, TransportOptions::flood());
     let total_with: u64 = with.received.iter().sum();
     let total_without: u64 = without.received.iter().sum();
     assert!(

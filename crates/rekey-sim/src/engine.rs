@@ -75,6 +75,10 @@ struct Delivery<M> {
 /// `rekey_net::Network`). The simulation counts delivered messages, which
 /// the protocols use for communication-cost accounting (e.g. the paper's
 /// `O(P · D · N^{1/D})` join cost analysis, §3.1.4).
+/// Per-sender egress serialisation hook: `(sender, msg) -> transmission
+/// time` (see [`Simulation::set_egress`]).
+type EgressFn<M> = Box<dyn FnMut(NodeId, &M) -> SimTime>;
+
 pub struct Simulation<N: Node, F> {
     nodes: Vec<N>,
     scheduler: Scheduler<Delivery<N::Msg>>,
@@ -83,7 +87,7 @@ pub struct Simulation<N: Node, F> {
     delivered: u64,
     dropped: u64,
     drop: Option<Box<dyn FnMut(NodeId, NodeId) -> bool>>,
-    egress: Option<Box<dyn FnMut(NodeId, &N::Msg) -> SimTime>>,
+    egress: Option<EgressFn<N::Msg>>,
     busy_until: Vec<SimTime>,
 }
 
@@ -194,8 +198,7 @@ where
                         None => self.scheduler.schedule_in(d, Delivery { from, to, msg }),
                         Some(cost) => {
                             let now = self.scheduler.now();
-                            let depart =
-                                now.max(self.busy_until[from.0]) + cost(from, &msg);
+                            let depart = now.max(self.busy_until[from.0]) + cost(from, &msg);
                             self.busy_until[from.0] = depart;
                             self.scheduler
                                 .schedule_at(depart + d, Delivery { from, to, msg });
@@ -203,7 +206,8 @@ where
                     }
                 }
                 Outgoing::After { to, delay, msg } => {
-                    self.scheduler.schedule_in(delay, Delivery { from, to, msg });
+                    self.scheduler
+                        .schedule_in(delay, Delivery { from, to, msg });
                 }
             }
         }
@@ -217,7 +221,11 @@ where
         self.delivered += 1;
         let Delivery { from, to, msg } = delivery;
         debug_assert!(to.0 < self.nodes.len(), "delivery to unknown node");
-        let mut ctx = Ctx { now, self_id: to, outbox: &mut self.outbox };
+        let mut ctx = Ctx {
+            now,
+            self_id: to,
+            outbox: &mut self.outbox,
+        };
         self.nodes[to.0].receive(&mut ctx, from, msg);
         self.flush_outbox(to);
         true
@@ -244,7 +252,11 @@ where
                 }
                 Some((now, Delivery { from, to, msg })) => {
                     self.delivered += 1;
-                    let mut ctx = Ctx { now, self_id: to, outbox: &mut self.outbox };
+                    let mut ctx = Ctx {
+                        now,
+                        self_id: to,
+                        outbox: &mut self.outbox,
+                    };
                     self.nodes[to.0].receive(&mut ctx, from, msg);
                     self.flush_outbox(to);
                 }
@@ -283,7 +295,10 @@ mod tests {
     fn sim(replies: [u32; 2]) -> Simulation<PingPong, impl FnMut(NodeId, NodeId) -> SimTime> {
         let nodes = replies
             .iter()
-            .map(|&r| PingPong { received: Vec::new(), replies_left: r })
+            .map(|&r| PingPong {
+                received: Vec::new(),
+                replies_left: r,
+            })
             .collect();
         Simulation::new(nodes, |_, _| 10)
     }

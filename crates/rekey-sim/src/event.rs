@@ -63,7 +63,11 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler at time 0.
     pub fn new() -> Scheduler<E> {
-        Scheduler { now: 0, seq: 0, queue: BinaryHeap::new() }
+        Scheduler {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// Current simulated time: the timestamp of the last popped event.
@@ -77,8 +81,17 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` is in the past (`at < self.now()`).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({} < {})", at, self.now);
-        self.queue.push(Reverse(Entry { at, seq: self.seq, event }));
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({} < {})",
+            at,
+            self.now
+        );
+        self.queue.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 

@@ -53,11 +53,22 @@ impl fmt::Display for ConsistencyViolation {
             ConsistencyViolation::OwnColumnNotEmpty { owner, i, j } => {
                 write!(f, "table of {owner}: entry ({i},{j}) must be empty")
             }
-            ConsistencyViolation::TooFewNeighbors { owner, i, j, stored, required } => write!(
+            ConsistencyViolation::TooFewNeighbors {
+                owner,
+                i,
+                j,
+                stored,
+                required,
+            } => write!(
                 f,
                 "table of {owner}: entry ({i},{j}) stores {stored} neighbors, needs {required}"
             ),
-            ConsistencyViolation::ForeignNeighbor { owner, i, j, neighbor } => write!(
+            ConsistencyViolation::ForeignNeighbor {
+                owner,
+                i,
+                j,
+                neighbor,
+            } => write!(
                 f,
                 "table of {owner}: entry ({i},{j}) holds {neighbor} from the wrong subtree"
             ),
@@ -152,7 +163,10 @@ mod tests {
     }
 
     fn rec(m: &Member, rtt: u64) -> NeighborRecord {
-        NeighborRecord { member: m.clone(), rtt }
+        NeighborRecord {
+            member: m.clone(),
+            rtt,
+        }
     }
 
     #[test]
@@ -178,7 +192,10 @@ mod tests {
         tb.insert(rec(&a, 10));
         let members = vec![a, b];
         let err = check_consistency(&s, &members, &[ta, tb], 2).unwrap_err();
-        assert!(matches!(err, ConsistencyViolation::TooFewNeighbors { i: 0, j: 1, .. }));
+        assert!(matches!(
+            err,
+            ConsistencyViolation::TooFewNeighbors { i: 0, j: 1, .. }
+        ));
         assert!(err.to_string().contains("needs 1"));
     }
 

@@ -47,7 +47,11 @@ impl TableEntry {
     /// leaves the entry unchanged) if the neighbor is already present or if
     /// it would rank below a full entry's worst record.
     pub fn insert(&mut self, record: NeighborRecord, capacity: usize) -> bool {
-        if self.neighbors.iter().any(|n| n.member.id == record.member.id) {
+        if self
+            .neighbors
+            .iter()
+            .any(|n| n.member.id == record.member.id)
+        {
             return false;
         }
         let pos = self.neighbors.partition_point(|n| n.rtt <= record.rtt);
@@ -74,7 +78,9 @@ impl TableEntry {
     /// The stored neighbor with the earliest joining time (used as primary
     /// at row `D − 2` under the cluster rekeying heuristic, Appendix B).
     pub fn earliest_joined(&self) -> Option<&NeighborRecord> {
-        self.neighbors.iter().min_by_key(|n| (n.member.joined_at, n.member.id.clone()))
+        self.neighbors
+            .iter()
+            .min_by_key(|n| (n.member.joined_at, n.member.id.clone()))
     }
 
     /// Number of stored neighbors.

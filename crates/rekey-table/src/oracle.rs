@@ -36,7 +36,10 @@ pub fn build_table(
             continue;
         }
         let rtt = net.rtt(owner.host, m.host);
-        table.insert(NeighborRecord { member: m.clone(), rtt });
+        table.insert(NeighborRecord {
+            member: m.clone(),
+            rtt,
+        });
     }
     table
 }
@@ -49,7 +52,10 @@ pub fn build_all_tables(
     k: usize,
     policy: PrimaryPolicy,
 ) -> Vec<NeighborTable> {
-    members.iter().map(|owner| build_table(spec, owner, members, net, k, policy)).collect()
+    members
+        .iter()
+        .map(|owner| build_table(spec, owner, members, net, k, policy))
+        .collect()
 }
 
 /// Builds the key server's single-row table: per `(0, j)`-entry, the `K`
@@ -64,7 +70,10 @@ pub fn build_server_table(
     let mut table = ServerTable::new(spec, k);
     for m in members {
         let rtt = net.rtt(server_host, m.host);
-        table.insert(NeighborRecord { member: m.clone(), rtt });
+        table.insert(NeighborRecord {
+            member: m.clone(),
+            rtt,
+        });
     }
     table
 }
@@ -73,10 +82,10 @@ pub fn build_server_table(
 mod tests {
     use super::*;
     use crate::check_consistency;
-    use rekey_id::UserId;
-    use rekey_net::{MatrixNetwork, PlanetLabParams};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use rekey_id::UserId;
+    use rekey_net::{MatrixNetwork, PlanetLabParams};
 
     fn random_members(spec: &IdSpec, n: usize, hosts: usize, rng: &mut impl Rng) -> Vec<Member> {
         let mut members = Vec::new();
@@ -101,8 +110,7 @@ mod tests {
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
         for k in [1, 2, 4] {
             let members = random_members(&spec, 12, net.host_count(), &mut rng);
-            let tables =
-                build_all_tables(&spec, &members, &net, k, PrimaryPolicy::SmallestRtt);
+            let tables = build_all_tables(&spec, &members, &net, k, PrimaryPolicy::SmallestRtt);
             check_consistency(&spec, &members, &tables, k).expect("oracle tables consistent");
         }
     }
@@ -129,7 +137,14 @@ mod tests {
                 joined_at: 0,
             })
             .collect();
-        let t = build_table(&spec, &members[0], &members, &net, 2, PrimaryPolicy::SmallestRtt);
+        let t = build_table(
+            &spec,
+            &members[0],
+            &members,
+            &net,
+            2,
+            PrimaryPolicy::SmallestRtt,
+        );
         let entry = t.entry(0, 1);
         assert_eq!(entry.len(), 2);
         assert_eq!(t.primary(0, 1).unwrap().member.host, HostId(2)); // rtt 10

@@ -45,6 +45,12 @@ pub struct NeighborTable {
     k: usize,
     policy: PrimaryPolicy,
     rows: Vec<Vec<TableEntry>>,
+    /// Per row, the sorted columns whose entries are non-empty. Row
+    /// enumeration ([`Self::primaries_in_row`], and through it the rekey
+    /// transports' `FORWARD` loops) walks only these instead of probing
+    /// all `B` columns — with sparse deep rows that is the difference
+    /// between O(D·B) and O(neighbors) per member.
+    occupied: Vec<Vec<u16>>,
 }
 
 impl NeighborTable {
@@ -56,11 +62,23 @@ impl NeighborTable {
     /// Panics if `k == 0` or `owner` does not match `spec`.
     pub fn new(spec: &IdSpec, owner: UserId, k: usize, policy: PrimaryPolicy) -> NeighborTable {
         assert!(k > 0, "entry capacity K must be positive");
-        assert_eq!(owner.depth(), spec.depth(), "owner ID must match the spec depth");
+        assert_eq!(
+            owner.depth(),
+            spec.depth(),
+            "owner ID must match the spec depth"
+        );
         let rows = (0..spec.depth())
             .map(|_| (0..spec.base()).map(|_| TableEntry::new()).collect())
             .collect();
-        NeighborTable { spec: *spec, owner, k, policy, rows }
+        let occupied = vec![Vec::new(); spec.depth()];
+        NeighborTable {
+            spec: *spec,
+            owner,
+            k,
+            policy,
+            rows,
+            occupied,
+        }
     }
 
     /// The owner's user ID.
@@ -105,7 +123,15 @@ impl NeighborTable {
     pub fn insert(&mut self, record: NeighborRecord) -> bool {
         match self.slot_for(&record.member.id) {
             None => false,
-            Some((i, j)) => self.rows[i][usize::from(j)].insert(record, self.k),
+            Some((i, j)) => {
+                let stored = self.rows[i][usize::from(j)].insert(record, self.k);
+                if stored {
+                    if let Err(pos) = self.occupied[i].binary_search(&j) {
+                        self.occupied[i].insert(pos, j);
+                    }
+                }
+                stored
+            }
         }
     }
 
@@ -113,7 +139,15 @@ impl NeighborTable {
     pub fn remove(&mut self, id: &UserId) -> bool {
         match self.slot_for(id) {
             None => false,
-            Some((i, j)) => self.rows[i][usize::from(j)].remove(id),
+            Some((i, j)) => {
+                let removed = self.rows[i][usize::from(j)].remove(id);
+                if removed && self.rows[i][usize::from(j)].is_empty() {
+                    if let Ok(pos) = self.occupied[i].binary_search(&j) {
+                        self.occupied[i].remove(pos);
+                    }
+                }
+                removed
+            }
         }
     }
 
@@ -136,12 +170,16 @@ impl NeighborTable {
     /// Iterates over the primary neighbors of row `i` (all `j`), in
     /// increasing `j` order.
     pub fn primaries_in_row(&self, i: usize) -> impl Iterator<Item = (u16, &NeighborRecord)> + '_ {
-        (0..self.spec.base()).filter_map(move |j| self.primary(i, j).map(|r| (j, r)))
+        self.occupied[i]
+            .iter()
+            .filter_map(move |&j| self.primary(i, j).map(|r| (j, r)))
     }
 
     /// Iterates over every stored neighbor record.
     pub fn iter_all(&self) -> impl Iterator<Item = &NeighborRecord> {
-        self.rows.iter().flat_map(|row| row.iter().flat_map(|e| e.iter()))
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter().flat_map(|e| e.iter()))
     }
 
     /// Total number of stored neighbor records.
@@ -167,7 +205,11 @@ mod tests {
 
     fn rec(digits: [u16; 3], rtt: u64, joined_at: u64) -> NeighborRecord {
         NeighborRecord {
-            member: Member { id: uid(digits), host: HostId(0), joined_at },
+            member: Member {
+                id: uid(digits),
+                host: HostId(0),
+                joined_at,
+            },
             rtt,
         }
     }
@@ -186,7 +228,10 @@ mod tests {
         let mut t = NeighborTable::new(&spec(), uid([1, 2, 3]), 4, PrimaryPolicy::SmallestRtt);
         assert!(t.insert(rec([3, 0, 0], 10, 0)));
         assert!(t.insert(rec([3, 1, 0], 5, 0)));
-        assert!(!t.insert(rec([1, 2, 3], 1, 0)), "owner may not be its own neighbor");
+        assert!(
+            !t.insert(rec([1, 2, 3], 1, 0)),
+            "owner may not be its own neighbor"
+        );
         assert_eq!(t.entry(0, 3).len(), 2);
         assert_eq!(t.primary(0, 3).unwrap().rtt, 5);
         assert_eq!(t.neighbor_count(), 2);
@@ -212,8 +257,12 @@ mod tests {
 
     #[test]
     fn bottom_row_policy_prefers_earliest_join() {
-        let mut t =
-            NeighborTable::new(&spec(), uid([1, 2, 3]), 4, PrimaryPolicy::EarliestJoinAtBottom);
+        let mut t = NeighborTable::new(
+            &spec(),
+            uid([1, 2, 3]),
+            4,
+            PrimaryPolicy::EarliestJoinAtBottom,
+        );
         // Row D-2 == 1 for D == 3.
         t.insert(rec([1, 0, 0], 5, 500));
         t.insert(rec([1, 0, 1], 50, 100));

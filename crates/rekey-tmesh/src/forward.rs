@@ -36,12 +36,30 @@ pub struct Hop<'a> {
     pub forward_level: usize,
 }
 
+impl Hop<'_> {
+    /// The `(s, j)`-ID-subtree prefix this hop serves.
+    ///
+    /// The receiving neighbor is the caller's `(row, column)`-primary, so
+    /// its level-`row + 1` prefix names exactly the subtree the copy is
+    /// responsible for: every member that can receive the message through
+    /// this hop lies under that prefix (Theorem 2). This is the split key
+    /// for `REKEY-MESSAGE-SPLIT` (Fig. 5).
+    pub fn prefix(&self) -> rekey_id::IdPrefix {
+        self.neighbor.member.id.prefix(self.row + 1)
+    }
+}
+
 /// Next hops for the key server starting a multicast (lines 3–5 of Fig. 2):
 /// one copy per `(0, j)`-primary neighbor, with `forward_level = 1`.
 pub fn server_next_hops(table: &ServerTable) -> Vec<Hop<'_>> {
     table
         .primaries()
-        .map(|(j, neighbor)| Hop { row: 0, column: j, neighbor, forward_level: 1 })
+        .map(|(j, neighbor)| Hop {
+            row: 0,
+            column: j,
+            neighbor,
+            forward_level: 1,
+        })
         .collect()
 }
 
@@ -60,7 +78,12 @@ pub fn server_next_hops_with<'t>(
                 .entry(j)
                 .iter()
                 .find(|r| alive(&r.member.id))
-                .map(|neighbor| Hop { row: 0, column: j, neighbor, forward_level: 1 })
+                .map(|neighbor| Hop {
+                    row: 0,
+                    column: j,
+                    neighbor,
+                    forward_level: 1,
+                })
         })
         .collect()
 }
@@ -76,7 +99,12 @@ pub fn user_next_hops(table: &NeighborTable, level: usize) -> Vec<Hop<'_>> {
     let mut hops = Vec::new();
     for row in level..depth {
         for (column, neighbor) in table.primaries_in_row(row) {
-            hops.push(Hop { row, column, neighbor, forward_level: row + 1 });
+            hops.push(Hop {
+                row,
+                column,
+                neighbor,
+                forward_level: row + 1,
+            });
         }
     }
     hops
@@ -99,10 +127,17 @@ pub fn user_next_hops_with<'t>(
     let mut hops = Vec::new();
     for row in level..depth {
         for column in 0..table.spec().base() {
-            if let Some(neighbor) =
-                table.entry(row, column).iter().find(|r| alive(&r.member.id))
+            if let Some(neighbor) = table
+                .entry(row, column)
+                .iter()
+                .find(|r| alive(&r.member.id))
             {
-                hops.push(Hop { row, column, neighbor, forward_level: row + 1 });
+                hops.push(Hop {
+                    row,
+                    column,
+                    neighbor,
+                    forward_level: row + 1,
+                });
             }
         }
     }
@@ -129,7 +164,10 @@ mod tests {
     }
 
     fn rec(m: &Member, rtt: u64) -> rekey_table::NeighborRecord {
-        rekey_table::NeighborRecord { member: m.clone(), rtt }
+        rekey_table::NeighborRecord {
+            member: m.clone(),
+            rtt,
+        }
     }
 
     #[test]
@@ -171,5 +209,26 @@ mod tests {
         assert_eq!(hops[0].neighbor.member.id, sibling.id);
         // At level D the user forwards nothing (line 2 of Fig. 2).
         assert!(user_next_hops(&t, 2).is_empty());
+    }
+
+    #[test]
+    fn hop_prefix_names_the_served_subtree() {
+        let owner = member([0, 0], 0);
+        let sibling = member([0, 1], 1);
+        let far = member([2, 0], 2);
+        let mut t = NeighborTable::new(&spec(), owner.id.clone(), 2, PrimaryPolicy::SmallestRtt);
+        t.insert(rec(&sibling, 4));
+        t.insert(rec(&far, 9));
+        for hop in user_next_hops(&t, 0) {
+            let prefix = hop.prefix();
+            assert_eq!(prefix.len(), hop.row + 1);
+            assert!(prefix.is_prefix_of_id(&hop.neighbor.member.id));
+            // Row s hops stay inside the owner's level-s subtree and differ
+            // from the owner at digit s (that is what makes it an (s, j)
+            // neighbor).
+            assert_eq!(prefix.digits()[..hop.row], owner.id.digits()[..hop.row]);
+            assert_eq!(prefix.digits()[hop.row], hop.column);
+            assert_ne!(prefix.digits()[hop.row], owner.id.digits()[hop.row]);
+        }
     }
 }

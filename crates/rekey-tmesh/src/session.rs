@@ -173,10 +173,17 @@ impl MeshNode {
                 .collect(),
         };
         for (id, forward_level) in hops {
-            let to = *self.index.get(&id).expect("neighbor must be a session member");
+            let to = *self
+                .index
+                .get(&id)
+                .expect("neighbor must be a session member");
             ctx.send(NodeId(to), MeshMsg::Copy { forward_level });
             self.forwarded += 1;
-            self.log.push(Transmission { from: self.me, to, forward_level });
+            self.log.push(Transmission {
+                from: self.me,
+                to,
+                forward_level,
+            });
         }
     }
 }
@@ -242,13 +249,26 @@ impl TmeshGroup {
             .into_iter()
             .map(Rc::new)
             .collect();
-        let server_table = Rc::new(oracle::build_server_table(spec, &members, server_host, net, k));
+        let server_table = Rc::new(oracle::build_server_table(
+            spec,
+            &members,
+            server_host,
+            net,
+            k,
+        ));
         let mut index = HashMap::with_capacity(members.len());
         for (i, m) in members.iter().enumerate() {
             let prev = index.insert(m.id.clone(), i);
             assert!(prev.is_none(), "duplicate member ID {}", m.id);
         }
-        TmeshGroup { spec: *spec, members, tables, server_table, server_host, index: Rc::new(index) }
+        TmeshGroup {
+            spec: *spec,
+            members,
+            tables,
+            server_table,
+            server_host,
+            index: Rc::new(index),
+        }
     }
 
     /// Builds a group from pre-constructed tables (for protocol-level code
@@ -266,7 +286,14 @@ impl TmeshGroup {
             let prev = index.insert(m.id.clone(), i);
             assert!(prev.is_none(), "duplicate member ID {}", m.id);
         }
-        TmeshGroup { spec: *spec, members, tables, server_table, server_host, index: Rc::new(index) }
+        TmeshGroup {
+            spec: *spec,
+            members,
+            tables,
+            server_table,
+            server_host,
+            index: Rc::new(index),
+        }
     }
 
     /// The ID-space specification.
@@ -292,6 +319,15 @@ impl TmeshGroup {
     /// The key server's host.
     pub fn server_host(&self) -> HostId {
         self.server_host
+    }
+
+    /// The member index of `id`, i.e. its position in [`TmeshGroup::members`].
+    ///
+    /// O(1): backed by the session's `UserId → index` map, which is built
+    /// once per session. Transports use this instead of scanning
+    /// `members()` per hop.
+    pub fn member_index(&self, id: &UserId) -> Option<usize> {
+        self.index.get(id).copied()
     }
 
     /// The network host of the given source.
@@ -333,7 +369,9 @@ impl TmeshGroup {
         let failed_mask = Rc::new(failed_mask);
         let mut nodes: Vec<MeshNode> = (0..n)
             .map(|i| MeshNode {
-                role: Role::User { table: Rc::clone(&self.tables[i]) },
+                role: Role::User {
+                    table: Rc::clone(&self.tables[i]),
+                },
                 index: Rc::clone(&self.index),
                 deliveries: Vec::new(),
                 forwarded: 0,
@@ -344,7 +382,9 @@ impl TmeshGroup {
             .collect();
         // Node n is the key server.
         nodes.push(MeshNode {
-            role: Role::Server { table: Rc::clone(&self.server_table) },
+            role: Role::Server {
+                table: Rc::clone(&self.server_table),
+            },
             index: Rc::clone(&self.index),
             deliveries: Vec::new(),
             forwarded: 0,
@@ -353,8 +393,12 @@ impl TmeshGroup {
             failed: Rc::clone(&failed_mask),
         });
 
-        let hosts: Vec<HostId> =
-            self.members.iter().map(|m| m.host).chain(std::iter::once(self.server_host)).collect();
+        let hosts: Vec<HostId> = self
+            .members
+            .iter()
+            .map(|m| m.host)
+            .chain(std::iter::once(self.server_host))
+            .collect();
         let delay = move |from: NodeId, to: NodeId| net.one_way(hosts[from.0], hosts[to.0]);
         let mut sim = Simulation::new(nodes, delay);
         let start_node = match source {
@@ -376,17 +420,20 @@ impl TmeshGroup {
                 forwarded.push(node.forwarded);
             }
         }
-        MulticastOutcome { source, deliveries, forwarded, server_sent, transmissions, finished_at }
+        MulticastOutcome {
+            source,
+            deliveries,
+            forwarded,
+            server_sent,
+            transmissions,
+            finished_at,
+        }
     }
 
     /// Maps a session's overlay transmissions onto physical links, giving
     /// the per-link message-copy load (*link stress*, §2.3). Returns `None`
     /// on substrates that do not model links (RTT matrices).
-    pub fn link_load(
-        &self,
-        net: &impl Network,
-        outcome: &MulticastOutcome,
-    ) -> Option<LinkLoad> {
+    pub fn link_load(&self, net: &impl Network, outcome: &MulticastOutcome) -> Option<LinkLoad> {
         if net.link_count() == 0 {
             return None;
         }

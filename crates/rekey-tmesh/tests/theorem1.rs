@@ -34,7 +34,14 @@ fn build_group(
         })
         .collect();
     let server_host = HostId(net.host_count() - 1);
-    let group = TmeshGroup::build(spec, members, server_host, &net, k, PrimaryPolicy::SmallestRtt);
+    let group = TmeshGroup::build(
+        spec,
+        members,
+        server_host,
+        &net,
+        k,
+        PrimaryPolicy::SmallestRtt,
+    );
     (group, net)
 }
 
@@ -148,15 +155,22 @@ fn fig3_example_topology() {
             joined_at: i as u64,
         })
         .collect();
-    let group =
-        TmeshGroup::build(&spec, members, HostId(10), &net, 4, PrimaryPolicy::SmallestRtt);
+    let group = TmeshGroup::build(
+        &spec,
+        members,
+        HostId(10),
+        &net,
+        4,
+        PrimaryPolicy::SmallestRtt,
+    );
     let outcome = group.multicast(&net, Source::Server);
     assert!(outcome.exactly_once().is_ok());
     // The server sends exactly two copies: one into subtree [0], one into [2].
     assert_eq!(outcome.server_sent(), 2);
     // Exactly one member of each level-1 subtree is at forwarding level 1.
-    let levels: Vec<usize> =
-        (0..5).map(|i| outcome.first_delivery(i).unwrap().forward_level).collect();
+    let levels: Vec<usize> = (0..5)
+        .map(|i| outcome.first_delivery(i).unwrap().forward_level)
+        .collect();
     let level1 = levels.iter().filter(|&&l| l == 1).count();
     assert_eq!(level1, 2);
     // Total transmissions equal the number of members (a tree).
@@ -180,8 +194,14 @@ fn delays_are_path_sums() {
             joined_at: 0,
         })
         .collect();
-    let group =
-        TmeshGroup::build(&spec, members, HostId(12), &net, 4, PrimaryPolicy::SmallestRtt);
+    let group = TmeshGroup::build(
+        &spec,
+        members,
+        HostId(12),
+        &net,
+        4,
+        PrimaryPolicy::SmallestRtt,
+    );
     let outcome = group.multicast(&net, Source::Server);
     for i in 0..4 {
         let d = outcome.first_delivery(i).unwrap();

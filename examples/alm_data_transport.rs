@@ -29,15 +29,27 @@ fn main() {
     let server = HostId(players);
 
     // Same join order for both overlays.
-    let mut group = Group::new(&spec, server, 4, PrimaryPolicy::SmallestRtt, AssignParams::paper());
+    let mut group = Group::new(
+        &spec,
+        server,
+        4,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::paper(),
+    );
     let mut nice = NiceHierarchy::new(NiceParams::default());
     for h in 0..players {
         group.join(HostId(h), &net, h as u64).unwrap();
         nice.join(HostId(h), &net);
     }
     let mesh = group.tmesh();
-    println!("{players} players on {} routers / {} links\n", net.graph().router_count(), net.graph().link_count());
-    println!("sender  scheme  p50_delay_ms  p95_delay_ms  p50_rdp  max_user_stress  max_link_stress");
+    println!(
+        "{players} players on {} routers / {} links\n",
+        net.graph().router_count(),
+        net.graph().link_count()
+    );
+    println!(
+        "sender  scheme  p50_delay_ms  p95_delay_ms  p50_rdp  max_user_stress  max_link_stress"
+    );
 
     for round in 0..5 {
         let sender = rng.gen_range(0..players);
@@ -48,7 +60,14 @@ fn main() {
         outcome.exactly_once().expect("Theorem 1");
         let metrics = PathMetrics::from_outcome(&mesh, &net, &outcome);
         let load = mesh.link_load(&net, &outcome).expect("router substrate");
-        report(round, "tmesh", &metrics.delay, &metrics.rdp, metrics.stress.iter().map(|&s| u64::from(s)).max().unwrap(), load.max());
+        report(
+            round,
+            "tmesh",
+            &metrics.delay,
+            &metrics.rdp,
+            metrics.stress.iter().map(|&s| u64::from(s)).max().unwrap(),
+            load.max(),
+        );
 
         // NICE session from the same sender.
         let nout = nice.data_multicast(&net, sender_host);
@@ -59,7 +78,9 @@ fn main() {
             max_stress = max_stress.max(u64::from(nout.user_stress(m.host)));
             if let Some(d) = nout.delivery(m.host) {
                 delays.push(Some(d.arrival));
-                rdps.push(Some(d.arrival as f64 / net.one_way(sender_host, m.host).max(1) as f64));
+                rdps.push(Some(
+                    d.arrival as f64 / net.one_way(sender_host, m.host).max(1) as f64,
+                ));
             }
         }
         let nload = nout.link_load(&net).expect("router substrate");
@@ -77,7 +98,11 @@ fn report(
     max_stress: u64,
     max_link: u64,
 ) {
-    let mut d: Vec<f64> = delays.iter().flatten().map(|&x| x as f64 / 1000.0).collect();
+    let mut d: Vec<f64> = delays
+        .iter()
+        .flatten()
+        .map(|&x| x as f64 / 1000.0)
+        .collect();
     d.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mut r: Vec<f64> = rdps.iter().flatten().copied().collect();
     r.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -29,7 +29,13 @@ fn main() {
     };
     let net = MatrixNetwork::synthetic_planetlab(&params, &mut rng);
     let server = HostId(net.host_count() - 1);
-    let mut group = Group::new(&spec, server, 4, PrimaryPolicy::SmallestRtt, AssignParams::paper());
+    let mut group = Group::new(
+        &spec,
+        server,
+        4,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::paper(),
+    );
     for h in 0..users {
         group.join(HostId(h), &net, h as u64).unwrap();
     }
@@ -57,7 +63,13 @@ fn main() {
                 }
             }
         }
-        println!("{:>14}  {:>17}  {:>16}  {:>10}", failed.len(), reached, missed, dupes);
+        println!(
+            "{:>14}  {:>17}  {:>16}  {:>10}",
+            failed.len(),
+            reached,
+            missed,
+            dupes
+        );
     }
 
     println!("\npart 2: distributed failure notification and table repair\n");
@@ -66,8 +78,10 @@ fn main() {
     // server, which broadcasts repair candidates).
     let small_spec = IdSpec::new(4, 16).unwrap();
     let times: Vec<u64> = (0..40).map(|i| i * 4_000_000).collect();
-    let failures: Vec<(usize, u64)> =
-        (0..40).step_by(3).map(|n| (n, 300_000_000 + n as u64 * 1_000)).collect();
+    let failures: Vec<(usize, u64)> = (0..40)
+        .step_by(3)
+        .map(|n| (n, 300_000_000 + n as u64 * 1_000))
+        .collect();
     let out = run_distributed_session(
         &small_spec,
         &AssignParams::for_depth(4),
@@ -77,7 +91,12 @@ fn main() {
         &times,
         &failures,
     );
-    println!("{} joined, {} failed, {} survivors", 40, failures.len(), out.members.len());
+    println!(
+        "{} joined, {} failed, {} survivors",
+        40,
+        failures.len(),
+        out.members.len()
+    );
     check_consistency(&small_spec, &out.members, &out.tables, 1)
         .expect("survivor tables repaired to 1-consistency");
     println!("survivor tables repaired: 1-consistent, no ghost records");

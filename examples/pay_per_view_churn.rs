@@ -30,7 +30,13 @@ fn main() {
     let server = HostId(net.host_count() - 1);
 
     // Grow the initial audience with topology-aware IDs.
-    let mut group = Group::new(&spec, server, 4, PrimaryPolicy::SmallestRtt, AssignParams::paper());
+    let mut group = Group::new(
+        &spec,
+        server,
+        4,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::paper(),
+    );
     let mut next_host = 0usize;
     for t in 0..audience {
         group.join(HostId(next_host), &net, t as u64).unwrap();
@@ -60,7 +66,10 @@ fn main() {
         }
         let mut joins = Vec::new();
         for _ in 0..joins_n {
-            let id = group.join(HostId(next_host), &net, 1_000_000 + next_host as u64).unwrap().id;
+            let id = group
+                .join(HostId(next_host), &net, 1_000_000 + next_host as u64)
+                .unwrap()
+                .id;
             next_host += 1;
             joins.push(id);
         }

@@ -17,7 +17,7 @@ use group_rekeying::id::IdSpec;
 use group_rekeying::keytree::{KeyRing, ModifiedKeyTree};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
 use group_rekeying::net::{HostId, RoutedNetwork};
-use group_rekeying::proto::{tmesh_rekey_transport, AssignParams, Group};
+use group_rekeying::proto::{tmesh_rekey_transport, AssignParams, Group, TransportOptions};
 use group_rekeying::table::PrimaryPolicy;
 use group_rekeying::tmesh::{metrics::PathMetrics, Source};
 use rand::{Rng, SeedableRng};
@@ -32,7 +32,13 @@ fn main() {
     let net = RoutedNetwork::random_attachment(topo.into_graph(), capacity + 1, &mut rng);
     let server = HostId(capacity);
 
-    let mut group = Group::new(&spec, server, 4, PrimaryPolicy::SmallestRtt, AssignParams::paper());
+    let mut group = Group::new(
+        &spec,
+        server,
+        4,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::paper(),
+    );
     let mut tree = ModifiedKeyTree::new(&spec);
     let mut rings: HashMap<_, KeyRing> = HashMap::new();
     let mut next_host = 0usize;
@@ -42,8 +48,12 @@ fn main() {
     for _ in 0..120 {
         let id = group.join(HostId(next_host), &net, clock).unwrap().id;
         next_host += 1;
-        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng).unwrap();
-        rings.insert(id.clone(), KeyRing::new(id.clone(), tree.user_path_keys(&id)));
+        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng)
+            .unwrap();
+        rings.insert(
+            id.clone(),
+            KeyRing::new(id.clone(), tree.user_path_keys(&id)),
+        );
     }
     // Refresh rings to the post-bootstrap key state.
     for (id, ring) in rings.iter_mut() {
@@ -55,7 +65,7 @@ fn main() {
     for interval in 0..10u64 {
         clock += 512_000_000; // 512 s rekey interval
         let joins_n = rng.gen_range(2..8);
-        let leaves_n = rng.gen_range(2..8).min(group.len() - 1);
+        let leaves_n = rng.gen_range(2..8usize).min(group.len() - 1);
 
         let mut leaves = Vec::new();
         for _ in 0..leaves_n {
@@ -73,17 +83,24 @@ fn main() {
         }
         let rekey = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
         for id in &joins {
-            rings.insert(id.clone(), KeyRing::new(id.clone(), tree.user_path_keys(id)));
+            rings.insert(
+                id.clone(),
+                KeyRing::new(id.clone(), tree.user_path_keys(id)),
+            );
         }
 
         // Rekey transport with splitting; every survivor decrypts its keys.
         let mesh = group.tmesh();
-        let report = tmesh_rekey_transport(&mesh, &net, &rekey.encryptions, true, true);
+        let report = tmesh_rekey_transport(
+            &mesh,
+            &net,
+            &rekey.encryptions,
+            TransportOptions::split().with_detail(),
+        );
         let received = report.received_sets.as_ref().unwrap();
         for (i, member) in mesh.members().iter().enumerate() {
-            let encs: Vec<_> = received[i].iter().map(|&e| rekey.encryptions[e].clone()).collect();
             let ring = rings.get_mut(&member.id).unwrap();
-            ring.absorb(&encs);
+            ring.absorb(received[i].iter().map(|&e| &rekey.encryptions[e]));
             assert_eq!(ring.group_key(), tree.group_key());
         }
 
@@ -92,8 +109,12 @@ fn main() {
         let outcome = mesh.multicast(&net, Source::User(speaker));
         outcome.exactly_once().expect("Theorem 1");
         let metrics = PathMetrics::from_outcome(&mesh, &net, &outcome);
-        let mut delays: Vec<f64> =
-            metrics.delay.iter().flatten().map(|&d| d as f64 / 1000.0).collect();
+        let mut delays: Vec<f64> = metrics
+            .delay
+            .iter()
+            .flatten()
+            .map(|&d| d as f64 / 1000.0)
+            .collect();
         delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut rdps: Vec<f64> = metrics.rdp.iter().flatten().copied().collect();
         rdps.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -111,6 +132,8 @@ fn main() {
             rdp95,
         );
     }
-    group.check().expect("tables stayed K-consistent across the whole session");
+    group
+        .check()
+        .expect("tables stayed K-consistent across the whole session");
     println!("\nall tables K-consistent; every participant holds the current group key");
 }

@@ -44,7 +44,9 @@ fn main() {
 
     // Chat: a member seals a message; all agents open it.
     let alice = server.group().members()[0].id.clone();
-    let hello = agents[&alice].seal_data(b"hello, group!", &mut rng).unwrap();
+    let hello = agents[&alice]
+        .seal_data(b"hello, group!", &mut rng)
+        .unwrap();
     for (id, agent) in &agents {
         assert_eq!(agent.open_data(&hello).unwrap(), b"hello, group!");
         let _ = id;
@@ -53,8 +55,14 @@ fn main() {
 
     // Churn interval: 3 members leave, 2 join. The rekey message is
     // serialised to bytes exactly as it would hit the network.
-    let victims: Vec<UserId> =
-        server.group().members().iter().rev().take(3).map(|m| m.id.clone()).collect();
+    let victims: Vec<UserId> = server
+        .group()
+        .members()
+        .iter()
+        .rev()
+        .take(3)
+        .map(|m| m.id.clone())
+        .collect();
     for v in &victims {
         server.request_leave(v, &net).unwrap();
     }
@@ -63,7 +71,9 @@ fn main() {
         agents.remove(v);
     }
     for h in 30..32 {
-        server.request_join(HostId(h), &net, 100 + h as u64).unwrap();
+        server
+            .request_join(HostId(h), &net, 100 + h as u64)
+            .unwrap();
     }
     let outcome = server.end_interval();
     for w in outcome.welcomes.clone() {
@@ -87,24 +97,34 @@ fn main() {
     let mesh = server.mesh();
     let mut max_share = 0;
     for (i, member) in mesh.members().iter().enumerate() {
-        max_share = max_share.max(delivered.per_member[i].len());
+        max_share = max_share.max(delivered.member_indices(i).len());
         agents
             .get_mut(&member.id)
             .expect("every current member has an agent")
-            .handle_rekey(outcome.interval, &delivered.per_member[i]);
+            .handle_rekey(outcome.interval, delivered.member(i));
     }
     println!(
         "split transport delivered at most {max_share} encryptions to any member \
          (total {} across the group)",
-        delivered.total_received
+        delivered.total_received()
     );
 
     // New traffic under the new group key.
-    let speaker = server.group().members()[rng.gen_range(0..server.group().len())].id.clone();
-    let secret = agents[&speaker].seal_data(b"post-rekey secret", &mut rng).unwrap();
+    let speaker = server.group().members()[rng.gen_range(0..server.group().len())]
+        .id
+        .clone();
+    let secret = agents[&speaker]
+        .seal_data(b"post-rekey secret", &mut rng)
+        .unwrap();
     for agent in agents.values() {
         assert_eq!(agent.open_data(&secret).unwrap(), b"post-rekey secret");
     }
-    assert!(eve.open_data(&secret).is_err(), "departed member must be locked out");
-    println!("\nall {} current members read the post-rekey secret; the departed member cannot", agents.len());
+    assert!(
+        eve.open_data(&secret).is_err(),
+        "departed member must be locked out"
+    );
+    println!(
+        "\nall {} current members read the post-rekey secret; the departed member cannot",
+        agents.len()
+    );
 }

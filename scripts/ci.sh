@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CI gate. Network-restricted: all dependencies are vendored (see
+# [patch.crates-io] in Cargo.toml), so everything runs with --offline.
+#
+#   scripts/ci.sh
+#
+# Runs the release build, the full test suite, the formatting check and
+# clippy with warnings denied — the same bar every PR must clear.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace --all-targets
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -22,11 +22,9 @@ use std::collections::HashMap;
 use group_rekeying::id::{IdSpec, UserId};
 use group_rekeying::keytree::{KeyRing, ModifiedKeyTree};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
-use group_rekeying::net::{
-    HostId, MatrixNetwork, Network, PlanetLabParams, RoutedNetwork,
-};
+use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams, RoutedNetwork};
 use group_rekeying::proto::{
-    lossy_rekey_transport, tmesh_rekey_transport, AssignParams, Group,
+    lossy_rekey_transport, tmesh_rekey_transport, AssignParams, Group, TransportOptions,
 };
 use group_rekeying::sim::seeded_rng;
 use group_rekeying::table::PrimaryPolicy;
@@ -89,13 +87,20 @@ fn main() {
     let net = match topology.as_str() {
         "gtitm" => {
             let topo = generate(&GtItmParams::default(), &mut rng);
-            Net::Routed(RoutedNetwork::random_attachment(topo.into_graph(), capacity, &mut rng))
+            Net::Routed(RoutedNetwork::random_attachment(
+                topo.into_graph(),
+                capacity,
+                &mut rng,
+            ))
         }
         "planetlab" => {
             let mut params = PlanetLabParams::default();
             let total: usize = params.continent_hosts.iter().sum();
-            params.continent_hosts =
-                params.continent_hosts.iter().map(|&c| (c * capacity).div_ceil(total)).collect();
+            params.continent_hosts = params
+                .continent_hosts
+                .iter()
+                .map(|&c| (c * capacity).div_ceil(total))
+                .collect();
             Net::Matrix(MatrixNetwork::synthetic_planetlab(&params, &mut rng))
         }
         other => {
@@ -109,17 +114,27 @@ fn main() {
          split={split}, loss={loss_pct}%"
     );
 
-    let mut group = Group::new(&spec, server, 4, PrimaryPolicy::SmallestRtt, AssignParams::paper());
+    let mut group = Group::new(
+        &spec,
+        server,
+        4,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::paper(),
+    );
     let mut tree = ModifiedKeyTree::new(&spec);
     let mut rings: HashMap<UserId, KeyRing> = HashMap::new();
     let mut next_host = 0usize;
     for t in 0..users {
         let id = group.join(HostId(next_host), &net, t as u64).unwrap().id;
         next_host += 1;
-        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng).unwrap();
+        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng)
+            .unwrap();
     }
     for m in group.members() {
-        rings.insert(m.id.clone(), KeyRing::new(m.id.clone(), tree.user_path_keys(&m.id)));
+        rings.insert(
+            m.id.clone(),
+            KeyRing::new(m.id.clone(), tree.user_path_keys(&m.id)),
+        );
     }
 
     println!("interval\tjoins\tleaves\trekey_encs\tmax_recv\ttotal_recv\trecovered\tp95_delay_ms\tkeys_ok");
@@ -135,7 +150,11 @@ fn main() {
         let mut joins = Vec::new();
         for _ in 0..churn {
             let id = group
-                .join(HostId(next_host), &net, (interval * 1000 + next_host) as u64)
+                .join(
+                    HostId(next_host),
+                    &net,
+                    (interval * 1000 + next_host) as u64,
+                )
                 .unwrap()
                 .id;
             next_host += 1;
@@ -143,7 +162,10 @@ fn main() {
         }
         let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
         for id in &joins {
-            rings.insert(id.clone(), KeyRing::new(id.clone(), tree.user_path_keys(id)));
+            rings.insert(
+                id.clone(),
+                KeyRing::new(id.clone(), tree.user_path_keys(id)),
+            );
         }
 
         let mesh = group.tmesh();
@@ -161,25 +183,35 @@ fn main() {
                 let rec = report.recovering_members.len();
                 (report.final_sets, max, total, rec)
             } else {
-                let report = tmesh_rekey_transport(&mesh, &net, &out.encryptions, split, true);
+                let report = tmesh_rekey_transport(
+                    &mesh,
+                    &net,
+                    &out.encryptions,
+                    TransportOptions {
+                        split,
+                        detail: true,
+                    },
+                );
                 let max = report.received.iter().max().copied().unwrap_or(0);
                 let total = report.received.iter().sum();
                 (report.received_sets.expect("detail"), max, total, 0)
             };
         let mut keys_ok = true;
         for (i, member) in mesh.members().iter().enumerate() {
-            let encs: Vec<_> =
-                per_member[i].iter().map(|&e| out.encryptions[e].clone()).collect();
             let ring = rings.get_mut(&member.id).expect("member has a ring");
-            ring.absorb(&encs);
+            ring.absorb(per_member[i].iter().map(|&e| &out.encryptions[e]));
             keys_ok &= ring.matches_path(&spec, &tree.user_path_keys(&member.id));
         }
 
         let outcome = mesh.multicast(&net, Source::Server);
         outcome.exactly_once().expect("Theorem 1");
         let metrics = PathMetrics::from_outcome(&mesh, &net, &outcome);
-        let mut delays: Vec<f64> =
-            metrics.delay.iter().flatten().map(|&d| d as f64 / 1000.0).collect();
+        let mut delays: Vec<f64> = metrics
+            .delay
+            .iter()
+            .flatten()
+            .map(|&d| d as f64 / 1000.0)
+            .collect();
         delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p95 = delays[(delays.len() * 95) / 100];
 
@@ -190,6 +222,8 @@ fn main() {
             out.cost(),
         );
     }
-    group.check().expect("K-consistent tables after the whole run");
+    group
+        .check()
+        .expect("K-consistent tables after the whole run");
     eprintln!("rekeysim: done; tables K-consistent, every member holds the current keys");
 }

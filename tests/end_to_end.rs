@@ -10,7 +10,7 @@ use group_rekeying::keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
 use group_rekeying::net::{HostId, RoutedNetwork};
 use group_rekeying::proto::{
-    cluster_rekey_transport, tmesh_rekey_transport, AssignParams, Group,
+    cluster_rekey_transport, tmesh_rekey_transport, AssignParams, Group, TransportOptions,
 };
 use group_rekeying::table::PrimaryPolicy;
 use group_rekeying::tmesh::Source;
@@ -36,15 +36,29 @@ fn boot(users: usize, capacity: usize, seed: u64, policy: PrimaryPolicy) -> Syst
     let server = HostId(capacity);
     let mut group = Group::new(&spec, server, 3, policy, AssignParams::for_depth(4));
     let mut tree = ModifiedKeyTree::new(&spec);
-    let mut sys = System { net, group: group.clone(), tree: tree.clone(), rings: HashMap::new(), rng, next_host: 0, clock: 0 };
+    let mut sys = System {
+        net,
+        group: group.clone(),
+        tree: tree.clone(),
+        rings: HashMap::new(),
+        rng,
+        next_host: 0,
+        clock: 0,
+    };
     for _ in 0..users {
-        let id = group.join(HostId(sys.next_host), &sys.net, sys.clock).unwrap().id;
+        let id = group
+            .join(HostId(sys.next_host), &sys.net, sys.clock)
+            .unwrap()
+            .id;
         sys.next_host += 1;
         sys.clock += 1;
         tree.batch_rekey(&[id], &[], &mut sys.rng).unwrap();
     }
     for m in group.members() {
-        sys.rings.insert(m.id.clone(), KeyRing::new(m.id.clone(), tree.user_path_keys(&m.id)));
+        sys.rings.insert(
+            m.id.clone(),
+            KeyRing::new(m.id.clone(), tree.user_path_keys(&m.id)),
+        );
     }
     sys.group = group;
     sys.tree = tree;
@@ -63,7 +77,11 @@ fn churn_interval(sys: &mut System, joins_n: usize, leaves_n: usize) -> (Vec<Use
     let mut joins = Vec::new();
     for _ in 0..joins_n {
         sys.clock += 1;
-        let id = sys.group.join(HostId(sys.next_host), &sys.net, sys.clock).unwrap().id;
+        let id = sys
+            .group
+            .join(HostId(sys.next_host), &sys.net, sys.clock)
+            .unwrap()
+            .id;
         sys.next_host += 1;
         joins.push(id);
     }
@@ -80,19 +98,27 @@ fn ten_interval_full_pipeline() {
         let (joins, leaves) = churn_interval(&mut sys, 4, 4);
         let rekey = sys.tree.batch_rekey(&joins, &leaves, &mut sys.rng).unwrap();
         for id in &joins {
-            sys.rings.insert(id.clone(), KeyRing::new(id.clone(), sys.tree.user_path_keys(id)));
+            sys.rings.insert(
+                id.clone(),
+                KeyRing::new(id.clone(), sys.tree.user_path_keys(id)),
+            );
         }
         sys.group.check().expect("K-consistency after churn");
 
         let mesh = sys.group.tmesh();
-        mesh.multicast(&sys.net, Source::Server).exactly_once().expect("Theorem 1");
-        let report = tmesh_rekey_transport(&mesh, &sys.net, &rekey.encryptions, true, true);
+        mesh.multicast(&sys.net, Source::Server)
+            .exactly_once()
+            .expect("Theorem 1");
+        let report = tmesh_rekey_transport(
+            &mesh,
+            &sys.net,
+            &rekey.encryptions,
+            TransportOptions::split().with_detail(),
+        );
         let received = report.received_sets.as_ref().unwrap();
         for (i, member) in mesh.members().iter().enumerate() {
-            let encs: Vec<_> =
-                received[i].iter().map(|&e| rekey.encryptions[e].clone()).collect();
             let ring = sys.rings.get_mut(&member.id).unwrap();
-            ring.absorb(&encs);
+            ring.absorb(received[i].iter().map(|&e| &rekey.encryptions[e]));
             assert!(
                 ring.matches_path(sys.group.spec(), &sys.tree.user_path_keys(&member.id)),
                 "interval {interval}: {} lacks the current key set",
@@ -111,8 +137,12 @@ fn data_transport_from_every_member() {
     let mesh = sys.group.tmesh();
     for sender in 0..sys.group.len() {
         let outcome = mesh.multicast(&sys.net, Source::User(sender));
-        outcome.exactly_once().unwrap_or_else(|m| panic!("sender {sender}: member {m} wrong"));
-        let load = mesh.link_load(&sys.net, &outcome).expect("routed substrate");
+        outcome
+            .exactly_once()
+            .unwrap_or_else(|m| panic!("sender {sender}: member {m} wrong"));
+        let load = mesh
+            .link_load(&sys.net, &outcome)
+            .expect("routed substrate");
         assert!(load.max() <= sys.group.len() as u64);
     }
 }
@@ -125,8 +155,12 @@ fn cluster_transport_reaches_every_member() {
     // Mirror membership into a clustered tree, respecting join order.
     let spec = *sys.group.spec();
     let mut cluster = ClusteredKeyTree::new(&spec);
-    let mut ordered: Vec<(u64, UserId)> =
-        sys.group.members().iter().map(|m| (m.joined_at, m.id.clone())).collect();
+    let mut ordered: Vec<(u64, UserId)> = sys
+        .group
+        .members()
+        .iter()
+        .map(|m| (m.joined_at, m.id.clone()))
+        .collect();
     ordered.sort();
     let ordered: Vec<UserId> = ordered.into_iter().map(|(_, u)| u).collect();
     cluster.batch_rekey(&ordered, &[], &mut sys.rng).unwrap();
@@ -150,7 +184,10 @@ fn cluster_transport_reaches_every_member() {
             &mesh,
             &sys.net,
             &out.rekey.encryptions,
-            split,
+            TransportOptions {
+                split,
+                detail: false,
+            },
             &is_leader,
             &cluster_of,
         );
@@ -186,12 +223,24 @@ fn random_ids_degrade_split_efficiency() {
     let server = HostId(48);
 
     // Topology-aware group…
-    let mut aware = Group::new(&spec, server, 3, PrimaryPolicy::SmallestRtt, AssignParams::for_depth(4));
+    let mut aware = Group::new(
+        &spec,
+        server,
+        3,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::for_depth(4),
+    );
     for h in 0..40 {
         aware.join(HostId(h), &net, h as u64).unwrap();
     }
     // …and a random-ID group over the same hosts.
-    let mut random = Group::new(&spec, server, 3, PrimaryPolicy::SmallestRtt, AssignParams::for_depth(4));
+    let mut random = Group::new(
+        &spec,
+        server,
+        3,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::for_depth(4),
+    );
     let mut used = std::collections::HashSet::new();
     for h in 0..40 {
         let id = loop {
@@ -214,7 +263,8 @@ fn random_ids_degrade_split_efficiency() {
         tree.batch_rekey(&ids, &[], &mut rng).unwrap();
         let out = tree.batch_rekey(&[], &ids[..8], &mut rng).unwrap();
         let mesh = g.tmesh();
-        let report = tmesh_rekey_transport(&mesh, &net, &out.encryptions, true, false);
+        let report =
+            tmesh_rekey_transport(&mesh, &net, &out.encryptions, TransportOptions::split());
         let received: u64 = report.received.iter().sum();
         let link_total = report.link_load.as_ref().expect("routed substrate").total();
         hops_per_delivery[slot] = link_total as f64 / received.max(1) as f64;

@@ -10,7 +10,7 @@ use group_rekeying::net::{HostId, RoutedNetwork};
 use group_rekeying::nice::{NiceHierarchy, NiceParams};
 use group_rekeying::proto::{
     cluster_rekey_transport, ipmc_rekey_transport, nice_rekey_transport, tmesh_rekey_transport,
-    AssignParams, BandwidthReport, Group, RekeyProtocol,
+    AssignParams, BandwidthReport, Group, RekeyProtocol, TransportOptions,
 };
 use group_rekeying::table::{oracle, PrimaryPolicy};
 use group_rekeying::tmesh::TmeshGroup;
@@ -30,8 +30,13 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
     let topo = generate(&GtItmParams::small(), &mut rng);
     let net = RoutedNetwork::random_attachment(topo.into_graph(), users + churn + 1, &mut rng);
     let server = HostId(users + churn);
-    let mut group =
-        Group::new(&spec, server, 3, PrimaryPolicy::SmallestRtt, AssignParams::for_depth(4));
+    let mut group = Group::new(
+        &spec,
+        server,
+        3,
+        PrimaryPolicy::SmallestRtt,
+        AssignParams::for_depth(4),
+    );
     for h in 0..users {
         group.join(HostId(h), &net, h as u64).unwrap();
     }
@@ -53,7 +58,12 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
     }
     let mut joins = Vec::new();
     for j in 0..churn {
-        joins.push(group.join(HostId(users + j), &net, 10_000 + j as u64).unwrap().id);
+        joins.push(
+            group
+                .join(HostId(users + j), &net, 10_000 + j as u64)
+                .unwrap()
+                .id,
+        );
     }
     let out_modified = modified.batch_rekey(&joins, &leaves, &mut rng).unwrap();
     let out_original = original.batch_rekey(&joins, &leaves);
@@ -93,8 +103,7 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
     let needs: HashMap<HostId, HashSet<usize>> = members
         .iter()
         .map(|m| {
-            let path: HashSet<usize> =
-                original.user_path(&m.id).into_iter().map(|n| n.0).collect();
+            let path: HashSet<usize> = original.user_path(&m.id).into_iter().map(|n| n.0).collect();
             let needed = out_original
                 .encryptions
                 .iter()
@@ -109,19 +118,45 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
     let mut reports = HashMap::new();
     reports.insert(
         RekeyProtocol::P0,
-        nice_rekey_transport(&nice, &net, server, &hosts, &needs, out_original.cost(), false),
+        nice_rekey_transport(
+            &nice,
+            &net,
+            server,
+            &hosts,
+            &needs,
+            out_original.cost(),
+            false,
+        ),
     );
     reports.insert(
         RekeyProtocol::P0Split,
-        nice_rekey_transport(&nice, &net, server, &hosts, &needs, out_original.cost(), true),
+        nice_rekey_transport(
+            &nice,
+            &net,
+            server,
+            &hosts,
+            &needs,
+            out_original.cost(),
+            true,
+        ),
     );
     reports.insert(
         RekeyProtocol::P1,
-        tmesh_rekey_transport(&mesh, &net, &out_modified.encryptions, false, false),
+        tmesh_rekey_transport(
+            &mesh,
+            &net,
+            &out_modified.encryptions,
+            TransportOptions::flood(),
+        ),
     );
     reports.insert(
         RekeyProtocol::P1Split,
-        tmesh_rekey_transport(&mesh, &net, &out_modified.encryptions, true, false),
+        tmesh_rekey_transport(
+            &mesh,
+            &net,
+            &out_modified.encryptions,
+            TransportOptions::split(),
+        ),
     );
     reports.insert(
         RekeyProtocol::P1Cluster,
@@ -129,7 +164,7 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
             &cluster_mesh,
             &net,
             &out_cluster.rekey.encryptions,
-            false,
+            TransportOptions::flood(),
             &is_leader,
             &cluster_of,
         ),
@@ -140,7 +175,7 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
             &cluster_mesh,
             &net,
             &out_cluster.rekey.encryptions,
-            true,
+            TransportOptions::split(),
             &is_leader,
             &cluster_of,
         ),
@@ -180,12 +215,21 @@ fn splitting_dominates_non_splitting_per_user() {
         let rs = &m.reports[&with];
         let rn = &m.reports[&without];
         for i in 0..m.members {
-            assert!(rs.received[i] <= rn.received[i], "{with:?} vs {without:?} at member {i}");
-            assert!(rs.forwarded[i] <= rn.forwarded[i], "{with:?} vs {without:?} at member {i}");
+            assert!(
+                rs.received[i] <= rn.received[i],
+                "{with:?} vs {without:?} at member {i}"
+            );
+            assert!(
+                rs.forwarded[i] <= rn.forwarded[i],
+                "{with:?} vs {without:?} at member {i}"
+            );
         }
         let ls = rs.link_load.as_ref().unwrap().total();
         let ln = rn.link_load.as_ref().unwrap().total();
-        assert!(ls < ln, "{with:?} total link load {ls} must undercut {without:?} {ln}");
+        assert!(
+            ls < ln,
+            "{with:?} total link load {ls} must undercut {without:?} {ln}"
+        );
     }
 }
 
@@ -199,10 +243,8 @@ fn tmesh_splitting_beats_nice_splitting_at_the_top() {
     // user's forwarding normalised by message size.
     let p2 = &m.reports[&RekeyProtocol::P1Split];
     let p0s = &m.reports[&RekeyProtocol::P0Split];
-    let max_fwd_p2 =
-        p2.forwarded.iter().max().copied().unwrap() as f64 / m.modified_cost as f64;
-    let max_fwd_p0s =
-        p0s.forwarded.iter().max().copied().unwrap() as f64 / m.original_cost as f64;
+    let max_fwd_p2 = p2.forwarded.iter().max().copied().unwrap() as f64 / m.modified_cost as f64;
+    let max_fwd_p0s = p0s.forwarded.iter().max().copied().unwrap() as f64 / m.original_cost as f64;
     assert!(
         max_fwd_p2 < max_fwd_p0s,
         "most-loaded T-mesh user ({max_fwd_p2:.2} messages) must undercut NICE's ({max_fwd_p0s:.2})"

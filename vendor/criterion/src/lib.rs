@@ -1,0 +1,368 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use (`criterion_group!`
+//! with the `name/config/targets` form, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`, `Throughput`, `BatchSize`,
+//! `BenchmarkId`) backed by a simple wall-clock harness: warm-up, then
+//! timed batches until the measurement budget is spent, reporting the mean
+//! and min per-iteration time. No statistics engine, no HTML reports — but
+//! `cargo bench` runs and prints comparable numbers. See
+//! `vendor/rand_core` for why the workspace vendors stand-ins.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmarking group '{name}'");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut bencher);
+        bencher.report(id, None);
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `new("route", 512)`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { full: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { full: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { full: id }
+    }
+}
+
+/// Units processed per iteration, used to report a rate next to the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; the stand-in treats all variants
+/// the same (setup is always excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.full), self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.full), self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean and min per-iteration nanoseconds from the last `iter*` call.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up: Duration, measurement: Duration) -> Bencher {
+        Bencher { sample_size, warm_up, measurement, result: None }
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost so the measured
+        // batches can be sized sensibly.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Aim for `sample_size` batches within the measurement budget.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let total_iters = (budget_ns / est_ns).clamp(1.0, 5e8) as u64;
+        let samples = self.sample_size.max(1) as u64;
+        let batch = (total_iters / samples).max(1);
+
+        let mut mean_sum = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut taken = 0u64;
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+            mean_sum += per_iter;
+            min_ns = min_ns.min(per_iter);
+            taken += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some((mean_sum / taken.max(1) as f64, min_ns));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut est_ns: f64 = 1.0;
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            est_ns = est_ns.max(start.elapsed().as_nanos() as f64);
+            warm_iters += 1;
+            if warm_iters >= 100_000 {
+                break;
+            }
+        }
+
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let samples =
+            ((budget_ns / est_ns.max(1.0)) as u64).clamp(1, self.sample_size.max(1) as u64 * 10);
+
+        let mut mean_sum = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut taken = 0u64;
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_nanos() as f64;
+            mean_sum += ns;
+            min_ns = min_ns.min(ns);
+            taken += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some((mean_sum / taken.max(1) as f64, min_ns));
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let Some((mean_ns, min_ns)) = self.result else {
+            eprintln!("{id:<60} (no measurement)");
+            return;
+        };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean_ns)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} MiB/s", n as f64 * 1e9 / mean_ns / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        eprintln!("{id:<60} time: [{} .. {}]{rate}", fmt_ns(min_ns), fmt_ns(mean_ns));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark targets. Supports both the simple and the
+/// `name = ..; config = ..; targets = ..` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn group_benches_run_and_record() {
+        let mut criterion = quick();
+        let mut group = criterion.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8u64, |b, &n| {
+            b.iter_batched(|| vec![1u64; n as usize], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    fn target(criterion: &mut Criterion) {
+        criterion.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+    }
+    criterion_group!(
+        name = benches;
+        config = quick();
+        targets = target
+    );
+
+    #[test]
+    fn simple_group_macro_compiles() {
+        benches();
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for the `rand_core` crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! pre-populated cargo registry, so the real `rand` stack cannot be fetched.
+//! This crate provides the subset of the `rand_core` 0.6 API that the
+//! workspace uses, with the same trait shapes, so the code compiles
+//! unmodified. It is wired in through `[patch.crates-io]` in the workspace
+//! root `Cargo.toml`.
+//!
+//! The implementations here are real (not no-ops): generators produce
+//! deterministic, well-distributed streams, which is all the simulations
+//! need. The streams are NOT guaranteed to match upstream `rand`
+//! value-for-value; every test in the workspace is seed-robust by design.
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type, fixed-size byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a new instance from the given seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a new instance, expanding a `u64` into a full seed with
+    /// splitmix64 (the same construction upstream uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Helper: reads little-endian `u32` words out of a byte slice.
+pub fn le_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
