@@ -1,0 +1,40 @@
+//! Criterion scaling run of the event-driven group runtime: N members on
+//! one simulated clock sustain a leave+join churn trace with 2% per-copy
+//! loss on the overlay rekey transport, at N ∈ {64, 256, 1024}.
+//!
+//! The committed `BENCH_runtime.json` is produced by the `bench_runtime`
+//! binary, which runs the same fixture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rekey_bench::churn_runtime_fixture;
+use rekey_proto::{GroupRuntime, RuntimeConfig};
+
+fn bench_churn_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn_scale");
+    g.sample_size(10);
+    for members in [64usize, 256, 1024] {
+        let (net, config, trace, finish) = churn_runtime_fixture(members, 8, 0xC4C4);
+        g.throughput(Throughput::Elements(members as u64));
+        g.bench_with_input(
+            BenchmarkId::new("runtime_churn", members),
+            &members,
+            |b, _| {
+                b.iter(|| {
+                    let runtime_config = RuntimeConfig {
+                        loss: 0.02,
+                        seed: 0xC4C4,
+                        ..RuntimeConfig::default()
+                    };
+                    let mut rt = GroupRuntime::new(config.clone(), runtime_config, net.clone());
+                    rt.run_trace(&trace);
+                    rt.finish(finish);
+                    rt.report().intervals
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn_scale);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Measures the event-driven group runtime end to end: N members on one
+//! simulated clock sustain a leave+join churn trace with 2% per-copy loss
+//! on the overlay rekey transport, at N ∈ {64, 256, 1024}.
+//!
+//! Reports completed rekey intervals per wall-clock second and the unicast
+//! recovery traffic (NACK-triggered encryptions, converted to wire bytes)
+//! the loss model induced. Prints a JSON document (the committed
+//! `BENCH_runtime.json`) to stdout. Progress goes to stderr. Run with
+//! `--release`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rekey_bench::churn_runtime_fixture;
+use rekey_proto::{GroupRuntime, RuntimeConfig, RuntimeReport};
+
+/// Serialized size of one `Encryption` on the wire: two key identifiers
+/// (≤ 5-digit prefix + length byte + u64 version, 14 bytes each), a
+/// 12-byte nonce, 32 bytes of wrapped key material and an 8-byte MAC tag.
+const ENCRYPTION_WIRE_BYTES: u64 = 2 * (6 + 8) + 12 + 32 + 8;
+
+const CHURN_INTERVALS: u64 = 8;
+const SEED: u64 = 0xC4C4;
+
+struct Row {
+    members: usize,
+    report: RuntimeReport,
+    run_ns: f64,
+}
+
+fn run_once(members: usize) -> RuntimeReport {
+    let (net, config, trace, finish) = churn_runtime_fixture(members, CHURN_INTERVALS, SEED);
+    let runtime_config = RuntimeConfig {
+        loss: 0.02,
+        seed: SEED,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = GroupRuntime::new(config, runtime_config, net);
+    rt.run_trace(&trace);
+    rt.finish(finish);
+    rt.report()
+}
+
+/// Times full runs adaptively: after the warm-up, repeat until at least
+/// `MIN_TIME` has elapsed, and report mean nanoseconds per run.
+fn run_size(members: usize) -> Row {
+    const MIN_TIME_NS: u128 = 400_000_000;
+    const MIN_ITERS: u32 = 3;
+    eprintln!("bench_runtime: {members} members, {CHURN_INTERVALS} churn intervals, 2% loss…");
+    let report = run_once(members); // warm-up; runs are deterministic
+    let mut iters = 0u32;
+    let start = Instant::now();
+    while iters < MIN_ITERS || start.elapsed().as_nanos() < MIN_TIME_NS {
+        black_box(run_once(members));
+        iters += 1;
+    }
+    let run_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    eprintln!(
+        "bench_runtime: {members} members: {} intervals in {:.0} ms/run",
+        report.intervals,
+        run_ns / 1e6
+    );
+    Row {
+        members,
+        report,
+        run_ns,
+    }
+}
+
+fn main() {
+    let rows: Vec<Row> = [64usize, 256, 1024].map(run_size).into();
+    println!("{{");
+    println!(
+        "  \"bench\": \"GroupRuntime: event-driven churn at scale ({CHURN_INTERVALS} leave+join intervals, 2% copy loss)\","
+    );
+    println!("  \"unit\": \"completed rekey intervals per wall-clock second (release)\",");
+    println!("  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let rep = &r.report;
+        println!("    {{");
+        println!("      \"members\": {},", r.members);
+        println!("      \"intervals\": {},", rep.intervals);
+        println!(
+            "      \"intervals_per_sec\": {:.2},",
+            rep.intervals as f64 / (r.run_ns / 1e9)
+        );
+        println!("      \"forward_copies\": {},", rep.forward_copies);
+        println!("      \"copies_lost\": {},", rep.copies_lost);
+        println!("      \"nacks\": {},", rep.nacks);
+        println!(
+            "      \"recovery_encryptions\": {},",
+            rep.recovery_encryptions
+        );
+        println!(
+            "      \"recovery_bytes\": {}",
+            rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES
+        );
+        println!("    }}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -9,7 +9,7 @@ use rekey_keytree::ModifiedKeyTree;
 use rekey_net::gtitm::{generate, GtItmParams};
 use rekey_net::{HostId, LinkId, MatrixNetwork, Micros, Network, PlanetLabParams, RoutedNetwork};
 use rekey_nice::{NiceHierarchy, NiceParams};
-use rekey_proto::{AssignParams, Group};
+use rekey_proto::{AssignParams, ChurnEvent, Group, GroupConfig};
 use rekey_sim::{seeded_rng, SimRng};
 use rekey_table::{Member, PrimaryPolicy};
 use rekey_tmesh::{metrics::PathMetrics, Source, TmeshGroup};
@@ -428,6 +428,39 @@ pub fn transport_fixture(
     // fine for throughput measurement purposes.
     let out = tree.batch_rekey(&[], &ids[..leaves], &mut rng).unwrap();
     (net, mesh, out.encryptions)
+}
+
+/// Substrate, group config, churn trace and finish time for a
+/// [`rekey_proto::GroupRuntime`] scaling run: `members` joins spread over
+/// the opening intervals, then `churn_intervals` rekey intervals in which
+/// one member leaves and a fresh one joins (audience size stays constant).
+///
+/// The trace leaves a quiet tail after the last churn event so every
+/// welcome and repair completes before the returned finish time.
+pub fn churn_runtime_fixture(
+    members: usize,
+    churn_intervals: u64,
+    seed: u64,
+) -> (MatrixNetwork, GroupConfig, Vec<ChurnEvent>, u64) {
+    const SEC: u64 = 1_000_000;
+    let mut rng = seeded_rng(seed);
+    let hosts = members + churn_intervals as usize + 1;
+    let net = MatrixNetwork::synthetic_planetlab(&planetlab_params(hosts), &mut rng);
+    let spec = IdSpec::new(4, 8).expect("valid spec");
+    let config = GroupConfig::for_spec(&spec).k(4).seed(seed);
+    let mut trace: Vec<ChurnEvent> = (0..members as u64)
+        .map(|i| ChurnEvent::join(SEC + i * 10_000))
+        .collect();
+    // Churn starts after the slowest opening-join wave has been admitted
+    // (members × 10 ms, plus one full interval of slack).
+    let churn_start = (SEC + members as u64 * 10_000).div_ceil(10 * SEC) * 10 * SEC + 10 * SEC;
+    for i in 0..churn_intervals {
+        let t = churn_start + i * 10 * SEC;
+        trace.push(ChurnEvent::leave(t, (i as usize * 13) % members));
+        trace.push(ChurnEvent::join(t + 2 * SEC));
+    }
+    let finish = churn_start + churn_intervals * 10 * SEC + 11 * SEC;
+    (net, config, trace, finish)
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@ pub mod harness;
 pub mod output;
 
 pub use harness::{
-    arg_usize, grow_group, grow_nice, latency_figure, rekey_message_for_churn, transport_fixture,
-    ChurnPlan, GroupBuild, LatencyConfig, LatencyFigure, SchemeSeries, Topology,
+    arg_usize, churn_runtime_fixture, grow_group, grow_nice, latency_figure,
+    rekey_message_for_churn, transport_fixture, ChurnPlan, GroupBuild, LatencyConfig,
+    LatencyFigure, SchemeSeries, Topology,
 };
 pub use output::{fraction_axis, print_series_table, ranked_mean};

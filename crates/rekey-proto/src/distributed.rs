@@ -21,10 +21,15 @@
 //!    it could not have seen (concurrent joins), keeping tables
 //!    K-consistent.
 //!
-//! Known limitation: a member that leaves while another node's join is in
-//! flight may linger in the joiner's freshly built table until the next
-//! repair (the joiner is not yet a member when `MemberLeft` is broadcast) —
-//! the same transient Silk tolerates; steady-state pings would evict it.
+//! Departures that race with an in-flight join are repaired at assignment
+//! time: the server keeps a departure log, remembers each joiner's log
+//! position at bootstrap, and replays the departures (with their
+//! replacement candidates) inside `IdAssigned`, so a member that left
+//! mid-join cannot linger in the joiner's freshly built table. (This was a
+//! documented stale-table window before the event-driven runtime grew a
+//! repair path; `distributed_join.rs` has the regression test.) Failures
+//! detected late — a `FailureNotice` for an already-departed member — are
+//! answered with the logged repair info so the detector converges too.
 //!
 //! Gateway RTT estimation follows §3.1.2: each user record carries the
 //! host's access-link RTT, so the joiner computes
@@ -100,12 +105,17 @@ pub enum ProtoMsg {
         sent_at: SimTime,
     },
     /// Server → joiner: the complete assigned ID plus records the joiner
-    /// could not have collected (members that joined concurrently).
+    /// could not have collected (members that joined concurrently) and the
+    /// departures it could not have observed (members that left while the
+    /// join was in flight), each with replacement candidates.
     IdAssigned {
         /// The joiner's new member record.
         member: Member,
         /// Records of concurrently joined members.
         extra: Vec<WireRecord>,
+        /// Departures since the joiner bootstrapped, in order, with the
+        /// replacement candidates broadcast for each.
+        repairs: Vec<(UserId, Vec<WireRecord>)>,
     },
     /// Server → member: a new member's record to insert into tables.
     NewMember {
@@ -230,6 +240,9 @@ pub struct ServerNode {
     /// Per joiner node: members present when it bootstrapped, to compute
     /// the `extra` delta at assignment time.
     bootstrap_snapshot: BTreeMap<usize, BTreeSet<UserId>>,
+    /// Every departure processed, in order, with the replacement
+    /// candidates that were broadcast for it.
+    departures: Vec<(UserId, Vec<WireRecord>)>,
     /// Joining times by the server clock.
     join_seq: Micros,
 }
@@ -485,6 +498,7 @@ impl ProtoNode {
         ctx: &mut Ctx<'_, ProtoMsg>,
         member: Member,
         extra: Vec<WireRecord>,
+        repairs: Vec<(UserId, Vec<WireRecord>)>,
     ) {
         self.member = Some(member.clone());
         let mut table = NeighborTable::new(
@@ -505,6 +519,21 @@ impl ProtoNode {
                 member: rec.member.clone(),
                 rtt: Micros::MAX / 4,
             });
+        }
+        // Replay the departures this join raced with, in log order, so a
+        // member that left mid-join cannot survive in the fresh table (and
+        // a replacement that itself departed later is removed again by its
+        // own log entry).
+        for (departed, replacements) in repairs {
+            table.remove(&departed);
+            for r in replacements {
+                if r.member.id != member.id {
+                    table.insert(NeighborRecord {
+                        member: r.member.clone(),
+                        rtt: Micros::MAX / 4,
+                    });
+                }
+            }
         }
         self.table = Some(table);
         self.joiner.stats.elapsed = ctx.now().saturating_sub(self.joiner.started_at);
@@ -549,7 +578,20 @@ impl ServerNode {
             ProtoMsg::FailureNotice { failed } if self.members.contains_key(&failed) => {
                 self.process_departure(ctx, &failed);
             }
-            ProtoMsg::FailureNotice { .. } => {}
+            ProtoMsg::FailureNotice { failed } => {
+                // Already departed: the broadcast repair may have raced the
+                // detector's stale observation — resend it the logged
+                // repair info so it converges.
+                if let Some((_, reps)) = self.departures.iter().rev().find(|(d, _)| *d == failed) {
+                    ctx.send(
+                        from,
+                        ProtoMsg::MemberLeft {
+                            departed: failed,
+                            replacements: reps.clone(),
+                        },
+                    );
+                }
+            }
             ProtoMsg::DigitsNotification { digits, sent_at } => {
                 let id = crate::assign::server_complete(&self.spec, &self.id_tree, &digits)
                     .expect("ID space is large enough for the simulation");
@@ -578,6 +620,19 @@ impl ServerNode {
                     .filter(|r| !snapshot.contains(&r.member.id))
                     .cloned()
                     .collect();
+                // Replay the *whole* departure log, not just the entries
+                // since bootstrap: the joiner's probes may have collected a
+                // record from a member that had not yet received an older
+                // departure's repair broadcast, so any logged departure can
+                // still be lurking in `known`. Entries whose ID has since
+                // been reassigned to a live member are skipped — removing
+                // the new holder would be wrong, and it is not a ghost.
+                let repairs: Vec<(UserId, Vec<WireRecord>)> = self
+                    .departures
+                    .iter()
+                    .filter(|(d, _)| !self.members.contains_key(d))
+                    .cloned()
+                    .collect();
                 // Announce the new member to everyone else.
                 for existing in self.members.values() {
                     ctx.send(
@@ -588,7 +643,14 @@ impl ServerNode {
                     );
                 }
                 self.members.insert(id, record.clone());
-                ctx.send(from, ProtoMsg::IdAssigned { member, extra });
+                ctx.send(
+                    from,
+                    ProtoMsg::IdAssigned {
+                        member,
+                        extra,
+                        repairs,
+                    },
+                );
             }
             _ => {}
         }
@@ -604,23 +666,16 @@ impl ServerNode {
         let record = self.members.remove(id).expect("checked by callers");
         self.id_tree.remove(id);
         self.table.remove(id);
-        let k = self.k;
-        let mut replacements: Vec<WireRecord> = Vec::new();
-        for level in (0..self.spec.depth()).rev() {
-            let prefix = id.prefix(level);
-            let mut picked = 0;
-            for r in self.members.values() {
-                if picked >= k {
-                    break;
-                }
-                if prefix.is_prefix_of_id(&r.member.id)
-                    && !replacements.iter().any(|x| x.member.id == r.member.id)
-                {
-                    replacements.push(r.clone());
-                    picked += 1;
-                }
-            }
-        }
+        let replacements: Vec<WireRecord> = crate::repair::replacement_candidates(
+            self.spec.depth(),
+            self.k,
+            id,
+            self.members.values(),
+            |r| &r.member.id,
+        )
+        .into_iter()
+        .cloned()
+        .collect();
         for existing in self.members.values() {
             ctx.send(
                 NodeId(existing.member.host.0),
@@ -630,6 +685,7 @@ impl ServerNode {
                 },
             );
         }
+        self.departures.push((id.clone(), replacements));
         let _ = record;
     }
 }
@@ -696,8 +752,12 @@ impl ProtoNode {
                     }
                 }
             }
-            ProtoMsg::IdAssigned { member, extra } => {
-                self.complete_join(ctx, member, extra);
+            ProtoMsg::IdAssigned {
+                member,
+                extra,
+                repairs,
+            } => {
+                self.complete_join(ctx, member, extra, repairs);
             }
             // --- member side -------------------------------------------
             ProtoMsg::Query { target } => {
@@ -884,6 +944,7 @@ pub fn run_distributed_session(
         members: BTreeMap::new(),
         table: ServerTable::new(spec, k),
         bootstrap_snapshot: BTreeMap::new(),
+        departures: Vec::new(),
         join_seq: 0,
     })));
 

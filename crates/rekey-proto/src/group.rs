@@ -135,6 +135,26 @@ impl Group {
         &self.tables[i]
     }
 
+    /// The join-order index of the member with the given ID.
+    pub fn index_of(&self, id: &UserId) -> Option<usize> {
+        self.index.get(id).copied()
+    }
+
+    /// The neighbor table of the member with the given ID.
+    pub fn table_of(&self, id: &UserId) -> Option<&NeighborTable> {
+        self.index_of(id).map(|i| &self.tables[i])
+    }
+
+    /// The key server's neighbor table.
+    pub fn server_table(&self) -> &ServerTable {
+        &self.server_table
+    }
+
+    /// Per-entry capacity `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
     /// Joins `host`: runs the ID assignment protocol of §3.1 against the
     /// current membership, then installs the new member into every table.
     ///

@@ -2,7 +2,7 @@
 //!
 //! Rekey messages "require fast delivery to achieve tight group access
 //! control" (§1) but real networks lose packets. The paper's companion
-//! work — *Group rekeying with limited unicast recovery* [31] (Zhang, Lam
+//! work — *Group rekeying with limited unicast recovery* \[31\] (Zhang, Lam
 //! & Lee) — recovers exactly the way this module models: users that missed
 //! (part of) the multicast rekey message fetch their missing encryptions
 //! from the key server via unicast.
@@ -128,7 +128,6 @@ pub fn lossy_rekey_transport(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rekey_id::IdSpec;
     use rekey_keytree::{KeyRing, ModifiedKeyTree};
     use rekey_net::{HostId, MatrixNetwork, PlanetLabParams};
@@ -140,14 +139,8 @@ mod tests {
     fn fixture(
         n: usize,
         seed: u64,
-    ) -> (
-        MatrixNetwork,
-        crate::Group,
-        ModifiedKeyTree,
-        Rings,
-        rand::rngs::StdRng,
-    ) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    ) -> (MatrixNetwork, crate::Group, ModifiedKeyTree, Rings, SimRng) {
+        let mut rng = seeded_rng(seed);
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::default(), &mut rng);
         let spec = IdSpec::new(3, 8).unwrap();
         let mut group = crate::Group::new(

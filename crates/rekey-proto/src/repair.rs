@@ -1,0 +1,107 @@
+//! Server-assisted neighbor-table repair (§3.2).
+//!
+//! When a member departs (leave or detected failure), every surviving
+//! member must drop the departed record from the `(i, j)`-entry that held
+//! it and refill that entry to keep tables K-consistent. The key server
+//! knows the full membership, so it computes — once per departure — the
+//! candidate set any receiver needs: for every ID level `c` (deepest
+//! first), up to `K` surviving members whose IDs share the first `c`
+//! digits with the departed ID. A receiver at common-prefix length `c`
+//! with the departed member finds its refill candidates among the
+//! level-`c` picks; sending the union per level serves all receivers with
+//! one computation.
+//!
+//! Both protocol drivers share this routine: the message-by-message join
+//! protocol ([`crate::distributed`]) broadcasts the candidates in
+//! `MemberLeft`, and the event-driven group runtime
+//! ([`crate::runtime`]) uses it for leave, crash, and stale-record
+//! repair.
+
+use rekey_id::UserId;
+
+/// Replacement candidates for `departed`, drawn from `members` (which must
+/// no longer contain the departed record itself): per level `c` from
+/// `depth − 1` down to `0`, up to `k` members sharing the first `c` digits
+/// with `departed`, deduplicated across levels. Iteration order of
+/// `members` is preserved within a level, so a deterministic input yields
+/// a deterministic candidate list.
+pub fn replacement_candidates<'a, T, I>(
+    depth: usize,
+    k: usize,
+    departed: &UserId,
+    members: I,
+    id_of: impl Fn(&T) -> &UserId,
+) -> Vec<&'a T>
+where
+    I: Iterator<Item = &'a T> + Clone,
+{
+    let mut out: Vec<&'a T> = Vec::new();
+    for level in (0..depth).rev() {
+        let prefix = departed.prefix(level);
+        let mut picked = 0;
+        for r in members.clone() {
+            if picked >= k {
+                break;
+            }
+            let id = id_of(r);
+            if prefix.is_prefix_of_id(id) && !out.iter().any(|x| id_of(x) == id) {
+                out.push(r);
+                picked += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekey_id::IdSpec;
+
+    fn uid(spec: &IdSpec, digits: [u16; 3]) -> UserId {
+        UserId::new(spec, digits.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn deeper_levels_are_picked_first_and_deduped() {
+        let spec = IdSpec::new(3, 4).unwrap();
+        let departed = uid(&spec, [1, 2, 3]);
+        let members = [
+            uid(&spec, [0, 0, 0]),
+            uid(&spec, [1, 0, 0]),
+            uid(&spec, [1, 2, 0]), // shares 2 digits: level-2 pick
+            uid(&spec, [1, 2, 1]), // shares 2 digits: level-2 pick
+            uid(&spec, [3, 3, 3]),
+        ];
+        let picks = replacement_candidates(3, 1, &departed, members.iter(), |id| id);
+        // Level 2 picks [1,2,0]; level 1 (prefix [1]) skips the already
+        // picked [1,2,0] and takes [1,0,0]; level 0 takes [0,0,0].
+        assert_eq!(
+            picks,
+            vec![&members[2], &members[1], &members[0]],
+            "deepest level first, no duplicates"
+        );
+    }
+
+    #[test]
+    fn respects_k_per_level() {
+        let spec = IdSpec::new(2, 4).unwrap();
+        let departed = UserId::new(&spec, vec![0, 0]).unwrap();
+        let members: Vec<UserId> = (1..4)
+            .map(|d| UserId::new(&spec, vec![0, d]).unwrap())
+            .collect();
+        let picks = replacement_candidates(2, 2, &departed, members.iter(), |id| id);
+        // Level 1 takes two of the three siblings; level 0 takes the third.
+        assert_eq!(picks.len(), 3);
+        let one = replacement_candidates(2, 1, &departed, members.iter(), |id| id);
+        assert_eq!(one.len(), 2);
+    }
+
+    #[test]
+    fn empty_membership_yields_no_candidates() {
+        let spec = IdSpec::new(2, 4).unwrap();
+        let departed = UserId::new(&spec, vec![0, 0]).unwrap();
+        let members: Vec<UserId> = Vec::new();
+        assert!(replacement_candidates(2, 4, &departed, members.iter(), |id| id).is_empty());
+    }
+}

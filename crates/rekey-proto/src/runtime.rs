@@ -1,0 +1,1233 @@
+//! The event-driven group runtime: one long-lived simulation in which the
+//! key server and every member are [`rekey_sim::Node`]s on a single clock.
+//!
+//! The synchronous [`GroupServer`]/[`UserAgent`] facade executes the
+//! protocol one interval at a time with the caller as the clock; this
+//! module drives the *same* state machines from a discrete-event schedule,
+//! which is what the paper's own evaluation does (§4): "we simulate the
+//! sending and the reception of a message as events". One implementation,
+//! two drivers — the global-knowledge [`Group`] inside the server stays
+//! the oracle that equivalence tests compare against.
+//!
+//! # Message taxonomy
+//!
+//! * **Timers** (`send_after`, immune to loss): `IntervalTick` fires the
+//!   periodic rekey at the server (§1: "periodic batch rekeying"),
+//!   `HeartbeatTick` drives each member's neighbor pings (§3.2),
+//!   `IntervalCheck` is each member's NACK deadline per interval.
+//! * **Membership control** (reliable unicast): `JoinRequest` /
+//!   `JoinAccepted` admit a member into the overlay mid-interval (its keys
+//!   arrive in `Welcome` at the interval end); `LeaveRequest` retires one;
+//!   `NewMember` / `MemberLeft` carry the server-assisted table updates of
+//!   §3.2, the latter with [`crate::repair`] replacement candidates.
+//! * **Rekey transport** (`Forward`, subject to per-copy loss): the
+//!   `FORWARD` routine of Fig. 2 executed hop by hop, each copy carrying
+//!   the split index plus the served prefix (Fig. 5). `Nack` / `Recover`
+//!   implement the companion work's limited unicast recovery \[31\]: a
+//!   member that misses an interval fetches exactly its related set —
+//!   Lemma 3 makes the need locally checkable — from the server.
+//! * **Failure detection** (`Ping` / `Pong`): members ping every stored
+//!   neighbor each heartbeat period; an unanswered ping evicts the record
+//!   ([`NeighborTable::evict_where`]), notifies the server
+//!   (`FailureNotice`), and triggers the same repair broadcast as a leave.
+//!   Until eviction, forwarding routes around suspects by falling back to
+//!   the next neighbor in the same `(i, j)` bucket (§2.3).
+//!
+//! # Failure model
+//!
+//! Crashed nodes are [`rekey_sim::Simulation::kill`]ed: they absorb all
+//! traffic silently. Only `Forward` copies are lossy (the bulk rekey
+//! payload on a UDP-like path); control traffic is reliable, matching the
+//! paper's assumption that notifications and unicast recovery ride TCP.
+//! Every surviving member holds the current group key once the run
+//! drains: a member with a pending gap NACKs it at its next check, and
+//! the server answers from its per-interval history.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use rand::Rng;
+use rekey_crypto::Encryption;
+use rekey_id::UserId;
+use rekey_net::{HostId, Micros, Network};
+use rekey_sim::{node_rng, seeded_rng, Ctx, Node, NodeId, SimTime, Simulation};
+use rekey_table::{check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable};
+use rekey_tmesh::forward::{server_next_hops, user_next_hops_with};
+
+use crate::transport::{PrefixBuf, SplitIndex};
+use crate::{Group, GroupConfig, GroupServer, UserAgent, WelcomePacket};
+
+/// The key server's node id: always node 0.
+const SERVER: NodeId = NodeId(0);
+
+fn node_of_host(h: HostId) -> NodeId {
+    NodeId(h.0 + 1)
+}
+
+fn host_of_member_node(n: NodeId) -> HostId {
+    debug_assert!(n != SERVER, "the server has no member host");
+    HostId(n.0 - 1)
+}
+
+/// Timing, loss, and seeding knobs of a [`GroupRuntime`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Rekey interval length (µs). The server batch-rekeys on this period.
+    pub rekey_period: SimTime,
+    /// Heartbeat period (µs): how often each member pings its stored
+    /// neighbors. A ping unanswered by the next beat evicts the neighbor.
+    pub heartbeat_period: SimTime,
+    /// Grace after an interval boundary before a member NACKs a missing
+    /// rekey message; must exceed the worst overlay delivery delay.
+    pub nack_grace: SimTime,
+    /// Independent per-copy loss probability applied to `Forward` copies.
+    pub loss: f64,
+    /// Seed for the runtime's randomness (loss draws, heartbeat stagger).
+    /// Independent of the [`GroupConfig`] key-generation seed.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            rekey_period: 10_000_000,
+            heartbeat_period: 15_000_000,
+            nack_grace: 2_000_000,
+            loss: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One scheduled churn action for [`GroupRuntime::run_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A new host joins; it gets the next member handle (join order).
+    Join,
+    /// Member (by join handle) leaves voluntarily.
+    Leave(usize),
+    /// Member (by join handle) crashes silently: its node is killed and
+    /// only heartbeat detection removes it from the group.
+    Crash(usize),
+}
+
+/// A churn action with its simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Absolute simulated time of the action.
+    pub at: SimTime,
+    /// The action.
+    pub op: ChurnOp,
+}
+
+impl ChurnEvent {
+    /// A join at `at`.
+    pub fn join(at: SimTime) -> ChurnEvent {
+        ChurnEvent {
+            at,
+            op: ChurnOp::Join,
+        }
+    }
+
+    /// A voluntary leave of join-handle `member` at `at`.
+    pub fn leave(at: SimTime, member: usize) -> ChurnEvent {
+        ChurnEvent {
+            at,
+            op: ChurnOp::Leave(member),
+        }
+    }
+
+    /// A silent crash of join-handle `member` at `at`.
+    pub fn crash(at: SimTime, member: usize) -> ChurnEvent {
+        ChurnEvent {
+            at,
+            op: ChurnOp::Crash(member),
+        }
+    }
+}
+
+/// One interval's rekey message as multicast over the overlay: the
+/// encryptions plus the split index that addresses them (Fig. 5). Shared
+/// by reference between all in-flight copies — forwarding a copy costs no
+/// payload clone.
+pub struct IntervalMessage {
+    /// The interval this message keys.
+    pub interval: u64,
+    /// The batch rekey encryptions.
+    pub encryptions: Vec<Encryption>,
+    /// Split index over the encryption IDs.
+    pub index: SplitIndex,
+}
+
+/// Runtime protocol messages. See the module docs for the taxonomy.
+pub enum RtMsg {
+    /// Server timer: end the current rekey interval.
+    IntervalTick,
+    /// Member timer: ping neighbors, evict the unresponsive.
+    HeartbeatTick,
+    /// Member timer: NACK intervals still missing past their deadline.
+    IntervalCheck,
+    /// Injected at a joining node; forwarded to the server.
+    JoinRequest,
+    /// Server → joiner: admission into the overlay with a ready table.
+    JoinAccepted {
+        /// The new member's record.
+        member: Member,
+        /// The joiner's neighbor table at admission time.
+        table: Box<NeighborTable>,
+    },
+    /// Server → joiner at interval end: the key material.
+    Welcome {
+        /// Path keys and interval.
+        welcome: WelcomePacket,
+        /// When the next interval ends, anchoring the NACK check timer.
+        next_interval_at: SimTime,
+    },
+    /// Server → members: insert a just-admitted member.
+    NewMember {
+        /// The new member.
+        record: Member,
+        /// RTT from the receiver to the new member.
+        rtt: Micros,
+    },
+    /// Injected at a leaving node; forwarded to the server.
+    LeaveRequest,
+    /// Server → members: departure plus repair candidates (§3.2).
+    MemberLeft {
+        /// Who departed.
+        departed: UserId,
+        /// Replacement candidates with receiver-personalized RTTs.
+        replacements: Vec<(Member, Micros)>,
+    },
+    /// Member → server: a neighbor stopped answering pings.
+    FailureNotice {
+        /// The suspect.
+        failed: UserId,
+    },
+    /// One overlay copy of an interval's rekey message (lossy).
+    Forward {
+        /// `forward_level` of Fig. 2 at the receiver.
+        level: usize,
+        /// The `(i, j)`-subtree prefix this copy serves (split key).
+        prefix: PrefixBuf,
+        /// The shared interval message.
+        message: Rc<IntervalMessage>,
+    },
+    /// Member → server: interval missing past its deadline.
+    Nack {
+        /// The missing interval.
+        interval: u64,
+    },
+    /// Server → member: the member's related set for a NACKed interval.
+    Recover {
+        /// The recovered interval.
+        interval: u64,
+        /// Exactly the requester's related encryptions (Lemma 3).
+        encryptions: Vec<Encryption>,
+    },
+    /// Member → neighbor: heartbeat probe.
+    Ping {
+        /// Correlation token.
+        token: u64,
+    },
+    /// Neighbor → member: heartbeat reply.
+    Pong {
+        /// Correlation token.
+        token: u64,
+    },
+}
+
+/// Knobs shared by every node of one runtime.
+struct Shared {
+    rekey_period: SimTime,
+    heartbeat_period: SimTime,
+    nack_grace: SimTime,
+    seed: u64,
+    /// Set by [`GroupRuntime::finish`]: timers stop re-arming so the
+    /// event queue drains with all repairs and recoveries completed.
+    shutdown: Cell<bool>,
+}
+
+/// Server-side counters of one runtime session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Completed rekey intervals.
+    pub intervals: u64,
+    /// Joins admitted.
+    pub joins: u64,
+    /// Departures processed (leaves + detected failures).
+    pub departures: u64,
+    /// Departures that arrived as failure notices.
+    pub failures_detected: u64,
+    /// `Forward` copies seeded by the server.
+    pub forward_copies: u64,
+    /// NACKs received.
+    pub nacks: u64,
+    /// Encryptions re-sent via unicast recovery.
+    pub recovery_encryptions: u64,
+    /// Welcome packets issued.
+    pub welcomes: u64,
+}
+
+struct RtServer<NET> {
+    net: Rc<NET>,
+    shared: Rc<Shared>,
+    server: GroupServer,
+    /// Interval messages kept for unicast recovery.
+    history: BTreeMap<u64, Rc<IntervalMessage>>,
+    stats: ServerStats,
+}
+
+impl<NET: Network> RtServer<NET> {
+    fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
+        match msg {
+            RtMsg::IntervalTick => self.end_interval(ctx),
+            RtMsg::JoinRequest => self.admit(ctx, from),
+            RtMsg::LeaveRequest => {
+                let host = host_of_member_node(from);
+                let id = self
+                    .server
+                    .group()
+                    .members()
+                    .iter()
+                    .find(|m| m.host == host)
+                    .map(|m| m.id.clone());
+                if let Some(id) = id {
+                    self.depart(ctx, id);
+                }
+            }
+            RtMsg::FailureNotice { failed } => {
+                if self.server.group().member(&failed).is_some() {
+                    self.stats.failures_detected += 1;
+                    self.depart(ctx, failed);
+                } else {
+                    // Already departed: the repair broadcast raced the
+                    // detector's stale observation. Answer it directly so
+                    // its table converges.
+                    let group = self.server.group();
+                    let host = host_of_member_node(from);
+                    let replacements: Vec<(Member, Micros)> =
+                        crate::repair::replacement_candidates(
+                            group.spec().depth(),
+                            group.k(),
+                            &failed,
+                            group.members().iter(),
+                            |m| &m.id,
+                        )
+                        .into_iter()
+                        .map(|c| (c.clone(), self.net.rtt(host, c.host)))
+                        .collect();
+                    ctx.send(
+                        from,
+                        RtMsg::MemberLeft {
+                            departed: failed,
+                            replacements,
+                        },
+                    );
+                }
+            }
+            RtMsg::Nack { interval } => {
+                self.stats.nacks += 1;
+                let host = host_of_member_node(from);
+                let member = self
+                    .server
+                    .group()
+                    .members()
+                    .iter()
+                    .find(|m| m.host == host)
+                    .cloned();
+                let (Some(member), Some(message)) = (member, self.history.get(&interval)) else {
+                    return;
+                };
+                let encryptions: Vec<Encryption> = message
+                    .index
+                    .indices(member.id.digits())
+                    .map(|e| message.encryptions[e].clone())
+                    .collect();
+                self.stats.recovery_encryptions += encryptions.len() as u64;
+                ctx.send(
+                    from,
+                    RtMsg::Recover {
+                        interval,
+                        encryptions,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn end_interval(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        if self.shared.shutdown.get() {
+            return;
+        }
+        let outcome = self.server.end_interval();
+        self.stats.intervals += 1;
+        let next_interval_at = ctx.now() + self.shared.rekey_period;
+        for welcome in outcome.welcomes {
+            self.stats.welcomes += 1;
+            let host = self
+                .server
+                .group()
+                .member(&welcome.id)
+                .expect("welcomed member is in the group")
+                .host;
+            ctx.send(
+                node_of_host(host),
+                RtMsg::Welcome {
+                    welcome,
+                    next_interval_at,
+                },
+            );
+        }
+        let message = Rc::new(IntervalMessage {
+            interval: outcome.interval,
+            index: SplitIndex::build(&outcome.rekey.encryptions),
+            encryptions: outcome.rekey.encryptions,
+        });
+        self.history.insert(outcome.interval, Rc::clone(&message));
+        // Empty intervals still multicast: members advance their interval
+        // counter from the (empty) related set, keeping NACK checks quiet.
+        for hop in server_next_hops(self.server.group().server_table()) {
+            self.stats.forward_copies += 1;
+            ctx.send(
+                node_of_host(hop.neighbor.member.host),
+                RtMsg::Forward {
+                    level: hop.forward_level,
+                    prefix: PrefixBuf::of_hop(&hop),
+                    message: Rc::clone(&message),
+                },
+            );
+        }
+        ctx.send_after(SERVER, self.shared.rekey_period, RtMsg::IntervalTick);
+    }
+
+    fn admit(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId) {
+        let host = host_of_member_node(from);
+        let id = self
+            .server
+            .request_join(host, &*self.net, ctx.now())
+            .expect("ID space sized for the churn trace");
+        self.stats.joins += 1;
+        let group = self.server.group();
+        let idx = group.index_of(&id).expect("member was just admitted");
+        let member = group.members()[idx].clone();
+        let table = group.table(idx).clone();
+        for existing in group.members() {
+            if existing.id == id {
+                continue;
+            }
+            ctx.send(
+                node_of_host(existing.host),
+                RtMsg::NewMember {
+                    record: member.clone(),
+                    rtt: self.net.rtt(existing.host, member.host),
+                },
+            );
+        }
+        ctx.send(
+            from,
+            RtMsg::JoinAccepted {
+                member,
+                table: Box::new(table),
+            },
+        );
+    }
+
+    fn depart(&mut self, ctx: &mut Ctx<'_, RtMsg>, id: UserId) {
+        self.server
+            .request_leave(&id, &*self.net)
+            .expect("departing member is in the group");
+        self.stats.departures += 1;
+        let group = self.server.group();
+        let candidates = crate::repair::replacement_candidates(
+            group.spec().depth(),
+            group.k(),
+            &id,
+            group.members().iter(),
+            |m| &m.id,
+        );
+        for existing in group.members() {
+            let replacements: Vec<(Member, Micros)> = candidates
+                .iter()
+                .map(|c| ((*c).clone(), self.net.rtt(existing.host, c.host)))
+                .collect();
+            ctx.send(
+                node_of_host(existing.host),
+                RtMsg::MemberLeft {
+                    departed: id.clone(),
+                    replacements,
+                },
+            );
+        }
+    }
+}
+
+/// Member-side counters of one runtime session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemberStats {
+    /// `Forward` copies received.
+    pub copies_received: u64,
+    /// `Forward` copies sent onward.
+    pub copies_forwarded: u64,
+    /// Sum of copy payload sizes received (encryptions per split copy).
+    pub payload_encryptions: u64,
+    /// NACKs sent.
+    pub nacks_sent: u64,
+    /// Encryptions obtained via unicast recovery.
+    pub recovered_encryptions: u64,
+    /// Heartbeat pings sent.
+    pub pings_sent: u64,
+    /// Neighbors evicted after unanswered pings.
+    pub evictions: u64,
+}
+
+/// A buffered rekey payload for one interval, applied strictly in order.
+enum PendingPayload {
+    /// A multicast copy (the member's related set is a subset, Lemma 3).
+    Mesh(Rc<IntervalMessage>),
+    /// A unicast recovery reply (already exactly the related set).
+    Unicast(Vec<Encryption>),
+}
+
+struct RtMember {
+    shared: Rc<Shared>,
+    member: Option<Member>,
+    table: Option<NeighborTable>,
+    agent: Option<UserAgent>,
+    departed: bool,
+    /// Out-of-order rekey payloads, drained from `agent.interval + 1`.
+    pending: BTreeMap<u64, PendingPayload>,
+    /// Next interval the `IntervalCheck` timer will cover.
+    next_check: u64,
+    /// Highest interval whose copy this member has already forwarded.
+    last_forwarded: u64,
+    /// Neighbors evicted locally but possibly still in stale in-flight
+    /// state; forwarding routes around them.
+    suspected: BTreeSet<UserId>,
+    /// Outstanding heartbeat pings: token → target.
+    outstanding: BTreeMap<u64, UserId>,
+    next_token: u64,
+    heartbeat_running: bool,
+    stats: MemberStats,
+}
+
+impl RtMember {
+    fn new(shared: Rc<Shared>) -> RtMember {
+        RtMember {
+            shared,
+            member: None,
+            table: None,
+            agent: None,
+            departed: false,
+            pending: BTreeMap::new(),
+            next_check: 0,
+            last_forwarded: 0,
+            suspected: BTreeSet::new(),
+            outstanding: BTreeMap::new(),
+            next_token: 0,
+            heartbeat_running: false,
+            stats: MemberStats::default(),
+        }
+    }
+
+    fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
+        if self.departed {
+            return;
+        }
+        match msg {
+            RtMsg::JoinRequest if self.member.is_none() => {
+                ctx.send(SERVER, RtMsg::JoinRequest);
+            }
+            RtMsg::JoinAccepted { member, table } => {
+                self.member = Some(member);
+                self.table = Some(*table);
+                if !self.heartbeat_running {
+                    self.heartbeat_running = true;
+                    // Stagger first beats across the membership so a join
+                    // burst does not synchronize every ping burst.
+                    let mut rng = node_rng(self.shared.seed, ctx.self_id());
+                    let jitter = rng.gen_range(1..=self.shared.heartbeat_period.max(1));
+                    ctx.send_after(ctx.self_id(), jitter, RtMsg::HeartbeatTick);
+                }
+            }
+            RtMsg::Welcome {
+                welcome,
+                next_interval_at,
+            } => {
+                let interval = welcome.interval;
+                self.agent = Some(UserAgent::from_welcome(welcome));
+                self.next_check = interval + 1;
+                let deadline = next_interval_at + self.shared.nack_grace;
+                ctx.send_after(
+                    ctx.self_id(),
+                    deadline.saturating_sub(ctx.now()).max(1),
+                    RtMsg::IntervalCheck,
+                );
+                self.drain();
+            }
+            RtMsg::NewMember { record, rtt } => {
+                self.suspected.remove(&record.id);
+                let own = self.member.as_ref().map(|m| &m.id);
+                if let Some(table) = &mut self.table {
+                    if own != Some(&record.id) {
+                        table.insert(NeighborRecord {
+                            member: record,
+                            rtt,
+                        });
+                    }
+                }
+            }
+            RtMsg::MemberLeft {
+                departed,
+                replacements,
+            } => {
+                self.suspected.remove(&departed);
+                self.outstanding.retain(|_, id| *id != departed);
+                let own = self.member.as_ref().map(|m| m.id.clone());
+                if let Some(table) = &mut self.table {
+                    table.remove(&departed);
+                    for (m, rtt) in replacements {
+                        if Some(&m.id) != own.as_ref() && m.id != departed {
+                            table.insert(NeighborRecord { member: m, rtt });
+                        }
+                    }
+                }
+            }
+            RtMsg::LeaveRequest if self.member.is_some() => {
+                self.departed = true;
+                self.table = None;
+                self.agent = None;
+                self.pending.clear();
+                self.outstanding.clear();
+                ctx.send(SERVER, RtMsg::LeaveRequest);
+            }
+            RtMsg::Forward {
+                level,
+                prefix,
+                message,
+            } => {
+                self.stats.copies_received += 1;
+                self.stats.payload_encryptions +=
+                    message.index.related_ranges(prefix.as_slice()).total() as u64;
+                // Forward duty: once per interval, rows `level..D` of the
+                // table (Fig. 2), routing around suspects (§2.3).
+                if message.interval > self.last_forwarded {
+                    if let Some(table) = &self.table {
+                        self.last_forwarded = message.interval;
+                        let suspected = &self.suspected;
+                        for hop in user_next_hops_with(table, level, &|id| !suspected.contains(id))
+                        {
+                            self.stats.copies_forwarded += 1;
+                            ctx.send(
+                                node_of_host(hop.neighbor.member.host),
+                                RtMsg::Forward {
+                                    level: hop.forward_level,
+                                    prefix: PrefixBuf::of_hop(&hop),
+                                    message: Rc::clone(&message),
+                                },
+                            );
+                        }
+                    }
+                }
+                // Key state: any copy addressed to us carries our full
+                // related set (Lemma 3 / Corollary 1), so one per interval
+                // suffices. Buffer pre-welcome copies; Welcome prunes.
+                let needed = self
+                    .agent
+                    .as_ref()
+                    .is_none_or(|a| message.interval > a.interval());
+                if needed {
+                    self.pending
+                        .entry(message.interval)
+                        .or_insert(PendingPayload::Mesh(message));
+                    self.drain();
+                }
+            }
+            RtMsg::Recover {
+                interval,
+                encryptions,
+            } => {
+                let needed = self.agent.as_ref().is_some_and(|a| interval > a.interval())
+                    && !self.pending.contains_key(&interval);
+                if needed {
+                    self.stats.recovered_encryptions += encryptions.len() as u64;
+                    self.pending
+                        .insert(interval, PendingPayload::Unicast(encryptions));
+                    self.drain();
+                }
+            }
+            RtMsg::IntervalCheck => {
+                let Some(agent) = &self.agent else { return };
+                for missing in agent.interval() + 1..=self.next_check {
+                    if !self.pending.contains_key(&missing) {
+                        self.stats.nacks_sent += 1;
+                        ctx.send(SERVER, RtMsg::Nack { interval: missing });
+                    }
+                }
+                self.next_check += 1;
+                if !self.shared.shutdown.get() {
+                    ctx.send_after(
+                        ctx.self_id(),
+                        self.shared.rekey_period,
+                        RtMsg::IntervalCheck,
+                    );
+                }
+            }
+            RtMsg::HeartbeatTick => {
+                let Some(table) = &mut self.table else {
+                    self.heartbeat_running = false;
+                    return;
+                };
+                // Evict neighbors whose previous ping went unanswered and
+                // report them; the server broadcasts the repair.
+                let timed_out: BTreeSet<UserId> = std::mem::take(&mut self.outstanding)
+                    .into_values()
+                    .collect();
+                if !timed_out.is_empty() {
+                    for id in table.evict_where(|r| timed_out.contains(&r.member.id)) {
+                        self.stats.evictions += 1;
+                        self.suspected.insert(id.clone());
+                        ctx.send(SERVER, RtMsg::FailureNotice { failed: id });
+                    }
+                }
+                if self.shared.shutdown.get() {
+                    self.heartbeat_running = false;
+                    return;
+                }
+                for record in table.iter_all() {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.outstanding.insert(token, record.member.id.clone());
+                    self.stats.pings_sent += 1;
+                    ctx.send(node_of_host(record.member.host), RtMsg::Ping { token });
+                }
+                ctx.send_after(
+                    ctx.self_id(),
+                    self.shared.heartbeat_period,
+                    RtMsg::HeartbeatTick,
+                );
+            }
+            RtMsg::Ping { token } => {
+                // Answered whenever the process is up (even before our own
+                // JoinAccepted lands — an established member may learn of
+                // us via NewMember and ping first on a faster path).
+                // Departed and crashed nodes absorb pings, which is what
+                // the detector keys on.
+                ctx.send(from, RtMsg::Pong { token });
+            }
+            RtMsg::Pong { token } => {
+                self.outstanding.remove(&token);
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies buffered payloads strictly in interval order, starting at
+    /// `agent.interval + 1`; prunes anything at or below the agent.
+    fn drain(&mut self) {
+        let (Some(agent), Some(member)) = (self.agent.as_mut(), self.member.as_ref()) else {
+            return;
+        };
+        loop {
+            while let Some((&first, _)) = self.pending.first_key_value() {
+                if first <= agent.interval() {
+                    self.pending.remove(&first);
+                } else {
+                    break;
+                }
+            }
+            let next = agent.interval() + 1;
+            match self.pending.remove(&next) {
+                None => break,
+                Some(PendingPayload::Mesh(message)) => {
+                    let related: Vec<usize> = message.index.indices(member.id.digits()).collect();
+                    agent.handle_rekey(next, related.iter().map(|&e| &message.encryptions[e]));
+                }
+                Some(PendingPayload::Unicast(encryptions)) => {
+                    agent.handle_rekey(next, encryptions.iter());
+                }
+            }
+        }
+    }
+}
+
+/// A protocol participant of the runtime: the server or a member.
+pub struct RtActor<NET>(ActorKind<NET>);
+
+enum ActorKind<NET> {
+    Server(Box<RtServer<NET>>),
+    Member(Box<RtMember>),
+}
+
+impl<NET: Network> Node for RtActor<NET> {
+    type Msg = RtMsg;
+
+    fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
+        match &mut self.0 {
+            ActorKind::Server(s) => s.receive(ctx, from, msg),
+            ActorKind::Member(m) => m.receive(ctx, from, msg),
+        }
+    }
+}
+
+/// Aggregated outcome of a runtime session, for reports and benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeReport {
+    /// Completed rekey intervals.
+    pub intervals: u64,
+    /// Members in the group at the end.
+    pub members: usize,
+    /// Joins admitted / departures processed / failures detected.
+    pub joins: u64,
+    /// Departures processed by the server.
+    pub departures: u64,
+    /// Departures that were detected by heartbeats (crashes).
+    pub failures_detected: u64,
+    /// `Forward` copies sent (server seeds + member forwards).
+    pub forward_copies: u64,
+    /// Copies dropped by the loss model.
+    pub copies_lost: u64,
+    /// Deliveries absorbed by crashed nodes.
+    pub dead_letters: u64,
+    /// NACKs received by the server.
+    pub nacks: u64,
+    /// Encryptions re-sent via unicast recovery.
+    pub recovery_encryptions: u64,
+    /// Heartbeat pings sent by members.
+    pub pings: u64,
+    /// Neighbor evictions after unanswered pings.
+    pub evictions: u64,
+    /// Total messages delivered.
+    pub delivered: u64,
+}
+
+type DelayFn = Box<dyn FnMut(NodeId, NodeId) -> SimTime>;
+
+/// The event-driven group runtime: see the module docs.
+///
+/// Join handles are join-trace indices: the `k`-th [`ChurnOp::Join`] gets
+/// handle `k` and runs on `HostId(k)`; the server runs on the substrate's
+/// last host.
+pub struct GroupRuntime<NET: Network + 'static> {
+    sim: Simulation<RtActor<NET>, DelayFn>,
+    shared: Rc<Shared>,
+    joins: usize,
+    server_host: HostId,
+}
+
+impl<NET: Network + 'static> GroupRuntime<NET> {
+    /// Builds a runtime over `net` with the server on the last host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.loss` is outside `[0, 1)`.
+    pub fn new(group: GroupConfig, config: RuntimeConfig, net: NET) -> GroupRuntime<NET> {
+        assert!(
+            (0.0..1.0).contains(&config.loss),
+            "loss probability must be in [0, 1)"
+        );
+        let net = Rc::new(net);
+        let server_host = HostId(net.host_count() - 1);
+        let shared = Rc::new(Shared {
+            rekey_period: config.rekey_period,
+            heartbeat_period: config.heartbeat_period,
+            nack_grace: config.nack_grace,
+            seed: config.seed,
+            shutdown: Cell::new(false),
+        });
+        let server = RtActor(ActorKind::Server(Box::new(RtServer {
+            net: Rc::clone(&net),
+            shared: Rc::clone(&shared),
+            server: group.build(server_host),
+            history: BTreeMap::new(),
+            stats: ServerStats::default(),
+        })));
+        let delay_net = Rc::clone(&net);
+        let delay: DelayFn = Box::new(move |a, b| {
+            let host = |n: NodeId| {
+                if n == SERVER {
+                    server_host
+                } else {
+                    host_of_member_node(n)
+                }
+            };
+            delay_net.one_way(host(a), host(b)).max(1)
+        });
+        let mut sim = Simulation::new(vec![server], delay);
+        if config.loss > 0.0 {
+            let mut rng = seeded_rng(config.seed ^ 0x4C4F_5353_u64);
+            let loss = config.loss;
+            sim = sim.with_loss(move |_, _, msg: &RtMsg| {
+                matches!(msg, RtMsg::Forward { .. }) && rng.gen_bool(loss)
+            });
+        }
+        sim.inject_at(config.rekey_period, SERVER, SERVER, RtMsg::IntervalTick);
+        GroupRuntime {
+            sim,
+            shared,
+            joins: 0,
+            server_host,
+        }
+    }
+
+    /// Plays a churn trace: advances the clock to each event's time and
+    /// applies it. Events are processed in time order (stable for ties).
+    /// Returns the handles assigned to the trace's joins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event refers to a handle that has not joined, lies in
+    /// the past, or the substrate runs out of hosts.
+    pub fn run_trace(&mut self, events: &[ChurnEvent]) -> Vec<usize> {
+        let mut ordered: Vec<&ChurnEvent> = events.iter().collect();
+        ordered.sort_by_key(|e| e.at);
+        let mut handles = Vec::new();
+        for event in ordered {
+            self.sim.run_until(event.at);
+            match event.op {
+                ChurnOp::Join => {
+                    assert!(
+                        self.joins < self.server_host.0,
+                        "substrate has no free host for another join"
+                    );
+                    let node = self
+                        .sim
+                        .spawn(RtActor(ActorKind::Member(Box::new(RtMember::new(
+                            Rc::clone(&self.shared),
+                        )))));
+                    handles.push(self.joins);
+                    self.joins += 1;
+                    debug_assert_eq!(node.0, self.joins);
+                    self.sim.inject_at(event.at, node, node, RtMsg::JoinRequest);
+                }
+                ChurnOp::Leave(member) => {
+                    let node = self.member_node(member);
+                    self.sim
+                        .inject_at(event.at, node, node, RtMsg::LeaveRequest);
+                }
+                ChurnOp::Crash(member) => {
+                    let node = self.member_node(member);
+                    self.sim.kill(node);
+                }
+            }
+        }
+        handles
+    }
+
+    /// Runs the clock to `until`, then shuts timers down and drains the
+    /// event queue — in-flight repairs, recoveries, and detections all
+    /// complete. Returns the final simulated time.
+    pub fn finish(&mut self, until: SimTime) -> SimTime {
+        self.sim.run_until(until);
+        self.shared.shutdown.set(true);
+        self.sim.run_until_idle()
+    }
+
+    fn member_node(&self, handle: usize) -> NodeId {
+        assert!(handle < self.joins, "member handle {handle} never joined");
+        NodeId(handle + 1)
+    }
+
+    fn server_ref(&self) -> &RtServer<NET> {
+        match &self.sim.nodes()[SERVER.0].0 {
+            ActorKind::Server(s) => s,
+            ActorKind::Member(_) => unreachable!("node 0 is the server"),
+        }
+    }
+
+    fn member_ref(&self, handle: usize) -> &RtMember {
+        match &self.sim.nodes()[self.member_node(handle).0].0 {
+            ActorKind::Member(m) => m,
+            ActorKind::Server(_) => unreachable!("member nodes start at 1"),
+        }
+    }
+
+    /// The server-side facade state machine (and through it the oracle
+    /// [`Group`] and the key tree).
+    pub fn server(&self) -> &GroupServer {
+        &self.server_ref().server
+    }
+
+    /// The oracle membership view.
+    pub fn group(&self) -> &Group {
+        self.server().group()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Members spawned so far (handles are `0..member_count()`).
+    pub fn member_count(&self) -> usize {
+        self.joins
+    }
+
+    /// The key agent of join-handle `member`, once welcomed.
+    pub fn agent(&self, member: usize) -> Option<&UserAgent> {
+        self.member_ref(member).agent.as_ref()
+    }
+
+    /// The local neighbor table of join-handle `member`, while active.
+    pub fn member_table(&self, member: usize) -> Option<&NeighborTable> {
+        self.member_ref(member).table.as_ref()
+    }
+
+    /// The member record of join-handle `member`, once admitted.
+    pub fn member_record(&self, member: usize) -> Option<&Member> {
+        self.member_ref(member).member.as_ref()
+    }
+
+    /// Per-member counters.
+    pub fn member_stats(&self, member: usize) -> MemberStats {
+        self.member_ref(member).stats
+    }
+
+    /// `false` once the member's node has been crashed.
+    pub fn is_member_alive(&self, member: usize) -> bool {
+        self.sim.is_alive(self.member_node(member))
+    }
+
+    /// Server-side counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.server_ref().stats
+    }
+
+    /// Checks that the *members' local tables* (not the oracle's) are
+    /// K-consistent for the oracle membership (Definition 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an oracle member never received its overlay state (its
+    /// node has no table) — that indicates a protocol bug, not a
+    /// consistency violation.
+    pub fn check_consistency(&self) -> Result<(), ConsistencyViolation> {
+        let group = self.group();
+        let members: Vec<Member> = group.members().to_vec();
+        let tables: Vec<NeighborTable> = members
+            .iter()
+            .map(|m| {
+                let node = node_of_host(m.host);
+                match &self.sim.nodes()[node.0].0 {
+                    ActorKind::Member(member) => {
+                        member.table.clone().expect("admitted member holds a table")
+                    }
+                    ActorKind::Server(_) => unreachable!("member hosts map to member nodes"),
+                }
+            })
+            .collect();
+        check_consistency(group.spec(), &members, &tables, group.k())
+    }
+
+    /// Aggregates the session's counters.
+    pub fn report(&self) -> RuntimeReport {
+        let server = self.server_stats();
+        let mut report = RuntimeReport {
+            intervals: server.intervals,
+            members: self.group().len(),
+            joins: server.joins,
+            departures: server.departures,
+            failures_detected: server.failures_detected,
+            forward_copies: server.forward_copies,
+            copies_lost: self.sim.dropped(),
+            dead_letters: self.sim.dead_letters(),
+            nacks: server.nacks,
+            recovery_encryptions: server.recovery_encryptions,
+            pings: 0,
+            evictions: 0,
+            delivered: self.sim.delivered(),
+        };
+        for handle in 0..self.joins {
+            let stats = self.member_stats(handle);
+            report.forward_copies += stats.copies_forwarded;
+            report.pings += stats.pings_sent;
+            report.evictions += stats.evictions;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekey_id::IdSpec;
+    use rekey_net::{MatrixNetwork, PlanetLabParams};
+
+    const SEC: SimTime = 1_000_000;
+
+    fn small_net(seed: u64) -> MatrixNetwork {
+        let mut rng = seeded_rng(seed);
+        MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng)
+    }
+
+    fn config() -> GroupConfig {
+        GroupConfig::for_spec(&IdSpec::new(3, 8).unwrap())
+            .k(2)
+            .seed(7)
+    }
+
+    /// Every surviving member's agent is at the server's interval with the
+    /// server's group key, and can open data sealed under it.
+    fn assert_members_current(rt: &GroupRuntime<MatrixNetwork>, survivors: &[usize]) {
+        let server_interval = rt.server().interval();
+        let group_key = rt
+            .server()
+            .tree()
+            .group_key()
+            .expect("group is non-empty")
+            .clone();
+        let mut rng = seeded_rng(0xDA7A);
+        for &m in survivors {
+            let agent = rt.agent(m).expect("survivor was welcomed");
+            assert_eq!(
+                agent.interval(),
+                server_interval,
+                "member {m} lags the server"
+            );
+            assert_eq!(
+                agent.group_key(),
+                Some(&group_key),
+                "member {m} holds a stale group key"
+            );
+            let sealed = agent.seal_data(b"pay-per-view frame", &mut rng).unwrap();
+            assert_eq!(agent.open_data(&sealed).unwrap(), b"pay-per-view frame");
+        }
+        rt.check_consistency()
+            .expect("local tables are K-consistent");
+    }
+
+    #[test]
+    fn joins_then_steady_state_keeps_every_member_current() {
+        let mut rt = GroupRuntime::new(config(), RuntimeConfig::default(), small_net(1));
+        let trace: Vec<ChurnEvent> = (0..10)
+            .map(|i| ChurnEvent::join(SEC + i * 200_000))
+            .collect();
+        let handles = rt.run_trace(&trace);
+        assert_eq!(handles, (0..10).collect::<Vec<_>>());
+        rt.finish(61 * SEC);
+        let report = rt.report();
+        assert_eq!(report.joins, 10);
+        assert!(report.intervals >= 6, "got {} intervals", report.intervals);
+        assert_eq!(rt.group().len(), 10);
+        assert_members_current(&rt, &handles);
+        // Steady state is quiet: no NACKs, no evictions on a lossless run.
+        assert_eq!(report.nacks, 0);
+        assert_eq!(report.evictions, 0);
+        assert!(report.pings > 0, "heartbeats ran");
+    }
+
+    #[test]
+    fn voluntary_leaves_repair_every_surviving_table() {
+        let mut rt = GroupRuntime::new(config(), RuntimeConfig::default(), small_net(2));
+        let mut trace: Vec<ChurnEvent> = (0..12)
+            .map(|i| ChurnEvent::join(SEC + i * 200_000))
+            .collect();
+        trace.push(ChurnEvent::leave(25 * SEC, 3));
+        trace.push(ChurnEvent::leave(32 * SEC, 7));
+        rt.run_trace(&trace);
+        rt.finish(75 * SEC);
+        assert_eq!(rt.group().len(), 10);
+        let report = rt.report();
+        assert_eq!(report.departures, 2);
+        assert_eq!(report.failures_detected, 0);
+        let survivors: Vec<usize> = (0..12).filter(|m| *m != 3 && *m != 7).collect();
+        assert_members_current(&rt, &survivors);
+        // The departed members retired their local protocol state.
+        assert!(rt.agent(3).is_none());
+        assert!(rt.member_table(7).is_none());
+    }
+
+    #[test]
+    fn forward_loss_is_recovered_by_nack_unicast() {
+        let runtime_config = RuntimeConfig {
+            loss: 0.3,
+            seed: 0xBEEF,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = GroupRuntime::new(config(), runtime_config, small_net(3));
+        let trace: Vec<ChurnEvent> = (0..10)
+            .map(|i| ChurnEvent::join(SEC + i * 200_000))
+            .collect();
+        // Churn in the middle so rekey messages are non-trivial throughout.
+        let mut trace = trace;
+        trace.push(ChurnEvent::leave(35 * SEC, 2));
+        trace.push(ChurnEvent::join(45 * SEC));
+        rt.run_trace(&trace);
+        rt.finish(101 * SEC);
+        let report = rt.report();
+        assert!(report.copies_lost > 0, "loss model never fired");
+        assert!(report.nacks > 0, "lost copies were never NACKed");
+        let survivors: Vec<usize> = (0..11).filter(|m| *m != 2).collect();
+        assert_members_current(&rt, &survivors);
+    }
+
+    #[test]
+    fn crashes_are_detected_evicted_and_repaired() {
+        let mut rt = GroupRuntime::new(config(), RuntimeConfig::default(), small_net(4));
+        let mut trace: Vec<ChurnEvent> = (0..10)
+            .map(|i| ChurnEvent::join(SEC + i * 200_000))
+            .collect();
+        trace.push(ChurnEvent::crash(31 * SEC, 4));
+        trace.push(ChurnEvent::crash(31 * SEC, 8));
+        rt.run_trace(&trace);
+        // Detection needs up to two heartbeat periods plus repair traffic.
+        rt.finish(121 * SEC);
+        let report = rt.report();
+        assert_eq!(report.failures_detected, 2);
+        assert_eq!(report.departures, 2);
+        assert!(report.evictions > 0);
+        assert!(report.dead_letters > 0, "crashed nodes absorbed traffic");
+        assert_eq!(rt.group().len(), 8);
+        assert!(!rt.is_member_alive(4));
+        let survivors: Vec<usize> = (0..10).filter(|m| *m != 4 && *m != 8).collect();
+        assert_members_current(&rt, &survivors);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_the_run_exactly() {
+        let run = |loss_seed: u64| {
+            let runtime_config = RuntimeConfig {
+                loss: 0.2,
+                seed: loss_seed,
+                ..RuntimeConfig::default()
+            };
+            let mut rt = GroupRuntime::new(config(), runtime_config, small_net(5));
+            let trace: Vec<ChurnEvent> = (0..9)
+                .map(|i| ChurnEvent::join(SEC + i * 300_000))
+                .chain([
+                    ChurnEvent::leave(33 * SEC, 1),
+                    ChurnEvent::crash(37 * SEC, 5),
+                ])
+                .collect();
+            rt.run_trace(&trace);
+            rt.finish(90 * SEC);
+            let report = rt.report();
+            (
+                report.delivered,
+                report.copies_lost,
+                report.nacks,
+                report.forward_copies,
+                rt.server().tree().group_key().cloned(),
+            )
+        };
+        assert_eq!(run(11), run(11), "same seed must reproduce exactly");
+        let (_, lost_a, ..) = run(11);
+        let (_, lost_b, ..) = run(12);
+        assert!(lost_a > 0 && lost_b > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_out_of_range_loss() {
+        let _ = GroupRuntime::new(
+            config(),
+            RuntimeConfig {
+                loss: 1.5,
+                ..RuntimeConfig::default()
+            },
+            small_net(6),
+        );
+    }
+}

@@ -12,7 +12,7 @@
 //! [`crate::SplitIndex`] built once per session, so each hop costs
 //! O(D log M) binary searching instead of an O(M) scan, and no per-edge
 //! subset vector is allocated. The former scan-per-hop implementation is
-//! preserved verbatim in [`reference`] as the correctness oracle and
+//! preserved verbatim in [`mod@reference`] as the correctness oracle and
 //! benchmark baseline.
 
 use rekey_crypto::Encryption;

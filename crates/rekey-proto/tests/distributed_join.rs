@@ -183,3 +183,48 @@ fn leaves_repair_survivor_tables() {
         }
     }
 }
+
+/// Regression for the formerly documented stale-table window: a member
+/// that departs while another member's join is still in flight. The
+/// joiner's bootstrap snapshot predates the departure and the repair
+/// broadcast predates the joiner's registration, so before the server
+/// kept a departure log the joiner's table retained a ghost record of
+/// the departed member forever. The log replay in `IdAssigned` closes
+/// the window at every overlap offset.
+#[test]
+fn leave_during_inflight_join_leaves_no_ghost_records() {
+    use rekey_proto::distributed::run_distributed_session;
+    let network = net(11);
+    let spec = IdSpec::new(4, 16).unwrap();
+    let params = AssignParams::for_depth(4);
+    let joins = 25usize;
+    // 24 members join sequentially; the last join starts at 200 s.
+    let late_start = 200_000_000u64;
+    let mut times: Vec<u64> = (0..24).map(|i| i as u64 * 5_000_000).collect();
+    times.push(late_start);
+    // Sweep the overlap: departures land from 10 ms to 2 s into the
+    // in-flight join, covering every protocol phase of the joiner.
+    for offset in [10_000u64, 50_000, 100_000, 500_000, 1_000_000, 2_000_000] {
+        let leaves: Vec<(usize, u64)> =
+            vec![(5, late_start + offset), (17, late_start + offset / 2)];
+        let out = run_distributed_session(&spec, &params, 2, &network, joins, &times, &leaves);
+        assert_eq!(
+            out.members.len(),
+            joins - 2,
+            "offset {offset}: survivors only"
+        );
+        let ids: Vec<_> = out.members.iter().map(|m| m.id.clone()).collect();
+        for (m, t) in out.members.iter().zip(&out.tables) {
+            for r in t.iter_all() {
+                assert!(
+                    ids.contains(&r.member.id),
+                    "offset {offset}: {} holds ghost record of departed {}",
+                    m.id,
+                    r.member.id
+                );
+            }
+        }
+        check_consistency(&spec, &out.members, &out.tables, 1)
+            .unwrap_or_else(|v| panic!("offset {offset}: {v}"));
+    }
+}

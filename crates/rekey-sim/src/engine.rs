@@ -79,14 +79,20 @@ struct Delivery<M> {
 /// time` (see [`Simulation::set_egress`]).
 type EgressFn<M> = Box<dyn FnMut(NodeId, &M) -> SimTime>;
 
+/// Message-drop hook: `(sender, receiver, msg) -> drop?` (see
+/// [`Simulation::with_loss`]).
+type DropFn<M> = Box<dyn FnMut(NodeId, NodeId, &M) -> bool>;
+
 pub struct Simulation<N: Node, F> {
     nodes: Vec<N>,
+    alive: Vec<bool>,
     scheduler: Scheduler<Delivery<N::Msg>>,
     delay: F,
     outbox: Vec<Outgoing<N::Msg>>,
     delivered: u64,
     dropped: u64,
-    drop: Option<Box<dyn FnMut(NodeId, NodeId) -> bool>>,
+    dead_letters: u64,
+    drop: Option<DropFn<N::Msg>>,
     egress: Option<EgressFn<N::Msg>>,
     busy_until: Vec<SimTime>,
 }
@@ -111,17 +117,54 @@ where
     /// function.
     pub fn new(nodes: Vec<N>, delay: F) -> Simulation<N, F> {
         let busy_until = vec![0; nodes.len()];
+        let alive = vec![true; nodes.len()];
         Simulation {
             nodes,
+            alive,
             scheduler: Scheduler::new(),
             delay,
             outbox: Vec::new(),
             delivered: 0,
             dropped: 0,
+            dead_letters: 0,
             drop: None,
             egress: None,
             busy_until,
         }
+    }
+
+    /// Adds a node to a running simulation and returns its id. The node
+    /// receives nothing until a message is addressed to it (via
+    /// [`Simulation::inject_at`] or another node's send).
+    pub fn spawn(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        self.alive.push(true);
+        self.busy_until.push(0);
+        id
+    }
+
+    /// Marks `id` as crashed: every delivery addressed to it from now on —
+    /// including messages already in flight and its own pending timers —
+    /// is silently discarded (counted by [`Simulation::dead_letters`]).
+    /// The node's state is retained for post-mortem inspection. Returns
+    /// `false` if the node was already dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        std::mem::replace(&mut self.alive[id.0], false)
+    }
+
+    /// `true` while `id` has not been [`Simulation::kill`]ed.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.0]
+    }
+
+    /// Deliveries discarded because the destination was killed.
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letters
     }
 
     /// Installs an egress-serialisation model: `cost(from, msg)` is the
@@ -137,8 +180,13 @@ where
 
     /// Installs a message-loss model: network sends (not `send_after`
     /// timers) for which `drop` returns `true` are silently discarded, as
-    /// on a lossy UDP path. Returns `self` for chaining.
-    pub fn with_loss(mut self, drop: impl FnMut(NodeId, NodeId) -> bool + 'static) -> Self {
+    /// on a lossy UDP path. The hook sees the message, so a model can
+    /// target one traffic class (e.g. bulk rekey copies) while control
+    /// traffic stays reliable. Returns `self` for chaining.
+    pub fn with_loss(
+        mut self,
+        drop: impl FnMut(NodeId, NodeId, &N::Msg) -> bool + 'static,
+    ) -> Self {
         self.drop = Some(Box::new(drop));
         self
     }
@@ -188,7 +236,7 @@ where
             match out {
                 Outgoing::Send { to, msg } => {
                     if let Some(drop) = self.drop.as_mut() {
-                        if drop(from, to) {
+                        if drop(from, to, &msg) {
                             self.dropped += 1;
                             continue;
                         }
@@ -218,9 +266,13 @@ where
         let Some((now, delivery)) = self.scheduler.pop() else {
             return false;
         };
-        self.delivered += 1;
         let Delivery { from, to, msg } = delivery;
         debug_assert!(to.0 < self.nodes.len(), "delivery to unknown node");
+        if !self.alive[to.0] {
+            self.dead_letters += 1;
+            return true;
+        }
+        self.delivered += 1;
         let mut ctx = Ctx {
             now,
             self_id: to,
@@ -238,29 +290,12 @@ where
     }
 
     /// Runs until the clock would pass `deadline` or the queue drains.
-    /// Events at exactly `deadline` are processed.
+    /// Events at exactly `deadline` are processed; the clock never
+    /// advances beyond `deadline`, so external injections at the deadline
+    /// instant (churn-trace joins, kills) remain valid afterwards.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        loop {
-            match self.scheduler.pop() {
-                None => break,
-                Some((now, delivery)) if now > deadline => {
-                    // Put it back conceptually by re-scheduling; `pop`
-                    // already advanced the clock, which is fine because we
-                    // re-schedule at the same instant.
-                    self.scheduler.schedule_at(now, delivery);
-                    break;
-                }
-                Some((now, Delivery { from, to, msg })) => {
-                    self.delivered += 1;
-                    let mut ctx = Ctx {
-                        now,
-                        self_id: to,
-                        outbox: &mut self.outbox,
-                    };
-                    self.nodes[to.0].receive(&mut ctx, from, msg);
-                    self.flush_outbox(to);
-                }
-            }
+        while matches!(self.scheduler.next_time(), Some(at) if at <= deadline) {
+            self.step();
         }
         self.scheduler.now()
     }
@@ -356,7 +391,7 @@ mod tests {
             }
         }
         let mut s = Simulation::new(vec![Echo { got: 0 }, Echo { got: 0 }], |_, _| 1)
-            .with_loss(|_, _| true);
+            .with_loss(|_, _, _| true);
         s.inject_at(0, NodeId(0), NodeId(0), 3);
         s.run_until_idle();
         assert_eq!(s.dropped(), 1, "the network send was dropped");
@@ -395,10 +430,68 @@ mod tests {
         let mut s = sim([100, 100]);
         s.inject_at(0, NodeId(0), NodeId(1), 0);
         s.run_until(25);
-        assert_eq!(s.now(), 25.max(s.now()).min(30));
+        assert_eq!(s.now(), 20, "clock holds at the last event <= deadline");
         let before = s.delivered();
         assert_eq!(before, 3); // t=0, 10, 20
+                               // Injecting at the deadline instant is still valid.
+        s.inject_at(25, NodeId(0), NodeId(1), 0);
         s.run_until_idle();
         assert!(s.delivered() > before);
+    }
+
+    #[test]
+    fn loss_hook_filters_sends_by_payload() {
+        struct Fan {
+            got: Vec<u32>,
+        }
+        impl Node for Fan {
+            type Msg = u32;
+            fn receive(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+                if msg == 100 {
+                    for m in 0..6u32 {
+                        ctx.send(NodeId(1), m);
+                    }
+                } else {
+                    self.got.push(msg);
+                }
+            }
+        }
+        let nodes = vec![Fan { got: vec![] }, Fan { got: vec![] }];
+        let mut s = Simulation::new(nodes, |_, _| 1).with_loss(|_, _, m: &u32| m % 2 == 1);
+        s.inject_at(0, NodeId(1), NodeId(0), 100);
+        s.run_until_idle();
+        assert_eq!(s.node(NodeId(1)).got, vec![0, 2, 4]);
+        assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn spawned_nodes_participate_and_killed_nodes_absorb() {
+        let mut s = sim([5, 5]);
+        let n2 = s.spawn(PingPong {
+            received: Vec::new(),
+            replies_left: 5,
+        });
+        assert_eq!(n2, NodeId(2));
+        assert!(s.is_alive(n2));
+        // The new node bounces with node 0 like any original node.
+        s.inject_at(0, NodeId(0), n2, 7);
+        s.run_until(15);
+        assert!(!s.node(n2).received.is_empty());
+
+        // Kill it mid-flight: node 0's reply is on the wire.
+        assert!(s.kill(n2));
+        assert!(!s.kill(n2), "double-kill reports already dead");
+        let seen = s.node(n2).received.len();
+        s.run_until_idle();
+        assert_eq!(
+            s.node(n2).received.len(),
+            seen,
+            "killed node receives nothing further"
+        );
+        assert!(
+            s.dead_letters() > 0,
+            "in-flight delivery became dead letter"
+        );
+        assert!(!s.is_alive(n2));
     }
 }

@@ -107,6 +107,12 @@ impl<E> Scheduler<E> {
         Some((entry.at, entry.event))
     }
 
+    /// Timestamp of the next pending event without popping it (the clock
+    /// does not advance).
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()

@@ -175,6 +175,32 @@ impl NeighborTable {
             .filter_map(move |&j| self.primary(i, j).map(|r| (j, r)))
     }
 
+    /// Iterates over the non-empty entries of row `i` in increasing `j`
+    /// order, walking the occupancy index rather than probing all `B`
+    /// columns. Forwarding fail-over (§2.3) uses this to scan each
+    /// `(i, j)` bucket for the first live neighbor.
+    pub fn entries_in_row(&self, i: usize) -> impl Iterator<Item = (u16, &TableEntry)> + '_ {
+        self.occupied[i]
+            .iter()
+            .map(move |&j| (j, &self.rows[i][usize::from(j)]))
+    }
+
+    /// Evicts every stored record for which `dead` returns `true` (e.g.
+    /// neighbors that stopped answering heartbeat pings, §3.2), keeping
+    /// the row-occupancy index consistent. Returns the evicted user IDs in
+    /// table order.
+    pub fn evict_where(&mut self, mut dead: impl FnMut(&NeighborRecord) -> bool) -> Vec<UserId> {
+        let victims: Vec<UserId> = self
+            .iter_all()
+            .filter(|r| dead(r))
+            .map(|r| r.member.id.clone())
+            .collect();
+        for id in &victims {
+            self.remove(id);
+        }
+        victims
+    }
+
     /// Iterates over every stored neighbor record.
     pub fn iter_all(&self) -> impl Iterator<Item = &NeighborRecord> {
         self.rows
@@ -280,5 +306,77 @@ mod tests {
         t.insert(rec([3, 0, 0], 20, 0));
         let row0: Vec<u16> = t.primaries_in_row(0).map(|(j, _)| j).collect();
         assert_eq!(row0, vec![0, 3]);
+    }
+
+    /// The occupancy index must agree with a brute-force scan of all
+    /// `B` columns: same columns, sorted, none empty.
+    fn assert_occupancy_consistent(t: &NeighborTable) {
+        for i in 0..t.spec().depth() {
+            let indexed: Vec<u16> = t.entries_in_row(i).map(|(j, _)| j).collect();
+            let brute: Vec<u16> = (0..t.spec().base())
+                .filter(|&j| !t.entry(i, j).is_empty())
+                .collect();
+            assert_eq!(indexed, brute, "row {i} occupancy index diverged");
+            assert!(indexed.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+            for (_, e) in t.entries_in_row(i) {
+                assert!(!e.is_empty(), "row {i} indexes an empty entry");
+            }
+        }
+    }
+
+    #[test]
+    fn evict_where_removes_matches_and_keeps_occupancy_index() {
+        let mut t = NeighborTable::new(&spec(), uid([1, 2, 3]), 2, PrimaryPolicy::SmallestRtt);
+        t.insert(rec([0, 0, 0], 10, 0));
+        t.insert(rec([0, 1, 0], 20, 0));
+        t.insert(rec([3, 0, 0], 30, 0));
+        t.insert(rec([1, 0, 0], 40, 0));
+        t.insert(rec([1, 2, 0], 50, 0));
+        assert_occupancy_consistent(&t);
+
+        // Evict everything slower than 25: empties entry (0, 3) but only
+        // thins entry (0, 0).
+        let gone = t.evict_where(|r| r.rtt > 25);
+        assert_eq!(gone.len(), 3);
+        assert!(gone.contains(&uid([3, 0, 0])));
+        assert_eq!(t.neighbor_count(), 2);
+        assert_occupancy_consistent(&t);
+        let row0: Vec<u16> = t.entries_in_row(0).map(|(j, _)| j).collect();
+        assert_eq!(row0, vec![0], "entry (0,3) must leave the index");
+
+        // Nothing matches: no-op, index untouched.
+        assert!(t.evict_where(|_| false).is_empty());
+        assert_occupancy_consistent(&t);
+
+        // Refill an evicted slot: the column re-enters the index in order.
+        assert!(t.insert(rec([3, 1, 0], 5, 0)));
+        assert_occupancy_consistent(&t);
+    }
+
+    #[test]
+    fn eviction_via_remove_churn_keeps_occupancy_index() {
+        let mut t = NeighborTable::new(&spec(), uid([0, 0, 0]), 2, PrimaryPolicy::SmallestRtt);
+        let peers = [
+            [1, 0, 0],
+            [1, 1, 0],
+            [2, 0, 0],
+            [3, 0, 0],
+            [0, 1, 0],
+            [0, 2, 0],
+            [0, 0, 1],
+            [0, 0, 3],
+        ];
+        for (n, p) in peers.iter().enumerate() {
+            t.insert(rec(*p, 10 + n as u64, 0));
+            assert_occupancy_consistent(&t);
+        }
+        for p in peers.iter().step_by(2) {
+            assert!(t.remove(&uid(*p)));
+            assert_occupancy_consistent(&t);
+        }
+        // Re-insert into partially emptied rows.
+        t.insert(rec([2, 2, 2], 1, 0));
+        t.insert(rec([0, 0, 1], 2, 0));
+        assert_occupancy_consistent(&t);
     }
 }

@@ -111,8 +111,11 @@ pub fn user_next_hops(table: &NeighborTable, level: usize) -> Vec<Hop<'_>> {
 }
 
 /// Like [`user_next_hops`], but skipping failed neighbors (§2.3 fail-over):
-/// per entry, the first live neighbor in RTT order receives the copy.
-/// Note: fail-over ranks by RTT regardless of the table's
+/// per entry, the first live neighbor in RTT order receives the copy, so a
+/// stale record (a silently crashed primary not yet evicted) falls back to
+/// the next neighbor in the same `(i, j)` bucket. Walks the table's
+/// row-occupancy index, so the cost is O(stored neighbors) rather than
+/// O(D·B). Note: fail-over ranks by RTT regardless of the table's
 /// [`rekey_table::PrimaryPolicy`]; combine with the cluster heuristic's
 /// leader-primary policy only when leaders are known to be alive.
 pub fn user_next_hops_with<'t>(
@@ -126,12 +129,8 @@ pub fn user_next_hops_with<'t>(
     }
     let mut hops = Vec::new();
     for row in level..depth {
-        for column in 0..table.spec().base() {
-            if let Some(neighbor) = table
-                .entry(row, column)
-                .iter()
-                .find(|r| alive(&r.member.id))
-            {
+        for (column, entry) in table.entries_in_row(row) {
+            if let Some(neighbor) = entry.iter().find(|r| alive(&r.member.id)) {
                 hops.push(Hop {
                     row,
                     column,
@@ -209,6 +208,50 @@ mod tests {
         assert_eq!(hops[0].neighbor.member.id, sibling.id);
         // At level D the user forwards nothing (line 2 of Fig. 2).
         assert!(user_next_hops(&t, 2).is_empty());
+    }
+
+    #[test]
+    fn failover_falls_back_within_the_same_bucket() {
+        let owner = member([0, 0], 0);
+        let near = member([2, 1], 1); // (0, 2) bucket, rtt 3 → primary
+        let backup = member([2, 3], 2); // (0, 2) bucket, rtt 8
+        let sibling = member([0, 1], 3); // (1, 1) bucket
+        let mut t = NeighborTable::new(&spec(), owner.id.clone(), 2, PrimaryPolicy::SmallestRtt);
+        t.insert(rec(&near, 3));
+        t.insert(rec(&backup, 8));
+        t.insert(rec(&sibling, 5));
+
+        // All alive: the bucket primary carries the copy.
+        let hops = user_next_hops_with(&t, 0, &|_| true);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].neighbor.member.id, near.id);
+
+        // The primary is a stale record (crashed, not yet evicted): the
+        // copy falls back to the next neighbor in the same (0, 2) bucket.
+        let dead = near.id.clone();
+        let hops = user_next_hops_with(&t, 0, &move |id| *id != dead);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].row, 0);
+        assert_eq!(hops[0].column, 2);
+        assert_eq!(hops[0].neighbor.member.id, backup.id);
+
+        // Whole bucket down: the entry produces no hop, others unaffected.
+        let (d1, d2) = (near.id.clone(), backup.id.clone());
+        let hops = user_next_hops_with(&t, 0, &move |id| *id != d1 && *id != d2);
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].neighbor.member.id, sibling.id);
+
+        // Occupancy-index walk agrees with the plain primary walk when
+        // everyone is alive.
+        let plain: Vec<_> = user_next_hops(&t, 0)
+            .into_iter()
+            .map(|h| (h.row, h.column, h.neighbor.member.id.clone()))
+            .collect();
+        let with: Vec<_> = user_next_hops_with(&t, 0, &|_| true)
+            .into_iter()
+            .map(|h| (h.row, h.column, h.neighbor.member.id.clone()))
+            .collect();
+        assert_eq!(plain, with);
     }
 
     #[test]

@@ -156,6 +156,41 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be ≤ 100")]
+    fn percentile_rejects_over_100() {
+        percentile(&[1, 2, 3], 101);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&[42], p), 42);
+        }
+    }
+
+    #[test]
+    fn percentile_extremes_hit_min_and_max() {
+        // Unsorted input; F = 100 must return the maximum, 0 the minimum.
+        let samples: Vec<Micros> = vec![7, 3, 11, 5, 2];
+        assert_eq!(percentile(&samples, 100), 11);
+        assert_eq!(percentile(&samples, 0), 2);
+    }
+
+    #[test]
+    fn percentile_is_duplicate_stable() {
+        let samples: Vec<Micros> = vec![4, 4, 4, 4];
+        for p in [0, 25, 50, 75, 100] {
+            assert_eq!(percentile(&samples, p), 4);
+        }
+    }
+
+    #[test]
     fn fraction_rdp_below_counts_reached_users_only() {
         let m = PathMetrics {
             stress: vec![0; 4],

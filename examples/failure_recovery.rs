@@ -1,104 +1,83 @@
-//! Failure recovery: T-mesh routing around crashed members (§2.3) and the
-//! distributed failure-notification/repair path (§3.2).
-//!
-//! Crashes a growing fraction of a 100-member group and shows that, with
-//! `K = 4` backup neighbors per table entry, the server's rekey multicast
-//! keeps reaching every survivor exactly once — forwarders silently fail
-//! over to the next live neighbor of the same entry. Then runs the
-//! message-level protocol simulation where survivors *notify* the server,
-//! which coordinates table repair.
+//! Failure recovery on the event-driven group runtime: silent crashes are
+//! detected by member heartbeats (§3.2), crashed members' records are
+//! evicted from the survivors' neighbor tables, the server broadcasts
+//! replacement candidates, and in the meantime rekey forwarding routes
+//! around the suspects by falling back to the next live neighbor of the
+//! same `(i, j)` table entry (§2.3, K = 4 backups).
 //!
 //! Run with: `cargo run --release --example failure_recovery`
 
 use group_rekeying::id::IdSpec;
-use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams};
-use group_rekeying::proto::distributed::run_distributed_session;
-use group_rekeying::proto::{AssignParams, Group};
-use group_rekeying::table::{check_consistency, PrimaryPolicy};
-use group_rekeying::tmesh::Source;
-use rand::{seq::SliceRandom, SeedableRng};
+use group_rekeying::net::{MatrixNetwork, PlanetLabParams};
+use group_rekeying::proto::{ChurnEvent, GroupConfig, GroupRuntime, RuntimeConfig};
+use group_rekeying::sim::seeded_rng;
+
+const SEC: u64 = 1_000_000;
 
 fn main() {
-    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(404);
-    let spec = IdSpec::PAPER;
-    let users = 100usize;
-
     let params = PlanetLabParams {
         continent_hosts: vec![50, 30, 15, 10],
         ..PlanetLabParams::default()
     };
-    let net = MatrixNetwork::synthetic_planetlab(&params, &mut rng);
-    let server = HostId(net.host_count() - 1);
-    let mut group = Group::new(
-        &spec,
-        server,
-        4,
-        PrimaryPolicy::SmallestRtt,
-        AssignParams::paper(),
-    );
-    for h in 0..users {
-        group.join(HostId(h), &net, h as u64).unwrap();
-    }
-    let mesh = group.tmesh();
+    let net = MatrixNetwork::synthetic_planetlab(&params, &mut seeded_rng(404));
+    let spec = IdSpec::new(4, 8).expect("valid spec");
+    let config = GroupConfig::for_spec(&spec).k(4).seed(404);
+    let mut rt = GroupRuntime::new(config, RuntimeConfig::default(), net);
 
-    println!("part 1: multicast fail-over with K = 4 backup neighbors\n");
-    println!("failed_members  survivors_reached  survivors_missed  duplicates");
-    for fail_pct in [0usize, 5, 10, 20, 30] {
-        let mut order: Vec<usize> = (0..users).collect();
-        order.shuffle(&mut rng);
-        let failed: Vec<usize> = order.into_iter().take(users * fail_pct / 100).collect();
-        let outcome = mesh.multicast_with_failures(&net, Source::Server, &failed);
-        let mut reached = 0;
-        let mut missed = 0;
-        let mut dupes = 0;
-        for i in 0..users {
-            let copies = outcome.deliveries(i).len();
-            if failed.contains(&i) {
-                assert_eq!(copies, 0, "failed members receive nothing");
-            } else {
-                match copies {
-                    0 => missed += 1,
-                    1 => reached += 1,
-                    _ => dupes += 1,
-                }
-            }
-        }
-        println!(
-            "{:>14}  {:>17}  {:>16}  {:>10}",
-            failed.len(),
-            reached,
-            missed,
-            dupes
-        );
-    }
-
-    println!("\npart 2: distributed failure notification and table repair\n");
-    // Run the message-level protocol: 40 joins, then a third of them
-    // "fail" (their leave doubles as the failure notification reaching the
-    // server, which broadcasts repair candidates).
-    let small_spec = IdSpec::new(4, 16).unwrap();
-    let times: Vec<u64> = (0..40).map(|i| i * 4_000_000).collect();
-    let failures: Vec<(usize, u64)> = (0..40)
-        .step_by(3)
-        .map(|n| (n, 300_000_000 + n as u64 * 1_000))
+    // 80 members join over the first two intervals; at t = 35 s a whole
+    // "rack" of 8 members crashes at the same instant — no LeaveRequest,
+    // no notification, their nodes simply absorb every message from then
+    // on. Only the steady-state heartbeats can find out.
+    let members = 80usize;
+    let crashed: Vec<usize> = (0..8).map(|i| i * 9 + 3).collect();
+    let mut trace: Vec<ChurnEvent> = (0..members as u64)
+        .map(|i| ChurnEvent::join(SEC + i * 200_000))
         .collect();
-    let out = run_distributed_session(
-        &small_spec,
-        &AssignParams::for_depth(4),
-        2,
-        &net,
-        40,
-        &times,
-        &failures,
-    );
+    for &victim in &crashed {
+        trace.push(ChurnEvent::crash(35 * SEC, victim));
+    }
+    rt.run_trace(&trace);
+    // Two heartbeat periods bound detection; run a few intervals past it.
+    rt.finish(101 * SEC);
+
+    let report = rt.report();
     println!(
-        "{} joined, {} failed, {} survivors",
-        40,
-        failures.len(),
-        out.members.len()
+        "group of {members}, K = 4; {} members crashed silently at t = 35 s\n",
+        crashed.len()
     );
-    check_consistency(&small_spec, &out.members, &out.tables, 1)
-        .expect("survivor tables repaired to 1-consistency");
-    println!("survivor tables repaired: 1-consistent, no ghost records");
-    println!("({} protocol messages end to end)", out.messages);
+    println!("rekey intervals completed   {:>8}", report.intervals);
+    println!("heartbeat pings sent        {:>8}", report.pings);
+    println!("stale records evicted       {:>8}", report.evictions);
+    println!(
+        "failures detected at server {:>8}",
+        report.failures_detected
+    );
+    println!("messages absorbed by dead   {:>8}", report.dead_letters);
+
+    assert_eq!(
+        report.failures_detected,
+        crashed.len() as u64,
+        "every crash is detected"
+    );
+    assert_eq!(rt.group().len(), members - crashed.len());
+
+    // The survivors' tables were repaired with the server's replacement
+    // candidates and are K-consistent again; every survivor kept pace
+    // with the rekey intervals throughout the outage window.
+    rt.check_consistency()
+        .expect("survivor tables repaired to K-consistency");
+    let server_interval = rt.server().interval();
+    for handle in 0..members {
+        if crashed.contains(&handle) {
+            continue;
+        }
+        let agent = rt.agent(handle).expect("survivor has keys");
+        assert_eq!(agent.interval(), server_interval, "survivor {handle} lags");
+    }
+    println!(
+        "\nsurvivor tables repaired: K-consistent, no ghost records; all {} survivors \
+         hold the interval-{} group key.",
+        members - crashed.len(),
+        server_interval
+    );
 }

@@ -1,99 +1,106 @@
-//! Pay-per-view broadcast with heavy churn (another motivating application
-//! from the paper's introduction): compares the three key-management
-//! strategies' rekey costs as the audience churns.
-//!
-//! Viewers constantly tune in and out; access control demands a group-key
-//! change every interval. This example pits the **modified key tree**, the
-//! **original Wong–Gouda–Lam tree** and the **cluster rekeying heuristic**
-//! against each other across intervals of increasing leave fraction —
-//! reproducing the Fig. 12 crossovers at example scale.
+//! Pay-per-view broadcast with heavy churn (a motivating application from
+//! the paper's introduction), driven end to end by the event-driven group
+//! runtime: the key server and every viewer are nodes on one simulated
+//! clock. Viewers tune in and out as messages; the periodic rekey fires as
+//! a timer; the rekey message travels hop-by-hop over the T-mesh overlay
+//! with 1% per-copy loss; viewers that miss an interval NACK the server
+//! and recover exactly their related encryptions via unicast.
 //!
 //! Run with: `cargo run --release --example pay_per_view_churn`
 
 use group_rekeying::id::IdSpec;
-use group_rekeying::keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree};
-use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams};
-use group_rekeying::proto::{AssignParams, Group};
-use group_rekeying::table::PrimaryPolicy;
-use rand::{Rng, SeedableRng};
+use group_rekeying::net::{MatrixNetwork, Network, PlanetLabParams};
+use group_rekeying::proto::{ChurnEvent, GroupConfig, GroupRuntime, RuntimeConfig};
+use group_rekeying::sim::seeded_rng;
+
+const SEC: u64 = 1_000_000;
 
 fn main() {
-    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(99);
-    let spec = IdSpec::PAPER;
-    let audience = 192usize;
-
     let params = PlanetLabParams {
-        continent_hosts: vec![300, 150, 80, 40], // room for churn
+        continent_hosts: vec![150, 80, 40, 30], // room for churn
         ..PlanetLabParams::default()
     };
-    let net = MatrixNetwork::synthetic_planetlab(&params, &mut rng);
-    let server = HostId(net.host_count() - 1);
-
-    // Grow the initial audience with topology-aware IDs.
-    let mut group = Group::new(
-        &spec,
-        server,
-        4,
-        PrimaryPolicy::SmallestRtt,
-        AssignParams::paper(),
-    );
-    let mut next_host = 0usize;
-    for t in 0..audience {
-        group.join(HostId(next_host), &net, t as u64).unwrap();
-        next_host += 1;
-    }
-    let ids: Vec<_> = group.members().iter().map(|m| m.id.clone()).collect();
-    let mut modified = ModifiedKeyTree::new(&spec);
-    modified.batch_rekey(&ids, &[], &mut rng).unwrap();
-    let mut original = OriginalKeyTree::balanced(4, &ids);
-    let mut cluster = ClusteredKeyTree::new(&spec);
-    cluster.batch_rekey(&ids, &[], &mut rng).unwrap();
-
-    println!("audience of {audience}; per-interval rekey cost (encryptions in the message)\n");
-    println!("leave_frac  joins leaves  modified  original  cluster  cluster_unicasts");
-
-    for step in 0..6u32 {
-        // Leave fraction ramps from ~3% to ~50% of the audience.
-        let leaves_n = (audience * (step as usize * 10 + 3)) / 100;
-        let joins_n = leaves_n; // audience size stays constant
-
-        let mut leaves = Vec::new();
-        for _ in 0..leaves_n {
-            let pick = rng.gen_range(0..group.len());
-            let id = group.members()[pick].id.clone();
-            group.leave(&id, &net).unwrap();
-            leaves.push(id);
-        }
-        let mut joins = Vec::new();
-        for _ in 0..joins_n {
-            let id = group
-                .join(HostId(next_host), &net, 1_000_000 + next_host as u64)
-                .unwrap()
-                .id;
-            next_host += 1;
-            joins.push(id);
-        }
-
-        let m = modified.batch_rekey(&joins, &leaves, &mut rng).unwrap();
-        let o = original.batch_rekey(&joins, &leaves);
-        let c = cluster.batch_rekey(&joins, &leaves, &mut rng).unwrap();
-
-        println!(
-            "{:>9.0}%  {:>5} {:>6}  {:>8}  {:>8}  {:>7}  {:>16}",
-            100.0 * leaves_n as f64 / audience as f64,
-            joins_n,
-            leaves_n,
-            m.cost(),
-            o.cost(),
-            c.cost(),
-            c.leader_unicasts,
-        );
-    }
-
+    let net = MatrixNetwork::synthetic_planetlab(&params, &mut seeded_rng(99));
     println!(
-        "\nAs in Fig. 12: the modified tree pays more than the original for the same churn, \
-         and the cluster heuristic claws most of that back. At the paper's 1024-user scale \
-         (denser bottom clusters — see `cargo run -p rekey-bench --bin fig12`) the heuristic \
-         drops below the original tree until leaves dominate."
+        "pay-per-view: {} hosts, 4-digit IDs, K = 4, 10 s rekey intervals, 1% copy loss\n",
+        net.host_count()
+    );
+
+    let spec = IdSpec::new(4, 8).expect("valid spec");
+    let config = GroupConfig::for_spec(&spec).k(4).seed(99);
+    let runtime_config = RuntimeConfig {
+        loss: 0.01,
+        seed: 99,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = GroupRuntime::new(config, runtime_config, net);
+
+    // The audience tunes in during the first interval…
+    let audience = 160usize;
+    let mut trace: Vec<ChurnEvent> = (0..audience as u64)
+        .map(|i| ChurnEvent::join(SEC + i * 50_000))
+        .collect();
+    // …then churns: every interval from 30 s on, one viewer tunes out and
+    // a fresh one tunes in (audience size stays constant).
+    let churn_intervals = 12u64;
+    for i in 0..churn_intervals {
+        let t = 30 * SEC + i * 10 * SEC;
+        trace.push(ChurnEvent::leave(t, (i as usize * 13) % audience));
+        trace.push(ChurnEvent::join(t + 2 * SEC));
+    }
+    rt.run_trace(&trace);
+    rt.finish(165 * SEC);
+
+    let report = rt.report();
+    println!("intervals completed        {:>8}", report.intervals);
+    println!(
+        "viewers (joined/left/now)  {:>8}",
+        format!("{}/{}/{}", report.joins, report.departures, report.members)
+    );
+    println!("overlay rekey copies       {:>8}", report.forward_copies);
+    println!("copies lost (1%)           {:>8}", report.copies_lost);
+    println!("NACKs -> unicast recovery  {:>8}", report.nacks);
+    println!(
+        "recovered encryptions      {:>8}",
+        report.recovery_encryptions
+    );
+
+    // Access control held: every current viewer decrypts the stream frame
+    // sealed under the final group key; tuned-out viewers cannot.
+    rt.check_consistency()
+        .expect("viewer tables are K-consistent");
+    let departed: Vec<usize> = (0..churn_intervals as usize)
+        .map(|i| (i * 13) % audience)
+        .collect();
+    let mut rng = seeded_rng(0xF1);
+    let sealer = (0..rt.member_count())
+        .find(|h| !departed.contains(h))
+        .expect("a viewer survived");
+    let frame = rt
+        .agent(sealer)
+        .expect("surviving viewer has keys")
+        .seal_data(b"frame 4711", &mut rng)
+        .expect("viewer holds the group key");
+    let mut current = 0usize;
+    for handle in 0..rt.member_count() {
+        if departed.contains(&handle) {
+            assert!(
+                rt.agent(handle).is_none(),
+                "tuned-out viewer {handle} kept its keys"
+            );
+            continue;
+        }
+        let viewer = rt.agent(handle).expect("current viewer has keys");
+        assert_eq!(
+            viewer
+                .open_data(&frame)
+                .expect("current key opens the frame"),
+            b"frame 4711"
+        );
+        current += 1;
+    }
+    println!(
+        "\nall {current} current viewers decrypt the stream; every tuned-out viewer lost \
+         access at the interval boundary (forward/backward secrecy via batch rekeying)."
     );
 }

@@ -4,8 +4,9 @@
 #
 #   scripts/ci.sh
 #
-# Runs the release build, the full test suite, the formatting check and
-# clippy with warnings denied — the same bar every PR must clear.
+# Runs the release build, the full test suite, the runtime soak, the
+# formatting check, clippy and rustdoc with warnings denied — the same
+# bar every PR must clear.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,10 +17,16 @@ cargo build --offline --release --workspace --all-targets
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> runtime soak (1k members, 50+ intervals, churn + 2% loss)"
+cargo test --offline --release -q --test runtime_soak -- --ignored
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 
 echo "==> ci.sh: all green"

@@ -122,3 +122,82 @@ fn distributed_join_protocol_is_deterministic() {
     assert_eq!(a.messages, b.messages);
     assert_eq!(a.finished_at, b.finished_at);
 }
+
+#[test]
+fn lossy_transport_is_deterministic_in_the_loss_seed() {
+    use group_rekeying::proto::lossy_rekey_transport;
+    let fingerprint = |loss_seed: u64| -> (u64, u64, Vec<usize>, Vec<u64>) {
+        let (net, mut group) = grow(21);
+        let mut rng = seeded_rng(0x21);
+        let ids: Vec<UserId> = group.members().iter().map(|m| m.id.clone()).collect();
+        let mut tree = ModifiedKeyTree::new(group.spec());
+        tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+        let leaver = ids[4].clone();
+        group.leave(&leaver, &net).unwrap();
+        let out = tree.batch_rekey(&[], &[leaver], &mut rng).unwrap();
+        let report = lossy_rekey_transport(
+            &group.tmesh(),
+            &net,
+            &out.encryptions,
+            0.3,
+            &mut seeded_rng(loss_seed),
+        );
+        (
+            report.copies_lost,
+            report.recovery_encryptions,
+            report.recovering_members,
+            report.received,
+        )
+    };
+    assert_eq!(fingerprint(5), fingerprint(5), "same loss seed, same run");
+    assert_ne!(
+        fingerprint(5),
+        fingerprint(6),
+        "a different loss seed must change which copies drop"
+    );
+}
+
+#[test]
+fn group_runtime_is_deterministic_under_loss_and_churn() {
+    use group_rekeying::proto::{ChurnEvent, GroupConfig, GroupRuntime, RuntimeConfig};
+    const SEC: u64 = 1_000_000;
+    let fingerprint = |seed: u64| {
+        let mut rng = seeded_rng(0x77);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let spec = IdSpec::new(3, 8).unwrap();
+        let config = GroupConfig::for_spec(&spec).k(2).seed(3);
+        let runtime_config = RuntimeConfig {
+            loss: 0.25,
+            seed,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = GroupRuntime::new(config, runtime_config, net);
+        let trace: Vec<ChurnEvent> = (0..10)
+            .map(|i| ChurnEvent::join(SEC + i * 250_000))
+            .chain([
+                ChurnEvent::leave(35 * SEC, 2),
+                ChurnEvent::crash(41 * SEC, 6),
+            ])
+            .collect();
+        rt.run_trace(&trace);
+        rt.finish(95 * SEC);
+        let report = rt.report();
+        let key = rt.server().tree().group_key().cloned();
+        let intervals: Vec<u64> = (0..10)
+            .filter_map(|m| rt.agent(m).map(|a| a.interval()))
+            .collect();
+        (
+            report.delivered,
+            report.copies_lost,
+            report.nacks,
+            report.recovery_encryptions,
+            report.evictions,
+            key,
+            intervals,
+        )
+    };
+    assert_eq!(fingerprint(1), fingerprint(1), "runtime replays exactly");
+    let (_, lost_a, ..) = fingerprint(1);
+    let (_, lost_b, ..) = fingerprint(2);
+    assert!(lost_a > 0 && lost_b > 0, "loss fired in both runs");
+}
