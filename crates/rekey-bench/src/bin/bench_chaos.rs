@@ -1,0 +1,159 @@
+//! Measures self-healing recovery under composable fault plans.
+//!
+//! Two sweeps over the event-driven group runtime (128 members, steady
+//! leave+join churn):
+//!
+//! 1. **Loss sweep** — the same stationary mean loss rate injected two
+//!    ways, i.i.d. per copy vs. Gilbert–Elliott bursts. Bursts take out
+//!    consecutive copies of the *same* interval on the *same* sender, so
+//!    they should cost more NACK/unicast recovery traffic per lost copy
+//!    and a higher apply delay than the same average rate spread
+//!    independently.
+//! 2. **Partition sweep** — a two-way partition (the server keeps one
+//!    cell) of increasing duration. The heartbeat detector evicts a
+//!    neighbor after a single unanswered ping, so any cut long enough to
+//!    swallow a ping wrongfully departs cross-cell neighbors; duration
+//!    then scales the damage (lost copies, control retransmissions) while
+//!    the rejoin/resync machinery caps the recovery latency.
+//!
+//! Recovery latency is the mean interval apply delay — the time from a
+//! rekey interval's multicast to a member actually applying it, averaged
+//! over every (member, interval) pair — so loss-free delivery sets the
+//! baseline and every recovery path (NACK unicast, resync, rejoin) adds
+//! its round trips on top. Recovery bytes converts NACK-answered
+//! encryptions to wire bytes. Prints the committed `BENCH_chaos.json` to
+//! stdout; progress goes to stderr. Run with `--release`.
+
+use rekey_bench::churn_runtime_fixture;
+use rekey_proto::{chaos, GroupRuntime, RuntimeConfig, RuntimeReport};
+use rekey_sim::{FaultPlan, GilbertElliott};
+
+/// Serialized size of one `Encryption` on the wire (same accounting as
+/// `bench_runtime`).
+const ENCRYPTION_WIRE_BYTES: u64 = 2 * (6 + 8) + 12 + 32 + 8;
+
+const SEC: u64 = 1_000_000;
+const MEMBERS: usize = 128;
+const CHURN_INTERVALS: u64 = 6;
+const SEED: u64 = 0xC4A0;
+
+/// A Gilbert–Elliott profile with `moderate()`'s burst shape (bad bursts
+/// of mean length 4 copies at 60% loss) re-balanced to a target
+/// stationary mean loss rate.
+fn burst_profile(mean: f64) -> GilbertElliott {
+    let base = GilbertElliott::moderate();
+    // mean = (1 − πb)·loss_good + πb·loss_bad  ⇒  solve for πb, then for
+    // p_enter_bad holding the mean burst length (1 / p_exit_bad) fixed.
+    let pi_bad = (mean - base.loss_good) / (base.loss_bad - base.loss_good);
+    assert!((0.0..1.0).contains(&pi_bad), "mean out of profile range");
+    let p_enter_bad = pi_bad * base.p_exit_bad / (1.0 - pi_bad);
+    let profile = GilbertElliott {
+        p_enter_bad,
+        ..base
+    };
+    assert!((profile.mean_loss() - mean).abs() < 1e-9);
+    profile
+}
+
+struct Outcome {
+    report: RuntimeReport,
+    /// Mean µs from interval multicast to member apply, over all
+    /// (member, interval) applications.
+    apply_delay_us: f64,
+}
+
+fn run_plan(plan: FaultPlan, finish: u64) -> Outcome {
+    let (net, config, trace, fixture_finish) =
+        churn_runtime_fixture(MEMBERS, CHURN_INTERVALS, SEED);
+    let runtime_config = RuntimeConfig {
+        seed: SEED,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = GroupRuntime::new(config, runtime_config, net).with_faults(plan);
+    rt.run_trace(&trace);
+    rt.finish(fixture_finish.max(finish));
+    let (mut delay_total, mut applied) = (0u64, 0u64);
+    for m in 0..rt.member_count() {
+        let stats = rt.member_stats(m);
+        delay_total += stats.apply_delay_total;
+        applied += stats.intervals_applied;
+    }
+    Outcome {
+        report: rt.report(),
+        apply_delay_us: delay_total as f64 / applied.max(1) as f64,
+    }
+}
+
+fn print_common(label: &str, out: &Outcome, trailing_comma: bool) {
+    let rep = &out.report;
+    println!("      \"{label}\": {{");
+    println!("        \"copies_lost\": {},", rep.copies_lost);
+    println!("        \"nacks\": {},", rep.nacks);
+    println!(
+        "        \"recovery_encryptions\": {},",
+        rep.recovery_encryptions
+    );
+    println!(
+        "        \"recovery_bytes\": {},",
+        rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES
+    );
+    println!("        \"retransmissions\": {},", rep.retransmissions);
+    println!("        \"resyncs\": {},", rep.resyncs);
+    println!("        \"rejoins\": {},", rep.rejoins);
+    println!("        \"apply_delay_us\": {:.1}", out.apply_delay_us);
+    println!("      }}{}", if trailing_comma { "," } else { "" });
+}
+
+fn main() {
+    let loss_rates = [0.02f64, 0.05, 0.10];
+    let partition_secs = [0u64, 6, 12, 24];
+
+    println!("{{");
+    println!(
+        "  \"bench\": \"GroupRuntime self-healing: {MEMBERS} members, {CHURN_INTERVALS} churn intervals, composable fault plans\","
+    );
+    println!(
+        "  \"unit\": \"recovery traffic (bytes) and mean interval apply delay (us, multicast to member apply)\","
+    );
+
+    println!("  \"loss_sweep\": [");
+    for (i, &rate) in loss_rates.iter().enumerate() {
+        eprintln!("bench_chaos: loss sweep {rate:.2} (iid vs burst)…");
+        let iid = run_plan(FaultPlan::new().iid_loss(rate), 0);
+        let burst = run_plan(FaultPlan::new().burst_loss(burst_profile(rate)), 0);
+        println!("    {{");
+        println!("      \"mean_loss\": {rate:.2},");
+        print_common("iid", &iid, true);
+        print_common("burst", &burst, false);
+        println!("    }}{}", if i + 1 < loss_rates.len() { "," } else { "" });
+    }
+    println!("  ],");
+
+    println!("  \"partition_sweep\": [");
+    for (i, &secs) in partition_secs.iter().enumerate() {
+        eprintln!("bench_chaos: two-way partition for {secs} s…");
+        // Cover every join handle the fixture can produce so late churn
+        // joiners land in a real cell instead of the implicit extra one.
+        let cells = chaos::modulo_cells(MEMBERS + CHURN_INTERVALS as usize, 2);
+        let plan = if secs == 0 {
+            FaultPlan::new()
+        } else {
+            FaultPlan::new().partition(cells, 30 * SEC, (30 + secs) * SEC)
+        };
+        // A tail after the heal so wrongful departs finish rejoining.
+        let out = run_plan(plan, (30 + secs + 60) * SEC);
+        println!("    {{");
+        println!("      \"partition_secs\": {secs},");
+        print_common("result", &out, false);
+        println!(
+            "    }}{}",
+            if i + 1 < partition_secs.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

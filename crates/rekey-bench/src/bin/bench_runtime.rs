@@ -93,9 +93,12 @@ fn main() {
             rep.recovery_encryptions
         );
         println!(
-            "      \"recovery_bytes\": {}",
+            "      \"recovery_bytes\": {},",
             rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES
         );
+        println!("      \"dead_letters\": {},", rep.dead_letters);
+        println!("      \"suppressed\": {},", rep.suppressed);
+        println!("      \"delivered\": {}", rep.delivered);
         println!("    }}{comma}");
     }
     println!("  ]");

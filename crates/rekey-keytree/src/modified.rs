@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use rand::Rng;
-use rekey_crypto::{Encryption, Key};
+use rekey_crypto::{Encryption, Key, KeyMaterial};
 use rekey_id::{IdPrefix, IdSpec, IdTree, UserId};
 
 /// Errors produced by key-tree batch operations.
@@ -56,6 +56,17 @@ struct TreeNode {
     children: BTreeSet<u16>,
 }
 
+/// A key for a node being (re)created: version 0 for a first-time ID, or
+/// one past the retired version when a node with this ID was pruned
+/// before, so a `(node ID, version)` pair is never reused across
+/// incarnations.
+fn fresh_key<R: Rng + ?Sized>(retired: &BTreeMap<IdPrefix, u64>, id: IdPrefix, rng: &mut R) -> Key {
+    match retired.get(&id) {
+        Some(&v) => Key::new(id, v + 1, KeyMaterial::random(rng)),
+        None => Key::random(id, rng),
+    }
+}
+
 /// The modified key tree.
 ///
 /// * Nodes are identified by ID prefixes; a node of ID length `D` is a
@@ -90,6 +101,15 @@ struct TreeNode {
 pub struct ModifiedKeyTree {
     spec: IdSpec,
     nodes: BTreeMap<IdPrefix, TreeNode>,
+    /// Last key version of every node ever pruned. A node recreated at an
+    /// ID that was used before resumes its version counter past the
+    /// retired value instead of restarting at 0, so a `(node ID, version)`
+    /// pair never names two different key materials over the tree's
+    /// lifetime. Without this, a receiver holding keys from a pruned
+    /// incarnation (e.g. a departed member that has not yet learned of its
+    /// departure) could see a same-ID same-version encryption it cannot
+    /// open — or worse, silently skip a key it actually needs.
+    retired: BTreeMap<IdPrefix, u64>,
 }
 
 impl ModifiedKeyTree {
@@ -98,6 +118,7 @@ impl ModifiedKeyTree {
         ModifiedKeyTree {
             spec: *spec,
             nodes: BTreeMap::new(),
+            retired: BTreeMap::new(),
         }
     }
 
@@ -212,7 +233,9 @@ impl ModifiedKeyTree {
         // equals u.ID[0 : i−1] is deleted if the k-node does not have any
         // descendants."
         for u in leaves {
-            self.nodes.remove(&u.as_prefix());
+            if let Some(node) = self.nodes.remove(&u.as_prefix()) {
+                self.retired.insert(u.as_prefix(), node.key.version());
+            }
             for level in (0..depth).rev() {
                 let id = u.prefix(level);
                 let child_digit = u.digit(level);
@@ -224,7 +247,8 @@ impl ModifiedKeyTree {
                         .remove(&child_digit);
                 }
                 if self.nodes[&id].children.is_empty() {
-                    self.nodes.remove(&id);
+                    let node = self.nodes.remove(&id).expect("node was just inspected");
+                    self.retired.insert(id.clone(), node.key.version());
                     changed.remove(&id);
                 } else {
                     changed.insert(id);
@@ -236,19 +260,23 @@ impl ModifiedKeyTree {
         // u-node with ID u.ID. At each level i … a k-node with ID
         // u.ID[0 : i−1] is added if such a k-node does not exist."
         for u in joins {
+            let leaf_key = fresh_key(&self.retired, u.as_prefix(), rng);
             self.nodes.insert(
                 u.as_prefix(),
                 TreeNode {
-                    key: Key::random(u.as_prefix(), rng),
+                    key: leaf_key,
                     children: BTreeSet::new(),
                 },
             );
             for level in (0..depth).rev() {
                 let id = u.prefix(level);
-                let node = self.nodes.entry(id.clone()).or_insert_with(|| TreeNode {
-                    key: Key::random(id.clone(), rng),
-                    children: BTreeSet::new(),
-                });
+                let node = match self.nodes.entry(id.clone()) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => e.insert(TreeNode {
+                        key: fresh_key(&self.retired, id.clone(), rng),
+                        children: BTreeSet::new(),
+                    }),
+                };
                 node.children.insert(u.digit(level));
                 changed.insert(id);
             }
@@ -382,6 +410,42 @@ mod tests {
             .is_none());
         let id_tree = IdTree::from_users(&spec(), [[2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)));
         assert!(tree.matches_id_tree(&id_tree));
+    }
+
+    /// A pruned node recreated at the same ID resumes its version counter
+    /// past the retired value: a `(node ID, version)` pair must never name
+    /// two different key materials over the tree's lifetime, or a receiver
+    /// holding keys from the pruned incarnation (a departed member that
+    /// has not yet learned of its departure) would be handed an encryption
+    /// it believes it can open but cannot.
+    #[test]
+    fn recreated_nodes_resume_retired_versions() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tree = fig4_tree(&mut rng);
+        let aux = IdPrefix::new(&spec(), vec![0]).unwrap();
+        // Rekey a few intervals so [0]'s version advances past creation.
+        tree.batch_rekey(&[], &[uid([0, 1])], &mut rng).unwrap();
+        tree.batch_rekey(&[uid([0, 1])], &[], &mut rng).unwrap();
+        let before = tree.key(&aux).unwrap().clone();
+        assert!(before.version() >= 2);
+
+        // Empty the subtree (pruning [0]), then recreate it; same for the
+        // leaf [0,0] — same-ID u-node incarnations must not collide either.
+        tree.batch_rekey(&[], &[uid([0, 0]), uid([0, 1])], &mut rng)
+            .unwrap();
+        assert!(tree.key(&aux).is_none());
+        tree.batch_rekey(&[uid([0, 0])], &[], &mut rng).unwrap();
+
+        let after = tree.key(&aux).unwrap();
+        assert!(
+            after.version() > before.version(),
+            "recreated [0] must continue past version {} (got {})",
+            before.version(),
+            after.version()
+        );
+        assert_ne!(after.material(), before.material());
+        let leaf = tree.key(&uid([0, 0]).as_prefix()).unwrap();
+        assert!(leaf.version() > 0, "recreated u-node resumes versions too");
     }
 
     #[test]

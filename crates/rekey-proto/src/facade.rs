@@ -86,7 +86,13 @@ impl GroupConfig {
     }
 
     /// Neighbor-table redundancy `K` (Definition 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 — a zero-redundancy table cannot satisfy
+    /// Definition 3 for any non-trivial membership.
     pub fn k(mut self, k: usize) -> GroupConfig {
+        assert!(k > 0, "neighbor-table redundancy K must be at least 1");
         self.k = k;
         self
     }
@@ -219,7 +225,11 @@ impl<'a> RekeyDelivery<'a> {
 /// }
 /// # Ok::<(), rekey_proto::GroupError>(())
 /// ```
-#[derive(Debug)]
+/// `Clone` snapshots the server's complete state — membership, key tree,
+/// pending requests, and RNG position — which is what the event-driven
+/// runtime's crash journal ([`crate::runtime::journal`]) checkpoints each
+/// interval.
+#[derive(Debug, Clone)]
 pub struct GroupServer {
     group: Group,
     tree: ModifiedKeyTree,
@@ -339,6 +349,26 @@ impl GroupServer {
             welcomes,
             departed: leaves,
         }
+    }
+
+    /// Re-derives the welcome packet of a *current* member: its ID and its
+    /// path keys as of the last completed interval. The event-driven
+    /// runtime's server-assisted resync uses this to bring a member that
+    /// fell behind the recovery path (or straddled a server restart) back
+    /// to the current key state in one unicast.
+    ///
+    /// Returns `None` when `id` is not keyed in the tree — e.g. a member
+    /// admitted during the current interval, whose first welcome packet is
+    /// still pending.
+    pub fn refresh_welcome(&self, id: &UserId) -> Option<WelcomePacket> {
+        if !self.tree.contains_user(id) {
+            return None;
+        }
+        Some(WelcomePacket {
+            keys: self.tree.user_path_keys(id),
+            id: id.clone(),
+            interval: self.interval,
+        })
     }
 
     /// Snapshots the current overlay for multicast sessions.

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod assign;
+pub mod chaos;
 pub mod concurrent;
 pub mod distributed;
 mod facade;

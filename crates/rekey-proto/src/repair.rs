@@ -19,10 +19,12 @@
 
 use rekey_id::UserId;
 
-/// Replacement candidates for `departed`, drawn from `members` (which must
-/// no longer contain the departed record itself): per level `c` from
-/// `depth − 1` down to `0`, up to `k` members sharing the first `c` digits
-/// with `departed`, deduplicated across levels. Iteration order of
+/// Replacement candidates for `departed`, drawn from `members`: per level
+/// `c` from `depth − 1` down to `0`, up to `k` members sharing the first
+/// `c` digits with `departed`, deduplicated across levels. A record whose
+/// ID equals `departed` is never picked, so a caller racing a departure
+/// broadcast (the membership snapshot still lists the failed node) cannot
+/// be handed the failed node as its own replacement. Iteration order of
 /// `members` is preserved within a level, so a deterministic input yields
 /// a deterministic candidate list.
 pub fn replacement_candidates<'a, T, I>(
@@ -44,7 +46,7 @@ where
                 break;
             }
             let id = id_of(r);
-            if prefix.is_prefix_of_id(id) && !out.iter().any(|x| id_of(x) == id) {
+            if id != departed && prefix.is_prefix_of_id(id) && !out.iter().any(|x| id_of(x) == id) {
                 out.push(r);
                 picked += 1;
             }
@@ -103,5 +105,54 @@ mod tests {
         let departed = UserId::new(&spec, vec![0, 0]).unwrap();
         let members: Vec<UserId> = Vec::new();
         assert!(replacement_candidates(2, 4, &departed, members.iter(), |id| id).is_empty());
+    }
+
+    /// A level with no prefix-sharing survivor (an empty table row)
+    /// contributes nothing, but shallower levels still fill in.
+    #[test]
+    fn empty_level_falls_through_to_shallower_levels() {
+        let spec = IdSpec::new(3, 4).unwrap();
+        let departed = uid(&spec, [1, 2, 3]);
+        // Nobody shares the 2-digit prefix [1,2]; one member shares [1].
+        let members = [uid(&spec, [1, 0, 0]), uid(&spec, [2, 2, 2])];
+        let picks = replacement_candidates(3, 2, &departed, members.iter(), |id| id);
+        assert_eq!(picks, vec![&members[0], &members[1]]);
+    }
+
+    /// Callers pass a pre-filtered iterator (e.g. suspects removed); when
+    /// the filter removes everyone, the candidate list is empty rather
+    /// than falling back to suspect records.
+    #[test]
+    fn fully_filtered_membership_yields_no_candidates() {
+        let spec = IdSpec::new(2, 4).unwrap();
+        let departed = UserId::new(&spec, vec![0, 0]).unwrap();
+        let members: Vec<UserId> = (1..4)
+            .map(|d| UserId::new(&spec, vec![0, d]).unwrap())
+            .collect();
+        let suspects: Vec<&UserId> = members.iter().collect();
+        let picks = replacement_candidates(
+            2,
+            2,
+            &departed,
+            members.iter().filter(|m| !suspects.contains(m)),
+            |id| id,
+        );
+        assert!(picks.is_empty());
+    }
+
+    /// A membership snapshot that still lists the departed member (the
+    /// race between a failure notice and the departure broadcast) never
+    /// hands the departed node back as its own replacement.
+    #[test]
+    fn departed_member_is_never_its_own_replacement() {
+        let spec = IdSpec::new(2, 4).unwrap();
+        let departed = UserId::new(&spec, vec![0, 0]).unwrap();
+        let members = [departed.clone(), UserId::new(&spec, vec![0, 1]).unwrap()];
+        let picks = replacement_candidates(2, 4, &departed, members.iter(), |id| id);
+        assert_eq!(picks, vec![&members[1]], "departed id must be skipped");
+
+        // Even when the departed id is the *only* entry at every level.
+        let only_self = [departed.clone()];
+        assert!(replacement_candidates(2, 4, &departed, only_self.iter(), |id| id).is_empty());
     }
 }

@@ -11,39 +11,72 @@
 //!
 //! # Message taxonomy
 //!
-//! * **Timers** (`send_after`, immune to loss): `IntervalTick` fires the
-//!   periodic rekey at the server (§1: "periodic batch rekeying"),
-//!   `HeartbeatTick` drives each member's neighbor pings (§3.2),
-//!   `IntervalCheck` is each member's NACK deadline per interval.
-//! * **Membership control** (reliable unicast): `JoinRequest` /
-//!   `JoinAccepted` admit a member into the overlay mid-interval (its keys
-//!   arrive in `Welcome` at the interval end); `LeaveRequest` retires one;
-//!   `NewMember` / `MemberLeft` carry the server-assisted table updates of
-//!   §3.2, the latter with [`crate::repair`] replacement candidates.
+//! * **Timers** (`send_after`, immune to loss and jitter): `IntervalTick`
+//!   fires the periodic rekey at the server (§1: "periodic batch
+//!   rekeying"), `HeartbeatTick` drives each member's neighbor pings
+//!   (§3.2), `IntervalCheck` is each member's NACK deadline per interval,
+//!   `RetryTick` drives the bounded-retry machinery. Every timer carries a
+//!   generation number so a restart can cancel a stale chain.
+//! * **Membership control** (unicast, retransmitted until acknowledged):
+//!   `JoinRequest` / `JoinAccepted` admit a member into the overlay
+//!   mid-interval (its keys arrive in `Welcome` at the interval end);
+//!   `LeaveRequest` / `LeaveAck` retire one — the ack is only sent after
+//!   the departure reaches the crash journal, so an acknowledged leave can
+//!   never roll back; `NewMember` / `MemberLeft` carry the server-assisted
+//!   table updates of §3.2 under a per-mutation sequence number, so a
+//!   member can detect (and resync across) any update it missed.
 //! * **Rekey transport** (`Forward`, subject to per-copy loss): the
 //!   `FORWARD` routine of Fig. 2 executed hop by hop, each copy carrying
 //!   the split index plus the served prefix (Fig. 5). `Nack` / `Recover`
 //!   implement the companion work's limited unicast recovery \[31\]: a
 //!   member that misses an interval fetches exactly its related set —
-//!   Lemma 3 makes the need locally checkable — from the server.
-//! * **Failure detection** (`Ping` / `Pong`): members ping every stored
-//!   neighbor each heartbeat period; an unanswered ping evicts the record
-//!   ([`NeighborTable::evict_where`]), notifies the server
-//!   (`FailureNotice`), and triggers the same repair broadcast as a leave.
-//!   Until eviction, forwarding routes around suspects by falling back to
-//!   the next neighbor in the same `(i, j)` bucket (§2.3).
+//!   Lemma 3 makes the need locally checkable — from the server. NACKs
+//!   retry with exponential backoff up to a cap, then escalate to a full
+//!   `ResyncRequest` / `Resync` snapshot.
+//! * **Failure detection** (`Ping` / `Pong`, `ServerPing` / `ServerPong`):
+//!   members ping every stored neighbor each heartbeat period; an
+//!   unanswered ping evicts the record ([`NeighborTable::evict_where`]),
+//!   notifies the server (`FailureNotice`, re-sent each beat until the
+//!   repair broadcast lands), and triggers the same repair as a leave.
+//!   Evicted records stay on probation: a suspect that answers a later
+//!   probe is reinstated, so a transient partition does not permanently
+//!   shrink tables. Each beat also pings the *server*, which either
+//!   vouches for the member (`ServerPong`, carrying the epoch, the
+//!   mutation sequence number, and the current interval — the member's
+//!   evidence for NACKs and resyncs) or disowns it (`NotMember`, after
+//!   which the member rejoins from scratch).
 //!
-//! # Failure model
+//! # Failure model and self-healing
 //!
 //! Crashed nodes are [`rekey_sim::Simulation::kill`]ed: they absorb all
-//! traffic silently. Only `Forward` copies are lossy (the bulk rekey
-//! payload on a UDP-like path); control traffic is reliable, matching the
-//! paper's assumption that notifications and unicast recovery ride TCP.
-//! Every surviving member holds the current group key once the run
-//! drains: a member with a pending gap NACKs it at its next check, and
+//! traffic silently. Only `Forward` copies are subject to the *loss
+//! model* (the bulk rekey payload on a UDP-like path); control traffic is
+//! reliable on a healthy network, matching the paper's assumption that
+//! notifications and unicast recovery ride TCP. On top of that,
+//! [`GroupRuntime::with_faults`] wires a [`FaultPlan`] into the run:
+//! partitions cut *all* traffic across cells, outages silence single
+//! nodes (including the server) for a window, jitter reorders messages,
+//! and i.i.d./burst loss thins the `Forward` stream. The protocol heals
+//! from each of these without outside help:
+//!
+//! * a member behind a partition keeps retransmitting its join or leave
+//!   with exponential backoff until the network heals;
+//! * a member wrongfully evicted during a partition learns its fate from
+//!   the server's `NotMember` and rejoins from scratch;
+//! * a member that missed membership updates (sequence gap) or rekey
+//!   intervals beyond the NACK retry cap resyncs from a server snapshot;
+//! * the server checkpoints itself into a [`journal::Journal`] after
+//!   every interval's multicast; a restart (modeled by a `Restart` event
+//!   at the outage window's end) restores the latest checkpoint, bumps
+//!   the *epoch*, and re-announces itself with an immediate interval, and
+//!   every member that observes the new epoch resyncs.
+//!
+//! Every surviving member holds the current group key once
+//! [`GroupRuntime::finish`] drains: the final flush rounds push each
+//! member its latest related set, members NACK any gap immediately, and
 //! the server answers from its per-interval history.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -51,15 +84,21 @@ use rand::Rng;
 use rekey_crypto::Encryption;
 use rekey_id::UserId;
 use rekey_net::{HostId, Micros, Network};
-use rekey_sim::{node_rng, seeded_rng, Ctx, Node, NodeId, SimTime, Simulation};
+use rekey_sim::{node_rng, seeded_rng, Ctx, FaultPlan, Node, NodeId, SimTime, Simulation};
 use rekey_table::{check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable};
 use rekey_tmesh::forward::{server_next_hops, user_next_hops_with};
 
 use crate::transport::{PrefixBuf, SplitIndex};
 use crate::{Group, GroupConfig, GroupServer, UserAgent, WelcomePacket};
 
+pub mod journal;
+
 /// The key server's node id: always node 0.
 const SERVER: NodeId = NodeId(0);
+
+/// Domain separator for the chaos injector's seed, so fault randomness is
+/// decoupled from the legacy loss stream and the heartbeat stagger.
+const CHAOS_SEED: u64 = 0x43_48_41_4F_53; // "CHAOS"
 
 fn node_of_host(h: HostId) -> NodeId {
     NodeId(h.0 + 1)
@@ -70,21 +109,32 @@ fn host_of_member_node(n: NodeId) -> HostId {
     HostId(n.0 - 1)
 }
 
-/// Timing, loss, and seeding knobs of a [`GroupRuntime`].
+/// Timing, loss, retry, and seeding knobs of a [`GroupRuntime`].
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {
     /// Rekey interval length (µs). The server batch-rekeys on this period.
+    /// Must be positive.
     pub rekey_period: SimTime,
     /// Heartbeat period (µs): how often each member pings its stored
     /// neighbors. A ping unanswered by the next beat evicts the neighbor.
+    /// Must be positive.
     pub heartbeat_period: SimTime,
     /// Grace after an interval boundary before a member NACKs a missing
-    /// rekey message; must exceed the worst overlay delivery delay.
+    /// rekey message; must be positive and should exceed the worst
+    /// overlay delivery delay (debug builds warn when it does not even
+    /// cover a server round trip).
     pub nack_grace: SimTime,
     /// Independent per-copy loss probability applied to `Forward` copies.
     pub loss: f64,
-    /// Seed for the runtime's randomness (loss draws, heartbeat stagger).
-    /// Independent of the [`GroupConfig`] key-generation seed.
+    /// First retransmit timeout (µs) of the bounded-retry machinery; each
+    /// further attempt doubles it. Must be positive.
+    pub retry_base: SimTime,
+    /// Retry attempt cap: the backoff exponent saturates here, and a NACK
+    /// that has been retried this many times escalates to a full resync.
+    pub retry_cap: u32,
+    /// Seed for the runtime's randomness (loss draws, heartbeat stagger,
+    /// fault injection). Independent of the [`GroupConfig`]
+    /// key-generation seed.
     pub seed: u64,
 }
 
@@ -95,6 +145,8 @@ impl Default for RuntimeConfig {
             heartbeat_period: 15_000_000,
             nack_grace: 2_000_000,
             loss: 0.0,
+            retry_base: 1_000_000,
+            retry_cap: 5,
             seed: 0,
         }
     }
@@ -154,21 +206,43 @@ impl ChurnEvent {
 pub struct IntervalMessage {
     /// The interval this message keys.
     pub interval: u64,
+    /// The server epoch that produced it (bumped on every restart).
+    pub epoch: u64,
+    /// When the server multicast it (recovery latency accounting).
+    pub sent_at: SimTime,
     /// The batch rekey encryptions.
     pub encryptions: Vec<Encryption>,
     /// Split index over the encryption IDs.
     pub index: SplitIndex,
 }
 
+impl std::fmt::Debug for IntervalMessage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntervalMessage")
+            .field("interval", &self.interval)
+            .field("epoch", &self.epoch)
+            .field("sent_at", &self.sent_at)
+            .field("encryptions", &self.encryptions.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Runtime protocol messages. See the module docs for the taxonomy.
 pub enum RtMsg {
     /// Server timer: end the current rekey interval.
-    IntervalTick,
-    /// Member timer: ping neighbors, evict the unresponsive.
-    HeartbeatTick,
-    /// Member timer: NACK intervals still missing past their deadline.
-    IntervalCheck,
-    /// Injected at a joining node; forwarded to the server.
+    IntervalTick {
+        /// Stale-chain guard; bumped on server restart.
+        gen: u64,
+    },
+    /// Injected by [`GroupRuntime::finish`]: process pending membership
+    /// work immediately and push every member its latest related set.
+    Flush,
+    /// Injected at a node when its outage window ends: the process comes
+    /// back up and re-arms its timers (the server additionally restores
+    /// its journal and bumps its epoch).
+    Restart,
+    /// Injected at a joining node; forwarded to the server and
+    /// retransmitted with backoff until `JoinAccepted`.
     JoinRequest,
     /// Server → joiner: admission into the overlay with a ready table.
     JoinAccepted {
@@ -176,31 +250,51 @@ pub enum RtMsg {
         member: Member,
         /// The joiner's neighbor table at admission time.
         table: Box<NeighborTable>,
+        /// Server epoch of the snapshot.
+        epoch: u64,
+        /// Mutation sequence number the snapshot reflects.
+        seq: u64,
     },
     /// Server → joiner at interval end: the key material.
     Welcome {
         /// Path keys and interval.
         welcome: WelcomePacket,
+        /// Server epoch issuing the keys.
+        epoch: u64,
         /// When the next interval ends, anchoring the NACK check timer.
         next_interval_at: SimTime,
     },
-    /// Server → members: insert a just-admitted member.
+    /// Server → members: insert a just-admitted member (mutation `seq`).
     NewMember {
         /// The new member.
         record: Member,
         /// RTT from the receiver to the new member.
         rtt: Micros,
+        /// Server epoch of the mutation.
+        epoch: u64,
+        /// Mutation sequence number; applied strictly in order.
+        seq: u64,
     },
-    /// Injected at a leaving node; forwarded to the server.
+    /// Injected at a leaving node; forwarded to the server and
+    /// retransmitted with backoff until `LeaveAck`.
     LeaveRequest,
-    /// Server → members: departure plus repair candidates (§3.2).
+    /// Server → leaver, once the departure has reached the journal.
+    LeaveAck,
+    /// Server → members: departure plus repair candidates (§3.2),
+    /// mutation `seq`.
     MemberLeft {
         /// Who departed.
         departed: UserId,
         /// Replacement candidates with receiver-personalized RTTs.
         replacements: Vec<(Member, Micros)>,
+        /// Server epoch of the mutation.
+        epoch: u64,
+        /// Mutation sequence number; applied strictly in order.
+        seq: u64,
     },
-    /// Member → server: a neighbor stopped answering pings.
+    /// Member → server: a neighbor stopped answering pings. Re-sent every
+    /// beat until the repair broadcast arrives, so a lost notice (server
+    /// outage, partition) only delays detection.
     FailureNotice {
         /// The suspect.
         failed: UserId,
@@ -225,6 +319,9 @@ pub enum RtMsg {
         interval: u64,
         /// Exactly the requester's related encryptions (Lemma 3).
         encryptions: Vec<Encryption>,
+        /// When the interval was originally multicast (latency
+        /// accounting).
+        sent_at: SimTime,
     },
     /// Member → neighbor: heartbeat probe.
     Ping {
@@ -236,6 +333,64 @@ pub enum RtMsg {
         /// Correlation token.
         token: u64,
     },
+    /// Member → server: heartbeat liveness/membership probe.
+    ServerPing {
+        /// The prober's own id, for the server to verify.
+        id: UserId,
+    },
+    /// Server → member: the prober is a member in good standing. Carries
+    /// the member's evidence triple.
+    ServerPong {
+        /// Current server epoch.
+        epoch: u64,
+        /// Latest mutation sequence number.
+        seq: u64,
+        /// Latest completed interval.
+        interval: u64,
+    },
+    /// Server → node: the probed or requested id is not (or no longer) a
+    /// member under this server. The node rejoins from scratch.
+    NotMember {
+        /// The id the server disowns.
+        id: UserId,
+    },
+    /// Member → server: request a full state snapshot (sequence gap,
+    /// epoch change, or NACK retries exhausted).
+    ResyncRequest {
+        /// The requester's id, for the server to verify.
+        id: UserId,
+    },
+    /// Server → member: a full state snapshot — record, table, and
+    /// current path keys.
+    Resync {
+        /// The member's record.
+        member: Member,
+        /// The member's neighbor table as the server computes it.
+        table: Box<NeighborTable>,
+        /// Current path keys and interval.
+        welcome: WelcomePacket,
+        /// Server epoch of the snapshot.
+        epoch: u64,
+        /// Mutation sequence number the snapshot reflects.
+        seq: u64,
+        /// When the next interval ends, re-anchoring the check timer.
+        next_interval_at: SimTime,
+    },
+    /// Member timer: ping neighbors, evict the unresponsive.
+    HeartbeatTick {
+        /// Stale-chain guard; bumped on member restart or rejoin.
+        gen: u64,
+    },
+    /// Member timer: NACK intervals still missing past their deadline.
+    IntervalCheck {
+        /// Stale-chain guard; bumped when the timer is re-anchored.
+        gen: u64,
+    },
+    /// Member timer: fire due retry entries.
+    RetryTick {
+        /// Stale-chain guard; bumped on every re-schedule.
+        gen: u64,
+    },
 }
 
 /// Knobs shared by every node of one runtime.
@@ -243,14 +398,25 @@ struct Shared {
     rekey_period: SimTime,
     heartbeat_period: SimTime,
     nack_grace: SimTime,
+    retry_base: SimTime,
+    retry_cap: u32,
     seed: u64,
     /// Set by [`GroupRuntime::finish`]: timers stop re-arming so the
-    /// event queue drains with all repairs and recoveries completed.
+    /// event queue drains with all repairs and recoveries completed;
+    /// retries fire immediately instead of waiting for a tick.
     shutdown: Cell<bool>,
 }
 
+impl Shared {
+    /// Exponential backoff: `retry_base << attempts`, with the exponent
+    /// saturated at the retry cap.
+    fn backoff(&self, attempts: u32) -> SimTime {
+        self.retry_base << attempts.min(self.retry_cap)
+    }
+}
+
 /// Server-side counters of one runtime session.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Completed rekey intervals.
     pub intervals: u64,
@@ -268,76 +434,80 @@ pub struct ServerStats {
     pub recovery_encryptions: u64,
     /// Welcome packets issued.
     pub welcomes: u64,
+    /// Full state snapshots served (`Resync` replies).
+    pub resyncs: u64,
+    /// Server restarts (journal restores + epoch bumps).
+    pub restarts: u64,
+    /// Checkpoints written to the journal.
+    pub checkpoints: u64,
+    /// Leave acknowledgements sent (each after a covering checkpoint).
+    pub leave_acks: u64,
 }
 
 struct RtServer<NET> {
     net: Rc<NET>,
     shared: Rc<Shared>,
     server: GroupServer,
+    /// Bumped on every restart; members resync when they observe a bump.
+    epoch: u64,
+    /// Membership-mutation sequence number (one per join/leave/failure).
+    seq: u64,
+    /// Stale-timer guard for `IntervalTick`; bumped on restart.
+    tick_gen: u64,
+    /// When the current interval ends (anchors member check timers).
+    next_interval_at: SimTime,
     /// Interval messages kept for unicast recovery.
     history: BTreeMap<u64, Rc<IntervalMessage>>,
+    /// The crash journal: one checkpoint per completed interval.
+    journal: journal::Journal,
+    /// Leavers to acknowledge once the next checkpoint covers their
+    /// departure (an acknowledged leave must never roll back).
+    pending_leave_acks: Vec<NodeId>,
     stats: ServerStats,
 }
 
 impl<NET: Network> RtServer<NET> {
     fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
         match msg {
-            RtMsg::IntervalTick => self.end_interval(ctx),
+            RtMsg::IntervalTick { gen } if gen == self.tick_gen => self.end_interval(ctx),
+            RtMsg::Flush => self.flush(ctx),
+            RtMsg::Restart => self.restart(ctx),
             RtMsg::JoinRequest => self.admit(ctx, from),
             RtMsg::LeaveRequest => {
                 let host = host_of_member_node(from);
-                let id = self
-                    .server
-                    .group()
-                    .members()
-                    .iter()
-                    .find(|m| m.host == host)
-                    .map(|m| m.id.clone());
+                let id = self.member_by_host(host).map(|m| m.id.clone());
                 if let Some(id) = id {
                     self.depart(ctx, id);
                 }
+                // Ack — even for an unknown host (the member's retransmit
+                // after its departure was checkpointed but the ack lost) —
+                // rides the next checkpoint, never earlier.
+                if !self.pending_leave_acks.contains(&from) {
+                    self.pending_leave_acks.push(from);
+                }
             }
             RtMsg::FailureNotice { failed } => {
+                // Ignore accusations from non-members: a wrongfully
+                // departed member behind a healed partition would
+                // otherwise depart half the group with its stale
+                // suspicions before its own `NotMember` lands.
+                if self.member_by_host(host_of_member_node(from)).is_none() {
+                    return;
+                }
                 if self.server.group().member(&failed).is_some() {
                     self.stats.failures_detected += 1;
                     self.depart(ctx, failed);
-                } else {
-                    // Already departed: the repair broadcast raced the
-                    // detector's stale observation. Answer it directly so
-                    // its table converges.
-                    let group = self.server.group();
-                    let host = host_of_member_node(from);
-                    let replacements: Vec<(Member, Micros)> =
-                        crate::repair::replacement_candidates(
-                            group.spec().depth(),
-                            group.k(),
-                            &failed,
-                            group.members().iter(),
-                            |m| &m.id,
-                        )
-                        .into_iter()
-                        .map(|c| (c.clone(), self.net.rtt(host, c.host)))
-                        .collect();
-                    ctx.send(
-                        from,
-                        RtMsg::MemberLeft {
-                            departed: failed,
-                            replacements,
-                        },
-                    );
                 }
+                // Already departed: the sequenced `MemberLeft` broadcast
+                // is already on its way to the accuser; nothing to do.
             }
             RtMsg::Nack { interval } => {
                 self.stats.nacks += 1;
                 let host = host_of_member_node(from);
-                let member = self
-                    .server
-                    .group()
-                    .members()
-                    .iter()
-                    .find(|m| m.host == host)
-                    .cloned();
+                let member = self.member_by_host(host).cloned();
                 let (Some(member), Some(message)) = (member, self.history.get(&interval)) else {
+                    // Unknown member or rolled-back interval: the prober's
+                    // heartbeat will sort it out (`NotMember` / epoch).
                     return;
                 };
                 let encryptions: Vec<Encryption> = message
@@ -351,6 +521,47 @@ impl<NET: Network> RtServer<NET> {
                     RtMsg::Recover {
                         interval,
                         encryptions,
+                        sent_at: message.sent_at,
+                    },
+                );
+            }
+            RtMsg::ServerPing { id } => {
+                if self.verified(&id, from) {
+                    ctx.send(
+                        from,
+                        RtMsg::ServerPong {
+                            epoch: self.epoch,
+                            seq: self.seq,
+                            interval: self.server.interval(),
+                        },
+                    );
+                } else {
+                    ctx.send(from, RtMsg::NotMember { id });
+                }
+            }
+            RtMsg::ResyncRequest { id } => {
+                if !self.verified(&id, from) {
+                    ctx.send(from, RtMsg::NotMember { id });
+                    return;
+                }
+                self.stats.resyncs += 1;
+                let group = self.server.group();
+                let idx = group.index_of(&id).expect("verified member has an index");
+                let member = group.members()[idx].clone();
+                let table = group.table(idx).clone();
+                let welcome = self
+                    .server
+                    .refresh_welcome(&id)
+                    .expect("verified member holds path keys");
+                ctx.send(
+                    from,
+                    RtMsg::Resync {
+                        member,
+                        table: Box::new(table),
+                        welcome,
+                        epoch: self.epoch,
+                        seq: self.seq,
+                        next_interval_at: self.next_interval_at,
                     },
                 );
             }
@@ -358,13 +569,39 @@ impl<NET: Network> RtServer<NET> {
         }
     }
 
+    fn member_by_host(&self, host: HostId) -> Option<&Member> {
+        self.server
+            .group()
+            .members()
+            .iter()
+            .find(|m| m.host == host)
+    }
+
+    /// `true` iff `id` is a member AND the claim comes from its host.
+    fn verified(&self, id: &UserId, from: NodeId) -> bool {
+        self.server
+            .group()
+            .member(id)
+            .is_some_and(|m| m.host == host_of_member_node(from))
+    }
+
     fn end_interval(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
         if self.shared.shutdown.get() {
             return;
         }
+        self.rekey_round(ctx);
+        ctx.send_after(
+            SERVER,
+            self.shared.rekey_period,
+            RtMsg::IntervalTick { gen: self.tick_gen },
+        );
+    }
+
+    /// Ends one interval: welcomes, multicast, checkpoint, leave acks.
+    fn rekey_round(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
         let outcome = self.server.end_interval();
         self.stats.intervals += 1;
-        let next_interval_at = ctx.now() + self.shared.rekey_period;
+        self.next_interval_at = ctx.now() + self.shared.rekey_period;
         for welcome in outcome.welcomes {
             self.stats.welcomes += 1;
             let host = self
@@ -377,12 +614,15 @@ impl<NET: Network> RtServer<NET> {
                 node_of_host(host),
                 RtMsg::Welcome {
                     welcome,
-                    next_interval_at,
+                    epoch: self.epoch,
+                    next_interval_at: self.next_interval_at,
                 },
             );
         }
         let message = Rc::new(IntervalMessage {
             interval: outcome.interval,
+            epoch: self.epoch,
+            sent_at: ctx.now(),
             index: SplitIndex::build(&outcome.rekey.encryptions),
             encryptions: outcome.rekey.encryptions,
         });
@@ -400,16 +640,100 @@ impl<NET: Network> RtServer<NET> {
                 },
             );
         }
-        ctx.send_after(SERVER, self.shared.rekey_period, RtMsg::IntervalTick);
+        self.checkpoint(ctx);
+    }
+
+    /// Records the interval-boundary checkpoint — *after* the multicast,
+    /// so no member is ever ahead of the journal — then releases the
+    /// leave acks it covers.
+    fn checkpoint(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        self.journal.record(journal::Checkpoint {
+            server: self.server.clone(),
+            seq: self.seq,
+            history: self.history.clone(),
+        });
+        self.stats.checkpoints += 1;
+        for node in std::mem::take(&mut self.pending_leave_acks) {
+            self.stats.leave_acks += 1;
+            ctx.send(node, RtMsg::LeaveAck);
+        }
+    }
+
+    /// Shutdown flush: fold any pending membership work into an interval,
+    /// then push every member its latest related set so the final
+    /// interval is discoverable even if every multicast copy was lost.
+    fn flush(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        let (joins, leaves) = self.server.pending();
+        if joins > 0 || leaves > 0 {
+            self.rekey_round(ctx);
+        }
+        if let Some((&interval, message)) = self.history.iter().next_back() {
+            let members: Vec<Member> = self.server.group().members().to_vec();
+            for member in members {
+                let encryptions: Vec<Encryption> = message
+                    .index
+                    .indices(member.id.digits())
+                    .map(|e| message.encryptions[e].clone())
+                    .collect();
+                self.stats.recovery_encryptions += encryptions.len() as u64;
+                ctx.send(
+                    node_of_host(member.host),
+                    RtMsg::Recover {
+                        interval,
+                        encryptions,
+                        sent_at: message.sent_at,
+                    },
+                );
+            }
+        }
+        self.checkpoint(ctx);
+    }
+
+    /// The server process respawns at the end of an outage window: it
+    /// restores the latest checkpoint (mid-interval mutations since then
+    /// are lost by design — the affected members re-request), bumps the
+    /// epoch, and re-announces itself with an immediate interval.
+    fn restart(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        self.stats.restarts += 1;
+        self.epoch += 1;
+        self.tick_gen += 1;
+        self.pending_leave_acks.clear();
+        if let Some(cp) = self.journal.restore() {
+            self.server = cp.server;
+            self.seq = cp.seq;
+            self.history = cp.history;
+        }
+        // The immediate interval is the restart beacon: its `Forward`
+        // copies carry the new epoch, and every member that sees it (or
+        // the next `ServerPong`) resyncs.
+        self.end_interval(ctx);
     }
 
     fn admit(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId) {
         let host = host_of_member_node(from);
+        if let Some(member) = self.member_by_host(host).cloned() {
+            // Retransmitted join (the original accept was lost): resend
+            // the current snapshot without a new mutation.
+            let group = self.server.group();
+            let idx = group.index_of(&member.id).expect("member has an index");
+            let table = group.table(idx).clone();
+            ctx.send(
+                from,
+                RtMsg::JoinAccepted {
+                    member,
+                    table: Box::new(table),
+                    epoch: self.epoch,
+                    seq: self.seq,
+                },
+            );
+            return;
+        }
         let id = self
             .server
             .request_join(host, &*self.net, ctx.now())
             .expect("ID space sized for the churn trace");
         self.stats.joins += 1;
+        self.seq += 1;
         let group = self.server.group();
         let idx = group.index_of(&id).expect("member was just admitted");
         let member = group.members()[idx].clone();
@@ -423,6 +747,8 @@ impl<NET: Network> RtServer<NET> {
                 RtMsg::NewMember {
                     record: member.clone(),
                     rtt: self.net.rtt(existing.host, member.host),
+                    epoch: self.epoch,
+                    seq: self.seq,
                 },
             );
         }
@@ -431,6 +757,8 @@ impl<NET: Network> RtServer<NET> {
             RtMsg::JoinAccepted {
                 member,
                 table: Box::new(table),
+                epoch: self.epoch,
+                seq: self.seq,
             },
         );
     }
@@ -440,6 +768,7 @@ impl<NET: Network> RtServer<NET> {
             .request_leave(&id, &*self.net)
             .expect("departing member is in the group");
         self.stats.departures += 1;
+        self.seq += 1;
         let group = self.server.group();
         let candidates = crate::repair::replacement_candidates(
             group.spec().depth(),
@@ -458,6 +787,8 @@ impl<NET: Network> RtServer<NET> {
                 RtMsg::MemberLeft {
                     departed: id.clone(),
                     replacements,
+                    epoch: self.epoch,
+                    seq: self.seq,
                 },
             );
         }
@@ -465,7 +796,7 @@ impl<NET: Network> RtServer<NET> {
 }
 
 /// Member-side counters of one runtime session.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemberStats {
     /// `Forward` copies received.
     pub copies_received: u64,
@@ -481,6 +812,22 @@ pub struct MemberStats {
     pub pings_sent: u64,
     /// Neighbors evicted after unanswered pings.
     pub evictions: u64,
+    /// Control retransmissions (join/leave/NACK/resync retries).
+    pub retransmissions: u64,
+    /// Highest attempt count any retry entry reached (≤ the configured
+    /// cap by construction).
+    pub max_retry_attempts: u32,
+    /// Full snapshots applied (`Resync` messages accepted).
+    pub resyncs: u64,
+    /// Times this node rejoined after the server disowned it.
+    pub rejoins: u64,
+    /// Evicted neighbors reinstated after answering a probation probe.
+    pub rehabilitations: u64,
+    /// Rekey intervals applied to the key agent.
+    pub intervals_applied: u64,
+    /// Summed µs from each interval's multicast to its local application
+    /// (recovery latency numerator; divide by `intervals_applied`).
+    pub apply_delay_total: u64,
 }
 
 /// A buffered rekey payload for one interval, applied strictly in order.
@@ -488,7 +835,44 @@ enum PendingPayload {
     /// A multicast copy (the member's related set is a subset, Lemma 3).
     Mesh(Rc<IntervalMessage>),
     /// A unicast recovery reply (already exactly the related set).
-    Unicast(Vec<Encryption>),
+    Unicast {
+        encryptions: Vec<Encryption>,
+        sent_at: SimTime,
+    },
+}
+
+/// A buffered membership mutation, applied strictly in `seq` order.
+enum SeqUpdate {
+    Insert {
+        record: Member,
+        rtt: Micros,
+    },
+    Remove {
+        departed: UserId,
+        replacements: Vec<(Member, Micros)>,
+    },
+}
+
+/// What a retry entry is waiting for. Each kind exists at most once per
+/// member (`Nack` once per interval), so the retry map stays tiny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Retrying {
+    /// `JoinRequest` unacknowledged (no `JoinAccepted` yet).
+    Join,
+    /// `LeaveRequest` unacknowledged (no `LeaveAck` yet).
+    Leave,
+    /// A full snapshot is needed (sequence gap, epoch bump, NACK cap
+    /// exhausted, or a `Welcome` that never arrived).
+    Resync,
+    /// An interval missing past its deadline.
+    Nack(u64),
+}
+
+/// One retry entry: how often it fired and when it next fires.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    attempts: u32,
+    due: SimTime,
 }
 
 struct RtMember {
@@ -496,20 +880,56 @@ struct RtMember {
     member: Option<Member>,
     table: Option<NeighborTable>,
     agent: Option<UserAgent>,
+    /// Last server epoch observed; any bump forces a resync.
+    epoch: u64,
+    /// Highest membership mutation applied in `epoch`.
+    applied_seq: u64,
+    /// Out-of-order membership mutations, keyed by `seq`.
+    update_buf: BTreeMap<u64, SeqUpdate>,
+    /// Set when an epoch bump invalidated `applied_seq`; only a snapshot
+    /// clears it (sequenced updates alone cannot prove freshness).
+    sync_stale: bool,
+    /// This node asked to join and was not yet accepted.
+    join_requested: bool,
+    /// This node asked to leave and was not yet acknowledged.
+    leave_pending: bool,
     departed: bool,
     /// Out-of-order rekey payloads, drained from `agent.interval + 1`.
     pending: BTreeMap<u64, PendingPayload>,
-    /// Next interval the `IntervalCheck` timer will cover.
-    next_check: u64,
+    /// Highest interval the server provably completed (from `Forward`,
+    /// `Welcome`, `Recover`, `Resync`, `ServerPong`): the member never
+    /// NACKs beyond its evidence, so it stays quiet through a server
+    /// outage instead of flooding a dead server.
+    server_interval_seen: u64,
     /// Highest interval whose copy this member has already forwarded.
     last_forwarded: u64,
     /// Neighbors evicted locally but possibly still in stale in-flight
     /// state; forwarding routes around them.
     suspected: BTreeSet<UserId>,
+    /// Evicted records on probation: probed each beat, reinstated on a
+    /// Pong, dropped when the server's repair broadcast confirms the
+    /// departure.
+    suspect_records: BTreeMap<UserId, NeighborRecord>,
+    /// Ids the server has departed; a probation Pong cannot resurrect
+    /// them.
+    departed_seen: BTreeSet<UserId>,
     /// Outstanding heartbeat pings: token → target.
     outstanding: BTreeMap<u64, UserId>,
     next_token: u64,
+    /// Stale-chain guard for `HeartbeatTick`.
+    heartbeat_gen: u64,
     heartbeat_running: bool,
+    /// Stale-chain guard for `IntervalCheck`.
+    check_gen: u64,
+    /// Stale-chain guard for `RetryTick`.
+    retry_gen: u64,
+    /// Live retry entries, fired by `RetryTick` at their due times.
+    retries: BTreeMap<Retrying, RetryState>,
+    /// Intervals already NACKed during shutdown (the drain sends
+    /// immediately instead of arming timers; this dedups).
+    shutdown_nacked: BTreeSet<u64>,
+    /// Whether the one-shot shutdown resync was already sent.
+    shutdown_resynced: bool,
     stats: MemberStats,
 }
 
@@ -520,88 +940,138 @@ impl RtMember {
             member: None,
             table: None,
             agent: None,
+            epoch: 0,
+            applied_seq: 0,
+            update_buf: BTreeMap::new(),
+            sync_stale: false,
+            join_requested: false,
+            leave_pending: false,
             departed: false,
             pending: BTreeMap::new(),
-            next_check: 0,
+            server_interval_seen: 0,
             last_forwarded: 0,
             suspected: BTreeSet::new(),
+            suspect_records: BTreeMap::new(),
+            departed_seen: BTreeSet::new(),
             outstanding: BTreeMap::new(),
             next_token: 0,
+            heartbeat_gen: 0,
             heartbeat_running: false,
+            check_gen: 0,
+            retry_gen: 0,
+            retries: BTreeMap::new(),
+            shutdown_nacked: BTreeSet::new(),
+            shutdown_resynced: false,
             stats: MemberStats::default(),
         }
     }
 
     fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
-        if self.departed {
+        if self.departed
+            && !matches!(
+                msg,
+                RtMsg::LeaveAck | RtMsg::RetryTick { .. } | RtMsg::Restart
+            )
+        {
             return;
         }
         match msg {
-            RtMsg::JoinRequest if self.member.is_none() => {
+            RtMsg::JoinRequest if self.member.is_none() && !self.join_requested => {
+                self.join_requested = true;
                 ctx.send(SERVER, RtMsg::JoinRequest);
+                self.arm(ctx, Retrying::Join, ctx.now() + self.shared.retry_base);
             }
-            RtMsg::JoinAccepted { member, table } => {
+            RtMsg::JoinAccepted {
+                member,
+                table,
+                epoch,
+                seq,
+            } => {
+                // Duplicate or jitter-reordered stale accept: ignore.
+                if self.member.is_some() && epoch == self.epoch && seq <= self.applied_seq {
+                    return;
+                }
+                self.epoch = self.epoch.max(epoch);
                 self.member = Some(member);
                 self.table = Some(*table);
-                if !self.heartbeat_running {
-                    self.heartbeat_running = true;
-                    // Stagger first beats across the membership so a join
-                    // burst does not synchronize every ping burst.
-                    let mut rng = node_rng(self.shared.seed, ctx.self_id());
-                    let jitter = rng.gen_range(1..=self.shared.heartbeat_period.max(1));
-                    ctx.send_after(ctx.self_id(), jitter, RtMsg::HeartbeatTick);
-                }
+                self.applied_seq = seq;
+                self.update_buf.retain(|&s, _| s > seq);
+                self.sync_stale = false;
+                self.retries.remove(&Retrying::Join);
+                // Welcome safety net: if the key material never arrives
+                // (lost to an outage window), fetch a snapshot instead.
+                self.arm(
+                    ctx,
+                    Retrying::Resync,
+                    ctx.now() + 2 * self.shared.rekey_period + self.shared.nack_grace,
+                );
+                self.drain_updates(ctx);
+                self.start_heartbeat(ctx);
             }
             RtMsg::Welcome {
                 welcome,
+                epoch,
                 next_interval_at,
             } => {
+                if epoch < self.epoch || self.member.is_none() {
+                    return;
+                }
+                self.note_epoch(ctx, epoch);
                 let interval = welcome.interval;
                 self.agent = Some(UserAgent::from_welcome(welcome));
-                self.next_check = interval + 1;
-                let deadline = next_interval_at + self.shared.nack_grace;
-                ctx.send_after(
-                    ctx.self_id(),
-                    deadline.saturating_sub(ctx.now()).max(1),
-                    RtMsg::IntervalCheck,
-                );
-                self.drain();
+                self.server_interval_seen = self.server_interval_seen.max(interval);
+                self.pending.retain(|&i, _| i > interval);
+                if !self.sync_stale {
+                    self.retries.remove(&Retrying::Resync);
+                }
+                self.drain_payloads(ctx);
+                self.arm_check(ctx, next_interval_at);
             }
-            RtMsg::NewMember { record, rtt } => {
-                self.suspected.remove(&record.id);
-                let own = self.member.as_ref().map(|m| &m.id);
-                if let Some(table) = &mut self.table {
-                    if own != Some(&record.id) {
-                        table.insert(NeighborRecord {
-                            member: record,
-                            rtt,
-                        });
-                    }
+            RtMsg::NewMember {
+                record,
+                rtt,
+                epoch,
+                seq,
+            } => {
+                self.note_epoch(ctx, epoch);
+                if epoch == self.epoch && self.member.is_some() {
+                    self.on_sequenced(ctx, seq, SeqUpdate::Insert { record, rtt });
                 }
             }
             RtMsg::MemberLeft {
                 departed,
                 replacements,
+                epoch,
+                seq,
             } => {
-                self.suspected.remove(&departed);
-                self.outstanding.retain(|_, id| *id != departed);
-                let own = self.member.as_ref().map(|m| m.id.clone());
-                if let Some(table) = &mut self.table {
-                    table.remove(&departed);
-                    for (m, rtt) in replacements {
-                        if Some(&m.id) != own.as_ref() && m.id != departed {
-                            table.insert(NeighborRecord { member: m, rtt });
-                        }
-                    }
+                self.note_epoch(ctx, epoch);
+                if epoch == self.epoch && self.member.is_some() {
+                    self.on_sequenced(
+                        ctx,
+                        seq,
+                        SeqUpdate::Remove {
+                            departed,
+                            replacements,
+                        },
+                    );
                 }
             }
-            RtMsg::LeaveRequest if self.member.is_some() => {
+            RtMsg::LeaveRequest if self.member.is_some() && !self.leave_pending => {
+                self.leave_pending = true;
                 self.departed = true;
-                self.table = None;
-                self.agent = None;
-                self.pending.clear();
-                self.outstanding.clear();
+                self.retire();
                 ctx.send(SERVER, RtMsg::LeaveRequest);
+                // The ack rides the next checkpoint, so the first retry
+                // only fires once a full rekey period has gone unanswered.
+                self.arm(
+                    ctx,
+                    Retrying::Leave,
+                    ctx.now() + self.shared.rekey_period + self.shared.retry_base,
+                );
+            }
+            RtMsg::LeaveAck => {
+                self.leave_pending = false;
+                self.retries.remove(&Retrying::Leave);
             }
             RtMsg::Forward {
                 level,
@@ -611,6 +1081,8 @@ impl RtMember {
                 self.stats.copies_received += 1;
                 self.stats.payload_encryptions +=
                     message.index.related_ranges(prefix.as_slice()).total() as u64;
+                self.note_epoch(ctx, message.epoch);
+                self.server_interval_seen = self.server_interval_seen.max(message.interval);
                 // Forward duty: once per interval, rows `level..D` of the
                 // table (Fig. 2), routing around suspects (§2.3).
                 if message.interval > self.last_forwarded {
@@ -642,73 +1114,52 @@ impl RtMember {
                     self.pending
                         .entry(message.interval)
                         .or_insert(PendingPayload::Mesh(message));
-                    self.drain();
+                    self.drain_payloads(ctx);
                 }
+                self.scan_missing(ctx, self.shared.nack_grace);
             }
             RtMsg::Recover {
                 interval,
                 encryptions,
+                sent_at,
             } => {
+                self.server_interval_seen = self.server_interval_seen.max(interval);
                 let needed = self.agent.as_ref().is_some_and(|a| interval > a.interval())
                     && !self.pending.contains_key(&interval);
                 if needed {
                     self.stats.recovered_encryptions += encryptions.len() as u64;
-                    self.pending
-                        .insert(interval, PendingPayload::Unicast(encryptions));
-                    self.drain();
+                    self.pending.insert(
+                        interval,
+                        PendingPayload::Unicast {
+                            encryptions,
+                            sent_at,
+                        },
+                    );
+                    self.drain_payloads(ctx);
                 }
+                self.scan_missing(ctx, self.shared.nack_grace);
             }
-            RtMsg::IntervalCheck => {
-                let Some(agent) = &self.agent else { return };
-                for missing in agent.interval() + 1..=self.next_check {
-                    if !self.pending.contains_key(&missing) {
-                        self.stats.nacks_sent += 1;
-                        ctx.send(SERVER, RtMsg::Nack { interval: missing });
-                    }
+            RtMsg::IntervalCheck { gen } => {
+                if gen != self.check_gen {
+                    return;
                 }
-                self.next_check += 1;
+                self.scan_missing(ctx, 0);
                 if !self.shared.shutdown.get() {
                     ctx.send_after(
                         ctx.self_id(),
                         self.shared.rekey_period,
-                        RtMsg::IntervalCheck,
+                        RtMsg::IntervalCheck { gen },
                     );
                 }
             }
-            RtMsg::HeartbeatTick => {
-                let Some(table) = &mut self.table else {
-                    self.heartbeat_running = false;
-                    return;
-                };
-                // Evict neighbors whose previous ping went unanswered and
-                // report them; the server broadcasts the repair.
-                let timed_out: BTreeSet<UserId> = std::mem::take(&mut self.outstanding)
-                    .into_values()
-                    .collect();
-                if !timed_out.is_empty() {
-                    for id in table.evict_where(|r| timed_out.contains(&r.member.id)) {
-                        self.stats.evictions += 1;
-                        self.suspected.insert(id.clone());
-                        ctx.send(SERVER, RtMsg::FailureNotice { failed: id });
-                    }
-                }
-                if self.shared.shutdown.get() {
-                    self.heartbeat_running = false;
+            RtMsg::RetryTick { gen } => {
+                if gen != self.retry_gen {
                     return;
                 }
-                for record in table.iter_all() {
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    self.outstanding.insert(token, record.member.id.clone());
-                    self.stats.pings_sent += 1;
-                    ctx.send(node_of_host(record.member.host), RtMsg::Ping { token });
-                }
-                ctx.send_after(
-                    ctx.self_id(),
-                    self.shared.heartbeat_period,
-                    RtMsg::HeartbeatTick,
-                );
+                self.fire_due_retries(ctx);
+                self.schedule_retry_tick(ctx);
             }
+            RtMsg::HeartbeatTick { gen } => self.heartbeat(ctx, gen),
             RtMsg::Ping { token } => {
                 // Answered whenever the process is up (even before our own
                 // JoinAccepted lands — an established member may learn of
@@ -718,15 +1169,188 @@ impl RtMember {
                 ctx.send(from, RtMsg::Pong { token });
             }
             RtMsg::Pong { token } => {
-                self.outstanding.remove(&token);
+                let Some(id) = self.outstanding.remove(&token) else {
+                    return;
+                };
+                // Probation: an evicted suspect that answers is
+                // reinstated — unless the server already departed it.
+                if let Some(record) = self.suspect_records.remove(&id) {
+                    if !self.departed_seen.contains(&id) {
+                        if let Some(table) = &mut self.table {
+                            self.suspected.remove(&id);
+                            table.insert(record);
+                            self.stats.rehabilitations += 1;
+                        }
+                    }
+                }
+            }
+            RtMsg::ServerPong {
+                epoch,
+                seq,
+                interval,
+            } => {
+                self.note_epoch(ctx, epoch);
+                if epoch != self.epoch {
+                    return;
+                }
+                self.server_interval_seen = self.server_interval_seen.max(interval);
+                if seq > self.applied_seq && self.member.is_some() {
+                    // A membership broadcast never reached us (e.g. our
+                    // own outage window). Give in-flight copies the grace
+                    // period, then snapshot.
+                    self.arm(ctx, Retrying::Resync, ctx.now() + self.shared.nack_grace);
+                }
+                self.scan_missing(ctx, self.shared.nack_grace);
+            }
+            RtMsg::NotMember { id } if self.member.as_ref().is_some_and(|m| m.id == id) => {
+                // Wrongfully departed (e.g. behind a healed partition):
+                // start over from scratch.
+                self.stats.rejoins += 1;
+                self.reset_to_unjoined();
+                self.join_requested = true;
+                ctx.send(SERVER, RtMsg::JoinRequest);
+                self.arm(ctx, Retrying::Join, ctx.now() + self.shared.retry_base);
+            }
+            RtMsg::Resync {
+                member,
+                table,
+                welcome,
+                epoch,
+                seq,
+                next_interval_at,
+            } => {
+                if epoch < self.epoch || self.departed {
+                    return;
+                }
+                self.stats.resyncs += 1;
+                self.epoch = epoch;
+                self.member = Some(member);
+                self.table = Some(*table);
+                self.applied_seq = seq;
+                self.update_buf.retain(|&s, _| s > seq);
+                self.sync_stale = false;
+                let interval = welcome.interval;
+                self.agent = Some(UserAgent::from_welcome(welcome));
+                self.server_interval_seen = self.server_interval_seen.max(interval);
+                self.pending.retain(|&i, _| i > interval);
+                // The snapshot table is authoritative; local suspicion
+                // state against it is stale.
+                self.suspected.clear();
+                self.suspect_records.clear();
+                self.outstanding.clear();
+                self.retries.remove(&Retrying::Resync);
+                self.retries.remove(&Retrying::Join);
+                self.retries
+                    .retain(|k, _| !matches!(k, Retrying::Nack(i) if *i <= interval));
+                self.drain_updates(ctx);
+                self.drain_payloads(ctx);
+                self.arm_check(ctx, next_interval_at);
+                self.start_heartbeat(ctx);
+            }
+            RtMsg::Restart => {
+                // Our outage window ended: every timer chain died with the
+                // suppressed deliveries, and any pong that was in flight
+                // is gone — forget outstanding probes so we do not evict
+                // healthy neighbors for our own downtime.
+                self.outstanding.clear();
+                self.schedule_retry_tick(ctx);
+                if self.leave_pending {
+                    self.arm(ctx, Retrying::Leave, ctx.now());
+                } else if self.member.is_some() {
+                    self.arm(ctx, Retrying::Resync, ctx.now());
+                    self.heartbeat_running = false;
+                    self.start_heartbeat(ctx);
+                } else if self.join_requested {
+                    self.arm(ctx, Retrying::Join, ctx.now());
+                }
             }
             _ => {}
         }
     }
+}
 
-    /// Applies buffered payloads strictly in interval order, starting at
-    /// `agent.interval + 1`; prunes anything at or below the agent.
-    fn drain(&mut self) {
+impl RtMember {
+    /// Observes a server epoch: any bump invalidates our sequence state
+    /// and forces a snapshot resync (a restarted server rolled back to
+    /// its last checkpoint, so no incremental path is trustworthy).
+    fn note_epoch(&mut self, ctx: &mut Ctx<'_, RtMsg>, epoch: u64) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.update_buf.clear();
+            self.sync_stale = true;
+            if self.member.is_some() {
+                self.arm(ctx, Retrying::Resync, ctx.now());
+            }
+        }
+    }
+
+    /// Buffers a membership mutation and applies every consecutive one.
+    fn on_sequenced(&mut self, ctx: &mut Ctx<'_, RtMsg>, seq: u64, update: SeqUpdate) {
+        if seq <= self.applied_seq {
+            return;
+        }
+        self.update_buf.insert(seq, update);
+        self.drain_updates(ctx);
+    }
+
+    fn drain_updates(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        while let Some(update) = self.update_buf.remove(&(self.applied_seq + 1)) {
+            self.applied_seq += 1;
+            self.apply_update(update);
+        }
+        if !self.update_buf.is_empty() {
+            // A gap: give the in-flight broadcast the grace period, then
+            // fetch a snapshot. (If it lands in time, the armed resync
+            // dissolves at fire time — see `fire_retry`.)
+            self.arm(ctx, Retrying::Resync, ctx.now() + self.shared.nack_grace);
+        }
+    }
+
+    fn apply_update(&mut self, update: SeqUpdate) {
+        match update {
+            SeqUpdate::Insert { record, rtt } => {
+                self.suspected.remove(&record.id);
+                self.suspect_records.remove(&record.id);
+                self.departed_seen.remove(&record.id);
+                let own = self.member.as_ref().map(|m| &m.id);
+                if let Some(table) = &mut self.table {
+                    if own != Some(&record.id) {
+                        table.insert(NeighborRecord {
+                            member: record,
+                            rtt,
+                        });
+                    }
+                }
+            }
+            SeqUpdate::Remove {
+                departed,
+                replacements,
+            } => {
+                self.suspected.remove(&departed);
+                self.suspect_records.remove(&departed);
+                self.departed_seen.insert(departed.clone());
+                self.outstanding.retain(|_, id| *id != departed);
+                let own = self.member.as_ref().map(|m| m.id.clone());
+                if let Some(table) = &mut self.table {
+                    table.remove(&departed);
+                    for (m, rtt) in replacements {
+                        if Some(&m.id) != own.as_ref()
+                            && m.id != departed
+                            && !self.suspected.contains(&m.id)
+                        {
+                            table.insert(NeighborRecord { member: m, rtt });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies buffered rekey payloads strictly in interval order,
+    /// starting at `agent.interval + 1`; prunes anything at or below the
+    /// agent, plus any NACK retry the application satisfied.
+    fn drain_payloads(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        let now = ctx.now();
         let (Some(agent), Some(member)) = (self.agent.as_mut(), self.member.as_ref()) else {
             return;
         };
@@ -739,17 +1363,323 @@ impl RtMember {
                 }
             }
             let next = agent.interval() + 1;
-            match self.pending.remove(&next) {
+            let sent_at = match self.pending.remove(&next) {
                 None => break,
                 Some(PendingPayload::Mesh(message)) => {
                     let related: Vec<usize> = message.index.indices(member.id.digits()).collect();
                     agent.handle_rekey(next, related.iter().map(|&e| &message.encryptions[e]));
+                    message.sent_at
                 }
-                Some(PendingPayload::Unicast(encryptions)) => {
+                Some(PendingPayload::Unicast {
+                    encryptions,
+                    sent_at,
+                }) => {
                     agent.handle_rekey(next, encryptions.iter());
+                    sent_at
+                }
+            };
+            self.stats.intervals_applied += 1;
+            self.stats.apply_delay_total += now.saturating_sub(sent_at);
+        }
+        let applied = agent.interval();
+        self.retries
+            .retain(|k, _| !matches!(k, Retrying::Nack(i) if *i <= applied));
+    }
+
+    /// Arms a NACK for every interval the evidence says exists but we
+    /// neither hold nor have buffered. During shutdown the NACK goes out
+    /// immediately (timers no longer fire), deduplicated per interval.
+    fn scan_missing(&mut self, ctx: &mut Ctx<'_, RtMsg>, grace: SimTime) {
+        let Some(agent) = &self.agent else { return };
+        let start = agent.interval() + 1;
+        let end = self.server_interval_seen;
+        if start > end {
+            return;
+        }
+        let due = ctx.now() + grace;
+        for i in start..=end {
+            if self.pending.contains_key(&i) {
+                continue;
+            }
+            if !self.shared.shutdown.get() && self.retries.contains_key(&Retrying::Nack(i)) {
+                continue;
+            }
+            self.arm(ctx, Retrying::Nack(i), due);
+        }
+    }
+
+    /// Registers a retry entry (first fire at `due`) and makes sure a
+    /// retry timer is running. During shutdown the action fires inline
+    /// instead — the event queue is draining and timers are dead.
+    fn arm(&mut self, ctx: &mut Ctx<'_, RtMsg>, kind: Retrying, due: SimTime) {
+        if self.shared.shutdown.get() {
+            self.fire_shutdown(ctx, kind);
+            return;
+        }
+        self.retries
+            .entry(kind)
+            .or_insert(RetryState { attempts: 0, due });
+        self.schedule_retry_tick(ctx);
+    }
+
+    /// The shutdown form of a retry: send once, immediately, deduplicated.
+    fn fire_shutdown(&mut self, ctx: &mut Ctx<'_, RtMsg>, kind: Retrying) {
+        match kind {
+            Retrying::Nack(i) => {
+                if self.shutdown_nacked.insert(i) {
+                    self.stats.nacks_sent += 1;
+                    ctx.send(SERVER, RtMsg::Nack { interval: i });
                 }
             }
+            Retrying::Resync => {
+                if !self.shutdown_resynced {
+                    if let Some(member) = &self.member {
+                        self.shutdown_resynced = true;
+                        let id = member.id.clone();
+                        ctx.send(SERVER, RtMsg::ResyncRequest { id });
+                    }
+                }
+            }
+            Retrying::Join => ctx.send(SERVER, RtMsg::JoinRequest),
+            Retrying::Leave => ctx.send(SERVER, RtMsg::LeaveRequest),
         }
+    }
+
+    /// (Re)schedules the single retry timer at the earliest due time.
+    fn schedule_retry_tick(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        if self.shared.shutdown.get() {
+            return;
+        }
+        let Some(min_due) = self.retries.values().map(|st| st.due).min() else {
+            return;
+        };
+        self.retry_gen += 1;
+        ctx.send_after(
+            ctx.self_id(),
+            min_due.saturating_sub(ctx.now()).max(1),
+            RtMsg::RetryTick {
+                gen: self.retry_gen,
+            },
+        );
+    }
+
+    fn fire_due_retries(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        let now = ctx.now();
+        let due: Vec<Retrying> = self
+            .retries
+            .iter()
+            .filter(|(_, st)| st.due <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        for kind in due {
+            self.fire_retry(ctx, kind);
+        }
+    }
+
+    fn fire_retry(&mut self, ctx: &mut Ctx<'_, RtMsg>, kind: Retrying) {
+        let now = ctx.now();
+        // Entries whose goal was met since arming dissolve silently.
+        let satisfied = match kind {
+            Retrying::Join => self.member.is_some(),
+            Retrying::Leave => !self.leave_pending,
+            Retrying::Resync => {
+                self.member.is_none()
+                    || (!self.sync_stale
+                        && self.update_buf.is_empty()
+                        && self
+                            .agent
+                            .as_ref()
+                            .is_some_and(|a| a.interval() >= self.server_interval_seen))
+            }
+            Retrying::Nack(i) => {
+                self.pending.contains_key(&i)
+                    || self.agent.as_ref().is_none_or(|a| a.interval() >= i)
+            }
+        };
+        if satisfied {
+            self.retries.remove(&kind);
+            return;
+        }
+        let Some(&st) = self.retries.get(&kind) else {
+            return;
+        };
+        // A NACK that exhausted its attempts escalates to a snapshot:
+        // the server-assisted resync replaces the whole retry lineage.
+        if matches!(kind, Retrying::Nack(_)) && st.attempts >= self.shared.retry_cap {
+            self.retries.remove(&kind);
+            self.arm(ctx, Retrying::Resync, now);
+            return;
+        }
+        let attempts = (st.attempts + 1).min(self.shared.retry_cap);
+        let due = now + self.shared.backoff(attempts);
+        self.retries.insert(kind, RetryState { attempts, due });
+        self.stats.max_retry_attempts = self.stats.max_retry_attempts.max(attempts);
+        if st.attempts > 0 || matches!(kind, Retrying::Join | Retrying::Leave) {
+            // Join/leave send inline when first requested, so every fire
+            // of those re-transmits; a NACK's or resync's first fire is
+            // its scheduled first send, not a retransmission.
+            self.stats.retransmissions += 1;
+        }
+        match kind {
+            Retrying::Join => ctx.send(SERVER, RtMsg::JoinRequest),
+            Retrying::Leave => ctx.send(SERVER, RtMsg::LeaveRequest),
+            Retrying::Resync => {
+                let id = self.member.as_ref().expect("checked above").id.clone();
+                ctx.send(SERVER, RtMsg::ResyncRequest { id });
+            }
+            Retrying::Nack(i) => {
+                self.stats.nacks_sent += 1;
+                ctx.send(SERVER, RtMsg::Nack { interval: i });
+            }
+        }
+    }
+
+    fn start_heartbeat(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        if self.heartbeat_running || self.shared.shutdown.get() {
+            return;
+        }
+        self.heartbeat_running = true;
+        self.heartbeat_gen += 1;
+        // Stagger first beats across the membership so a join burst does
+        // not synchronize every ping burst.
+        let mut rng = node_rng(self.shared.seed, ctx.self_id());
+        let jitter = rng.gen_range(1..=self.shared.heartbeat_period.max(1));
+        ctx.send_after(
+            ctx.self_id(),
+            jitter,
+            RtMsg::HeartbeatTick {
+                gen: self.heartbeat_gen,
+            },
+        );
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Ctx<'_, RtMsg>, gen: u64) {
+        if gen != self.heartbeat_gen {
+            return;
+        }
+        if self.table.is_none() {
+            self.heartbeat_running = false;
+            return;
+        }
+        // Evict neighbors whose previous ping went unanswered; they go on
+        // probation and the server is notified (and re-notified every
+        // beat until its repair broadcast lands).
+        let timed_out: BTreeSet<UserId> = std::mem::take(&mut self.outstanding)
+            .into_values()
+            .collect();
+        let mut evicted: Vec<NeighborRecord> = Vec::new();
+        if let Some(table) = &mut self.table {
+            if !timed_out.is_empty() {
+                evicted = table
+                    .iter_all()
+                    .filter(|r| timed_out.contains(&r.member.id))
+                    .cloned()
+                    .collect();
+                for _ in table.evict_where(|r| timed_out.contains(&r.member.id)) {}
+            }
+        }
+        for record in evicted {
+            self.stats.evictions += 1;
+            self.suspected.insert(record.member.id.clone());
+            self.suspect_records
+                .insert(record.member.id.clone(), record);
+        }
+        for id in self.suspect_records.keys() {
+            ctx.send(SERVER, RtMsg::FailureNotice { failed: id.clone() });
+        }
+        if self.shared.shutdown.get() {
+            self.heartbeat_running = false;
+            return;
+        }
+        // Ping every stored neighbor plus every probation suspect.
+        let mut targets: Vec<(HostId, UserId)> = Vec::new();
+        if let Some(table) = &self.table {
+            for record in table.iter_all() {
+                targets.push((record.member.host, record.member.id.clone()));
+            }
+        }
+        for record in self.suspect_records.values() {
+            targets.push((record.member.host, record.member.id.clone()));
+        }
+        for (host, id) in targets {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.outstanding.insert(token, id);
+            self.stats.pings_sent += 1;
+            ctx.send(node_of_host(host), RtMsg::Ping { token });
+        }
+        // Probe the server: its pong is our NACK evidence and our
+        // membership certificate; a NotMember reply triggers a rejoin.
+        if let Some(member) = &self.member {
+            ctx.send(
+                SERVER,
+                RtMsg::ServerPing {
+                    id: member.id.clone(),
+                },
+            );
+        }
+        ctx.send_after(
+            ctx.self_id(),
+            self.shared.heartbeat_period,
+            RtMsg::HeartbeatTick { gen },
+        );
+    }
+
+    /// (Re)anchors the NACK check timer at `next_interval_at` plus grace.
+    fn arm_check(&mut self, ctx: &mut Ctx<'_, RtMsg>, next_interval_at: SimTime) {
+        if self.shared.shutdown.get() {
+            return;
+        }
+        self.check_gen += 1;
+        let deadline = next_interval_at + self.shared.nack_grace;
+        ctx.send_after(
+            ctx.self_id(),
+            deadline.saturating_sub(ctx.now()).max(1),
+            RtMsg::IntervalCheck {
+                gen: self.check_gen,
+            },
+        );
+    }
+
+    /// Clears every trace of membership so the node can rejoin from
+    /// scratch (after the server disowned it).
+    fn reset_to_unjoined(&mut self) {
+        self.member = None;
+        self.table = None;
+        self.agent = None;
+        self.applied_seq = 0;
+        self.update_buf.clear();
+        self.sync_stale = false;
+        self.join_requested = false;
+        self.pending.clear();
+        self.server_interval_seen = 0;
+        self.last_forwarded = 0;
+        self.suspected.clear();
+        self.suspect_records.clear();
+        self.departed_seen.clear();
+        self.outstanding.clear();
+        self.heartbeat_gen += 1;
+        self.heartbeat_running = false;
+        self.check_gen += 1;
+        self.retries.clear();
+        self.retry_gen += 1;
+    }
+
+    /// Drops the local protocol state on a voluntary leave (the leave
+    /// retry entry itself is armed by the caller).
+    fn retire(&mut self) {
+        self.table = None;
+        self.agent = None;
+        self.pending.clear();
+        self.update_buf.clear();
+        self.suspected.clear();
+        self.suspect_records.clear();
+        self.outstanding.clear();
+        self.heartbeat_gen += 1;
+        self.heartbeat_running = false;
+        self.check_gen += 1;
+        self.retries.clear();
+        self.retry_gen += 1;
     }
 }
 
@@ -773,7 +1703,10 @@ impl<NET: Network> Node for RtActor<NET> {
 }
 
 /// Aggregated outcome of a runtime session, for reports and benches.
-#[derive(Debug, Clone, Copy, Default)]
+/// Every field is an integer and the struct is `Eq`, so two reports from
+/// identically seeded runs can be compared wholesale in determinism
+/// tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeReport {
     /// Completed rekey intervals.
     pub intervals: u64,
@@ -787,10 +1720,13 @@ pub struct RuntimeReport {
     pub failures_detected: u64,
     /// `Forward` copies sent (server seeds + member forwards).
     pub forward_copies: u64,
-    /// Copies dropped by the loss model.
+    /// Copies dropped by the loss model (legacy i.i.d., fault-plan loss,
+    /// and partition cuts).
     pub copies_lost: u64,
     /// Deliveries absorbed by crashed nodes.
     pub dead_letters: u64,
+    /// Deliveries suppressed by outage windows (node temporarily down).
+    pub suppressed: u64,
     /// NACKs received by the server.
     pub nacks: u64,
     /// Encryptions re-sent via unicast recovery.
@@ -799,6 +1735,20 @@ pub struct RuntimeReport {
     pub pings: u64,
     /// Neighbor evictions after unanswered pings.
     pub evictions: u64,
+    /// Control retransmissions by members (join/leave/NACK/resync).
+    pub retransmissions: u64,
+    /// Highest retry attempt count any member reached (≤ the cap).
+    pub max_retry_attempts: u32,
+    /// Full state snapshots the server served.
+    pub resyncs: u64,
+    /// Members that rejoined after being disowned.
+    pub rejoins: u64,
+    /// Evicted neighbors reinstated after answering a probation probe.
+    pub rehabilitations: u64,
+    /// Server restarts (journal restores).
+    pub restarts: u64,
+    /// Checkpoints written to the crash journal.
+    pub checkpoints: u64,
     /// Total messages delivered.
     pub delivered: u64,
 }
@@ -813,6 +1763,7 @@ type DelayFn = Box<dyn FnMut(NodeId, NodeId) -> SimTime>;
 pub struct GroupRuntime<NET: Network + 'static> {
     sim: Simulation<RtActor<NET>, DelayFn>,
     shared: Rc<Shared>,
+    loss: f64,
     joins: usize,
     server_host: HostId,
 }
@@ -822,18 +1773,48 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
     ///
     /// # Panics
     ///
-    /// Panics if `config.loss` is outside `[0, 1)`.
+    /// Panics if `config.loss` is outside `[0, 1)` or any of the periods
+    /// (`rekey_period`, `heartbeat_period`, `nack_grace`, `retry_base`)
+    /// is zero — a zero rekey interval or NACK grace would spin the event
+    /// loop at a single instant. Debug builds additionally warn when
+    /// `nack_grace` does not cover a worst-case server round trip, which
+    /// makes spurious NACKs likely.
     pub fn new(group: GroupConfig, config: RuntimeConfig, net: NET) -> GroupRuntime<NET> {
         assert!(
             (0.0..1.0).contains(&config.loss),
             "loss probability must be in [0, 1)"
         );
+        assert!(config.rekey_period > 0, "rekey period must be positive");
+        assert!(config.nack_grace > 0, "nack grace must be positive");
+        assert!(
+            config.heartbeat_period > 0,
+            "heartbeat period must be positive"
+        );
+        assert!(config.retry_base > 0, "retry base must be positive");
         let net = Rc::new(net);
         let server_host = HostId(net.host_count() - 1);
+        #[cfg(debug_assertions)]
+        {
+            let worst_round_trip = (0..net.host_count())
+                .map(HostId)
+                .filter(|&h| h != server_host)
+                .map(|h| net.one_way(server_host, h) + net.one_way(h, server_host))
+                .max()
+                .unwrap_or(0);
+            if config.nack_grace < worst_round_trip {
+                eprintln!(
+                    "warning: nack_grace ({} µs) is below the worst-case server \
+                     round trip ({} µs); expect spurious NACKs",
+                    config.nack_grace, worst_round_trip
+                );
+            }
+        }
         let shared = Rc::new(Shared {
             rekey_period: config.rekey_period,
             heartbeat_period: config.heartbeat_period,
             nack_grace: config.nack_grace,
+            retry_base: config.retry_base,
+            retry_cap: config.retry_cap,
             seed: config.seed,
             shutdown: Cell::new(false),
         });
@@ -841,7 +1822,13 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             net: Rc::clone(&net),
             shared: Rc::clone(&shared),
             server: group.build(server_host),
+            epoch: 0,
+            seq: 0,
+            tick_gen: 0,
+            next_interval_at: config.rekey_period,
             history: BTreeMap::new(),
+            journal: journal::Journal::new(),
+            pending_leave_acks: Vec::new(),
             stats: ServerStats::default(),
         })));
         let delay_net = Rc::clone(&net);
@@ -859,17 +1846,64 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
         if config.loss > 0.0 {
             let mut rng = seeded_rng(config.seed ^ 0x4C4F_5353_u64);
             let loss = config.loss;
-            sim = sim.with_loss(move |_, _, msg: &RtMsg| {
+            sim.set_loss(move |_, _, _, msg: &RtMsg| {
                 matches!(msg, RtMsg::Forward { .. }) && rng.gen_bool(loss)
             });
         }
-        sim.inject_at(config.rekey_period, SERVER, SERVER, RtMsg::IntervalTick);
+        sim.inject_at(
+            config.rekey_period,
+            SERVER,
+            SERVER,
+            RtMsg::IntervalTick { gen: 0 },
+        );
         GroupRuntime {
             sim,
             shared,
+            loss: config.loss,
             joins: 0,
             server_host,
         }
+    }
+
+    /// Wires a chaos [`FaultPlan`] into the runtime: partitions cut every
+    /// message across cells, i.i.d./burst loss thins `Forward` copies (on
+    /// top of the legacy `config.loss` draw, whose stream is unchanged),
+    /// jitter delays and reorders network sends, and each outage window
+    /// silences its node and ends with a `Restart` event at the window's
+    /// close. Call before [`GroupRuntime::run_trace`]; the injector is
+    /// seeded from `config.seed`, so a fixed seed and plan reproduce the
+    /// run bit for bit.
+    pub fn with_faults(mut self, plan: FaultPlan) -> GroupRuntime<NET> {
+        let inj = Rc::new(RefCell::new(plan.injector(self.shared.seed ^ CHAOS_SEED)));
+        let loss = self.loss;
+        let mut rng = seeded_rng(self.shared.seed ^ 0x4C4F_5353_u64);
+        let drop_inj = Rc::clone(&inj);
+        self.sim.set_loss(move |now, from, to, msg: &RtMsg| {
+            let mut inj = drop_inj.borrow_mut();
+            if inj.cut(now, from, to) {
+                return true;
+            }
+            if !matches!(msg, RtMsg::Forward { .. }) {
+                return false;
+            }
+            // `|` (not `||`): both streams must advance on every copy for
+            // the draws to stay aligned across runs.
+            (loss > 0.0 && rng.gen_bool(loss)) | inj.lose(from)
+        });
+        if plan.jitter_max() > 0 {
+            let jitter_inj = Rc::clone(&inj);
+            self.sim.set_jitter(move |_, from, to, _msg: &RtMsg| {
+                jitter_inj.borrow_mut().extra_delay(from, to)
+            });
+        }
+        let down_inj = Rc::clone(&inj);
+        self.sim
+            .set_downtime(move |now, node| down_inj.borrow_mut().is_down(now, node));
+        for outage in plan.outages() {
+            self.sim
+                .inject_at(outage.until, outage.node, outage.node, RtMsg::Restart);
+        }
+        self
     }
 
     /// Plays a churn trace: advances the clock to each event's time and
@@ -918,11 +1952,35 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
 
     /// Runs the clock to `until`, then shuts timers down and drains the
     /// event queue — in-flight repairs, recoveries, and detections all
-    /// complete. Returns the final simulated time.
+    /// complete. After the drain the server runs *flush rounds*: each
+    /// folds any pending membership work into a final interval and pushes
+    /// every member its latest related set, so the last interval is
+    /// discoverable even when every multicast copy of it was lost; rounds
+    /// repeat until no membership work or leave ack is outstanding.
+    /// Returns the final simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flush rounds fail to converge (e.g. a fault window
+    /// extends past `until`, leaving the server unreachable forever).
     pub fn finish(&mut self, until: SimTime) -> SimTime {
         self.sim.run_until(until);
         self.shared.shutdown.set(true);
-        self.sim.run_until_idle()
+        self.sim.run_until_idle();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds <= 64, "shutdown flush did not converge");
+            let now = self.sim.now();
+            self.sim.inject_at(now, SERVER, SERVER, RtMsg::Flush);
+            self.sim.run_until_idle();
+            let server = self.server_ref();
+            let (joins, leaves) = server.server.pending();
+            if joins == 0 && leaves == 0 && server.pending_leave_acks.is_empty() {
+                break;
+            }
+        }
+        self.sim.now()
     }
 
     fn member_node(&self, handle: usize) -> NodeId {
@@ -953,6 +2011,16 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
     /// The oracle membership view.
     pub fn group(&self) -> &Group {
         self.server().group()
+    }
+
+    /// The server's crash journal.
+    pub fn journal(&self) -> &journal::Journal {
+        &self.server_ref().journal
+    }
+
+    /// The server's epoch (0 until the first restart).
+    pub fn server_epoch(&self) -> u64 {
+        self.server_ref().epoch
     }
 
     /// Current simulated time.
@@ -1033,10 +2101,18 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             forward_copies: server.forward_copies,
             copies_lost: self.sim.dropped(),
             dead_letters: self.sim.dead_letters(),
+            suppressed: self.sim.suppressed(),
             nacks: server.nacks,
             recovery_encryptions: server.recovery_encryptions,
             pings: 0,
             evictions: 0,
+            retransmissions: 0,
+            max_retry_attempts: 0,
+            resyncs: server.resyncs,
+            rejoins: 0,
+            rehabilitations: 0,
+            restarts: server.restarts,
+            checkpoints: server.checkpoints,
             delivered: self.sim.delivered(),
         };
         for handle in 0..self.joins {
@@ -1044,6 +2120,10 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             report.forward_copies += stats.copies_forwarded;
             report.pings += stats.pings_sent;
             report.evictions += stats.evictions;
+            report.retransmissions += stats.retransmissions;
+            report.max_retry_attempts = report.max_retry_attempts.max(stats.max_retry_attempts);
+            report.rejoins += stats.rejoins;
+            report.rehabilitations += stats.rehabilitations;
         }
         report
     }
@@ -1054,6 +2134,7 @@ mod tests {
     use super::*;
     use rekey_id::IdSpec;
     use rekey_net::{MatrixNetwork, PlanetLabParams};
+    use rekey_sim::GilbertElliott;
 
     const SEC: SimTime = 1_000_000;
 
@@ -1112,10 +2193,18 @@ mod tests {
         assert!(report.intervals >= 6, "got {} intervals", report.intervals);
         assert_eq!(rt.group().len(), 10);
         assert_members_current(&rt, &handles);
-        // Steady state is quiet: no NACKs, no evictions on a lossless run.
+        // Steady state is quiet: no NACKs, no evictions, no resyncs, no
+        // retransmissions on a lossless run.
         assert_eq!(report.nacks, 0);
         assert_eq!(report.evictions, 0);
+        assert_eq!(report.resyncs, 0);
+        assert_eq!(report.retransmissions, 0);
+        assert_eq!(report.restarts, 0);
         assert!(report.pings > 0, "heartbeats ran");
+        assert!(
+            report.checkpoints >= report.intervals,
+            "every interval checkpoints"
+        );
     }
 
     #[test]
@@ -1159,6 +2248,10 @@ mod tests {
         let report = rt.report();
         assert!(report.copies_lost > 0, "loss model never fired");
         assert!(report.nacks > 0, "lost copies were never NACKed");
+        assert!(
+            report.max_retry_attempts <= RuntimeConfig::default().retry_cap,
+            "retry counter escaped its cap"
+        );
         let survivors: Vec<usize> = (0..11).filter(|m| *m != 2).collect();
         assert_members_current(&rt, &survivors);
     }
@@ -1185,6 +2278,84 @@ mod tests {
         assert_members_current(&rt, &survivors);
     }
 
+    /// The server dies mid-run (its rekey tick is swallowed by the outage
+    /// window) and respawns from its crash journal: the epoch bumps, every
+    /// member resyncs, and the group ends the run current and consistent.
+    #[test]
+    fn server_restart_resumes_from_journal() {
+        let mut rt = GroupRuntime::new(config(), RuntimeConfig::default(), small_net(7))
+            .with_faults(FaultPlan::new().outage(SERVER, 24 * SEC, 38 * SEC));
+        let trace: Vec<ChurnEvent> = (0..10)
+            .map(|i| ChurnEvent::join(SEC + i * 200_000))
+            .collect();
+        let handles = rt.run_trace(&trace);
+        rt.finish(90 * SEC);
+        let report = rt.report();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(rt.server_epoch(), 1);
+        assert!(report.suppressed > 0, "the outage swallowed deliveries");
+        assert!(
+            report.resyncs >= 10,
+            "every member resyncs across the epoch bump (got {})",
+            report.resyncs
+        );
+        assert!(rt.journal().recorded() > 0);
+        assert_eq!(rt.group().len(), 10);
+        assert_members_current(&rt, &handles);
+    }
+
+    /// Two members are cut off by a partition long enough to be wrongfully
+    /// departed; after the heal the server disowns them (`NotMember`) and
+    /// they rejoin from scratch, converging with everyone else.
+    #[test]
+    fn partition_wrongful_departs_heal_by_rejoin() {
+        let mut rt =
+            GroupRuntime::new(config(), RuntimeConfig::default(), small_net(8)).with_faults(
+                FaultPlan::new().partition(vec![vec![NodeId(1), NodeId(2)]], 20 * SEC, 56 * SEC),
+            );
+        let trace: Vec<ChurnEvent> = (0..8)
+            .map(|i| ChurnEvent::join(SEC + i * 200_000))
+            .collect();
+        let handles = rt.run_trace(&trace);
+        rt.finish(150 * SEC);
+        let report = rt.report();
+        assert_eq!(
+            report.failures_detected, 2,
+            "both isolated members are wrongfully departed"
+        );
+        assert_eq!(report.rejoins, 2, "both rejoin after the heal");
+        assert!(report.evictions >= 2);
+        assert!(report.copies_lost > 0, "the partition cut traffic");
+        assert_eq!(rt.group().len(), 8);
+        assert_members_current(&rt, &handles);
+    }
+
+    /// A joiner behind a partition retransmits its join with exponential
+    /// backoff until the network heals, and its attempt counter never
+    /// escapes the configured cap.
+    #[test]
+    fn join_behind_partition_retries_until_admitted() {
+        let cfg = RuntimeConfig::default();
+        let mut rt = GroupRuntime::new(config(), cfg, small_net(9))
+            .with_faults(FaultPlan::new().partition(vec![vec![NodeId(1)]], 500_000, 20 * SEC));
+        let mut trace = vec![ChurnEvent::join(SEC)];
+        trace.extend((0..4).map(|i| ChurnEvent::join(22 * SEC + i * 200_000)));
+        let handles = rt.run_trace(&trace);
+        rt.finish(70 * SEC);
+        let report = rt.report();
+        assert_eq!(report.joins, 5, "the blocked join eventually lands");
+        assert!(
+            report.retransmissions >= 4,
+            "the blocked joiner kept retrying (got {})",
+            report.retransmissions
+        );
+        assert!(report.max_retry_attempts <= cfg.retry_cap);
+        let stats = rt.member_stats(0);
+        assert!(stats.retransmissions >= 4);
+        assert_eq!(rt.group().len(), 5);
+        assert_members_current(&rt, &handles);
+    }
+
     #[test]
     fn identical_seeds_reproduce_the_run_exactly() {
         let run = |loss_seed: u64| {
@@ -1193,7 +2364,11 @@ mod tests {
                 seed: loss_seed,
                 ..RuntimeConfig::default()
             };
-            let mut rt = GroupRuntime::new(config(), runtime_config, small_net(5));
+            let plan = FaultPlan::new()
+                .jitter(30_000)
+                .burst_loss(GilbertElliott::moderate());
+            let mut rt =
+                GroupRuntime::new(config(), runtime_config, small_net(5)).with_faults(plan);
             let trace: Vec<ChurnEvent> = (0..9)
                 .map(|i| ChurnEvent::join(SEC + i * 300_000))
                 .chain([
@@ -1203,19 +2378,12 @@ mod tests {
                 .collect();
             rt.run_trace(&trace);
             rt.finish(90 * SEC);
-            let report = rt.report();
-            (
-                report.delivered,
-                report.copies_lost,
-                report.nacks,
-                report.forward_copies,
-                rt.server().tree().group_key().cloned(),
-            )
+            (rt.report(), rt.server().tree().group_key().cloned())
         };
         assert_eq!(run(11), run(11), "same seed must reproduce exactly");
-        let (_, lost_a, ..) = run(11);
-        let (_, lost_b, ..) = run(12);
-        assert!(lost_a > 0 && lost_b > 0);
+        let (report_a, _) = run(11);
+        let (report_b, _) = run(12);
+        assert!(report_a.copies_lost > 0 && report_b.copies_lost > 0);
     }
 
     #[test]
@@ -1225,6 +2393,32 @@ mod tests {
             config(),
             RuntimeConfig {
                 loss: 1.5,
+                ..RuntimeConfig::default()
+            },
+            small_net(6),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rekey period must be positive")]
+    fn rejects_zero_rekey_period() {
+        let _ = GroupRuntime::new(
+            config(),
+            RuntimeConfig {
+                rekey_period: 0,
+                ..RuntimeConfig::default()
+            },
+            small_net(6),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nack grace must be positive")]
+    fn rejects_zero_nack_grace() {
+        let _ = GroupRuntime::new(
+            config(),
+            RuntimeConfig {
+                nack_grace: 0,
                 ..RuntimeConfig::default()
             },
             small_net(6),

@@ -1,0 +1,171 @@
+//! The key server's crash journal: one checkpoint per completed rekey
+//! interval.
+//!
+//! The paper's key server is a single point of failure; a deployment would
+//! journal its state so a respawned process resumes rekeying instead of
+//! orphaning the group. This module models exactly that: at the end of
+//! every interval — *after* the rekey multicast, so no member can ever be
+//! ahead of the journal — the runtime records a [`Checkpoint`] holding the
+//! complete [`GroupServer`] (membership, key tree, RNG position), the
+//! membership-update sequence number, and the per-interval message history
+//! that answers NACKs. A restart restores the latest checkpoint, bumps the
+//! server *epoch*, and re-announces itself with an immediate interval;
+//! members that applied membership updates the rollback discarded detect
+//! the epoch change and resync.
+//!
+//! Membership mutations between the last checkpoint and a crash are lost
+//! by design (as they would be with a real write-behind journal): the
+//! affected members re-request — a joiner whose admission rolled back is
+//! told `NotMember` and rejoins, a leaver is only acknowledged *after* the
+//! checkpoint that contains its departure, so an unacknowledged leaver
+//! keeps retransmitting and departs again.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::GroupServer;
+
+use super::IntervalMessage;
+
+/// One interval's durable server state.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The complete server state machine at the interval boundary.
+    pub server: GroupServer,
+    /// The membership-update sequence number at checkpoint time; a
+    /// restarted server resumes numbering from here, and members whose
+    /// applied sequence exceeds it hold rolled-back state.
+    pub seq: u64,
+    /// The per-interval rekey messages kept for unicast NACK recovery.
+    /// Shared by reference with the live history, so a checkpoint costs no
+    /// payload copies.
+    pub history: BTreeMap<u64, Rc<IntervalMessage>>,
+}
+
+/// The journal itself: the latest checkpoint plus a count of how many were
+/// ever recorded (each new checkpoint supersedes the previous — recovery
+/// only ever needs the most recent interval boundary).
+#[derive(Debug, Default)]
+pub struct Journal {
+    latest: Option<Checkpoint>,
+    recorded: u64,
+}
+
+impl Journal {
+    /// An empty journal (no checkpoint yet — a restart before the first
+    /// interval keeps the live state).
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Records `checkpoint`, superseding any previous one.
+    pub fn record(&mut self, checkpoint: Checkpoint) {
+        self.recorded += 1;
+        self.latest = Some(checkpoint);
+    }
+
+    /// The most recent checkpoint, if any was recorded.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.latest.as_ref()
+    }
+
+    /// Checkpoints recorded over the journal's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Clones the latest checkpoint for a restart; the journal itself is
+    /// untouched, so repeated restarts restore the same state.
+    pub fn restore(&self) -> Option<Checkpoint> {
+        self.latest.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekey_net::{HostId, MatrixNetwork, Network, PlanetLabParams};
+    use rekey_sim::seeded_rng;
+
+    fn server_with_members(n: usize) -> (MatrixNetwork, GroupServer) {
+        let mut rng = seeded_rng(0x10AD);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let mut server = crate::GroupConfig::for_spec(&rekey_id::IdSpec::new(3, 8).unwrap())
+            .k(2)
+            .seed(3)
+            .build(HostId(net.host_count() - 1));
+        for h in 0..n {
+            server.request_join(HostId(h), &net, h as u64).unwrap();
+        }
+        server.end_interval();
+        (net, server)
+    }
+
+    #[test]
+    fn empty_journal_restores_nothing() {
+        let journal = Journal::new();
+        assert!(journal.latest().is_none());
+        assert!(journal.restore().is_none());
+        assert_eq!(journal.recorded(), 0);
+    }
+
+    #[test]
+    fn restore_is_an_independent_snapshot() {
+        let (net, server) = server_with_members(5);
+        let mut journal = Journal::new();
+        journal.record(Checkpoint {
+            server: server.clone(),
+            seq: 5,
+            history: BTreeMap::new(),
+        });
+        assert_eq!(journal.recorded(), 1);
+
+        // Mutate a restored copy: the journal's checkpoint is unaffected,
+        // so a second restart sees the same state again.
+        let mut restored = journal.restore().unwrap();
+        assert_eq!(restored.seq, 5);
+        assert_eq!(restored.server.interval(), server.interval());
+        let victim = restored.server.group().members()[0].id.clone();
+        restored.server.request_leave(&victim, &net).unwrap();
+        restored.server.end_interval();
+        assert_eq!(journal.latest().unwrap().server.group().len(), 5);
+        assert_eq!(
+            journal.latest().unwrap().server.interval(),
+            server.interval()
+        );
+    }
+
+    #[test]
+    fn newer_checkpoints_supersede_older_ones() {
+        let (_, server) = server_with_members(4);
+        let mut journal = Journal::new();
+        journal.record(Checkpoint {
+            server: server.clone(),
+            seq: 4,
+            history: BTreeMap::new(),
+        });
+        journal.record(Checkpoint {
+            server,
+            seq: 9,
+            history: BTreeMap::new(),
+        });
+        assert_eq!(journal.recorded(), 2);
+        assert_eq!(journal.latest().unwrap().seq, 9);
+    }
+
+    /// The restored key tree reproduces the same group key: a member that
+    /// was current at the checkpoint stays current across a restart.
+    #[test]
+    fn restored_tree_preserves_the_group_key() {
+        let (_, server) = server_with_members(6);
+        let key = server.tree().group_key().cloned();
+        let mut journal = Journal::new();
+        journal.record(Checkpoint {
+            server,
+            seq: 6,
+            history: BTreeMap::new(),
+        });
+        let restored = journal.restore().unwrap();
+        assert_eq!(restored.server.tree().group_key().cloned(), key);
+    }
+}

@@ -79,9 +79,18 @@ struct Delivery<M> {
 /// time` (see [`Simulation::set_egress`]).
 type EgressFn<M> = Box<dyn FnMut(NodeId, &M) -> SimTime>;
 
-/// Message-drop hook: `(sender, receiver, msg) -> drop?` (see
-/// [`Simulation::with_loss`]).
-type DropFn<M> = Box<dyn FnMut(NodeId, NodeId, &M) -> bool>;
+/// Message-drop hook: `(now, sender, receiver, msg) -> drop?` (see
+/// [`Simulation::with_loss`]). The timestamp lets time-windowed fault
+/// models (partitions) decide per message.
+type DropFn<M> = Box<dyn FnMut(SimTime, NodeId, NodeId, &M) -> bool>;
+
+/// Extra-delay hook: `(now, sender, receiver, msg) -> extra delay` added
+/// on top of the network delay (see [`Simulation::with_jitter`]).
+type JitterFn<M> = Box<dyn FnMut(SimTime, NodeId, NodeId, &M) -> SimTime>;
+
+/// Downtime hook: `(now, node) -> down?` (see
+/// [`Simulation::with_downtime`]).
+type DownFn = Box<dyn FnMut(SimTime, NodeId) -> bool>;
 
 pub struct Simulation<N: Node, F> {
     nodes: Vec<N>,
@@ -92,7 +101,10 @@ pub struct Simulation<N: Node, F> {
     delivered: u64,
     dropped: u64,
     dead_letters: u64,
+    suppressed: u64,
     drop: Option<DropFn<N::Msg>>,
+    jitter: Option<JitterFn<N::Msg>>,
+    down: Option<DownFn>,
     egress: Option<EgressFn<N::Msg>>,
     busy_until: Vec<SimTime>,
 }
@@ -127,7 +139,10 @@ where
             delivered: 0,
             dropped: 0,
             dead_letters: 0,
+            suppressed: 0,
             drop: None,
+            jitter: None,
+            down: None,
             egress: None,
             busy_until,
         }
@@ -180,20 +195,77 @@ where
 
     /// Installs a message-loss model: network sends (not `send_after`
     /// timers) for which `drop` returns `true` are silently discarded, as
-    /// on a lossy UDP path. The hook sees the message, so a model can
-    /// target one traffic class (e.g. bulk rekey copies) while control
-    /// traffic stays reliable. Returns `self` for chaining.
+    /// on a lossy UDP path. The hook sees the send time and the message,
+    /// so a model can target one traffic class (e.g. bulk rekey copies)
+    /// while control traffic stays reliable, or cut by time window (a
+    /// network partition). Returns `self` for chaining.
     pub fn with_loss(
         mut self,
-        drop: impl FnMut(NodeId, NodeId, &N::Msg) -> bool + 'static,
+        drop: impl FnMut(SimTime, NodeId, NodeId, &N::Msg) -> bool + 'static,
     ) -> Self {
-        self.drop = Some(Box::new(drop));
+        self.set_loss(drop);
         self
+    }
+
+    /// Installs (or replaces) the message-loss model on a built
+    /// simulation; the in-place form of [`Simulation::with_loss`].
+    pub fn set_loss(
+        &mut self,
+        drop: impl FnMut(SimTime, NodeId, NodeId, &N::Msg) -> bool + 'static,
+    ) {
+        self.drop = Some(Box::new(drop));
+    }
+
+    /// Installs a delay-jitter model: every network send (not `send_after`
+    /// timers) travels for its network delay *plus* the hook's extra
+    /// delay. Jitter reorders traffic — two messages on the same link swap
+    /// whenever their spacing is smaller than the jitter difference.
+    /// Returns `self` for chaining.
+    pub fn with_jitter(
+        mut self,
+        jitter: impl FnMut(SimTime, NodeId, NodeId, &N::Msg) -> SimTime + 'static,
+    ) -> Self {
+        self.set_jitter(jitter);
+        self
+    }
+
+    /// Installs (or replaces) the jitter model on a built simulation; the
+    /// in-place form of [`Simulation::with_jitter`].
+    pub fn set_jitter(
+        &mut self,
+        jitter: impl FnMut(SimTime, NodeId, NodeId, &N::Msg) -> SimTime + 'static,
+    ) {
+        self.jitter = Some(Box::new(jitter));
+    }
+
+    /// Installs a downtime model: a delivery addressed to a node for which
+    /// the hook returns `true` at delivery time is discarded and counted
+    /// by [`Simulation::suppressed`]. Unlike [`Simulation::kill`] the
+    /// node's state is retained and deliveries resume once the hook stops
+    /// reporting it down — but note that any of the node's own pending
+    /// timers that elapse during the window are lost with everything else,
+    /// so drivers model a restart by injecting a message at or after the
+    /// window's end. Returns `self` for chaining.
+    pub fn with_downtime(mut self, down: impl FnMut(SimTime, NodeId) -> bool + 'static) -> Self {
+        self.set_downtime(down);
+        self
+    }
+
+    /// Installs (or replaces) the downtime model on a built simulation;
+    /// the in-place form of [`Simulation::with_downtime`].
+    pub fn set_downtime(&mut self, down: impl FnMut(SimTime, NodeId) -> bool + 'static) {
+        self.down = Some(Box::new(down));
     }
 
     /// Number of messages discarded by the loss model.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Deliveries discarded because the destination was down (downtime
+    /// model) at delivery time.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
     }
 
     /// Current simulated time.
@@ -232,20 +304,23 @@ where
     }
 
     fn flush_outbox(&mut self, from: NodeId) {
+        let now = self.scheduler.now();
         for out in self.outbox.drain(..) {
             match out {
                 Outgoing::Send { to, msg } => {
                     if let Some(drop) = self.drop.as_mut() {
-                        if drop(from, to, &msg) {
+                        if drop(now, from, to, &msg) {
                             self.dropped += 1;
                             continue;
                         }
                     }
-                    let d = (self.delay)(from, to);
+                    let mut d = (self.delay)(from, to);
+                    if let Some(jitter) = self.jitter.as_mut() {
+                        d += jitter(now, from, to, &msg);
+                    }
                     match self.egress.as_mut() {
                         None => self.scheduler.schedule_in(d, Delivery { from, to, msg }),
                         Some(cost) => {
-                            let now = self.scheduler.now();
                             let depart = now.max(self.busy_until[from.0]) + cost(from, &msg);
                             self.busy_until[from.0] = depart;
                             self.scheduler
@@ -271,6 +346,12 @@ where
         if !self.alive[to.0] {
             self.dead_letters += 1;
             return true;
+        }
+        if let Some(down) = self.down.as_mut() {
+            if down(now, to) {
+                self.suppressed += 1;
+                return true;
+            }
         }
         self.delivered += 1;
         let mut ctx = Ctx {
@@ -391,7 +472,7 @@ mod tests {
             }
         }
         let mut s = Simulation::new(vec![Echo { got: 0 }, Echo { got: 0 }], |_, _| 1)
-            .with_loss(|_, _, _| true);
+            .with_loss(|_, _, _, _| true);
         s.inject_at(0, NodeId(0), NodeId(0), 3);
         s.run_until_idle();
         assert_eq!(s.dropped(), 1, "the network send was dropped");
@@ -457,11 +538,78 @@ mod tests {
             }
         }
         let nodes = vec![Fan { got: vec![] }, Fan { got: vec![] }];
-        let mut s = Simulation::new(nodes, |_, _| 1).with_loss(|_, _, m: &u32| m % 2 == 1);
+        let mut s = Simulation::new(nodes, |_, _| 1).with_loss(|_, _, _, m: &u32| m % 2 == 1);
         s.inject_at(0, NodeId(1), NodeId(0), 100);
         s.run_until_idle();
         assert_eq!(s.node(NodeId(1)).got, vec![0, 2, 4]);
         assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn jitter_adds_delay_and_reorders_but_spares_timers() {
+        struct Fan {
+            arrivals: Vec<(u32, SimTime)>,
+        }
+        impl Node for Fan {
+            type Msg = u32;
+            fn receive(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+                if msg == 100 {
+                    ctx.send(NodeId(1), 1);
+                    ctx.send(NodeId(1), 2);
+                    ctx.send_after(ctx.self_id(), 30, 0); // timer: no jitter
+                } else {
+                    self.arrivals.push((msg, ctx.now()));
+                }
+            }
+        }
+        let nodes = vec![Fan { arrivals: vec![] }, Fan { arrivals: vec![] }];
+        // Deterministic "jitter": the first copy gets +50, the second +0,
+        // so the copies swap; the timer still fires at exactly +30.
+        let mut extra = 50;
+        let mut s = Simulation::new(nodes, |_, _| 10).with_jitter(move |_, _, _, _| {
+            let d = extra;
+            extra = 0;
+            d
+        });
+        s.inject_at(0, NodeId(1), NodeId(0), 100);
+        s.run_until_idle();
+        assert_eq!(s.node(NodeId(1)).arrivals, vec![(2, 10), (1, 60)]);
+        assert_eq!(s.node(NodeId(0)).arrivals, vec![(0, 30)]);
+    }
+
+    #[test]
+    fn downtime_suppresses_deliveries_then_resumes() {
+        let mut s = sim([100, 100]).with_downtime(|now, node| node == NodeId(1) && now < 35);
+        s.inject_at(0, NodeId(0), NodeId(1), 0);
+        // 0→1 at t=0 is suppressed (node 1 down): the exchange dies out.
+        s.run_until_idle();
+        assert_eq!(s.suppressed(), 1);
+        assert_eq!(s.delivered(), 0);
+        assert_eq!(s.dead_letters(), 0, "down is not dead");
+        // After the window the node participates again.
+        s.inject_at(40, NodeId(0), NodeId(1), 0);
+        s.run_until(60);
+        assert!(s.delivered() > 0);
+        assert!(!s.node(NodeId(1)).received.is_empty());
+    }
+
+    #[test]
+    fn loss_hook_sees_send_time() {
+        struct Chatter;
+        impl Node for Chatter {
+            type Msg = ();
+            fn receive(&mut self, ctx: &mut Ctx<'_, ()>, from: NodeId, _msg: ()) {
+                ctx.send(from, ());
+            }
+        }
+        // Cut the "link" during [20, 40): the bounce chain dies once a
+        // send falls in the window.
+        let mut s = Simulation::new(vec![Chatter, Chatter], |_, _| 10)
+            .with_loss(|now, _, _, _| (20..40).contains(&now));
+        s.inject_at(0, NodeId(0), NodeId(1), ());
+        s.run_until_idle();
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.now(), 20, "last delivery at the window edge");
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!   participants exchange messages whose delivery latency comes from a
 //!   pluggable network delay function (one-way delays from
 //!   `rekey_net::Network` in the experiments);
-//! * [`seeded_rng`] — the workspace-standard deterministic RNG.
+//! * [`seeded_rng`] — the workspace-standard deterministic RNG;
+//! * [`fault`] — composable chaos injection ([`FaultPlan`]): partitions,
+//!   node outages, delay jitter, and i.i.d. or Gilbert–Elliott burst
+//!   loss, all deterministic under a fixed seed.
 //!
 //! Time is integer microseconds everywhere ([`SimTime`]).
 //!
@@ -38,9 +41,11 @@
 
 mod engine;
 mod event;
+pub mod fault;
 
 pub use engine::{Ctx, Node, NodeId, Simulation};
 pub use event::{Scheduler, SimTime};
+pub use fault::{FaultInjector, FaultPlan, GilbertElliott, Outage};
 
 use rand::SeedableRng;
 

@@ -4,9 +4,9 @@
 #
 #   scripts/ci.sh
 #
-# Runs the release build, the full test suite, the runtime soak, the
-# formatting check, clippy and rustdoc with warnings denied — the same
-# bar every PR must clear.
+# Runs the release build, the full test suite, the runtime and chaos
+# soaks, the doc tests, the formatting check, clippy and rustdoc with
+# warnings denied — the same bar every PR must clear.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +19,12 @@ cargo test --offline --workspace -q
 
 echo "==> runtime soak (1k members, 50+ intervals, churn + 2% loss)"
 cargo test --offline --release -q --test runtime_soak -- --ignored
+
+echo "==> chaos soak (1k members, burst loss + partition + server restart)"
+cargo test --offline --release -q --test chaos_soak -- --ignored
+
+echo "==> cargo test --doc"
+cargo test --offline --workspace -q --doc
 
 echo "==> cargo fmt --check"
 cargo fmt --check
