@@ -2425,3 +2425,27 @@ mod tests {
         );
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use rekey_id::IdSpec;
+    use rekey_net::{MatrixNetwork, PlanetLabParams};
+
+    const SEC: SimTime = 1_000_000;
+
+    #[test]
+    fn mid_interval_joiner_outage_resync() {
+        let mut rng = seeded_rng(0xBEEF);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let group = GroupConfig::for_spec(&IdSpec::new(3, 8).unwrap()).k(2).seed(3);
+        // Member handle 4 joins at t=4.2s (mid first interval, ends at 10s)
+        // and its node goes down for [5s, 7s): on Restart it arms a Resync
+        // that fires before its Welcome exists in the tree.
+        let mut rt = GroupRuntime::new(group, RuntimeConfig::default(), net)
+            .with_faults(FaultPlan::new().outage(NodeId(5), 5 * SEC, 7 * SEC));
+        let trace: Vec<ChurnEvent> = (0..5).map(|i| ChurnEvent::join(SEC + i * 800_000)).collect();
+        rt.run_trace(&trace);
+        rt.finish(40 * SEC);
+    }
+}
