@@ -20,15 +20,11 @@ fn bench_churn_scale(c: &mut Criterion) {
             &members,
             |b, _| {
                 b.iter(|| {
-                    let runtime_config = RuntimeConfig {
-                        loss: 0.02,
-                        seed: 0xC4C4,
-                        ..RuntimeConfig::default()
-                    };
+                    let runtime_config = RuntimeConfig::builder().loss(0.02).seed(0xC4C4).build();
                     let mut rt = GroupRuntime::new(config.clone(), runtime_config, net.clone());
                     rt.run_trace(&trace);
                     rt.finish(finish);
-                    rt.report().intervals
+                    rt.snapshot().intervals
                 })
             },
         );

@@ -16,16 +16,20 @@
 //!    then scales the damage (lost copies, control retransmissions) while
 //!    the rejoin/resync machinery caps the recovery latency.
 //!
-//! Recovery latency is the mean interval apply delay — the time from a
-//! rekey interval's multicast to a member actually applying it, averaged
-//! over every (member, interval) pair — so loss-free delivery sets the
-//! baseline and every recovery path (NACK unicast, resync, rejoin) adds
-//! its round trips on top. Recovery bytes converts NACK-answered
-//! encryptions to wire bytes. Prints the committed `BENCH_chaos.json` to
-//! stdout; progress goes to stderr. Run with `--release`.
+//! Recovery latency comes from the runtime's `apply_delay_us` histogram —
+//! the time from a rekey interval's multicast to a member actually
+//! applying it, one sample per (member, interval) pair — so loss-free
+//! delivery sets the baseline and every recovery path (NACK unicast,
+//! resync, rejoin) adds its round trips on top. Recovery bytes converts
+//! NACK-answered encryptions to wire bytes; the fault attribution
+//! counters (`partition_cuts`, `fault_loss_drops`) split the drops by
+//! cause. Prints the committed `BENCH_chaos.json` to stdout via the
+//! shared deterministic writer; every snapshot is validated against the
+//! promised schema first. Progress goes to stderr. Run with `--release`.
 
-use rekey_bench::churn_runtime_fixture;
-use rekey_proto::{chaos, GroupRuntime, RuntimeConfig, RuntimeReport};
+use rekey_bench::{churn_runtime_fixture, schema};
+use rekey_metrics::json::Writer;
+use rekey_proto::{chaos, GroupRuntime, MetricsSnapshot, RuntimeConfig};
 use rekey_sim::{FaultPlan, GilbertElliott};
 
 /// Serialized size of one `Encryption` on the wire (same accounting as
@@ -55,82 +59,70 @@ fn burst_profile(mean: f64) -> GilbertElliott {
     profile
 }
 
-struct Outcome {
-    report: RuntimeReport,
-    /// Mean µs from interval multicast to member apply, over all
-    /// (member, interval) applications.
-    apply_delay_us: f64,
-}
-
-fn run_plan(plan: FaultPlan, finish: u64) -> Outcome {
+fn run_plan(plan: FaultPlan, finish: u64) -> MetricsSnapshot {
     let (net, config, trace, fixture_finish) =
         churn_runtime_fixture(MEMBERS, CHURN_INTERVALS, SEED);
-    let runtime_config = RuntimeConfig {
-        seed: SEED,
-        ..RuntimeConfig::default()
-    };
+    let runtime_config = RuntimeConfig::builder().seed(SEED).build();
     let mut rt = GroupRuntime::new(config, runtime_config, net).with_faults(plan);
     rt.run_trace(&trace);
     rt.finish(fixture_finish.max(finish));
-    let (mut delay_total, mut applied) = (0u64, 0u64);
-    for m in 0..rt.member_count() {
-        let stats = rt.member_stats(m);
-        delay_total += stats.apply_delay_total;
-        applied += stats.intervals_applied;
-    }
-    Outcome {
-        report: rt.report(),
-        apply_delay_us: delay_total as f64 / applied.max(1) as f64,
-    }
+    let report = rt.snapshot();
+    schema::validate_snapshot(&report.to_json());
+    report
 }
 
-fn print_common(label: &str, out: &Outcome, trailing_comma: bool) {
-    let rep = &out.report;
-    println!("      \"{label}\": {{");
-    println!("        \"copies_lost\": {},", rep.copies_lost);
-    println!("        \"nacks\": {},", rep.nacks);
-    println!(
-        "        \"recovery_encryptions\": {},",
-        rep.recovery_encryptions
+fn write_common(w: &mut Writer, label: &str, rep: &MetricsSnapshot) {
+    w.begin_named_object(label);
+    w.field_u64("copies_lost", rep.copies_lost);
+    w.field_u64("partition_cuts", rep.partition_cuts);
+    w.field_u64("fault_loss_drops", rep.fault_loss_drops);
+    w.field_u64("nacks", rep.nacks);
+    w.field_u64("recovery_encryptions", rep.recovery_encryptions);
+    w.field_u64(
+        "recovery_bytes",
+        rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES,
     );
-    println!(
-        "        \"recovery_bytes\": {},",
-        rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES
-    );
-    println!("        \"retransmissions\": {},", rep.retransmissions);
-    println!("        \"resyncs\": {},", rep.resyncs);
-    println!("        \"rejoins\": {},", rep.rejoins);
-    println!("        \"apply_delay_us\": {:.1}", out.apply_delay_us);
-    println!("      }}{}", if trailing_comma { "," } else { "" });
+    w.field_u64("retransmissions", rep.retransmissions);
+    w.field_u64("resyncs", rep.resyncs);
+    w.field_u64("rejoins", rep.rejoins);
+    w.field_f64("apply_delay_us", rep.apply_delay_us.mean(), 1);
+    w.field_u64("apply_delay_p95_us", rep.apply_delay_us.p95());
+    w.end_object();
 }
 
 fn main() {
     let loss_rates = [0.02f64, 0.05, 0.10];
     let partition_secs = [0u64, 6, 12, 24];
 
-    println!("{{");
-    println!(
-        "  \"bench\": \"GroupRuntime self-healing: {MEMBERS} members, {CHURN_INTERVALS} churn intervals, composable fault plans\","
+    let mut w = Writer::new();
+    w.begin_object();
+    w.field_str(
+        "bench",
+        &format!(
+            "GroupRuntime self-healing: {MEMBERS} members, \
+             {CHURN_INTERVALS} churn intervals, composable fault plans"
+        ),
     );
-    println!(
-        "  \"unit\": \"recovery traffic (bytes) and mean interval apply delay (us, multicast to member apply)\","
+    w.field_str(
+        "unit",
+        "recovery traffic (bytes) and interval apply delay (us, multicast to member apply)",
     );
 
-    println!("  \"loss_sweep\": [");
-    for (i, &rate) in loss_rates.iter().enumerate() {
+    w.begin_named_array("loss_sweep");
+    for &rate in &loss_rates {
         eprintln!("bench_chaos: loss sweep {rate:.2} (iid vs burst)…");
         let iid = run_plan(FaultPlan::new().iid_loss(rate), 0);
         let burst = run_plan(FaultPlan::new().burst_loss(burst_profile(rate)), 0);
-        println!("    {{");
-        println!("      \"mean_loss\": {rate:.2},");
-        print_common("iid", &iid, true);
-        print_common("burst", &burst, false);
-        println!("    }}{}", if i + 1 < loss_rates.len() { "," } else { "" });
+        w.begin_object();
+        w.field_f64("mean_loss", rate, 2);
+        write_common(&mut w, "iid", &iid);
+        write_common(&mut w, "burst", &burst);
+        w.end_object();
     }
-    println!("  ],");
+    w.end_array();
 
-    println!("  \"partition_sweep\": [");
-    for (i, &secs) in partition_secs.iter().enumerate() {
+    w.begin_named_array("partition_sweep");
+    for &secs in &partition_secs {
         eprintln!("bench_chaos: two-way partition for {secs} s…");
         // Cover every join handle the fixture can produce so late churn
         // joiners land in a real cell instead of the implicit extra one.
@@ -142,18 +134,12 @@ fn main() {
         };
         // A tail after the heal so wrongful departs finish rejoining.
         let out = run_plan(plan, (30 + secs + 60) * SEC);
-        println!("    {{");
-        println!("      \"partition_secs\": {secs},");
-        print_common("result", &out, false);
-        println!(
-            "    }}{}",
-            if i + 1 < partition_secs.len() {
-                ","
-            } else {
-                ""
-            }
-        );
+        w.begin_object();
+        w.field_u64("partition_secs", secs);
+        write_common(&mut w, "result", &out);
+        w.end_object();
     }
-    println!("  ]");
-    println!("}}");
+    w.end_array();
+    w.end_object();
+    print!("{}", w.finish());
 }

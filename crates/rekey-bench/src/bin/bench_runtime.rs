@@ -2,17 +2,20 @@
 //! simulated clock sustain a leave+join churn trace with 2% per-copy loss
 //! on the overlay rekey transport, at N ∈ {64, 256, 1024}.
 //!
-//! Reports completed rekey intervals per wall-clock second and the unicast
+//! Reports completed rekey intervals per wall-clock second, the unicast
 //! recovery traffic (NACK-triggered encryptions, converted to wire bytes)
-//! the loss model induced. Prints a JSON document (the committed
-//! `BENCH_runtime.json`) to stdout. Progress goes to stderr. Run with
-//! `--release`.
+//! the loss model induced, and apply-delay percentiles from the runtime's
+//! metrics snapshot. Prints a JSON document (the committed
+//! `BENCH_runtime.json`) to stdout via the shared deterministic writer;
+//! every snapshot is validated against the promised schema first.
+//! Progress goes to stderr. Run with `--release`.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use rekey_bench::churn_runtime_fixture;
-use rekey_proto::{GroupRuntime, RuntimeConfig, RuntimeReport};
+use rekey_bench::{churn_runtime_fixture, schema};
+use rekey_metrics::json::Writer;
+use rekey_proto::{GroupRuntime, MetricsSnapshot, RuntimeConfig};
 
 /// Serialized size of one `Encryption` on the wire: two key identifiers
 /// (≤ 5-digit prefix + length byte + u64 version, 14 bytes each), a
@@ -24,21 +27,17 @@ const SEED: u64 = 0xC4C4;
 
 struct Row {
     members: usize,
-    report: RuntimeReport,
+    report: MetricsSnapshot,
     run_ns: f64,
 }
 
-fn run_once(members: usize) -> RuntimeReport {
+fn run_once(members: usize) -> MetricsSnapshot {
     let (net, config, trace, finish) = churn_runtime_fixture(members, CHURN_INTERVALS, SEED);
-    let runtime_config = RuntimeConfig {
-        loss: 0.02,
-        seed: SEED,
-        ..RuntimeConfig::default()
-    };
+    let runtime_config = RuntimeConfig::builder().loss(0.02).seed(SEED).build();
     let mut rt = GroupRuntime::new(config, runtime_config, net);
     rt.run_trace(&trace);
     rt.finish(finish);
-    rt.report()
+    rt.snapshot()
 }
 
 /// Times full runs adaptively: after the warm-up, repeat until at least
@@ -48,6 +47,7 @@ fn run_size(members: usize) -> Row {
     const MIN_ITERS: u32 = 3;
     eprintln!("bench_runtime: {members} members, {CHURN_INTERVALS} churn intervals, 2% loss…");
     let report = run_once(members); // warm-up; runs are deterministic
+    schema::validate_snapshot(&report.to_json());
     let mut iters = 0u32;
     let start = Instant::now();
     while iters < MIN_ITERS || start.elapsed().as_nanos() < MIN_TIME_NS {
@@ -69,38 +69,47 @@ fn run_size(members: usize) -> Row {
 
 fn main() {
     let rows: Vec<Row> = [64usize, 256, 1024].map(run_size).into();
-    println!("{{");
-    println!(
-        "  \"bench\": \"GroupRuntime: event-driven churn at scale ({CHURN_INTERVALS} leave+join intervals, 2% copy loss)\","
+    let mut w = Writer::new();
+    w.begin_object();
+    w.field_str(
+        "bench",
+        &format!(
+            "GroupRuntime: event-driven churn at scale \
+             ({CHURN_INTERVALS} leave+join intervals, 2% copy loss)"
+        ),
     );
-    println!("  \"unit\": \"completed rekey intervals per wall-clock second (release)\",");
-    println!("  \"results\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
+    w.field_str(
+        "unit",
+        "completed rekey intervals per wall-clock second (release)",
+    );
+    w.begin_named_array("results");
+    for r in &rows {
         let rep = &r.report;
-        println!("    {{");
-        println!("      \"members\": {},", r.members);
-        println!("      \"intervals\": {},", rep.intervals);
-        println!(
-            "      \"intervals_per_sec\": {:.2},",
-            rep.intervals as f64 / (r.run_ns / 1e9)
+        w.begin_object();
+        w.field_usize("members", r.members);
+        w.field_u64("intervals", rep.intervals);
+        w.field_f64(
+            "intervals_per_sec",
+            rep.intervals as f64 / (r.run_ns / 1e9),
+            2,
         );
-        println!("      \"forward_copies\": {},", rep.forward_copies);
-        println!("      \"copies_lost\": {},", rep.copies_lost);
-        println!("      \"nacks\": {},", rep.nacks);
-        println!(
-            "      \"recovery_encryptions\": {},",
-            rep.recovery_encryptions
+        w.field_u64("forward_copies", rep.forward_copies);
+        w.field_u64("copies_lost", rep.copies_lost);
+        w.field_u64("nacks", rep.nacks);
+        w.field_u64("recovery_encryptions", rep.recovery_encryptions);
+        w.field_u64(
+            "recovery_bytes",
+            rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES,
         );
-        println!(
-            "      \"recovery_bytes\": {},",
-            rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES
-        );
-        println!("      \"dead_letters\": {},", rep.dead_letters);
-        println!("      \"suppressed\": {},", rep.suppressed);
-        println!("      \"delivered\": {}", rep.delivered);
-        println!("    }}{comma}");
+        w.field_u64("dead_letters", rep.dead_letters);
+        w.field_u64("suppressed", rep.suppressed);
+        w.field_u64("delivered", rep.delivered);
+        w.field_u64("apply_delay_p50_us", rep.apply_delay_us.p50());
+        w.field_u64("apply_delay_p95_us", rep.apply_delay_us.p95());
+        w.field_usize("peak_queue_depth", rep.peak_queue_depth);
+        w.end_object();
     }
-    println!("  ]");
-    println!("}}");
+    w.end_array();
+    w.end_object();
+    print!("{}", w.finish());
 }

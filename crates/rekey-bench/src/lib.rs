@@ -7,6 +7,7 @@
 
 pub mod harness;
 pub mod output;
+pub mod schema;
 
 pub use harness::{
     arg_usize, churn_runtime_fixture, grow_group, grow_nice, latency_figure,

@@ -1,0 +1,89 @@
+//! Loud validation of the snapshot JSON schema the bench artifacts
+//! promise.
+//!
+//! The committed `BENCH_runtime.json` / `BENCH_chaos.json` documents are
+//! derived from [`rekey_proto::MetricsSnapshot`] data, and downstream
+//! tooling greps those artifacts by key. Every bench binary calls
+//! [`validate_snapshot`] on each snapshot it folds into an artifact, so a
+//! renamed or dropped counter fails the bench run immediately instead of
+//! silently shipping an artifact with holes.
+
+use rekey_metrics::json::has_key;
+
+/// Every key a `MetricsSnapshot::to_json` document must contain —
+/// counters, histogram series, and the span block. Keep in sync with
+/// `MetricsSnapshot`; removing a key here loosens the artifact contract
+/// and should be a deliberate, reviewed change.
+pub const SNAPSHOT_REQUIRED_KEYS: &[&str] = &[
+    // counters
+    "intervals",
+    "members",
+    "joins",
+    "departures",
+    "failures_detected",
+    "forward_copies",
+    "copies_lost",
+    "dead_letters",
+    "suppressed",
+    "nacks",
+    "recovery_encryptions",
+    "pings",
+    "evictions",
+    "retransmissions",
+    "max_retry_attempts",
+    "resyncs",
+    "rejoins",
+    "rehabilitations",
+    "restarts",
+    "checkpoints",
+    "delivered",
+    "welcomes",
+    "leave_acks",
+    "tree_encryptions",
+    "tombstone_hits",
+    "partition_cuts",
+    "fault_loss_drops",
+    "peak_queue_depth",
+    // histogram series
+    "apply_delay_us",
+    "batch_size",
+    "split_payload",
+    "forward_fanout",
+    "recovery_size",
+    // span block
+    "spans",
+    "spans_dropped",
+];
+
+/// Checks a snapshot JSON document against [`SNAPSHOT_REQUIRED_KEYS`].
+///
+/// # Panics
+///
+/// Panics listing every promised key absent from `json`.
+pub fn validate_snapshot(json: &str) {
+    let missing: Vec<&str> = SNAPSHOT_REQUIRED_KEYS
+        .iter()
+        .copied()
+        .filter(|key| !has_key(json, key))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "snapshot JSON is missing promised keys: {missing:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_snapshot_satisfies_the_promised_schema() {
+        validate_snapshot(&rekey_proto::MetricsSnapshot::default().to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing promised keys")]
+    fn missing_keys_are_reported_loudly() {
+        validate_snapshot("{\"intervals\": 3}");
+    }
+}

@@ -46,5 +46,5 @@ mod original;
 
 pub use cluster::{ClusterRekeyOutcome, ClusteredKeyTree};
 pub use keyring::KeyRing;
-pub use modified::{KeyTreeError, ModifiedKeyTree, RekeyOutcome};
+pub use modified::{KeyTreeError, ModifiedKeyTree, RekeyOutcome, TreeMetrics};
 pub use original::{NodeIdx, OrigEncryption, OrigRekeyOutcome, OriginalKeyTree};

@@ -7,6 +7,7 @@ use std::fmt;
 use rand::Rng;
 use rekey_crypto::{Encryption, Key, KeyMaterial};
 use rekey_id::{IdPrefix, IdSpec, IdTree, UserId};
+use rekey_metrics::{Counter, Histogram, Registry};
 
 /// Errors produced by key-tree batch operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,11 +60,46 @@ struct TreeNode {
 /// A key for a node being (re)created: version 0 for a first-time ID, or
 /// one past the retired version when a node with this ID was pruned
 /// before, so a `(node ID, version)` pair is never reused across
-/// incarnations.
-fn fresh_key<R: Rng + ?Sized>(retired: &BTreeMap<IdPrefix, u64>, id: IdPrefix, rng: &mut R) -> Key {
+/// incarnations. A retired-version resume bumps `tombstone_hits`.
+fn fresh_key<R: Rng + ?Sized>(
+    retired: &BTreeMap<IdPrefix, u64>,
+    id: IdPrefix,
+    rng: &mut R,
+    tombstone_hits: &mut u64,
+) -> Key {
     match retired.get(&id) {
-        Some(&v) => Key::new(id, v + 1, KeyMaterial::random(rng)),
+        Some(&v) => {
+            *tombstone_hits += 1;
+            Key::new(id, v + 1, KeyMaterial::random(rng))
+        }
         None => Key::random(id, rng),
+    }
+}
+
+/// Metric handles for a [`ModifiedKeyTree`], registered in a shared
+/// [`Registry`]. Cloning shares the underlying stores, so a tree cloned
+/// for a checkpoint (and the tree later restored from it) keeps reporting
+/// into the same series.
+#[derive(Debug, Clone)]
+pub struct TreeMetrics {
+    /// Distribution of batch sizes (`joins + leaves`) per rekey interval.
+    pub batch_size: Histogram,
+    /// Total encryptions generated across all rekey intervals.
+    pub encryptions: Counter,
+    /// Node (re)creations that resumed a retired version counter — each
+    /// hit is an ID-reuse event the tombstone map defended against.
+    pub tombstone_hits: Counter,
+}
+
+impl TreeMetrics {
+    /// Registers the tree's metrics (`tree_batch_size`,
+    /// `tree_encryptions`, `tree_tombstone_hits`) in `registry`.
+    pub fn in_registry(registry: &Registry) -> TreeMetrics {
+        TreeMetrics {
+            batch_size: registry.histogram("tree_batch_size"),
+            encryptions: registry.counter("tree_encryptions"),
+            tombstone_hits: registry.counter("tree_tombstone_hits"),
+        }
     }
 }
 
@@ -110,6 +146,10 @@ pub struct ModifiedKeyTree {
     /// departure) could see a same-ID same-version encryption it cannot
     /// open — or worse, silently skip a key it actually needs.
     retired: BTreeMap<IdPrefix, u64>,
+    /// Metric handles, if the owner opted in (see
+    /// [`ModifiedKeyTree::set_metrics`]). Cloned with the tree so a
+    /// checkpoint copy reports into the same series.
+    metrics: Option<TreeMetrics>,
 }
 
 impl ModifiedKeyTree {
@@ -119,7 +159,16 @@ impl ModifiedKeyTree {
             spec: *spec,
             nodes: BTreeMap::new(),
             retired: BTreeMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches metric handles: every subsequent [`batch_rekey`] records
+    /// its batch size, encryption count, and tombstone hits through them.
+    ///
+    /// [`batch_rekey`]: ModifiedKeyTree::batch_rekey
+    pub fn set_metrics(&mut self, metrics: TreeMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The ID-space specification.
@@ -227,6 +276,7 @@ impl ModifiedKeyTree {
         self.validate_batch(joins, leaves)?;
         let depth = self.spec.depth();
         let mut changed: BTreeSet<IdPrefix> = BTreeSet::new();
+        let mut tombstone_hits = 0u64;
 
         // "For each leaving user u, the key server deletes from the key tree
         // the u-node with ID u.ID. At each level i … the k-node whose ID
@@ -260,7 +310,7 @@ impl ModifiedKeyTree {
         // u-node with ID u.ID. At each level i … a k-node with ID
         // u.ID[0 : i−1] is added if such a k-node does not exist."
         for u in joins {
-            let leaf_key = fresh_key(&self.retired, u.as_prefix(), rng);
+            let leaf_key = fresh_key(&self.retired, u.as_prefix(), rng, &mut tombstone_hits);
             self.nodes.insert(
                 u.as_prefix(),
                 TreeNode {
@@ -273,7 +323,7 @@ impl ModifiedKeyTree {
                 let node = match self.nodes.entry(id.clone()) {
                     std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::btree_map::Entry::Vacant(e) => e.insert(TreeNode {
-                        key: fresh_key(&self.retired, id.clone(), rng),
+                        key: fresh_key(&self.retired, id.clone(), rng, &mut tombstone_hits),
                         children: BTreeSet::new(),
                     }),
                 };
@@ -303,6 +353,11 @@ impl ModifiedKeyTree {
                 let child = &self.nodes[&id.child(digit)];
                 encryptions.push(Encryption::seal(&child.key, &new_key, rng));
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.batch_size.record((joins.len() + leaves.len()) as u64);
+            m.encryptions.add(encryptions.len() as u64);
+            m.tombstone_hits.add(tombstone_hits);
         }
         Ok(RekeyOutcome {
             encryptions,
@@ -510,6 +565,35 @@ mod tests {
         assert_eq!(out.cost(), 0);
         assert_eq!(tree.node_count(), 0);
         assert!(tree.group_key().is_none());
+    }
+
+    #[test]
+    fn metrics_record_batches_encryptions_and_tombstones() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let registry = rekey_metrics::Registry::new();
+        let mut tree = ModifiedKeyTree::new(&spec());
+        tree.set_metrics(TreeMetrics::in_registry(&registry));
+
+        let joins: Vec<UserId> = [[0, 0], [0, 1]].iter().map(|d| uid(*d)).collect();
+        tree.batch_rekey(&joins, &[], &mut rng).unwrap();
+        // Prune the [0] subtree, then recreate one leaf: the leaf, the aux
+        // node [0], and the root all resume retired versions.
+        tree.batch_rekey(&[], &joins, &mut rng).unwrap();
+        let out = tree.batch_rekey(&[uid([0, 0])], &[], &mut rng).unwrap();
+
+        let snap = registry.snapshot();
+        let sizes = &snap.histograms["tree_batch_size"];
+        assert_eq!(sizes.count, 3);
+        assert_eq!(sizes.max, 2);
+        assert!(snap.counters["tree_encryptions"] >= out.cost() as u64);
+        assert_eq!(snap.counters["tree_tombstone_hits"], 3);
+
+        // A checkpoint clone shares the series rather than forking it.
+        let mut checkpoint = tree.clone();
+        checkpoint
+            .batch_rekey(&[uid([1, 1])], &[], &mut rng)
+            .unwrap();
+        assert_eq!(registry.snapshot().histograms["tree_batch_size"].count, 4);
     }
 
     #[test]

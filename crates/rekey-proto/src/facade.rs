@@ -17,7 +17,7 @@
 use rand::Rng;
 use rekey_crypto::{Key, SealedData};
 use rekey_id::{IdSpec, UserId};
-use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyOutcome};
+use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyOutcome, TreeMetrics};
 use rekey_net::{HostId, Micros, Network};
 use rekey_sim::{seeded_rng, SimRng};
 use rekey_table::PrimaryPolicy;
@@ -209,11 +209,11 @@ impl<'a> RekeyDelivery<'a> {
 /// ```
 /// use rand::SeedableRng;
 /// use rekey_net::{HostId, MatrixNetwork, Network, PlanetLabParams};
-/// use rekey_proto::{GroupServer, UserAgent};
+/// use rekey_proto::{GroupConfig, UserAgent};
 ///
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 /// let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
-/// let mut server = GroupServer::new(HostId(net.host_count() - 1), 42);
+/// let mut server = GroupConfig::paper().seed(42).build(HostId(net.host_count() - 1));
 /// for h in 0..4 {
 ///     server.request_join(HostId(h), &net, h as u64)?;
 /// }
@@ -243,11 +243,12 @@ pub struct GroupServer {
 }
 
 impl GroupServer {
-    /// Creates a server with the paper's default parameters (`D = 5`,
-    /// `B = 256`, `K = 4`, `P = 10`, `F = 80`, `R = 150/30/9/3` ms).
-    /// Use [`GroupConfig`] to change any of them.
-    pub fn new(server_host: HostId, seed: u64) -> GroupServer {
-        GroupConfig::paper().seed(seed).build(server_host)
+    /// Reports the key tree's rekey activity (batch sizes, encryptions,
+    /// tombstone hits) into the given metric series. Journal checkpoints
+    /// clone the server, and clones share the series, so counts survive
+    /// a restore.
+    pub fn instrument_tree(&mut self, metrics: TreeMetrics) {
+        self.tree.set_metrics(metrics);
     }
 
     /// The underlying membership state.

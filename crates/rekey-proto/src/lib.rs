@@ -62,6 +62,8 @@ pub use facade::{
 pub use group::{Group, GroupError, JoinOutcome};
 pub use protocols::{ipmc_rekey_transport, nice_rekey_transport, RekeyProtocol};
 pub use recovery::{lossy_rekey_transport, LossyReport};
-pub use runtime::{ChurnEvent, ChurnOp, GroupRuntime, RuntimeConfig, RuntimeReport};
+pub use runtime::{
+    ChurnEvent, ChurnOp, GroupRuntime, MetricsSnapshot, RuntimeConfig, RuntimeConfigBuilder,
+};
 pub use split::{cluster_rekey_transport, split_for_neighbor, tmesh_rekey_transport};
 pub use transport::{BandwidthReport, MemberIndex, SplitIndex, TransportOptions};

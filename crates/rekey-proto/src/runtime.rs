@@ -83,8 +83,12 @@ use std::rc::Rc;
 use rand::Rng;
 use rekey_crypto::Encryption;
 use rekey_id::UserId;
+use rekey_keytree::TreeMetrics;
+use rekey_metrics::{json, Histogram, HistogramSnapshot, Registry, SpanRecord};
 use rekey_net::{HostId, Micros, Network};
-use rekey_sim::{node_rng, seeded_rng, Ctx, FaultPlan, Node, NodeId, SimTime, Simulation};
+use rekey_sim::{
+    node_rng, seeded_rng, Ctx, FaultInjector, FaultPlan, Node, NodeId, SimTime, Simulation,
+};
 use rekey_table::{check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable};
 use rekey_tmesh::forward::{server_next_hops, user_next_hops_with};
 
@@ -110,32 +114,81 @@ fn host_of_member_node(n: NodeId) -> HostId {
 }
 
 /// Timing, loss, retry, and seeding knobs of a [`GroupRuntime`].
+///
+/// Constructed through [`RuntimeConfig::builder`] (mirroring the
+/// [`GroupConfig`] builder), which validates every knob in
+/// [`RuntimeConfigBuilder::build`] — so a `RuntimeConfig` in hand is
+/// valid by construction and [`GroupRuntime::new`] never has to reject
+/// one. [`RuntimeConfig::default`] is the validated default set.
+///
+/// ```
+/// use rekey_proto::RuntimeConfig;
+///
+/// let config = RuntimeConfig::builder()
+///     .rekey_period(5_000_000)
+///     .loss(0.02)
+///     .seed(42)
+///     .build();
+/// assert_eq!(config.rekey_period(), 5_000_000);
+/// assert_eq!(config.retry_cap(), RuntimeConfig::default().retry_cap());
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {
-    /// Rekey interval length (µs). The server batch-rekeys on this period.
-    /// Must be positive.
-    pub rekey_period: SimTime,
+    rekey_period: SimTime,
+    heartbeat_period: SimTime,
+    nack_grace: SimTime,
+    loss: f64,
+    retry_base: SimTime,
+    retry_cap: u32,
+    seed: u64,
+}
+
+impl RuntimeConfig {
+    /// Starts a builder from the default knobs.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder(RuntimeConfig::default())
+    }
+
+    /// Rekey interval length (µs): the server batch-rekeys on this period.
+    pub fn rekey_period(&self) -> SimTime {
+        self.rekey_period
+    }
+
     /// Heartbeat period (µs): how often each member pings its stored
     /// neighbors. A ping unanswered by the next beat evicts the neighbor.
-    /// Must be positive.
-    pub heartbeat_period: SimTime,
-    /// Grace after an interval boundary before a member NACKs a missing
-    /// rekey message; must be positive and should exceed the worst
-    /// overlay delivery delay (debug builds warn when it does not even
-    /// cover a server round trip).
-    pub nack_grace: SimTime,
+    pub fn heartbeat_period(&self) -> SimTime {
+        self.heartbeat_period
+    }
+
+    /// Grace (µs) after an interval boundary before a member NACKs a
+    /// missing rekey message.
+    pub fn nack_grace(&self) -> SimTime {
+        self.nack_grace
+    }
+
     /// Independent per-copy loss probability applied to `Forward` copies.
-    pub loss: f64,
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
     /// First retransmit timeout (µs) of the bounded-retry machinery; each
-    /// further attempt doubles it. Must be positive.
-    pub retry_base: SimTime,
+    /// further attempt doubles it.
+    pub fn retry_base(&self) -> SimTime {
+        self.retry_base
+    }
+
     /// Retry attempt cap: the backoff exponent saturates here, and a NACK
-    /// that has been retried this many times escalates to a full resync.
-    pub retry_cap: u32,
+    /// retried this many times escalates to a full resync.
+    pub fn retry_cap(&self) -> u32 {
+        self.retry_cap
+    }
+
     /// Seed for the runtime's randomness (loss draws, heartbeat stagger,
     /// fault injection). Independent of the [`GroupConfig`]
     /// key-generation seed.
-    pub seed: u64,
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -149,6 +202,81 @@ impl Default for RuntimeConfig {
             retry_cap: 5,
             seed: 0,
         }
+    }
+}
+
+/// Fluent builder of a [`RuntimeConfig`]; every knob starts at its
+/// default. Validation happens once, in [`RuntimeConfigBuilder::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfigBuilder(RuntimeConfig);
+
+impl RuntimeConfigBuilder {
+    /// Rekey interval length (µs). Must be positive.
+    pub fn rekey_period(mut self, period: SimTime) -> RuntimeConfigBuilder {
+        self.0.rekey_period = period;
+        self
+    }
+
+    /// Heartbeat period (µs). Must be positive.
+    pub fn heartbeat_period(mut self, period: SimTime) -> RuntimeConfigBuilder {
+        self.0.heartbeat_period = period;
+        self
+    }
+
+    /// NACK grace (µs). Must be positive and should exceed the worst
+    /// overlay delivery delay (debug builds warn at runtime construction
+    /// when it does not even cover a server round trip).
+    pub fn nack_grace(mut self, grace: SimTime) -> RuntimeConfigBuilder {
+        self.0.nack_grace = grace;
+        self
+    }
+
+    /// Per-copy `Forward` loss probability. Must be in `[0, 1)`.
+    pub fn loss(mut self, loss: f64) -> RuntimeConfigBuilder {
+        self.0.loss = loss;
+        self
+    }
+
+    /// First retransmit timeout (µs). Must be positive.
+    pub fn retry_base(mut self, base: SimTime) -> RuntimeConfigBuilder {
+        self.0.retry_base = base;
+        self
+    }
+
+    /// Retry attempt cap.
+    pub fn retry_cap(mut self, cap: u32) -> RuntimeConfigBuilder {
+        self.0.retry_cap = cap;
+        self
+    }
+
+    /// Runtime randomness seed.
+    pub fn seed(mut self, seed: u64) -> RuntimeConfigBuilder {
+        self.0.seed = seed;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1)` or any of the periods
+    /// (`rekey_period`, `heartbeat_period`, `nack_grace`, `retry_base`)
+    /// is zero — a zero rekey interval or NACK grace would spin the event
+    /// loop at a single instant.
+    pub fn build(self) -> RuntimeConfig {
+        let config = self.0;
+        assert!(
+            (0.0..1.0).contains(&config.loss),
+            "loss probability must be in [0, 1)"
+        );
+        assert!(config.rekey_period > 0, "rekey period must be positive");
+        assert!(config.nack_grace > 0, "nack grace must be positive");
+        assert!(
+            config.heartbeat_period > 0,
+            "heartbeat period must be positive"
+        );
+        assert!(config.retry_base > 0, "retry base must be positive");
+        config
     }
 }
 
@@ -393,6 +521,35 @@ pub enum RtMsg {
     },
 }
 
+/// Metric handles shared by every node of one runtime, all registered in
+/// one [`Registry`] (which the server's [`TreeMetrics`] also reports
+/// into). Recording is O(1) per event, so the hot paths stay hot.
+struct RuntimeMetrics {
+    registry: Registry,
+    /// µs from an interval's multicast to its local application.
+    apply_delay_us: Histogram,
+    /// Encryptions per `Forward` copy received (split payload sizes).
+    split_payload: Histogram,
+    /// Copies sent per forwarding occasion (server seeds and member
+    /// forward duties alike).
+    forward_fanout: Histogram,
+    /// Encryptions per unicast `Recover` reply.
+    recovery_size: Histogram,
+}
+
+impl RuntimeMetrics {
+    fn new() -> RuntimeMetrics {
+        let registry = Registry::new();
+        RuntimeMetrics {
+            apply_delay_us: registry.histogram("apply_delay_us"),
+            split_payload: registry.histogram("split_payload"),
+            forward_fanout: registry.histogram("forward_fanout"),
+            recovery_size: registry.histogram("recovery_size"),
+            registry,
+        }
+    }
+}
+
 /// Knobs shared by every node of one runtime.
 struct Shared {
     rekey_period: SimTime,
@@ -405,6 +562,7 @@ struct Shared {
     /// event queue drains with all repairs and recoveries completed;
     /// retries fire immediately instead of waiting for a tick.
     shutdown: Cell<bool>,
+    metrics: RuntimeMetrics,
 }
 
 impl Shared {
@@ -456,6 +614,9 @@ struct RtServer<NET> {
     tick_gen: u64,
     /// When the current interval ends (anchors member check timers).
     next_interval_at: SimTime,
+    /// When the previous rekey round ran (start anchor of the next
+    /// "interval" span, so span durations show round spacing).
+    last_round_at: SimTime,
     /// Interval messages kept for unicast recovery.
     history: BTreeMap<u64, Rc<IntervalMessage>>,
     /// The crash journal: one checkpoint per completed interval.
@@ -516,6 +677,10 @@ impl<NET: Network> RtServer<NET> {
                     .map(|e| message.encryptions[e].clone())
                     .collect();
                 self.stats.recovery_encryptions += encryptions.len() as u64;
+                self.shared
+                    .metrics
+                    .recovery_size
+                    .record(encryptions.len() as u64);
                 ctx.send(
                     from,
                     RtMsg::Recover {
@@ -629,8 +794,10 @@ impl<NET: Network> RtServer<NET> {
         self.history.insert(outcome.interval, Rc::clone(&message));
         // Empty intervals still multicast: members advance their interval
         // counter from the (empty) related set, keeping NACK checks quiet.
+        let mut fanout = 0u64;
         for hop in server_next_hops(self.server.group().server_table()) {
             self.stats.forward_copies += 1;
+            fanout += 1;
             ctx.send(
                 node_of_host(hop.neighbor.member.host),
                 RtMsg::Forward {
@@ -640,6 +807,12 @@ impl<NET: Network> RtServer<NET> {
                 },
             );
         }
+        let metrics = &self.shared.metrics;
+        metrics.forward_fanout.record(fanout);
+        metrics
+            .registry
+            .span("interval", self.last_round_at, ctx.now(), outcome.interval);
+        self.last_round_at = ctx.now();
         self.checkpoint(ctx);
     }
 
@@ -676,6 +849,10 @@ impl<NET: Network> RtServer<NET> {
                     .map(|e| message.encryptions[e].clone())
                     .collect();
                 self.stats.recovery_encryptions += encryptions.len() as u64;
+                self.shared
+                    .metrics
+                    .recovery_size
+                    .record(encryptions.len() as u64);
                 ctx.send(
                     node_of_host(member.host),
                     RtMsg::Recover {
@@ -696,6 +873,10 @@ impl<NET: Network> RtServer<NET> {
     fn restart(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
         self.stats.restarts += 1;
         self.epoch += 1;
+        self.shared
+            .metrics
+            .registry
+            .span("restart", ctx.now(), ctx.now(), self.epoch);
         self.tick_gen += 1;
         self.pending_leave_acks.clear();
         if let Some(cp) = self.journal.restore() {
@@ -1079,8 +1260,9 @@ impl RtMember {
                 message,
             } => {
                 self.stats.copies_received += 1;
-                self.stats.payload_encryptions +=
-                    message.index.related_ranges(prefix.as_slice()).total() as u64;
+                let split_size = message.index.related_ranges(prefix.as_slice()).total() as u64;
+                self.stats.payload_encryptions += split_size;
+                self.shared.metrics.split_payload.record(split_size);
                 self.note_epoch(ctx, message.epoch);
                 self.server_interval_seen = self.server_interval_seen.max(message.interval);
                 // Forward duty: once per interval, rows `level..D` of the
@@ -1089,9 +1271,11 @@ impl RtMember {
                     if let Some(table) = &self.table {
                         self.last_forwarded = message.interval;
                         let suspected = &self.suspected;
+                        let mut fanout = 0u64;
                         for hop in user_next_hops_with(table, level, &|id| !suspected.contains(id))
                         {
                             self.stats.copies_forwarded += 1;
+                            fanout += 1;
                             ctx.send(
                                 node_of_host(hop.neighbor.member.host),
                                 RtMsg::Forward {
@@ -1101,6 +1285,7 @@ impl RtMember {
                                 },
                             );
                         }
+                        self.shared.metrics.forward_fanout.record(fanout);
                     }
                 }
                 // Key state: any copy addressed to us carries our full
@@ -1363,23 +1548,26 @@ impl RtMember {
                 }
             }
             let next = agent.interval() + 1;
-            let sent_at = match self.pending.remove(&next) {
+            let (sent_at, span) = match self.pending.remove(&next) {
                 None => break,
                 Some(PendingPayload::Mesh(message)) => {
                     let related: Vec<usize> = message.index.indices(member.id.digits()).collect();
                     agent.handle_rekey(next, related.iter().map(|&e| &message.encryptions[e]));
-                    message.sent_at
+                    (message.sent_at, "apply")
                 }
                 Some(PendingPayload::Unicast {
                     encryptions,
                     sent_at,
                 }) => {
                     agent.handle_rekey(next, encryptions.iter());
-                    sent_at
+                    (sent_at, "recovery")
                 }
             };
             self.stats.intervals_applied += 1;
-            self.stats.apply_delay_total += now.saturating_sub(sent_at);
+            let delay = now.saturating_sub(sent_at);
+            self.stats.apply_delay_total += delay;
+            self.shared.metrics.apply_delay_us.record(delay);
+            self.shared.metrics.registry.span(span, sent_at, now, next);
         }
         let applied = agent.interval();
         self.retries
@@ -1702,17 +1890,25 @@ impl<NET: Network> Node for RtActor<NET> {
     }
 }
 
-/// Aggregated outcome of a runtime session, for reports and benches.
-/// Every field is an integer and the struct is `Eq`, so two reports from
-/// identically seeded runs can be compared wholesale in determinism
-/// tests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RuntimeReport {
+/// Aggregated outcome of a runtime session: counters, histogram
+/// summaries, and the tracing-span tail, for reports and benches.
+///
+/// The counter fields are integers and the histogram/span types are
+/// `Eq`, so two snapshots from identically seeded runs can be compared
+/// wholesale in determinism tests; [`MetricsSnapshot::to_json`] renders
+/// the same data as a byte-stable JSON document for bench artifacts.
+///
+/// The struct is `#[non_exhaustive]`: obtain one via
+/// [`GroupRuntime::snapshot`] and read the fields you need — new series
+/// may appear in later versions without breaking callers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MetricsSnapshot {
     /// Completed rekey intervals.
     pub intervals: u64,
     /// Members in the group at the end.
     pub members: usize,
-    /// Joins admitted / departures processed / failures detected.
+    /// Joins admitted by the server.
     pub joins: u64,
     /// Departures processed by the server.
     pub departures: u64,
@@ -1751,6 +1947,102 @@ pub struct RuntimeReport {
     pub checkpoints: u64,
     /// Total messages delivered.
     pub delivered: u64,
+    /// Welcome packets issued by the server.
+    pub welcomes: u64,
+    /// Leave acknowledgements sent (each after a covering checkpoint).
+    pub leave_acks: u64,
+    /// Key-wrap encryptions produced by the key tree's batch rekeys.
+    pub tree_encryptions: u64,
+    /// Retired key versions resumed past a tombstone during rekeying.
+    pub tombstone_hits: u64,
+    /// Messages cut by fault-plan partitions (0 without a plan).
+    pub partition_cuts: u64,
+    /// `Forward` copies dropped by fault-plan loss (0 without a plan;
+    /// excludes the legacy i.i.d. `loss` stream).
+    pub fault_loss_drops: u64,
+    /// Peak in-flight event count inside the simulator.
+    pub peak_queue_depth: usize,
+    /// µs from each interval's multicast to its local application.
+    pub apply_delay_us: HistogramSnapshot,
+    /// Membership mutations folded into each batch rekey.
+    pub batch_size: HistogramSnapshot,
+    /// Encryptions carried per split `Forward` copy received.
+    pub split_payload: HistogramSnapshot,
+    /// Copies sent per forwarding step (server seeds + member duty).
+    pub forward_fanout: HistogramSnapshot,
+    /// Encryptions per unicast recovery reply.
+    pub recovery_size: HistogramSnapshot,
+    /// Tail of the tracing-span ring (oldest spans drop first).
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted from the ring before this snapshot was taken.
+    pub spans_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a deterministic JSON document:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
+    /// mean, p50, p95, p99}}, "spans_dropped": n, "spans": [...]}`.
+    /// Identically seeded runs produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.begin_object();
+        w.begin_named_object("counters");
+        w.field_u64("intervals", self.intervals);
+        w.field_usize("members", self.members);
+        w.field_u64("joins", self.joins);
+        w.field_u64("departures", self.departures);
+        w.field_u64("failures_detected", self.failures_detected);
+        w.field_u64("forward_copies", self.forward_copies);
+        w.field_u64("copies_lost", self.copies_lost);
+        w.field_u64("dead_letters", self.dead_letters);
+        w.field_u64("suppressed", self.suppressed);
+        w.field_u64("nacks", self.nacks);
+        w.field_u64("recovery_encryptions", self.recovery_encryptions);
+        w.field_u64("pings", self.pings);
+        w.field_u64("evictions", self.evictions);
+        w.field_u64("retransmissions", self.retransmissions);
+        w.field_u64("max_retry_attempts", u64::from(self.max_retry_attempts));
+        w.field_u64("resyncs", self.resyncs);
+        w.field_u64("rejoins", self.rejoins);
+        w.field_u64("rehabilitations", self.rehabilitations);
+        w.field_u64("restarts", self.restarts);
+        w.field_u64("checkpoints", self.checkpoints);
+        w.field_u64("delivered", self.delivered);
+        w.field_u64("welcomes", self.welcomes);
+        w.field_u64("leave_acks", self.leave_acks);
+        w.field_u64("tree_encryptions", self.tree_encryptions);
+        w.field_u64("tombstone_hits", self.tombstone_hits);
+        w.field_u64("partition_cuts", self.partition_cuts);
+        w.field_u64("fault_loss_drops", self.fault_loss_drops);
+        w.field_usize("peak_queue_depth", self.peak_queue_depth);
+        w.end_object();
+        w.begin_named_object("histograms");
+        for (name, histogram) in [
+            ("apply_delay_us", &self.apply_delay_us),
+            ("batch_size", &self.batch_size),
+            ("split_payload", &self.split_payload),
+            ("forward_fanout", &self.forward_fanout),
+            ("recovery_size", &self.recovery_size),
+        ] {
+            w.begin_named_object(name);
+            histogram.write_fields(&mut w);
+            w.end_object();
+        }
+        w.end_object();
+        w.field_u64("spans_dropped", self.spans_dropped);
+        w.begin_named_array("spans");
+        for span in &self.spans {
+            w.begin_object();
+            w.field_str("name", span.name);
+            w.field_u64("start", span.start);
+            w.field_u64("end", span.end);
+            w.field_u64("detail", span.detail);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
 }
 
 type DelayFn = Box<dyn FnMut(NodeId, NodeId) -> SimTime>;
@@ -1766,31 +2058,19 @@ pub struct GroupRuntime<NET: Network + 'static> {
     loss: f64,
     joins: usize,
     server_host: HostId,
+    /// The chaos injector, kept so [`GroupRuntime::snapshot`] can read
+    /// its fault counters after the run.
+    faults: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl<NET: Network + 'static> GroupRuntime<NET> {
     /// Builds a runtime over `net` with the server on the last host.
     ///
-    /// # Panics
-    ///
-    /// Panics if `config.loss` is outside `[0, 1)` or any of the periods
-    /// (`rekey_period`, `heartbeat_period`, `nack_grace`, `retry_base`)
-    /// is zero — a zero rekey interval or NACK grace would spin the event
-    /// loop at a single instant. Debug builds additionally warn when
-    /// `nack_grace` does not cover a worst-case server round trip, which
-    /// makes spurious NACKs likely.
+    /// `config` is valid by construction ([`RuntimeConfigBuilder::build`]
+    /// holds the validation), so this never panics on configuration.
+    /// Debug builds warn when `nack_grace` does not cover a worst-case
+    /// server round trip, which makes spurious NACKs likely.
     pub fn new(group: GroupConfig, config: RuntimeConfig, net: NET) -> GroupRuntime<NET> {
-        assert!(
-            (0.0..1.0).contains(&config.loss),
-            "loss probability must be in [0, 1)"
-        );
-        assert!(config.rekey_period > 0, "rekey period must be positive");
-        assert!(config.nack_grace > 0, "nack grace must be positive");
-        assert!(
-            config.heartbeat_period > 0,
-            "heartbeat period must be positive"
-        );
-        assert!(config.retry_base > 0, "retry base must be positive");
         let net = Rc::new(net);
         let server_host = HostId(net.host_count() - 1);
         #[cfg(debug_assertions)]
@@ -1817,15 +2097,19 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             retry_cap: config.retry_cap,
             seed: config.seed,
             shutdown: Cell::new(false),
+            metrics: RuntimeMetrics::new(),
         });
+        let mut server_fsm = group.build(server_host);
+        server_fsm.instrument_tree(TreeMetrics::in_registry(&shared.metrics.registry));
         let server = RtActor(ActorKind::Server(Box::new(RtServer {
             net: Rc::clone(&net),
             shared: Rc::clone(&shared),
-            server: group.build(server_host),
+            server: server_fsm,
             epoch: 0,
             seq: 0,
             tick_gen: 0,
             next_interval_at: config.rekey_period,
+            last_round_at: 0,
             history: BTreeMap::new(),
             journal: journal::Journal::new(),
             pending_leave_acks: Vec::new(),
@@ -1862,6 +2146,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             loss: config.loss,
             joins: 0,
             server_host,
+            faults: None,
         }
     }
 
@@ -1903,6 +2188,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             self.sim
                 .inject_at(outage.until, outage.node, outage.node, RtMsg::Restart);
         }
+        self.faults = Some(inj);
         self
     }
 
@@ -2089,10 +2375,25 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
         check_consistency(group.spec(), &members, &tables, group.k())
     }
 
-    /// Aggregates the session's counters.
-    pub fn report(&self) -> RuntimeReport {
+    /// The metrics registry shared by the server, members, and key tree.
+    /// Use it to attach extra series before a run or to read raw
+    /// histograms; [`GroupRuntime::snapshot`] is the aggregated view.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.metrics.registry
+    }
+
+    /// Aggregates the session's counters, histograms, and spans.
+    pub fn snapshot(&self) -> MetricsSnapshot {
         let server = self.server_stats();
-        let mut report = RuntimeReport {
+        let metrics = &self.shared.metrics;
+        let registry = metrics.registry.snapshot();
+        let counter = |name: &str| registry.counters.get(name).copied().unwrap_or(0);
+        let fault_stats = self
+            .faults
+            .as_ref()
+            .map(|inj| inj.borrow().stats())
+            .unwrap_or_default();
+        let mut snapshot = MetricsSnapshot {
             intervals: server.intervals,
             members: self.group().len(),
             joins: server.joins,
@@ -2114,18 +2415,36 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             restarts: server.restarts,
             checkpoints: server.checkpoints,
             delivered: self.sim.delivered(),
+            welcomes: server.welcomes,
+            leave_acks: server.leave_acks,
+            tree_encryptions: counter("tree_encryptions"),
+            tombstone_hits: counter("tree_tombstone_hits"),
+            partition_cuts: fault_stats.partition_cuts,
+            fault_loss_drops: fault_stats.loss_drops,
+            peak_queue_depth: self.sim.peak_pending(),
+            apply_delay_us: metrics.apply_delay_us.snapshot(),
+            batch_size: registry
+                .histograms
+                .get("tree_batch_size")
+                .cloned()
+                .unwrap_or_default(),
+            split_payload: metrics.split_payload.snapshot(),
+            forward_fanout: metrics.forward_fanout.snapshot(),
+            recovery_size: metrics.recovery_size.snapshot(),
+            spans: registry.spans,
+            spans_dropped: registry.spans_dropped,
         };
         for handle in 0..self.joins {
             let stats = self.member_stats(handle);
-            report.forward_copies += stats.copies_forwarded;
-            report.pings += stats.pings_sent;
-            report.evictions += stats.evictions;
-            report.retransmissions += stats.retransmissions;
-            report.max_retry_attempts = report.max_retry_attempts.max(stats.max_retry_attempts);
-            report.rejoins += stats.rejoins;
-            report.rehabilitations += stats.rehabilitations;
+            snapshot.forward_copies += stats.copies_forwarded;
+            snapshot.pings += stats.pings_sent;
+            snapshot.evictions += stats.evictions;
+            snapshot.retransmissions += stats.retransmissions;
+            snapshot.max_retry_attempts = snapshot.max_retry_attempts.max(stats.max_retry_attempts);
+            snapshot.rejoins += stats.rejoins;
+            snapshot.rehabilitations += stats.rehabilitations;
         }
-        report
+        snapshot
     }
 }
 
@@ -2188,7 +2507,7 @@ mod tests {
         let handles = rt.run_trace(&trace);
         assert_eq!(handles, (0..10).collect::<Vec<_>>());
         rt.finish(61 * SEC);
-        let report = rt.report();
+        let report = rt.snapshot();
         assert_eq!(report.joins, 10);
         assert!(report.intervals >= 6, "got {} intervals", report.intervals);
         assert_eq!(rt.group().len(), 10);
@@ -2218,7 +2537,7 @@ mod tests {
         rt.run_trace(&trace);
         rt.finish(75 * SEC);
         assert_eq!(rt.group().len(), 10);
-        let report = rt.report();
+        let report = rt.snapshot();
         assert_eq!(report.departures, 2);
         assert_eq!(report.failures_detected, 0);
         let survivors: Vec<usize> = (0..12).filter(|m| *m != 3 && *m != 7).collect();
@@ -2230,11 +2549,7 @@ mod tests {
 
     #[test]
     fn forward_loss_is_recovered_by_nack_unicast() {
-        let runtime_config = RuntimeConfig {
-            loss: 0.3,
-            seed: 0xBEEF,
-            ..RuntimeConfig::default()
-        };
+        let runtime_config = RuntimeConfig::builder().loss(0.3).seed(0xBEEF).build();
         let mut rt = GroupRuntime::new(config(), runtime_config, small_net(3));
         let trace: Vec<ChurnEvent> = (0..10)
             .map(|i| ChurnEvent::join(SEC + i * 200_000))
@@ -2245,11 +2560,11 @@ mod tests {
         trace.push(ChurnEvent::join(45 * SEC));
         rt.run_trace(&trace);
         rt.finish(101 * SEC);
-        let report = rt.report();
+        let report = rt.snapshot();
         assert!(report.copies_lost > 0, "loss model never fired");
         assert!(report.nacks > 0, "lost copies were never NACKed");
         assert!(
-            report.max_retry_attempts <= RuntimeConfig::default().retry_cap,
+            report.max_retry_attempts <= RuntimeConfig::default().retry_cap(),
             "retry counter escaped its cap"
         );
         let survivors: Vec<usize> = (0..11).filter(|m| *m != 2).collect();
@@ -2267,7 +2582,7 @@ mod tests {
         rt.run_trace(&trace);
         // Detection needs up to two heartbeat periods plus repair traffic.
         rt.finish(121 * SEC);
-        let report = rt.report();
+        let report = rt.snapshot();
         assert_eq!(report.failures_detected, 2);
         assert_eq!(report.departures, 2);
         assert!(report.evictions > 0);
@@ -2290,7 +2605,7 @@ mod tests {
             .collect();
         let handles = rt.run_trace(&trace);
         rt.finish(90 * SEC);
-        let report = rt.report();
+        let report = rt.snapshot();
         assert_eq!(report.restarts, 1);
         assert_eq!(rt.server_epoch(), 1);
         assert!(report.suppressed > 0, "the outage swallowed deliveries");
@@ -2318,7 +2633,7 @@ mod tests {
             .collect();
         let handles = rt.run_trace(&trace);
         rt.finish(150 * SEC);
-        let report = rt.report();
+        let report = rt.snapshot();
         assert_eq!(
             report.failures_detected, 2,
             "both isolated members are wrongfully departed"
@@ -2342,14 +2657,14 @@ mod tests {
         trace.extend((0..4).map(|i| ChurnEvent::join(22 * SEC + i * 200_000)));
         let handles = rt.run_trace(&trace);
         rt.finish(70 * SEC);
-        let report = rt.report();
+        let report = rt.snapshot();
         assert_eq!(report.joins, 5, "the blocked join eventually lands");
         assert!(
             report.retransmissions >= 4,
             "the blocked joiner kept retrying (got {})",
             report.retransmissions
         );
-        assert!(report.max_retry_attempts <= cfg.retry_cap);
+        assert!(report.max_retry_attempts <= cfg.retry_cap());
         let stats = rt.member_stats(0);
         assert!(stats.retransmissions >= 4);
         assert_eq!(rt.group().len(), 5);
@@ -2359,11 +2674,7 @@ mod tests {
     #[test]
     fn identical_seeds_reproduce_the_run_exactly() {
         let run = |loss_seed: u64| {
-            let runtime_config = RuntimeConfig {
-                loss: 0.2,
-                seed: loss_seed,
-                ..RuntimeConfig::default()
-            };
+            let runtime_config = RuntimeConfig::builder().loss(0.2).seed(loss_seed).build();
             let plan = FaultPlan::new()
                 .jitter(30_000)
                 .burst_loss(GilbertElliott::moderate());
@@ -2378,7 +2689,7 @@ mod tests {
                 .collect();
             rt.run_trace(&trace);
             rt.finish(90 * SEC);
-            (rt.report(), rt.server().tree().group_key().cloned())
+            (rt.snapshot(), rt.server().tree().group_key().cloned())
         };
         assert_eq!(run(11), run(11), "same seed must reproduce exactly");
         let (report_a, _) = run(11);
@@ -2389,40 +2700,48 @@ mod tests {
     #[test]
     #[should_panic(expected = "loss probability")]
     fn rejects_out_of_range_loss() {
-        let _ = GroupRuntime::new(
-            config(),
-            RuntimeConfig {
-                loss: 1.5,
-                ..RuntimeConfig::default()
-            },
-            small_net(6),
-        );
+        let _ = RuntimeConfig::builder().loss(1.5).build();
     }
 
     #[test]
     #[should_panic(expected = "rekey period must be positive")]
     fn rejects_zero_rekey_period() {
-        let _ = GroupRuntime::new(
-            config(),
-            RuntimeConfig {
-                rekey_period: 0,
-                ..RuntimeConfig::default()
-            },
-            small_net(6),
-        );
+        let _ = RuntimeConfig::builder().rekey_period(0).build();
     }
 
     #[test]
     #[should_panic(expected = "nack grace must be positive")]
     fn rejects_zero_nack_grace() {
-        let _ = GroupRuntime::new(
-            config(),
-            RuntimeConfig {
-                nack_grace: 0,
-                ..RuntimeConfig::default()
-            },
-            small_net(6),
+        let _ = RuntimeConfig::builder().nack_grace(0).build();
+    }
+
+    /// Two identically seeded runs yield byte-identical snapshot JSON —
+    /// the whole observability surface (counters, histogram summaries,
+    /// span tail) is deterministic, not just the counter totals.
+    #[test]
+    fn identical_seeds_reproduce_snapshot_json() {
+        let run = || {
+            let runtime_config = RuntimeConfig::builder().loss(0.15).seed(0x0B5E).build();
+            let mut rt = GroupRuntime::new(config(), runtime_config, small_net(10));
+            let trace: Vec<ChurnEvent> = (0..8)
+                .map(|i| ChurnEvent::join(SEC + i * 250_000))
+                .chain([ChurnEvent::leave(21 * SEC, 2)])
+                .collect();
+            rt.run_trace(&trace);
+            rt.finish(45 * SEC);
+            rt.snapshot().to_json()
+        };
+        let json = run();
+        assert_eq!(json, run(), "snapshot JSON must be byte-identical");
+        // The document carries real histogram and span data, not zeros.
+        let snapshot_has = |key: &str| rekey_metrics::json::has_key(&json, key);
+        assert!(snapshot_has("apply_delay_us"));
+        assert!(snapshot_has("tree_encryptions"));
+        assert!(
+            json.contains("\"name\": \"interval\""),
+            "interval spans present"
         );
+        assert!(json.contains("\"name\": \"apply\""), "apply spans present");
     }
 }
 
@@ -2438,13 +2757,17 @@ mod review_repro {
     fn mid_interval_joiner_outage_resync() {
         let mut rng = seeded_rng(0xBEEF);
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
-        let group = GroupConfig::for_spec(&IdSpec::new(3, 8).unwrap()).k(2).seed(3);
+        let group = GroupConfig::for_spec(&IdSpec::new(3, 8).unwrap())
+            .k(2)
+            .seed(3);
         // Member handle 4 joins at t=4.2s (mid first interval, ends at 10s)
         // and its node goes down for [5s, 7s): on Restart it arms a Resync
         // that fires before its Welcome exists in the tree.
         let mut rt = GroupRuntime::new(group, RuntimeConfig::default(), net)
             .with_faults(FaultPlan::new().outage(NodeId(5), 5 * SEC, 7 * SEC));
-        let trace: Vec<ChurnEvent> = (0..5).map(|i| ChurnEvent::join(SEC + i * 800_000)).collect();
+        let trace: Vec<ChurnEvent> = (0..5)
+            .map(|i| ChurnEvent::join(SEC + i * 800_000))
+            .collect();
         rt.run_trace(&trace);
         rt.finish(40 * SEC);
     }

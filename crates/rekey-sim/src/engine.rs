@@ -102,6 +102,7 @@ pub struct Simulation<N: Node, F> {
     dropped: u64,
     dead_letters: u64,
     suppressed: u64,
+    peak_pending: usize,
     drop: Option<DropFn<N::Msg>>,
     jitter: Option<JitterFn<N::Msg>>,
     down: Option<DownFn>,
@@ -140,6 +141,7 @@ where
             dropped: 0,
             dead_letters: 0,
             suppressed: 0,
+            peak_pending: 0,
             drop: None,
             jitter: None,
             down: None,
@@ -278,6 +280,13 @@ where
         self.delivered
     }
 
+    /// The largest number of in-flight events the queue ever held — a
+    /// burstiness measure: a join wave or a partition heal shows up as a
+    /// spike here long before it shows up in any per-node counter.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Immutable access to a node.
     ///
     /// # Panics
@@ -301,6 +310,7 @@ where
     /// at absolute time `at`.
     pub fn inject_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: N::Msg) {
         self.scheduler.schedule_at(at, Delivery { from, to, msg });
+        self.peak_pending = self.peak_pending.max(self.scheduler.pending());
     }
 
     fn flush_outbox(&mut self, from: NodeId) {
@@ -334,6 +344,7 @@ where
                 }
             }
         }
+        self.peak_pending = self.peak_pending.max(self.scheduler.pending());
     }
 
     /// Delivers a single event, if any. Returns `false` when idle.

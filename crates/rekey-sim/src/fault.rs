@@ -43,6 +43,7 @@
 //! assert!(inj.extra_delay(NodeId(1), NodeId(2)) <= 20_000);
 //! ```
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use rand::Rng;
@@ -245,8 +246,21 @@ impl FaultPlan {
             seed,
             loss_streams: BTreeMap::new(),
             jitter_streams: BTreeMap::new(),
+            partition_cuts: Cell::new(0),
+            loss_drops: Cell::new(0),
         }
     }
+}
+
+/// Counters of faults that actually fired, as opposed to the faults that
+/// were merely scheduled: a partition only shows up here when a message
+/// tried to cross it, and a loss process only when a draw came up lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages cut by an active partition.
+    pub partition_cuts: u64,
+    /// Loss draws (i.i.d. or burst) that came up lost.
+    pub loss_drops: u64,
 }
 
 /// Per-sender loss state: an RNG stream plus the Gilbert–Elliott channel
@@ -264,6 +278,10 @@ pub struct FaultInjector {
     seed: u64,
     loss_streams: BTreeMap<usize, LossStream>,
     jitter_streams: BTreeMap<usize, SimRng>,
+    // `Cell`s because `cut` is called through the simulation's loss hook
+    // with a shared borrow.
+    partition_cuts: Cell<u64>,
+    loss_drops: Cell<u64>,
 }
 
 /// Domain separators so the loss and jitter streams of one node differ.
@@ -275,10 +293,15 @@ impl FaultInjector {
     /// Applies to every traffic class: a partition cuts control traffic
     /// and bulk traffic alike.
     pub fn cut(&self, now: SimTime, from: NodeId, to: NodeId) -> bool {
-        self.plan
+        let cut = self
+            .plan
             .partitions
             .iter()
-            .any(|p| now >= p.from && now < p.until && p.cell_of(from) != p.cell_of(to))
+            .any(|p| now >= p.from && now < p.until && p.cell_of(from) != p.cell_of(to));
+        if cut {
+            self.partition_cuts.set(self.partition_cuts.get() + 1);
+        }
+        cut
     }
 
     /// Draws the loss processes for one message sent by `from`: the i.i.d.
@@ -319,7 +342,18 @@ impl FaultInjector {
                 lost |= stream.rng.gen_bool(p);
             }
         }
+        if lost {
+            self.loss_drops.set(self.loss_drops.get() + 1);
+        }
         lost
+    }
+
+    /// Counters of the faults that fired so far (see [`FaultStats`]).
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            partition_cuts: self.partition_cuts.get(),
+            loss_drops: self.loss_drops.get(),
+        }
     }
 
     /// Draws the extra delay for one network send by `from` (0 without
@@ -460,6 +494,23 @@ mod tests {
             .collect();
         assert_eq!(j1, j2, "jitter stream is per-sender");
         assert!(j1.iter().all(|&d| d <= 1_000));
+    }
+
+    #[test]
+    fn stats_count_only_faults_that_fired() {
+        let plan = FaultPlan::new()
+            .partition(vec![vec![NodeId(0)], vec![NodeId(1)]], 100, 200)
+            .iid_loss(0.5);
+        let mut inj = plan.injector(3);
+        assert_eq!(inj.stats(), FaultStats::default(), "nothing fired yet");
+        assert!(!inj.cut(50, NodeId(0), NodeId(1)), "before the window");
+        assert!(inj.cut(150, NodeId(0), NodeId(1)));
+        assert!(inj.cut(150, NodeId(1), NodeId(0)));
+        let drops = (0..1_000).filter(|_| inj.lose(NodeId(0))).count() as u64;
+        let stats = inj.stats();
+        assert_eq!(stats.partition_cuts, 2);
+        assert_eq!(stats.loss_drops, drops);
+        assert!(drops > 0);
     }
 
     #[test]

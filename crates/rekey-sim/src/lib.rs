@@ -45,7 +45,7 @@ pub mod fault;
 
 pub use engine::{Ctx, Node, NodeId, Simulation};
 pub use event::{Scheduler, SimTime};
-pub use fault::{FaultInjector, FaultPlan, GilbertElliott, Outage};
+pub use fault::{FaultInjector, FaultPlan, FaultStats, GilbertElliott, Outage};
 
 use rand::SeedableRng;
 

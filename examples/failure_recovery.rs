@@ -46,7 +46,7 @@ fn partition_heal() {
     rt.run_trace(&trace);
     rt.finish(150 * SEC);
 
-    let report = rt.report();
+    let report = rt.snapshot();
     println!("\n== partition: members 0 and 1 cut off from t = 20 s to t = 56 s ==\n");
     println!(
         "wrongful departures         {:>8}",
@@ -82,7 +82,7 @@ fn server_restart() {
     rt.run_trace(&trace);
     rt.finish(90 * SEC);
 
-    let report = rt.report();
+    let report = rt.snapshot();
     println!("\n== server killed at t = 24 s, respawned from its journal at t = 38 s ==\n");
     println!("journal checkpoints written {:>8}", report.checkpoints);
     println!("server restarts             {:>8}", report.restarts);
@@ -131,7 +131,7 @@ fn crash_detection() {
     // Two heartbeat periods bound detection; run a few intervals past it.
     rt.finish(101 * SEC);
 
-    let report = rt.report();
+    let report = rt.snapshot();
     println!(
         "group of {members}, K = 4; {} members crashed silently at t = 35 s\n",
         crashed.len()

@@ -28,11 +28,7 @@ fn main() {
 
     let spec = IdSpec::new(4, 8).expect("valid spec");
     let config = GroupConfig::for_spec(&spec).k(4).seed(99);
-    let runtime_config = RuntimeConfig {
-        loss: 0.01,
-        seed: 99,
-        ..RuntimeConfig::default()
-    };
+    let runtime_config = RuntimeConfig::builder().loss(0.01).seed(99).build();
     let mut rt = GroupRuntime::new(config, runtime_config, net);
 
     // The audience tunes in during the first interval…
@@ -51,7 +47,7 @@ fn main() {
     rt.run_trace(&trace);
     rt.finish(165 * SEC);
 
-    let report = rt.report();
+    let report = rt.snapshot();
     println!("intervals completed        {:>8}", report.intervals);
     println!(
         "viewers (joined/left/now)  {:>8}",
@@ -63,6 +59,14 @@ fn main() {
     println!(
         "recovered encryptions      {:>8}",
         report.recovery_encryptions
+    );
+    println!(
+        "apply delay p50/p95 (ms)   {:>8}",
+        format!(
+            "{:.0}/{:.0}",
+            report.apply_delay_us.p50() as f64 / 1_000.0,
+            report.apply_delay_us.p95() as f64 / 1_000.0
+        )
     );
 
     // Access control held: every current viewer decrypts the stream frame

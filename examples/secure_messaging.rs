@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use group_rekeying::crypto::wire::{decode_rekey_message, encode_rekey_message};
 use group_rekeying::id::{IdSpec, UserId};
 use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams};
-use group_rekeying::proto::{GroupServer, UserAgent};
+use group_rekeying::proto::{GroupConfig, UserAgent};
 use rand::{Rng, SeedableRng};
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
     let server_host = HostId(net.host_count() - 1);
 
     // Bootstrap interval: 24 members join.
-    let mut server = GroupServer::new(server_host, 0x5EC);
+    let mut server = GroupConfig::paper().seed(0x5EC).build(server_host);
     for h in 0..24 {
         let id = server.request_join(HostId(h), &net, h as u64).unwrap();
         println!("host {h:>2} admitted as {id}");

@@ -23,6 +23,9 @@ cargo test --offline --release -q --test runtime_soak -- --ignored
 echo "==> chaos soak (1k members, burst loss + partition + server restart)"
 cargo test --offline --release -q --test chaos_soak -- --ignored
 
+echo "==> metrics smoke (200-member soak, snapshot JSON schema validation)"
+cargo test --offline --release -q --test metrics_smoke -- --ignored
+
 echo "==> cargo test --doc"
 cargo test --offline --workspace -q --doc
 

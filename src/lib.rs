@@ -13,6 +13,9 @@
 //! * [`tmesh`] — the T-mesh multicast scheme (§2.3).
 //! * [`keytree`] — the modified and original key trees and batch rekeying
 //!   (§2.4, §4.2, Appendix B).
+//! * [`metrics`] — the zero-dependency observability layer: counters,
+//!   histograms, tracing spans, and the deterministic JSON writer behind
+//!   every snapshot and bench artifact.
 //! * [`nice`] — the NICE ALM baseline.
 //! * [`ipmc`] — the DVMRP-style IP multicast baseline.
 //! * [`proto`] — user ID assignment, rekey message splitting and the seven
@@ -37,6 +40,7 @@ pub use rekey_crypto as crypto;
 pub use rekey_id as id;
 pub use rekey_ipmc as ipmc;
 pub use rekey_keytree as keytree;
+pub use rekey_metrics as metrics;
 pub use rekey_net as net;
 pub use rekey_nice as nice;
 pub use rekey_proto as proto;

@@ -36,11 +36,8 @@ fn thousand_member_group_survives_partition_burst_loss_and_server_restart() {
 
     let spec = IdSpec::new(5, 8).unwrap();
     let config = GroupConfig::for_spec(&spec).k(4).seed(0xC4A05);
-    let runtime_config = RuntimeConfig {
-        seed: 0xC4A0,
-        ..RuntimeConfig::default()
-    };
-    let retry_cap = runtime_config.retry_cap;
+    let runtime_config = RuntimeConfig::builder().seed(0xC4A0).build();
+    let retry_cap = runtime_config.retry_cap();
 
     // The fault plan, all windows in one composable schedule:
     //  * burst loss (~5% mean, bursty) and 30 ms jitter on every rekey
@@ -69,7 +66,7 @@ fn thousand_member_group_survives_partition_burst_loss_and_server_restart() {
     // recovery completes before shutdown.
     rt.finish(250 * SEC);
 
-    let report = rt.report();
+    let report = rt.snapshot();
 
     // The partition wrongfully departed a large fraction of the group and
     // every victim healed by rejoining: joins balance departures exactly,
@@ -103,8 +100,11 @@ fn thousand_member_group_survives_partition_burst_loss_and_server_restart() {
     );
 
     // Burst loss fired and was repaired by NACK/unicast recovery, and no
-    // retry loop ever escaped its exponential-backoff cap.
+    // retry loop ever escaped its exponential-backoff cap. The fault
+    // attribution counters split the drops by cause.
     assert!(report.copies_lost > 0, "burst loss must fire");
+    assert!(report.partition_cuts > 0, "the partition must cut messages");
+    assert!(report.fault_loss_drops > 0, "burst loss must drop copies");
     assert!(report.nacks > 0, "lost copies must be NACKed");
     assert!(report.recovery_encryptions > 0, "NACKs must be answered");
     assert!(

@@ -166,11 +166,7 @@ fn group_runtime_is_deterministic_under_loss_and_churn() {
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
         let spec = IdSpec::new(3, 8).unwrap();
         let config = GroupConfig::for_spec(&spec).k(2).seed(3);
-        let runtime_config = RuntimeConfig {
-            loss: 0.25,
-            seed,
-            ..RuntimeConfig::default()
-        };
+        let runtime_config = RuntimeConfig::builder().loss(0.25).seed(seed).build();
         let mut rt = GroupRuntime::new(config, runtime_config, net);
         let trace: Vec<ChurnEvent> = (0..10)
             .map(|i| ChurnEvent::join(SEC + i * 250_000))
@@ -181,7 +177,7 @@ fn group_runtime_is_deterministic_under_loss_and_churn() {
             .collect();
         rt.run_trace(&trace);
         rt.finish(95 * SEC);
-        let report = rt.report();
+        let report = rt.snapshot();
         let key = rt.server().tree().group_key().cloned();
         let intervals: Vec<u64> = (0..10)
             .filter_map(|m| rt.agent(m).map(|a| a.interval()))
@@ -204,8 +200,9 @@ fn group_runtime_is_deterministic_under_loss_and_churn() {
 
 /// Chaos runs are reproducible too: the same seed and the same
 /// [`FaultPlan`] (partition + burst loss + jitter + a server outage)
-/// yield byte-identical [`RuntimeReport`]s — every counter, down to
-/// retransmissions and resyncs — and the same final group key.
+/// yield identical [`MetricsSnapshot`]s — every counter, histogram, and
+/// span, down to retransmissions and resyncs — byte-identical snapshot
+/// JSON, and the same final group key.
 #[test]
 fn group_runtime_is_deterministic_under_a_fault_plan() {
     use group_rekeying::proto::chaos;
@@ -217,10 +214,7 @@ fn group_runtime_is_deterministic_under_a_fault_plan() {
         let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
         let spec = IdSpec::new(3, 8).unwrap();
         let config = GroupConfig::for_spec(&spec).k(2).seed(4);
-        let runtime_config = RuntimeConfig {
-            seed,
-            ..RuntimeConfig::default()
-        };
+        let runtime_config = RuntimeConfig::builder().seed(seed).build();
         let plan = FaultPlan::new()
             .burst_loss(GilbertElliott::moderate())
             .jitter(25_000)
@@ -232,13 +226,19 @@ fn group_runtime_is_deterministic_under_a_fault_plan() {
             .collect();
         rt.run_trace(&trace);
         rt.finish(140 * SEC);
-        (rt.report(), rt.server().tree().group_key().cloned())
+        (rt.snapshot(), rt.server().tree().group_key().cloned())
     };
     let (report_a, key_a) = run(9);
     let (report_b, key_b) = run(9);
     assert_eq!(report_a, report_b, "same seed + same plan replay exactly");
+    assert_eq!(
+        report_a.to_json(),
+        report_b.to_json(),
+        "snapshot JSON is byte-identical across identically seeded runs"
+    );
     assert_eq!(key_a, key_b);
     assert!(report_a.copies_lost > 0, "burst loss fired");
+    assert!(report_a.partition_cuts > 0, "the partition cut messages");
     assert_eq!(report_a.restarts, 1, "the server outage fired");
     let (report_c, _) = run(10);
     assert_ne!(

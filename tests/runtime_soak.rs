@@ -29,11 +29,7 @@ fn thousand_member_churn_soak_stays_consistent() {
 
     let spec = IdSpec::new(5, 8).unwrap();
     let config = GroupConfig::for_spec(&spec).k(4).seed(0xC0FFEE);
-    let runtime_config = RuntimeConfig {
-        loss: 0.02,
-        seed: 0x50AC,
-        ..RuntimeConfig::default()
-    };
+    let runtime_config = RuntimeConfig::builder().loss(0.02).seed(0x50AC).build();
     let mut rt = GroupRuntime::new(config, runtime_config, net);
 
     // 1056 joins spread over the first two intervals (~19 s), then mixed
@@ -63,7 +59,7 @@ fn thousand_member_churn_soak_stays_consistent() {
     // at 380 s, leaving > 2 heartbeat periods of quiet tail.
     rt.finish(521 * SEC);
 
-    let report = rt.report();
+    let report = rt.snapshot();
     assert!(
         report.intervals >= 50,
         "soak must span ≥ 50 intervals, got {}",
