@@ -1,6 +1,15 @@
-//! Measures the event-driven group runtime end to end: N members on one
-//! simulated clock sustain a leave+join churn trace with 2% per-copy loss
-//! on the overlay rekey transport, at N ∈ {64, 256, 1024}.
+//! Measures the event-driven group runtime end to end, twice over:
+//!
+//! 1. **Classic sweep** — N members on one simulated clock sustain a
+//!    leave+join churn trace with 2% per-copy loss, at
+//!    N ∈ {64, 256, 1024} (the `GroupRuntime` single-queue executor).
+//! 2. **Mega sweep** — the sharded windowed executor
+//!    (`ShardedGroupRuntime`) bootstraps N ∈ {65 536, 262 144, 1 048 576}
+//!    members in one dealing pass and drives two churned rekey intervals
+//!    with 1% copy loss. Reports build time separately from the drive
+//!    rate, plus `member_intervals_per_sec` (intervals/s × members) — the
+//!    per-member cost figure that should stay roughly flat as N grows.
+//!    `--mega-cap N` skips mega sizes above N (CI smoke uses 65536).
 //!
 //! Reports completed rekey intervals per wall-clock second, the unicast
 //! recovery traffic (NACK-triggered encryptions, converted to wire bytes)
@@ -13,9 +22,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use rekey_bench::{churn_runtime_fixture, schema};
+use rekey_bench::{arg_usize, churn_runtime_fixture, mega_runtime_fixture, schema};
 use rekey_metrics::json::Writer;
-use rekey_proto::{GroupRuntime, MetricsSnapshot, RuntimeConfig};
+use rekey_proto::{GroupRuntime, MetricsSnapshot, RuntimeConfig, ShardedGroupRuntime};
 
 /// Serialized size of one `Encryption` on the wire: two key identifiers
 /// (≤ 5-digit prefix + length byte + u64 version, 14 bytes each), a
@@ -67,8 +76,60 @@ fn run_size(members: usize) -> Row {
     }
 }
 
+struct MegaRow {
+    members: usize,
+    shards: usize,
+    report: MetricsSnapshot,
+    build_ns: f64,
+    run_ns: f64,
+}
+
+/// One mega point, run once (bootstraps alone take tens of seconds at
+/// 10⁶ members; the run is deterministic, so repetition buys nothing but
+/// heat). Build and drive are timed separately: the per-member cost
+/// figure is about sustaining churn, not the one-off dealing pass.
+fn run_mega_size(members: usize) -> MegaRow {
+    const SHARDS: usize = 8;
+    const MEGA_LOSS: f64 = 0.01;
+    eprintln!("bench_runtime: mega {members} members, 2 churned intervals, 1% loss…");
+    let (net, group, leaves, finish, window) = mega_runtime_fixture(members);
+    let runtime_config = RuntimeConfig::builder().loss(MEGA_LOSS).seed(SEED).build();
+    let build_start = Instant::now();
+    let mut rt =
+        ShardedGroupRuntime::bootstrapped(group, runtime_config, net, members, SHARDS, window)
+            .expect("the fixture's ID space seats every member");
+    let build_ns = build_start.elapsed().as_nanos() as f64;
+    for &(at, handle) in &leaves {
+        rt.leave_at(at, handle);
+    }
+    let run_start = Instant::now();
+    rt.finish(finish);
+    let run_ns = run_start.elapsed().as_nanos() as f64;
+    let report = rt.snapshot();
+    schema::validate_snapshot(&report.to_json());
+    eprintln!(
+        "bench_runtime: mega {members}: built in {:.0} ms, {} intervals in {:.0} ms",
+        build_ns / 1e6,
+        report.intervals,
+        run_ns / 1e6
+    );
+    MegaRow {
+        members,
+        shards: SHARDS,
+        report,
+        build_ns,
+        run_ns,
+    }
+}
+
 fn main() {
     let rows: Vec<Row> = [64usize, 256, 1024].map(run_size).into();
+    let mega_cap = arg_usize("--mega-cap", 1_048_576);
+    let mega_rows: Vec<MegaRow> = [65_536usize, 262_144, 1_048_576]
+        .into_iter()
+        .filter(|&m| m <= mega_cap)
+        .map(run_mega_size)
+        .collect();
     let mut w = Writer::new();
     w.begin_object();
     w.field_str(
@@ -103,6 +164,37 @@ fn main() {
         );
         w.field_u64("dead_letters", rep.dead_letters);
         w.field_u64("suppressed", rep.suppressed);
+        w.field_u64("delivered", rep.delivered);
+        w.field_u64("apply_delay_p50_us", rep.apply_delay_us.p50());
+        w.field_u64("apply_delay_p95_us", rep.apply_delay_us.p95());
+        w.field_usize("peak_queue_depth", rep.peak_queue_depth);
+        w.end_object();
+    }
+    w.end_array();
+    w.begin_named_array("mega_results");
+    for r in &mega_rows {
+        let rep = &r.report;
+        let intervals_per_sec = rep.intervals as f64 / (r.run_ns / 1e9);
+        w.begin_object();
+        w.field_usize("members", r.members);
+        w.field_usize("shards", r.shards);
+        w.field_u64("intervals", rep.intervals);
+        w.field_f64("build_ms", r.build_ns / 1e6, 1);
+        w.field_f64("intervals_per_sec", intervals_per_sec, 4);
+        w.field_f64(
+            "member_intervals_per_sec",
+            intervals_per_sec * r.members as f64,
+            0,
+        );
+        w.field_u64("departures", rep.departures);
+        w.field_u64("forward_copies", rep.forward_copies);
+        w.field_u64("copies_lost", rep.copies_lost);
+        w.field_u64("nacks", rep.nacks);
+        w.field_u64("recovery_encryptions", rep.recovery_encryptions);
+        w.field_u64(
+            "recovery_bytes",
+            rep.recovery_encryptions * ENCRYPTION_WIRE_BYTES,
+        );
         w.field_u64("delivered", rep.delivered);
         w.field_u64("apply_delay_p50_us", rep.apply_delay_us.p50());
         w.field_u64("apply_delay_p95_us", rep.apply_delay_us.p95());

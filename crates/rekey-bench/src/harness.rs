@@ -7,7 +7,9 @@ use rekey_crypto::Encryption;
 use rekey_id::{IdSpec, UserId};
 use rekey_keytree::ModifiedKeyTree;
 use rekey_net::gtitm::{generate, GtItmParams};
-use rekey_net::{HostId, LinkId, MatrixNetwork, Micros, Network, PlanetLabParams, RoutedNetwork};
+use rekey_net::{
+    GridNetwork, HostId, LinkId, MatrixNetwork, Micros, Network, PlanetLabParams, RoutedNetwork,
+};
 use rekey_nice::{NiceHierarchy, NiceParams};
 use rekey_proto::{AssignParams, ChurnEvent, Group, GroupConfig};
 use rekey_sim::{seeded_rng, SimRng};
@@ -463,9 +465,83 @@ pub fn churn_runtime_fixture(
     (net, config, trace, finish)
 }
 
+/// Fixture for the sharded million-member runtime sweep: a [`GridNetwork`]
+/// with one host per member plus the server, a 5-digit hexadecimal ID
+/// space (16⁵ ≈ 1.05 M ids) at K = 1, a leaves-only churn plan (two
+/// interval windows, four departures each, handles spread across the
+/// group), and the finish time that closes the second churned interval.
+///
+/// The substrate is a delay grid rather than an RTT matrix because an
+/// all-pairs matrix over 10⁶ hosts is 4 TB; the grid answers delay
+/// queries in O(1) from coordinates and guarantees the positive minimum
+/// cross-host delay ([`GridNetwork::min_one_way`]) the sharded executor's
+/// window invariant needs.
+pub fn mega_runtime_fixture(
+    members: usize,
+) -> (GridNetwork, GroupConfig, Vec<(u64, usize)>, u64, Micros) {
+    const SEC: u64 = 1_000_000;
+    const PERIOD: u64 = 10 * SEC;
+    let net = GridNetwork::with_defaults(members + 1);
+    let window = net.min_one_way();
+    let spec = IdSpec::new(5, 16).expect("valid spec");
+    assert!(
+        (members as u64) <= spec.id_space(),
+        "the 16^5 ID space seats at most {} members",
+        spec.id_space()
+    );
+    let config = GroupConfig::for_spec(&spec).k(1).seed(0xC4C4);
+    // Two churned intervals, four leaves each; handles are spread by
+    // fixed fractions so departures hit distinct level-1 subtrees.
+    let spread = [members / 7, members / 3, members / 2 + 1, members - 2];
+    let mut leaves: Vec<(u64, usize)> = Vec::new();
+    for (i, &h) in spread.iter().enumerate() {
+        leaves.push((2 * SEC + i as u64 * SEC, h));
+    }
+    for (i, &h) in [members / 5, members / 11 + 2, members / 2 - 3, members - 9]
+        .iter()
+        .enumerate()
+    {
+        leaves.push((PERIOD + 2 * SEC + i as u64 * SEC, h));
+    }
+    let finish = 2 * PERIOD + SEC;
+    (net, config, leaves, finish, window)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The mega fixture drives the sharded executor end to end at a
+    /// thumbnail size: every leave departs, every survivor stays current,
+    /// and at least the two churned intervals complete.
+    #[test]
+    fn mega_fixture_drives_the_sharded_runtime() {
+        use rekey_proto::{RuntimeConfig, ShardedGroupRuntime};
+        let members = 4096;
+        let (net, group, leaves, finish, window) = mega_runtime_fixture(members);
+        let config = RuntimeConfig::builder().loss(0.01).seed(1).build();
+        let mut rt = ShardedGroupRuntime::bootstrapped(group, config, net, members, 8, window)
+            .expect("4096 members fit the 16^5 space");
+        assert_eq!(leaves.len(), 8);
+        for &(at, handle) in &leaves {
+            rt.leave_at(at, handle);
+        }
+        rt.finish(finish);
+        let report = rt.snapshot();
+        assert_eq!(report.departures, 8);
+        assert_eq!(report.members, members - 8);
+        assert!(report.intervals >= 2, "got {} intervals", report.intervals);
+        assert!(report.forward_copies > 0);
+        let server_interval = rt.server().interval();
+        let leavers: Vec<usize> = leaves.iter().map(|&(_, h)| h).collect();
+        for handle in (0..members).step_by(97) {
+            if leavers.contains(&handle) {
+                continue;
+            }
+            let agent = rt.agent(handle).expect("survivor was welcomed");
+            assert_eq!(agent.interval(), server_interval, "member {handle} lags");
+        }
+    }
 
     #[test]
     fn planetlab_params_scale_exactly() {

@@ -10,7 +10,7 @@ pub mod output;
 pub mod schema;
 
 pub use harness::{
-    arg_usize, churn_runtime_fixture, grow_group, grow_nice, latency_figure,
+    arg_usize, churn_runtime_fixture, grow_group, grow_nice, latency_figure, mega_runtime_fixture,
     rekey_message_for_churn, transport_fixture, ChurnPlan, GroupBuild, LatencyConfig,
     LatencyFigure, SchemeSeries, Topology,
 };

@@ -1,5 +1,6 @@
 //! A user's key ring: the keys it holds and how it consumes rekey messages.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 use rekey_crypto::{Encryption, Key};
@@ -20,22 +21,30 @@ pub struct KeyRing {
 
 impl KeyRing {
     /// Creates a key ring for `user` from the key set the server sends at
-    /// join time (the path keys, in any order).
+    /// join time (the path keys, in any order). Accepts owned keys or a
+    /// borrowing iterator (e.g. straight from
+    /// `ModifiedKeyTree::user_path_keys`); borrowed keys are cloned here,
+    /// at the one place ownership is actually needed.
     ///
     /// # Panics
     ///
     /// Panics if any key's ID is not a prefix of `user`'s ID — a user never
     /// holds off-path keys.
-    pub fn new(user: UserId, path_keys: Vec<Key>) -> KeyRing {
-        let mut keys = HashMap::with_capacity(path_keys.len());
+    pub fn new<I>(user: UserId, path_keys: I) -> KeyRing
+    where
+        I: IntoIterator,
+        I::Item: Borrow<Key>,
+    {
+        let mut keys = HashMap::new();
         for key in path_keys {
+            let key = key.borrow();
             assert!(
                 key.id().is_prefix_of_id(&user),
                 "key {} is off the path of user {}",
                 key.id(),
                 user
             );
-            keys.insert(key.id().clone(), key);
+            keys.insert(key.id().clone(), key.clone());
         }
         KeyRing { user, keys }
     }
@@ -122,12 +131,22 @@ impl KeyRing {
     }
 
     /// Checks that this ring holds exactly the path keys of the server-side
-    /// tree (same IDs, versions and material). Used heavily in tests.
-    pub fn matches_path(&self, spec: &IdSpec, server_path: &[Key]) -> bool {
-        if self.keys.len() != server_path.len() || server_path.len() != spec.depth() + 1 {
-            return false;
+    /// tree (same IDs, versions and material). Takes owned keys or a
+    /// borrowing iterator. Used heavily in tests.
+    pub fn matches_path<I>(&self, spec: &IdSpec, server_path: I) -> bool
+    where
+        I: IntoIterator,
+        I::Item: Borrow<Key>,
+    {
+        let mut len = 0usize;
+        for k in server_path {
+            let k = k.borrow();
+            len += 1;
+            if self.keys.get(k.id()) != Some(k) {
+                return false;
+            }
         }
-        server_path.iter().all(|k| self.keys.get(k.id()) == Some(k))
+        self.keys.len() == len && len == spec.depth() + 1
     }
 }
 
@@ -161,7 +180,7 @@ mod tests {
     fn absorb_installs_exactly_the_needed_keys() {
         let (mut rng, mut tree, users) = group();
         let mut ring = KeyRing::new(users[0].clone(), tree.user_path_keys(&users[0]));
-        assert!(ring.matches_path(&spec(), &tree.user_path_keys(&users[0])));
+        assert!(ring.matches_path(&spec(), tree.user_path_keys(&users[0])));
 
         // u5 = [2,2] leaves; user [0,0] needs only {new group}_{k[0]}.
         let out = tree
@@ -171,7 +190,7 @@ mod tests {
         assert_eq!(needed.len(), 1);
         let installed = ring.absorb(&out.encryptions);
         assert_eq!(installed, 1);
-        assert!(ring.matches_path(&spec(), &tree.user_path_keys(&users[0])));
+        assert!(ring.matches_path(&spec(), tree.user_path_keys(&users[0])));
         assert_eq!(ring.group_key(), tree.group_key());
     }
 
@@ -188,7 +207,7 @@ mod tests {
         reversed.reverse(); // shallow wraps first: forces the fixed-point loop
         let installed = ring.absorb(&reversed);
         assert_eq!(installed, 2);
-        assert!(ring.matches_path(&spec(), &tree.user_path_keys(&users[2])));
+        assert!(ring.matches_path(&spec(), tree.user_path_keys(&users[2])));
     }
 
     #[test]
@@ -241,6 +260,6 @@ mod tests {
         ring.absorb(&out2.encryptions);
         ring.absorb(&out1.encryptions);
         ring.absorb(&out2.encryptions);
-        assert!(ring.matches_path(&spec(), &tree.user_path_keys(&users[0])));
+        assert!(ring.matches_path(&spec(), tree.user_path_keys(&users[0])));
     }
 }

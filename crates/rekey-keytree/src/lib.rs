@@ -43,8 +43,12 @@ mod cluster;
 mod keyring;
 mod modified;
 mod original;
+mod reference;
 
 pub use cluster::{ClusterRekeyOutcome, ClusteredKeyTree};
 pub use keyring::KeyRing;
-pub use modified::{KeyTreeError, ModifiedKeyTree, RekeyOutcome, TreeMetrics};
+pub use modified::{
+    KeyTreeError, ModifiedKeyTree, NodeHandle, PathKeys, RekeyOutcome, TreeMetrics,
+};
 pub use original::{NodeIdx, OrigEncryption, OrigRekeyOutcome, OriginalKeyTree};
+pub use reference::ReferenceKeyTree;

@@ -1,5 +1,15 @@
 //! The modified key tree (§2.4): fixed height `D`, structure matching the
 //! ID tree exactly, growing horizontally as users join.
+//!
+//! Storage is an arena: nodes live in struct-of-arrays slot vectors
+//! addressed by integer [`NodeHandle`]s, with parent/child links as slot
+//! indices and a free list recycling pruned slots. Looking a node up by
+//! ID walks at most `D` child tables instead of comparing full
+//! `IdPrefix` keys through a `BTreeMap`, and every per-encryption
+//! bookkeeping step is O(1) — the regime the Wong–Gouda–Lam batch cost
+//! model assumes. The old map-keyed implementation is retained as
+//! [`ReferenceKeyTree`](crate::ReferenceKeyTree) and the two are churned
+//! in lockstep by property tests.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -50,12 +60,34 @@ impl RekeyOutcome {
     }
 }
 
-#[derive(Debug, Clone)]
-struct TreeNode {
-    key: Key,
-    /// Child digits; empty for u-nodes (full-length IDs).
-    children: BTreeSet<u16>,
+/// A stable integer handle to a live node of a [`ModifiedKeyTree`].
+///
+/// Handles are arena slot indices: `Copy`, 4 bytes, hashable, and valid
+/// until the node they name is pruned by a [`batch_rekey`] — after which
+/// the slot may be recycled for a different node, so holding handles
+/// across batches is only sound for nodes known to still exist (resolve
+/// again via [`node_handle`] when unsure). Handle values are
+/// deterministic for a deterministic operation sequence.
+///
+/// [`batch_rekey`]: ModifiedKeyTree::batch_rekey
+/// [`node_handle`]: ModifiedKeyTree::node_handle
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeHandle(u32);
+
+impl NodeHandle {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
+
+impl fmt::Display for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+const NIL: u32 = u32::MAX;
 
 /// A key for a node being (re)created: version 0 for a first-time ID, or
 /// one past the retired version when a node with this ID was pruned
@@ -117,6 +149,11 @@ impl TreeMetrics {
 /// k-nodes), every k-node on an affected path gets a fresh key, and one
 /// encryption is generated per (changed k-node, child) pair.
 ///
+/// Nodes are addressed by integer [`NodeHandle`]s; ID-prefix resolution
+/// ([`node_handle`], [`user_handle`]) is meant for the boundary where
+/// wire-format IDs enter, with handle-based accessors ([`key_at`],
+/// [`children_of`], [`parent_of`]) doing the traversal work after.
+///
 /// ```
 /// use rand::SeedableRng;
 /// use rekey_id::{IdSpec, UserId};
@@ -130,13 +167,38 @@ impl TreeMetrics {
 /// tree.batch_rekey(&[a.clone(), b], &[], &mut rng).unwrap();
 /// // `a` holds its individual key, the aux key of subtree [0] and the
 /// // group key.
-/// assert_eq!(tree.user_path_keys(&a).len(), 3);
+/// assert_eq!(tree.user_path_keys(&a).count(), 3);
+/// // The same path, walked by handle.
+/// let leaf = tree.user_handle(&a).unwrap();
+/// assert_eq!(tree.key_at(leaf).id(), &a.as_prefix());
+/// let root = tree.parent_of(tree.parent_of(leaf).unwrap()).unwrap();
+/// assert_eq!(Some(tree.key_at(root)), tree.group_key());
 /// # Ok::<(), rekey_id::IdError>(())
 /// ```
+///
+/// [`node_handle`]: ModifiedKeyTree::node_handle
+/// [`user_handle`]: ModifiedKeyTree::user_handle
+/// [`key_at`]: ModifiedKeyTree::key_at
+/// [`children_of`]: ModifiedKeyTree::children_of
+/// [`parent_of`]: ModifiedKeyTree::parent_of
 #[derive(Debug, Clone)]
 pub struct ModifiedKeyTree {
     spec: IdSpec,
-    nodes: BTreeMap<IdPrefix, TreeNode>,
+    /// Slot state, struct-of-arrays. `keys[s]` doubles as the node's ID
+    /// store (a `Key` carries its `IdPrefix`); freed slots keep a stale
+    /// key and are guarded by `live`.
+    keys: Vec<Key>,
+    parents: Vec<u32>,
+    /// Child links per slot, sorted by digit.
+    children: Vec<Vec<(u16, u32)>>,
+    live: Vec<bool>,
+    /// Batch stamp per slot: "touched this batch" marks, reset on alloc.
+    stamp: Vec<u32>,
+    free: Vec<u32>,
+    batch: u32,
+    root: u32,
+    live_count: usize,
+    user_count: usize,
     /// Last key version of every node ever pruned. A node recreated at an
     /// ID that was used before resumes its version counter past the
     /// retired value instead of restarting at 0, so a `(node ID, version)`
@@ -157,7 +219,16 @@ impl ModifiedKeyTree {
     pub fn new(spec: &IdSpec) -> ModifiedKeyTree {
         ModifiedKeyTree {
             spec: *spec,
-            nodes: BTreeMap::new(),
+            keys: Vec::new(),
+            parents: Vec::new(),
+            children: Vec::new(),
+            live: Vec::new(),
+            stamp: Vec::new(),
+            free: Vec::new(),
+            batch: 0,
+            root: NIL,
+            live_count: 0,
+            user_count: 0,
             retired: BTreeMap::new(),
             metrics: None,
         }
@@ -176,54 +247,219 @@ impl ModifiedKeyTree {
         &self.spec
     }
 
+    // ------------------------------------------------------------------
+    // Slot plumbing.
+
+    fn alloc(&mut self, key: Key, parent: u32) -> u32 {
+        self.live_count += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = slot as usize;
+            self.keys[s] = key;
+            self.parents[s] = parent;
+            self.children[s].clear();
+            self.live[s] = true;
+            self.stamp[s] = 0;
+            slot
+        } else {
+            let slot = self.keys.len() as u32;
+            self.keys.push(key);
+            self.parents.push(parent);
+            self.children.push(Vec::new());
+            self.live.push(true);
+            self.stamp.push(0);
+            slot
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        let s = slot as usize;
+        debug_assert!(self.live[s]);
+        self.live[s] = false;
+        self.live_count -= 1;
+        self.free.push(slot);
+    }
+
+    fn child_slot(&self, slot: u32, digit: u16) -> Option<u32> {
+        let kids = &self.children[slot as usize];
+        kids.binary_search_by_key(&digit, |&(d, _)| d)
+            .ok()
+            .map(|i| kids[i].1)
+    }
+
+    fn link_child(&mut self, slot: u32, digit: u16, child: u32) {
+        let kids = &mut self.children[slot as usize];
+        match kids.binary_search_by_key(&digit, |&(d, _)| d) {
+            Ok(i) => kids[i].1 = child,
+            Err(i) => kids.insert(i, (digit, child)),
+        }
+    }
+
+    fn unlink_child(&mut self, slot: u32, digit: u16) {
+        let kids = &mut self.children[slot as usize];
+        if let Ok(i) = kids.binary_search_by_key(&digit, |&(d, _)| d) {
+            kids.remove(i);
+        }
+    }
+
+    /// Walks the digit path from the root; `None` unless every node on the
+    /// way exists.
+    fn lookup(&self, digits: &[u16]) -> Option<u32> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut slot = self.root;
+        for &d in digits {
+            slot = self.child_slot(slot, d)?;
+        }
+        Some(slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Handle API.
+
+    /// The handle of the root (group-key) node, if the group is non-empty.
+    pub fn root_handle(&self) -> Option<NodeHandle> {
+        (self.root != NIL).then_some(NodeHandle(self.root))
+    }
+
+    /// Resolves an ID prefix to the handle of the node holding that ID.
+    ///
+    /// This is the prefix↔handle boundary: call it once where an ID
+    /// enters (a wire message, a user-facing API), then traverse by
+    /// handle.
+    pub fn node_handle(&self, id: &IdPrefix) -> Option<NodeHandle> {
+        self.lookup(id.digits()).map(NodeHandle)
+    }
+
+    /// Resolves a user ID to the handle of its u-node.
+    pub fn user_handle(&self, user: &UserId) -> Option<NodeHandle> {
+        self.lookup(user.digits()).map(NodeHandle)
+    }
+
+    /// The key stored at `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's node has been pruned (stale handle).
+    pub fn key_at(&self, handle: NodeHandle) -> &Key {
+        assert!(
+            self.live[handle.index()],
+            "stale NodeHandle {handle}: node was pruned"
+        );
+        &self.keys[handle.index()]
+    }
+
+    /// The parent of `handle`'s node; `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn parent_of(&self, handle: NodeHandle) -> Option<NodeHandle> {
+        assert!(
+            self.live[handle.index()],
+            "stale NodeHandle {handle}: node was pruned"
+        );
+        let p = self.parents[handle.index()];
+        (p != NIL).then_some(NodeHandle(p))
+    }
+
+    /// The children of `handle`'s node in digit order, as
+    /// `(digit, handle)` pairs. Empty for u-nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn children_of(
+        &self,
+        handle: NodeHandle,
+    ) -> impl ExactSizeIterator<Item = (u16, NodeHandle)> + Clone + '_ {
+        assert!(
+            self.live[handle.index()],
+            "stale NodeHandle {handle}: node was pruned"
+        );
+        self.children[handle.index()]
+            .iter()
+            .map(|&(d, s)| (d, NodeHandle(s)))
+    }
+
+    /// The keys on the path from `handle`'s node up to the root, starting
+    /// at the node itself.
+    pub fn path_keys_at(&self, handle: NodeHandle) -> PathKeys<'_> {
+        assert!(
+            self.live[handle.index()],
+            "stale NodeHandle {handle}: node was pruned"
+        );
+        PathKeys {
+            tree: self,
+            cur: handle.0,
+            remaining: self.keys[handle.index()].id().len() + 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ID-keyed accessors (facade-boundary conveniences).
+
     /// The current group key, if the group is non-empty.
     pub fn group_key(&self) -> Option<&Key> {
-        self.key(&IdPrefix::root())
+        (self.root != NIL).then(|| &self.keys[self.root as usize])
     }
 
     /// The key stored at ID-tree node `id`, if present.
+    #[deprecated(
+        since = "0.6.0",
+        note = "resolve once with `node_handle(id)` and read with `key_at(handle)`"
+    )]
     pub fn key(&self, id: &IdPrefix) -> Option<&Key> {
-        self.nodes.get(id).map(|n| &n.key)
+        self.lookup(id.digits()).map(|s| &self.keys[s as usize])
     }
 
     /// `true` iff `user` has a u-node in the tree.
     pub fn contains_user(&self, user: &UserId) -> bool {
-        self.nodes.contains_key(&user.as_prefix())
+        self.lookup(user.digits()).is_some()
     }
 
-    /// Number of users (u-nodes).
+    /// Number of users (u-nodes). O(1).
     pub fn user_count(&self) -> usize {
-        let depth = self.spec.depth();
-        self.nodes.keys().filter(|p| p.len() == depth).count()
+        self.user_count
     }
 
-    /// Total number of nodes (k-nodes and u-nodes).
+    /// Total number of nodes (k-nodes and u-nodes). O(1).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.live_count
     }
 
-    /// All keys on the path from `user`'s u-node to the root, u-node first.
-    /// This is exactly the key set a user holds (§2.4); empty if the user is
-    /// not a member.
-    pub fn user_path_keys(&self, user: &UserId) -> Vec<Key> {
-        if !self.contains_user(user) {
-            return Vec::new();
+    /// The keys on the path from `user`'s u-node to the root, u-node
+    /// first, as a borrowing iterator — no clones, no allocation. This is
+    /// exactly the key set a user holds (§2.4); empty if the user is not
+    /// a member. Collect with `.cloned()` where owned keys are needed.
+    pub fn user_path_keys(&self, user: &UserId) -> PathKeys<'_> {
+        match self.lookup(user.digits()) {
+            Some(slot) => PathKeys {
+                tree: self,
+                cur: slot,
+                remaining: self.spec.depth() + 1,
+            },
+            None => PathKeys {
+                tree: self,
+                cur: NIL,
+                remaining: 0,
+            },
         }
-        (0..=self.spec.depth())
-            .rev()
-            .map(|l| self.nodes[&user.prefix(l)].key.clone())
-            .collect()
     }
 
     /// Checks the structural invariant: the key tree's node set equals the
     /// ID tree's node set for the current membership.
     pub fn matches_id_tree(&self, tree: &IdTree) -> bool {
-        if self.nodes.len() != tree.node_count() {
+        if self.live_count != tree.node_count() {
             return false;
         }
-        self.nodes.iter().all(|(id, node)| {
-            tree.node(id)
-                .is_some_and(|t| node.children.iter().copied().eq(t.child_digits()))
+        (0..self.keys.len()).filter(|&s| self.live[s]).all(|s| {
+            tree.node(self.keys[s].id()).is_some_and(|t| {
+                self.children[s]
+                    .iter()
+                    .map(|&(d, _)| d)
+                    .eq(t.child_digits())
+            })
         })
     }
 
@@ -255,6 +491,15 @@ impl ModifiedKeyTree {
         Ok(())
     }
 
+    /// Marks a slot as changed this batch; records it once in `touched`.
+    fn mark_changed(&mut self, slot: u32, touched: &mut Vec<u32>) {
+        let s = slot as usize;
+        if self.stamp[s] != self.batch {
+            self.stamp[s] = self.batch;
+            touched.push(slot);
+        }
+    }
+
     /// Processes one rekey interval: `joins` and `leaves` as a batch
     /// (§2.4). Returns the rekey message.
     ///
@@ -275,34 +520,61 @@ impl ModifiedKeyTree {
     ) -> Result<RekeyOutcome, KeyTreeError> {
         self.validate_batch(joins, leaves)?;
         let depth = self.spec.depth();
-        let mut changed: BTreeSet<IdPrefix> = BTreeSet::new();
         let mut tombstone_hits = 0u64;
+        // Slots touched this batch; pruned ones are filtered at the end.
+        let mut touched: Vec<u32> = Vec::new();
+        self.batch = self.batch.wrapping_add(1);
+        if self.batch == 0 {
+            // Wrapped: stale stamps could alias; clear them all (rare).
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.batch = 1;
+        }
 
         // "For each leaving user u, the key server deletes from the key tree
         // the u-node with ID u.ID. At each level i … the k-node whose ID
         // equals u.ID[0 : i−1] is deleted if the k-node does not have any
         // descendants."
+        let mut chain: Vec<u32> = Vec::with_capacity(depth + 1);
         for u in leaves {
-            if let Some(node) = self.nodes.remove(&u.as_prefix()) {
-                self.retired.insert(u.as_prefix(), node.key.version());
+            // Resolve the whole ancestor chain in one walk: chain[l] is the
+            // node at u.prefix(l).
+            chain.clear();
+            let mut slot = self.root;
+            chain.push(slot);
+            for &d in u.digits() {
+                slot = self
+                    .child_slot(slot, d)
+                    .expect("ancestors of an unprocessed leaf always exist");
+                chain.push(slot);
             }
+            let leaf = chain[depth];
+            self.retired
+                .insert(u.as_prefix(), self.keys[leaf as usize].version());
+            self.release(leaf);
+            self.user_count -= 1;
+            // Whether the node one level below was pruned (starts true: the
+            // u-node was just removed).
+            let mut child_gone = true;
             for level in (0..depth).rev() {
-                let id = u.prefix(level);
-                let child_digit = u.digit(level);
-                if !self.nodes.contains_key(&id.child(child_digit)) {
-                    self.nodes
-                        .get_mut(&id)
-                        .expect("ancestors of an unprocessed leaf always exist")
-                        .children
-                        .remove(&child_digit);
+                let node = chain[level];
+                if child_gone {
+                    self.unlink_child(node, u.digit(level));
                 }
-                if self.nodes[&id].children.is_empty() {
-                    let node = self.nodes.remove(&id).expect("node was just inspected");
-                    self.retired.insert(id.clone(), node.key.version());
-                    changed.remove(&id);
+                if self.children[node as usize].is_empty() {
+                    self.retired.insert(
+                        self.keys[node as usize].id().clone(),
+                        self.keys[node as usize].version(),
+                    );
+                    self.release(node);
+                    child_gone = true;
                 } else {
-                    changed.insert(id);
+                    self.mark_changed(node, &mut touched);
+                    child_gone = false;
                 }
+            }
+            if child_gone {
+                // The root itself was pruned: the tree is now empty.
+                self.root = NIL;
             }
         }
 
@@ -310,48 +582,83 @@ impl ModifiedKeyTree {
         // u-node with ID u.ID. At each level i … a k-node with ID
         // u.ID[0 : i−1] is added if such a k-node does not exist."
         for u in joins {
+            // Existing ancestors are a prefix of the path (the tree is
+            // prefix-closed): find how deep they go.
+            chain.clear();
+            if self.root != NIL {
+                let mut slot = self.root;
+                chain.push(slot);
+                for &d in &u.digits()[..depth.saturating_sub(1)] {
+                    match self.child_slot(slot, d) {
+                        Some(next) => {
+                            slot = next;
+                            chain.push(slot);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            let existing = chain.len(); // levels 0..existing are present
             let leaf_key = fresh_key(&self.retired, u.as_prefix(), rng, &mut tombstone_hits);
-            self.nodes.insert(
-                u.as_prefix(),
-                TreeNode {
-                    key: leaf_key,
-                    children: BTreeSet::new(),
-                },
-            );
-            for level in (0..depth).rev() {
-                let id = u.prefix(level);
-                let node = match self.nodes.entry(id.clone()) {
-                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::btree_map::Entry::Vacant(e) => e.insert(TreeNode {
-                        key: fresh_key(&self.retired, id.clone(), rng, &mut tombstone_hits),
-                        children: BTreeSet::new(),
-                    }),
-                };
-                node.children.insert(u.digit(level));
-                changed.insert(id);
+            let leaf = self.alloc(leaf_key, NIL);
+            self.user_count += 1;
+            // Create missing k-nodes deep→shallow (matching the reference
+            // tree's RNG draw order), wiring each to the child made just
+            // before it.
+            let mut below = leaf;
+            for level in (existing..depth).rev() {
+                let key = fresh_key(&self.retired, u.prefix(level), rng, &mut tombstone_hits);
+                let node = self.alloc(key, NIL);
+                self.link_child(node, u.digit(level), below);
+                self.parents[below as usize] = node;
+                self.mark_changed(node, &mut touched);
+                below = node;
+            }
+            if existing == 0 {
+                self.root = below;
+            } else {
+                // Attach the new chain (or just the leaf) to the deepest
+                // existing ancestor, then mark the existing path changed.
+                let deepest = chain[existing - 1];
+                self.link_child(deepest, u.digit(existing - 1), below);
+                self.parents[below as usize] = deepest;
+                for &node in &chain {
+                    self.mark_changed(node, &mut touched);
+                }
             }
         }
 
         // "At the beginning of the next rekey interval, the key server
         // updates all the keys on the path from each newly joined or
         // departed u-node to the root, and then generates encryptions."
-        for id in &changed {
-            let node = self.nodes.get_mut(id).expect("changed node must exist");
-            node.key = node.key.next_version(rng);
+        //
+        // Prune-then-reuse can leave duplicate or dead entries in
+        // `touched`: keep live slots once, in ascending ID order (the
+        // reference tree's BTreeSet iteration order, which fixes the RNG
+        // draw sequence).
+        let mut changed: Vec<u32> = touched
+            .into_iter()
+            .filter(|&s| self.live[s as usize] && self.stamp[s as usize] == self.batch)
+            .collect();
+        changed.sort_unstable();
+        changed.dedup();
+        changed.sort_by(|&a, &b| self.keys[a as usize].id().cmp(self.keys[b as usize].id()));
+        for &s in &changed {
+            self.keys[s as usize] = self.keys[s as usize].next_version(rng);
         }
 
         // One encryption per (changed k-node, child): the child's (possibly
-        // new) key wraps the changed node's new key.
+        // new) key wraps the changed node's new key. Deeper encrypting keys
+        // first so receivers can unwrap in one pass (stable sort keeps the
+        // ascending-ID order within a depth).
+        let mut emit = changed.clone();
+        emit.sort_by_key(|&s| std::cmp::Reverse(self.keys[s as usize].id().len()));
         let mut encryptions = Vec::new();
-        // Deeper encrypting keys first so receivers can unwrap in one pass.
-        let mut changed_sorted: Vec<&IdPrefix> = changed.iter().collect();
-        changed_sorted.sort_by_key(|id| std::cmp::Reverse(id.len()));
-        for id in changed_sorted {
-            let node = &self.nodes[id];
-            let new_key = node.key.clone();
-            for &digit in &node.children {
-                let child = &self.nodes[&id.child(digit)];
-                encryptions.push(Encryption::seal(&child.key, &new_key, rng));
+        for &s in &emit {
+            let new_key = self.keys[s as usize].clone();
+            for ci in 0..self.children[s as usize].len() {
+                let child = self.children[s as usize][ci].1;
+                encryptions.push(Encryption::seal(&self.keys[child as usize], &new_key, rng));
             }
         }
         if let Some(m) = &self.metrics {
@@ -361,10 +668,43 @@ impl ModifiedKeyTree {
         }
         Ok(RekeyOutcome {
             encryptions,
-            updated: changed.into_iter().collect(),
+            updated: changed
+                .iter()
+                .map(|&s| self.keys[s as usize].id().clone())
+                .collect(),
         })
     }
 }
+
+/// Borrowing iterator over the keys on a node→root path, deepest first.
+/// Returned by [`ModifiedKeyTree::user_path_keys`] and
+/// [`ModifiedKeyTree::path_keys_at`].
+#[derive(Debug, Clone)]
+pub struct PathKeys<'a> {
+    tree: &'a ModifiedKeyTree,
+    cur: u32,
+    remaining: usize,
+}
+
+impl<'a> Iterator for PathKeys<'a> {
+    type Item = &'a Key;
+
+    fn next(&mut self) -> Option<&'a Key> {
+        if self.cur == NIL {
+            return None;
+        }
+        let s = self.cur as usize;
+        self.cur = self.tree.parents[s];
+        self.remaining -= 1;
+        Some(&self.tree.keys[s])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PathKeys<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -378,6 +718,10 @@ mod tests {
 
     fn uid(digits: [u16; 2]) -> UserId {
         UserId::new(&spec(), digits.to_vec()).unwrap()
+    }
+
+    fn key_of<'t>(tree: &'t ModifiedKeyTree, id: &IdPrefix) -> Option<&'t Key> {
+        tree.node_handle(id).map(|h| tree.key_at(h))
     }
 
     /// Builds the Fig. 1 / Fig. 4 example group.
@@ -428,12 +772,47 @@ mod tests {
     fn users_hold_path_keys() {
         let mut rng = StdRng::seed_from_u64(3);
         let tree = fig4_tree(&mut rng);
-        let keys = tree.user_path_keys(&uid([2, 2]));
+        let keys: Vec<&Key> = tree.user_path_keys(&uid([2, 2])).collect();
         assert_eq!(keys.len(), 3); // individual, aux [2], group
         assert_eq!(keys[0].id().to_string(), "[2,2]");
         assert_eq!(keys[1].id().to_string(), "[2]");
         assert!(keys[2].id().is_empty());
-        assert!(tree.user_path_keys(&uid([3, 3])).is_empty());
+        assert_eq!(tree.user_path_keys(&uid([3, 3])).count(), 0);
+        // The iterator is exact-size and restartable (Clone).
+        let it = tree.user_path_keys(&uid([2, 2]));
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.clone().count(), it.count());
+    }
+
+    #[test]
+    fn handle_navigation_matches_ids() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let tree = fig4_tree(&mut rng);
+        let leaf = tree.user_handle(&uid([2, 1])).unwrap();
+        assert_eq!(tree.key_at(leaf).id().to_string(), "[2,1]");
+        let aux = tree.parent_of(leaf).unwrap();
+        assert_eq!(tree.key_at(aux).id().to_string(), "[2]");
+        let digits: Vec<u16> = tree.children_of(aux).map(|(d, _)| d).collect();
+        assert_eq!(digits, vec![0, 1, 2]);
+        let root = tree.parent_of(aux).unwrap();
+        assert_eq!(Some(root), tree.root_handle());
+        assert_eq!(tree.parent_of(root), None);
+        // node_handle resolves interior prefixes too.
+        let sub = IdPrefix::new(&spec(), vec![2]).unwrap();
+        assert_eq!(tree.node_handle(&sub), Some(aux));
+        // path_keys_at from an interior node.
+        let path: Vec<&Key> = tree.path_keys_at(aux).collect();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale NodeHandle")]
+    fn stale_handles_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut tree = fig4_tree(&mut rng);
+        let leaf = tree.user_handle(&uid([2, 2])).unwrap();
+        tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
+        let _ = tree.key_at(leaf);
     }
 
     #[test]
@@ -460,9 +839,7 @@ mod tests {
         // single child [2] left ⇒ exactly one encryption.
         assert_eq!(out.cost(), 1);
         assert_eq!(out.encryptions[0].id().to_string(), "[2]");
-        assert!(tree
-            .key(&IdPrefix::new(&spec(), vec![0]).unwrap())
-            .is_none());
+        assert!(key_of(&tree, &IdPrefix::new(&spec(), vec![0]).unwrap()).is_none());
         let id_tree = IdTree::from_users(&spec(), [[2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)));
         assert!(tree.matches_id_tree(&id_tree));
     }
@@ -481,17 +858,17 @@ mod tests {
         // Rekey a few intervals so [0]'s version advances past creation.
         tree.batch_rekey(&[], &[uid([0, 1])], &mut rng).unwrap();
         tree.batch_rekey(&[uid([0, 1])], &[], &mut rng).unwrap();
-        let before = tree.key(&aux).unwrap().clone();
+        let before = key_of(&tree, &aux).unwrap().clone();
         assert!(before.version() >= 2);
 
         // Empty the subtree (pruning [0]), then recreate it; same for the
         // leaf [0,0] — same-ID u-node incarnations must not collide either.
         tree.batch_rekey(&[], &[uid([0, 0]), uid([0, 1])], &mut rng)
             .unwrap();
-        assert!(tree.key(&aux).is_none());
+        assert!(key_of(&tree, &aux).is_none());
         tree.batch_rekey(&[uid([0, 0])], &[], &mut rng).unwrap();
 
-        let after = tree.key(&aux).unwrap();
+        let after = key_of(&tree, &aux).unwrap();
         assert!(
             after.version() > before.version(),
             "recreated [0] must continue past version {} (got {})",
@@ -499,7 +876,7 @@ mod tests {
             after.version()
         );
         assert_ne!(after.material(), before.material());
-        let leaf = tree.key(&uid([0, 0]).as_prefix()).unwrap();
+        let leaf = key_of(&tree, &uid([0, 0]).as_prefix()).unwrap();
         assert!(leaf.version() > 0, "recreated u-node resumes versions too");
     }
 
@@ -534,7 +911,7 @@ mod tests {
     fn id_reuse_within_one_batch() {
         let mut rng = StdRng::seed_from_u64(10);
         let mut tree = fig4_tree(&mut rng);
-        let old_individual = tree.key(&uid([2, 2]).as_prefix()).unwrap().clone();
+        let old_individual = key_of(&tree, &uid([2, 2]).as_prefix()).unwrap().clone();
         let old_group = tree.group_key().unwrap().clone();
         let out = tree
             .batch_rekey(&[uid([2, 2])], &[uid([2, 2])], &mut rng)
@@ -542,7 +919,10 @@ mod tests {
         assert!(out.cost() > 0);
         assert!(tree.contains_user(&uid([2, 2])));
         assert_eq!(tree.user_count(), 5);
-        assert_ne!(tree.key(&uid([2, 2]).as_prefix()).unwrap(), &old_individual);
+        assert_ne!(
+            key_of(&tree, &uid([2, 2]).as_prefix()).unwrap(),
+            &old_individual
+        );
         assert_ne!(tree.group_key().unwrap(), &old_group);
     }
 
@@ -565,6 +945,11 @@ mod tests {
         assert_eq!(out.cost(), 0);
         assert_eq!(tree.node_count(), 0);
         assert!(tree.group_key().is_none());
+        assert_eq!(tree.root_handle(), None);
+        // And the tree is reusable afterwards.
+        tree.batch_rekey(&[uid([2, 2])], &[], &mut rng).unwrap();
+        assert_eq!(tree.user_count(), 1);
+        assert!(tree.group_key().is_some());
     }
 
     #[test]
@@ -605,5 +990,28 @@ mod tests {
         let mut sorted = lens.clone();
         sorted.sort_by_key(|&l| std::cmp::Reverse(l));
         assert_eq!(lens, sorted);
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut tree = fig4_tree(&mut rng);
+        let cap_before = tree.keys.len();
+        // Churn the same subtree repeatedly: capacity must not grow.
+        for _ in 0..16 {
+            tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
+            tree.batch_rekey(&[uid([2, 2])], &[], &mut rng).unwrap();
+        }
+        assert_eq!(tree.keys.len(), cap_before, "free list must recycle slots");
+        assert_eq!(tree.user_count(), 5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_id_keyed_lookup_still_works() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let tree = fig4_tree(&mut rng);
+        let aux = IdPrefix::new(&spec(), vec![2]).unwrap();
+        assert_eq!(tree.key(&aux), key_of(&tree, &aux));
     }
 }

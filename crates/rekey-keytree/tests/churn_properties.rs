@@ -63,7 +63,7 @@ proptest! {
             prop_assert!(tree.matches_id_tree(&id_tree));
             prop_assert_eq!(tree.user_count(), members.len());
             for m in &members {
-                prop_assert_eq!(tree.user_path_keys(m).len(), s.depth() + 1);
+                prop_assert_eq!(tree.user_path_keys(m).count(), s.depth() + 1);
             }
         }
     }
@@ -90,7 +90,7 @@ proptest! {
                 leaves.into_iter().filter(|u| *u != tracked && tree.contains_user(u)).collect();
             let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
             ring.absorb(&out.encryptions);
-            prop_assert!(ring.matches_path(&s, &tree.user_path_keys(&tracked)));
+            prop_assert!(ring.matches_path(&s, tree.user_path_keys(&tracked)));
         }
     }
 

@@ -45,13 +45,42 @@ pub fn bucket_width(i: usize) -> u64 {
     1u64 << (i as u64 / SUB_BUCKETS - 1)
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Store {
     buckets: Vec<u64>,
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
+}
+
+impl Store {
+    fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets: self.buckets.clone(),
+        }
+    }
 }
 
 /// A histogram handle. Cloning shares the store; `record` is O(1).
@@ -67,21 +96,7 @@ impl Histogram {
 
     /// Records one value.
     pub fn record(&self, v: u64) {
-        let mut s = self.0.borrow_mut();
-        let idx = bucket_index(v);
-        if s.buckets.len() <= idx {
-            s.buckets.resize(idx + 1, 0);
-        }
-        s.buckets[idx] += 1;
-        if s.count == 0 {
-            s.min = v;
-            s.max = v;
-        } else {
-            s.min = s.min.min(v);
-            s.max = s.max.max(v);
-        }
-        s.count += 1;
-        s.sum = s.sum.wrapping_add(v);
+        self.0.borrow_mut().record(v);
     }
 
     /// Values recorded so far.
@@ -91,14 +106,63 @@ impl Histogram {
 
     /// A point-in-time copy of the distribution.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let s = self.0.borrow();
-        HistogramSnapshot {
-            count: s.count,
-            sum: s.sum,
-            min: s.min,
-            max: s.max,
-            buckets: s.buckets.clone(),
+        self.0.borrow().snapshot()
+    }
+}
+
+/// A single-owner histogram with the same bucketing as [`Histogram`] but
+/// no shared handle: plain data, `Send`, made for per-shard accumulation
+/// inside multi-threaded executors. Each shard records into its own
+/// `LocalHistogram`; after the workers join, the coordinator merges them
+/// in a deterministic order and snapshots the union.
+#[derive(Debug, Clone, Default)]
+pub struct LocalHistogram(Store);
+
+impl LocalHistogram {
+    /// An empty local histogram.
+    pub fn new() -> LocalHistogram {
+        LocalHistogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count
+    }
+
+    /// Folds `other`'s counts into this histogram. Bucket counts and sums
+    /// add; min/max extend. Merging is commutative, so any deterministic
+    /// shard order yields the same result.
+    pub fn merge(&mut self, other: &LocalHistogram) {
+        let o = &other.0;
+        if o.count == 0 {
+            return;
         }
+        if self.0.buckets.len() < o.buckets.len() {
+            self.0.buckets.resize(o.buckets.len(), 0);
+        }
+        for (b, &n) in self.0.buckets.iter_mut().zip(o.buckets.iter()) {
+            *b += n;
+        }
+        if self.0.count == 0 {
+            self.0.min = o.min;
+            self.0.max = o.max;
+        } else {
+            self.0.min = self.0.min.min(o.min);
+            self.0.max = self.0.max.max(o.max);
+        }
+        self.0.count += o.count;
+        self.0.sum = self.0.sum.wrapping_add(o.sum);
+    }
+
+    /// A point-in-time copy of the distribution, identical in form to
+    /// [`Histogram::snapshot`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
     }
 }
 

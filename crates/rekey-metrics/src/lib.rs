@@ -49,7 +49,9 @@ use std::rc::Rc;
 pub mod histogram;
 pub mod json;
 
-pub use histogram::{bucket_index, bucket_lower, bucket_width, Histogram, HistogramSnapshot};
+pub use histogram::{
+    bucket_index, bucket_lower, bucket_width, Histogram, HistogramSnapshot, LocalHistogram,
+};
 
 /// One recorded tracing span: a named interval of simulated time plus one
 /// free `detail` word (an interval number, an epoch, a batch size — the

@@ -1,0 +1,148 @@
+//! An analytic grid substrate for very large groups.
+//!
+//! [`MatrixNetwork`](crate::MatrixNetwork) materialises an all-pairs RTT
+//! matrix — O(N²) memory — which caps it at a few thousand hosts. The
+//! million-member experiments need a substrate whose delay is a *formula*:
+//! hosts sit on a √N × √N grid and the one-way delay between two hosts is
+//! an affine function of their Manhattan distance. O(N) memory (none per
+//! pair), O(1) per query, and fully deterministic without a seed.
+//!
+//! The constants default to the same order of magnitude as the synthetic
+//! PlanetLab matrix (a few to a few hundred milliseconds), so protocol
+//! timers tuned on the small substrates remain sensible here.
+
+use crate::{HostId, Micros, Network};
+
+/// Hosts on a square grid; delay is affine in Manhattan distance.
+///
+/// One-way delay between distinct hosts `a`, `b` at grid positions
+/// `(xa, ya)`, `(xb, yb)`:
+///
+/// ```text
+/// one_way(a, b) = base + step · (|xa − xb| + |ya − yb|)
+/// ```
+///
+/// RTTs are symmetric (`2 · one_way`), the gateway RTT equals the host RTT
+/// (grid hosts have no modelled access links), and there are no physical
+/// links to account stress against.
+///
+/// ```
+/// use rekey_net::{GridNetwork, HostId, Network};
+///
+/// let net = GridNetwork::new(9, 1_000, 500); // 3×3 grid
+/// assert_eq!(net.host_count(), 9);
+/// // hosts 0 and 1 are lateral neighbors: distance 1
+/// assert_eq!(net.one_way(HostId(0), HostId(1)), 1_500);
+/// // hosts 0 and 8 sit at opposite corners: distance 4
+/// assert_eq!(net.one_way(HostId(0), HostId(8)), 3_000);
+/// assert_eq!(net.rtt(HostId(0), HostId(8)), 6_000);
+/// assert_eq!(net.min_one_way(), 1_500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridNetwork {
+    hosts: usize,
+    side: usize,
+    base: Micros,
+    step: Micros,
+}
+
+impl GridNetwork {
+    /// A grid substrate over `hosts` hosts with the given delay constants
+    /// (µs). The grid side is `⌈√hosts⌉`; the last row may be partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hosts` is zero or `base + step` is zero (a zero
+    /// cross-host delay would break event-ordering assumptions downstream).
+    pub fn new(hosts: usize, base: Micros, step: Micros) -> GridNetwork {
+        assert!(hosts > 0, "grid needs at least one host");
+        assert!(base + step > 0, "cross-host delay must be positive");
+        let side = (hosts as f64).sqrt().ceil() as usize;
+        GridNetwork {
+            hosts,
+            side: side.max(1),
+            base,
+            step,
+        }
+    }
+
+    /// The paper-flavored default constants: 2 ms base plus 150 µs per
+    /// grid hop, which spans ≈2–300 ms across a 1024×1024 grid — the same
+    /// range as the synthetic PlanetLab matrix.
+    pub fn with_defaults(hosts: usize) -> GridNetwork {
+        GridNetwork::new(hosts, 2_000, 150)
+    }
+
+    /// The smallest one-way delay between two *distinct* hosts:
+    /// `base + step` (Manhattan distance ≥ 1). Sharded executors use this
+    /// as the safe event-window width.
+    pub fn min_one_way(&self) -> Micros {
+        self.base + self.step
+    }
+
+    fn position(&self, h: HostId) -> (usize, usize) {
+        debug_assert!(h.0 < self.hosts, "host {h} out of range");
+        (h.0 % self.side, h.0 / self.side)
+    }
+}
+
+impl Network for GridNetwork {
+    fn host_count(&self) -> usize {
+        self.hosts
+    }
+
+    fn rtt(&self, a: HostId, b: HostId) -> Micros {
+        2 * self.one_way(a, b)
+    }
+
+    fn gateway_rtt(&self, a: HostId, b: HostId) -> Micros {
+        self.rtt(a, b)
+    }
+
+    fn one_way(&self, a: HostId, b: HostId) -> Micros {
+        if a == b {
+            return self.base;
+        }
+        let (xa, ya) = self.position(a);
+        let (xb, yb) = self.position(b);
+        let manhattan = xa.abs_diff(xb) + ya.abs_diff(yb);
+        self.base + self.step * manhattan as Micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_symmetric_and_triangle_friendly() {
+        let net = GridNetwork::new(100, 1_000, 100);
+        for (a, b) in [(0, 99), (3, 47), (10, 11)] {
+            let (a, b) = (HostId(a), HostId(b));
+            assert_eq!(net.one_way(a, b), net.one_way(b, a));
+            assert!(net.one_way(a, b) >= net.min_one_way());
+        }
+    }
+
+    #[test]
+    fn partial_last_row_is_addressable() {
+        let net = GridNetwork::new(10, 500, 50); // 4×4 grid, 10 hosts
+        assert_eq!(net.host_count(), 10);
+        // host 9 is at (1, 2); host 0 at (0, 0): distance 3
+        assert_eq!(net.one_way(HostId(0), HostId(9)), 650);
+    }
+
+    #[test]
+    fn million_host_grid_is_cheap() {
+        let net = GridNetwork::with_defaults(1_000_001);
+        assert_eq!(net.host_count(), 1_000_001);
+        let d = net.one_way(HostId(0), HostId(1_000_000));
+        assert!(d > net.min_one_way());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        let _ = GridNetwork::new(0, 1_000, 100);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod coords;
 mod dijkstra;
 mod graph;
+mod grid;
 pub mod gtitm;
 mod planetlab;
 mod routed;
@@ -31,6 +32,7 @@ mod stress;
 pub use coords::{Coordinate, CoordinateSystem};
 pub use dijkstra::{shortest_paths, ShortestPaths};
 pub use graph::{Link, LinkId, RouterGraph, RouterId};
+pub use grid::GridNetwork;
 pub use planetlab::{MatrixNetwork, PlanetLabParams};
 pub use routed::RoutedNetwork;
 pub use stress::LinkLoad;

@@ -125,6 +125,58 @@ impl GroupConfig {
             rng: seeded_rng(self.seed),
         }
     }
+
+    /// Builds a server **pre-populated** with `hosts` as interval 1 — the
+    /// million-member bootstrap path.
+    ///
+    /// Membership is dealt by [`Group::bootstrap`] (O(N·D·B) instead of the
+    /// O(N²) join protocol), the key tree is batch-rekeyed once for all
+    /// members, and every member's welcome packet is returned so callers
+    /// can construct agents directly — no join wave, no per-member rekey
+    /// traffic. The server resumes at interval 1 with nothing pending, so
+    /// subsequent churn goes through the regular incremental paths.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::IdSpaceFull`] when `hosts.len()` exceeds the ID space.
+    pub fn bootstrap(
+        self,
+        server_host: HostId,
+        hosts: &[HostId],
+        net: &impl Network,
+    ) -> Result<(GroupServer, Vec<WelcomePacket>), GroupError> {
+        let group = Group::bootstrap(
+            &self.spec,
+            server_host,
+            self.k,
+            self.policy,
+            self.assign,
+            hosts,
+            net,
+        )?;
+        let mut tree = ModifiedKeyTree::new(&self.spec);
+        let mut rng = seeded_rng(self.seed);
+        let joins: Vec<UserId> = group.members().iter().map(|m| m.id.clone()).collect();
+        tree.batch_rekey(&joins, &[], &mut rng)
+            .expect("bootstrap IDs are unique non-members");
+        let welcomes = group
+            .members()
+            .iter()
+            .map(|m| WelcomePacket {
+                keys: tree.user_path_keys(&m.id).cloned().collect(),
+                id: m.id.clone(),
+                interval: 1,
+            })
+            .collect();
+        let server = GroupServer {
+            group,
+            tree,
+            pending: Vec::new(),
+            interval: 1,
+            rng,
+        };
+        Ok((server, welcomes))
+    }
 }
 
 /// What a newly joined member receives from the key server via unicast at
@@ -339,7 +391,7 @@ impl GroupServer {
         let welcomes = joins
             .into_iter()
             .map(|id| WelcomePacket {
-                keys: self.tree.user_path_keys(&id),
+                keys: self.tree.user_path_keys(&id).cloned().collect(),
                 id,
                 interval: self.interval,
             })
@@ -366,7 +418,7 @@ impl GroupServer {
             return None;
         }
         Some(WelcomePacket {
-            keys: self.tree.user_path_keys(id),
+            keys: self.tree.user_path_keys(id).cloned().collect(),
             id: id.clone(),
             interval: self.interval,
         })
@@ -619,6 +671,49 @@ mod tests {
             .map(|w| (w.id.clone(), UserAgent::from_welcome(w)))
             .collect();
         (net, server, agents)
+    }
+
+    #[test]
+    fn bootstrapped_server_welcomes_everyone_and_churns() {
+        let net = rekey_net::GridNetwork::new(28, 1_000, 100);
+        let hosts: Vec<HostId> = (0..27).map(HostId).collect();
+        let (mut server, welcomes) = GroupConfig::for_spec(&IdSpec::new(3, 8).unwrap())
+            .k(2)
+            .seed(7)
+            .bootstrap(HostId(27), &hosts, &net)
+            .unwrap();
+        assert_eq!(server.interval(), 1);
+        assert_eq!(server.pending(), (0, 0));
+        assert_eq!(welcomes.len(), 27);
+        server.group().check().expect("K-consistent bootstrap");
+        let mut agents: HashMap<UserId, UserAgent> = welcomes
+            .into_iter()
+            .map(|w| {
+                assert_eq!(w.interval, 1);
+                (w.id.clone(), UserAgent::from_welcome(w))
+            })
+            .collect();
+        for agent in agents.values() {
+            assert_eq!(agent.group_key(), server.tree().group_key());
+        }
+        // Incremental churn on top of the bootstrapped state works as if
+        // the group had been built by joins.
+        let victim = server.group().members()[3].id.clone();
+        server.request_leave(&victim, &net).unwrap();
+        agents.remove(&victim);
+        let outcome = server.end_interval();
+        assert_eq!(outcome.interval, 2);
+        let delivered = server.deliver(&net, &outcome);
+        for (i, member) in server.mesh().members().iter().enumerate() {
+            let agent = agents.get_mut(&member.id).unwrap();
+            agent.handle_rekey(outcome.interval, delivered.member(i));
+            assert_eq!(
+                agent.group_key(),
+                server.tree().group_key(),
+                "{}",
+                member.id
+            );
+        }
     }
 
     #[test]

@@ -276,6 +276,149 @@ impl Group {
         );
     }
 
+    /// Constructs a fully populated group in one shot — the million-member
+    /// bootstrap path.
+    ///
+    /// [`Group::join`] costs O(N) table inserts per join (every existing
+    /// member learns the newcomer), so building a large group by repeated
+    /// joins is O(N²). `bootstrap` instead deals IDs directly and builds
+    /// each table from a per-prefix directory, which is
+    /// O(N · D · B) overall — a 1M-member group in seconds instead of days.
+    ///
+    /// Member `i` receives the ID whose digits are the base-B
+    /// representation of `i` **least-significant digit first** (digit 0 is
+    /// `i mod B`), so consecutive indices are dealt round-robin across the
+    /// level-1 subtrees and the ID tree stays balanced at every level.
+    /// This trades the paper's topology-aware assignment (§3.1) for
+    /// construction speed; churn after bootstrap goes through the regular
+    /// incremental paths.
+    ///
+    /// Tables are K-consistent by construction (each `(i, j)` entry takes
+    /// the first `min(K, m)` members of the `(i, j)` subtree in deal
+    /// order); [`Group::check`] verifies this in tests.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::IdSpaceFull`] when `hosts.len()` exceeds the ID space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `spec.depth() > 7`.
+    pub fn bootstrap(
+        spec: &IdSpec,
+        server_host: HostId,
+        k: usize,
+        policy: PrimaryPolicy,
+        assign: AssignParams,
+        hosts: &[HostId],
+        net: &impl Network,
+    ) -> Result<Group, GroupError> {
+        assert!(k > 0, "neighbor-table redundancy K must be at least 1");
+        assert!(spec.depth() <= 7, "bootstrap packs ID prefixes into u128");
+        if hosts.len() as u64 > spec.id_space() {
+            return Err(GroupError::IdSpaceFull);
+        }
+        let depth = spec.depth();
+        let base = spec.base() as u64;
+        let members: Vec<Member> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &host)| {
+                let mut digits = vec![0u16; depth];
+                let mut rest = i as u64;
+                for d in digits.iter_mut() {
+                    *d = (rest % base) as u16;
+                    rest /= base;
+                }
+                Member {
+                    id: UserId::new(spec, digits).expect("digits below base"),
+                    host,
+                    joined_at: 0,
+                }
+            })
+            .collect();
+
+        // Directory: packed ID prefix → indices of the members under it,
+        // in deal order. Packing (length tag, then 16 bits per digit) keeps
+        // the hot lookup loop free of heap-allocated keys.
+        let pack = |digits: &[u16], len: usize| -> u128 {
+            let mut key = len as u128;
+            for &d in &digits[..len] {
+                key = (key << 16) | d as u128;
+            }
+            key
+        };
+        let mut dir: HashMap<u128, Vec<u32>> = HashMap::new();
+        for (i, m) in members.iter().enumerate() {
+            for len in 1..=depth {
+                dir.entry(pack(m.id.digits(), len))
+                    .or_default()
+                    .push(i as u32);
+            }
+        }
+
+        let mut tables = Vec::with_capacity(members.len());
+        let mut prefix = vec![0u16; depth];
+        for m in &members {
+            let mut table = NeighborTable::new(spec, m.id.clone(), k, policy);
+            for row in 0..depth {
+                prefix[..row].copy_from_slice(&m.id.digits()[..row]);
+                for j in 0..spec.base() {
+                    if j == m.id.digit(row) {
+                        continue;
+                    }
+                    prefix[row] = j;
+                    let Some(bucket) = dir.get(&pack(&prefix, row + 1)) else {
+                        continue;
+                    };
+                    // Everyone in the bucket differs from the owner at
+                    // digit `row`, so the owner is never its own neighbor.
+                    for &c in bucket.iter().take(k) {
+                        let cand = &members[c as usize];
+                        table.insert(NeighborRecord {
+                            member: cand.clone(),
+                            rtt: net.rtt(m.host, cand.host),
+                        });
+                    }
+                }
+            }
+            tables.push(table);
+        }
+
+        let mut server_table = ServerTable::new(spec, k);
+        for j in 0..spec.base() {
+            prefix[0] = j;
+            if let Some(bucket) = dir.get(&pack(&prefix, 1)) {
+                for &c in bucket.iter().take(k) {
+                    let cand = &members[c as usize];
+                    server_table.insert(NeighborRecord {
+                        member: cand.clone(),
+                        rtt: net.rtt(server_host, cand.host),
+                    });
+                }
+            }
+        }
+
+        let id_tree = IdTree::from_users(spec, members.iter().map(|m| m.id.clone()));
+        let index = members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.id.clone(), i))
+            .collect();
+        Ok(Group {
+            spec: *spec,
+            k,
+            policy,
+            assign,
+            server_host,
+            members,
+            tables,
+            server_table,
+            id_tree,
+            index,
+        })
+    }
+
     fn insert_member(&mut self, member: Member, net: &impl Network) {
         // Build the newcomer's table and insert it into everyone else's.
         let table = rekey_table::oracle::build_table(
@@ -467,6 +610,69 @@ mod tests {
         assert_eq!(id0.common_prefix_len(id1), 2, "{id0} vs {id1}");
         // Host 2 is 500 ms away → different level-1 subtree.
         assert_eq!(id0.common_prefix_len(id2), 0, "{id0} vs {id2}");
+    }
+
+    #[test]
+    fn bootstrap_matches_incremental_invariants() {
+        let spec = IdSpec::new(3, 4).unwrap();
+        let net = rekey_net::GridNetwork::new(40, 1_000, 100);
+        let hosts: Vec<HostId> = (0..39).map(HostId).collect();
+        let group = Group::bootstrap(
+            &spec,
+            HostId(39),
+            2,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams::for_depth(3),
+            &hosts,
+            &net,
+        )
+        .unwrap();
+        assert_eq!(group.len(), 39);
+        group.check().expect("bootstrap tables are K-consistent");
+        // IDs are dealt least-significant digit first: consecutive indices
+        // land in distinct level-1 subtrees.
+        assert_eq!(group.members()[0].id.digits(), &[0, 0, 0]);
+        assert_eq!(group.members()[1].id.digits(), &[1, 0, 0]);
+        assert_eq!(group.members()[4].id.digits(), &[0, 1, 0]);
+        // Unique IDs, index agrees, server table covers every level-1 digit
+        // that has members.
+        let mut ids: Vec<_> = group.members().iter().map(|m| m.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 39);
+        for (i, m) in group.members().iter().enumerate() {
+            assert_eq!(group.index_of(&m.id), Some(i));
+        }
+        assert_eq!(group.id_tree().user_count(), 39);
+        // Churn after bootstrap goes through the incremental paths.
+        let mut group = group;
+        let victim = group.members()[7].id.clone();
+        group.leave(&victim, &net).unwrap();
+        group
+            .check()
+            .expect("K-consistent after post-bootstrap leave");
+        group.join(HostId(39), &net, 1).unwrap();
+        group
+            .check()
+            .expect("K-consistent after post-bootstrap join");
+    }
+
+    #[test]
+    fn bootstrap_rejects_overfull_id_space() {
+        let spec = IdSpec::new(2, 2).unwrap(); // 4 IDs
+        let net = rekey_net::GridNetwork::new(6, 1_000, 100);
+        let hosts: Vec<HostId> = (0..5).map(HostId).collect();
+        let err = Group::bootstrap(
+            &spec,
+            HostId(5),
+            1,
+            PrimaryPolicy::SmallestRtt,
+            AssignParams::for_depth(2),
+            &hosts,
+            &net,
+        )
+        .unwrap_err();
+        assert_eq!(err, GroupError::IdSpaceFull);
     }
 
     #[test]

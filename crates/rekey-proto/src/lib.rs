@@ -64,6 +64,27 @@ pub use protocols::{ipmc_rekey_transport, nice_rekey_transport, RekeyProtocol};
 pub use recovery::{lossy_rekey_transport, LossyReport};
 pub use runtime::{
     ChurnEvent, ChurnOp, GroupRuntime, MetricsSnapshot, RuntimeConfig, RuntimeConfigBuilder,
+    ShardedGroupRuntime,
 };
 pub use split::{cluster_rekey_transport, split_for_neighbor, tmesh_rekey_transport};
-pub use transport::{BandwidthReport, MemberIndex, SplitIndex, TransportOptions};
+pub use transport::{
+    BandwidthReport, MemberIndex, SplitIndex, SplitIndexMaintainer, SplitIndexStats,
+    TransportOptions,
+};
+
+/// The types nearly every embedder needs, in one import: runtime
+/// configuration, the facade entry points, metrics snapshots, and the
+/// handle type of the arena key tree.
+///
+/// ```
+/// use rekey_proto::prelude::*;
+/// let cfg = RuntimeConfig::builder().build();
+/// # let _ = cfg;
+/// ```
+pub mod prelude {
+    pub use crate::facade::{GroupConfig, GroupServer, UserAgent};
+    pub use crate::runtime::{
+        GroupRuntime, MetricsSnapshot, RuntimeConfig, RuntimeConfigBuilder, ShardedGroupRuntime,
+    };
+    pub use rekey_keytree::NodeHandle;
+}

@@ -212,7 +212,7 @@ mod tests {
             let ring = rings.get_mut(&member.id).expect("survivor has a ring");
             ring.absorb(report.final_sets[i].iter().map(|&e| &out.encryptions[e]));
             assert!(
-                ring.matches_path(&spec, &tree.user_path_keys(&member.id)),
+                ring.matches_path(&spec, tree.user_path_keys(&member.id)),
                 "{} lacks keys after recovery",
                 member.id
             );

@@ -79,6 +79,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 use rekey_crypto::Encryption;
@@ -92,10 +93,13 @@ use rekey_sim::{
 use rekey_table::{check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable};
 use rekey_tmesh::forward::{server_next_hops, user_next_hops_with};
 
-use crate::transport::{PrefixBuf, SplitIndex};
+use crate::transport::{PrefixBuf, SplitIndex, SplitIndexMaintainer};
 use crate::{Group, GroupConfig, GroupServer, UserAgent, WelcomePacket};
 
 pub mod journal;
+pub mod shard;
+
+pub use shard::ShardedGroupRuntime;
 
 /// The key server's node id: always node 0.
 const SERVER: NodeId = NodeId(0);
@@ -434,7 +438,7 @@ pub enum RtMsg {
         /// The `(i, j)`-subtree prefix this copy serves (split key).
         prefix: PrefixBuf,
         /// The shared interval message.
-        message: Rc<IntervalMessage>,
+        message: Arc<IntervalMessage>,
     },
     /// Member → server: interval missing past its deadline.
     Nack {
@@ -550,14 +554,39 @@ impl RuntimeMetrics {
     }
 }
 
-/// Knobs shared by every node of one runtime.
-struct Shared {
+/// Copyable timing/retry knobs shared by every node of one runtime.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Knobs {
     rekey_period: SimTime,
     heartbeat_period: SimTime,
     nack_grace: SimTime,
     retry_base: SimTime,
     retry_cap: u32,
     seed: u64,
+}
+
+impl Knobs {
+    fn of_config(config: &RuntimeConfig) -> Knobs {
+        Knobs {
+            rekey_period: config.rekey_period,
+            heartbeat_period: config.heartbeat_period,
+            nack_grace: config.nack_grace,
+            retry_base: config.retry_base,
+            retry_cap: config.retry_cap,
+            seed: config.seed,
+        }
+    }
+
+    /// Exponential backoff: `retry_base << attempts`, with the exponent
+    /// saturated at the retry cap.
+    fn backoff(&self, attempts: u32) -> SimTime {
+        self.retry_base << attempts.min(self.retry_cap)
+    }
+}
+
+/// Shared state of the classic single-queue runtime.
+struct Shared {
+    knobs: Knobs,
     /// Set by [`GroupRuntime::finish`]: timers stop re-arming so the
     /// event queue drains with all repairs and recoveries completed;
     /// retries fire immediately instead of waiting for a tick.
@@ -565,11 +594,53 @@ struct Shared {
     metrics: RuntimeMetrics,
 }
 
-impl Shared {
-    /// Exponential backoff: `retry_base << attempts`, with the exponent
-    /// saturated at the retry cap.
-    fn backoff(&self, attempts: u32) -> SimTime {
-        self.retry_base << attempts.min(self.retry_cap)
+/// What a member needs from its runtime: the knobs, the shutdown flag,
+/// and metric sinks. The classic runtime hands every member an
+/// `Rc<Shared>` (single-threaded, one registry); the sharded runtime
+/// hands out `Arc<shard::ShardCore>` handles (`Send`, per-shard local
+/// sinks merged deterministically after the workers join).
+pub(crate) trait SharedHandle {
+    /// The timing/retry knobs.
+    fn knobs(&self) -> &Knobs;
+    /// `true` once the runtime began its shutdown drain.
+    fn is_shutdown(&self) -> bool;
+    /// Records the encryption count of one received split copy.
+    fn record_split_payload(&self, v: u64);
+    /// Records the copies sent in one forwarding occasion.
+    fn record_forward_fanout(&self, v: u64);
+    /// Records one interval application: the apply-delay histogram plus
+    /// an `"apply"`/`"recovery"` span (span sinks may be a no-op).
+    fn record_apply(&self, span: &'static str, sent_at: SimTime, now: SimTime, interval: u64);
+    /// Records the encryption count of one unicast `Recover` reply.
+    fn record_recovery_size(&self, v: u64);
+    /// Records a tracing span (no-op for handles without a span sink).
+    fn span(&self, name: &'static str, start: SimTime, end: SimTime, detail: u64);
+}
+
+impl SharedHandle for Rc<Shared> {
+    fn knobs(&self) -> &Knobs {
+        &self.knobs
+    }
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.get()
+    }
+    fn record_split_payload(&self, v: u64) {
+        self.metrics.split_payload.record(v);
+    }
+    fn record_forward_fanout(&self, v: u64) {
+        self.metrics.forward_fanout.record(v);
+    }
+    fn record_apply(&self, span: &'static str, sent_at: SimTime, now: SimTime, interval: u64) {
+        self.metrics
+            .apply_delay_us
+            .record(now.saturating_sub(sent_at));
+        self.metrics.registry.span(span, sent_at, now, interval);
+    }
+    fn record_recovery_size(&self, v: u64) {
+        self.metrics.recovery_size.record(v);
+    }
+    fn span(&self, name: &'static str, start: SimTime, end: SimTime, detail: u64) {
+        self.metrics.registry.span(name, start, end, detail);
     }
 }
 
@@ -602,9 +673,9 @@ pub struct ServerStats {
     pub leave_acks: u64,
 }
 
-struct RtServer<NET> {
+struct RtServer<NET, S: SharedHandle = Rc<Shared>> {
     net: Rc<NET>,
-    shared: Rc<Shared>,
+    shared: S,
     server: GroupServer,
     /// Bumped on every restart; members resync when they observe a bump.
     epoch: u64,
@@ -618,7 +689,10 @@ struct RtServer<NET> {
     /// "interval" span, so span durations show round spacing).
     last_round_at: SimTime,
     /// Interval messages kept for unicast recovery.
-    history: BTreeMap<u64, Rc<IntervalMessage>>,
+    history: BTreeMap<u64, Arc<IntervalMessage>>,
+    /// Incrementally maintains the per-interval split index from the
+    /// previous interval's sorted ID sequence instead of rebuilding it.
+    split_index: SplitIndexMaintainer,
     /// The crash journal: one checkpoint per completed interval.
     journal: journal::Journal,
     /// Leavers to acknowledge once the next checkpoint covers their
@@ -627,7 +701,7 @@ struct RtServer<NET> {
     stats: ServerStats,
 }
 
-impl<NET: Network> RtServer<NET> {
+impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
     fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
         match msg {
             RtMsg::IntervalTick { gen } if gen == self.tick_gen => self.end_interval(ctx),
@@ -677,10 +751,7 @@ impl<NET: Network> RtServer<NET> {
                     .map(|e| message.encryptions[e].clone())
                     .collect();
                 self.stats.recovery_encryptions += encryptions.len() as u64;
-                self.shared
-                    .metrics
-                    .recovery_size
-                    .record(encryptions.len() as u64);
+                self.shared.record_recovery_size(encryptions.len() as u64);
                 ctx.send(
                     from,
                     RtMsg::Recover {
@@ -751,13 +822,13 @@ impl<NET: Network> RtServer<NET> {
     }
 
     fn end_interval(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if self.shared.shutdown.get() {
+        if self.shared.is_shutdown() {
             return;
         }
         self.rekey_round(ctx);
         ctx.send_after(
             SERVER,
-            self.shared.rekey_period,
+            self.shared.knobs().rekey_period,
             RtMsg::IntervalTick { gen: self.tick_gen },
         );
     }
@@ -766,7 +837,7 @@ impl<NET: Network> RtServer<NET> {
     fn rekey_round(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
         let outcome = self.server.end_interval();
         self.stats.intervals += 1;
-        self.next_interval_at = ctx.now() + self.shared.rekey_period;
+        self.next_interval_at = ctx.now() + self.shared.knobs().rekey_period;
         for welcome in outcome.welcomes {
             self.stats.welcomes += 1;
             let host = self
@@ -784,14 +855,14 @@ impl<NET: Network> RtServer<NET> {
                 },
             );
         }
-        let message = Rc::new(IntervalMessage {
+        let message = Arc::new(IntervalMessage {
             interval: outcome.interval,
             epoch: self.epoch,
             sent_at: ctx.now(),
-            index: SplitIndex::build(&outcome.rekey.encryptions),
+            index: self.split_index.advance(&outcome.rekey.encryptions),
             encryptions: outcome.rekey.encryptions,
         });
-        self.history.insert(outcome.interval, Rc::clone(&message));
+        self.history.insert(outcome.interval, Arc::clone(&message));
         // Empty intervals still multicast: members advance their interval
         // counter from the (empty) related set, keeping NACK checks quiet.
         let mut fanout = 0u64;
@@ -803,14 +874,12 @@ impl<NET: Network> RtServer<NET> {
                 RtMsg::Forward {
                     level: hop.forward_level,
                     prefix: PrefixBuf::of_hop(&hop),
-                    message: Rc::clone(&message),
+                    message: Arc::clone(&message),
                 },
             );
         }
-        let metrics = &self.shared.metrics;
-        metrics.forward_fanout.record(fanout);
-        metrics
-            .registry
+        self.shared.record_forward_fanout(fanout);
+        self.shared
             .span("interval", self.last_round_at, ctx.now(), outcome.interval);
         self.last_round_at = ctx.now();
         self.checkpoint(ctx);
@@ -820,12 +889,17 @@ impl<NET: Network> RtServer<NET> {
     /// so no member is ever ahead of the journal — then releases the
     /// leave acks it covers.
     fn checkpoint(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        self.journal.record(journal::Checkpoint {
-            server: self.server.clone(),
-            seq: self.seq,
-            history: self.history.clone(),
-        });
-        self.stats.checkpoints += 1;
+        // Guard *before* building the checkpoint: cloning the server is
+        // O(members) per interval, which a disabled journal (the sharded
+        // mega runtime) must never pay.
+        if self.journal.is_enabled() {
+            self.journal.record(journal::Checkpoint {
+                server: self.server.clone(),
+                seq: self.seq,
+                history: self.history.clone(),
+            });
+            self.stats.checkpoints += 1;
+        }
         for node in std::mem::take(&mut self.pending_leave_acks) {
             self.stats.leave_acks += 1;
             ctx.send(node, RtMsg::LeaveAck);
@@ -849,10 +923,7 @@ impl<NET: Network> RtServer<NET> {
                     .map(|e| message.encryptions[e].clone())
                     .collect();
                 self.stats.recovery_encryptions += encryptions.len() as u64;
-                self.shared
-                    .metrics
-                    .recovery_size
-                    .record(encryptions.len() as u64);
+                self.shared.record_recovery_size(encryptions.len() as u64);
                 ctx.send(
                     node_of_host(member.host),
                     RtMsg::Recover {
@@ -874,8 +945,6 @@ impl<NET: Network> RtServer<NET> {
         self.stats.restarts += 1;
         self.epoch += 1;
         self.shared
-            .metrics
-            .registry
             .span("restart", ctx.now(), ctx.now(), self.epoch);
         self.tick_gen += 1;
         self.pending_leave_acks.clear();
@@ -884,6 +953,9 @@ impl<NET: Network> RtServer<NET> {
             self.seq = cp.seq;
             self.history = cp.history;
         }
+        // The maintainer's previous-interval sequence may describe an
+        // interval the rollback discarded; start from a clean rebuild.
+        self.split_index = SplitIndexMaintainer::default();
         // The immediate interval is the restart beacon: its `Forward`
         // copies carry the new epoch, and every member that sees it (or
         // the next `ServerPong`) resyncs.
@@ -1014,7 +1086,7 @@ pub struct MemberStats {
 /// A buffered rekey payload for one interval, applied strictly in order.
 enum PendingPayload {
     /// A multicast copy (the member's related set is a subset, Lemma 3).
-    Mesh(Rc<IntervalMessage>),
+    Mesh(Arc<IntervalMessage>),
     /// A unicast recovery reply (already exactly the related set).
     Unicast {
         encryptions: Vec<Encryption>,
@@ -1056,8 +1128,8 @@ struct RetryState {
     due: SimTime,
 }
 
-struct RtMember {
-    shared: Rc<Shared>,
+struct RtMember<S: SharedHandle> {
+    shared: S,
     member: Option<Member>,
     table: Option<NeighborTable>,
     agent: Option<UserAgent>,
@@ -1106,6 +1178,18 @@ struct RtMember {
     retry_gen: u64,
     /// Live retry entries, fired by `RetryTick` at their due times.
     retries: BTreeMap<Retrying, RetryState>,
+    /// Largest multicast-to-arrival delay observed on `Forward` copies
+    /// since the last `IntervalCheck` rotation (adaptive NACK pipeline
+    /// estimate, numerator of the current window).
+    delay_seen: SimTime,
+    /// The previous rotation window's largest observed delay.
+    delay_seen_prev: SimTime,
+    /// When the next rekey interval is expected to end (from the last
+    /// `Welcome`/`Resync`, advanced each `IntervalCheck` firing).
+    next_boundary: SimTime,
+    /// The interval that ends at `next_boundary`: once the boundary
+    /// passes, this interval exists even if no evidence of it arrived.
+    expected_interval: u64,
     /// Intervals already NACKed during shutdown (the drain sends
     /// immediately instead of arming timers; this dedups).
     shutdown_nacked: BTreeSet<u64>,
@@ -1114,8 +1198,8 @@ struct RtMember {
     stats: MemberStats,
 }
 
-impl RtMember {
-    fn new(shared: Rc<Shared>) -> RtMember {
+impl<S: SharedHandle> RtMember<S> {
+    fn new(shared: S) -> RtMember<S> {
         RtMember {
             shared,
             member: None,
@@ -1141,10 +1225,28 @@ impl RtMember {
             check_gen: 0,
             retry_gen: 0,
             retries: BTreeMap::new(),
+            delay_seen: 0,
+            delay_seen_prev: 0,
+            next_boundary: 0,
+            expected_interval: 0,
             shutdown_nacked: BTreeSet::new(),
             shutdown_resynced: false,
             stats: MemberStats::default(),
         }
+    }
+
+    /// Grace before NACKing a missing interval, adapted to the overlay
+    /// pipeline this member actually observes: 1.5× the largest
+    /// multicast-to-arrival delay of the last two check windows plus a
+    /// small margin, clamped to `[100 ms, nack_grace]`. A member that has
+    /// seen no copy yet (or none recently) falls back to the configured
+    /// grace, so cold starts and outages stay conservative.
+    fn adaptive_grace(&self) -> SimTime {
+        let seen = self.delay_seen.max(self.delay_seen_prev);
+        if seen == 0 {
+            return self.shared.knobs().nack_grace;
+        }
+        (seen + seen / 2 + 50_000).clamp(100_000, self.shared.knobs().nack_grace)
     }
 
     fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
@@ -1160,7 +1262,11 @@ impl RtMember {
             RtMsg::JoinRequest if self.member.is_none() && !self.join_requested => {
                 self.join_requested = true;
                 ctx.send(SERVER, RtMsg::JoinRequest);
-                self.arm(ctx, Retrying::Join, ctx.now() + self.shared.retry_base);
+                self.arm(
+                    ctx,
+                    Retrying::Join,
+                    ctx.now() + self.shared.knobs().retry_base,
+                );
             }
             RtMsg::JoinAccepted {
                 member,
@@ -1184,7 +1290,9 @@ impl RtMember {
                 self.arm(
                     ctx,
                     Retrying::Resync,
-                    ctx.now() + 2 * self.shared.rekey_period + self.shared.nack_grace,
+                    ctx.now()
+                        + 2 * self.shared.knobs().rekey_period
+                        + self.shared.knobs().nack_grace,
                 );
                 self.drain_updates(ctx);
                 self.start_heartbeat(ctx);
@@ -1247,7 +1355,7 @@ impl RtMember {
                 self.arm(
                     ctx,
                     Retrying::Leave,
-                    ctx.now() + self.shared.rekey_period + self.shared.retry_base,
+                    ctx.now() + self.shared.knobs().rekey_period + self.shared.knobs().retry_base,
                 );
             }
             RtMsg::LeaveAck => {
@@ -1260,9 +1368,12 @@ impl RtMember {
                 message,
             } => {
                 self.stats.copies_received += 1;
+                self.delay_seen = self
+                    .delay_seen
+                    .max(ctx.now().saturating_sub(message.sent_at));
                 let split_size = message.index.related_ranges(prefix.as_slice()).total() as u64;
                 self.stats.payload_encryptions += split_size;
-                self.shared.metrics.split_payload.record(split_size);
+                self.shared.record_split_payload(split_size);
                 self.note_epoch(ctx, message.epoch);
                 self.server_interval_seen = self.server_interval_seen.max(message.interval);
                 // Forward duty: once per interval, rows `level..D` of the
@@ -1281,11 +1392,11 @@ impl RtMember {
                                 RtMsg::Forward {
                                     level: hop.forward_level,
                                     prefix: PrefixBuf::of_hop(&hop),
-                                    message: Rc::clone(&message),
+                                    message: Arc::clone(&message),
                                 },
                             );
                         }
-                        self.shared.metrics.forward_fanout.record(fanout);
+                        self.shared.record_forward_fanout(fanout);
                     }
                 }
                 // Key state: any copy addressed to us carries our full
@@ -1301,7 +1412,8 @@ impl RtMember {
                         .or_insert(PendingPayload::Mesh(message));
                     self.drain_payloads(ctx);
                 }
-                self.scan_missing(ctx, self.shared.nack_grace);
+                let grace = self.adaptive_grace();
+                self.scan_missing(ctx, grace);
             }
             RtMsg::Recover {
                 interval,
@@ -1322,17 +1434,42 @@ impl RtMember {
                     );
                     self.drain_payloads(ctx);
                 }
-                self.scan_missing(ctx, self.shared.nack_grace);
+                let grace = self.adaptive_grace();
+                self.scan_missing(ctx, grace);
             }
             RtMsg::IntervalCheck { gen } => {
                 if gen != self.check_gen {
                     return;
                 }
                 self.scan_missing(ctx, 0);
-                if !self.shared.shutdown.get() {
+                // This timer fires `adaptive_grace` past each expected
+                // interval boundary. If the boundary passed without any
+                // evidence of the interval (every copy to us and to our
+                // upstream lost, or the server is down), probe for it
+                // speculatively: a live server answers with the related
+                // set, a dead one stays silent and the retry lineage
+                // escalates into the existing resync machinery.
+                if !self.shared.is_shutdown() {
+                    if let (Some(agent), true) = (&self.agent, self.member.is_some()) {
+                        let next = agent.interval() + 1;
+                        if next > self.server_interval_seen
+                            && next <= self.expected_interval
+                            && !self.pending.contains_key(&next)
+                            && !self.retries.contains_key(&Retrying::Nack(next))
+                        {
+                            self.arm(ctx, Retrying::Nack(next), ctx.now());
+                        }
+                    }
+                }
+                self.delay_seen_prev = self.delay_seen;
+                self.delay_seen = 0;
+                if !self.shared.is_shutdown() {
+                    self.next_boundary += self.shared.knobs().rekey_period;
+                    self.expected_interval += 1;
+                    let deadline = self.next_boundary + self.adaptive_grace();
                     ctx.send_after(
                         ctx.self_id(),
-                        self.shared.rekey_period,
+                        deadline.saturating_sub(ctx.now()).max(1),
                         RtMsg::IntervalCheck { gen },
                     );
                 }
@@ -1383,9 +1520,14 @@ impl RtMember {
                     // A membership broadcast never reached us (e.g. our
                     // own outage window). Give in-flight copies the grace
                     // period, then snapshot.
-                    self.arm(ctx, Retrying::Resync, ctx.now() + self.shared.nack_grace);
+                    self.arm(
+                        ctx,
+                        Retrying::Resync,
+                        ctx.now() + self.shared.knobs().nack_grace,
+                    );
                 }
-                self.scan_missing(ctx, self.shared.nack_grace);
+                let grace = self.adaptive_grace();
+                self.scan_missing(ctx, grace);
             }
             RtMsg::NotMember { id } if self.member.as_ref().is_some_and(|m| m.id == id) => {
                 // Wrongfully departed (e.g. behind a healed partition):
@@ -1394,7 +1536,11 @@ impl RtMember {
                 self.reset_to_unjoined();
                 self.join_requested = true;
                 ctx.send(SERVER, RtMsg::JoinRequest);
-                self.arm(ctx, Retrying::Join, ctx.now() + self.shared.retry_base);
+                self.arm(
+                    ctx,
+                    Retrying::Join,
+                    ctx.now() + self.shared.knobs().retry_base,
+                );
             }
             RtMsg::Resync {
                 member,
@@ -1454,7 +1600,7 @@ impl RtMember {
     }
 }
 
-impl RtMember {
+impl<S: SharedHandle> RtMember<S> {
     /// Observes a server epoch: any bump invalidates our sequence state
     /// and forces a snapshot resync (a restarted server rolled back to
     /// its last checkpoint, so no incremental path is trustworthy).
@@ -1487,7 +1633,11 @@ impl RtMember {
             // A gap: give the in-flight broadcast the grace period, then
             // fetch a snapshot. (If it lands in time, the armed resync
             // dissolves at fire time — see `fire_retry`.)
-            self.arm(ctx, Retrying::Resync, ctx.now() + self.shared.nack_grace);
+            self.arm(
+                ctx,
+                Retrying::Resync,
+                ctx.now() + self.shared.knobs().nack_grace,
+            );
         }
     }
 
@@ -1566,8 +1716,7 @@ impl RtMember {
             self.stats.intervals_applied += 1;
             let delay = now.saturating_sub(sent_at);
             self.stats.apply_delay_total += delay;
-            self.shared.metrics.apply_delay_us.record(delay);
-            self.shared.metrics.registry.span(span, sent_at, now, next);
+            self.shared.record_apply(span, sent_at, now, next);
         }
         let applied = agent.interval();
         self.retries
@@ -1589,7 +1738,7 @@ impl RtMember {
             if self.pending.contains_key(&i) {
                 continue;
             }
-            if !self.shared.shutdown.get() && self.retries.contains_key(&Retrying::Nack(i)) {
+            if !self.shared.is_shutdown() && self.retries.contains_key(&Retrying::Nack(i)) {
                 continue;
             }
             self.arm(ctx, Retrying::Nack(i), due);
@@ -1600,7 +1749,7 @@ impl RtMember {
     /// retry timer is running. During shutdown the action fires inline
     /// instead — the event queue is draining and timers are dead.
     fn arm(&mut self, ctx: &mut Ctx<'_, RtMsg>, kind: Retrying, due: SimTime) {
-        if self.shared.shutdown.get() {
+        if self.shared.is_shutdown() {
             self.fire_shutdown(ctx, kind);
             return;
         }
@@ -1635,7 +1784,7 @@ impl RtMember {
 
     /// (Re)schedules the single retry timer at the earliest due time.
     fn schedule_retry_tick(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if self.shared.shutdown.get() {
+        if self.shared.is_shutdown() {
             return;
         }
         let Some(min_due) = self.retries.values().map(|st| st.due).min() else {
@@ -1693,13 +1842,13 @@ impl RtMember {
         };
         // A NACK that exhausted its attempts escalates to a snapshot:
         // the server-assisted resync replaces the whole retry lineage.
-        if matches!(kind, Retrying::Nack(_)) && st.attempts >= self.shared.retry_cap {
+        if matches!(kind, Retrying::Nack(_)) && st.attempts >= self.shared.knobs().retry_cap {
             self.retries.remove(&kind);
             self.arm(ctx, Retrying::Resync, now);
             return;
         }
-        let attempts = (st.attempts + 1).min(self.shared.retry_cap);
-        let due = now + self.shared.backoff(attempts);
+        let attempts = (st.attempts + 1).min(self.shared.knobs().retry_cap);
+        let due = now + self.shared.knobs().backoff(attempts);
         self.retries.insert(kind, RetryState { attempts, due });
         self.stats.max_retry_attempts = self.stats.max_retry_attempts.max(attempts);
         if st.attempts > 0 || matches!(kind, Retrying::Join | Retrying::Leave) {
@@ -1723,15 +1872,15 @@ impl RtMember {
     }
 
     fn start_heartbeat(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if self.heartbeat_running || self.shared.shutdown.get() {
+        if self.heartbeat_running || self.shared.is_shutdown() {
             return;
         }
         self.heartbeat_running = true;
         self.heartbeat_gen += 1;
         // Stagger first beats across the membership so a join burst does
         // not synchronize every ping burst.
-        let mut rng = node_rng(self.shared.seed, ctx.self_id());
-        let jitter = rng.gen_range(1..=self.shared.heartbeat_period.max(1));
+        let mut rng = node_rng(self.shared.knobs().seed, ctx.self_id());
+        let jitter = rng.gen_range(1..=self.shared.knobs().heartbeat_period.max(1));
         ctx.send_after(
             ctx.self_id(),
             jitter,
@@ -1775,7 +1924,7 @@ impl RtMember {
         for id in self.suspect_records.keys() {
             ctx.send(SERVER, RtMsg::FailureNotice { failed: id.clone() });
         }
-        if self.shared.shutdown.get() {
+        if self.shared.is_shutdown() {
             self.heartbeat_running = false;
             return;
         }
@@ -1808,18 +1957,27 @@ impl RtMember {
         }
         ctx.send_after(
             ctx.self_id(),
-            self.shared.heartbeat_period,
+            self.shared.knobs().heartbeat_period,
             RtMsg::HeartbeatTick { gen },
         );
     }
 
-    /// (Re)anchors the NACK check timer at `next_interval_at` plus grace.
+    /// (Re)anchors the NACK check timer at `next_interval_at` plus the
+    /// adaptive grace. Each firing then re-anchors at the next expected
+    /// boundary, so the offset tracks the observed pipeline delay instead
+    /// of staying at the configured worst case.
     fn arm_check(&mut self, ctx: &mut Ctx<'_, RtMsg>, next_interval_at: SimTime) {
-        if self.shared.shutdown.get() {
+        if self.shared.is_shutdown() {
             return;
         }
         self.check_gen += 1;
-        let deadline = next_interval_at + self.shared.nack_grace;
+        self.next_boundary = next_interval_at;
+        self.expected_interval = self
+            .agent
+            .as_ref()
+            .map_or(self.server_interval_seen, |a| a.interval())
+            + 1;
+        let deadline = next_interval_at + self.adaptive_grace();
         ctx.send_after(
             ctx.self_id(),
             deadline.saturating_sub(ctx.now()).max(1),
@@ -1876,7 +2034,7 @@ pub struct RtActor<NET>(ActorKind<NET>);
 
 enum ActorKind<NET> {
     Server(Box<RtServer<NET>>),
-    Member(Box<RtMember>),
+    Member(Box<RtMember<Rc<Shared>>>),
 }
 
 impl<NET: Network> Node for RtActor<NET> {
@@ -2090,12 +2248,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             }
         }
         let shared = Rc::new(Shared {
-            rekey_period: config.rekey_period,
-            heartbeat_period: config.heartbeat_period,
-            nack_grace: config.nack_grace,
-            retry_base: config.retry_base,
-            retry_cap: config.retry_cap,
-            seed: config.seed,
+            knobs: Knobs::of_config(&config),
             shutdown: Cell::new(false),
             metrics: RuntimeMetrics::new(),
         });
@@ -2111,6 +2264,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             next_interval_at: config.rekey_period,
             last_round_at: 0,
             history: BTreeMap::new(),
+            split_index: SplitIndexMaintainer::default(),
             journal: journal::Journal::new(),
             pending_leave_acks: Vec::new(),
             stats: ServerStats::default(),
@@ -2159,9 +2313,11 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
     /// seeded from `config.seed`, so a fixed seed and plan reproduce the
     /// run bit for bit.
     pub fn with_faults(mut self, plan: FaultPlan) -> GroupRuntime<NET> {
-        let inj = Rc::new(RefCell::new(plan.injector(self.shared.seed ^ CHAOS_SEED)));
+        let inj = Rc::new(RefCell::new(
+            plan.injector(self.shared.knobs().seed ^ CHAOS_SEED),
+        ));
         let loss = self.loss;
-        let mut rng = seeded_rng(self.shared.seed ^ 0x4C4F_5353_u64);
+        let mut rng = seeded_rng(self.shared.knobs().seed ^ 0x4C4F_5353_u64);
         let drop_inj = Rc::clone(&inj);
         self.sim.set_loss(move |now, from, to, msg: &RtMsg| {
             let mut inj = drop_inj.borrow_mut();
@@ -2281,7 +2437,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
         }
     }
 
-    fn member_ref(&self, handle: usize) -> &RtMember {
+    fn member_ref(&self, handle: usize) -> &RtMember<Rc<Shared>> {
         match &self.sim.nodes()[self.member_node(handle).0].0 {
             ActorKind::Member(m) => m,
             ActorKind::Server(_) => unreachable!("member nodes start at 1"),

@@ -21,7 +21,7 @@
 //! keeps retransmitting and departs again.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::GroupServer;
 
@@ -39,7 +39,7 @@ pub struct Checkpoint {
     /// The per-interval rekey messages kept for unicast NACK recovery.
     /// Shared by reference with the live history, so a checkpoint costs no
     /// payload copies.
-    pub history: BTreeMap<u64, Rc<IntervalMessage>>,
+    pub history: BTreeMap<u64, Arc<IntervalMessage>>,
 }
 
 /// The journal itself: the latest checkpoint plus a count of how many were
@@ -49,6 +49,7 @@ pub struct Checkpoint {
 pub struct Journal {
     latest: Option<Checkpoint>,
     recorded: u64,
+    disabled: bool,
 }
 
 impl Journal {
@@ -58,8 +59,31 @@ impl Journal {
         Journal::default()
     }
 
-    /// Records `checkpoint`, superseding any previous one.
+    /// A journal that records nothing. A checkpoint clones the complete
+    /// server state — membership, every neighbor table, the key tree —
+    /// which is O(N) memory and time per interval; runtimes that model no
+    /// server crashes (the sharded million-member executor) opt out.
+    pub fn disabled() -> Journal {
+        Journal {
+            latest: None,
+            recorded: 0,
+            disabled: true,
+        }
+    }
+
+    /// `false` for [`Journal::disabled`] journals. Callers check this
+    /// *before* building a [`Checkpoint`], so a disabled journal also
+    /// skips the state clone, not just its storage.
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Records `checkpoint`, superseding any previous one. A disabled
+    /// journal drops it.
     pub fn record(&mut self, checkpoint: Checkpoint) {
+        if self.disabled {
+            return;
+        }
         self.recorded += 1;
         self.latest = Some(checkpoint);
     }

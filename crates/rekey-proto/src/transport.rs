@@ -325,6 +325,195 @@ impl SplitIndex {
     }
 }
 
+/// Incrementally maintains a [`SplitIndex`] across rekey intervals.
+///
+/// `SplitIndex::build` re-sorts the whole message every interval —
+/// O(M log M) ID comparisons even when consecutive messages overlap
+/// heavily (under steady small churn most encryption IDs repeat from one
+/// interval to the next: the upper tree levels change every batch). The
+/// maintainer keeps the previous interval's *sorted* ID sequence and
+/// turns the next message into its index by delta application:
+///
+/// 1. classify each new entry against the old sorted sequence (binary
+///    search): **kept** (ID present last interval) or **fresh**;
+/// 2. kept entries inherit their relative order from the old sequence —
+///    an integer sort by old rank, no ID comparisons;
+/// 3. only the fresh entries are comparison-sorted, then merged with the
+///    kept run; old entries left unmatched are the removals and simply
+///    drop out.
+///
+/// When the delta is large (mass joins, server restart) the incremental
+/// path would do more work than a rebuild, so `advance` falls back to
+/// [`SplitIndex::build`]; both paths are deterministic. The
+/// [`SplitIndexMaintainer::stats`] counters expose which path ran, so
+/// tests can pin that steady churn actually exercises the delta path.
+///
+/// ```
+/// # use rekey_proto::SplitIndexMaintainer;
+/// # use rekey_crypto::{Encryption, Key};
+/// # use rekey_id::{IdPrefix, IdSpec};
+/// # use rand::SeedableRng;
+/// # let spec = IdSpec::new(2, 4).unwrap();
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// # let group_key = Key::random(IdPrefix::root(), &mut rng);
+/// # let mut mk = |digits: Vec<u16>| {
+/// #     let encrypting = Key::random(IdPrefix::new(&spec, digits).unwrap(), &mut rng);
+/// #     Encryption::seal(&encrypting, &group_key, &mut rng)
+/// # };
+/// let mut maintainer = SplitIndexMaintainer::new();
+/// let first = vec![mk(vec![]), mk(vec![0]), mk(vec![0, 1])];
+/// let second = vec![mk(vec![]), mk(vec![0]), mk(vec![0, 2])]; // one ID changed
+/// let _ = maintainer.advance(&first); // empty state: builds from scratch
+/// let index = maintainer.advance(&second); // delta path: 1 fresh, 2 kept
+/// assert_eq!(index.count(&[0, 2]), 3);
+/// assert_eq!(maintainer.stats().incremental, 1);
+/// ```
+#[derive(Default)]
+pub struct SplitIndexMaintainer {
+    /// Previous interval's entry IDs, flattened **in sorted order**;
+    /// sorted entry `r` occupies `sorted_digits[sorted_bounds[r]..sorted_bounds[r + 1]]`.
+    sorted_digits: Vec<u16>,
+    sorted_bounds: Vec<u32>,
+    stats: SplitIndexStats,
+}
+
+/// Which paths a [`SplitIndexMaintainer`] has taken so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SplitIndexStats {
+    /// Intervals indexed via delta application.
+    pub incremental: u64,
+    /// Intervals indexed via full rebuild (first interval, or delta too
+    /// large to pay off).
+    pub rebuilds: u64,
+    /// Total entries that were carried over from the previous interval.
+    pub kept: u64,
+    /// Total entries that had to be comparison-sorted.
+    pub fresh: u64,
+}
+
+impl SplitIndexMaintainer {
+    pub fn new() -> SplitIndexMaintainer {
+        SplitIndexMaintainer::default()
+    }
+
+    /// Path counters accumulated since construction.
+    pub fn stats(&self) -> SplitIndexStats {
+        self.stats
+    }
+
+    /// Number of entries in the retained previous interval.
+    fn prev_len(&self) -> usize {
+        self.sorted_bounds.len().saturating_sub(1)
+    }
+
+    fn prev_id(&self, rank: usize) -> &[u16] {
+        &self.sorted_digits
+            [self.sorted_bounds[rank] as usize..self.sorted_bounds[rank + 1] as usize]
+    }
+
+    /// Indexes the next interval's message, reusing last interval's sorted
+    /// order where possible. Equivalent to `SplitIndex::build(message)` in
+    /// the sets it answers; deterministic on both paths.
+    pub fn advance(&mut self, message: &[Encryption]) -> SplitIndex {
+        let index = self.advance_index(message);
+        // Retain this interval's sorted ID sequence for the next delta.
+        self.sorted_digits.clear();
+        self.sorted_bounds.clear();
+        self.sorted_bounds.push(0);
+        for &e in &index.order {
+            self.sorted_digits.extend_from_slice(index.id_at(e));
+            self.sorted_bounds.push(self.sorted_digits.len() as u32);
+        }
+        index
+    }
+
+    fn advance_index(&mut self, message: &[Encryption]) -> SplitIndex {
+        let m = message.len();
+        let n = self.prev_len();
+        // Nothing to delta against, or the message more than doubled:
+        // rebuild outright.
+        if n == 0 || m == 0 || m > n * 2 {
+            self.stats.rebuilds += 1;
+            return SplitIndex::build(message);
+        }
+        // Classify. `consumed` tracks multiplicity so duplicate IDs match
+        // one old entry each.
+        let mut consumed = vec![false; n];
+        let mut kept: Vec<(u32, u32)> = Vec::with_capacity(m); // (old rank, entry)
+        let mut fresh: Vec<u32> = Vec::new();
+        for (pos, e) in message.iter().enumerate() {
+            let id = e.id().digits();
+            // Binary search for the first old rank with ID >= id.
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.prev_id(mid) < id {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let mut r = lo;
+            while r < n && self.prev_id(r) == id && consumed[r] {
+                r += 1;
+            }
+            if r < n && self.prev_id(r) == id {
+                consumed[r] = true;
+                kept.push((r as u32, pos as u32));
+            } else {
+                fresh.push(pos as u32);
+            }
+        }
+        // Delta too large: the classification already cost a scan, but
+        // sorting everything fresh would repeat build's work — bail out.
+        if fresh.len() * 2 > m {
+            self.stats.rebuilds += 1;
+            return SplitIndex::build(message);
+        }
+        self.stats.incremental += 1;
+        self.stats.kept += kept.len() as u64;
+        self.stats.fresh += fresh.len() as u64;
+
+        // Flatten the new message's digit strings (entry order).
+        let mut digits = Vec::new();
+        let mut bounds = Vec::with_capacity(m + 1);
+        bounds.push(0u32);
+        for e in message {
+            digits.extend_from_slice(e.id().digits());
+            bounds.push(digits.len() as u32);
+        }
+        let id_of = |e: u32| -> &[u16] {
+            &digits[bounds[e as usize] as usize..bounds[e as usize + 1] as usize]
+        };
+
+        // Kept entries in old-rank order are already ID-sorted (integer
+        // sort, no string comparisons); only fresh needs comparisons.
+        kept.sort_unstable();
+        fresh.sort_unstable_by(|&a, &b| id_of(a).cmp(id_of(b)));
+
+        // Merge the two sorted runs into the new order.
+        let mut order = Vec::with_capacity(m);
+        let (mut i, mut j) = (0, 0);
+        while i < kept.len() && j < fresh.len() {
+            if id_of(kept[i].1) <= id_of(fresh[j]) {
+                order.push(kept[i].1);
+                i += 1;
+            } else {
+                order.push(fresh[j]);
+                j += 1;
+            }
+        }
+        order.extend(kept[i..].iter().map(|&(_, e)| e));
+        order.extend_from_slice(&fresh[j..]);
+
+        SplitIndex {
+            digits,
+            bounds,
+            order,
+        }
+    }
+}
+
 /// Per-member and per-link bandwidth accounting of one rekey transport
 /// session (the Fig. 13 metrics).
 #[derive(Debug, Clone)]
@@ -559,6 +748,86 @@ mod tests {
         assert!(index.is_empty());
         assert_eq!(index.count(&[0, 1]), 0);
         assert_eq!(index.indices(&[]).count(), 0);
+    }
+
+    /// `SplitIndexMaintainer::advance` answers exactly the same related
+    /// sets as a from-scratch `SplitIndex::build`, across interval
+    /// sequences with heavy overlap, disjoint messages, growth spurts and
+    /// empty messages — and steady churn takes the delta path.
+    #[test]
+    fn maintainer_advance_matches_build() {
+        let spec = IdSpec::new(3, 3).unwrap();
+        let intervals: Vec<Vec<Vec<u16>>> = vec![
+            // steady churn: top levels repeat, one leaf path changes
+            vec![vec![], vec![0], vec![1], vec![0, 0], vec![0, 0, 1]],
+            vec![vec![], vec![0], vec![1], vec![0, 0], vec![0, 0, 2]],
+            vec![vec![], vec![0], vec![1], vec![0, 1], vec![0, 1, 0]],
+            // mass change: disjoint subtree
+            vec![vec![], vec![2], vec![2, 0], vec![2, 0, 0], vec![2, 1]],
+            // shrink, then empty, then regrow
+            vec![vec![], vec![2]],
+            vec![],
+            vec![vec![], vec![0], vec![1], vec![2], vec![0, 0], vec![1, 1]],
+            // duplicates (the generic digit-string contract)
+            vec![vec![], vec![0], vec![0], vec![0, 0], vec![]],
+        ];
+        let mut maintainer = SplitIndexMaintainer::new();
+        let mut probes: Vec<Vec<u16>> = vec![vec![]];
+        for a in 0..3u16 {
+            probes.push(vec![a]);
+            for b in 0..3u16 {
+                probes.push(vec![a, b]);
+                probes.push(vec![a, b, 0]);
+            }
+        }
+        for ids in &intervals {
+            let id_refs: Vec<&[u16]> = ids.iter().map(|v| v.as_slice()).collect();
+            let message = encryptions(&spec, &id_refs);
+            let incremental = maintainer.advance(&message);
+            let rebuilt = SplitIndex::build(&message);
+            assert_eq!(incremental.len(), rebuilt.len());
+            for probe in &probes {
+                let mut a: Vec<usize> = incremental.indices(probe).collect();
+                let mut b: Vec<usize> = rebuilt.indices(probe).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "related sets diverge at probe {probe:?}");
+                assert_eq!(incremental.count(probe), rebuilt.count(probe));
+            }
+        }
+        let stats = maintainer.stats();
+        assert!(
+            stats.incremental >= 2,
+            "steady churn must take the delta path, got {stats:?}"
+        );
+        assert!(
+            stats.rebuilds >= 2,
+            "first interval and large deltas must rebuild, got {stats:?}"
+        );
+        assert!(stats.kept > stats.fresh, "overlap dominates: {stats:?}");
+    }
+
+    /// The delta path is deterministic: two maintainers fed the same
+    /// interval sequence produce identical sorted orders.
+    #[test]
+    fn maintainer_is_deterministic() {
+        let spec = IdSpec::new(2, 4).unwrap();
+        let seq: Vec<Vec<Vec<u16>>> = vec![
+            vec![vec![], vec![0], vec![0, 1], vec![3]],
+            vec![vec![], vec![0], vec![0, 2], vec![3]],
+            vec![vec![], vec![3], vec![3, 0], vec![0]],
+        ];
+        let mut a = SplitIndexMaintainer::new();
+        let mut b = SplitIndexMaintainer::new();
+        for ids in &seq {
+            let id_refs: Vec<&[u16]> = ids.iter().map(|v| v.as_slice()).collect();
+            let message = encryptions(&spec, &id_refs);
+            let ia = a.advance(&message);
+            let ib = b.advance(&message);
+            assert_eq!(ia.order, ib.order);
+            assert_eq!(ia.digits, ib.digits);
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

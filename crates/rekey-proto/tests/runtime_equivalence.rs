@@ -104,8 +104,16 @@ fn runtime_and_synchronous_driver_build_identical_key_trees() {
     );
     for (id, _) in &sync_members {
         assert_eq!(
-            server.tree().user_path_keys(id),
-            rt.server().tree().user_path_keys(id),
+            server
+                .tree()
+                .user_path_keys(id)
+                .cloned()
+                .collect::<Vec<_>>(),
+            rt.server()
+                .tree()
+                .user_path_keys(id)
+                .cloned()
+                .collect::<Vec<_>>(),
             "path keys diverge for {id}"
         );
     }

@@ -205,7 +205,7 @@ fn split_end_to_end_key_delivery_over_churn_intervals() {
             let ring = fx.rings.get_mut(&member.id).expect("member has a ring");
             ring.absorb(received[i].iter().map(|&e| &out.encryptions[e]));
             assert!(
-                ring.matches_path(&spec, &fx.tree.user_path_keys(&member.id)),
+                ring.matches_path(&spec, fx.tree.user_path_keys(&member.id)),
                 "interval {interval}: {} lacks current keys",
                 member.id
             );

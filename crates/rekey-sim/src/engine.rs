@@ -30,15 +30,41 @@ pub struct Ctx<'a, M> {
     outbox: &'a mut Vec<Outgoing<M>>,
 }
 
+/// One queued side effect of a [`Node::receive`] call. Public so external
+/// executors (e.g. a sharded runtime driving nodes outside
+/// [`Simulation`]) can route the outbox themselves.
 #[derive(Debug)]
-enum Outgoing<M> {
+pub enum Outgoing<M> {
     /// Deliver after the network delay between the two nodes.
-    Send { to: NodeId, msg: M },
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: M,
+    },
     /// Deliver after an explicit delay (timers, processing time).
-    After { to: NodeId, delay: SimTime, msg: M },
+    After {
+        /// Destination node (`self` for timers).
+        to: NodeId,
+        /// Relative delay in simulated µs.
+        delay: SimTime,
+        /// The message.
+        msg: M,
+    },
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// Creates a context for an external executor that drives [`Node`]s
+    /// outside a [`Simulation`] (a sharded event loop, a test harness).
+    /// Side effects accumulate in `outbox`; the caller routes them.
+    pub fn external(now: SimTime, self_id: NodeId, outbox: &'a mut Vec<Outgoing<M>>) -> Ctx<'a, M> {
+        Ctx {
+            now,
+            self_id,
+            outbox,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

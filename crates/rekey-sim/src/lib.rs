@@ -43,7 +43,7 @@ mod engine;
 mod event;
 pub mod fault;
 
-pub use engine::{Ctx, Node, NodeId, Simulation};
+pub use engine::{Ctx, Node, NodeId, Outgoing, Simulation};
 pub use event::{Scheduler, SimTime};
 pub use fault::{FaultInjector, FaultPlan, FaultStats, GilbertElliott, Outage};
 

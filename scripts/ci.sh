@@ -26,6 +26,12 @@ cargo test --offline --release -q --test chaos_soak -- --ignored
 echo "==> metrics smoke (200-member soak, snapshot JSON schema validation)"
 cargo test --offline --release -q --test metrics_smoke -- --ignored
 
+echo "==> mega soak (65k members on the sharded windowed executor, 1% loss)"
+cargo test --offline --release -q --test mega_soak -- --ignored
+
+echo "==> bench_runtime sweep smoke (classic 64/256/1024 + sharded 65k mega point)"
+cargo run --offline --release -q -p rekey-bench --bin bench_runtime -- --mega-cap 65536 > /dev/null
+
 echo "==> cargo test --doc"
 cargo test --offline --workspace -q --doc
 

@@ -200,7 +200,7 @@ fn main() {
         for (i, member) in mesh.members().iter().enumerate() {
             let ring = rings.get_mut(&member.id).expect("member has a ring");
             ring.absorb(per_member[i].iter().map(|&e| &out.encryptions[e]));
-            keys_ok &= ring.matches_path(&spec, &tree.user_path_keys(&member.id));
+            keys_ok &= ring.matches_path(&spec, tree.user_path_keys(&member.id));
         }
 
         let outcome = mesh.multicast(&net, Source::Server);

@@ -120,7 +120,7 @@ fn ten_interval_full_pipeline() {
             let ring = sys.rings.get_mut(&member.id).unwrap();
             ring.absorb(received[i].iter().map(|&e| &rekey.encryptions[e]));
             assert!(
-                ring.matches_path(sys.group.spec(), &sys.tree.user_path_keys(&member.id)),
+                ring.matches_path(sys.group.spec(), sys.tree.user_path_keys(&member.id)),
                 "interval {interval}: {} lacks the current key set",
                 member.id
             );

@@ -1,0 +1,85 @@
+//! Mega soak: 65 536 members on the sharded windowed executor
+//! ([`ShardedGroupRuntime`]) sustain two churned rekey intervals under 1%
+//! copy loss — the CI-sized thumbnail of `bench_runtime`'s 65k/262k/1M
+//! mega sweep. Exercises the bootstrap dealing pass (one O(N·D·B)
+//! construction instead of 65k protocol joins), the window-barrier
+//! cross-shard exchange, NACK/unicast recovery under loss, and the
+//! deterministic snapshot merge.
+//!
+//! Ignored by default — `scripts/ci.sh` runs it in release mode:
+//! `cargo test --release --test mega_soak -- --ignored`.
+
+use group_rekeying::proto::{RuntimeConfig, ShardedGroupRuntime};
+use rekey_bench::mega_runtime_fixture;
+use rekey_bench::schema::validate_snapshot;
+
+const MEMBERS: usize = 65_536;
+
+#[test]
+#[ignore = "soak-sized: 65k members × 2 churned intervals; ci.sh runs it in release"]
+fn sharded_65k_soak_stays_current_under_loss() {
+    let (net, group, leaves, finish, window) = mega_runtime_fixture(MEMBERS);
+    let runtime_config = RuntimeConfig::builder().loss(0.01).seed(0x6E6A).build();
+    let mut rt = ShardedGroupRuntime::bootstrapped(group, runtime_config, net, MEMBERS, 8, window)
+        .expect("65k members fit the 16^5 ID space");
+    assert_eq!(rt.member_count(), MEMBERS);
+    assert_eq!(
+        rt.server().interval(),
+        1,
+        "bootstrap welcomes at interval 1"
+    );
+
+    for &(at, handle) in &leaves {
+        rt.leave_at(at, handle);
+    }
+    rt.finish(finish);
+
+    let report = rt.snapshot();
+    validate_snapshot(&report.to_json());
+    assert_eq!(report.welcomes, MEMBERS as u64);
+    assert_eq!(report.departures, leaves.len() as u64);
+    assert_eq!(report.members, MEMBERS - leaves.len());
+    assert_eq!(report.leave_acks, leaves.len() as u64);
+    assert!(report.intervals >= 2, "got {} intervals", report.intervals);
+    assert!(report.copies_lost > 0, "the 1% loss stream never drew");
+    assert_eq!(report.checkpoints, 0, "the mega runtime journals nothing");
+    assert_eq!(report.pings, 0, "heartbeats are disarmed at mega scale");
+    // Every member applies every interval (recovery fills the loss holes),
+    // so the apply histogram carries at least members × intervals samples
+    // minus the churned-out leavers.
+    assert!(
+        report.apply_delay_us.count >= (MEMBERS as u64 - leaves.len() as u64) * report.intervals,
+        "apply count {} too small for {} intervals",
+        report.apply_delay_us.count,
+        report.intervals
+    );
+
+    // Spot-check survivor agents across the whole handle range: current
+    // interval, current group key.
+    let server_interval = rt.server().interval();
+    let group_key = rt
+        .server()
+        .tree()
+        .group_key()
+        .expect("group is non-empty")
+        .clone();
+    let leavers: Vec<usize> = leaves.iter().map(|&(_, h)| h).collect();
+    let mut checked = 0;
+    for handle in (0..MEMBERS).step_by(1009) {
+        if leavers.contains(&handle) {
+            continue;
+        }
+        let agent = rt.agent(handle).expect("survivor was welcomed");
+        assert_eq!(agent.interval(), server_interval, "member {handle} lags");
+        assert_eq!(
+            agent.group_key(),
+            Some(&group_key),
+            "member {handle} holds a stale group key"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 60, "spot check covered only {checked} members");
+    for &handle in &leavers {
+        assert!(rt.agent(handle).is_none(), "leaver {handle} kept its agent");
+    }
+}
