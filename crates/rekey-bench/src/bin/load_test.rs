@@ -1,0 +1,176 @@
+//! Loopback-UDP load test: thousands of in-process members behind the
+//! real-socket driver (`UdpGroupDriver`), every rekey interval, NACK and
+//! recovery flowing through actual `std::net::UdpSocket` datagrams.
+//!
+//! The run bootstraps `--members` members across `--workers` worker
+//! threads, then sustains `--churn` leaves **and** `--churn` fresh joins
+//! per rekey interval for `--intervals` intervals, finishing with the
+//! server's flush rounds and a full K-consistency audit. Unlike the
+//! simulated engines, the clock here is the wall clock and the loss
+//! model is the kernel: bursts that overflow a socket's receive buffer
+//! are real drops, and the NACK/recovery counters show the protocol
+//! paying them back.
+//!
+//! Prints a JSON document (the committed `BENCH_loadtest.json`) to
+//! stdout via the shared deterministic writer: apply-delay percentiles,
+//! datagram throughput, and recovery counts. Progress goes to stderr.
+//! Wall-clock figures vary run to run; everything derived from protocol
+//! counters is deterministic per seed up to kernel-induced loss.
+//!
+//! Run with `--release`. Defaults (1024 members, 3 churned intervals)
+//! finish in a few seconds on one core; `--members 4000` is still under
+//! the 4096-ID space of the default spec.
+
+use std::time::{Duration, Instant};
+
+use rekey_bench::arg_usize;
+use rekey_id::IdSpec;
+use rekey_metrics::json::Writer;
+use rekey_net::GridNetwork;
+use rekey_proto::{GroupConfig, RuntimeConfig, UdpGroupDriver};
+
+/// Real time per rekey interval. Long enough for a 1k-member interval's
+/// forward mesh to drain on one core, short enough that a smoke run
+/// stays bounded.
+const PERIOD_US: u64 = 500_000;
+/// Patience per interval before declaring the session wedged. Generous:
+/// CI boxes stall; the protocol shouldn't be blamed for a noisy neighbor.
+const PATIENCE: Duration = Duration::from_secs(60);
+const SEED: u64 = 0x10AD;
+
+fn main() {
+    let members = arg_usize("--members", 1024);
+    let workers = arg_usize("--workers", 4);
+    let intervals = arg_usize("--intervals", 3);
+    let churn = arg_usize("--churn", 8);
+
+    let joins_total = churn * intervals;
+    let spec = IdSpec::new(4, 8).expect("4 levels of 8 digits");
+    assert!(
+        members + joins_total < 4096,
+        "roster outgrows the 4096-ID space"
+    );
+    let net = GridNetwork::new(members + joins_total + 1, 1_000, 100);
+    let group = GroupConfig::for_spec(&spec).k(2).seed(SEED);
+    let config = RuntimeConfig::builder()
+        .rekey_period(PERIOD_US)
+        .nack_grace(PERIOD_US / 4)
+        .heartbeat_period(1 << 40)
+        .retry_base(PERIOD_US / 8)
+        .seed(SEED)
+        .build();
+
+    eprintln!(
+        "load_test: bootstrapping {members} members on {workers} worker threads \
+         ({intervals} intervals, {churn} leaves + {churn} joins each)…"
+    );
+    let build_start = Instant::now();
+    let mut rt = UdpGroupDriver::bootstrapped(group, config, net, members, workers)
+        .expect("bootstrap fits the ID space and the loopback");
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    eprintln!("load_test: bootstrapped in {build_ms:.0} ms; driving churn…");
+
+    let run_start = Instant::now();
+    let mut next_leave = 0usize;
+    for interval in 0..intervals {
+        for _ in 0..churn {
+            // Walk the original roster front to back: every leaver is a
+            // distinct bootstrap-era member, never a fresh joiner.
+            rt.leave(next_leave);
+            next_leave += 1;
+        }
+        for _ in 0..churn {
+            rt.join();
+        }
+        let target = interval as u64 + 2; // bootstrap completes interval 1
+        assert!(
+            rt.run_to_interval(target, PATIENCE),
+            "interval {target} failed to converge within {PATIENCE:?}"
+        );
+        eprintln!(
+            "load_test: interval {target} complete at {:.2} s",
+            run_start.elapsed().as_secs_f64()
+        );
+    }
+    assert!(rt.finish(PATIENCE), "shutdown flush failed to converge");
+    let wall = run_start.elapsed();
+
+    rt.check_consistency()
+        .expect("tables K-consistent after churn");
+    let group_key = rt.server().tree().group_key().expect("non-empty group");
+    let mut live = 0usize;
+    for handle in 0..rt.member_count() {
+        if let Some(agent) = rt.agent(handle) {
+            assert_eq!(
+                agent.group_key(),
+                Some(group_key),
+                "member {handle} finished stale"
+            );
+            live += 1;
+        }
+    }
+
+    let report = rt.snapshot();
+    rekey_bench::schema::validate_snapshot(&report.to_json());
+    let traffic = rt.traffic();
+    let wall_s = wall.as_secs_f64();
+    let packets = traffic.packets_sent + traffic.packets_received;
+    eprintln!(
+        "load_test: {} intervals in {:.2} s, {} datagrams ({:.0}/s), {} nacks recovered",
+        report.intervals,
+        wall_s,
+        packets,
+        packets as f64 / wall_s,
+        report.nacks
+    );
+
+    let mut w = Writer::new();
+    w.begin_object();
+    w.field_str(
+        "bench",
+        "UdpGroupDriver: loopback-UDP churn through real sockets \
+         (kernel loss, wall-clock rekey intervals)",
+    );
+    w.field_str(
+        "unit",
+        "datagrams per wall-clock second over loopback (release)",
+    );
+    w.begin_named_object("config");
+    w.field_usize("members", members);
+    w.field_usize("workers", workers);
+    w.field_usize("churn_per_interval", churn);
+    w.field_u64("rekey_period_us", PERIOD_US);
+    w.field_u64("seed", SEED);
+    w.end_object();
+    w.begin_named_object("results");
+    w.field_u64("intervals", report.intervals);
+    w.field_usize("live_members", live);
+    w.field_u64("joins", report.joins);
+    w.field_u64("departures", report.departures);
+    w.field_f64("build_ms", build_ms, 1);
+    w.field_f64("wall_s", wall_s, 2);
+    w.field_f64("packets_per_sec", packets as f64 / wall_s, 0);
+    w.field_u64("packets_sent", traffic.packets_sent);
+    w.field_u64("packets_received", traffic.packets_received);
+    w.field_u64("bytes_sent", traffic.bytes_sent);
+    w.field_u64("bytes_received", traffic.bytes_received);
+    w.field_u64(
+        "kernel_drops",
+        traffic.packets_sent - traffic.packets_received,
+    );
+    w.field_u64("oversize_drops", traffic.oversize_drops);
+    w.field_u64("malformed_frames", traffic.malformed_frames);
+    w.field_u64("decode_errors", traffic.decode_errors);
+    w.field_u64("forward_copies", report.forward_copies);
+    w.field_u64("delivered", report.delivered);
+    w.field_u64("nacks", report.nacks);
+    w.field_u64("recovery_encryptions", report.recovery_encryptions);
+    w.field_u64("retransmissions", report.retransmissions);
+    w.field_u64("apply_delay_p50_us", report.apply_delay_us.p50());
+    w.field_u64("apply_delay_p95_us", report.apply_delay_us.p95());
+    w.field_u64("apply_delay_p99_us", report.apply_delay_us.p99());
+    w.field_f64("apply_delay_mean_us", report.apply_delay_us.mean(), 1);
+    w.end_object();
+    w.end_object();
+    print!("{}", w.finish());
+}

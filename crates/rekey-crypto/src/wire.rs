@@ -67,17 +67,29 @@ impl From<IdError> for DecodeError {
     }
 }
 
-struct Reader<'a> {
+/// A bounds-checked cursor over wire bytes.
+///
+/// Every accessor returns [`DecodeError::Truncated`] instead of panicking
+/// when the input runs short, so decoders built on it are total functions
+/// over arbitrary byte strings. Higher layers (the runtime's `RtMsg`
+/// codec) compose their decoders from the same reader this module uses.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
             return Err(DecodeError::Truncated);
         }
@@ -86,35 +98,81 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    /// Consumes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if the input is exhausted.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, DecodeError> {
+    /// Consumes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
         Ok(u16::from_le_bytes(
             self.take(2)?.try_into().expect("2 bytes"),
         ))
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    /// Consumes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, DecodeError> {
+    /// Consumes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn finish(&self) -> Result<(), DecodeError> {
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the input was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TrailingBytes`] when bytes remain.
+    pub fn finish(&self) -> Result<(), DecodeError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
             Err(DecodeError::TrailingBytes(self.buf.len() - self.pos))
         }
     }
+}
+
+/// Appends an [`IdPrefix`] (`len:u8, digits:[u16; len]`, little-endian).
+pub fn encode_prefix(out: &mut Vec<u8>, p: &IdPrefix) {
+    put_prefix(out, p);
+}
+
+/// Reads an [`IdPrefix`] written by [`encode_prefix`], validating it
+/// against `spec`.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] on short input, [`DecodeError::BadId`] when
+/// the digits violate `spec`.
+pub fn decode_prefix(r: &mut Reader<'_>, spec: &IdSpec) -> Result<IdPrefix, DecodeError> {
+    get_prefix(r, spec)
 }
 
 fn put_prefix(out: &mut Vec<u8>, p: &IdPrefix) {
@@ -166,6 +224,19 @@ fn decode_encryption_inner(r: &mut Reader<'_>, spec: &IdSpec) -> Result<Encrypti
     Ok(Encryption::from_wire_parts(
         enc_id, enc_ver, tgt_id, tgt_ver, nonce, ciphertext, tag,
     ))
+}
+
+/// Decodes one encryption from a reader, leaving trailing bytes for the
+/// caller (streaming variant of [`decode_encryption`]).
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input.
+pub fn decode_encryption_from(
+    r: &mut Reader<'_>,
+    spec: &IdSpec,
+) -> Result<Encryption, DecodeError> {
+    decode_encryption_inner(r, spec)
 }
 
 /// Decodes one encryption, requiring the whole input to be consumed.
@@ -253,6 +324,19 @@ pub fn encode_key(k: &Key, out: &mut Vec<u8>) {
     out.extend_from_slice(k.material().as_bytes());
 }
 
+/// Decodes a key from a reader, leaving trailing bytes for the caller
+/// (streaming variant of [`decode_key`]).
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input.
+pub fn decode_key_from(r: &mut Reader<'_>, spec: &IdSpec) -> Result<Key, DecodeError> {
+    let id = get_prefix(r, spec)?;
+    let version = r.u64()?;
+    let material: [u8; KEY_LEN] = r.take(KEY_LEN)?.try_into().expect("material");
+    Ok(Key::new(id, version, KeyMaterial::from_bytes(material)))
+}
+
 /// Decodes a key.
 ///
 /// # Errors
@@ -260,11 +344,9 @@ pub fn encode_key(k: &Key, out: &mut Vec<u8>) {
 /// Any [`DecodeError`] on malformed input.
 pub fn decode_key(buf: &[u8], spec: &IdSpec) -> Result<Key, DecodeError> {
     let mut r = Reader::new(buf);
-    let id = get_prefix(&mut r, spec)?;
-    let version = r.u64()?;
-    let material: [u8; KEY_LEN] = r.take(KEY_LEN)?.try_into().expect("material");
+    let key = decode_key_from(&mut r, spec)?;
     r.finish()?;
-    Ok(Key::new(id, version, KeyMaterial::from_bytes(material)))
+    Ok(key)
 }
 
 #[cfg(test)]

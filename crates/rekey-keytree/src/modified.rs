@@ -404,15 +404,6 @@ impl ModifiedKeyTree {
         (self.root != NIL).then(|| &self.keys[self.root as usize])
     }
 
-    /// The key stored at ID-tree node `id`, if present.
-    #[deprecated(
-        since = "0.6.0",
-        note = "resolve once with `node_handle(id)` and read with `key_at(handle)`"
-    )]
-    pub fn key(&self, id: &IdPrefix) -> Option<&Key> {
-        self.lookup(id.digits()).map(|s| &self.keys[s as usize])
-    }
-
     /// `true` iff `user` has a u-node in the tree.
     pub fn contains_user(&self, user: &UserId) -> bool {
         self.lookup(user.digits()).is_some()
@@ -1007,11 +998,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_id_keyed_lookup_still_works() {
+    fn handle_based_lookup_resolves_id_tree_nodes() {
         let mut rng = StdRng::seed_from_u64(15);
         let tree = fig4_tree(&mut rng);
+        // An interior k-node resolves to the key its path holders share.
         let aux = IdPrefix::new(&spec(), vec![2]).unwrap();
-        assert_eq!(tree.key(&aux), key_of(&tree, &aux));
+        let handle = tree.node_handle(&aux).expect("subtree 2 is populated");
+        let key = tree.key_at(handle);
+        assert_eq!(key.id(), &aux);
+        assert!(tree
+            .user_path_keys(&uid([2, 2]))
+            .any(|k| std::ptr::eq(k, key)));
+        // The root handle reads back the group key; absent IDs miss.
+        let root = tree.node_handle(&IdPrefix::root()).expect("non-empty tree");
+        assert_eq!(Some(tree.key_at(root)), tree.group_key());
+        let absent = IdPrefix::new(&spec(), vec![1]).unwrap();
+        assert!(tree.node_handle(&absent).is_none(), "subtree 1 is empty");
     }
 }

@@ -28,6 +28,7 @@ pub mod gtitm;
 mod planetlab;
 mod routed;
 mod stress;
+pub mod udp;
 
 pub use coords::{Coordinate, CoordinateSystem};
 pub use dijkstra::{shortest_paths, ShortestPaths};

@@ -63,8 +63,8 @@ pub use group::{Group, GroupError, JoinOutcome};
 pub use protocols::{ipmc_rekey_transport, nice_rekey_transport, RekeyProtocol};
 pub use recovery::{lossy_rekey_transport, LossyReport};
 pub use runtime::{
-    ChurnEvent, ChurnOp, GroupRuntime, MetricsSnapshot, RuntimeConfig, RuntimeConfigBuilder,
-    ShardedGroupRuntime,
+    ChurnEvent, ChurnOp, Driver, GroupRuntime, MetricsSnapshot, RuntimeConfig,
+    RuntimeConfigBuilder, ShardedGroupRuntime, UdpGroupDriver,
 };
 pub use split::{cluster_rekey_transport, split_for_neighbor, tmesh_rekey_transport};
 pub use transport::{
@@ -84,7 +84,8 @@ pub use transport::{
 pub mod prelude {
     pub use crate::facade::{GroupConfig, GroupServer, UserAgent};
     pub use crate::runtime::{
-        GroupRuntime, MetricsSnapshot, RuntimeConfig, RuntimeConfigBuilder, ShardedGroupRuntime,
+        Driver, GroupRuntime, MetricsSnapshot, RuntimeConfig, RuntimeConfigBuilder,
+        ShardedGroupRuntime, UdpGroupDriver,
     };
     pub use rekey_keytree::NodeHandle;
 }

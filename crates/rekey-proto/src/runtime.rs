@@ -77,45 +77,40 @@
 //! the server answers from its per-interval history.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::rc::Rc;
-use std::sync::Arc;
 
 use rand::Rng;
-use rekey_crypto::Encryption;
-use rekey_id::UserId;
 use rekey_keytree::TreeMetrics;
 use rekey_metrics::{json, Histogram, HistogramSnapshot, Registry, SpanRecord};
 use rekey_net::{HostId, Micros, Network};
 use rekey_sim::{
     node_rng, seeded_rng, Ctx, FaultInjector, FaultPlan, Node, NodeId, SimTime, Simulation,
 };
-use rekey_table::{check_consistency, ConsistencyViolation, Member, NeighborRecord, NeighborTable};
-use rekey_tmesh::forward::{server_next_hops, user_next_hops_with};
+use rekey_table::{check_consistency, ConsistencyViolation, Member, NeighborTable};
 
-use crate::transport::{PrefixBuf, SplitIndex, SplitIndexMaintainer};
-use crate::{Group, GroupConfig, GroupServer, UserAgent, WelcomePacket};
+use crate::transport::SplitIndexMaintainer;
+use crate::{Group, GroupConfig, GroupServer, UserAgent};
 
 pub mod journal;
 pub mod shard;
 
 pub use shard::ShardedGroupRuntime;
 
-/// The key server's node id: always node 0.
-const SERVER: NodeId = NodeId(0);
+pub(crate) mod core;
+pub mod socket;
+pub mod wire;
+
+#[allow(unused_imports)]
+pub(crate) use self::core::{
+    host_of_member_node, node_of_host, Knobs, RtMember, RtServer, SharedHandle, SERVER,
+};
+pub use self::core::{IntervalMessage, MemberStats, Outputs, RtMsg, ServerStats};
+pub use socket::UdpGroupDriver;
 
 /// Domain separator for the chaos injector's seed, so fault randomness is
 /// decoupled from the legacy loss stream and the heartbeat stagger.
 const CHAOS_SEED: u64 = 0x43_48_41_4F_53; // "CHAOS"
-
-fn node_of_host(h: HostId) -> NodeId {
-    NodeId(h.0 + 1)
-}
-
-fn host_of_member_node(n: NodeId) -> HostId {
-    debug_assert!(n != SERVER, "the server has no member host");
-    HostId(n.0 - 1)
-}
 
 /// Timing, loss, retry, and seeding knobs of a [`GroupRuntime`].
 ///
@@ -331,200 +326,6 @@ impl ChurnEvent {
     }
 }
 
-/// One interval's rekey message as multicast over the overlay: the
-/// encryptions plus the split index that addresses them (Fig. 5). Shared
-/// by reference between all in-flight copies — forwarding a copy costs no
-/// payload clone.
-pub struct IntervalMessage {
-    /// The interval this message keys.
-    pub interval: u64,
-    /// The server epoch that produced it (bumped on every restart).
-    pub epoch: u64,
-    /// When the server multicast it (recovery latency accounting).
-    pub sent_at: SimTime,
-    /// The batch rekey encryptions.
-    pub encryptions: Vec<Encryption>,
-    /// Split index over the encryption IDs.
-    pub index: SplitIndex,
-}
-
-impl std::fmt::Debug for IntervalMessage {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("IntervalMessage")
-            .field("interval", &self.interval)
-            .field("epoch", &self.epoch)
-            .field("sent_at", &self.sent_at)
-            .field("encryptions", &self.encryptions.len())
-            .finish_non_exhaustive()
-    }
-}
-
-/// Runtime protocol messages. See the module docs for the taxonomy.
-pub enum RtMsg {
-    /// Server timer: end the current rekey interval.
-    IntervalTick {
-        /// Stale-chain guard; bumped on server restart.
-        gen: u64,
-    },
-    /// Injected by [`GroupRuntime::finish`]: process pending membership
-    /// work immediately and push every member its latest related set.
-    Flush,
-    /// Injected at a node when its outage window ends: the process comes
-    /// back up and re-arms its timers (the server additionally restores
-    /// its journal and bumps its epoch).
-    Restart,
-    /// Injected at a joining node; forwarded to the server and
-    /// retransmitted with backoff until `JoinAccepted`.
-    JoinRequest,
-    /// Server → joiner: admission into the overlay with a ready table.
-    JoinAccepted {
-        /// The new member's record.
-        member: Member,
-        /// The joiner's neighbor table at admission time.
-        table: Box<NeighborTable>,
-        /// Server epoch of the snapshot.
-        epoch: u64,
-        /// Mutation sequence number the snapshot reflects.
-        seq: u64,
-    },
-    /// Server → joiner at interval end: the key material.
-    Welcome {
-        /// Path keys and interval.
-        welcome: WelcomePacket,
-        /// Server epoch issuing the keys.
-        epoch: u64,
-        /// When the next interval ends, anchoring the NACK check timer.
-        next_interval_at: SimTime,
-    },
-    /// Server → members: insert a just-admitted member (mutation `seq`).
-    NewMember {
-        /// The new member.
-        record: Member,
-        /// RTT from the receiver to the new member.
-        rtt: Micros,
-        /// Server epoch of the mutation.
-        epoch: u64,
-        /// Mutation sequence number; applied strictly in order.
-        seq: u64,
-    },
-    /// Injected at a leaving node; forwarded to the server and
-    /// retransmitted with backoff until `LeaveAck`.
-    LeaveRequest,
-    /// Server → leaver, once the departure has reached the journal.
-    LeaveAck,
-    /// Server → members: departure plus repair candidates (§3.2),
-    /// mutation `seq`.
-    MemberLeft {
-        /// Who departed.
-        departed: UserId,
-        /// Replacement candidates with receiver-personalized RTTs.
-        replacements: Vec<(Member, Micros)>,
-        /// Server epoch of the mutation.
-        epoch: u64,
-        /// Mutation sequence number; applied strictly in order.
-        seq: u64,
-    },
-    /// Member → server: a neighbor stopped answering pings. Re-sent every
-    /// beat until the repair broadcast arrives, so a lost notice (server
-    /// outage, partition) only delays detection.
-    FailureNotice {
-        /// The suspect.
-        failed: UserId,
-    },
-    /// One overlay copy of an interval's rekey message (lossy).
-    Forward {
-        /// `forward_level` of Fig. 2 at the receiver.
-        level: usize,
-        /// The `(i, j)`-subtree prefix this copy serves (split key).
-        prefix: PrefixBuf,
-        /// The shared interval message.
-        message: Arc<IntervalMessage>,
-    },
-    /// Member → server: interval missing past its deadline.
-    Nack {
-        /// The missing interval.
-        interval: u64,
-    },
-    /// Server → member: the member's related set for a NACKed interval.
-    Recover {
-        /// The recovered interval.
-        interval: u64,
-        /// Exactly the requester's related encryptions (Lemma 3).
-        encryptions: Vec<Encryption>,
-        /// When the interval was originally multicast (latency
-        /// accounting).
-        sent_at: SimTime,
-    },
-    /// Member → neighbor: heartbeat probe.
-    Ping {
-        /// Correlation token.
-        token: u64,
-    },
-    /// Neighbor → member: heartbeat reply.
-    Pong {
-        /// Correlation token.
-        token: u64,
-    },
-    /// Member → server: heartbeat liveness/membership probe.
-    ServerPing {
-        /// The prober's own id, for the server to verify.
-        id: UserId,
-    },
-    /// Server → member: the prober is a member in good standing. Carries
-    /// the member's evidence triple.
-    ServerPong {
-        /// Current server epoch.
-        epoch: u64,
-        /// Latest mutation sequence number.
-        seq: u64,
-        /// Latest completed interval.
-        interval: u64,
-    },
-    /// Server → node: the probed or requested id is not (or no longer) a
-    /// member under this server. The node rejoins from scratch.
-    NotMember {
-        /// The id the server disowns.
-        id: UserId,
-    },
-    /// Member → server: request a full state snapshot (sequence gap,
-    /// epoch change, or NACK retries exhausted).
-    ResyncRequest {
-        /// The requester's id, for the server to verify.
-        id: UserId,
-    },
-    /// Server → member: a full state snapshot — record, table, and
-    /// current path keys.
-    Resync {
-        /// The member's record.
-        member: Member,
-        /// The member's neighbor table as the server computes it.
-        table: Box<NeighborTable>,
-        /// Current path keys and interval.
-        welcome: WelcomePacket,
-        /// Server epoch of the snapshot.
-        epoch: u64,
-        /// Mutation sequence number the snapshot reflects.
-        seq: u64,
-        /// When the next interval ends, re-anchoring the check timer.
-        next_interval_at: SimTime,
-    },
-    /// Member timer: ping neighbors, evict the unresponsive.
-    HeartbeatTick {
-        /// Stale-chain guard; bumped on member restart or rejoin.
-        gen: u64,
-    },
-    /// Member timer: NACK intervals still missing past their deadline.
-    IntervalCheck {
-        /// Stale-chain guard; bumped when the timer is re-anchored.
-        gen: u64,
-    },
-    /// Member timer: fire due retry entries.
-    RetryTick {
-        /// Stale-chain guard; bumped on every re-schedule.
-        gen: u64,
-    },
-}
-
 /// Metric handles shared by every node of one runtime, all registered in
 /// one [`Registry`] (which the server's [`TreeMetrics`] also reports
 /// into). Recording is O(1) per event, so the hot paths stay hot.
@@ -554,36 +355,6 @@ impl RuntimeMetrics {
     }
 }
 
-/// Copyable timing/retry knobs shared by every node of one runtime.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Knobs {
-    rekey_period: SimTime,
-    heartbeat_period: SimTime,
-    nack_grace: SimTime,
-    retry_base: SimTime,
-    retry_cap: u32,
-    seed: u64,
-}
-
-impl Knobs {
-    fn of_config(config: &RuntimeConfig) -> Knobs {
-        Knobs {
-            rekey_period: config.rekey_period,
-            heartbeat_period: config.heartbeat_period,
-            nack_grace: config.nack_grace,
-            retry_base: config.retry_base,
-            retry_cap: config.retry_cap,
-            seed: config.seed,
-        }
-    }
-
-    /// Exponential backoff: `retry_base << attempts`, with the exponent
-    /// saturated at the retry cap.
-    fn backoff(&self, attempts: u32) -> SimTime {
-        self.retry_base << attempts.min(self.retry_cap)
-    }
-}
-
 /// Shared state of the classic single-queue runtime.
 struct Shared {
     knobs: Knobs,
@@ -592,29 +363,6 @@ struct Shared {
     /// retries fire immediately instead of waiting for a tick.
     shutdown: Cell<bool>,
     metrics: RuntimeMetrics,
-}
-
-/// What a member needs from its runtime: the knobs, the shutdown flag,
-/// and metric sinks. The classic runtime hands every member an
-/// `Rc<Shared>` (single-threaded, one registry); the sharded runtime
-/// hands out `Arc<shard::ShardCore>` handles (`Send`, per-shard local
-/// sinks merged deterministically after the workers join).
-pub(crate) trait SharedHandle {
-    /// The timing/retry knobs.
-    fn knobs(&self) -> &Knobs;
-    /// `true` once the runtime began its shutdown drain.
-    fn is_shutdown(&self) -> bool;
-    /// Records the encryption count of one received split copy.
-    fn record_split_payload(&self, v: u64);
-    /// Records the copies sent in one forwarding occasion.
-    fn record_forward_fanout(&self, v: u64);
-    /// Records one interval application: the apply-delay histogram plus
-    /// an `"apply"`/`"recovery"` span (span sinks may be a no-op).
-    fn record_apply(&self, span: &'static str, sent_at: SimTime, now: SimTime, interval: u64);
-    /// Records the encryption count of one unicast `Recover` reply.
-    fn record_recovery_size(&self, v: u64);
-    /// Records a tracing span (no-op for handles without a span sink).
-    fn span(&self, name: &'static str, start: SimTime, end: SimTime, detail: u64);
 }
 
 impl SharedHandle for Rc<Shared> {
@@ -644,1388 +392,22 @@ impl SharedHandle for Rc<Shared> {
     }
 }
 
-/// Server-side counters of one runtime session.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Completed rekey intervals.
-    pub intervals: u64,
-    /// Joins admitted.
-    pub joins: u64,
-    /// Departures processed (leaves + detected failures).
-    pub departures: u64,
-    /// Departures that arrived as failure notices.
-    pub failures_detected: u64,
-    /// `Forward` copies seeded by the server.
-    pub forward_copies: u64,
-    /// NACKs received.
-    pub nacks: u64,
-    /// Encryptions re-sent via unicast recovery.
-    pub recovery_encryptions: u64,
-    /// Welcome packets issued.
-    pub welcomes: u64,
-    /// Full state snapshots served (`Resync` replies).
-    pub resyncs: u64,
-    /// Server restarts (journal restores + epoch bumps).
-    pub restarts: u64,
-    /// Checkpoints written to the journal.
-    pub checkpoints: u64,
-    /// Leave acknowledgements sent (each after a covering checkpoint).
-    pub leave_acks: u64,
-}
-
-struct RtServer<NET, S: SharedHandle = Rc<Shared>> {
-    net: Rc<NET>,
-    shared: S,
-    server: GroupServer,
-    /// Bumped on every restart; members resync when they observe a bump.
-    epoch: u64,
-    /// Membership-mutation sequence number (one per join/leave/failure).
-    seq: u64,
-    /// Stale-timer guard for `IntervalTick`; bumped on restart.
-    tick_gen: u64,
-    /// When the current interval ends (anchors member check timers).
-    next_interval_at: SimTime,
-    /// When the previous rekey round ran (start anchor of the next
-    /// "interval" span, so span durations show round spacing).
-    last_round_at: SimTime,
-    /// Interval messages kept for unicast recovery.
-    history: BTreeMap<u64, Arc<IntervalMessage>>,
-    /// Incrementally maintains the per-interval split index from the
-    /// previous interval's sorted ID sequence instead of rebuilding it.
-    split_index: SplitIndexMaintainer,
-    /// The crash journal: one checkpoint per completed interval.
-    journal: journal::Journal,
-    /// Leavers to acknowledge once the next checkpoint covers their
-    /// departure (an acknowledged leave must never roll back).
-    pending_leave_acks: Vec<NodeId>,
-    stats: ServerStats,
-}
-
-impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
-    fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
-        match msg {
-            RtMsg::IntervalTick { gen } if gen == self.tick_gen => self.end_interval(ctx),
-            RtMsg::Flush => self.flush(ctx),
-            RtMsg::Restart => self.restart(ctx),
-            RtMsg::JoinRequest => self.admit(ctx, from),
-            RtMsg::LeaveRequest => {
-                let host = host_of_member_node(from);
-                let id = self.member_by_host(host).map(|m| m.id.clone());
-                if let Some(id) = id {
-                    self.depart(ctx, id);
-                }
-                // Ack — even for an unknown host (the member's retransmit
-                // after its departure was checkpointed but the ack lost) —
-                // rides the next checkpoint, never earlier.
-                if !self.pending_leave_acks.contains(&from) {
-                    self.pending_leave_acks.push(from);
-                }
-            }
-            RtMsg::FailureNotice { failed } => {
-                // Ignore accusations from non-members: a wrongfully
-                // departed member behind a healed partition would
-                // otherwise depart half the group with its stale
-                // suspicions before its own `NotMember` lands.
-                if self.member_by_host(host_of_member_node(from)).is_none() {
-                    return;
-                }
-                if self.server.group().member(&failed).is_some() {
-                    self.stats.failures_detected += 1;
-                    self.depart(ctx, failed);
-                }
-                // Already departed: the sequenced `MemberLeft` broadcast
-                // is already on its way to the accuser; nothing to do.
-            }
-            RtMsg::Nack { interval } => {
-                self.stats.nacks += 1;
-                let host = host_of_member_node(from);
-                let member = self.member_by_host(host).cloned();
-                let (Some(member), Some(message)) = (member, self.history.get(&interval)) else {
-                    // Unknown member or rolled-back interval: the prober's
-                    // heartbeat will sort it out (`NotMember` / epoch).
-                    return;
-                };
-                let encryptions: Vec<Encryption> = message
-                    .index
-                    .indices(member.id.digits())
-                    .map(|e| message.encryptions[e].clone())
-                    .collect();
-                self.stats.recovery_encryptions += encryptions.len() as u64;
-                self.shared.record_recovery_size(encryptions.len() as u64);
-                ctx.send(
-                    from,
-                    RtMsg::Recover {
-                        interval,
-                        encryptions,
-                        sent_at: message.sent_at,
-                    },
-                );
-            }
-            RtMsg::ServerPing { id } => {
-                if self.verified(&id, from) {
-                    ctx.send(
-                        from,
-                        RtMsg::ServerPong {
-                            epoch: self.epoch,
-                            seq: self.seq,
-                            interval: self.server.interval(),
-                        },
-                    );
-                } else {
-                    ctx.send(from, RtMsg::NotMember { id });
-                }
-            }
-            RtMsg::ResyncRequest { id } => {
-                if !self.verified(&id, from) {
-                    ctx.send(from, RtMsg::NotMember { id });
-                    return;
-                }
-                self.stats.resyncs += 1;
-                let group = self.server.group();
-                let idx = group.index_of(&id).expect("verified member has an index");
-                let member = group.members()[idx].clone();
-                let table = group.table(idx).clone();
-                let welcome = self
-                    .server
-                    .refresh_welcome(&id)
-                    .expect("verified member holds path keys");
-                ctx.send(
-                    from,
-                    RtMsg::Resync {
-                        member,
-                        table: Box::new(table),
-                        welcome,
-                        epoch: self.epoch,
-                        seq: self.seq,
-                        next_interval_at: self.next_interval_at,
-                    },
-                );
-            }
-            _ => {}
-        }
+/// The deterministic sim driver's output boundary: `Ctx` already *is*
+/// an outbox over `Outgoing`, so delegation is 1:1 and the scheduled
+/// event sequence is bit-for-bit what the pre-split runtime produced.
+impl Outputs for Ctx<'_, RtMsg> {
+    fn now(&self) -> SimTime {
+        Ctx::now(self)
     }
-
-    fn member_by_host(&self, host: HostId) -> Option<&Member> {
-        self.server
-            .group()
-            .members()
-            .iter()
-            .find(|m| m.host == host)
+    fn self_id(&self) -> NodeId {
+        Ctx::self_id(self)
     }
-
-    /// `true` iff `id` is a member AND the claim comes from its host.
-    fn verified(&self, id: &UserId, from: NodeId) -> bool {
-        self.server
-            .group()
-            .member(id)
-            .is_some_and(|m| m.host == host_of_member_node(from))
+    fn send(&mut self, to: NodeId, msg: RtMsg) {
+        Ctx::send(self, to, msg);
     }
-
-    fn end_interval(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if self.shared.is_shutdown() {
-            return;
-        }
-        self.rekey_round(ctx);
-        ctx.send_after(
-            SERVER,
-            self.shared.knobs().rekey_period,
-            RtMsg::IntervalTick { gen: self.tick_gen },
-        );
-    }
-
-    /// Ends one interval: welcomes, multicast, checkpoint, leave acks.
-    fn rekey_round(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        let outcome = self.server.end_interval();
-        self.stats.intervals += 1;
-        self.next_interval_at = ctx.now() + self.shared.knobs().rekey_period;
-        for welcome in outcome.welcomes {
-            self.stats.welcomes += 1;
-            let host = self
-                .server
-                .group()
-                .member(&welcome.id)
-                .expect("welcomed member is in the group")
-                .host;
-            ctx.send(
-                node_of_host(host),
-                RtMsg::Welcome {
-                    welcome,
-                    epoch: self.epoch,
-                    next_interval_at: self.next_interval_at,
-                },
-            );
-        }
-        let message = Arc::new(IntervalMessage {
-            interval: outcome.interval,
-            epoch: self.epoch,
-            sent_at: ctx.now(),
-            index: self.split_index.advance(&outcome.rekey.encryptions),
-            encryptions: outcome.rekey.encryptions,
-        });
-        self.history.insert(outcome.interval, Arc::clone(&message));
-        // Empty intervals still multicast: members advance their interval
-        // counter from the (empty) related set, keeping NACK checks quiet.
-        let mut fanout = 0u64;
-        for hop in server_next_hops(self.server.group().server_table()) {
-            self.stats.forward_copies += 1;
-            fanout += 1;
-            ctx.send(
-                node_of_host(hop.neighbor.member.host),
-                RtMsg::Forward {
-                    level: hop.forward_level,
-                    prefix: PrefixBuf::of_hop(&hop),
-                    message: Arc::clone(&message),
-                },
-            );
-        }
-        self.shared.record_forward_fanout(fanout);
-        self.shared
-            .span("interval", self.last_round_at, ctx.now(), outcome.interval);
-        self.last_round_at = ctx.now();
-        self.checkpoint(ctx);
-    }
-
-    /// Records the interval-boundary checkpoint — *after* the multicast,
-    /// so no member is ever ahead of the journal — then releases the
-    /// leave acks it covers.
-    fn checkpoint(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        // Guard *before* building the checkpoint: cloning the server is
-        // O(members) per interval, which a disabled journal (the sharded
-        // mega runtime) must never pay.
-        if self.journal.is_enabled() {
-            self.journal.record(journal::Checkpoint {
-                server: self.server.clone(),
-                seq: self.seq,
-                history: self.history.clone(),
-            });
-            self.stats.checkpoints += 1;
-        }
-        for node in std::mem::take(&mut self.pending_leave_acks) {
-            self.stats.leave_acks += 1;
-            ctx.send(node, RtMsg::LeaveAck);
-        }
-    }
-
-    /// Shutdown flush: fold any pending membership work into an interval,
-    /// then push every member its latest related set so the final
-    /// interval is discoverable even if every multicast copy was lost.
-    fn flush(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        let (joins, leaves) = self.server.pending();
-        if joins > 0 || leaves > 0 {
-            self.rekey_round(ctx);
-        }
-        if let Some((&interval, message)) = self.history.iter().next_back() {
-            let members: Vec<Member> = self.server.group().members().to_vec();
-            for member in members {
-                let encryptions: Vec<Encryption> = message
-                    .index
-                    .indices(member.id.digits())
-                    .map(|e| message.encryptions[e].clone())
-                    .collect();
-                self.stats.recovery_encryptions += encryptions.len() as u64;
-                self.shared.record_recovery_size(encryptions.len() as u64);
-                ctx.send(
-                    node_of_host(member.host),
-                    RtMsg::Recover {
-                        interval,
-                        encryptions,
-                        sent_at: message.sent_at,
-                    },
-                );
-            }
-        }
-        self.checkpoint(ctx);
-    }
-
-    /// The server process respawns at the end of an outage window: it
-    /// restores the latest checkpoint (mid-interval mutations since then
-    /// are lost by design — the affected members re-request), bumps the
-    /// epoch, and re-announces itself with an immediate interval.
-    fn restart(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        self.stats.restarts += 1;
-        self.epoch += 1;
-        self.shared
-            .span("restart", ctx.now(), ctx.now(), self.epoch);
-        self.tick_gen += 1;
-        self.pending_leave_acks.clear();
-        if let Some(cp) = self.journal.restore() {
-            self.server = cp.server;
-            self.seq = cp.seq;
-            self.history = cp.history;
-        }
-        // The maintainer's previous-interval sequence may describe an
-        // interval the rollback discarded; start from a clean rebuild.
-        self.split_index = SplitIndexMaintainer::default();
-        // The immediate interval is the restart beacon: its `Forward`
-        // copies carry the new epoch, and every member that sees it (or
-        // the next `ServerPong`) resyncs.
-        self.end_interval(ctx);
-    }
-
-    fn admit(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId) {
-        let host = host_of_member_node(from);
-        if let Some(member) = self.member_by_host(host).cloned() {
-            // Retransmitted join (the original accept was lost): resend
-            // the current snapshot without a new mutation.
-            let group = self.server.group();
-            let idx = group.index_of(&member.id).expect("member has an index");
-            let table = group.table(idx).clone();
-            ctx.send(
-                from,
-                RtMsg::JoinAccepted {
-                    member,
-                    table: Box::new(table),
-                    epoch: self.epoch,
-                    seq: self.seq,
-                },
-            );
-            return;
-        }
-        let id = self
-            .server
-            .request_join(host, &*self.net, ctx.now())
-            .expect("ID space sized for the churn trace");
-        self.stats.joins += 1;
-        self.seq += 1;
-        let group = self.server.group();
-        let idx = group.index_of(&id).expect("member was just admitted");
-        let member = group.members()[idx].clone();
-        let table = group.table(idx).clone();
-        for existing in group.members() {
-            if existing.id == id {
-                continue;
-            }
-            ctx.send(
-                node_of_host(existing.host),
-                RtMsg::NewMember {
-                    record: member.clone(),
-                    rtt: self.net.rtt(existing.host, member.host),
-                    epoch: self.epoch,
-                    seq: self.seq,
-                },
-            );
-        }
-        ctx.send(
-            from,
-            RtMsg::JoinAccepted {
-                member,
-                table: Box::new(table),
-                epoch: self.epoch,
-                seq: self.seq,
-            },
-        );
-    }
-
-    fn depart(&mut self, ctx: &mut Ctx<'_, RtMsg>, id: UserId) {
-        self.server
-            .request_leave(&id, &*self.net)
-            .expect("departing member is in the group");
-        self.stats.departures += 1;
-        self.seq += 1;
-        let group = self.server.group();
-        let candidates = crate::repair::replacement_candidates(
-            group.spec().depth(),
-            group.k(),
-            &id,
-            group.members().iter(),
-            |m| &m.id,
-        );
-        for existing in group.members() {
-            let replacements: Vec<(Member, Micros)> = candidates
-                .iter()
-                .map(|c| ((*c).clone(), self.net.rtt(existing.host, c.host)))
-                .collect();
-            ctx.send(
-                node_of_host(existing.host),
-                RtMsg::MemberLeft {
-                    departed: id.clone(),
-                    replacements,
-                    epoch: self.epoch,
-                    seq: self.seq,
-                },
-            );
-        }
-    }
-}
-
-/// Member-side counters of one runtime session.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MemberStats {
-    /// `Forward` copies received.
-    pub copies_received: u64,
-    /// `Forward` copies sent onward.
-    pub copies_forwarded: u64,
-    /// Sum of copy payload sizes received (encryptions per split copy).
-    pub payload_encryptions: u64,
-    /// NACKs sent.
-    pub nacks_sent: u64,
-    /// Encryptions obtained via unicast recovery.
-    pub recovered_encryptions: u64,
-    /// Heartbeat pings sent.
-    pub pings_sent: u64,
-    /// Neighbors evicted after unanswered pings.
-    pub evictions: u64,
-    /// Control retransmissions (join/leave/NACK/resync retries).
-    pub retransmissions: u64,
-    /// Highest attempt count any retry entry reached (≤ the configured
-    /// cap by construction).
-    pub max_retry_attempts: u32,
-    /// Full snapshots applied (`Resync` messages accepted).
-    pub resyncs: u64,
-    /// Times this node rejoined after the server disowned it.
-    pub rejoins: u64,
-    /// Evicted neighbors reinstated after answering a probation probe.
-    pub rehabilitations: u64,
-    /// Rekey intervals applied to the key agent.
-    pub intervals_applied: u64,
-    /// Summed µs from each interval's multicast to its local application
-    /// (recovery latency numerator; divide by `intervals_applied`).
-    pub apply_delay_total: u64,
-}
-
-/// A buffered rekey payload for one interval, applied strictly in order.
-enum PendingPayload {
-    /// A multicast copy (the member's related set is a subset, Lemma 3).
-    Mesh(Arc<IntervalMessage>),
-    /// A unicast recovery reply (already exactly the related set).
-    Unicast {
-        encryptions: Vec<Encryption>,
-        sent_at: SimTime,
-    },
-}
-
-/// A buffered membership mutation, applied strictly in `seq` order.
-enum SeqUpdate {
-    Insert {
-        record: Member,
-        rtt: Micros,
-    },
-    Remove {
-        departed: UserId,
-        replacements: Vec<(Member, Micros)>,
-    },
-}
-
-/// What a retry entry is waiting for. Each kind exists at most once per
-/// member (`Nack` once per interval), so the retry map stays tiny.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Retrying {
-    /// `JoinRequest` unacknowledged (no `JoinAccepted` yet).
-    Join,
-    /// `LeaveRequest` unacknowledged (no `LeaveAck` yet).
-    Leave,
-    /// A full snapshot is needed (sequence gap, epoch bump, NACK cap
-    /// exhausted, or a `Welcome` that never arrived).
-    Resync,
-    /// An interval missing past its deadline.
-    Nack(u64),
-}
-
-/// One retry entry: how often it fired and when it next fires.
-#[derive(Debug, Clone, Copy)]
-struct RetryState {
-    attempts: u32,
-    due: SimTime,
-}
-
-struct RtMember<S: SharedHandle> {
-    shared: S,
-    member: Option<Member>,
-    table: Option<NeighborTable>,
-    agent: Option<UserAgent>,
-    /// Last server epoch observed; any bump forces a resync.
-    epoch: u64,
-    /// Highest membership mutation applied in `epoch`.
-    applied_seq: u64,
-    /// Out-of-order membership mutations, keyed by `seq`.
-    update_buf: BTreeMap<u64, SeqUpdate>,
-    /// Set when an epoch bump invalidated `applied_seq`; only a snapshot
-    /// clears it (sequenced updates alone cannot prove freshness).
-    sync_stale: bool,
-    /// This node asked to join and was not yet accepted.
-    join_requested: bool,
-    /// This node asked to leave and was not yet acknowledged.
-    leave_pending: bool,
-    departed: bool,
-    /// Out-of-order rekey payloads, drained from `agent.interval + 1`.
-    pending: BTreeMap<u64, PendingPayload>,
-    /// Highest interval the server provably completed (from `Forward`,
-    /// `Welcome`, `Recover`, `Resync`, `ServerPong`): the member never
-    /// NACKs beyond its evidence, so it stays quiet through a server
-    /// outage instead of flooding a dead server.
-    server_interval_seen: u64,
-    /// Highest interval whose copy this member has already forwarded.
-    last_forwarded: u64,
-    /// Neighbors evicted locally but possibly still in stale in-flight
-    /// state; forwarding routes around them.
-    suspected: BTreeSet<UserId>,
-    /// Evicted records on probation: probed each beat, reinstated on a
-    /// Pong, dropped when the server's repair broadcast confirms the
-    /// departure.
-    suspect_records: BTreeMap<UserId, NeighborRecord>,
-    /// Ids the server has departed; a probation Pong cannot resurrect
-    /// them.
-    departed_seen: BTreeSet<UserId>,
-    /// Outstanding heartbeat pings: token → target.
-    outstanding: BTreeMap<u64, UserId>,
-    next_token: u64,
-    /// Stale-chain guard for `HeartbeatTick`.
-    heartbeat_gen: u64,
-    heartbeat_running: bool,
-    /// Stale-chain guard for `IntervalCheck`.
-    check_gen: u64,
-    /// Stale-chain guard for `RetryTick`.
-    retry_gen: u64,
-    /// Live retry entries, fired by `RetryTick` at their due times.
-    retries: BTreeMap<Retrying, RetryState>,
-    /// Largest multicast-to-arrival delay observed on `Forward` copies
-    /// since the last `IntervalCheck` rotation (adaptive NACK pipeline
-    /// estimate, numerator of the current window).
-    delay_seen: SimTime,
-    /// The previous rotation window's largest observed delay.
-    delay_seen_prev: SimTime,
-    /// When the next rekey interval is expected to end (from the last
-    /// `Welcome`/`Resync`, advanced each `IntervalCheck` firing).
-    next_boundary: SimTime,
-    /// The interval that ends at `next_boundary`: once the boundary
-    /// passes, this interval exists even if no evidence of it arrived.
-    expected_interval: u64,
-    /// Intervals already NACKed during shutdown (the drain sends
-    /// immediately instead of arming timers; this dedups).
-    shutdown_nacked: BTreeSet<u64>,
-    /// Whether the one-shot shutdown resync was already sent.
-    shutdown_resynced: bool,
-    stats: MemberStats,
-}
-
-impl<S: SharedHandle> RtMember<S> {
-    fn new(shared: S) -> RtMember<S> {
-        RtMember {
-            shared,
-            member: None,
-            table: None,
-            agent: None,
-            epoch: 0,
-            applied_seq: 0,
-            update_buf: BTreeMap::new(),
-            sync_stale: false,
-            join_requested: false,
-            leave_pending: false,
-            departed: false,
-            pending: BTreeMap::new(),
-            server_interval_seen: 0,
-            last_forwarded: 0,
-            suspected: BTreeSet::new(),
-            suspect_records: BTreeMap::new(),
-            departed_seen: BTreeSet::new(),
-            outstanding: BTreeMap::new(),
-            next_token: 0,
-            heartbeat_gen: 0,
-            heartbeat_running: false,
-            check_gen: 0,
-            retry_gen: 0,
-            retries: BTreeMap::new(),
-            delay_seen: 0,
-            delay_seen_prev: 0,
-            next_boundary: 0,
-            expected_interval: 0,
-            shutdown_nacked: BTreeSet::new(),
-            shutdown_resynced: false,
-            stats: MemberStats::default(),
-        }
-    }
-
-    /// Grace before NACKing a missing interval, adapted to the overlay
-    /// pipeline this member actually observes: 1.5× the largest
-    /// multicast-to-arrival delay of the last two check windows plus a
-    /// small margin, clamped to `[100 ms, nack_grace]`. A member that has
-    /// seen no copy yet (or none recently) falls back to the configured
-    /// grace, so cold starts and outages stay conservative.
-    fn adaptive_grace(&self) -> SimTime {
-        let seen = self.delay_seen.max(self.delay_seen_prev);
-        if seen == 0 {
-            return self.shared.knobs().nack_grace;
-        }
-        (seen + seen / 2 + 50_000).clamp(100_000, self.shared.knobs().nack_grace)
-    }
-
-    fn receive(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: NodeId, msg: RtMsg) {
-        if self.departed
-            && !matches!(
-                msg,
-                RtMsg::LeaveAck | RtMsg::RetryTick { .. } | RtMsg::Restart
-            )
-        {
-            return;
-        }
-        match msg {
-            RtMsg::JoinRequest if self.member.is_none() && !self.join_requested => {
-                self.join_requested = true;
-                ctx.send(SERVER, RtMsg::JoinRequest);
-                self.arm(
-                    ctx,
-                    Retrying::Join,
-                    ctx.now() + self.shared.knobs().retry_base,
-                );
-            }
-            RtMsg::JoinAccepted {
-                member,
-                table,
-                epoch,
-                seq,
-            } => {
-                // Duplicate or jitter-reordered stale accept: ignore.
-                if self.member.is_some() && epoch == self.epoch && seq <= self.applied_seq {
-                    return;
-                }
-                self.epoch = self.epoch.max(epoch);
-                self.member = Some(member);
-                self.table = Some(*table);
-                self.applied_seq = seq;
-                self.update_buf.retain(|&s, _| s > seq);
-                self.sync_stale = false;
-                self.retries.remove(&Retrying::Join);
-                // Welcome safety net: if the key material never arrives
-                // (lost to an outage window), fetch a snapshot instead.
-                self.arm(
-                    ctx,
-                    Retrying::Resync,
-                    ctx.now()
-                        + 2 * self.shared.knobs().rekey_period
-                        + self.shared.knobs().nack_grace,
-                );
-                self.drain_updates(ctx);
-                self.start_heartbeat(ctx);
-            }
-            RtMsg::Welcome {
-                welcome,
-                epoch,
-                next_interval_at,
-            } => {
-                if epoch < self.epoch || self.member.is_none() {
-                    return;
-                }
-                self.note_epoch(ctx, epoch);
-                let interval = welcome.interval;
-                self.agent = Some(UserAgent::from_welcome(welcome));
-                self.server_interval_seen = self.server_interval_seen.max(interval);
-                self.pending.retain(|&i, _| i > interval);
-                if !self.sync_stale {
-                    self.retries.remove(&Retrying::Resync);
-                }
-                self.drain_payloads(ctx);
-                self.arm_check(ctx, next_interval_at);
-            }
-            RtMsg::NewMember {
-                record,
-                rtt,
-                epoch,
-                seq,
-            } => {
-                self.note_epoch(ctx, epoch);
-                if epoch == self.epoch && self.member.is_some() {
-                    self.on_sequenced(ctx, seq, SeqUpdate::Insert { record, rtt });
-                }
-            }
-            RtMsg::MemberLeft {
-                departed,
-                replacements,
-                epoch,
-                seq,
-            } => {
-                self.note_epoch(ctx, epoch);
-                if epoch == self.epoch && self.member.is_some() {
-                    self.on_sequenced(
-                        ctx,
-                        seq,
-                        SeqUpdate::Remove {
-                            departed,
-                            replacements,
-                        },
-                    );
-                }
-            }
-            RtMsg::LeaveRequest if self.member.is_some() && !self.leave_pending => {
-                self.leave_pending = true;
-                self.departed = true;
-                self.retire();
-                ctx.send(SERVER, RtMsg::LeaveRequest);
-                // The ack rides the next checkpoint, so the first retry
-                // only fires once a full rekey period has gone unanswered.
-                self.arm(
-                    ctx,
-                    Retrying::Leave,
-                    ctx.now() + self.shared.knobs().rekey_period + self.shared.knobs().retry_base,
-                );
-            }
-            RtMsg::LeaveAck => {
-                self.leave_pending = false;
-                self.retries.remove(&Retrying::Leave);
-            }
-            RtMsg::Forward {
-                level,
-                prefix,
-                message,
-            } => {
-                self.stats.copies_received += 1;
-                self.delay_seen = self
-                    .delay_seen
-                    .max(ctx.now().saturating_sub(message.sent_at));
-                let split_size = message.index.related_ranges(prefix.as_slice()).total() as u64;
-                self.stats.payload_encryptions += split_size;
-                self.shared.record_split_payload(split_size);
-                self.note_epoch(ctx, message.epoch);
-                self.server_interval_seen = self.server_interval_seen.max(message.interval);
-                // Forward duty: once per interval, rows `level..D` of the
-                // table (Fig. 2), routing around suspects (§2.3).
-                if message.interval > self.last_forwarded {
-                    if let Some(table) = &self.table {
-                        self.last_forwarded = message.interval;
-                        let suspected = &self.suspected;
-                        let mut fanout = 0u64;
-                        for hop in user_next_hops_with(table, level, &|id| !suspected.contains(id))
-                        {
-                            self.stats.copies_forwarded += 1;
-                            fanout += 1;
-                            ctx.send(
-                                node_of_host(hop.neighbor.member.host),
-                                RtMsg::Forward {
-                                    level: hop.forward_level,
-                                    prefix: PrefixBuf::of_hop(&hop),
-                                    message: Arc::clone(&message),
-                                },
-                            );
-                        }
-                        self.shared.record_forward_fanout(fanout);
-                    }
-                }
-                // Key state: any copy addressed to us carries our full
-                // related set (Lemma 3 / Corollary 1), so one per interval
-                // suffices. Buffer pre-welcome copies; Welcome prunes.
-                let needed = self
-                    .agent
-                    .as_ref()
-                    .is_none_or(|a| message.interval > a.interval());
-                if needed {
-                    self.pending
-                        .entry(message.interval)
-                        .or_insert(PendingPayload::Mesh(message));
-                    self.drain_payloads(ctx);
-                }
-                let grace = self.adaptive_grace();
-                self.scan_missing(ctx, grace);
-            }
-            RtMsg::Recover {
-                interval,
-                encryptions,
-                sent_at,
-            } => {
-                self.server_interval_seen = self.server_interval_seen.max(interval);
-                let needed = self.agent.as_ref().is_some_and(|a| interval > a.interval())
-                    && !self.pending.contains_key(&interval);
-                if needed {
-                    self.stats.recovered_encryptions += encryptions.len() as u64;
-                    self.pending.insert(
-                        interval,
-                        PendingPayload::Unicast {
-                            encryptions,
-                            sent_at,
-                        },
-                    );
-                    self.drain_payloads(ctx);
-                }
-                let grace = self.adaptive_grace();
-                self.scan_missing(ctx, grace);
-            }
-            RtMsg::IntervalCheck { gen } => {
-                if gen != self.check_gen {
-                    return;
-                }
-                self.scan_missing(ctx, 0);
-                // This timer fires `adaptive_grace` past each expected
-                // interval boundary. If the boundary passed without any
-                // evidence of the interval (every copy to us and to our
-                // upstream lost, or the server is down), probe for it
-                // speculatively: a live server answers with the related
-                // set, a dead one stays silent and the retry lineage
-                // escalates into the existing resync machinery.
-                if !self.shared.is_shutdown() {
-                    if let (Some(agent), true) = (&self.agent, self.member.is_some()) {
-                        let next = agent.interval() + 1;
-                        if next > self.server_interval_seen
-                            && next <= self.expected_interval
-                            && !self.pending.contains_key(&next)
-                            && !self.retries.contains_key(&Retrying::Nack(next))
-                        {
-                            self.arm(ctx, Retrying::Nack(next), ctx.now());
-                        }
-                    }
-                }
-                self.delay_seen_prev = self.delay_seen;
-                self.delay_seen = 0;
-                if !self.shared.is_shutdown() {
-                    self.next_boundary += self.shared.knobs().rekey_period;
-                    self.expected_interval += 1;
-                    let deadline = self.next_boundary + self.adaptive_grace();
-                    ctx.send_after(
-                        ctx.self_id(),
-                        deadline.saturating_sub(ctx.now()).max(1),
-                        RtMsg::IntervalCheck { gen },
-                    );
-                }
-            }
-            RtMsg::RetryTick { gen } => {
-                if gen != self.retry_gen {
-                    return;
-                }
-                self.fire_due_retries(ctx);
-                self.schedule_retry_tick(ctx);
-            }
-            RtMsg::HeartbeatTick { gen } => self.heartbeat(ctx, gen),
-            RtMsg::Ping { token } => {
-                // Answered whenever the process is up (even before our own
-                // JoinAccepted lands — an established member may learn of
-                // us via NewMember and ping first on a faster path).
-                // Departed and crashed nodes absorb pings, which is what
-                // the detector keys on.
-                ctx.send(from, RtMsg::Pong { token });
-            }
-            RtMsg::Pong { token } => {
-                let Some(id) = self.outstanding.remove(&token) else {
-                    return;
-                };
-                // Probation: an evicted suspect that answers is
-                // reinstated — unless the server already departed it.
-                if let Some(record) = self.suspect_records.remove(&id) {
-                    if !self.departed_seen.contains(&id) {
-                        if let Some(table) = &mut self.table {
-                            self.suspected.remove(&id);
-                            table.insert(record);
-                            self.stats.rehabilitations += 1;
-                        }
-                    }
-                }
-            }
-            RtMsg::ServerPong {
-                epoch,
-                seq,
-                interval,
-            } => {
-                self.note_epoch(ctx, epoch);
-                if epoch != self.epoch {
-                    return;
-                }
-                self.server_interval_seen = self.server_interval_seen.max(interval);
-                if seq > self.applied_seq && self.member.is_some() {
-                    // A membership broadcast never reached us (e.g. our
-                    // own outage window). Give in-flight copies the grace
-                    // period, then snapshot.
-                    self.arm(
-                        ctx,
-                        Retrying::Resync,
-                        ctx.now() + self.shared.knobs().nack_grace,
-                    );
-                }
-                let grace = self.adaptive_grace();
-                self.scan_missing(ctx, grace);
-            }
-            RtMsg::NotMember { id } if self.member.as_ref().is_some_and(|m| m.id == id) => {
-                // Wrongfully departed (e.g. behind a healed partition):
-                // start over from scratch.
-                self.stats.rejoins += 1;
-                self.reset_to_unjoined();
-                self.join_requested = true;
-                ctx.send(SERVER, RtMsg::JoinRequest);
-                self.arm(
-                    ctx,
-                    Retrying::Join,
-                    ctx.now() + self.shared.knobs().retry_base,
-                );
-            }
-            RtMsg::Resync {
-                member,
-                table,
-                welcome,
-                epoch,
-                seq,
-                next_interval_at,
-            } => {
-                if epoch < self.epoch || self.departed {
-                    return;
-                }
-                self.stats.resyncs += 1;
-                self.epoch = epoch;
-                self.member = Some(member);
-                self.table = Some(*table);
-                self.applied_seq = seq;
-                self.update_buf.retain(|&s, _| s > seq);
-                self.sync_stale = false;
-                let interval = welcome.interval;
-                self.agent = Some(UserAgent::from_welcome(welcome));
-                self.server_interval_seen = self.server_interval_seen.max(interval);
-                self.pending.retain(|&i, _| i > interval);
-                // The snapshot table is authoritative; local suspicion
-                // state against it is stale.
-                self.suspected.clear();
-                self.suspect_records.clear();
-                self.outstanding.clear();
-                self.retries.remove(&Retrying::Resync);
-                self.retries.remove(&Retrying::Join);
-                self.retries
-                    .retain(|k, _| !matches!(k, Retrying::Nack(i) if *i <= interval));
-                self.drain_updates(ctx);
-                self.drain_payloads(ctx);
-                self.arm_check(ctx, next_interval_at);
-                self.start_heartbeat(ctx);
-            }
-            RtMsg::Restart => {
-                // Our outage window ended: every timer chain died with the
-                // suppressed deliveries, and any pong that was in flight
-                // is gone — forget outstanding probes so we do not evict
-                // healthy neighbors for our own downtime.
-                self.outstanding.clear();
-                self.schedule_retry_tick(ctx);
-                if self.leave_pending {
-                    self.arm(ctx, Retrying::Leave, ctx.now());
-                } else if self.member.is_some() {
-                    self.arm(ctx, Retrying::Resync, ctx.now());
-                    self.heartbeat_running = false;
-                    self.start_heartbeat(ctx);
-                } else if self.join_requested {
-                    self.arm(ctx, Retrying::Join, ctx.now());
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-impl<S: SharedHandle> RtMember<S> {
-    /// Observes a server epoch: any bump invalidates our sequence state
-    /// and forces a snapshot resync (a restarted server rolled back to
-    /// its last checkpoint, so no incremental path is trustworthy).
-    fn note_epoch(&mut self, ctx: &mut Ctx<'_, RtMsg>, epoch: u64) {
-        if epoch > self.epoch {
-            self.epoch = epoch;
-            self.update_buf.clear();
-            self.sync_stale = true;
-            if self.member.is_some() {
-                self.arm(ctx, Retrying::Resync, ctx.now());
-            }
-        }
-    }
-
-    /// Buffers a membership mutation and applies every consecutive one.
-    fn on_sequenced(&mut self, ctx: &mut Ctx<'_, RtMsg>, seq: u64, update: SeqUpdate) {
-        if seq <= self.applied_seq {
-            return;
-        }
-        self.update_buf.insert(seq, update);
-        self.drain_updates(ctx);
-    }
-
-    fn drain_updates(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        while let Some(update) = self.update_buf.remove(&(self.applied_seq + 1)) {
-            self.applied_seq += 1;
-            self.apply_update(update);
-        }
-        if !self.update_buf.is_empty() {
-            // A gap: give the in-flight broadcast the grace period, then
-            // fetch a snapshot. (If it lands in time, the armed resync
-            // dissolves at fire time — see `fire_retry`.)
-            self.arm(
-                ctx,
-                Retrying::Resync,
-                ctx.now() + self.shared.knobs().nack_grace,
-            );
-        }
-    }
-
-    fn apply_update(&mut self, update: SeqUpdate) {
-        match update {
-            SeqUpdate::Insert { record, rtt } => {
-                self.suspected.remove(&record.id);
-                self.suspect_records.remove(&record.id);
-                self.departed_seen.remove(&record.id);
-                let own = self.member.as_ref().map(|m| &m.id);
-                if let Some(table) = &mut self.table {
-                    if own != Some(&record.id) {
-                        table.insert(NeighborRecord {
-                            member: record,
-                            rtt,
-                        });
-                    }
-                }
-            }
-            SeqUpdate::Remove {
-                departed,
-                replacements,
-            } => {
-                self.suspected.remove(&departed);
-                self.suspect_records.remove(&departed);
-                self.departed_seen.insert(departed.clone());
-                self.outstanding.retain(|_, id| *id != departed);
-                let own = self.member.as_ref().map(|m| m.id.clone());
-                if let Some(table) = &mut self.table {
-                    table.remove(&departed);
-                    for (m, rtt) in replacements {
-                        if Some(&m.id) != own.as_ref()
-                            && m.id != departed
-                            && !self.suspected.contains(&m.id)
-                        {
-                            table.insert(NeighborRecord { member: m, rtt });
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Applies buffered rekey payloads strictly in interval order,
-    /// starting at `agent.interval + 1`; prunes anything at or below the
-    /// agent, plus any NACK retry the application satisfied.
-    fn drain_payloads(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        let now = ctx.now();
-        let (Some(agent), Some(member)) = (self.agent.as_mut(), self.member.as_ref()) else {
-            return;
-        };
-        loop {
-            while let Some((&first, _)) = self.pending.first_key_value() {
-                if first <= agent.interval() {
-                    self.pending.remove(&first);
-                } else {
-                    break;
-                }
-            }
-            let next = agent.interval() + 1;
-            let (sent_at, span) = match self.pending.remove(&next) {
-                None => break,
-                Some(PendingPayload::Mesh(message)) => {
-                    let related: Vec<usize> = message.index.indices(member.id.digits()).collect();
-                    agent.handle_rekey(next, related.iter().map(|&e| &message.encryptions[e]));
-                    (message.sent_at, "apply")
-                }
-                Some(PendingPayload::Unicast {
-                    encryptions,
-                    sent_at,
-                }) => {
-                    agent.handle_rekey(next, encryptions.iter());
-                    (sent_at, "recovery")
-                }
-            };
-            self.stats.intervals_applied += 1;
-            let delay = now.saturating_sub(sent_at);
-            self.stats.apply_delay_total += delay;
-            self.shared.record_apply(span, sent_at, now, next);
-        }
-        let applied = agent.interval();
-        self.retries
-            .retain(|k, _| !matches!(k, Retrying::Nack(i) if *i <= applied));
-    }
-
-    /// Arms a NACK for every interval the evidence says exists but we
-    /// neither hold nor have buffered. During shutdown the NACK goes out
-    /// immediately (timers no longer fire), deduplicated per interval.
-    fn scan_missing(&mut self, ctx: &mut Ctx<'_, RtMsg>, grace: SimTime) {
-        let Some(agent) = &self.agent else { return };
-        let start = agent.interval() + 1;
-        let end = self.server_interval_seen;
-        if start > end {
-            return;
-        }
-        let due = ctx.now() + grace;
-        for i in start..=end {
-            if self.pending.contains_key(&i) {
-                continue;
-            }
-            if !self.shared.is_shutdown() && self.retries.contains_key(&Retrying::Nack(i)) {
-                continue;
-            }
-            self.arm(ctx, Retrying::Nack(i), due);
-        }
-    }
-
-    /// Registers a retry entry (first fire at `due`) and makes sure a
-    /// retry timer is running. During shutdown the action fires inline
-    /// instead — the event queue is draining and timers are dead.
-    fn arm(&mut self, ctx: &mut Ctx<'_, RtMsg>, kind: Retrying, due: SimTime) {
-        if self.shared.is_shutdown() {
-            self.fire_shutdown(ctx, kind);
-            return;
-        }
-        self.retries
-            .entry(kind)
-            .or_insert(RetryState { attempts: 0, due });
-        self.schedule_retry_tick(ctx);
-    }
-
-    /// The shutdown form of a retry: send once, immediately, deduplicated.
-    fn fire_shutdown(&mut self, ctx: &mut Ctx<'_, RtMsg>, kind: Retrying) {
-        match kind {
-            Retrying::Nack(i) => {
-                if self.shutdown_nacked.insert(i) {
-                    self.stats.nacks_sent += 1;
-                    ctx.send(SERVER, RtMsg::Nack { interval: i });
-                }
-            }
-            Retrying::Resync => {
-                if !self.shutdown_resynced {
-                    if let Some(member) = &self.member {
-                        self.shutdown_resynced = true;
-                        let id = member.id.clone();
-                        ctx.send(SERVER, RtMsg::ResyncRequest { id });
-                    }
-                }
-            }
-            Retrying::Join => ctx.send(SERVER, RtMsg::JoinRequest),
-            Retrying::Leave => ctx.send(SERVER, RtMsg::LeaveRequest),
-        }
-    }
-
-    /// (Re)schedules the single retry timer at the earliest due time.
-    fn schedule_retry_tick(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if self.shared.is_shutdown() {
-            return;
-        }
-        let Some(min_due) = self.retries.values().map(|st| st.due).min() else {
-            return;
-        };
-        self.retry_gen += 1;
-        ctx.send_after(
-            ctx.self_id(),
-            min_due.saturating_sub(ctx.now()).max(1),
-            RtMsg::RetryTick {
-                gen: self.retry_gen,
-            },
-        );
-    }
-
-    fn fire_due_retries(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        let now = ctx.now();
-        let due: Vec<Retrying> = self
-            .retries
-            .iter()
-            .filter(|(_, st)| st.due <= now)
-            .map(|(k, _)| *k)
-            .collect();
-        for kind in due {
-            self.fire_retry(ctx, kind);
-        }
-    }
-
-    fn fire_retry(&mut self, ctx: &mut Ctx<'_, RtMsg>, kind: Retrying) {
-        let now = ctx.now();
-        // Entries whose goal was met since arming dissolve silently.
-        let satisfied = match kind {
-            Retrying::Join => self.member.is_some(),
-            Retrying::Leave => !self.leave_pending,
-            Retrying::Resync => {
-                self.member.is_none()
-                    || (!self.sync_stale
-                        && self.update_buf.is_empty()
-                        && self
-                            .agent
-                            .as_ref()
-                            .is_some_and(|a| a.interval() >= self.server_interval_seen))
-            }
-            Retrying::Nack(i) => {
-                self.pending.contains_key(&i)
-                    || self.agent.as_ref().is_none_or(|a| a.interval() >= i)
-            }
-        };
-        if satisfied {
-            self.retries.remove(&kind);
-            return;
-        }
-        let Some(&st) = self.retries.get(&kind) else {
-            return;
-        };
-        // A NACK that exhausted its attempts escalates to a snapshot:
-        // the server-assisted resync replaces the whole retry lineage.
-        if matches!(kind, Retrying::Nack(_)) && st.attempts >= self.shared.knobs().retry_cap {
-            self.retries.remove(&kind);
-            self.arm(ctx, Retrying::Resync, now);
-            return;
-        }
-        let attempts = (st.attempts + 1).min(self.shared.knobs().retry_cap);
-        let due = now + self.shared.knobs().backoff(attempts);
-        self.retries.insert(kind, RetryState { attempts, due });
-        self.stats.max_retry_attempts = self.stats.max_retry_attempts.max(attempts);
-        if st.attempts > 0 || matches!(kind, Retrying::Join | Retrying::Leave) {
-            // Join/leave send inline when first requested, so every fire
-            // of those re-transmits; a NACK's or resync's first fire is
-            // its scheduled first send, not a retransmission.
-            self.stats.retransmissions += 1;
-        }
-        match kind {
-            Retrying::Join => ctx.send(SERVER, RtMsg::JoinRequest),
-            Retrying::Leave => ctx.send(SERVER, RtMsg::LeaveRequest),
-            Retrying::Resync => {
-                let id = self.member.as_ref().expect("checked above").id.clone();
-                ctx.send(SERVER, RtMsg::ResyncRequest { id });
-            }
-            Retrying::Nack(i) => {
-                self.stats.nacks_sent += 1;
-                ctx.send(SERVER, RtMsg::Nack { interval: i });
-            }
-        }
-    }
-
-    fn start_heartbeat(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if self.heartbeat_running || self.shared.is_shutdown() {
-            return;
-        }
-        self.heartbeat_running = true;
-        self.heartbeat_gen += 1;
-        // Stagger first beats across the membership so a join burst does
-        // not synchronize every ping burst.
-        let mut rng = node_rng(self.shared.knobs().seed, ctx.self_id());
-        let jitter = rng.gen_range(1..=self.shared.knobs().heartbeat_period.max(1));
-        ctx.send_after(
-            ctx.self_id(),
-            jitter,
-            RtMsg::HeartbeatTick {
-                gen: self.heartbeat_gen,
-            },
-        );
-    }
-
-    fn heartbeat(&mut self, ctx: &mut Ctx<'_, RtMsg>, gen: u64) {
-        if gen != self.heartbeat_gen {
-            return;
-        }
-        if self.table.is_none() {
-            self.heartbeat_running = false;
-            return;
-        }
-        // Evict neighbors whose previous ping went unanswered; they go on
-        // probation and the server is notified (and re-notified every
-        // beat until its repair broadcast lands).
-        let timed_out: BTreeSet<UserId> = std::mem::take(&mut self.outstanding)
-            .into_values()
-            .collect();
-        let mut evicted: Vec<NeighborRecord> = Vec::new();
-        if let Some(table) = &mut self.table {
-            if !timed_out.is_empty() {
-                evicted = table
-                    .iter_all()
-                    .filter(|r| timed_out.contains(&r.member.id))
-                    .cloned()
-                    .collect();
-                for _ in table.evict_where(|r| timed_out.contains(&r.member.id)) {}
-            }
-        }
-        for record in evicted {
-            self.stats.evictions += 1;
-            self.suspected.insert(record.member.id.clone());
-            self.suspect_records
-                .insert(record.member.id.clone(), record);
-        }
-        for id in self.suspect_records.keys() {
-            ctx.send(SERVER, RtMsg::FailureNotice { failed: id.clone() });
-        }
-        if self.shared.is_shutdown() {
-            self.heartbeat_running = false;
-            return;
-        }
-        // Ping every stored neighbor plus every probation suspect.
-        let mut targets: Vec<(HostId, UserId)> = Vec::new();
-        if let Some(table) = &self.table {
-            for record in table.iter_all() {
-                targets.push((record.member.host, record.member.id.clone()));
-            }
-        }
-        for record in self.suspect_records.values() {
-            targets.push((record.member.host, record.member.id.clone()));
-        }
-        for (host, id) in targets {
-            let token = self.next_token;
-            self.next_token += 1;
-            self.outstanding.insert(token, id);
-            self.stats.pings_sent += 1;
-            ctx.send(node_of_host(host), RtMsg::Ping { token });
-        }
-        // Probe the server: its pong is our NACK evidence and our
-        // membership certificate; a NotMember reply triggers a rejoin.
-        if let Some(member) = &self.member {
-            ctx.send(
-                SERVER,
-                RtMsg::ServerPing {
-                    id: member.id.clone(),
-                },
-            );
-        }
-        ctx.send_after(
-            ctx.self_id(),
-            self.shared.knobs().heartbeat_period,
-            RtMsg::HeartbeatTick { gen },
-        );
-    }
-
-    /// (Re)anchors the NACK check timer at `next_interval_at` plus the
-    /// adaptive grace. Each firing then re-anchors at the next expected
-    /// boundary, so the offset tracks the observed pipeline delay instead
-    /// of staying at the configured worst case.
-    fn arm_check(&mut self, ctx: &mut Ctx<'_, RtMsg>, next_interval_at: SimTime) {
-        if self.shared.is_shutdown() {
-            return;
-        }
-        self.check_gen += 1;
-        self.next_boundary = next_interval_at;
-        self.expected_interval = self
-            .agent
-            .as_ref()
-            .map_or(self.server_interval_seen, |a| a.interval())
-            + 1;
-        let deadline = next_interval_at + self.adaptive_grace();
-        ctx.send_after(
-            ctx.self_id(),
-            deadline.saturating_sub(ctx.now()).max(1),
-            RtMsg::IntervalCheck {
-                gen: self.check_gen,
-            },
-        );
-    }
-
-    /// Clears every trace of membership so the node can rejoin from
-    /// scratch (after the server disowned it).
-    fn reset_to_unjoined(&mut self) {
-        self.member = None;
-        self.table = None;
-        self.agent = None;
-        self.applied_seq = 0;
-        self.update_buf.clear();
-        self.sync_stale = false;
-        self.join_requested = false;
-        self.pending.clear();
-        self.server_interval_seen = 0;
-        self.last_forwarded = 0;
-        self.suspected.clear();
-        self.suspect_records.clear();
-        self.departed_seen.clear();
-        self.outstanding.clear();
-        self.heartbeat_gen += 1;
-        self.heartbeat_running = false;
-        self.check_gen += 1;
-        self.retries.clear();
-        self.retry_gen += 1;
-    }
-
-    /// Drops the local protocol state on a voluntary leave (the leave
-    /// retry entry itself is armed by the caller).
-    fn retire(&mut self) {
-        self.table = None;
-        self.agent = None;
-        self.pending.clear();
-        self.update_buf.clear();
-        self.suspected.clear();
-        self.suspect_records.clear();
-        self.outstanding.clear();
-        self.heartbeat_gen += 1;
-        self.heartbeat_running = false;
-        self.check_gen += 1;
-        self.retries.clear();
-        self.retry_gen += 1;
+    fn timer(&mut self, delay: SimTime, msg: RtMsg) {
+        let me = Ctx::self_id(self);
+        Ctx::send_after(self, me, delay, msg);
     }
 }
 
@@ -2033,7 +415,7 @@ impl<S: SharedHandle> RtMember<S> {
 pub struct RtActor<NET>(ActorKind<NET>);
 
 enum ActorKind<NET> {
-    Server(Box<RtServer<NET>>),
+    Server(Box<RtServer<NET, Rc<Shared>>>),
     Member(Box<RtMember<Rc<Shared>>>),
 }
 
@@ -2204,6 +586,68 @@ impl MetricsSnapshot {
 }
 
 type DelayFn = Box<dyn FnMut(NodeId, NodeId) -> SimTime>;
+
+/// One churn-and-advance surface over every execution engine of the
+/// sans-I/O protocol core ([`runtime::core`](self)).
+///
+/// The core's state machines know nothing about clocks or wires; a
+/// *driver* binds their `(destination, payload, deadline)` outputs to an
+/// execution substrate. Three drivers exist:
+///
+/// * [`GroupRuntime`] — one virtual clock, one global event queue
+///   (deterministic, fault-injectable);
+/// * [`ShardedGroupRuntime`] — windowed shards on worker threads, still
+///   byte-deterministic (the million-member engine);
+/// * [`socket::UdpGroupDriver`] — real loopback UDP datagrams and the
+///   wall clock (not reproducible, but *equivalent*: the
+///   `socket_equivalence` integration test pins identical final key
+///   trees for identical churn).
+///
+/// The trait deliberately speaks in *rekey intervals*, not clock units,
+/// because interval numbering is the one notion of progress all three
+/// substrates share. Time-based APIs (traces at microsecond offsets,
+/// fault plans) remain on the concrete types.
+pub trait Driver {
+    /// The authoritative server state machine (and through it the
+    /// membership oracle and key tree).
+    fn server_fsm(&self) -> &GroupServer;
+
+    /// Handles dealt so far, departed members included; handles are
+    /// `0..member_count()`.
+    fn member_count(&self) -> usize;
+
+    /// Member `handle`'s key agent, where the driver can show it:
+    /// `None` before admission, after departure — and, on the socket
+    /// driver, until [`Driver::finish_run`] collects the members from
+    /// their worker threads.
+    fn agent_of(&self, handle: usize) -> Option<&UserAgent>;
+
+    /// Requests a voluntary leave of member `handle`, effective as the
+    /// driver processes it.
+    fn leave(&mut self, handle: usize);
+
+    /// Advances the session until the server has completed rekey
+    /// interval `target` and every live member has applied it. Returns
+    /// `false` if the driver gave up (timeout on the socket driver, an
+    /// idle simulation otherwise).
+    fn run_to_interval(&mut self, target: u64) -> bool;
+
+    /// Shuts the session down: timers stop, queues drain, and the
+    /// server's flush rounds fold any pending membership work into a
+    /// final interval. Returns `false` if the flush failed to converge.
+    fn finish_run(&mut self) -> bool;
+
+    /// Verifies K-consistency of every live member's local table against
+    /// the authoritative membership (call after [`Driver::finish_run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    fn verify_consistency(&self) -> Result<(), ConsistencyViolation>;
+
+    /// Aggregated session metrics.
+    fn metrics(&self) -> MetricsSnapshot;
+}
 
 /// The event-driven group runtime: see the module docs.
 ///
@@ -2425,14 +869,34 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
         self.sim.now()
     }
 
+    /// Advances the simulated clock to `until` without shutting down
+    /// (finer-grained than [`GroupRuntime::run_trace`] /
+    /// [`GroupRuntime::finish`] for callers that steer by state, not
+    /// time).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(until);
+    }
+
+    /// Schedules member `handle`'s voluntary `LeaveRequest` at `at`
+    /// (clamped to the present).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle that never joined.
+    pub fn leave_at(&mut self, at: SimTime, handle: usize) {
+        let node = self.member_node(handle);
+        let at = at.max(self.sim.now());
+        self.sim.inject_at(at, node, node, RtMsg::LeaveRequest);
+    }
+
     fn member_node(&self, handle: usize) -> NodeId {
         assert!(handle < self.joins, "member handle {handle} never joined");
         NodeId(handle + 1)
     }
 
-    fn server_ref(&self) -> &RtServer<NET> {
+    fn server_ref(&self) -> &RtServer<NET, Rc<Shared>> {
         match &self.sim.nodes()[SERVER.0].0 {
-            ActorKind::Server(s) => s,
+            ActorKind::Server(s) => s.as_ref(),
             ActorKind::Member(_) => unreachable!("node 0 is the server"),
         }
     }
@@ -2601,6 +1065,61 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             snapshot.rehabilitations += stats.rehabilitations;
         }
         snapshot
+    }
+}
+
+impl<NET: Network + 'static> Driver for GroupRuntime<NET> {
+    fn server_fsm(&self) -> &GroupServer {
+        self.server()
+    }
+
+    fn member_count(&self) -> usize {
+        self.joins
+    }
+
+    fn agent_of(&self, handle: usize) -> Option<&UserAgent> {
+        self.agent(handle)
+    }
+
+    fn leave(&mut self, handle: usize) {
+        let now = self.sim.now();
+        self.leave_at(now, handle);
+    }
+
+    fn run_to_interval(&mut self, target: u64) -> bool {
+        let period = self.shared.knobs().rekey_period.max(4);
+        for _ in 0..100_000 {
+            let reached = self.server().interval() >= target
+                && (0..self.joins).all(|handle| {
+                    let member = self.member_ref(handle);
+                    member.departed
+                        || !self.is_member_alive(handle)
+                        || member
+                            .agent
+                            .as_ref()
+                            .is_some_and(|a| a.interval() >= target)
+                });
+            if reached {
+                return true;
+            }
+            let until = self.sim.now() + period / 4;
+            self.sim.run_until(until);
+        }
+        false
+    }
+
+    fn finish_run(&mut self) -> bool {
+        let now = self.sim.now();
+        self.finish(now);
+        true
+    }
+
+    fn verify_consistency(&self) -> Result<(), ConsistencyViolation> {
+        self.check_consistency()
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.snapshot()
     }
 }
 

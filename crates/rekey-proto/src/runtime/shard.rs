@@ -91,6 +91,36 @@ struct ShardMetrics {
     recovery_size: LocalHistogram,
 }
 
+impl ShardCore {
+    /// Builds the shared member-side core. Also used by the real-socket
+    /// driver ([`super::socket`]), whose worker threads need the same
+    /// `Send + Sync` handle the shards use.
+    pub(crate) fn new(knobs: Knobs) -> Arc<ShardCore> {
+        Arc::new(ShardCore {
+            knobs,
+            shutdown: AtomicBool::new(false),
+            metrics: Mutex::new(ShardMetrics::default()),
+        })
+    }
+
+    /// Raises the shutdown flag: state machines stop re-arming timers.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Snapshots the four member-side histograms in declaration order
+    /// (apply delay, split payload, forward fan-out, recovery size).
+    pub(crate) fn member_histograms(&self) -> [rekey_metrics::HistogramSnapshot; 4] {
+        let metrics = self.metrics.lock().unwrap();
+        [
+            metrics.apply_delay_us.snapshot(),
+            metrics.split_payload.snapshot(),
+            metrics.forward_fanout.snapshot(),
+            metrics.recovery_size.snapshot(),
+        ]
+    }
+}
+
 impl SharedHandle for Arc<ShardCore> {
     fn knobs(&self) -> &Knobs {
         &self.knobs
@@ -127,6 +157,14 @@ impl SharedHandle for Arc<ShardCore> {
 pub(crate) struct CoordHandle {
     core: Arc<ShardCore>,
     registry: Registry,
+}
+
+impl CoordHandle {
+    /// Pairs the shared core with a coordinator-local span registry.
+    /// Also the server handle of the real-socket driver.
+    pub(crate) fn new(core: Arc<ShardCore>, registry: Registry) -> CoordHandle {
+        CoordHandle { core, registry }
+    }
 }
 
 impl SharedHandle for CoordHandle {
@@ -785,6 +823,60 @@ impl<NET: Network + Sync> ShardedGroupRuntime<NET> {
             snapshot.rehabilitations += stats.rehabilitations;
         }
         snapshot
+    }
+}
+
+impl<NET: Network + Sync> Driver for ShardedGroupRuntime<NET> {
+    fn server_fsm(&self) -> &GroupServer {
+        self.server()
+    }
+
+    fn member_count(&self) -> usize {
+        self.placement.len()
+    }
+
+    fn agent_of(&self, handle: usize) -> Option<&UserAgent> {
+        self.agent(handle)
+    }
+
+    fn leave(&mut self, handle: usize) {
+        let at = self.now;
+        self.leave_at(at, handle);
+    }
+
+    fn run_to_interval(&mut self, target: u64) -> bool {
+        let period = self.core.knobs.rekey_period.max(4);
+        for _ in 0..100_000 {
+            let reached = self.server.server.interval() >= target
+                && self.placement.iter().all(|&(shard_index, idx)| {
+                    let member = &self.shards[shard_index as usize].members[idx as usize];
+                    member.departed
+                        || member
+                            .agent
+                            .as_ref()
+                            .is_some_and(|a| a.interval() >= target)
+                });
+            if reached {
+                return true;
+            }
+            let until = self.now + period / 4;
+            self.run_until(until);
+        }
+        false
+    }
+
+    fn finish_run(&mut self) -> bool {
+        let now = self.now;
+        self.finish(now);
+        true
+    }
+
+    fn verify_consistency(&self) -> Result<(), ConsistencyViolation> {
+        self.check_consistency()
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.snapshot()
     }
 }
 

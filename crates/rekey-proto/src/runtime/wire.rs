@@ -1,0 +1,605 @@
+//! Versioned wire codec for [`RtMsg`]: what the socket driver puts in
+//! UDP datagrams.
+//!
+//! Built on the primitives of [`rekey_crypto::wire`] (little-endian,
+//! length-prefixed, bounds-checked [`Reader`]). Every frame is
+//!
+//! ```text
+//! Frame   := version:u8 (= WIRE_VERSION), tag:u8, body
+//! UserId  := IdPrefix                  (full-depth prefix)
+//! Member  := id:UserId, host:u64, joined_at:u64
+//! Record  := Member, rtt:u64
+//! Table   := owner:UserId, k:u16, policy:u8, count:u32, Record*
+//! Welcome := id:UserId, interval:u64, count:u32, Key*
+//! Prefix  := len:u8, digits:[u16; len]
+//! IvalMsg := interval:u64, epoch:u64, sent_at:u64, count:u32, Encryption*
+//! ```
+//!
+//! Two deliberate asymmetries keep frames small and the codec total:
+//!
+//! * an [`IntervalMessage`]'s split index is **not** serialized — the
+//!   decoder rebuilds it with [`SplitIndex::build`] over the decoded
+//!   encryptions, which addresses the same related sets (the index is a
+//!   pure function of the encryption IDs);
+//! * a [`NeighborTable`] is serialized as its record list and rebuilt by
+//!   re-insertion, which reproduces the RTT-sorted entries exactly.
+//!
+//! Decoding is a total function over arbitrary bytes: truncated, corrupt,
+//! or version-skewed frames return a [`WireError`] — never a panic. The
+//! round-trip property (`decode(encode(m)) == m` up to `Arc` identity)
+//! is pinned by a proptest in `tests/rtmsg_wire.rs`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rekey_crypto::wire::{
+    decode_encryption_from, decode_key_from, decode_prefix, encode_encryption, encode_key,
+    encode_prefix, DecodeError, Reader,
+};
+use rekey_id::{IdSpec, UserId};
+use rekey_net::HostId;
+use rekey_table::{Member, NeighborRecord, NeighborTable, PrimaryPolicy};
+
+use crate::transport::{PrefixBuf, SplitIndex, MAX_DEPTH};
+use crate::WelcomePacket;
+
+use super::core::{IntervalMessage, RtMsg};
+
+/// The codec version stamped on every frame. Decoders reject frames from
+/// any other version outright — rolling upgrades run one version per
+/// deployment, matching the single-server protocol.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Errors produced while decoding an [`RtMsg`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame's leading version byte is not [`WIRE_VERSION`].
+    Version(u8),
+    /// The message tag byte does not name any [`RtMsg`] variant.
+    UnknownTag(u8),
+    /// A field held a value the protocol cannot represent (the `&str`
+    /// names the field).
+    BadValue(&'static str),
+    /// A nested structure failed to decode.
+    Bytes(DecodeError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Version(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadValue(what) => write!(f, "field out of range: {what}"),
+            WireError::Bytes(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> WireError {
+        WireError::Bytes(e)
+    }
+}
+
+const TAG_INTERVAL_TICK: u8 = 0x01;
+const TAG_FLUSH: u8 = 0x02;
+const TAG_RESTART: u8 = 0x03;
+const TAG_JOIN_REQUEST: u8 = 0x04;
+const TAG_JOIN_ACCEPTED: u8 = 0x05;
+const TAG_WELCOME: u8 = 0x06;
+const TAG_NEW_MEMBER: u8 = 0x07;
+const TAG_LEAVE_REQUEST: u8 = 0x08;
+const TAG_LEAVE_ACK: u8 = 0x09;
+const TAG_MEMBER_LEFT: u8 = 0x0A;
+const TAG_FAILURE_NOTICE: u8 = 0x0B;
+const TAG_FORWARD: u8 = 0x0C;
+const TAG_NACK: u8 = 0x0D;
+const TAG_RECOVER: u8 = 0x0E;
+const TAG_PING: u8 = 0x0F;
+const TAG_PONG: u8 = 0x10;
+const TAG_SERVER_PING: u8 = 0x11;
+const TAG_SERVER_PONG: u8 = 0x12;
+const TAG_NOT_MEMBER: u8 = 0x13;
+const TAG_RESYNC_REQUEST: u8 = 0x14;
+const TAG_RESYNC: u8 = 0x15;
+const TAG_HEARTBEAT_TICK: u8 = 0x16;
+const TAG_INTERVAL_CHECK: u8 = 0x17;
+const TAG_RETRY_TICK: u8 = 0x18;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_user_id(out: &mut Vec<u8>, id: &UserId) {
+    encode_prefix(out, &id.as_prefix());
+}
+
+fn get_user_id(r: &mut Reader<'_>, spec: &IdSpec) -> Result<UserId, WireError> {
+    let p = decode_prefix(r, spec)?;
+    if p.len() != spec.depth() {
+        return Err(WireError::BadValue("user id depth"));
+    }
+    UserId::new(spec, p.digits().to_vec()).map_err(|_| WireError::BadValue("user id digits"))
+}
+
+fn put_member(out: &mut Vec<u8>, m: &Member) {
+    put_user_id(out, &m.id);
+    put_u64(out, m.host.0 as u64);
+    put_u64(out, m.joined_at);
+}
+
+fn get_member(r: &mut Reader<'_>, spec: &IdSpec) -> Result<Member, WireError> {
+    let id = get_user_id(r, spec)?;
+    let host = r.u64()?;
+    let joined_at = r.u64()?;
+    let host = usize::try_from(host).map_err(|_| WireError::BadValue("host id"))?;
+    Ok(Member {
+        id,
+        host: HostId(host),
+        joined_at,
+    })
+}
+
+fn put_record(out: &mut Vec<u8>, rec: &NeighborRecord) {
+    put_member(out, &rec.member);
+    put_u64(out, rec.rtt);
+}
+
+fn get_record(r: &mut Reader<'_>, spec: &IdSpec) -> Result<NeighborRecord, WireError> {
+    let member = get_member(r, spec)?;
+    let rtt = r.u64()?;
+    Ok(NeighborRecord { member, rtt })
+}
+
+fn put_table(out: &mut Vec<u8>, t: &NeighborTable) {
+    put_user_id(out, t.owner());
+    out.extend_from_slice(&(t.k() as u16).to_le_bytes());
+    out.push(match t.policy() {
+        PrimaryPolicy::SmallestRtt => 0,
+        PrimaryPolicy::EarliestJoinAtBottom => 1,
+    });
+    let records: Vec<&NeighborRecord> = t.iter_all().collect();
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for rec in records {
+        put_record(out, rec);
+    }
+}
+
+fn get_table(r: &mut Reader<'_>, spec: &IdSpec) -> Result<NeighborTable, WireError> {
+    let owner = get_user_id(r, spec)?;
+    let k = usize::from(r.u16()?);
+    let policy = match r.u8()? {
+        0 => PrimaryPolicy::SmallestRtt,
+        1 => PrimaryPolicy::EarliestJoinAtBottom,
+        _ => return Err(WireError::BadValue("primary policy")),
+    };
+    if k == 0 {
+        return Err(WireError::BadValue("table capacity"));
+    }
+    let count = r.u32()? as usize;
+    let mut table = NeighborTable::new(spec, owner, k, policy);
+    for _ in 0..count {
+        // Re-insertion reproduces the sender's table: `iter_all` yields
+        // entries in (row, digit, rtt) order and `insert` is stable on
+        // RTT ties, so order and primaries survive the round trip.
+        table.insert(get_record(r, spec)?);
+    }
+    Ok(table)
+}
+
+fn put_welcome(out: &mut Vec<u8>, w: &WelcomePacket) {
+    put_user_id(out, &w.id);
+    put_u64(out, w.interval);
+    out.extend_from_slice(&(w.keys.len() as u32).to_le_bytes());
+    for k in &w.keys {
+        encode_key(k, out);
+    }
+}
+
+fn get_welcome(r: &mut Reader<'_>, spec: &IdSpec) -> Result<WelcomePacket, WireError> {
+    let id = get_user_id(r, spec)?;
+    let interval = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut keys = Vec::with_capacity(count.min(1 << 12));
+    for _ in 0..count {
+        keys.push(decode_key_from(r, spec)?);
+    }
+    Ok(WelcomePacket { id, keys, interval })
+}
+
+fn put_prefix_buf(out: &mut Vec<u8>, p: &PrefixBuf) {
+    let digits = p.as_slice();
+    out.push(digits.len() as u8);
+    for &d in digits {
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+}
+
+fn get_prefix_buf(r: &mut Reader<'_>) -> Result<PrefixBuf, WireError> {
+    let len = usize::from(r.u8()?);
+    if len > MAX_DEPTH {
+        return Err(WireError::BadValue("prefix depth"));
+    }
+    let mut digits = [0u16; MAX_DEPTH];
+    for d in digits.iter_mut().take(len) {
+        *d = r.u16()?;
+    }
+    Ok(PrefixBuf::new(&digits[..len]))
+}
+
+fn put_interval_message(out: &mut Vec<u8>, m: &IntervalMessage) {
+    put_u64(out, m.interval);
+    put_u64(out, m.epoch);
+    put_u64(out, m.sent_at);
+    put_u64(out, m.seq);
+    out.extend_from_slice(&(m.encryptions.len() as u32).to_le_bytes());
+    for e in &m.encryptions {
+        encode_encryption(e, out);
+    }
+}
+
+fn get_interval_message(r: &mut Reader<'_>, spec: &IdSpec) -> Result<IntervalMessage, WireError> {
+    let interval = r.u64()?;
+    let epoch = r.u64()?;
+    let sent_at = r.u64()?;
+    let seq = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut encryptions = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        encryptions.push(decode_encryption_from(r, spec)?);
+    }
+    let index = SplitIndex::build(&encryptions);
+    Ok(IntervalMessage {
+        interval,
+        epoch,
+        sent_at,
+        seq,
+        encryptions,
+        index,
+    })
+}
+
+/// Appends one versioned [`RtMsg`] frame to `out`.
+///
+/// Every variant encodes — including the timer ticks that never cross a
+/// real wire — so drivers and tests can treat the codec as total.
+pub fn encode_msg(msg: &RtMsg, out: &mut Vec<u8>) {
+    out.push(WIRE_VERSION);
+    match msg {
+        RtMsg::IntervalTick { gen } => {
+            out.push(TAG_INTERVAL_TICK);
+            put_u64(out, *gen);
+        }
+        RtMsg::Flush => out.push(TAG_FLUSH),
+        RtMsg::Restart => out.push(TAG_RESTART),
+        RtMsg::JoinRequest => out.push(TAG_JOIN_REQUEST),
+        RtMsg::JoinAccepted {
+            member,
+            table,
+            epoch,
+            seq,
+        } => {
+            out.push(TAG_JOIN_ACCEPTED);
+            put_member(out, member);
+            put_table(out, table);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+        }
+        RtMsg::Welcome {
+            welcome,
+            epoch,
+            next_interval_at,
+        } => {
+            out.push(TAG_WELCOME);
+            put_welcome(out, welcome);
+            put_u64(out, *epoch);
+            put_u64(out, *next_interval_at);
+        }
+        RtMsg::NewMember {
+            record,
+            rtt,
+            epoch,
+            seq,
+        } => {
+            out.push(TAG_NEW_MEMBER);
+            put_member(out, record);
+            put_u64(out, *rtt);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+        }
+        RtMsg::LeaveRequest => out.push(TAG_LEAVE_REQUEST),
+        RtMsg::LeaveAck => out.push(TAG_LEAVE_ACK),
+        RtMsg::MemberLeft {
+            departed,
+            replacements,
+            epoch,
+            seq,
+        } => {
+            out.push(TAG_MEMBER_LEFT);
+            put_user_id(out, departed);
+            out.extend_from_slice(&(replacements.len() as u32).to_le_bytes());
+            for (m, rtt) in replacements {
+                put_member(out, m);
+                put_u64(out, *rtt);
+            }
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+        }
+        RtMsg::FailureNotice { failed } => {
+            out.push(TAG_FAILURE_NOTICE);
+            put_user_id(out, failed);
+        }
+        RtMsg::Forward {
+            level,
+            prefix,
+            message,
+        } => {
+            out.push(TAG_FORWARD);
+            out.push(*level as u8);
+            put_prefix_buf(out, prefix);
+            put_interval_message(out, message);
+        }
+        RtMsg::Nack { interval } => {
+            out.push(TAG_NACK);
+            put_u64(out, *interval);
+        }
+        RtMsg::Recover {
+            interval,
+            encryptions,
+            sent_at,
+            seq,
+        } => {
+            out.push(TAG_RECOVER);
+            put_u64(out, *interval);
+            put_u64(out, *sent_at);
+            put_u64(out, *seq);
+            out.extend_from_slice(&(encryptions.len() as u32).to_le_bytes());
+            for e in encryptions {
+                encode_encryption(e, out);
+            }
+        }
+        RtMsg::Ping { token } => {
+            out.push(TAG_PING);
+            put_u64(out, *token);
+        }
+        RtMsg::Pong { token } => {
+            out.push(TAG_PONG);
+            put_u64(out, *token);
+        }
+        RtMsg::ServerPing { id } => {
+            out.push(TAG_SERVER_PING);
+            put_user_id(out, id);
+        }
+        RtMsg::ServerPong {
+            epoch,
+            seq,
+            interval,
+        } => {
+            out.push(TAG_SERVER_PONG);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+            put_u64(out, *interval);
+        }
+        RtMsg::NotMember { id } => {
+            out.push(TAG_NOT_MEMBER);
+            put_user_id(out, id);
+        }
+        RtMsg::ResyncRequest { id } => {
+            out.push(TAG_RESYNC_REQUEST);
+            put_user_id(out, id);
+        }
+        RtMsg::Resync {
+            member,
+            table,
+            welcome,
+            epoch,
+            seq,
+            next_interval_at,
+        } => {
+            out.push(TAG_RESYNC);
+            put_member(out, member);
+            put_table(out, table);
+            put_welcome(out, welcome);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+            put_u64(out, *next_interval_at);
+        }
+        RtMsg::HeartbeatTick { gen } => {
+            out.push(TAG_HEARTBEAT_TICK);
+            put_u64(out, *gen);
+        }
+        RtMsg::IntervalCheck { gen } => {
+            out.push(TAG_INTERVAL_CHECK);
+            put_u64(out, *gen);
+        }
+        RtMsg::RetryTick { gen } => {
+            out.push(TAG_RETRY_TICK);
+            put_u64(out, *gen);
+        }
+    }
+}
+
+/// Decodes one [`RtMsg`] frame, requiring the whole input to be consumed.
+///
+/// # Errors
+///
+/// [`WireError`] on any malformed, truncated, version-skewed, or
+/// trailing-byte input; never panics.
+pub fn decode_msg(buf: &[u8], spec: &IdSpec) -> Result<RtMsg, WireError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Version(version));
+    }
+    let tag = r.u8()?;
+    let msg = match tag {
+        TAG_INTERVAL_TICK => RtMsg::IntervalTick { gen: r.u64()? },
+        TAG_FLUSH => RtMsg::Flush,
+        TAG_RESTART => RtMsg::Restart,
+        TAG_JOIN_REQUEST => RtMsg::JoinRequest,
+        TAG_JOIN_ACCEPTED => {
+            let member = get_member(&mut r, spec)?;
+            let table = get_table(&mut r, spec)?;
+            let epoch = r.u64()?;
+            let seq = r.u64()?;
+            RtMsg::JoinAccepted {
+                member,
+                table: Box::new(table),
+                epoch,
+                seq,
+            }
+        }
+        TAG_WELCOME => {
+            let welcome = get_welcome(&mut r, spec)?;
+            let epoch = r.u64()?;
+            let next_interval_at = r.u64()?;
+            RtMsg::Welcome {
+                welcome,
+                epoch,
+                next_interval_at,
+            }
+        }
+        TAG_NEW_MEMBER => {
+            let record = get_member(&mut r, spec)?;
+            let rtt = r.u64()?;
+            let epoch = r.u64()?;
+            let seq = r.u64()?;
+            RtMsg::NewMember {
+                record,
+                rtt,
+                epoch,
+                seq,
+            }
+        }
+        TAG_LEAVE_REQUEST => RtMsg::LeaveRequest,
+        TAG_LEAVE_ACK => RtMsg::LeaveAck,
+        TAG_MEMBER_LEFT => {
+            let departed = get_user_id(&mut r, spec)?;
+            let count = r.u32()? as usize;
+            let mut replacements = Vec::with_capacity(count.min(1 << 12));
+            for _ in 0..count {
+                let m = get_member(&mut r, spec)?;
+                let rtt = r.u64()?;
+                replacements.push((m, rtt));
+            }
+            let epoch = r.u64()?;
+            let seq = r.u64()?;
+            RtMsg::MemberLeft {
+                departed,
+                replacements,
+                epoch,
+                seq,
+            }
+        }
+        TAG_FAILURE_NOTICE => RtMsg::FailureNotice {
+            failed: get_user_id(&mut r, spec)?,
+        },
+        TAG_FORWARD => {
+            let level = usize::from(r.u8()?);
+            let prefix = get_prefix_buf(&mut r)?;
+            let message = get_interval_message(&mut r, spec)?;
+            RtMsg::Forward {
+                level,
+                prefix,
+                message: Arc::new(message),
+            }
+        }
+        TAG_NACK => RtMsg::Nack { interval: r.u64()? },
+        TAG_RECOVER => {
+            let interval = r.u64()?;
+            let sent_at = r.u64()?;
+            let seq = r.u64()?;
+            let count = r.u32()? as usize;
+            let mut encryptions = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                encryptions.push(decode_encryption_from(&mut r, spec)?);
+            }
+            RtMsg::Recover {
+                interval,
+                encryptions,
+                sent_at,
+                seq,
+            }
+        }
+        TAG_PING => RtMsg::Ping { token: r.u64()? },
+        TAG_PONG => RtMsg::Pong { token: r.u64()? },
+        TAG_SERVER_PING => RtMsg::ServerPing {
+            id: get_user_id(&mut r, spec)?,
+        },
+        TAG_SERVER_PONG => {
+            let epoch = r.u64()?;
+            let seq = r.u64()?;
+            let interval = r.u64()?;
+            RtMsg::ServerPong {
+                epoch,
+                seq,
+                interval,
+            }
+        }
+        TAG_NOT_MEMBER => RtMsg::NotMember {
+            id: get_user_id(&mut r, spec)?,
+        },
+        TAG_RESYNC_REQUEST => RtMsg::ResyncRequest {
+            id: get_user_id(&mut r, spec)?,
+        },
+        TAG_RESYNC => {
+            let member = get_member(&mut r, spec)?;
+            let table = get_table(&mut r, spec)?;
+            let welcome = get_welcome(&mut r, spec)?;
+            let epoch = r.u64()?;
+            let seq = r.u64()?;
+            let next_interval_at = r.u64()?;
+            RtMsg::Resync {
+                member,
+                table: Box::new(table),
+                welcome,
+                epoch,
+                seq,
+                next_interval_at,
+            }
+        }
+        TAG_HEARTBEAT_TICK => RtMsg::HeartbeatTick { gen: r.u64()? },
+        TAG_INTERVAL_CHECK => RtMsg::IntervalCheck { gen: r.u64()? },
+        TAG_RETRY_TICK => RtMsg::RetryTick { gen: r.u64()? },
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Encodes a `Forward` frame trimmed to the receiver's duty: only the
+/// encryptions related to `prefix` ride the wire (the paper's
+/// REKEY-MESSAGE-SPLIT), since every deeper forwarding duty addresses a
+/// subset of them.
+///
+/// The simulator shares the full message by `Arc` — free — but a real
+/// datagram pays per byte, and a full batch can exceed the 64 KiB UDP
+/// ceiling; the related subset stays small (ancestors plus the prefix's
+/// subtree).
+pub fn encode_forward_split(
+    level: usize,
+    prefix: &PrefixBuf,
+    message: &IntervalMessage,
+    out: &mut Vec<u8>,
+) {
+    let related: Vec<_> = message
+        .index
+        .indices(prefix.as_slice())
+        .map(|i| message.encryptions[i].clone())
+        .collect();
+    let trimmed = IntervalMessage {
+        interval: message.interval,
+        epoch: message.epoch,
+        sent_at: message.sent_at,
+        seq: message.seq,
+        index: SplitIndex::build(&related),
+        encryptions: related,
+    };
+    out.push(WIRE_VERSION);
+    out.push(TAG_FORWARD);
+    out.push(level as u8);
+    put_prefix_buf(out, prefix);
+    put_interval_message(out, &trimmed);
+}

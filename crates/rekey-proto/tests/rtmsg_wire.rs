@@ -1,0 +1,284 @@
+//! Property tests for the versioned `RtMsg` wire codec.
+//!
+//! Round trip: `encode(decode(encode(m))) == encode(m)` for messages over
+//! arbitrary (valid) protocol values — encoding is injective on every
+//! wire-visible field, so byte-stable re-encoding pins structural
+//! identity without requiring `PartialEq` on `RtMsg`. Robustness: the
+//! decoder is a total function — truncated frames, corrupt bytes, and
+//! version skew return errors, never panic.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_crypto::{Encryption, Key};
+use rekey_id::{IdPrefix, IdSpec, UserId};
+use rekey_net::HostId;
+use rekey_proto::runtime::wire::{decode_msg, encode_msg, WireError, WIRE_VERSION};
+use rekey_proto::runtime::{IntervalMessage, RtMsg};
+use rekey_proto::transport::PrefixBuf;
+use rekey_proto::{SplitIndex, WelcomePacket};
+use rekey_table::{Member, NeighborRecord, NeighborTable, PrimaryPolicy};
+
+const DEPTH: usize = 3;
+const BASE: u16 = 8;
+
+fn spec() -> IdSpec {
+    IdSpec::new(DEPTH, BASE).unwrap()
+}
+
+fn user_id(digits: &[u16]) -> UserId {
+    UserId::new(&spec(), digits.to_vec()).unwrap()
+}
+
+fn digit() -> impl Strategy<Value = u16> {
+    0..BASE
+}
+
+fn arb_user_id() -> impl Strategy<Value = UserId> {
+    vec(digit(), DEPTH).prop_map(|d| user_id(&d))
+}
+
+fn arb_member() -> impl Strategy<Value = Member> {
+    (arb_user_id(), 0usize..10_000, 0u64..1 << 40).prop_map(|(id, host, joined_at)| Member {
+        id,
+        host: HostId(host),
+        joined_at,
+    })
+}
+
+fn arb_table() -> impl Strategy<Value = Box<NeighborTable>> {
+    (
+        arb_user_id(),
+        1usize..5,
+        proptest::bool::weighted(0.5),
+        vec((arb_member(), 1u64..1 << 30), 0..12),
+    )
+        .prop_map(|(owner, k, bottom, records)| {
+            let policy = if bottom {
+                PrimaryPolicy::EarliestJoinAtBottom
+            } else {
+                PrimaryPolicy::SmallestRtt
+            };
+            let mut table = NeighborTable::new(&spec(), owner, k, policy);
+            for (member, rtt) in records {
+                table.insert(NeighborRecord { member, rtt });
+            }
+            Box::new(table)
+        })
+}
+
+fn key_for(digits: &[u16], seed: u64) -> Key {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Key::random(IdPrefix::new(&spec(), digits.to_vec()).unwrap(), &mut rng)
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    (vec(digit(), 0..=DEPTH), 0u64..1_000).prop_map(|(digits, seed)| key_for(&digits, seed))
+}
+
+fn arb_welcome() -> impl Strategy<Value = WelcomePacket> {
+    (arb_user_id(), vec(arb_key(), 0..6), 0u64..1 << 30)
+        .prop_map(|(id, keys, interval)| WelcomePacket { id, keys, interval })
+}
+
+fn arb_encryption() -> impl Strategy<Value = Encryption> {
+    (
+        vec(digit(), 0..=DEPTH),
+        vec(digit(), 0..=DEPTH),
+        0u64..1_000,
+    )
+        .prop_map(|(enc, tgt, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let enc_key = key_for(&enc, seed ^ 1);
+            let tgt_key = key_for(&tgt, seed ^ 2);
+            Encryption::seal(&enc_key, &tgt_key, &mut rng)
+        })
+}
+
+fn arb_interval_message() -> impl Strategy<Value = Arc<IntervalMessage>> {
+    (
+        1u64..1 << 30,
+        0u64..16,
+        0u64..1 << 40,
+        0u64..1 << 20,
+        vec(arb_encryption(), 0..10),
+    )
+        .prop_map(|(interval, epoch, sent_at, seq, encryptions)| {
+            Arc::new(IntervalMessage {
+                interval,
+                epoch,
+                sent_at,
+                seq,
+                index: SplitIndex::build(&encryptions),
+                encryptions,
+            })
+        })
+}
+
+fn arb_prefix_buf() -> impl Strategy<Value = PrefixBuf> {
+    vec(digit(), 0..=DEPTH).prop_map(|d| PrefixBuf::new(&d))
+}
+
+fn arb_msg() -> impl Strategy<Value = RtMsg> {
+    let small = prop_oneof![
+        (0u64..1 << 40).prop_map(|gen| RtMsg::IntervalTick { gen }),
+        Just(RtMsg::Flush),
+        Just(RtMsg::Restart),
+        Just(RtMsg::JoinRequest),
+        Just(RtMsg::LeaveRequest),
+        Just(RtMsg::LeaveAck),
+        (0u64..1 << 40).prop_map(|interval| RtMsg::Nack { interval }),
+        (0u64..1 << 40).prop_map(|token| RtMsg::Ping { token }),
+        (0u64..1 << 40).prop_map(|token| RtMsg::Pong { token }),
+        arb_user_id().prop_map(|id| RtMsg::ServerPing { id }),
+        (0u64..16, 0u64..1 << 30, 0u64..1 << 30).prop_map(|(epoch, seq, interval)| {
+            RtMsg::ServerPong {
+                epoch,
+                seq,
+                interval,
+            }
+        }),
+        arb_user_id().prop_map(|id| RtMsg::NotMember { id }),
+        arb_user_id().prop_map(|id| RtMsg::ResyncRequest { id }),
+        arb_user_id().prop_map(|failed| RtMsg::FailureNotice { failed }),
+        (0u64..1 << 40).prop_map(|gen| RtMsg::HeartbeatTick { gen }),
+        (0u64..1 << 40).prop_map(|gen| RtMsg::IntervalCheck { gen }),
+        (0u64..1 << 40).prop_map(|gen| RtMsg::RetryTick { gen }),
+    ];
+    let compound = prop_oneof![
+        (arb_member(), arb_table(), 0u64..16, 0u64..1 << 30).prop_map(
+            |(member, table, epoch, seq)| RtMsg::JoinAccepted {
+                member,
+                table,
+                epoch,
+                seq,
+            }
+        ),
+        (arb_welcome(), 0u64..16, 0u64..1 << 40).prop_map(|(welcome, epoch, next_interval_at)| {
+            RtMsg::Welcome {
+                welcome,
+                epoch,
+                next_interval_at,
+            }
+        }),
+        (arb_member(), 0u64..1 << 30, 0u64..16, 0u64..1 << 30).prop_map(
+            |(record, rtt, epoch, seq)| RtMsg::NewMember {
+                record,
+                rtt,
+                epoch,
+                seq,
+            }
+        ),
+        (
+            arb_user_id(),
+            vec((arb_member(), 0u64..1 << 30), 0..6),
+            0u64..16,
+            0u64..1 << 30
+        )
+            .prop_map(|(departed, replacements, epoch, seq)| RtMsg::MemberLeft {
+                departed,
+                replacements,
+                epoch,
+                seq,
+            }),
+        (0usize..DEPTH, arb_prefix_buf(), arb_interval_message()).prop_map(
+            |(level, prefix, message)| RtMsg::Forward {
+                level,
+                prefix,
+                message,
+            }
+        ),
+        (
+            0u64..1 << 40,
+            vec(arb_encryption(), 0..8),
+            0u64..1 << 40,
+            0u64..1 << 20,
+        )
+            .prop_map(|(interval, encryptions, sent_at, seq)| RtMsg::Recover {
+                interval,
+                encryptions,
+                sent_at,
+                seq,
+            }),
+        (
+            arb_member(),
+            arb_table(),
+            arb_welcome(),
+            0u64..16,
+            0u64..1 << 30,
+            0u64..1 << 40
+        )
+            .prop_map(|(member, table, welcome, epoch, seq, next_interval_at)| {
+                RtMsg::Resync {
+                    member,
+                    table,
+                    welcome,
+                    epoch,
+                    seq,
+                    next_interval_at,
+                }
+            }),
+    ];
+    prop_oneof![small, compound]
+}
+
+fn encode(msg: &RtMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_msg(msg, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// encode → decode → encode is byte-stable: decoding reconstructs
+    /// every wire-visible field exactly.
+    #[test]
+    fn round_trip_is_byte_stable(msg in arb_msg()) {
+        let bytes = encode(&msg);
+        prop_assert_eq!(bytes[0], WIRE_VERSION);
+        let decoded = decode_msg(&bytes, &spec()).expect("valid frame decodes");
+        prop_assert_eq!(encode(&decoded), bytes);
+    }
+
+    /// Every strict prefix of a valid frame is rejected — no partial
+    /// message ever parses, and no truncation panics.
+    #[test]
+    fn truncated_frames_error(msg in arb_msg(), cut in 0usize..10_000) {
+        let bytes = encode(&msg);
+        let cut = cut % bytes.len();
+        prop_assert!(decode_msg(&bytes[..cut], &spec()).is_err());
+    }
+
+    /// Single-byte corruption either decodes to *some* well-formed
+    /// message or errors — it never panics. (A flipped length byte, key
+    /// byte, or count is indistinguishable from hostile input.)
+    #[test]
+    fn corrupt_frames_never_panic(msg in arb_msg(), at in 0usize..10_000, bit in 0u8..8) {
+        let mut bytes = encode(&msg);
+        let at = at % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let _ = decode_msg(&bytes, &spec());
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = decode_msg(&bytes, &spec());
+    }
+
+    /// Version skew is detected from the first byte.
+    #[test]
+    fn version_skew_is_rejected(msg in arb_msg(), v in 0u8..=255) {
+        prop_assume!(v != WIRE_VERSION);
+        let mut bytes = encode(&msg);
+        bytes[0] = v;
+        prop_assert!(matches!(
+            decode_msg(&bytes, &spec()),
+            Err(WireError::Version(found)) if found == v
+        ));
+    }
+}

@@ -15,7 +15,11 @@
 //!   node outages, delay jitter, and i.i.d. or Gilbert–Elliott burst
 //!   loss, all deterministic under a fixed seed.
 //!
-//! Time is integer microseconds everywhere ([`SimTime`]).
+//! Time is integer microseconds everywhere ([`SimTime`]). The sans-I/O
+//! protocol state machines in `rekey-proto` are written against this
+//! unit through their driver's clock, which is what lets the same code
+//! run under the simulator *and* against the wall clock: the real-socket
+//! driver simply reports microseconds since its epoch as [`SimTime`].
 //!
 //! # Example
 //!

@@ -96,6 +96,11 @@ impl NeighborTable {
         self.k
     }
 
+    /// The primary-selection policy (wire codecs rebuild tables from it).
+    pub fn policy(&self) -> PrimaryPolicy {
+        self.policy
+    }
+
     /// The `(i, j)`-entry.
     ///
     /// # Panics

@@ -32,6 +32,9 @@ cargo test --offline --release -q --test mega_soak -- --ignored
 echo "==> bench_runtime sweep smoke (classic 64/256/1024 + sharded 65k mega point)"
 cargo run --offline --release -q -p rekey-bench --bin bench_runtime -- --mega-cap 65536 > /dev/null
 
+echo "==> loopback-UDP load-test smoke (1k members over real sockets, bounded wall-clock)"
+cargo run --offline --release -q -p rekey-bench --bin load_test -- --members 1024 --intervals 2 > /dev/null
+
 echo "==> cargo test --doc"
 cargo test --offline --workspace -q --doc
 

@@ -192,6 +192,45 @@ pub mod strategy {
             (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
         }
     }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident: $idx:tt),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)*)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// A uniform choice between boxed strategies of one value type: what
+    /// [`prop_oneof!`](crate::prop_oneof) builds. Unlike real proptest
+    /// there are no weights; every arm is equally likely.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms`; panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let arm = rng.gen_range(0..self.arms.len());
+            self.arms[arm].sample(rng)
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -315,7 +354,17 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// `prop_oneof![s1, s2, ...]`: samples uniformly from one of the given
+/// strategies (all must yield the same value type). Real proptest's
+/// per-arm weights (`n => strategy`) are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($arm) as Box<dyn $crate::strategy::Strategy<Value = _>>),+])
+    };
 }
 
 /// Declares property tests. Each `fn name(x in strategy, ..) { body }`
