@@ -15,6 +15,12 @@
 //!    swallow a ping wrongfully departs cross-cell neighbors; duration
 //!    then scales the damage (lost copies, control retransmissions) while
 //!    the rejoin/resync machinery caps the recovery latency.
+//! 3. **Outage sweep** — the key server killed and revived, once with a
+//!    single replica (journal restart, epoch bump, group-wide resync)
+//!    and once with three replicas (follower election and promotion).
+//!    Every entry reports `restarts`, `elections`, `promotions`, and
+//!    `epoch_bumps` side by side, so the artifact shows which recovery
+//!    machinery paid for the outage.
 //!
 //! Recovery latency comes from the runtime's `apply_delay_us` histogram —
 //! the time from a rekey interval's multicast to a member actually
@@ -59,19 +65,30 @@ fn burst_profile(mean: f64) -> GilbertElliott {
     profile
 }
 
-fn run_plan(plan: FaultPlan, finish: u64) -> MetricsSnapshot {
+fn run_plan_with(plan: FaultPlan, finish: u64, replicas: usize) -> (MetricsSnapshot, u64) {
     let (net, config, trace, fixture_finish) =
         churn_runtime_fixture(MEMBERS, CHURN_INTERVALS, SEED);
-    let runtime_config = RuntimeConfig::builder().seed(SEED).build();
+    let runtime_config = RuntimeConfig::builder()
+        .seed(SEED)
+        .replicas(replicas)
+        .build();
     let mut rt = GroupRuntime::new(config, runtime_config, net).with_faults(plan);
     rt.run_trace(&trace);
     rt.finish(fixture_finish.max(finish));
     let report = rt.snapshot();
     schema::validate_snapshot(&report.to_json());
-    report
+    let epoch = rt.server_epoch();
+    (report, epoch)
 }
 
-fn write_common(w: &mut Writer, label: &str, rep: &MetricsSnapshot) {
+fn run_plan(plan: FaultPlan, finish: u64) -> MetricsSnapshot {
+    run_plan_with(plan, finish, 1).0
+}
+
+/// `epoch_bumps` (the server epoch after the run) is reported only for
+/// the outage sweep, where restart/promotion mechanics differ by replica
+/// count; the loss/partition sweeps never kill the server.
+fn write_common(w: &mut Writer, label: &str, rep: &MetricsSnapshot, epoch_bumps: Option<u64>) {
     w.begin_named_object(label);
     w.field_u64("copies_lost", rep.copies_lost);
     w.field_u64("partition_cuts", rep.partition_cuts);
@@ -85,6 +102,13 @@ fn write_common(w: &mut Writer, label: &str, rep: &MetricsSnapshot) {
     w.field_u64("retransmissions", rep.retransmissions);
     w.field_u64("resyncs", rep.resyncs);
     w.field_u64("rejoins", rep.rejoins);
+    w.field_u64("restarts", rep.restarts);
+    w.field_u64("elections", rep.elections);
+    w.field_u64("promotions", rep.promotions);
+    w.field_u64("lost_mutations", rep.lost_mutations);
+    if let Some(bumps) = epoch_bumps {
+        w.field_u64("epoch_bumps", bumps);
+    }
     w.field_f64("apply_delay_us", rep.apply_delay_us.mean(), 1);
     w.field_u64("apply_delay_p95_us", rep.apply_delay_us.p95());
     w.end_object();
@@ -115,8 +139,8 @@ fn main() {
         let burst = run_plan(FaultPlan::new().burst_loss(burst_profile(rate)), 0);
         w.begin_object();
         w.field_f64("mean_loss", rate, 2);
-        write_common(&mut w, "iid", &iid);
-        write_common(&mut w, "burst", &burst);
+        write_common(&mut w, "iid", &iid, None);
+        write_common(&mut w, "burst", &burst, None);
         w.end_object();
     }
     w.end_array();
@@ -136,7 +160,27 @@ fn main() {
         let out = run_plan(plan, (30 + secs + 60) * SEC);
         w.begin_object();
         w.field_u64("partition_secs", secs);
-        write_common(&mut w, "result", &out);
+        write_common(&mut w, "result", &out, None);
+        w.end_object();
+    }
+    w.end_array();
+
+    // Outage sweep: the same kill/revive window recovered two ways. With
+    // one replica the revived server restores its checkpoint journal and
+    // epoch-bumps (restart path); with three the followers elect and
+    // promote the most-caught-up one while the old primary is down, and
+    // the revived process rejoins as a follower.
+    w.begin_named_array("outage_sweep");
+    for &secs in &[8u64, 30] {
+        eprintln!("bench_chaos: server outage for {secs} s (1 vs 3 replicas)…");
+        let plan = || FaultPlan::new().outage(chaos::SERVER_NODE, 30 * SEC, (30 + secs) * SEC);
+        let tail = (30 + secs + 90) * SEC;
+        let (single, single_epoch) = run_plan_with(plan(), tail, 1);
+        let (repl, repl_epoch) = run_plan_with(plan(), tail, 3);
+        w.begin_object();
+        w.field_u64("outage_secs", secs);
+        write_common(&mut w, "single_replica", &single, Some(single_epoch));
+        write_common(&mut w, "three_replicas", &repl, Some(repl_epoch));
         w.end_object();
     }
     w.end_array();

@@ -1,0 +1,103 @@
+//! Measures replicated-key-server failover: replica count × kill timing.
+//!
+//! Each cell of the sweep runs the standard 64-member churn fixture with
+//! `replicas` key-server replicas and kills the primary (node 0) at a
+//! configurable offset into a churned rekey interval, reviving it 45 s
+//! later — long after a follower should have been elected and promoted.
+//! The sweep varies:
+//!
+//! * **replica count** (2 vs 3) — with two replicas the sole follower
+//!   promotes itself unopposed; with three the election has to pick the
+//!   most-caught-up candidate and suppress the loser;
+//! * **kill offset** (35 % vs 75 % into the interval) — an early kill
+//!   dies with the previous interval's entries fully streamed, a late
+//!   one dies closer to the boundary it will never multicast, shifting
+//!   how much of the interval the promoted follower replays vs re-runs.
+//!
+//! Reported per cell: the election/promotion/restart counters, mutations
+//! lost at the promotion watermark, the peak replication lag the primary
+//! observed, the epoch after the run (each promotion and single-replica
+//! restart bumps it), resync volume (the client-visible recovery), and
+//! the interval apply-delay histogram (mean/p95), whose tail absorbs the
+//! outage stall. Every snapshot is validated against the promised schema
+//! first. Prints the committed `BENCH_failover.json` to stdout via the
+//! shared deterministic writer; progress goes to stderr. Run with
+//! `--release`.
+
+use rekey_bench::{churn_runtime_fixture, schema};
+use rekey_metrics::json::Writer;
+use rekey_proto::{chaos, GroupRuntime, RuntimeConfig};
+use rekey_sim::FaultPlan;
+
+const SEC: u64 = 1_000_000;
+const MEMBERS: usize = 64;
+const CHURN_INTERVALS: u64 = 6;
+const SEED: u64 = 0xFA11;
+/// Rekey interval length of the default runtime config the fixture runs
+/// under.
+const PERIOD: u64 = 10 * SEC;
+/// The killed primary stays dark this long before reviving.
+const OUTAGE: u64 = 45 * SEC;
+
+fn main() {
+    let replica_counts = [2usize, 3];
+    let kill_offsets_pct = [35u64, 75];
+
+    let mut w = Writer::new();
+    w.begin_object();
+    w.field_str(
+        "bench",
+        &format!(
+            "replicated key-server failover: {MEMBERS} members, \
+             {CHURN_INTERVALS} churn intervals, replica count x kill timing"
+        ),
+    );
+    w.field_str(
+        "unit",
+        "election/promotion counters, lost mutations, replication lag, apply delay (us)",
+    );
+
+    w.begin_named_array("failover_sweep");
+    for &replicas in &replica_counts {
+        for &pct in &kill_offsets_pct {
+            eprintln!("bench_failover: {replicas} replicas, kill at {pct}% of the interval…");
+            let (net, config, trace, fixture_finish) =
+                churn_runtime_fixture(MEMBERS, CHURN_INTERVALS, SEED);
+            let runtime_config = RuntimeConfig::builder()
+                .seed(SEED)
+                .replicas(replicas)
+                .build();
+            // The churn fixture's opening joins settle by 20 s; kill the
+            // primary `pct` percent into the second churned interval
+            // (which spans [30 s, 40 s)) so the outage lands mid-churn.
+            let kill_at = 3 * PERIOD + pct * PERIOD / 100;
+            let plan = FaultPlan::new().outage(chaos::SERVER_NODE, kill_at, kill_at + OUTAGE);
+            let mut rt = GroupRuntime::new(config, runtime_config, net).with_faults(plan);
+            rt.run_trace(&trace);
+            rt.finish(fixture_finish.max(kill_at + OUTAGE + 60 * SEC));
+            let report = rt.snapshot();
+            schema::validate_snapshot(&report.to_json());
+
+            w.begin_object();
+            w.field_u64("replicas", replicas as u64);
+            w.field_u64("kill_offset_pct", pct);
+            w.field_u64("kill_at_us", kill_at);
+            w.field_u64("elections", report.elections);
+            w.field_u64("promotions", report.promotions);
+            w.field_u64("restarts", report.restarts);
+            w.field_u64("lost_mutations", report.lost_mutations);
+            w.field_u64("repl_lag_peak", report.repl_lag_peak);
+            w.field_u64("epoch_bumps", rt.server_epoch());
+            w.field_u64("resyncs", report.resyncs);
+            w.field_u64("nacks", report.nacks);
+            w.field_u64("intervals", report.intervals);
+            w.field_u64("final_members", rt.group().len() as u64);
+            w.field_f64("apply_delay_us", report.apply_delay_us.mean(), 1);
+            w.field_u64("apply_delay_p95_us", report.apply_delay_us.p95());
+            w.end_object();
+        }
+    }
+    w.end_array();
+    w.end_object();
+    print!("{}", w.finish());
+}

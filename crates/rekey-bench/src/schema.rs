@@ -43,6 +43,10 @@ pub const SNAPSHOT_REQUIRED_KEYS: &[&str] = &[
     "tombstone_hits",
     "partition_cuts",
     "fault_loss_drops",
+    "elections",
+    "promotions",
+    "lost_mutations",
+    "repl_lag_peak",
     "peak_queue_depth",
     // histogram series
     "apply_delay_us",

@@ -27,6 +27,21 @@ pub fn member_node(handle: usize) -> NodeId {
     NodeId(handle + 1)
 }
 
+/// The simulator node of server replica `r` in a runtime built with
+/// `replicas` server replicas ([`crate::RuntimeConfig`]'s `replicas`
+/// knob): replicas occupy nodes `0..replicas`, replica 0 being the
+/// initial primary ([`SERVER_NODE`]).
+pub fn replica_node(replica: usize) -> NodeId {
+    NodeId(replica)
+}
+
+/// The simulator node hosting member `handle` in a runtime with
+/// `replicas` server replicas: members are offset past the whole replica
+/// block. With `replicas == 1` this is [`member_node`].
+pub fn member_node_with_replicas(handle: usize, replicas: usize) -> NodeId {
+    NodeId(handle + replicas.max(1))
+}
+
 /// Splits member handles `0..members` into `cells` partition cells by
 /// handle modulo `cells`, with the key server riding in cell 0. Feed the
 /// result to [`rekey_sim::FaultPlan::partition`] for an `cells`-way split
@@ -54,6 +69,16 @@ mod tests {
         assert_eq!(SERVER_NODE, NodeId(0));
         assert_eq!(member_node(0), NodeId(1));
         assert_eq!(member_node(9), NodeId(10));
+    }
+
+    #[test]
+    fn replica_mapping_offsets_members_past_the_replica_block() {
+        assert_eq!(replica_node(0), SERVER_NODE);
+        assert_eq!(replica_node(2), NodeId(2));
+        assert_eq!(member_node_with_replicas(0, 3), NodeId(3));
+        assert_eq!(member_node_with_replicas(5, 3), NodeId(8));
+        // One replica degenerates to the classic mapping.
+        assert_eq!(member_node_with_replicas(4, 1), member_node(4));
     }
 
     #[test]

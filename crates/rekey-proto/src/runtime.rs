@@ -103,9 +103,10 @@ pub mod wire;
 
 #[allow(unused_imports)]
 pub(crate) use self::core::{
-    host_of_member_node, node_of_host, Knobs, RtMember, RtServer, SharedHandle, SERVER,
+    host_of_member_node, node_of_host, Knobs, ReplRole, Replication, RtMember, RtServer,
+    SharedHandle, SERVER,
 };
-pub use self::core::{IntervalMessage, MemberStats, Outputs, RtMsg, ServerStats};
+pub use self::core::{IntervalMessage, MemberStats, Outputs, ReplOp, RtMsg, ServerStats};
 pub use socket::UdpGroupDriver;
 
 /// Domain separator for the chaos injector's seed, so fault randomness is
@@ -140,6 +141,7 @@ pub struct RuntimeConfig {
     retry_base: SimTime,
     retry_cap: u32,
     seed: u64,
+    replicas: usize,
 }
 
 impl RuntimeConfig {
@@ -188,6 +190,13 @@ impl RuntimeConfig {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Key-server replicas (≥ 1). With more than one, the primary streams
+    /// its mutation log to follower replicas and a deterministic election
+    /// promotes the most-caught-up follower when the primary dies.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -200,6 +209,7 @@ impl Default for RuntimeConfig {
             retry_base: 1_000_000,
             retry_cap: 5,
             seed: 0,
+            replicas: 1,
         }
     }
 }
@@ -254,6 +264,12 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Key-server replica count (≥ 1; 1 means the classic single server).
+    pub fn replicas(mut self, replicas: usize) -> RuntimeConfigBuilder {
+        self.0.replicas = replicas;
+        self
+    }
+
     /// Validates and produces the config.
     ///
     /// # Panics
@@ -275,6 +291,7 @@ impl RuntimeConfigBuilder {
             "heartbeat period must be positive"
         );
         assert!(config.retry_base > 0, "retry base must be positive");
+        assert!(config.replicas >= 1, "at least one key-server replica");
         config
     }
 }
@@ -500,6 +517,15 @@ pub struct MetricsSnapshot {
     /// `Forward` copies dropped by fault-plan loss (0 without a plan;
     /// excludes the legacy i.i.d. `loss` stream).
     pub fault_loss_drops: u64,
+    /// Elections started by follower replicas (0 with one replica).
+    pub elections: u64,
+    /// Followers promoted to primary (0 with one replica).
+    pub promotions: u64,
+    /// Mutations lost to restarts/promotions (ops past the recovered
+    /// watermark; the affected members re-request).
+    pub lost_mutations: u64,
+    /// Peak replication lag (entries) any primary observed at a tick.
+    pub repl_lag_peak: u64,
     /// Peak in-flight event count inside the simulator.
     pub peak_queue_depth: usize,
     /// µs from each interval's multicast to its local application.
@@ -554,6 +580,10 @@ impl MetricsSnapshot {
         w.field_u64("tombstone_hits", self.tombstone_hits);
         w.field_u64("partition_cuts", self.partition_cuts);
         w.field_u64("fault_loss_drops", self.fault_loss_drops);
+        w.field_u64("elections", self.elections);
+        w.field_u64("promotions", self.promotions);
+        w.field_u64("lost_mutations", self.lost_mutations);
+        w.field_u64("repl_lag_peak", self.repl_lag_peak);
         w.field_usize("peak_queue_depth", self.peak_queue_depth);
         w.end_object();
         w.begin_named_object("histograms");
@@ -696,35 +726,46 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             shutdown: Cell::new(false),
             metrics: RuntimeMetrics::new(),
         });
-        let mut server_fsm = group.build(server_host);
-        server_fsm.instrument_tree(TreeMetrics::in_registry(&shared.metrics.registry));
-        let server = RtActor(ActorKind::Server(Box::new(RtServer {
-            net: Rc::clone(&net),
-            shared: Rc::clone(&shared),
-            server: server_fsm,
-            epoch: 0,
-            seq: 0,
-            tick_gen: 0,
-            next_interval_at: config.rekey_period,
-            last_round_at: 0,
-            history: BTreeMap::new(),
-            split_index: SplitIndexMaintainer::default(),
-            journal: journal::Journal::new(),
-            pending_leave_acks: Vec::new(),
-            stats: ServerStats::default(),
-        })));
+        // Replica 0 is the initial primary; further replicas build the
+        // *same* seeded state machine (deterministic replication replays
+        // ops, so identical seeds keep the RNG streams aligned) but only
+        // the primary instruments the tree — one metrics stream per group.
+        let replicas = config.replicas;
+        let mut servers = Vec::with_capacity(replicas);
+        for replica in 0..replicas {
+            let mut server_fsm = group.clone().build(server_host);
+            if replica == 0 {
+                server_fsm.instrument_tree(TreeMetrics::in_registry(&shared.metrics.registry));
+            }
+            servers.push(RtActor(ActorKind::Server(Box::new(RtServer {
+                net: Rc::clone(&net),
+                shared: Rc::clone(&shared),
+                server: server_fsm,
+                epoch: 0,
+                seq: 0,
+                tick_gen: 0,
+                next_interval_at: config.rekey_period,
+                last_round_at: 0,
+                history: BTreeMap::new(),
+                split_index: SplitIndexMaintainer::default(),
+                journal: journal::Journal::new(),
+                pending_leave_acks: Vec::new(),
+                repl: Replication::new(replica, replicas),
+                stats: ServerStats::default(),
+            }))));
+        }
         let delay_net = Rc::clone(&net);
         let delay: DelayFn = Box::new(move |a, b| {
             let host = |n: NodeId| {
-                if n == SERVER {
+                if n.0 < replicas {
                     server_host
                 } else {
-                    host_of_member_node(n)
+                    HostId(n.0 - replicas)
                 }
             };
             delay_net.one_way(host(a), host(b)).max(1)
         });
-        let mut sim = Simulation::new(vec![server], delay);
+        let mut sim = Simulation::new(servers, delay);
         if config.loss > 0.0 {
             let mut rng = seeded_rng(config.seed ^ 0x4C4F_5353_u64);
             let loss = config.loss;
@@ -738,6 +779,27 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             SERVER,
             RtMsg::IntervalTick { gen: 0 },
         );
+        if replicas > 1 {
+            // Prime the replication machinery: the primary's stream tick,
+            // and each follower's liveness check — staggered by replica
+            // index so elections never fire in lockstep.
+            let knobs = Knobs::of_config(&config);
+            sim.inject_at(
+                knobs.repl_period(),
+                SERVER,
+                SERVER,
+                RtMsg::ReplTick { gen: 0 },
+            );
+            for replica in 1..replicas {
+                let node = NodeId(replica);
+                sim.inject_at(
+                    config.rekey_period + replica as u64 * config.retry_base,
+                    node,
+                    node,
+                    RtMsg::ReplCheck { gen: 0 },
+                );
+            }
+        }
         GroupRuntime {
             sim,
             shared,
@@ -819,7 +881,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
                         )))));
                     handles.push(self.joins);
                     self.joins += 1;
-                    debug_assert_eq!(node.0, self.joins);
+                    debug_assert_eq!(node.0, self.joins - 1 + self.replicas());
                     self.sim.inject_at(event.at, node, node, RtMsg::JoinRequest);
                 }
                 ChurnOp::Leave(member) => {
@@ -858,7 +920,8 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             rounds += 1;
             assert!(rounds <= 64, "shutdown flush did not converge");
             let now = self.sim.now();
-            self.sim.inject_at(now, SERVER, SERVER, RtMsg::Flush);
+            let primary = NodeId(self.acting_primary());
+            self.sim.inject_at(now, primary, primary, RtMsg::Flush);
             self.sim.run_until_idle();
             let server = self.server_ref();
             let (joins, leaves) = server.server.pending();
@@ -891,14 +954,40 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
 
     fn member_node(&self, handle: usize) -> NodeId {
         assert!(handle < self.joins, "member handle {handle} never joined");
-        NodeId(handle + 1)
+        NodeId(handle + self.replicas())
+    }
+
+    fn replicas(&self) -> usize {
+        self.shared.knobs().replicas
+    }
+
+    fn replica_ref(&self, replica: usize) -> &RtServer<NET, Rc<Shared>> {
+        match &self.sim.nodes()[replica].0 {
+            ActorKind::Server(s) => s.as_ref(),
+            ActorKind::Member(_) => unreachable!("replica nodes precede member nodes"),
+        }
+    }
+
+    /// The replica currently acting as primary: the active primary with
+    /// the highest epoch (a just-stepped-down ex-primary is inactive, so
+    /// split-brain windows resolve to the winner). Falls back to replica
+    /// 0 when no replica is primary (mid-election).
+    fn acting_primary(&self) -> usize {
+        let mut best: Option<(u64, usize)> = None;
+        for replica in 0..self.replicas() {
+            let server = self.replica_ref(replica);
+            if server.repl.role == ReplRole::Primary
+                && server.repl.active
+                && best.is_none_or(|(epoch, _)| server.epoch > epoch)
+            {
+                best = Some((server.epoch, replica));
+            }
+        }
+        best.map_or(0, |(_, replica)| replica)
     }
 
     fn server_ref(&self) -> &RtServer<NET, Rc<Shared>> {
-        match &self.sim.nodes()[SERVER.0].0 {
-            ActorKind::Server(s) => s.as_ref(),
-            ActorKind::Member(_) => unreachable!("node 0 is the server"),
-        }
+        self.replica_ref(self.acting_primary())
     }
 
     fn member_ref(&self, handle: usize) -> &RtMember<Rc<Shared>> {
@@ -964,9 +1053,38 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
         self.sim.is_alive(self.member_node(member))
     }
 
-    /// Server-side counters.
+    /// Server-side counters (the acting primary's; `snapshot()` reports
+    /// the whole replica set's sum).
     pub fn server_stats(&self) -> ServerStats {
         self.server_ref().stats
+    }
+
+    /// Server-side counters summed over every replica. Followers mutate
+    /// no member-facing counters, so with one replica (or none ever
+    /// promoted) this equals the primary's stats; after a failover it
+    /// stitches the old and new primaries' tallies into one session view.
+    fn summed_server_stats(&self) -> ServerStats {
+        let mut sum = ServerStats::default();
+        for replica in 0..self.replicas() {
+            let s = self.replica_ref(replica).stats;
+            sum.intervals += s.intervals;
+            sum.joins += s.joins;
+            sum.departures += s.departures;
+            sum.failures_detected += s.failures_detected;
+            sum.forward_copies += s.forward_copies;
+            sum.nacks += s.nacks;
+            sum.recovery_encryptions += s.recovery_encryptions;
+            sum.welcomes += s.welcomes;
+            sum.resyncs += s.resyncs;
+            sum.restarts += s.restarts;
+            sum.checkpoints += s.checkpoints;
+            sum.leave_acks += s.leave_acks;
+            sum.elections += s.elections;
+            sum.promotions += s.promotions;
+            sum.lost_mutations += s.lost_mutations;
+            sum.repl_lag_peak = sum.repl_lag_peak.max(s.repl_lag_peak);
+        }
+        sum
     }
 
     /// Checks that the *members' local tables* (not the oracle's) are
@@ -983,7 +1101,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
         let tables: Vec<NeighborTable> = members
             .iter()
             .map(|m| {
-                let node = node_of_host(m.host);
+                let node = NodeId(m.host.0 + self.replicas());
                 match &self.sim.nodes()[node.0].0 {
                     ActorKind::Member(member) => {
                         member.table.clone().expect("admitted member holds a table")
@@ -1004,7 +1122,7 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
 
     /// Aggregates the session's counters, histograms, and spans.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let server = self.server_stats();
+        let server = self.summed_server_stats();
         let metrics = &self.shared.metrics;
         let registry = metrics.registry.snapshot();
         let counter = |name: &str| registry.counters.get(name).copied().unwrap_or(0);
@@ -1041,6 +1159,10 @@ impl<NET: Network + 'static> GroupRuntime<NET> {
             tombstone_hits: counter("tree_tombstone_hits"),
             partition_cuts: fault_stats.partition_cuts,
             fault_loss_drops: fault_stats.loss_drops,
+            elections: server.elections,
+            promotions: server.promotions,
+            lost_mutations: server.lost_mutations,
+            repl_lag_peak: server.repl_lag_peak,
             peak_queue_depth: self.sim.peak_pending(),
             apply_delay_us: metrics.apply_delay_us.snapshot(),
             batch_size: registry

@@ -21,7 +21,7 @@
 //! The only other seam the machines need is [`SharedHandle`]: the
 //! runtime-wide knobs, the shutdown flag, and metric sinks.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -57,9 +57,14 @@ pub trait Outputs {
     fn timer(&mut self, delay: SimTime, msg: RtMsg);
 }
 
-/// The key server's node id: always node 0.
+/// The key server's node id: always node 0. With `replicas > 1` this is
+/// the *initial primary*; replicas occupy nodes `0..replicas` and members
+/// are offset past the whole block (see [`Knobs::replicas`]).
 pub(crate) const SERVER: NodeId = NodeId(0);
 
+/// Single-replica node mapping (the historical scheme, kept for the
+/// drivers that pin `replicas == 1`). Replica-aware mapping lives on the
+/// state machines, which read the offset from their [`Knobs`].
 pub(crate) fn node_of_host(h: HostId) -> NodeId {
     NodeId(h.0 + 1)
 }
@@ -99,6 +104,35 @@ impl std::fmt::Debug for IntervalMessage {
             .field("encryptions", &self.encryptions.len())
             .finish_non_exhaustive()
     }
+}
+
+/// One replicated key-server mutation, as streamed from the primary to
+/// its follower replicas inside [`RtMsg::ReplEntry`]. Replication is
+/// deterministic state-machine replication: a follower *re-executes* the
+/// op against its own [`GroupServer`] (same seed, same op order — so the
+/// same RNG stream and the same keys), it never receives derived state.
+#[derive(Debug, Clone)]
+pub enum ReplOp {
+    /// `request_join(host, at)` — `at` is the primary's clock at
+    /// admission, so replayed `joined_at` stamps are identical.
+    Join {
+        /// The joiner's host.
+        host: HostId,
+        /// The primary's admission time.
+        at: Micros,
+    },
+    /// `request_leave(id)` — voluntary leave or detected failure alike.
+    Leave {
+        /// The departing member.
+        id: UserId,
+    },
+    /// `end_interval()` — one batch rekey boundary. Followers mirror the
+    /// interval history entry (for post-promotion NACK recovery) and cut
+    /// a checkpoint at this watermark.
+    Interval {
+        /// The primary's multicast time for the interval message.
+        sent_at: SimTime,
+    },
 }
 
 /// Runtime protocol messages. See the module docs for the taxonomy.
@@ -269,6 +303,67 @@ pub enum RtMsg {
         /// Stale-chain guard; bumped on every re-schedule.
         gen: u64,
     },
+    /// Primary → follower: one replication-log entry. Streamed on append
+    /// and re-sent from the follower's acknowledged watermark on every
+    /// replication tick, so losses and outages self-heal.
+    ReplEntry {
+        /// Log position (first entry is 1).
+        idx: u64,
+        /// Server epoch the op was appended under.
+        epoch: u64,
+        /// The mutation to replay.
+        op: ReplOp,
+    },
+    /// Follower → primary: contiguous replay progress.
+    ReplAck {
+        /// The acknowledging replica's index.
+        replica: usize,
+        /// Highest contiguously applied log index.
+        idx: u64,
+    },
+    /// Primary → follower: liveness beacon plus the log shape. Followers
+    /// answer with a `ReplAck` so the primary learns their watermark even
+    /// when no new entry flows.
+    ReplHeartbeat {
+        /// The sender's server epoch.
+        epoch: u64,
+        /// The head of the sender's log (last appended index).
+        idx: u64,
+        /// The sender's replica index.
+        replica: usize,
+        /// Oldest log index the sender can still resend; a follower
+        /// behind `floor` can never catch up incrementally.
+        floor: u64,
+    },
+    /// Follower → replicas: the primary looks dead, stand for election.
+    /// Carries the candidate's replay watermark; the most-caught-up
+    /// candidate (ties broken toward the lowest replica index) wins.
+    Candidacy {
+        /// The candidate's server epoch.
+        epoch: u64,
+        /// The candidate's applied log watermark.
+        idx: u64,
+        /// The candidate's replica index.
+        replica: usize,
+    },
+    /// Primary timer: resend unacknowledged log entries and heartbeat the
+    /// followers.
+    ReplTick {
+        /// Stale-chain guard; bumped on every role change.
+        gen: u64,
+    },
+    /// Follower timer: check primary liveness, start an election on
+    /// silence.
+    ReplCheck {
+        /// Stale-chain guard; bumped on every role change.
+        gen: u64,
+    },
+    /// Follower timer: the election's candidacy window closed — promote
+    /// the winner.
+    ElectionTick {
+        /// Stale-chain guard; bumped on every role change.
+        gen: u64,
+    },
 }
 
 /// Copyable timing/retry knobs shared by every node of one runtime.
@@ -280,6 +375,10 @@ pub(crate) struct Knobs {
     pub(crate) retry_base: SimTime,
     pub(crate) retry_cap: u32,
     pub(crate) seed: u64,
+    /// Server replicas: nodes `0..replicas` run [`RtServer`]s (node 0 is
+    /// the initial primary), members are offset past the block. `1`
+    /// reproduces the historical single-server runtime bit for bit.
+    pub(crate) replicas: usize,
 }
 
 impl Knobs {
@@ -291,6 +390,7 @@ impl Knobs {
             retry_base: config.retry_base,
             retry_cap: config.retry_cap,
             seed: config.seed,
+            replicas: config.replicas,
         }
     }
 
@@ -298,6 +398,24 @@ impl Knobs {
     /// saturated at the retry cap.
     fn backoff(&self, attempts: u32) -> SimTime {
         self.retry_base << attempts.min(self.retry_cap)
+    }
+
+    /// Replication stream period: entries are resent and heartbeats sent
+    /// twice per rekey interval, so a follower is never more than half an
+    /// interval behind a live primary.
+    pub(crate) fn repl_period(&self) -> SimTime {
+        (self.rekey_period / 2).max(1)
+    }
+
+    /// Follower liveness-check period.
+    pub(crate) fn repl_check_period(&self) -> SimTime {
+        self.rekey_period.max(1)
+    }
+
+    /// Primary silence past this threshold starts an election: two full
+    /// rekey periods, i.e. at least four missed replication heartbeats.
+    pub(crate) fn primary_silence(&self) -> SimTime {
+        2 * self.rekey_period
     }
 }
 
@@ -351,6 +469,110 @@ pub struct ServerStats {
     pub checkpoints: u64,
     /// Leave acknowledgements sent (each after a covering checkpoint).
     pub leave_acks: u64,
+    /// Elections this replica started after primary silence.
+    pub elections: u64,
+    /// Times this replica promoted itself to primary.
+    pub promotions: u64,
+    /// Mutations known lost across restarts and promotions: ops past the
+    /// restored checkpoint (single-replica restart) or past the promoted
+    /// follower's replay watermark (failover). The affected members
+    /// re-request through the normal `NotMember`/leave-retry paths.
+    pub lost_mutations: u64,
+    /// Peak replication lag (log head minus the slowest known follower
+    /// watermark) observed at any replication tick.
+    pub repl_lag_peak: u64,
+}
+
+/// A server replica's role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplRole {
+    /// Serves members, appends to the log, streams to followers.
+    Primary,
+    /// Replays the primary's log; ignores member-facing traffic.
+    Follower,
+}
+
+/// A follower's in-flight election.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ElectionState {
+    /// Best watermark seen among candidacies (our own included).
+    best_idx: u64,
+    /// The replica holding `best_idx` (lowest index wins ties).
+    best_replica: usize,
+}
+
+/// Entries the primary keeps for resending to lagging followers. Far
+/// beyond any lag a live session produces; a follower behind the pruned
+/// floor is declared divergent rather than silently skipped.
+const LOG_KEEP: usize = 4096;
+
+/// Entries resent per follower per replication tick.
+const REPL_BATCH: usize = 64;
+
+/// Per-replica replication state of one [`RtServer`].
+#[derive(Debug)]
+pub(crate) struct Replication {
+    pub(crate) role: ReplRole,
+    /// This replica's index (`0..Knobs::replicas`; also its node id).
+    pub(crate) replica: usize,
+    /// `false` once replay diverged (an op failed to re-execute, or the
+    /// primary's log floor passed our watermark): the replica stops
+    /// participating until its next `Restart` rolls it back to a
+    /// checkpoint.
+    pub(crate) active: bool,
+    /// Stale-chain guard shared by `ReplTick`/`ReplCheck`/`ElectionTick`;
+    /// bumped on every role change.
+    pub(crate) gen: u64,
+    /// The tail of the op log (primary: appended; follower: applied),
+    /// kept for resending. Contiguous, ending at `next_idx - 1`.
+    pub(crate) log: VecDeque<journal::Entry>,
+    /// Next log index to append (first entry gets 1).
+    pub(crate) next_idx: u64,
+    /// Primary: per-replica acknowledged watermarks; `u64::MAX` means
+    /// unknown (no ack yet — resends wait for the first ack so a freshly
+    /// promoted primary never floods a replica it knows nothing about).
+    pub(crate) acked: Vec<u64>,
+    /// Follower: highest contiguously applied log index.
+    pub(crate) applied_idx: u64,
+    /// Follower: out-of-order entries awaiting their predecessors.
+    pub(crate) entry_buf: BTreeMap<u64, journal::Entry>,
+    /// Follower: highest log head the primary has advertised; the gap to
+    /// `applied_idx` is what a promotion would lose.
+    pub(crate) primary_idx_seen: u64,
+    /// Follower: when the primary was last heard (entry or heartbeat).
+    pub(crate) last_primary_at: SimTime,
+    /// Follower: the election in progress, if any.
+    pub(crate) election: Option<ElectionState>,
+}
+
+impl Replication {
+    pub(crate) fn new(replica: usize, replicas: usize) -> Replication {
+        let mut acked = vec![u64::MAX; replicas.max(1)];
+        acked[replica] = 0;
+        Replication {
+            role: if replica == 0 {
+                ReplRole::Primary
+            } else {
+                ReplRole::Follower
+            },
+            replica,
+            active: true,
+            gen: 0,
+            log: VecDeque::new(),
+            next_idx: 1,
+            acked,
+            applied_idx: 0,
+            entry_buf: BTreeMap::new(),
+            primary_idx_seen: 0,
+            last_primary_at: 0,
+            election: None,
+        }
+    }
+
+    /// Oldest log index still held (`next_idx` when the log is empty).
+    fn floor(&self) -> u64 {
+        self.next_idx - self.log.len() as u64
+    }
 }
 
 pub(crate) struct RtServer<NET, S: SharedHandle> {
@@ -378,18 +600,79 @@ pub(crate) struct RtServer<NET, S: SharedHandle> {
     /// Leavers to acknowledge once the next checkpoint covers their
     /// departure (an acknowledged leave must never roll back).
     pub(crate) pending_leave_acks: Vec<NodeId>,
+    /// Replication role, log, and election state.
+    pub(crate) repl: Replication,
     pub(crate) stats: ServerStats,
 }
 
 impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
     pub(crate) fn receive(&mut self, ctx: &mut impl Outputs, from: NodeId, msg: RtMsg) {
+        // A restart revives even a divergent replica (it rolls back to
+        // its checkpoint); everything else requires an active one.
+        if let RtMsg::Restart = msg {
+            return self.restart(ctx);
+        }
+        if !self.repl.active {
+            return;
+        }
+        match msg {
+            RtMsg::ReplEntry { idx, epoch, op } => {
+                self.on_repl_entry(ctx, from, journal::Entry { idx, epoch, op });
+                return;
+            }
+            RtMsg::ReplAck { replica, idx } => {
+                self.on_repl_ack(replica, idx);
+                return;
+            }
+            RtMsg::ReplHeartbeat {
+                epoch,
+                idx,
+                replica,
+                floor,
+            } => {
+                self.on_repl_heartbeat(ctx, from, epoch, idx, replica, floor);
+                return;
+            }
+            RtMsg::Candidacy {
+                epoch,
+                idx,
+                replica,
+            } => {
+                self.on_candidacy(ctx, from, epoch, idx, replica);
+                return;
+            }
+            RtMsg::ReplTick { gen } => {
+                if gen == self.repl.gen && self.repl.role == ReplRole::Primary {
+                    self.repl_tick(ctx);
+                }
+                return;
+            }
+            RtMsg::ReplCheck { gen } => {
+                if gen == self.repl.gen && self.repl.role == ReplRole::Follower {
+                    self.repl_check(ctx);
+                }
+                return;
+            }
+            RtMsg::ElectionTick { gen } => {
+                if gen == self.repl.gen && self.repl.role == ReplRole::Follower {
+                    self.election_tick(ctx);
+                }
+                return;
+            }
+            _ => {}
+        }
+        // Member-facing traffic is the primary's alone: a follower stays
+        // silent and the member's retry/rotation machinery finds the
+        // primary within a replica block's worth of attempts.
+        if self.repl.role != ReplRole::Primary {
+            return;
+        }
         match msg {
             RtMsg::IntervalTick { gen } if gen == self.tick_gen => self.end_interval(ctx),
             RtMsg::Flush => self.flush(ctx),
-            RtMsg::Restart => self.restart(ctx),
             RtMsg::JoinRequest => self.admit(ctx, from),
             RtMsg::LeaveRequest => {
-                let host = host_of_member_node(from);
+                let host = self.member_host(from);
                 let id = self.member_by_host(host).map(|m| m.id.clone());
                 if let Some(id) = id {
                     self.depart(ctx, id);
@@ -406,7 +689,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                 // departed member behind a healed partition would
                 // otherwise depart half the group with its stale
                 // suspicions before its own `NotMember` lands.
-                if self.member_by_host(host_of_member_node(from)).is_none() {
+                if self.member_by_host(self.member_host(from)).is_none() {
                     return;
                 }
                 if self.server.group().member(&failed).is_some() {
@@ -418,7 +701,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             }
             RtMsg::Nack { interval } => {
                 self.stats.nacks += 1;
-                let host = host_of_member_node(from);
+                let host = self.member_host(from);
                 let member = self.member_by_host(host).cloned();
                 let (Some(member), Some(message)) = (member, self.history.get(&interval)) else {
                     // Unknown member or rolled-back interval: the prober's
@@ -461,15 +744,19 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                     ctx.send(from, RtMsg::NotMember { id });
                     return;
                 }
+                // A member admitted during the *current* interval is in
+                // the roster but not yet keyed — its first welcome rides
+                // the next interval boundary and supersedes any snapshot
+                // we could build now. Stay silent; the member's resync
+                // retry re-asks with backoff until the welcome lands.
+                let Some(welcome) = self.server.refresh_welcome(&id) else {
+                    return;
+                };
                 self.stats.resyncs += 1;
                 let group = self.server.group();
                 let idx = group.index_of(&id).expect("verified member has an index");
                 let member = group.members()[idx].clone();
                 let table = group.table(idx).clone();
-                let welcome = self
-                    .server
-                    .refresh_welcome(&id)
-                    .expect("verified member holds path keys");
                 ctx.send(
                     from,
                     RtMsg::Resync {
@@ -494,12 +781,24 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             .find(|m| m.host == host)
     }
 
+    /// The node hosting `host`'s member, offset past the replica block.
+    fn member_node(&self, host: HostId) -> NodeId {
+        NodeId(host.0 + self.shared.knobs().replicas)
+    }
+
+    /// The member host behind node `from`.
+    fn member_host(&self, from: NodeId) -> HostId {
+        let replicas = self.shared.knobs().replicas;
+        debug_assert!(from.0 >= replicas, "server replicas have no member host");
+        HostId(from.0 - replicas)
+    }
+
     /// `true` iff `id` is a member AND the claim comes from its host.
     fn verified(&self, id: &UserId, from: NodeId) -> bool {
         self.server
             .group()
             .member(id)
-            .is_some_and(|m| m.host == host_of_member_node(from))
+            .is_some_and(|m| m.host == self.member_host(from))
     }
 
     fn end_interval(&mut self, ctx: &mut impl Outputs) {
@@ -515,6 +814,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
 
     /// Ends one interval: welcomes, multicast, checkpoint, leave acks.
     fn rekey_round(&mut self, ctx: &mut impl Outputs) {
+        self.append_op(ctx, ReplOp::Interval { sent_at: ctx.now() });
         let outcome = self.server.end_interval();
         self.stats.intervals += 1;
         self.next_interval_at = ctx.now() + self.shared.knobs().rekey_period;
@@ -527,7 +827,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                 .expect("welcomed member is in the group")
                 .host;
             ctx.send(
-                node_of_host(host),
+                self.member_node(host),
                 RtMsg::Welcome {
                     welcome,
                     epoch: self.epoch,
@@ -544,6 +844,9 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             encryptions: outcome.rekey.encryptions,
         });
         self.history.insert(outcome.interval, Arc::clone(&message));
+        while self.history.len() > journal::HISTORY_WINDOW {
+            self.history.pop_first();
+        }
         // Empty intervals still multicast: members advance their interval
         // counter from the (empty) related set, keeping NACK checks quiet.
         let mut fanout = 0u64;
@@ -551,7 +854,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             self.stats.forward_copies += 1;
             fanout += 1;
             ctx.send(
-                node_of_host(hop.neighbor.member.host),
+                self.member_node(hop.neighbor.member.host),
                 RtMsg::Forward {
                     level: hop.forward_level,
                     prefix: PrefixBuf::of_hop(&hop),
@@ -577,6 +880,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             self.journal.record(journal::Checkpoint {
                 server: self.server.clone(),
                 seq: self.seq,
+                log_idx: self.repl.next_idx - 1,
                 history: self.history.clone(),
             });
             self.stats.checkpoints += 1;
@@ -606,7 +910,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                 self.stats.recovery_encryptions += encryptions.len() as u64;
                 self.shared.record_recovery_size(encryptions.len() as u64);
                 ctx.send(
-                    node_of_host(member.host),
+                    self.member_node(member.host),
                     RtMsg::Recover {
                         interval,
                         encryptions,
@@ -619,11 +923,19 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
         self.checkpoint(ctx);
     }
 
-    /// The server process respawns at the end of an outage window: it
-    /// restores the latest checkpoint (mid-interval mutations since then
-    /// are lost by design — the affected members re-request), bumps the
-    /// epoch, and re-announces itself with an immediate interval.
+    /// The server process respawns at the end of an outage window.
+    ///
+    /// Single replica: restore the latest checkpoint (mid-interval
+    /// mutations since then are lost by design — the affected members
+    /// re-request), bump the epoch, and re-announce with an immediate
+    /// interval. With replicas, the revived process instead rejoins as a
+    /// *follower*: the acting primary (possibly a promoted peer) streams
+    /// it forward from its checkpoint watermark, and if no primary is
+    /// alive its own liveness check escalates to an election.
     fn restart(&mut self, ctx: &mut impl Outputs) {
+        if self.shared.knobs().replicas > 1 {
+            return self.restart_replica(ctx);
+        }
         self.stats.restarts += 1;
         self.epoch += 1;
         self.shared
@@ -631,6 +943,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
         self.tick_gen += 1;
         self.pending_leave_acks.clear();
         if let Some(cp) = self.journal.restore() {
+            self.stats.lost_mutations += self.seq.saturating_sub(cp.seq);
             self.server = cp.server;
             self.seq = cp.seq;
             self.history = cp.history;
@@ -644,8 +957,41 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
         self.end_interval(ctx);
     }
 
+    /// Multi-replica restart: roll back to the checkpoint, come up as a
+    /// follower. No epoch bump and no beacon — only a *promotion* speaks
+    /// to members, so a revived ex-primary cannot split-brain the group.
+    fn restart_replica(&mut self, ctx: &mut impl Outputs) {
+        self.stats.restarts += 1;
+        self.shared
+            .span("restart", ctx.now(), ctx.now(), self.epoch);
+        self.tick_gen += 1;
+        self.repl.gen += 1;
+        self.pending_leave_acks.clear();
+        self.repl.role = ReplRole::Follower;
+        self.repl.active = true;
+        self.repl.entry_buf.clear();
+        self.repl.election = None;
+        if let Some(cp) = self.journal.restore() {
+            self.server = cp.server;
+            self.seq = cp.seq;
+            self.history = cp.history;
+            self.repl.applied_idx = cp.log_idx;
+            self.repl.log.retain(|e| e.idx <= cp.log_idx);
+            self.repl.next_idx = cp.log_idx + 1;
+            self.split_index = SplitIndexMaintainer::default();
+        }
+        // No checkpoint (first-interval crash): keep the live state, as
+        // the single-replica path does.
+        self.repl.primary_idx_seen = self.repl.applied_idx;
+        self.repl.last_primary_at = ctx.now();
+        ctx.timer(
+            self.shared.knobs().repl_check_period(),
+            RtMsg::ReplCheck { gen: self.repl.gen },
+        );
+    }
+
     fn admit(&mut self, ctx: &mut impl Outputs, from: NodeId) {
-        let host = host_of_member_node(from);
+        let host = self.member_host(from);
         if let Some(member) = self.member_by_host(host).cloned() {
             // Retransmitted join (the original accept was lost): resend
             // the current snapshot without a new mutation.
@@ -663,12 +1009,14 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             );
             return;
         }
+        let at = ctx.now();
         let id = self
             .server
-            .request_join(host, &*self.net, ctx.now())
+            .request_join(host, &*self.net, at)
             .expect("ID space sized for the churn trace");
         self.stats.joins += 1;
         self.seq += 1;
+        self.append_op(ctx, ReplOp::Join { host, at });
         let group = self.server.group();
         let idx = group.index_of(&id).expect("member was just admitted");
         let member = group.members()[idx].clone();
@@ -678,7 +1026,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                 continue;
             }
             ctx.send(
-                node_of_host(existing.host),
+                self.member_node(existing.host),
                 RtMsg::NewMember {
                     record: member.clone(),
                     rtt: self.net.rtt(existing.host, member.host),
@@ -704,6 +1052,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             .expect("departing member is in the group");
         self.stats.departures += 1;
         self.seq += 1;
+        self.append_op(ctx, ReplOp::Leave { id: id.clone() });
         let group = self.server.group();
         let candidates = crate::repair::replacement_candidates(
             group.spec().depth(),
@@ -718,7 +1067,7 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                 .map(|c| ((*c).clone(), self.net.rtt(existing.host, c.host)))
                 .collect();
             ctx.send(
-                node_of_host(existing.host),
+                self.member_node(existing.host),
                 RtMsg::MemberLeft {
                     departed: id.clone(),
                     replacements,
@@ -727,6 +1076,406 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                 },
             );
         }
+    }
+
+    // ---- replication: primary side -------------------------------------
+
+    /// Appends one mutation op to the replication log and streams it to
+    /// every other replica. A no-op with a single replica, keeping the
+    /// classic runtime byte-identical to its pre-replication behavior.
+    fn append_op(&mut self, ctx: &mut impl Outputs, op: ReplOp) {
+        let replicas = self.shared.knobs().replicas;
+        if replicas <= 1 {
+            return;
+        }
+        let entry = journal::Entry {
+            idx: self.repl.next_idx,
+            epoch: self.epoch,
+            op,
+        };
+        for r in 0..replicas {
+            if r == self.repl.replica {
+                continue;
+            }
+            ctx.send(
+                NodeId(r),
+                RtMsg::ReplEntry {
+                    idx: entry.idx,
+                    epoch: entry.epoch,
+                    op: entry.op.clone(),
+                },
+            );
+        }
+        self.repl.log.push_back(entry);
+        while self.repl.log.len() > LOG_KEEP {
+            self.repl.log.pop_front();
+        }
+        let idx = self.repl.next_idx;
+        self.repl.next_idx += 1;
+        self.repl.acked[self.repl.replica] = idx;
+        // Kept in lockstep with the log head so an ex-primary's `Restart`
+        // and divergence checks work uniformly across roles.
+        self.repl.applied_idx = idx;
+    }
+
+    /// Periodic replication tick (primary): heartbeat every peer replica
+    /// and resend the log tail past each acknowledged watermark. Lost
+    /// entries and lost acks both heal here — the stream needs no
+    /// per-entry retry state, just this bounded resend loop.
+    fn repl_tick(&mut self, ctx: &mut impl Outputs) {
+        let replicas = self.shared.knobs().replicas;
+        let head = self.repl.next_idx - 1;
+        let floor = self.repl.floor();
+        for r in 0..replicas {
+            if r == self.repl.replica {
+                continue;
+            }
+            ctx.send(
+                NodeId(r),
+                RtMsg::ReplHeartbeat {
+                    epoch: self.epoch,
+                    idx: head,
+                    replica: self.repl.replica,
+                    floor,
+                },
+            );
+            let acked = self.repl.acked[r];
+            if acked == u64::MAX || acked >= head {
+                continue;
+            }
+            self.stats.repl_lag_peak = self.stats.repl_lag_peak.max(head - acked);
+            let from_idx = (acked + 1).max(floor);
+            let to_idx = head.min(acked + REPL_BATCH as u64);
+            for idx in from_idx..=to_idx {
+                let entry = &self.repl.log[(idx - floor) as usize];
+                ctx.send(
+                    NodeId(r),
+                    RtMsg::ReplEntry {
+                        idx: entry.idx,
+                        epoch: entry.epoch,
+                        op: entry.op.clone(),
+                    },
+                );
+            }
+        }
+        if !self.shared.is_shutdown() {
+            ctx.timer(
+                self.shared.knobs().repl_period(),
+                RtMsg::ReplTick { gen: self.repl.gen },
+            );
+        }
+    }
+
+    /// An ack from follower `replica`: advance its known watermark.
+    fn on_repl_ack(&mut self, replica: usize, idx: u64) {
+        if self.repl.role != ReplRole::Primary || replica >= self.repl.acked.len() {
+            return;
+        }
+        let slot = &mut self.repl.acked[replica];
+        if *slot == u64::MAX || idx > *slot {
+            *slot = idx;
+        }
+    }
+
+    // ---- replication: follower side ------------------------------------
+
+    /// A streamed log entry: buffer, drain contiguously, replay, ack the
+    /// applied watermark back to the sender.
+    fn on_repl_entry(&mut self, ctx: &mut impl Outputs, from: NodeId, entry: journal::Entry) {
+        if self.repl.role != ReplRole::Follower {
+            return;
+        }
+        self.repl.last_primary_at = ctx.now();
+        self.repl.election = None;
+        self.epoch = self.epoch.max(entry.epoch);
+        self.repl.primary_idx_seen = self.repl.primary_idx_seen.max(entry.idx);
+        if entry.idx > self.repl.applied_idx {
+            self.repl.entry_buf.insert(entry.idx, entry);
+        }
+        while let Some(entry) = self.repl.entry_buf.remove(&(self.repl.applied_idx + 1)) {
+            if !self.apply_entry(&entry) {
+                // Replay diverged: freeze until the next `Restart` rolls
+                // this replica back to its checkpoint.
+                self.repl.active = false;
+                return;
+            }
+            self.repl.applied_idx = entry.idx;
+            self.repl.next_idx = entry.idx + 1;
+            self.repl.log.push_back(entry);
+            while self.repl.log.len() > LOG_KEEP {
+                self.repl.log.pop_front();
+            }
+        }
+        ctx.send(
+            from,
+            RtMsg::ReplAck {
+                replica: self.repl.replica,
+                idx: self.repl.applied_idx,
+            },
+        );
+    }
+
+    /// Replays one op against this follower's own state machine; `false`
+    /// on divergence. Deterministic replication: the follower re-executes
+    /// the same inputs against the same seeded state, so its tree, RNG
+    /// stream, and history converge on the primary's — without member
+    /// traffic and without stats (each mutation is counted once, by the
+    /// primary, so summed snapshots match a single-replica run).
+    fn apply_entry(&mut self, entry: &journal::Entry) -> bool {
+        match &entry.op {
+            ReplOp::Join { host, at } => {
+                if self.server.request_join(*host, &*self.net, *at).is_err() {
+                    return false;
+                }
+                self.seq += 1;
+            }
+            ReplOp::Leave { id } => {
+                if self.server.request_leave(id, &*self.net).is_err() {
+                    return false;
+                }
+                self.seq += 1;
+            }
+            ReplOp::Interval { sent_at } => {
+                let outcome = self.server.end_interval();
+                let message = Arc::new(IntervalMessage {
+                    interval: outcome.interval,
+                    epoch: entry.epoch,
+                    sent_at: *sent_at,
+                    seq: self.seq,
+                    index: self.split_index.advance(&outcome.rekey.encryptions),
+                    encryptions: outcome.rekey.encryptions,
+                });
+                self.history.insert(outcome.interval, message);
+                while self.history.len() > journal::HISTORY_WINDOW {
+                    self.history.pop_first();
+                }
+                self.next_interval_at = *sent_at + self.shared.knobs().rekey_period;
+                // The follower checkpoints at the same boundaries the
+                // primary does, so a restarted follower resumes from an
+                // interval-aligned log watermark.
+                if self.journal.is_enabled() {
+                    self.journal.record(journal::Checkpoint {
+                        server: self.server.clone(),
+                        seq: self.seq,
+                        log_idx: entry.idx,
+                        history: self.history.clone(),
+                    });
+                }
+            }
+        }
+        true
+    }
+
+    /// A primary heartbeat. Followers refresh liveness, cancel any
+    /// election, and ack their watermark (which is also what bootstraps
+    /// catch-up resends after a promotion). A *primary* receiving one has
+    /// found a peer primary — split brain — and the higher epoch (lower
+    /// replica on ties) wins; the loser steps down dead.
+    fn on_repl_heartbeat(
+        &mut self,
+        ctx: &mut impl Outputs,
+        from: NodeId,
+        epoch: u64,
+        idx: u64,
+        replica: usize,
+        floor: u64,
+    ) {
+        if self.repl.role == ReplRole::Primary {
+            if epoch > self.epoch || (epoch == self.epoch && replica < self.repl.replica) {
+                self.step_down(epoch);
+            }
+            return;
+        }
+        // A heartbeat from a newer primary while we hold ops past its
+        // head: our (ex-primary) history diverged from the group's —
+        // freeze rather than ack a watermark we cannot honor.
+        if epoch > self.epoch && self.repl.applied_idx > idx {
+            self.repl.active = false;
+            return;
+        }
+        self.repl.last_primary_at = ctx.now();
+        self.epoch = self.epoch.max(epoch);
+        self.repl.primary_idx_seen = self.repl.primary_idx_seen.max(idx);
+        self.repl.election = None;
+        // The primary pruned past our watermark: the entries we need are
+        // gone for good — diverged.
+        if floor > self.repl.applied_idx + 1 && idx > self.repl.applied_idx {
+            self.repl.active = false;
+            return;
+        }
+        ctx.send(
+            from,
+            RtMsg::ReplAck {
+                replica: self.repl.replica,
+                idx: self.repl.applied_idx,
+            },
+        );
+    }
+
+    /// Primary loses a split-brain resolution: adopt the winner's epoch
+    /// and freeze. Its unreplicated ops may contradict the winner's log,
+    /// so only a `Restart` rollback to a checkpoint may revive it (as a
+    /// follower).
+    fn step_down(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+        self.repl.role = ReplRole::Follower;
+        self.repl.gen += 1;
+        self.tick_gen += 1;
+        self.repl.active = false;
+    }
+
+    // ---- replication: elections ----------------------------------------
+
+    /// A peer's election candidacy: a live primary vetoes it with a
+    /// heartbeat; a follower joins the election (if the primary looks
+    /// dead from here too) and folds the peer's watermark into its tally.
+    fn on_candidacy(
+        &mut self,
+        ctx: &mut impl Outputs,
+        from: NodeId,
+        epoch: u64,
+        idx: u64,
+        replica: usize,
+    ) {
+        self.epoch = self.epoch.max(epoch);
+        if self.repl.role == ReplRole::Primary {
+            ctx.send(
+                from,
+                RtMsg::ReplHeartbeat {
+                    epoch: self.epoch,
+                    idx: self.repl.next_idx - 1,
+                    replica: self.repl.replica,
+                    floor: self.repl.floor(),
+                },
+            );
+            return;
+        }
+        if self.repl.election.is_none() {
+            // A fresh heartbeat vetoes the peer's suspicion from here.
+            if ctx.now().saturating_sub(self.repl.last_primary_at)
+                <= self.shared.knobs().repl_check_period()
+            {
+                return;
+            }
+            self.start_election(ctx);
+        }
+        let election = self.repl.election.as_mut().expect("election in progress");
+        if idx > election.best_idx || (idx == election.best_idx && replica < election.best_replica)
+        {
+            election.best_idx = idx;
+            election.best_replica = replica;
+        }
+    }
+
+    /// Follower liveness check: a silent primary starts an election,
+    /// otherwise the check re-arms itself.
+    fn repl_check(&mut self, ctx: &mut impl Outputs) {
+        if self.shared.is_shutdown() {
+            return;
+        }
+        let silent = ctx.now().saturating_sub(self.repl.last_primary_at)
+            > self.shared.knobs().primary_silence();
+        if silent && self.repl.election.is_none() {
+            self.start_election(ctx);
+            return;
+        }
+        ctx.timer(
+            self.shared.knobs().repl_check_period(),
+            RtMsg::ReplCheck { gen: self.repl.gen },
+        );
+    }
+
+    /// Primary declared dead: announce our replay watermark, collect
+    /// peers' candidacies for a NACK-grace window, then resolve. Bumping
+    /// `gen` here kills the pending liveness-check chain; resolution
+    /// re-arms it under the new gen.
+    fn start_election(&mut self, ctx: &mut impl Outputs) {
+        self.stats.elections += 1;
+        self.repl.gen += 1;
+        self.shared
+            .span("election", ctx.now(), ctx.now(), self.epoch);
+        self.repl.election = Some(ElectionState {
+            best_idx: self.repl.applied_idx,
+            best_replica: self.repl.replica,
+        });
+        for r in 0..self.shared.knobs().replicas {
+            if r == self.repl.replica {
+                continue;
+            }
+            ctx.send(
+                NodeId(r),
+                RtMsg::Candidacy {
+                    epoch: self.epoch,
+                    idx: self.repl.applied_idx,
+                    replica: self.repl.replica,
+                },
+            );
+        }
+        ctx.timer(
+            self.shared.knobs().nack_grace,
+            RtMsg::ElectionTick { gen: self.repl.gen },
+        );
+    }
+
+    /// Election grace expired: the best watermark seen wins, lowest
+    /// replica index breaking ties — every voter that saw the same
+    /// candidacies computes the same winner.
+    fn election_tick(&mut self, ctx: &mut impl Outputs) {
+        let Some(election) = self.repl.election.take() else {
+            // A heartbeat cancelled the election mid-grace.
+            ctx.timer(
+                self.shared.knobs().repl_check_period(),
+                RtMsg::ReplCheck { gen: self.repl.gen },
+            );
+            return;
+        };
+        if election.best_replica == self.repl.replica {
+            self.promote(ctx);
+            return;
+        }
+        // A peer won: give it a fresh silence budget to announce itself.
+        self.repl.last_primary_at = ctx.now();
+        ctx.timer(
+            self.shared.knobs().repl_check_period(),
+            RtMsg::ReplCheck { gen: self.repl.gen },
+        );
+    }
+
+    /// This replica won the election: become primary, bump the epoch, and
+    /// re-announce with an immediate interval — the same epoch-bumped
+    /// resync path members already traverse for single-replica restarts.
+    /// The gap between the dead primary's advertised head and our replay
+    /// watermark is recorded as lost mutations; the affected members
+    /// re-request via `NotMember` rejoins and leave retransmissions.
+    fn promote(&mut self, ctx: &mut impl Outputs) {
+        self.stats.promotions += 1;
+        self.stats.lost_mutations += self
+            .repl
+            .primary_idx_seen
+            .saturating_sub(self.repl.applied_idx);
+        self.epoch += 1;
+        self.shared
+            .span("promotion", ctx.now(), ctx.now(), self.epoch);
+        self.repl.role = ReplRole::Primary;
+        self.repl.gen += 1;
+        self.tick_gen += 1;
+        self.repl.entry_buf.clear();
+        self.repl.election = None;
+        self.pending_leave_acks.clear();
+        // The follower's log holds exactly its applied prefix, so the new
+        // log head is the replay watermark. Peer watermarks start unknown
+        // and are re-learned from their heartbeat acks.
+        self.repl.next_idx = self.repl.applied_idx + 1;
+        let replicas = self.shared.knobs().replicas;
+        self.repl.acked = vec![u64::MAX; replicas.max(1)];
+        self.repl.acked[self.repl.replica] = self.repl.applied_idx;
+        // No split-index reset: replay was contiguous to this point —
+        // unlike a restart there is no rollback to discard.
+        self.end_interval(ctx);
+        ctx.timer(
+            self.shared.knobs().repl_period(),
+            RtMsg::ReplTick { gen: self.repl.gen },
+        );
     }
 }
 
@@ -882,6 +1631,17 @@ pub(crate) struct RtMember<S: SharedHandle> {
     pub(crate) shutdown_nacked: BTreeSet<u64>,
     /// Whether the one-shot shutdown resync was already sent.
     pub(crate) shutdown_resynced: bool,
+    /// The server replica this member currently talks to. Starts at the
+    /// initial primary (node 0) and follows the replies: any message from
+    /// a replica node re-anchors it, and server silence (an unanswered
+    /// `ServerPing`, or a control retry with no progress) rotates it
+    /// round-robin through the replica block until a live primary
+    /// answers.
+    pub(crate) server_node: NodeId,
+    /// Set when a `ServerPing` goes out, cleared by any server reply; if
+    /// still set at the next heartbeat, the server is silent and the
+    /// member rotates `server_node` before pinging again.
+    pub(crate) server_ping_outstanding: bool,
     pub(crate) stats: MemberStats,
 }
 
@@ -919,7 +1679,23 @@ impl<S: SharedHandle> RtMember<S> {
             expected_interval: 0,
             shutdown_nacked: BTreeSet::new(),
             shutdown_resynced: false,
+            server_node: SERVER,
+            server_ping_outstanding: false,
             stats: MemberStats::default(),
+        }
+    }
+
+    /// The node hosting `host`'s member, offset past the replica block.
+    fn member_node(&self, host: HostId) -> NodeId {
+        NodeId(host.0 + self.shared.knobs().replicas)
+    }
+
+    /// Rotates to the next server replica (round-robin). Called when the
+    /// current one stays silent; a single-replica config never rotates.
+    fn rotate_server(&mut self) {
+        let replicas = self.shared.knobs().replicas;
+        if replicas > 1 {
+            self.server_node = NodeId((self.server_node.0 + 1) % replicas);
         }
     }
 
@@ -941,6 +1717,15 @@ impl<S: SharedHandle> RtMember<S> {
     }
 
     pub(crate) fn receive(&mut self, ctx: &mut impl Outputs, from: NodeId, msg: RtMsg) {
+        // Any traffic from a replica node is server-originated (members
+        // all live past the replica block, and timer self-deliveries have
+        // `from == self`): adopt the sender as our server. After a
+        // failover this re-anchors every member on the promoted primary
+        // the moment its beacon interval (or any reply) arrives.
+        if from.0 < self.shared.knobs().replicas {
+            self.server_node = from;
+            self.server_ping_outstanding = false;
+        }
         if self.departed
             && !matches!(
                 msg,
@@ -952,7 +1737,7 @@ impl<S: SharedHandle> RtMember<S> {
         match msg {
             RtMsg::JoinRequest if self.member.is_none() && !self.join_requested => {
                 self.join_requested = true;
-                ctx.send(SERVER, RtMsg::JoinRequest);
+                ctx.send(self.server_node, RtMsg::JoinRequest);
                 self.arm(
                     ctx,
                     Retrying::Join,
@@ -1040,7 +1825,7 @@ impl<S: SharedHandle> RtMember<S> {
                 self.leave_pending = true;
                 self.departed = true;
                 self.retire();
-                ctx.send(SERVER, RtMsg::LeaveRequest);
+                ctx.send(self.server_node, RtMsg::LeaveRequest);
                 // The ack rides the next checkpoint, so the first retry
                 // only fires once a full rekey period has gone unanswered.
                 self.arm(
@@ -1080,7 +1865,7 @@ impl<S: SharedHandle> RtMember<S> {
                             self.stats.copies_forwarded += 1;
                             fanout += 1;
                             ctx.send(
-                                node_of_host(hop.neighbor.member.host),
+                                NodeId(hop.neighbor.member.host.0 + self.shared.knobs().replicas),
                                 RtMsg::Forward {
                                     level: hop.forward_level,
                                     prefix: PrefixBuf::of_hop(&hop),
@@ -1221,7 +2006,7 @@ impl<S: SharedHandle> RtMember<S> {
                 self.stats.rejoins += 1;
                 self.reset_to_unjoined();
                 self.join_requested = true;
-                ctx.send(SERVER, RtMsg::JoinRequest);
+                ctx.send(self.server_node, RtMsg::JoinRequest);
                 self.arm(
                     ctx,
                     Retrying::Join,
@@ -1472,7 +2257,7 @@ impl<S: SharedHandle> RtMember<S> {
             Retrying::Nack(i) => {
                 if self.shutdown_nacked.insert(i) {
                     self.stats.nacks_sent += 1;
-                    ctx.send(SERVER, RtMsg::Nack { interval: i });
+                    ctx.send(self.server_node, RtMsg::Nack { interval: i });
                 }
             }
             Retrying::Resync => {
@@ -1480,12 +2265,12 @@ impl<S: SharedHandle> RtMember<S> {
                     if let Some(member) = &self.member {
                         self.shutdown_resynced = true;
                         let id = member.id.clone();
-                        ctx.send(SERVER, RtMsg::ResyncRequest { id });
+                        ctx.send(self.server_node, RtMsg::ResyncRequest { id });
                     }
                 }
             }
-            Retrying::Join => ctx.send(SERVER, RtMsg::JoinRequest),
-            Retrying::Leave => ctx.send(SERVER, RtMsg::LeaveRequest),
+            Retrying::Join => ctx.send(self.server_node, RtMsg::JoinRequest),
+            Retrying::Leave => ctx.send(self.server_node, RtMsg::LeaveRequest),
         }
     }
 
@@ -1563,17 +2348,21 @@ impl<S: SharedHandle> RtMember<S> {
             // of those re-transmits; a NACK's or resync's first fire is
             // its scheduled first send, not a retransmission.
             self.stats.retransmissions += 1;
+            // The server we were talking to did not answer the previous
+            // attempt: aim the retransmission at the next replica. A live
+            // primary re-anchors `server_node` with its reply.
+            self.rotate_server();
         }
         match kind {
-            Retrying::Join => ctx.send(SERVER, RtMsg::JoinRequest),
-            Retrying::Leave => ctx.send(SERVER, RtMsg::LeaveRequest),
+            Retrying::Join => ctx.send(self.server_node, RtMsg::JoinRequest),
+            Retrying::Leave => ctx.send(self.server_node, RtMsg::LeaveRequest),
             Retrying::Resync => {
                 let id = self.member.as_ref().expect("checked above").id.clone();
-                ctx.send(SERVER, RtMsg::ResyncRequest { id });
+                ctx.send(self.server_node, RtMsg::ResyncRequest { id });
             }
             Retrying::Nack(i) => {
                 self.stats.nacks_sent += 1;
-                ctx.send(SERVER, RtMsg::Nack { interval: i });
+                ctx.send(self.server_node, RtMsg::Nack { interval: i });
             }
         }
     }
@@ -1628,7 +2417,10 @@ impl<S: SharedHandle> RtMember<S> {
                 .insert(record.member.id.clone(), record);
         }
         for id in self.suspect_records.keys() {
-            ctx.send(SERVER, RtMsg::FailureNotice { failed: id.clone() });
+            ctx.send(
+                self.server_node,
+                RtMsg::FailureNotice { failed: id.clone() },
+            );
         }
         if self.shared.is_shutdown() {
             self.heartbeat_running = false;
@@ -1649,17 +2441,19 @@ impl<S: SharedHandle> RtMember<S> {
             self.next_token += 1;
             self.outstanding.insert(token, id);
             self.stats.pings_sent += 1;
-            ctx.send(node_of_host(host), RtMsg::Ping { token });
+            ctx.send(self.member_node(host), RtMsg::Ping { token });
         }
         // Probe the server: its pong is our NACK evidence and our
         // membership certificate; a NotMember reply triggers a rejoin.
+        // An unanswered probe from the previous beat means the replica we
+        // were aimed at is silent — rotate before probing again.
+        if self.server_ping_outstanding {
+            self.rotate_server();
+        }
         if let Some(member) = &self.member {
-            ctx.send(
-                SERVER,
-                RtMsg::ServerPing {
-                    id: member.id.clone(),
-                },
-            );
+            let id = member.id.clone();
+            self.server_ping_outstanding = true;
+            ctx.send(self.server_node, RtMsg::ServerPing { id });
         }
         ctx.timer(
             self.shared.knobs().heartbeat_period,

@@ -25,7 +25,32 @@ use std::sync::Arc;
 
 use crate::GroupServer;
 
+use super::core::ReplOp;
 use super::IntervalMessage;
+
+/// Intervals of rekey history a checkpoint (and the live server) retains
+/// for unicast NACK recovery. A member that falls further behind than
+/// this window has already escalated past the NACK retry cap to a full
+/// resync, so older `Arc<IntervalMessage>`s are dead weight — pruning to
+/// the window bounds checkpoint memory regardless of session length.
+pub const HISTORY_WINDOW: usize = 64;
+
+/// One replicated mutation of the key server's state: the unit the
+/// primary streams to follower replicas (`RtMsg::ReplEntry`) and the
+/// unit a follower replays against its own [`GroupServer`]. Replication
+/// is deterministic state-machine replication — followers re-execute the
+/// op, they do not receive state — so an entry carries the *inputs* of
+/// the mutation, never its outputs.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Position in the primary's op log (first entry is 1). Acks and
+    /// elections compare these watermarks.
+    pub idx: u64,
+    /// Server epoch the op was appended under.
+    pub epoch: u64,
+    /// The mutation itself.
+    pub op: ReplOp,
+}
 
 /// One interval's durable server state.
 #[derive(Debug, Clone)]
@@ -36,9 +61,13 @@ pub struct Checkpoint {
     /// restarted server resumes numbering from here, and members whose
     /// applied sequence exceeds it hold rolled-back state.
     pub seq: u64,
+    /// The replication-log watermark covered by this checkpoint; a
+    /// restarted replica resumes acknowledging from here.
+    pub log_idx: u64,
     /// The per-interval rekey messages kept for unicast NACK recovery.
     /// Shared by reference with the live history, so a checkpoint costs no
-    /// payload copies.
+    /// payload copies. Bounded to [`HISTORY_WINDOW`] intervals at
+    /// [`Journal::record`] time.
     pub history: BTreeMap<u64, Arc<IntervalMessage>>,
 }
 
@@ -79,10 +108,15 @@ impl Journal {
     }
 
     /// Records `checkpoint`, superseding any previous one. A disabled
-    /// journal drops it.
-    pub fn record(&mut self, checkpoint: Checkpoint) {
+    /// journal drops it. The checkpoint's NACK history is pruned to the
+    /// last [`HISTORY_WINDOW`] intervals so journal memory stays bounded
+    /// no matter how long the session runs.
+    pub fn record(&mut self, mut checkpoint: Checkpoint) {
         if self.disabled {
             return;
+        }
+        while checkpoint.history.len() > HISTORY_WINDOW {
+            checkpoint.history.pop_first();
         }
         self.recorded += 1;
         self.latest = Some(checkpoint);
@@ -140,6 +174,7 @@ mod tests {
         journal.record(Checkpoint {
             server: server.clone(),
             seq: 5,
+            log_idx: 5,
             history: BTreeMap::new(),
         });
         assert_eq!(journal.recorded(), 1);
@@ -166,11 +201,13 @@ mod tests {
         journal.record(Checkpoint {
             server: server.clone(),
             seq: 4,
+            log_idx: 4,
             history: BTreeMap::new(),
         });
         journal.record(Checkpoint {
             server,
             seq: 9,
+            log_idx: 9,
             history: BTreeMap::new(),
         });
         assert_eq!(journal.recorded(), 2);
@@ -187,9 +224,81 @@ mod tests {
         journal.record(Checkpoint {
             server,
             seq: 6,
+            log_idx: 6,
             history: BTreeMap::new(),
         });
         let restored = journal.restore().unwrap();
         assert_eq!(restored.server.tree().group_key().cloned(), key);
+    }
+
+    /// `record` prunes the NACK history to [`HISTORY_WINDOW`] intervals:
+    /// a checkpoint stuffed with an unbounded history comes back bounded,
+    /// keeping the *newest* window.
+    #[test]
+    fn record_bounds_the_checkpoint_history() {
+        let (_, server) = server_with_members(3);
+        let mut history = BTreeMap::new();
+        for interval in 1..=(HISTORY_WINDOW as u64 * 3) {
+            history.insert(
+                interval,
+                Arc::new(IntervalMessage {
+                    interval,
+                    epoch: 0,
+                    sent_at: interval * 1_000,
+                    seq: interval,
+                    encryptions: Vec::new(),
+                    index: crate::SplitIndex::build(&[]),
+                }),
+            );
+        }
+        let mut journal = Journal::new();
+        journal.record(Checkpoint {
+            server,
+            seq: 1,
+            log_idx: 1,
+            history,
+        });
+        let kept = &journal.latest().unwrap().history;
+        assert_eq!(kept.len(), HISTORY_WINDOW);
+        assert_eq!(
+            *kept.keys().next().unwrap(),
+            HISTORY_WINDOW as u64 * 2 + 1,
+            "the oldest intervals are the ones pruned"
+        );
+        assert_eq!(*kept.keys().last().unwrap(), HISTORY_WINDOW as u64 * 3);
+    }
+
+    /// Back-to-back restores from the same checkpoint are byte-for-byte
+    /// the same state: a double failure (restore, crash again before the
+    /// next checkpoint) replays from the identical snapshot, group key
+    /// included.
+    #[test]
+    fn repeated_restores_replay_the_same_checkpoint() {
+        let (net, server) = server_with_members(6);
+        let key = server.tree().group_key().cloned();
+        let mut journal = Journal::new();
+        journal.record(Checkpoint {
+            server,
+            seq: 6,
+            log_idx: 6,
+            history: BTreeMap::new(),
+        });
+
+        // First restore: mutate it past the checkpoint (the mutations a
+        // second crash would lose), then restore again.
+        let mut first = journal.restore().unwrap();
+        let victim = first.server.group().members()[0].id.clone();
+        first.server.request_leave(&victim, &net).unwrap();
+        first.server.end_interval();
+
+        let second = journal.restore().unwrap();
+        assert_eq!(second.seq, 6);
+        assert_eq!(second.log_idx, 6);
+        assert_eq!(second.server.group().len(), 6);
+        assert_eq!(second.server.tree().group_key().cloned(), key);
+        assert_eq!(
+            second.server.interval(),
+            journal.latest().unwrap().server.interval()
+        );
     }
 }

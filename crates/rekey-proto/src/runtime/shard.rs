@@ -351,6 +351,12 @@ impl<NET: Network + Sync> ShardedGroupRuntime<NET> {
     ) -> Result<ShardedGroupRuntime<NET>, GroupError> {
         assert!(window > 0, "the drain window must be positive");
         assert!(shards > 0, "need at least one shard");
+        // The sharded engine models no server crashes (disabled journal)
+        // and bakes the legacy node mapping into its shard routing.
+        assert!(
+            config.replicas() == 1,
+            "the sharded runtime supports a single key-server replica"
+        );
         assert!(
             members < net.host_count(),
             "need a host per member plus one for the server"
@@ -436,6 +442,7 @@ impl<NET: Network + Sync> ShardedGroupRuntime<NET> {
             split_index: SplitIndexMaintainer::default(),
             journal: journal::Journal::disabled(),
             pending_leave_acks: Vec::new(),
+            repl: Replication::new(0, 1),
             stats: ServerStats {
                 welcomes: members as u64,
                 ..ServerStats::default()
@@ -799,6 +806,10 @@ impl<NET: Network + Sync> ShardedGroupRuntime<NET> {
             tombstone_hits: counter("tree_tombstone_hits"),
             partition_cuts: 0,
             fault_loss_drops: 0,
+            elections: server.elections,
+            promotions: server.promotions,
+            lost_mutations: server.lost_mutations,
+            repl_lag_peak: server.repl_lag_peak,
             peak_queue_depth: self.peak_queue,
             apply_delay_us: metrics.apply_delay_us.snapshot(),
             batch_size: registry

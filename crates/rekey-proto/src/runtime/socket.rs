@@ -19,11 +19,17 @@
 //!
 //! # Topology
 //!
-//! One coordinator (the caller's thread) owns the server state machine
-//! and its socket; `workers` threads each own one socket *hosting many
-//! members* — node `n` lives on worker `(n − 1) mod workers`, so a peer
-//! can route a frame from the node number alone. The socket-layer header
-//! carries logical source/destination nodes for demultiplexing.
+//! One coordinator (the caller's thread) owns the server replica state
+//! machines — one per configured replica, each behind its own socket on
+//! nodes `0..replicas` — and `workers` threads each own one socket
+//! *hosting many members*: member node `n` lives on worker
+//! `(n − replicas) mod workers`, so a peer can route a frame from the
+//! node number alone. The socket-layer header carries logical
+//! source/destination nodes for demultiplexing. Replication traffic
+//! between replicas travels over the same loopback sockets as member
+//! traffic; [`UdpGroupDriver::kill_server`] silences a replica (its
+//! datagrams and timers are discarded, like a crashed process) so tests
+//! can exercise follower election and promotion on real packets.
 //!
 //! The coordinator only makes progress while a driver method runs
 //! ([`UdpGroupDriver::run_to_interval`], [`UdpGroupDriver::finish`]):
@@ -109,18 +115,19 @@ pub struct SocketTraffic {
     pub decode_errors: u64,
 }
 
-/// Where each logical node's datagrams go.
+/// Where each logical node's datagrams go: server replicas occupy nodes
+/// `0..servers.len()`, members hash onto the worker sockets past them.
 struct Routes {
-    server: SocketAddr,
+    servers: Vec<SocketAddr>,
     workers: Vec<SocketAddr>,
 }
 
 impl Routes {
     fn addr_of(&self, node: NodeId) -> SocketAddr {
-        if node == SERVER {
-            self.server
+        if node.0 < self.servers.len() {
+            self.servers[node.0]
         } else {
-            self.workers[(node.0 - 1) % self.workers.len()]
+            self.workers[(node.0 - self.servers.len()) % self.workers.len()]
         }
     }
 }
@@ -423,6 +430,17 @@ impl Worker {
     }
 }
 
+/// One key-server replica on the coordinator thread: its state machine,
+/// its own loopback socket, and a liveness flag. A dead replica's
+/// datagrams and timers are discarded until it is revived — the socket
+/// analogue of a crashed process whose kernel buffers drain to nowhere.
+struct ServerSlot<NET: Network> {
+    rt: RtServer<NET, CoordHandle>,
+    endpoint: UdpEndpoint,
+    alive: bool,
+    last_timeout: Option<Duration>,
+}
+
 /// The real-socket group driver: the same protocol core as the
 /// simulation runtimes, executed over loopback UDP in real time.
 ///
@@ -438,8 +456,9 @@ impl Worker {
 /// [`run_to_interval`]: UdpGroupDriver::run_to_interval
 /// [`finish`]: UdpGroupDriver::finish
 pub struct UdpGroupDriver<NET: Network> {
-    server: RtServer<NET, CoordHandle>,
-    endpoint: UdpEndpoint,
+    /// Server replicas on nodes `0..servers.len()`; slot 0 is the
+    /// initial primary.
+    servers: Vec<ServerSlot<NET>>,
     routes: Arc<Routes>,
     epoch: Instant,
     poll: Duration,
@@ -452,7 +471,7 @@ pub struct UdpGroupDriver<NET: Network> {
     peak_timers: usize,
     decode_errors: Arc<AtomicU64>,
     server_host: HostId,
-    /// Handles dealt so far; handle `h` is node `h + 1` on host `h`.
+    /// Handles dealt so far; handle `h` is node `h + replicas` on host `h`.
     handles: usize,
     /// Populated by [`UdpGroupDriver::finish`]: member state machines
     /// collected from the workers, indexed by handle.
@@ -461,7 +480,6 @@ pub struct UdpGroupDriver<NET: Network> {
     sends: Vec<(NodeId, RtMsg)>,
     new_timers: Vec<(SimTime, RtMsg)>,
     frame: Vec<u8>,
-    last_timeout: Option<Duration>,
 }
 
 impl<NET: Network> UdpGroupDriver<NET> {
@@ -500,44 +518,62 @@ impl<NET: Network> UdpGroupDriver<NET> {
         let server_host = HostId(net.host_count() - 1);
         let net = Rc::new(net);
         let hosts: Vec<HostId> = (0..members).map(HostId).collect();
-        let (mut server_fsm, welcomes) = group.bootstrap(server_host, &hosts, &*net)?;
+        let replicas = config.replicas();
+        let knobs = Knobs::of_config(&config);
 
-        let core = ShardCore::new(Knobs::of_config(&config));
+        let core = ShardCore::new(knobs);
         let registry = Registry::new();
-        server_fsm.instrument_tree(TreeMetrics::in_registry(&registry));
-        let spec = *server_fsm.group().spec();
 
-        let endpoint = UdpEndpoint::bind_loopback()?;
         let mut worker_endpoints = Vec::with_capacity(workers);
         for _ in 0..workers {
             worker_endpoints.push(UdpEndpoint::bind_loopback()?);
         }
+        let mut slots = Vec::with_capacity(replicas);
+        // Every replica runs the same seeded dealing pass, so all start
+        // from byte-identical group state — the socket equivalent of the
+        // followers having replayed the primary's bootstrap log.
+        let mut welcomes = Vec::new();
+        for replica in 0..replicas {
+            let (mut server_fsm, dealt) = group.clone().bootstrap(server_host, &hosts, &*net)?;
+            if replica == 0 {
+                server_fsm.instrument_tree(TreeMetrics::in_registry(&registry));
+                welcomes = dealt;
+            }
+            let rt = RtServer {
+                net: Rc::clone(&net),
+                shared: CoordHandle::new(Arc::clone(&core), registry.clone()),
+                server: server_fsm,
+                epoch: 0,
+                seq: 0,
+                tick_gen: 0,
+                next_interval_at: config.rekey_period(),
+                last_round_at: 0,
+                history: BTreeMap::new(),
+                split_index: SplitIndexMaintainer::default(),
+                journal: journal::Journal::disabled(),
+                pending_leave_acks: Vec::new(),
+                repl: Replication::new(replica, replicas),
+                stats: ServerStats {
+                    // The bootstrap deal is counted once, on the primary.
+                    welcomes: if replica == 0 { members as u64 } else { 0 },
+                    ..ServerStats::default()
+                },
+            };
+            slots.push(ServerSlot {
+                rt,
+                endpoint: UdpEndpoint::bind_loopback()?,
+                alive: true,
+                last_timeout: None,
+            });
+        }
+        let spec = *slots[0].rt.server.group().spec();
         let routes = Arc::new(Routes {
-            server: endpoint.local_addr(),
+            servers: slots.iter().map(|s| s.endpoint.local_addr()).collect(),
             workers: worker_endpoints
                 .iter()
                 .map(UdpEndpoint::local_addr)
                 .collect(),
         });
-
-        let server = RtServer {
-            net,
-            shared: CoordHandle::new(Arc::clone(&core), registry.clone()),
-            server: server_fsm,
-            epoch: 0,
-            seq: 0,
-            tick_gen: 0,
-            next_interval_at: config.rekey_period(),
-            last_round_at: 0,
-            history: BTreeMap::new(),
-            split_index: SplitIndexMaintainer::default(),
-            journal: journal::Journal::disabled(),
-            pending_leave_acks: Vec::new(),
-            stats: ServerStats {
-                welcomes: members as u64,
-                ..ServerStats::default()
-            },
-        };
 
         let decode_errors = Arc::new(AtomicU64::new(0));
         let poll = Duration::from_millis(1);
@@ -577,8 +613,7 @@ impl<NET: Network> UdpGroupDriver<NET> {
         }
 
         let mut driver = UdpGroupDriver {
-            server,
-            endpoint,
+            servers: slots,
             routes,
             epoch,
             poll,
@@ -597,7 +632,6 @@ impl<NET: Network> UdpGroupDriver<NET> {
             sends: Vec::new(),
             new_timers: Vec::new(),
             frame: Vec::new(),
-            last_timeout: None,
         };
 
         // Seed the pre-welcomed members, mirroring the sharded
@@ -605,8 +639,8 @@ impl<NET: Network> UdpGroupDriver<NET> {
         // at the first rekey boundary plus the NACK grace.
         let first_deadline = config.rekey_period() + config.nack_grace();
         for (i, welcome) in welcomes.into_iter().enumerate() {
-            let record = driver.server.server.group().members()[i].clone();
-            let table = driver.server.server.group().table(i).clone();
+            let record = driver.servers[0].rt.server.group().members()[i].clone();
+            let table = driver.servers[0].rt.server.group().table(i).clone();
             debug_assert_eq!(record.id, welcome.id);
 
             let mut member = RtMember::new(Arc::clone(&driver.core));
@@ -618,7 +652,7 @@ impl<NET: Network> UdpGroupDriver<NET> {
             member.next_boundary = config.rekey_period();
             member.expected_interval = 2;
 
-            let node = node_of_host(HostId(i));
+            let node = NodeId(i + replicas);
             driver.handles += 1;
             driver
                 .worker_of(node)
@@ -631,46 +665,89 @@ impl<NET: Network> UdpGroupDriver<NET> {
                 .expect("worker thread alive at bootstrap");
         }
 
-        driver.arm_server_timer(config.rekey_period(), RtMsg::IntervalTick { gen: 0 });
+        driver.arm_server_timer(
+            SERVER,
+            config.rekey_period(),
+            RtMsg::IntervalTick { gen: 0 },
+        );
+        if replicas > 1 {
+            // Mirror the simulator's replication bring-up: the primary
+            // streams/heartbeats every half rekey period, followers run
+            // staggered liveness checks so elections do not collide.
+            driver.arm_server_timer(SERVER, knobs.repl_period(), RtMsg::ReplTick { gen: 0 });
+            for r in 1..replicas {
+                driver.arm_server_timer(
+                    NodeId(r),
+                    config.rekey_period() + r as SimTime * config.retry_base(),
+                    RtMsg::ReplCheck { gen: 0 },
+                );
+            }
+        }
         Ok(driver)
     }
 
     fn worker_of(&self, node: NodeId) -> &WorkerLink {
-        &self.workers[(node.0 - 1) % self.workers.len()]
+        &self.workers[(node.0 - self.servers.len()) % self.workers.len()]
+    }
+
+    /// The configured replica count (`servers.len()`).
+    fn replicas(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The replica currently acting as primary: the alive, non-diverged
+    /// [`ReplRole::Primary`] with the highest epoch, falling back to
+    /// replica 0 mid-election.
+    fn acting_primary(&self) -> usize {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && s.rt.repl.active && s.rt.repl.role == ReplRole::Primary)
+            .max_by_key(|(_, s)| s.rt.epoch)
+            .map(|(r, _)| r)
+            .unwrap_or(0)
+    }
+
+    fn primary_rt(&self) -> &RtServer<NET, CoordHandle> {
+        &self.servers[self.acting_primary()].rt
     }
 
     fn now_us(&self) -> SimTime {
         micros_since(self.epoch)
     }
 
-    fn arm_server_timer(&mut self, due: SimTime, msg: RtMsg) {
+    fn arm_server_timer(&mut self, node: NodeId, due: SimTime, msg: RtMsg) {
         self.timer_seq += 1;
         self.timers.push(TimerEntry {
             due,
             seq: self.timer_seq,
-            node: SERVER,
+            node,
             msg,
         });
         self.peak_timers = self.peak_timers.max(self.timers.len());
     }
 
-    /// Feeds one event to the server state machine and flushes its
-    /// outputs onto the wire.
-    fn server_receive(&mut self, from: NodeId, msg: RtMsg) {
+    /// Feeds one event to replica `slot`'s state machine and flushes its
+    /// outputs onto the wire. Events for a killed replica are discarded.
+    fn server_receive(&mut self, slot: usize, from: NodeId, msg: RtMsg) {
+        if !self.servers[slot].alive {
+            return;
+        }
         let now = self.now_us();
+        let node = NodeId(slot);
         let mut ctx = SocketCtx {
             now,
-            node: SERVER,
+            node,
             sends: &mut self.sends,
             timers: &mut self.new_timers,
         };
-        self.server.receive(&mut ctx, from, msg);
+        self.servers[slot].rt.receive(&mut ctx, from, msg);
         for (delay, msg) in self.new_timers.drain(..) {
             self.timer_seq += 1;
             self.timers.push(TimerEntry {
                 due: now + delay.max(1),
                 seq: self.timer_seq,
-                node: SERVER,
+                node,
                 msg,
             });
         }
@@ -678,13 +755,19 @@ impl<NET: Network> UdpGroupDriver<NET> {
         for (to, msg) in std::mem::take(&mut self.sends) {
             encode_payload(&msg, &mut self.frame);
             let peer = self.routes.addr_of(to);
-            let _ = self
-                .endpoint
-                .send_frame(peer, SERVER.0 as u32, to.0 as u32, &self.frame);
+            let _ = self.servers[slot].endpoint.send_frame(
+                peer,
+                node.0 as u32,
+                to.0 as u32,
+                &self.frame,
+            );
         }
     }
 
-    /// Pumps the server — timers and socket — for up to `slice`.
+    /// Pumps the server replicas — timers and sockets — for up to
+    /// `slice`. The wait budget of each beat is split across the alive
+    /// replica sockets (with one replica this is the classic
+    /// single-socket poll).
     fn pump(&mut self, slice: Duration) {
         let deadline = Instant::now() + slice;
         loop {
@@ -693,8 +776,8 @@ impl<NET: Network> UdpGroupDriver<NET> {
                 match self.timers.peek() {
                     Some(t) if t.due <= now => {
                         let t = self.timers.pop().expect("peeked above");
-                        debug_assert_eq!(t.node, SERVER);
-                        self.server_receive(SERVER, t.msg);
+                        debug_assert!(t.node.0 < self.servers.len());
+                        self.server_receive(t.node.0, t.node, t.msg);
                     }
                     _ => break,
                 }
@@ -708,21 +791,37 @@ impl<NET: Network> UdpGroupDriver<NET> {
                 let gap = t.due.saturating_sub(self.now_us()).max(1);
                 timeout = timeout.min(Duration::from_micros(gap));
             }
-            if self.last_timeout != Some(timeout) {
-                if self.endpoint.set_read_timeout(Some(timeout)).is_err() {
-                    return;
-                }
-                self.last_timeout = Some(timeout);
+            let alive = self.servers.iter().filter(|s| s.alive).count();
+            if alive == 0 {
+                std::thread::sleep(timeout);
+                continue;
             }
-            if let Ok(Some((header, payload))) = self.endpoint.recv_frame() {
-                match decode_msg(payload, &self.spec) {
-                    Ok(msg) => {
-                        let src = NodeId(header.src as usize);
-                        self.server_receive(src, msg);
+            let per_slot = (timeout / alive as u32).max(Duration::from_micros(1));
+            for slot in 0..self.servers.len() {
+                if !self.servers[slot].alive {
+                    continue;
+                }
+                let decoded = {
+                    let s = &mut self.servers[slot];
+                    if s.last_timeout != Some(per_slot) {
+                        if s.endpoint.set_read_timeout(Some(per_slot)).is_err() {
+                            continue;
+                        }
+                        s.last_timeout = Some(per_slot);
                     }
-                    Err(_) => {
-                        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    match s.endpoint.recv_frame() {
+                        Ok(Some((header, payload))) => match decode_msg(payload, &self.spec) {
+                            Ok(msg) => Some((NodeId(header.src as usize), msg)),
+                            Err(_) => {
+                                self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                None
+                            }
+                        },
+                        _ => None,
                     }
+                };
+                if let Some((src, msg)) = decoded {
+                    self.server_receive(slot, src, msg);
                 }
             }
         }
@@ -774,7 +873,7 @@ impl<NET: Network> UdpGroupDriver<NET> {
             "substrate has no free host for another join"
         );
         self.handles += 1;
-        let node = NodeId(handle + 1);
+        let node = NodeId(handle + self.replicas());
         let member = RtMember::new(Arc::clone(&self.core));
         let link = self.worker_of(node);
         link.ctl
@@ -803,7 +902,7 @@ impl<NET: Network> UdpGroupDriver<NET> {
     pub fn leave(&mut self, handle: usize) {
         assert!(!self.finished, "driver already finished");
         assert!(handle < self.handles, "member handle {handle} never joined");
-        let node = NodeId(handle + 1);
+        let node = NodeId(handle + self.replicas());
         self.worker_of(node)
             .ctl
             .send(WorkerCtl::Inject {
@@ -813,14 +912,44 @@ impl<NET: Network> UdpGroupDriver<NET> {
             .expect("worker thread alive");
     }
 
-    /// Pumps the session until the server has completed rekey interval
-    /// `target` *and* every live member has applied it, or `timeout`
-    /// elapses. Returns whether the target was reached.
+    /// Kills server replica `replica`: from now on its datagrams and
+    /// timers are silently discarded, exactly as if the process died.
+    /// With replicas configured, a follower detects the silence and
+    /// promotes itself over real packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range replica index.
+    pub fn kill_server(&mut self, replica: usize) {
+        assert!(replica < self.servers.len(), "no such replica");
+        self.servers[replica].alive = false;
+    }
+
+    /// Revives a previously killed replica: it rejoins as a follower via
+    /// the protocol's `Restart` path and catches up from the acting
+    /// primary's replication stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range replica index.
+    pub fn revive_server(&mut self, replica: usize) {
+        assert!(replica < self.servers.len(), "no such replica");
+        if self.servers[replica].alive {
+            return;
+        }
+        self.servers[replica].alive = true;
+        let node = NodeId(replica);
+        self.server_receive(replica, node, RtMsg::Restart);
+    }
+
+    /// Pumps the session until the acting primary has completed rekey
+    /// interval `target` *and* every live member has applied it, or
+    /// `timeout` elapses. Returns whether the target was reached.
     pub fn run_to_interval(&mut self, target: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
             self.pump(Duration::from_millis(20));
-            if self.server.server.interval() >= target && self.lag(target) == 0 {
+            if self.primary_rt().server.interval() >= target && self.lag(target) == 0 {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -845,19 +974,23 @@ impl<NET: Network> UdpGroupDriver<NET> {
         let deadline = Instant::now() + timeout;
         let mut converged = false;
         while !converged {
-            self.server_receive(SERVER, RtMsg::Flush);
+            // Flush whichever replica is acting primary — after a
+            // failover that is the promoted follower.
+            let primary = self.acting_primary();
+            self.server_receive(primary, NodeId(primary), RtMsg::Flush);
             self.pump(Duration::from_millis(40));
-            let (joins, leaves) = self.server.server.pending();
+            let primary = self.acting_primary();
+            let (joins, leaves) = self.servers[primary].rt.server.pending();
             // Beyond the server's own queues, wait for every member's
             // repairs: the flush's `Recover` broadcast carries both the
             // latest key material and the mutation watermark, so a
             // member that lost an interval or the tail of the
             // `MemberLeft` stream to a kernel drop NACKs or resyncs now
             // — those replies must land before workers are collected.
-            let interval = self.server.server.interval();
+            let interval = self.servers[primary].rt.server.interval();
             converged = joins == 0
                 && leaves == 0
-                && self.server.pending_leave_acks.is_empty()
+                && self.servers[primary].rt.pending_leave_acks.is_empty()
                 && self.lag(interval) == 0
                 && self.stale_members() == 0;
             if !converged && Instant::now() >= deadline {
@@ -870,6 +1003,7 @@ impl<NET: Network> UdpGroupDriver<NET> {
         for link in &mut self.workers {
             link.ctl.send(WorkerCtl::Stop).expect("worker thread alive");
         }
+        let replicas = self.replicas();
         for link in &mut self.workers {
             let members = link
                 .handle
@@ -878,21 +1012,27 @@ impl<NET: Network> UdpGroupDriver<NET> {
                 .join()
                 .expect("worker thread did not panic");
             for (node, member) in members {
-                self.collected[node.0 - 1] = Some(member);
+                self.collected[node.0 - replicas] = Some(member);
             }
         }
         self.finished = true;
         converged
     }
 
-    /// The authoritative server state machine.
+    /// The authoritative server state machine (the acting primary's).
     pub fn server(&self) -> &GroupServer {
-        &self.server.server
+        &self.primary_rt().server
     }
 
-    /// The authoritative membership view.
+    /// The authoritative membership view (the acting primary's).
     pub fn group(&self) -> &Group {
-        self.server.server.group()
+        self.primary_rt().server.group()
+    }
+
+    /// The index of the replica currently acting as primary (0 until a
+    /// failover promotes a follower).
+    pub fn primary_replica(&self) -> usize {
+        self.acting_primary()
     }
 
     /// Handles dealt so far (alive or departed).
@@ -930,7 +1070,7 @@ impl<NET: Network> UdpGroupDriver<NET> {
     /// yet) or when an admitted member is missing its table.
     pub fn check_consistency(&self) -> Result<(), ConsistencyViolation> {
         assert!(self.finished, "collect members with finish() first");
-        let group = self.server.server.group();
+        let group = self.primary_rt().server.group();
         let members: Vec<Member> = group.members().to_vec();
         let tables: Vec<NeighborTable> = members
             .iter()
@@ -960,7 +1100,9 @@ impl<NET: Network> UdpGroupDriver<NET> {
             total.oversize_drops += stats.oversize_drops.load(Ordering::Relaxed);
             total.malformed_frames += stats.malformed_frames.load(Ordering::Relaxed);
         };
-        absorb(&self.endpoint.stats());
+        for slot in &self.servers {
+            absorb(&slot.endpoint.stats());
+        }
         for link in &self.workers {
             absorb(&link.stats);
         }
@@ -974,7 +1116,29 @@ impl<NET: Network> UdpGroupDriver<NET> {
     /// recoveries instead). Member-side counters are merged only after
     /// [`UdpGroupDriver::finish`].
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let server = self.server.stats;
+        // Sum mutation counters across the replica fleet: each mutation
+        // is counted once, by whichever replica was primary when it was
+        // applied, so the sum reads like a single logical server.
+        let mut server = ServerStats::default();
+        for slot in &self.servers {
+            let s = &slot.rt.stats;
+            server.intervals += s.intervals;
+            server.joins += s.joins;
+            server.departures += s.departures;
+            server.failures_detected += s.failures_detected;
+            server.forward_copies += s.forward_copies;
+            server.nacks += s.nacks;
+            server.recovery_encryptions += s.recovery_encryptions;
+            server.welcomes += s.welcomes;
+            server.resyncs += s.resyncs;
+            server.restarts += s.restarts;
+            server.checkpoints += s.checkpoints;
+            server.leave_acks += s.leave_acks;
+            server.elections += s.elections;
+            server.promotions += s.promotions;
+            server.lost_mutations += s.lost_mutations;
+            server.repl_lag_peak = server.repl_lag_peak.max(s.repl_lag_peak);
+        }
         let registry = self.registry.snapshot();
         let counter = |name: &str| registry.counters.get(name).copied().unwrap_or(0);
         let traffic = self.traffic();
@@ -1008,6 +1172,10 @@ impl<NET: Network> UdpGroupDriver<NET> {
             tombstone_hits: counter("tree_tombstone_hits"),
             partition_cuts: 0,
             fault_loss_drops: 0,
+            elections: server.elections,
+            promotions: server.promotions,
+            lost_mutations: server.lost_mutations,
+            repl_lag_peak: server.repl_lag_peak,
             peak_queue_depth: self.peak_timers,
             apply_delay_us,
             batch_size: registry

@@ -43,7 +43,7 @@ use rekey_table::{Member, NeighborRecord, NeighborTable, PrimaryPolicy};
 use crate::transport::{PrefixBuf, SplitIndex, MAX_DEPTH};
 use crate::WelcomePacket;
 
-use super::core::{IntervalMessage, RtMsg};
+use super::core::{IntervalMessage, ReplOp, RtMsg};
 
 /// The codec version stamped on every frame. Decoders reject frames from
 /// any other version outright — rolling upgrades run one version per
@@ -107,6 +107,18 @@ const TAG_RESYNC: u8 = 0x15;
 const TAG_HEARTBEAT_TICK: u8 = 0x16;
 const TAG_INTERVAL_CHECK: u8 = 0x17;
 const TAG_RETRY_TICK: u8 = 0x18;
+const TAG_REPL_ENTRY: u8 = 0x19;
+const TAG_REPL_ACK: u8 = 0x1A;
+const TAG_REPL_HEARTBEAT: u8 = 0x1B;
+const TAG_CANDIDACY: u8 = 0x1C;
+const TAG_REPL_TICK: u8 = 0x1D;
+const TAG_REPL_CHECK: u8 = 0x1E;
+const TAG_ELECTION_TICK: u8 = 0x1F;
+
+/// `ReplOp` body: `op:u8` (0 = Join, 1 = Leave, 2 = Interval) + fields.
+const OP_JOIN: u8 = 0;
+const OP_LEAVE: u8 = 1;
+const OP_INTERVAL: u8 = 2;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -259,6 +271,43 @@ fn get_interval_message(r: &mut Reader<'_>, spec: &IdSpec) -> Result<IntervalMes
         encryptions,
         index,
     })
+}
+
+fn put_repl_op(out: &mut Vec<u8>, op: &ReplOp) {
+    match op {
+        ReplOp::Join { host, at } => {
+            out.push(OP_JOIN);
+            put_u64(out, host.0 as u64);
+            put_u64(out, *at);
+        }
+        ReplOp::Leave { id } => {
+            out.push(OP_LEAVE);
+            put_user_id(out, id);
+        }
+        ReplOp::Interval { sent_at } => {
+            out.push(OP_INTERVAL);
+            put_u64(out, *sent_at);
+        }
+    }
+}
+
+fn get_repl_op(r: &mut Reader<'_>, spec: &IdSpec) -> Result<ReplOp, WireError> {
+    match r.u8()? {
+        OP_JOIN => {
+            let host = r.u64()?;
+            let host = usize::try_from(host).map_err(|_| WireError::BadValue("host id"))?;
+            let at = r.u64()?;
+            Ok(ReplOp::Join {
+                host: HostId(host),
+                at,
+            })
+        }
+        OP_LEAVE => Ok(ReplOp::Leave {
+            id: get_user_id(r, spec)?,
+        }),
+        OP_INTERVAL => Ok(ReplOp::Interval { sent_at: r.u64()? }),
+        _ => Err(WireError::BadValue("replication op")),
+    }
 }
 
 /// Appends one versioned [`RtMsg`] frame to `out`.
@@ -418,6 +467,51 @@ pub fn encode_msg(msg: &RtMsg, out: &mut Vec<u8>) {
             out.push(TAG_RETRY_TICK);
             put_u64(out, *gen);
         }
+        RtMsg::ReplEntry { idx, epoch, op } => {
+            out.push(TAG_REPL_ENTRY);
+            put_u64(out, *idx);
+            put_u64(out, *epoch);
+            put_repl_op(out, op);
+        }
+        RtMsg::ReplAck { replica, idx } => {
+            out.push(TAG_REPL_ACK);
+            put_u64(out, *replica as u64);
+            put_u64(out, *idx);
+        }
+        RtMsg::ReplHeartbeat {
+            epoch,
+            idx,
+            replica,
+            floor,
+        } => {
+            out.push(TAG_REPL_HEARTBEAT);
+            put_u64(out, *epoch);
+            put_u64(out, *idx);
+            put_u64(out, *replica as u64);
+            put_u64(out, *floor);
+        }
+        RtMsg::Candidacy {
+            epoch,
+            idx,
+            replica,
+        } => {
+            out.push(TAG_CANDIDACY);
+            put_u64(out, *epoch);
+            put_u64(out, *idx);
+            put_u64(out, *replica as u64);
+        }
+        RtMsg::ReplTick { gen } => {
+            out.push(TAG_REPL_TICK);
+            put_u64(out, *gen);
+        }
+        RtMsg::ReplCheck { gen } => {
+            out.push(TAG_REPL_CHECK);
+            put_u64(out, *gen);
+        }
+        RtMsg::ElectionTick { gen } => {
+            out.push(TAG_ELECTION_TICK);
+            put_u64(out, *gen);
+        }
     }
 }
 
@@ -563,6 +657,48 @@ pub fn decode_msg(buf: &[u8], spec: &IdSpec) -> Result<RtMsg, WireError> {
         TAG_HEARTBEAT_TICK => RtMsg::HeartbeatTick { gen: r.u64()? },
         TAG_INTERVAL_CHECK => RtMsg::IntervalCheck { gen: r.u64()? },
         TAG_RETRY_TICK => RtMsg::RetryTick { gen: r.u64()? },
+        TAG_REPL_ENTRY => {
+            let idx = r.u64()?;
+            let epoch = r.u64()?;
+            let op = get_repl_op(&mut r, spec)?;
+            RtMsg::ReplEntry { idx, epoch, op }
+        }
+        TAG_REPL_ACK => {
+            let replica = r.u64()?;
+            let replica =
+                usize::try_from(replica).map_err(|_| WireError::BadValue("replica index"))?;
+            let idx = r.u64()?;
+            RtMsg::ReplAck { replica, idx }
+        }
+        TAG_REPL_HEARTBEAT => {
+            let epoch = r.u64()?;
+            let idx = r.u64()?;
+            let replica = r.u64()?;
+            let replica =
+                usize::try_from(replica).map_err(|_| WireError::BadValue("replica index"))?;
+            let floor = r.u64()?;
+            RtMsg::ReplHeartbeat {
+                epoch,
+                idx,
+                replica,
+                floor,
+            }
+        }
+        TAG_CANDIDACY => {
+            let epoch = r.u64()?;
+            let idx = r.u64()?;
+            let replica = r.u64()?;
+            let replica =
+                usize::try_from(replica).map_err(|_| WireError::BadValue("replica index"))?;
+            RtMsg::Candidacy {
+                epoch,
+                idx,
+                replica,
+            }
+        }
+        TAG_REPL_TICK => RtMsg::ReplTick { gen: r.u64()? },
+        TAG_REPL_CHECK => RtMsg::ReplCheck { gen: r.u64()? },
+        TAG_ELECTION_TICK => RtMsg::ElectionTick { gen: r.u64()? },
         other => return Err(WireError::UnknownTag(other)),
     };
     r.finish()?;

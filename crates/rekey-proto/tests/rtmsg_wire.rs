@@ -17,7 +17,7 @@ use rekey_crypto::{Encryption, Key};
 use rekey_id::{IdPrefix, IdSpec, UserId};
 use rekey_net::HostId;
 use rekey_proto::runtime::wire::{decode_msg, encode_msg, WireError, WIRE_VERSION};
-use rekey_proto::runtime::{IntervalMessage, RtMsg};
+use rekey_proto::runtime::{IntervalMessage, ReplOp, RtMsg};
 use rekey_proto::transport::PrefixBuf;
 use rekey_proto::{SplitIndex, WelcomePacket};
 use rekey_table::{Member, NeighborRecord, NeighborTable, PrimaryPolicy};
@@ -122,7 +122,42 @@ fn arb_prefix_buf() -> impl Strategy<Value = PrefixBuf> {
     vec(digit(), 0..=DEPTH).prop_map(|d| PrefixBuf::new(&d))
 }
 
+fn arb_repl_op() -> impl Strategy<Value = ReplOp> {
+    prop_oneof![
+        (0usize..10_000, 0u64..1 << 40).prop_map(|(host, at)| ReplOp::Join {
+            host: HostId(host),
+            at,
+        }),
+        arb_user_id().prop_map(|id| ReplOp::Leave { id }),
+        (0u64..1 << 40).prop_map(|sent_at| ReplOp::Interval { sent_at }),
+    ]
+}
+
 fn arb_msg() -> impl Strategy<Value = RtMsg> {
+    let repl = prop_oneof![
+        (1u64..1 << 40, 0u64..16, arb_repl_op()).prop_map(|(idx, epoch, op)| RtMsg::ReplEntry {
+            idx,
+            epoch,
+            op
+        }),
+        (0usize..64, 0u64..1 << 40).prop_map(|(replica, idx)| RtMsg::ReplAck { replica, idx }),
+        (0u64..16, 0u64..1 << 40, 0usize..64, 0u64..1 << 40).prop_map(
+            |(epoch, idx, replica, floor)| RtMsg::ReplHeartbeat {
+                epoch,
+                idx,
+                replica,
+                floor,
+            }
+        ),
+        (0u64..16, 0u64..1 << 40, 0usize..64).prop_map(|(epoch, idx, replica)| RtMsg::Candidacy {
+            epoch,
+            idx,
+            replica
+        }),
+        (0u64..1 << 40).prop_map(|gen| RtMsg::ReplTick { gen }),
+        (0u64..1 << 40).prop_map(|gen| RtMsg::ReplCheck { gen }),
+        (0u64..1 << 40).prop_map(|gen| RtMsg::ElectionTick { gen }),
+    ];
     let small = prop_oneof![
         (0u64..1 << 40).prop_map(|gen| RtMsg::IntervalTick { gen }),
         Just(RtMsg::Flush),
@@ -222,7 +257,7 @@ fn arb_msg() -> impl Strategy<Value = RtMsg> {
                 }
             }),
     ];
-    prop_oneof![small, compound]
+    prop_oneof![small, compound, repl]
 }
 
 fn encode(msg: &RtMsg) -> Vec<u8> {

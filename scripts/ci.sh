@@ -23,6 +23,9 @@ cargo test --offline --release -q --test runtime_soak -- --ignored
 echo "==> chaos soak (1k members, burst loss + partition + server restart)"
 cargo test --offline --release -q --test chaos_soak -- --ignored
 
+echo "==> failover soak (1k members, replicated server, primary killed mid-interval)"
+cargo test --offline --release -q --test failover_soak -- --ignored
+
 echo "==> metrics smoke (200-member soak, snapshot JSON schema validation)"
 cargo test --offline --release -q --test metrics_smoke -- --ignored
 
@@ -34,6 +37,9 @@ cargo run --offline --release -q -p rekey-bench --bin bench_runtime -- --mega-ca
 
 echo "==> loopback-UDP load-test smoke (1k members over real sockets, bounded wall-clock)"
 cargo run --offline --release -q -p rekey-bench --bin load_test -- --members 1024 --intervals 2 > /dev/null
+
+echo "==> bench_failover smoke (replica count x kill timing, schema-validated snapshots)"
+cargo run --offline --release -q -p rekey-bench --bin bench_failover > /dev/null
 
 echo "==> cargo test --doc"
 cargo test --offline --workspace -q --doc
