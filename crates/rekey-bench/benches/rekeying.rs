@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use rand::{Rng, SeedableRng};
 use rekey_id::{IdSpec, UserId};
-use rekey_keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree, OriginalKeyTree};
+use rekey_keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree, OriginalKeyTree, RekeyArena};
 use rekey_net::{HostId, MatrixNetwork, PlanetLabParams};
 use rekey_proto::{tmesh_rekey_transport, TransportOptions};
 use rekey_table::{Member, PrimaryPolicy};
@@ -36,13 +36,17 @@ fn bench_batch_rekey(c: &mut Criterion) {
     let (base, fresh) = ids.split_at(1024);
     let leaves = &base[..64];
 
+    let mut arena = RekeyArena::new();
     let mut modified = ModifiedKeyTree::new(&spec);
-    modified.batch_rekey(base, &[], &mut r).unwrap();
+    modified.batch_rekey(base, &[], &mut r, &mut arena).unwrap();
     g.throughput(Throughput::Elements(128));
     g.bench_function("modified", |b| {
         b.iter_batched(
-            || (modified.clone(), rng()),
-            |(mut t, mut r2)| t.batch_rekey(fresh, leaves, &mut r2).unwrap(),
+            || (modified.clone(), rng(), RekeyArena::new()),
+            |(mut t, mut r2, mut a)| {
+                t.batch_rekey(fresh, leaves, &mut r2, &mut a).unwrap();
+                a
+            },
             BatchSize::SmallInput,
         )
     });
@@ -57,11 +61,16 @@ fn bench_batch_rekey(c: &mut Criterion) {
     });
 
     let mut clustered = ClusteredKeyTree::new(&spec);
-    clustered.batch_rekey(base, &[], &mut r).unwrap();
+    clustered
+        .batch_rekey(base, &[], &mut r, &mut arena)
+        .unwrap();
     g.bench_function("cluster", |b| {
         b.iter_batched(
-            || (clustered.clone(), rng()),
-            |(mut t, mut r2)| t.batch_rekey(fresh, leaves, &mut r2).unwrap(),
+            || (clustered.clone(), rng(), RekeyArena::new()),
+            |(mut t, mut r2, mut a)| {
+                t.batch_rekey(fresh, leaves, &mut r2, &mut a).unwrap();
+                a
+            },
             BatchSize::SmallInput,
         )
     });
@@ -112,16 +121,19 @@ fn bench_split_transport(c: &mut Criterion) {
     let mut r = rng();
     let (net, mesh, ids) = build_mesh(512, &mut r);
     let mut tree = ModifiedKeyTree::new(&IdSpec::PAPER);
-    tree.batch_rekey(&ids, &[], &mut r).unwrap();
+    let mut arena = RekeyArena::new();
+    tree.batch_rekey(&ids, &[], &mut r, &mut arena).unwrap();
     // NOTE: the transported message rekeys 32 members who stay in the mesh
     // snapshot — fine for throughput measurement purposes.
-    let out = tree.batch_rekey(&[], &ids[..32], &mut r).unwrap();
+    let out = tree
+        .batch_rekey(&[], &ids[..32], &mut r, &mut arena)
+        .unwrap();
     g.throughput(Throughput::Elements(out.cost() as u64));
     g.bench_function("with_split", |b| {
-        b.iter(|| tmesh_rekey_transport(&mesh, &net, &out.encryptions, TransportOptions::split()))
+        b.iter(|| tmesh_rekey_transport(&mesh, &net, out.encryptions(), TransportOptions::split()))
     });
     g.bench_function("without_split", |b| {
-        b.iter(|| tmesh_rekey_transport(&mesh, &net, &out.encryptions, TransportOptions::flood()))
+        b.iter(|| tmesh_rekey_transport(&mesh, &net, out.encryptions(), TransportOptions::flood()))
     });
     g.finish();
 }
@@ -132,14 +144,17 @@ fn bench_keyring_absorb(c: &mut Criterion) {
     let spec = IdSpec::PAPER;
     let ids = unique_ids(&spec, 512, &mut r);
     let mut tree = ModifiedKeyTree::new(&spec);
-    tree.batch_rekey(&ids, &[], &mut r).unwrap();
+    let mut arena = RekeyArena::new();
+    tree.batch_rekey(&ids, &[], &mut r, &mut arena).unwrap();
     let ring = KeyRing::new(ids[0].clone(), tree.user_path_keys(&ids[0]));
-    let out = tree.batch_rekey(&[], &ids[256..], &mut r).unwrap();
+    let out = tree
+        .batch_rekey(&[], &ids[256..], &mut r, &mut arena)
+        .unwrap();
     g.throughput(Throughput::Elements(out.cost() as u64));
     g.bench_function("absorb_full_message", |b| {
         b.iter_batched(
             || ring.clone(),
-            |mut ring| ring.absorb(&out.encryptions),
+            |mut ring| ring.absorb(out.encryptions()),
             BatchSize::SmallInput,
         )
     });

@@ -7,7 +7,7 @@
 
 use rekey_bench::{arg_usize, grow_group, rekey_message_for_churn, ChurnPlan, Topology};
 use rekey_id::IdSpec;
-use rekey_keytree::ModifiedKeyTree;
+use rekey_keytree::{ModifiedKeyTree, RekeyArena};
 use rekey_proto::{lossy_rekey_transport, AssignParams};
 use rekey_sim::seeded_rng;
 use rekey_table::PrimaryPolicy;
@@ -32,7 +32,8 @@ fn main() {
     let mut rng = seeded_rng(0x1056);
     let ids: Vec<_> = build.group.members().iter().map(|m| m.id.clone()).collect();
     let mut tree = ModifiedKeyTree::new(&spec);
-    tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+    let mut arena = RekeyArena::new();
+    tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
     let plan = ChurnPlan {
         initial: users,
         joins: churn,
@@ -46,7 +47,9 @@ fn main() {
         &mut next_host,
         &mut rng,
     );
-    let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+    let out = tree
+        .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
+        .unwrap();
     let mesh = build.group.tmesh();
 
     println!("# ablation_loss: split rekey transport under per-copy loss + unicast recovery");
@@ -60,7 +63,7 @@ fn main() {
         let report = lossy_rekey_transport(
             &mesh,
             &build.net,
-            &out.encryptions,
+            out.encryptions(),
             f64::from(loss_pct) / 100.0,
             &mut seeded_rng(0xAB + u64::from(loss_pct)),
         );

@@ -10,7 +10,7 @@
 
 use rekey_bench::{arg_usize, grow_group, rekey_message_for_churn, ChurnPlan, Topology};
 use rekey_id::IdSpec;
-use rekey_keytree::ModifiedKeyTree;
+use rekey_keytree::{ModifiedKeyTree, RekeyArena};
 use rekey_net::Network;
 use rekey_proto::{split_for_neighbor, AssignParams};
 use rekey_sim::seeded_rng;
@@ -37,7 +37,8 @@ fn main() {
     let mut rng = seeded_rng(0x9acd);
     let ids: Vec<_> = build.group.members().iter().map(|m| m.id.clone()).collect();
     let mut tree = ModifiedKeyTree::new(&spec);
-    tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+    let mut arena = RekeyArena::new();
+    tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
     let plan = ChurnPlan {
         initial: users,
         joins: churn,
@@ -51,7 +52,9 @@ fn main() {
         &mut next_host,
         &mut rng,
     );
-    let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+    let out = tree
+        .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
+        .unwrap();
     let mesh = build.group.tmesh();
     let n = mesh.members().len();
     let index = |id: &rekey_id::UserId| {
@@ -86,7 +89,7 @@ fn main() {
             queue.push_back((
                 to,
                 hop.forward_level,
-                split_for_neighbor(&full, &out.encryptions, &prefix),
+                split_for_neighbor(&full, out.encryptions(), &prefix),
             ));
         }
         while let Some((member, level, needed)) = queue.pop_front() {
@@ -101,7 +104,7 @@ fn main() {
                 queue.push_back((
                     to,
                     hop.forward_level,
-                    split_for_neighbor(&needed, &out.encryptions, &prefix),
+                    split_for_neighbor(&needed, out.encryptions(), &prefix),
                 ));
             }
         }

@@ -1,0 +1,136 @@
+//! Measures the seal phase of [`ModifiedKeyTree::batch_rekey`] — key
+//! wrapping only, after key derivation — serial vs parallel.
+//!
+//! Each cell bootstraps a fresh tree with one batch big enough to hit the
+//! target seal-job count (~4k and ~64k encryptions), at 1/2/4/8 seal
+//! worker threads, and reads [`RekeyBatch::seal_nanos`], the wall-clock
+//! cost of exactly the phase the scoped-thread pipeline parallelises.
+//! Because per-slot nonces are derived from one per-batch seed, every
+//! thread count produces byte-identical output — the sweep re-checks that
+//! here by fingerprinting each cell's first and last encryption.
+//!
+//! Reported per cell: the actual batch cost, min/mean seal nanoseconds
+//! over the repeats, throughput in seals per microsecond, and the speedup
+//! over the single-thread cell of the same batch size. On a host with at
+//! least 4 cores the 64k sweep must show at least a 2x speedup at some
+//! thread count — the bin asserts it, so a pipeline regression fails CI
+//! loudly. Prints the committed `BENCH_crypto.json` to stdout via the
+//! shared deterministic writer; progress goes to stderr. Run with
+//! `--release`.
+//!
+//! [`ModifiedKeyTree::batch_rekey`]: rekey_keytree::ModifiedKeyTree::batch_rekey
+//! [`RekeyBatch::seal_nanos`]: rekey_keytree::RekeyBatch::seal_nanos
+
+use rand::SeedableRng;
+use rekey_bench::schema;
+use rekey_id::{IdSpec, UserId};
+use rekey_keytree::{ModifiedKeyTree, RekeyArena};
+use rekey_metrics::json::Writer;
+
+const SEED: u64 = 0xC0DE;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Cell {
+    threads: usize,
+    cost: usize,
+    min_ns: u64,
+    mean_ns: u64,
+}
+
+/// One sweep cell: `repeats` fresh bootstraps of `users` members, same
+/// seed every time, returning the batch cost and min/mean seal time plus
+/// a content fingerprint that must not vary with the thread count.
+fn measure(spec: &IdSpec, users: u64, threads: usize, repeats: u32) -> (Cell, Vec<u8>) {
+    let ids: Vec<UserId> = (0..users).map(|i| UserId::from_index(spec, i)).collect();
+    let mut arena = RekeyArena::new();
+    let (mut min_ns, mut sum_ns, mut cost) = (u64::MAX, 0u64, 0usize);
+    let mut fingerprint = Vec::new();
+    for _ in 0..repeats {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+        let mut tree = ModifiedKeyTree::new(spec);
+        tree.set_seal_threads(threads);
+        let out = tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
+        cost = out.cost();
+        min_ns = min_ns.min(out.seal_nanos());
+        sum_ns += out.seal_nanos();
+        let (first, last) = (&out.encryptions()[0], &out.encryptions()[cost - 1]);
+        fingerprint = [*first.wire_parts().2, *last.wire_parts().2].concat();
+    }
+    (
+        Cell {
+            threads,
+            cost,
+            min_ns,
+            mean_ns: sum_ns / u64::from(repeats),
+        },
+        fingerprint,
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // (spec, bootstrap size, repeats): batches of ~4k and ~64k seal jobs.
+    let sizes = [
+        (IdSpec::new(3, 16).unwrap(), 3_900u64, 7u32),
+        (IdSpec::new(4, 16).unwrap(), 61_000, 3),
+    ];
+
+    let mut w = Writer::new();
+    w.begin_object();
+    w.field_str(
+        "bench",
+        "batch-rekey seal phase, serial vs parallel: ~4k and ~64k \
+         encryptions x 1/2/4/8 seal threads, identical bytes asserted",
+    );
+    w.field_str("unit", "seal-phase nanoseconds (min/mean over repeats)");
+    w.field_usize("cores", cores);
+
+    let mut speedup_64k = 0.0f64;
+    w.begin_named_array("crypto_sweep");
+    for (spec, users, repeats) in sizes {
+        let mut serial_min = 0u64;
+        let mut baseline_print = Vec::new();
+        for threads in THREADS {
+            eprintln!("bench_crypto: {users} users, {threads} seal threads…");
+            let (cell, print) = measure(&spec, users, threads, repeats);
+            if cell.threads == 1 {
+                serial_min = cell.min_ns;
+                baseline_print = print;
+            } else {
+                assert_eq!(
+                    print, baseline_print,
+                    "threads={threads} changed the sealed bytes"
+                );
+            }
+            let speedup = serial_min as f64 / cell.min_ns as f64;
+            if cell.cost > 32_000 {
+                speedup_64k = speedup_64k.max(speedup);
+            }
+            w.begin_object();
+            w.field_usize("batch_cost", cell.cost);
+            w.field_usize("threads", cell.threads);
+            w.field_u64("seal_ns_min", cell.min_ns);
+            w.field_u64("seal_ns_mean", cell.mean_ns);
+            w.field_f64(
+                "seals_per_us",
+                cell.cost as f64 * 1_000.0 / cell.min_ns as f64,
+                2,
+            );
+            w.field_f64("speedup_vs_serial", speedup, 2);
+            w.end_object();
+        }
+    }
+    w.end_array();
+    w.field_f64("speedup_64k_best", speedup_64k, 2);
+    w.end_object();
+
+    let json = w.finish();
+    schema::validate_crypto_bench(&json);
+    if cores >= 4 {
+        assert!(
+            speedup_64k >= 2.0,
+            "parallel seal must be at least 2x serial at 64k on {cores} cores, got {speedup_64k:.2}x"
+        );
+    }
+    print!("{json}");
+}

@@ -9,7 +9,7 @@
 
 use rekey_bench::{arg_usize, grow_group, Topology};
 use rekey_id::{IdPrefix, IdSpec};
-use rekey_keytree::ModifiedKeyTree;
+use rekey_keytree::{ModifiedKeyTree, RekeyArena};
 use rekey_proto::concurrent::{run_concurrent_session, RekeyLoad, TrafficParams};
 use rekey_proto::AssignParams;
 use rekey_sim::seeded_rng;
@@ -37,7 +37,8 @@ fn main() {
     let mut rng = seeded_rng(0xC0C2);
     let ids: Vec<_> = build.group.members().iter().map(|m| m.id.clone()).collect();
     let mut tree = ModifiedKeyTree::new(&spec);
-    tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+    let mut arena = RekeyArena::new();
+    tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
     let plan = rekey_bench::ChurnPlan {
         initial: users,
         joins: churn,
@@ -51,8 +52,10 @@ fn main() {
         &mut next_host,
         &mut rng,
     );
-    let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
-    let enc_ids: Vec<IdPrefix> = out.encryptions.iter().map(|e| e.id().clone()).collect();
+    let out = tree
+        .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
+        .unwrap();
+    let enc_ids: Vec<IdPrefix> = out.encryptions().iter().map(|e| e.id().clone()).collect();
     let mesh = build.group.tmesh();
     eprintln!(
         "concurrent_transport: rekey message = {} encryptions",

@@ -15,7 +15,7 @@
 
 use rekey_bench::{arg_usize, grow_group, rekey_message_for_churn, ChurnPlan, Topology};
 use rekey_id::{IdSpec, UserId};
-use rekey_keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree};
+use rekey_keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree, RekeyArena};
 use rekey_proto::AssignParams;
 use rekey_sim::seeded_rng;
 use rekey_table::PrimaryPolicy;
@@ -51,14 +51,15 @@ fn main() {
         let ordered: Vec<UserId> = order.iter().map(|&i| base_ids[i].clone()).collect();
 
         // Server-side trees over the initial membership.
+        let mut arena = RekeyArena::new();
         let mut base_modified = ModifiedKeyTree::new(&spec);
         base_modified
-            .batch_rekey(&base_ids, &[], &mut rng)
+            .batch_rekey(&base_ids, &[], &mut rng, &mut arena)
             .expect("initial joins");
         let base_original = OriginalKeyTree::balanced(4, &base_ids);
         let mut base_cluster = ClusteredKeyTree::new(&spec);
         base_cluster
-            .batch_rekey(&ordered, &[], &mut rng)
+            .batch_rekey(&ordered, &[], &mut rng, &mut arena)
             .expect("initial joins");
 
         for (ji, &j) in grid.iter().enumerate() {
@@ -83,12 +84,12 @@ fn main() {
                 let mut cluster = base_cluster.clone();
                 let cell = &mut sums[ji * grid.len() + li];
                 cell[0] += modified
-                    .batch_rekey(&joins, &leaves, &mut rng)
+                    .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
                     .unwrap()
                     .cost() as f64;
                 cell[1] += original.batch_rekey(&joins, &leaves).cost() as f64;
                 cell[2] += cluster
-                    .batch_rekey(&joins, &leaves, &mut rng)
+                    .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
                     .unwrap()
                     .cost() as f64;
             }

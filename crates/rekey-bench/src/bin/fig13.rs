@@ -17,7 +17,7 @@ use rekey_bench::{
     arg_usize, grow_group, print_series_table, rekey_message_for_churn, ChurnPlan, Topology,
 };
 use rekey_id::{IdSpec, UserId};
-use rekey_keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree};
+use rekey_keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree, RekeyArena};
 use rekey_net::HostId;
 use rekey_proto::{
     cluster_rekey_transport, ipmc_rekey_transport, nice_rekey_transport, tmesh_rekey_transport,
@@ -54,13 +54,15 @@ fn main() {
 
     // Server-side key state over the initial membership.
     let mut modified = ModifiedKeyTree::new(&spec);
+    let mut modified_arena = RekeyArena::new();
     modified
-        .batch_rekey(&base_ids, &[], &mut rng)
+        .batch_rekey(&base_ids, &[], &mut rng, &mut modified_arena)
         .expect("initial joins");
     let mut original = OriginalKeyTree::balanced(4, &base_ids);
     let mut cluster = ClusteredKeyTree::new(&spec);
+    let mut cluster_arena = RekeyArena::new();
     cluster
-        .batch_rekey(&ordered, &[], &mut rng)
+        .batch_rekey(&ordered, &[], &mut rng, &mut cluster_arena)
         .expect("initial joins");
 
     // The measured churn interval.
@@ -77,9 +79,13 @@ fn main() {
         &mut next_host,
         &mut rng,
     );
-    let out_modified = modified.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+    let out_modified = modified
+        .batch_rekey(&joins, &leaves, &mut rng, &mut modified_arena)
+        .unwrap();
     let out_original = original.batch_rekey(&joins, &leaves);
-    let out_cluster = cluster.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+    let out_cluster = cluster
+        .batch_rekey(&joins, &leaves, &mut rng, &mut cluster_arena)
+        .unwrap();
     eprintln!(
         "fig13: rekey costs — modified {} encryptions, original {}, cluster {}",
         out_modified.cost(),
@@ -183,7 +189,7 @@ fn main() {
             tmesh_rekey_transport(
                 &mesh,
                 &build.net,
-                &out_modified.encryptions,
+                out_modified.encryptions(),
                 TransportOptions::flood(),
             ),
         ),
@@ -192,7 +198,7 @@ fn main() {
             tmesh_rekey_transport(
                 &mesh,
                 &build.net,
-                &out_modified.encryptions,
+                out_modified.encryptions(),
                 TransportOptions::split(),
             ),
         ),
@@ -201,7 +207,7 @@ fn main() {
             cluster_rekey_transport(
                 &cluster_mesh,
                 &build.net,
-                &out_cluster.rekey.encryptions,
+                out_cluster.rekey().encryptions(),
                 TransportOptions::flood(),
                 &is_leader,
                 &cluster_of,
@@ -212,7 +218,7 @@ fn main() {
             cluster_rekey_transport(
                 &cluster_mesh,
                 &build.net,
-                &out_cluster.rekey.encryptions,
+                out_cluster.rekey().encryptions(),
                 TransportOptions::split(),
                 &is_leader,
                 &cluster_of,

@@ -425,11 +425,14 @@ pub fn transport_fixture(
     let server = HostId(member_hosts);
     let mesh = TmeshGroup::build(&spec, members, server, &net, 4, PrimaryPolicy::SmallestRtt);
     let mut tree = ModifiedKeyTree::new(&spec);
-    tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+    let mut arena = rekey_keytree::RekeyArena::new();
+    tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
     // NOTE: the message rekeys members who stay in the mesh snapshot —
     // fine for throughput measurement purposes.
-    let out = tree.batch_rekey(&[], &ids[..leaves], &mut rng).unwrap();
-    (net, mesh, out.encryptions)
+    let mut out = tree
+        .batch_rekey(&[], &ids[..leaves], &mut rng, &mut arena)
+        .unwrap();
+    (net, mesh, out.take_encryptions())
 }
 
 /// Substrate, group config, churn trace and finish time for a

@@ -76,6 +76,41 @@ pub fn validate_snapshot(json: &str) {
     );
 }
 
+/// Every key the `BENCH_crypto.json` artifact promises: the sweep array,
+/// its per-cell measurements, and the headline 64k speedup downstream
+/// tooling greps for.
+pub const CRYPTO_BENCH_REQUIRED_KEYS: &[&str] = &[
+    "bench",
+    "unit",
+    "cores",
+    "crypto_sweep",
+    "batch_cost",
+    "threads",
+    "seal_ns_min",
+    "seal_ns_mean",
+    "seals_per_us",
+    "speedup_vs_serial",
+    "speedup_64k_best",
+];
+
+/// Checks a `bench_crypto` artifact against
+/// [`CRYPTO_BENCH_REQUIRED_KEYS`].
+///
+/// # Panics
+///
+/// Panics listing every promised key absent from `json`.
+pub fn validate_crypto_bench(json: &str) {
+    let missing: Vec<&str> = CRYPTO_BENCH_REQUIRED_KEYS
+        .iter()
+        .copied()
+        .filter(|key| !has_key(json, key))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "crypto bench JSON is missing promised keys: {missing:?}"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +124,11 @@ mod tests {
     #[should_panic(expected = "missing promised keys")]
     fn missing_keys_are_reported_loudly() {
         validate_snapshot("{\"intervals\": 3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing promised keys")]
+    fn crypto_bench_keys_are_checked_loudly() {
+        validate_crypto_bench("{\"bench\": \"x\"}");
     }
 }

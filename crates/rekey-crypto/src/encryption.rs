@@ -44,7 +44,7 @@ impl std::error::Error for UnwrapError {}
 
 /// A single encryption `{k'}_k`: the material of a new key `k'` wrapped
 /// (ChaCha20 + SipHash-2-4, encrypt-then-MAC) under an encrypting key `k`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Encryption {
     encrypting_id: IdPrefix,
     encrypting_version: u64,
@@ -55,52 +55,133 @@ pub struct Encryption {
     tag: [u8; TAG_LEN],
 }
 
+/// Hand-written so [`Clone::clone_from`] reuses the destination's ID digit
+/// buffers (see [`IdPrefix`]'s `Clone`) when copying into reused slots.
+impl Clone for Encryption {
+    fn clone(&self) -> Encryption {
+        Encryption {
+            encrypting_id: self.encrypting_id.clone(),
+            encrypting_version: self.encrypting_version,
+            encrypted_id: self.encrypted_id.clone(),
+            encrypted_version: self.encrypted_version,
+            nonce: self.nonce,
+            ciphertext: self.ciphertext,
+            tag: self.tag,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Encryption) {
+        self.encrypting_id.clone_from(&source.encrypting_id);
+        self.encrypting_version = source.encrypting_version;
+        self.encrypted_id.clone_from(&source.encrypted_id);
+        self.encrypted_version = source.encrypted_version;
+        self.nonce = source.nonce;
+        self.ciphertext = source.ciphertext;
+        self.tag = source.tag;
+    }
+}
+
+/// Stack capacity for the MAC input of a key wrap. Covers IDs up to 120
+/// digits combined (2 length bytes + 2 bytes/digit + 16 version bytes +
+/// nonce + ciphertext ≤ 512); deeper trees fall back to the heap.
+const MAC_STACK_LEN: usize = 512;
+
 impl Encryption {
     /// Wraps `new_key` under `encrypting_key` with a fresh random nonce.
+    ///
+    /// Convenience wrapper over [`Encryption::seal_into`] that allocates a
+    /// new `Encryption`. Batch paths that reuse arena slots should call
+    /// `seal_into` directly with a [`crate::NonceSeq`]-derived nonce.
     pub fn seal<R: Rng + ?Sized>(encrypting_key: &Key, new_key: &Key, rng: &mut R) -> Encryption {
         let mut nonce = [0u8; NONCE_LEN];
         rng.fill(&mut nonce[..]);
-        let mut ciphertext = *new_key.material().as_bytes();
+        let mut enc = Encryption::placeholder();
+        enc.seal_into(encrypting_key, new_key, nonce);
+        enc
+    }
+
+    /// An inert slot value for pre-sizing arenas; overwritten by
+    /// [`Encryption::seal_into`] before use.
+    pub fn placeholder() -> Encryption {
+        Encryption {
+            encrypting_id: IdPrefix::root(),
+            encrypting_version: 0,
+            encrypted_id: IdPrefix::root(),
+            encrypted_version: 0,
+            nonce: [0u8; NONCE_LEN],
+            ciphertext: [0u8; chacha::KEY_LEN],
+            tag: [0u8; TAG_LEN],
+        }
+    }
+
+    /// Wraps `new_key` under `encrypting_key` directly into `self`, with a
+    /// caller-supplied nonce (see [`crate::NonceSeq`]).
+    ///
+    /// All fields are overwritten in place via `clone_from`, so once this
+    /// slot's ID digit buffers have grown to the working depth, re-sealing
+    /// performs **zero heap allocations**. Safe to call concurrently on
+    /// distinct slots — it only reads the two keys.
+    pub fn seal_into(&mut self, encrypting_key: &Key, new_key: &Key, nonce: [u8; NONCE_LEN]) {
+        self.encrypting_id.clone_from(encrypting_key.id());
+        self.encrypting_version = encrypting_key.version();
+        self.encrypted_id.clone_from(new_key.id());
+        self.encrypted_version = new_key.version();
+        self.nonce = nonce;
+        self.ciphertext = *new_key.material().as_bytes();
         chacha::xor_stream(
             encrypting_key.material().as_bytes(),
             0,
             &nonce,
-            &mut ciphertext,
+            &mut self.ciphertext,
         );
-        let mut enc = Encryption {
-            encrypting_id: encrypting_key.id().clone(),
-            encrypting_version: encrypting_key.version(),
-            encrypted_id: new_key.id().clone(),
-            encrypted_version: new_key.version(),
-            nonce,
-            ciphertext,
-            tag: [0u8; TAG_LEN],
-        };
-        enc.tag = enc.compute_tag(encrypting_key.material());
-        enc
+        self.tag = self.compute_tag(encrypting_key.material());
     }
 
-    fn mac_input(&self) -> Vec<u8> {
-        // Bind the tag to the full encryption identity (IDs, versions, nonce,
-        // ciphertext) so replays across nodes/versions are detected.
-        let mut input = Vec::with_capacity(64);
-        input.push(self.encrypting_id.len() as u8);
+    /// Serialises the MAC-bound identity (IDs, versions, nonce, ciphertext)
+    /// into `buf` so replays across nodes/versions are detected; returns the
+    /// number of bytes written. `buf` must be at least [`Self::mac_len`].
+    fn write_mac_input(&self, buf: &mut [u8]) -> usize {
+        let mut at = 0;
+        let mut push = |bytes: &[u8]| {
+            buf[at..at + bytes.len()].copy_from_slice(bytes);
+            at += bytes.len();
+        };
+        push(&[self.encrypting_id.len() as u8]);
         for &d in self.encrypting_id.digits() {
-            input.extend_from_slice(&d.to_le_bytes());
+            push(&d.to_le_bytes());
         }
-        input.extend_from_slice(&self.encrypting_version.to_le_bytes());
-        input.push(self.encrypted_id.len() as u8);
+        push(&self.encrypting_version.to_le_bytes());
+        push(&[self.encrypted_id.len() as u8]);
         for &d in self.encrypted_id.digits() {
-            input.extend_from_slice(&d.to_le_bytes());
+            push(&d.to_le_bytes());
         }
-        input.extend_from_slice(&self.encrypted_version.to_le_bytes());
-        input.extend_from_slice(&self.nonce);
-        input.extend_from_slice(&self.ciphertext);
-        input
+        push(&self.encrypted_version.to_le_bytes());
+        push(&self.nonce);
+        push(&self.ciphertext);
+        at
+    }
+
+    /// Exact MAC-input length for this encryption.
+    fn mac_len(&self) -> usize {
+        2 + 2 * (self.encrypting_id.len() + self.encrypted_id.len())
+            + 16
+            + NONCE_LEN
+            + chacha::KEY_LEN
     }
 
     fn compute_tag(&self, wrap_key: &KeyMaterial) -> [u8; TAG_LEN] {
-        siphash24(&wrap_key.mac_subkey(), &self.mac_input())
+        let subkey = wrap_key.mac_subkey();
+        let len = self.mac_len();
+        if len <= MAC_STACK_LEN {
+            let mut buf = [0u8; MAC_STACK_LEN];
+            let written = self.write_mac_input(&mut buf);
+            debug_assert_eq!(written, len);
+            siphash24(&subkey, &buf[..written])
+        } else {
+            let mut buf = vec![0u8; len];
+            self.write_mac_input(&mut buf);
+            siphash24(&subkey, &buf)
+        }
     }
 
     /// Unwraps the encryption with `key`, returning the encrypted new key.
@@ -244,6 +325,46 @@ mod tests {
         let mut enc = Encryption::seal(&aux, &group.next_version(&mut rng), &mut rng);
         enc.ciphertext[0] ^= 1;
         assert_eq!(enc.open(&aux), Err(UnwrapError::BadTag));
+    }
+
+    #[test]
+    fn seal_into_matches_seal_given_same_nonce() {
+        let (mut rng, aux, group) = setup();
+        let new_group = group.next_version(&mut rng);
+        let mut draw = StdRng::seed_from_u64(99);
+        let via_seal = Encryption::seal(&aux, &new_group, &mut draw);
+        let mut slot = Encryption::placeholder();
+        slot.seal_into(&aux, &new_group, *via_seal.wire_parts().0);
+        assert_eq!(slot, via_seal);
+        assert_eq!(slot.open(&aux).unwrap(), new_group);
+    }
+
+    #[test]
+    fn seal_into_overwrites_previous_slot_contents() {
+        let (mut rng, aux, group) = setup();
+        let mut slot = Encryption::placeholder();
+        slot.seal_into(&aux, &group.next_version(&mut rng), [1; NONCE_LEN]);
+        // Re-seal the same slot with a different pair; no stale fields may
+        // survive.
+        let new_aux = aux.next_version(&mut rng);
+        slot.seal_into(&group, &new_aux, [2; NONCE_LEN]);
+        assert_eq!(slot.id(), group.id());
+        assert_eq!(slot.encrypted_id(), new_aux.id());
+        assert_eq!(slot.open(&group).unwrap(), new_aux);
+    }
+
+    #[test]
+    fn deep_ids_use_heap_mac_fallback() {
+        // IdSpec depth is unbounded; combined ID depth beyond the stack
+        // buffer must still produce a valid (openable) wrap.
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = IdSpec::new(300, 4).unwrap();
+        let deep = IdPrefix::new(&spec, vec![1; 260]).unwrap();
+        let deep_key = Key::random(deep, &mut rng);
+        let group = Key::random(IdPrefix::root(), &mut rng);
+        let enc = Encryption::seal(&deep_key, &group.next_version(&mut rng), &mut rng);
+        assert!(enc.wire_size() > MAC_STACK_LEN);
+        assert_eq!(enc.open(&deep_key).unwrap().id(), group.id());
     }
 
     #[test]

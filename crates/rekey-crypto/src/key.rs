@@ -66,11 +66,30 @@ impl fmt::Debug for KeyMaterial {
 ///
 /// `version` counts how many times the key at this node has been changed by
 /// rekeying; a `(id, version)` pair uniquely names one concrete key value.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Key {
     id: IdPrefix,
     version: u64,
     material: KeyMaterial,
+}
+
+/// Hand-written so [`Clone::clone_from`] propagates to the ID's digit
+/// buffer (see [`IdPrefix`]'s `Clone`), keeping key overwrites in reused
+/// arena slots allocation-free.
+impl Clone for Key {
+    fn clone(&self) -> Key {
+        Key {
+            id: self.id.clone(),
+            version: self.version,
+            material: self.material,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Key) {
+        self.id.clone_from(&source.id);
+        self.version = source.version;
+        self.material = source.material;
+    }
 }
 
 impl Key {
@@ -115,6 +134,14 @@ impl Key {
             material: KeyMaterial::random(rng),
         }
     }
+
+    /// Advances this key to its next version in place with fresh material
+    /// — the allocation-free form of [`Key::next_version`], drawing from
+    /// `rng` identically (one material fill).
+    pub fn refresh<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.version += 1;
+        self.material = KeyMaterial::random(rng);
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +175,19 @@ mod tests {
         let b = KeyMaterial::from_bytes([2; 32]);
         assert_eq!(a.mac_subkey(), a.mac_subkey());
         assert_ne!(a.mac_subkey(), b.mac_subkey());
+    }
+
+    #[test]
+    fn refresh_matches_next_version_draws() {
+        // Identically seeded RNGs: in-place refresh and next_version must
+        // land on the same (version, material) state.
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let base = Key::random(IdPrefix::root(), &mut r1);
+        let mut in_place = Key::random(IdPrefix::root(), &mut r2);
+        let owned = base.next_version(&mut r1);
+        in_place.refresh(&mut r2);
+        assert_eq!(in_place, owned);
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod wire;
 mod data;
 mod encryption;
 mod key;
+mod nonce;
 
 pub use data::{OpenError, SealedData};
 pub use encryption::{Encryption, UnwrapError};
 pub use key::{Key, KeyMaterial};
+pub use nonce::NonceSeq;

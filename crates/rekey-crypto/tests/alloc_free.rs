@@ -1,0 +1,91 @@
+//! The steady-state seal loop allocates nothing: once an arena's slots
+//! have been sealed into once, re-sealing them (the per-interval hot loop
+//! of `ModifiedKeyTree::batch_rekey`) must not touch the heap. A counting
+//! global allocator makes any regression — a `Vec` sneaking back into the
+//! MAC input assembly, a derived `Clone` dropping the buffer-reusing
+//! `clone_from` — an immediate test failure.
+//!
+//! Kept as a single `#[test]` so no sibling test can allocate concurrently
+//! and pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::SeedableRng;
+use rekey_crypto::{Encryption, Key, NonceSeq};
+use rekey_id::{IdPrefix, IdSpec};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_seal_loop_is_allocation_free() {
+    const SLOTS: usize = 4096;
+    let spec = IdSpec::PAPER;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA110C);
+
+    // One keypair per slot, at u-node depth (the deepest IDs a real batch
+    // wraps), plus a warmed slot pool — exactly the arena state after a
+    // first interval.
+    let keys: Vec<(Key, Key)> = (0..SLOTS)
+        .map(|i| {
+            let node = IdPrefix::root()
+                .child((i % 16) as u16)
+                .child((i / 16 % 16) as u16)
+                .child((i / 256) as u16)
+                .child((i % 7) as u16);
+            let child = node.child((i % 13) as u16);
+            debug_assert!(child.len() == spec.depth());
+            (Key::random(node, &mut rng), Key::random(child, &mut rng))
+        })
+        .collect();
+    let mut slots: Vec<Encryption> = (0..SLOTS).map(|_| Encryption::placeholder()).collect();
+    let warm_seq = NonceSeq::from_rng(&mut rng);
+    for (slot, (node, child)) in slots.iter_mut().zip(&keys) {
+        slot.seal_into(child, node, warm_seq.nonce(0));
+    }
+
+    // Steady state: a fresh per-batch nonce seed, then re-seal every slot
+    // — the exact loop body `seal_jobs` runs per interval.
+    let seq = NonceSeq::from_rng(&mut rng);
+    let before = allocations();
+    for (i, (slot, (node, child))) in slots.iter_mut().zip(&keys).enumerate() {
+        slot.seal_into(child, node, seq.nonce(i as u64));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "re-sealing {SLOTS} warmed slots must not allocate"
+    );
+
+    // The loop did real work: every slot carries the new seed's nonces.
+    assert!(slots
+        .iter()
+        .enumerate()
+        .all(|(i, s)| *s.wire_parts().0 == seq.nonce(i as u64)));
+}

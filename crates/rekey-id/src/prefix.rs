@@ -24,9 +24,26 @@ use crate::{IdError, IdSpec, UserId};
 /// assert_eq!(p.child(1).digits(), &[2, 0, 1]);
 /// # Ok::<(), rekey_id::IdError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IdPrefix {
     digits: Vec<u16>,
+}
+
+/// `Clone` is implemented by hand so that [`Clone::clone_from`] reuses the
+/// destination's digit buffer instead of allocating a fresh one — the
+/// property the allocation-free rekey seal loop
+/// (`rekey_crypto::Encryption::seal_into`) relies on when overwriting
+/// arena slots in place.
+impl Clone for IdPrefix {
+    fn clone(&self) -> IdPrefix {
+        IdPrefix {
+            digits: self.digits.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &IdPrefix) {
+        self.digits.clone_from(&source.digits);
+    }
 }
 
 impl IdPrefix {

@@ -14,7 +14,8 @@ use std::collections::BTreeMap;
 use rand::Rng;
 use rekey_id::{IdPrefix, IdSpec, UserId};
 
-use crate::modified::{KeyTreeError, ModifiedKeyTree, RekeyOutcome};
+use crate::batch::{RekeyArena, RekeyBatch};
+use crate::modified::{KeyTreeError, ModifiedKeyTree};
 
 /// One bottom cluster: its members in joining order (the leader is the
 /// front).
@@ -34,22 +35,37 @@ impl Cluster {
     }
 }
 
-/// The outcome of one rekey interval under the cluster heuristic.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClusterRekeyOutcome {
-    /// The multicast rekey message produced by the (leader-only) key tree.
-    pub rekey: RekeyOutcome,
-    /// Number of pairwise-encrypted group-key unicasts the leaders perform
-    /// to refresh their non-leader members after this interval (0 when the
-    /// group key did not change).
-    pub leader_unicasts: u64,
+/// The outcome of one rekey interval under the cluster heuristic,
+/// borrowing the caller's [`RekeyArena`] like the [`RekeyBatch`] it wraps.
+#[non_exhaustive]
+#[derive(Debug, PartialEq)]
+pub struct ClusterRekeyBatch<'a> {
+    rekey: RekeyBatch<'a>,
+    leader_unicasts: u64,
 }
 
-impl ClusterRekeyOutcome {
+impl<'a> ClusterRekeyBatch<'a> {
     /// Rekey cost of the multicast message (the Fig. 12(c) metric; leader
     /// unicasts are *not* part of the rekey message).
     pub fn cost(&self) -> usize {
         self.rekey.cost()
+    }
+
+    /// The multicast rekey message produced by the (leader-only) key tree.
+    pub fn rekey(&self) -> &RekeyBatch<'a> {
+        &self.rekey
+    }
+
+    /// Unwraps into the underlying key-tree batch.
+    pub fn into_rekey(self) -> RekeyBatch<'a> {
+        self.rekey
+    }
+
+    /// Number of pairwise-encrypted group-key unicasts the leaders perform
+    /// to refresh their non-leader members after this interval (0 when the
+    /// group key did not change).
+    pub fn leader_unicasts(&self) -> u64 {
+        self.leader_unicasts
     }
 }
 
@@ -58,15 +74,16 @@ impl ClusterRekeyOutcome {
 /// ```
 /// use rand::SeedableRng;
 /// use rekey_id::{IdSpec, UserId};
-/// use rekey_keytree::ClusteredKeyTree;
+/// use rekey_keytree::{ClusteredKeyTree, RekeyArena};
 ///
 /// let spec = IdSpec::new(3, 4)?;
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let mut tree = ClusteredKeyTree::new(&spec);
+/// let mut arena = RekeyArena::new();
 /// let leader = UserId::new(&spec, vec![1, 2, 0])?;
 /// let follower = UserId::new(&spec, vec![1, 2, 3])?; // same bottom cluster
-/// tree.batch_rekey(&[leader.clone()], &[], &mut rng).unwrap();
-/// let out = tree.batch_rekey(&[follower], &[], &mut rng).unwrap();
+/// tree.batch_rekey(&[leader.clone()], &[], &mut rng, &mut arena).unwrap();
+/// let out = tree.batch_rekey(&[follower], &[], &mut rng, &mut arena).unwrap();
 /// // A non-leader join incurs no group rekeying at all.
 /// assert_eq!(out.cost(), 0);
 /// assert!(tree.is_leader(&leader));
@@ -135,12 +152,13 @@ impl ClusteredKeyTree {
     ///
     /// Rejects joins of current members, leaves of non-members and
     /// duplicate requests, leaving the state unchanged.
-    pub fn batch_rekey<R: Rng + ?Sized>(
+    pub fn batch_rekey<'a, R: Rng + ?Sized>(
         &mut self,
         joins: &[UserId],
         leaves: &[UserId],
         rng: &mut R,
-    ) -> Result<ClusterRekeyOutcome, KeyTreeError> {
+        arena: &'a mut RekeyArena,
+    ) -> Result<ClusterRekeyBatch<'a>, KeyTreeError> {
         // Validate against current membership. A join may reuse the ID of a
         // user leaving in the same batch (the slot is vacated first).
         let mut joining = std::collections::BTreeSet::new();
@@ -207,7 +225,7 @@ impl ClusteredKeyTree {
             .collect();
         let rekey = self
             .tree
-            .batch_rekey(&tree_joins, &tree_leaves, rng)
+            .batch_rekey(&tree_joins, &tree_leaves, rng, arena)
             .expect("leader churn derived from validated membership");
 
         // After a group-key change every leader refreshes its non-leader
@@ -220,7 +238,7 @@ impl ClusteredKeyTree {
         } else {
             0
         };
-        Ok(ClusterRekeyOutcome {
+        Ok(ClusterRekeyBatch {
             rekey,
             leader_unicasts,
         })
@@ -244,58 +262,69 @@ mod tests {
     #[test]
     fn first_member_becomes_leader_and_rekeys() {
         let mut rng = StdRng::seed_from_u64(1);
+        let mut arena = RekeyArena::new();
         let mut ct = ClusteredKeyTree::new(&spec());
-        let out = ct.batch_rekey(&[uid([0, 0, 0])], &[], &mut rng).unwrap();
+        let out = ct
+            .batch_rekey(&[uid([0, 0, 0])], &[], &mut rng, &mut arena)
+            .unwrap();
         assert!(ct.is_leader(&uid([0, 0, 0])));
         assert_eq!(ct.tree().user_count(), 1);
         // Group-oriented rekeying wraps each new path key under its single
         // child's key: D encryptions for a first join.
         assert_eq!(out.cost(), 3);
-        assert_eq!(out.leader_unicasts, 0);
+        assert_eq!(out.leader_unicasts(), 0);
     }
 
     #[test]
     fn non_leader_churn_is_free() {
         let mut rng = StdRng::seed_from_u64(2);
+        let mut arena = RekeyArena::new();
         let mut ct = ClusteredKeyTree::new(&spec());
-        ct.batch_rekey(&[uid([0, 0, 0]), uid([2, 1, 0])], &[], &mut rng)
+        ct.batch_rekey(&[uid([0, 0, 0]), uid([2, 1, 0])], &[], &mut rng, &mut arena)
             .unwrap();
         // Same cluster as [0,0,0]:
         let out = ct
-            .batch_rekey(&[uid([0, 0, 1]), uid([0, 0, 2])], &[], &mut rng)
+            .batch_rekey(&[uid([0, 0, 1]), uid([0, 0, 2])], &[], &mut rng, &mut arena)
             .unwrap();
         assert_eq!(out.cost(), 0, "non-leader joins incur no group rekeying");
         assert_eq!(ct.user_count(), 4);
         assert_eq!(ct.tree().user_count(), 2, "only leaders have u-nodes");
-        let out = ct.batch_rekey(&[], &[uid([0, 0, 2])], &mut rng).unwrap();
+        let out = ct
+            .batch_rekey(&[], &[uid([0, 0, 2])], &mut rng, &mut arena)
+            .unwrap();
         assert_eq!(out.cost(), 0, "non-leader leaves incur no group rekeying");
-        assert_eq!(out.leader_unicasts, 0);
+        assert_eq!(out.leader_unicasts(), 0);
     }
 
     #[test]
     fn leader_leave_hands_over_and_rekeys() {
         let mut rng = StdRng::seed_from_u64(3);
+        let mut arena = RekeyArena::new();
         let mut ct = ClusteredKeyTree::new(&spec());
         ct.batch_rekey(
             &[uid([0, 0, 0]), uid([0, 0, 1]), uid([2, 0, 0])],
             &[],
             &mut rng,
+            &mut arena,
         )
         .unwrap();
         assert!(ct.is_leader(&uid([0, 0, 0])));
-        let out = ct.batch_rekey(&[], &[uid([0, 0, 0])], &mut rng).unwrap();
+        let out = ct
+            .batch_rekey(&[], &[uid([0, 0, 0])], &mut rng, &mut arena)
+            .unwrap();
         // Earliest-joined survivor takes over.
         assert!(ct.is_leader(&uid([0, 0, 1])));
         assert!(out.cost() > 0, "leader leave incurs group rekeying");
         assert_eq!(ct.tree().user_count(), 2);
         // One non-leader-free cluster and one singleton: 0 unicasts… both
         // clusters are singletons now.
-        assert_eq!(out.leader_unicasts, 0);
+        assert_eq!(out.leader_unicasts(), 0);
     }
 
     #[test]
     fn leader_unicasts_counted_per_interval() {
         let mut rng = StdRng::seed_from_u64(4);
+        let mut arena = RekeyArena::new();
         let mut ct = ClusteredKeyTree::new(&spec());
         ct.batch_rekey(
             &[
@@ -306,27 +335,32 @@ mod tests {
             ],
             &[],
             &mut rng,
+            &mut arena,
         )
         .unwrap();
         // Leader of [2,0] leaves: group key changes; leader of [0,0] must
         // refresh its 2 non-leader members.
-        let out = ct.batch_rekey(&[], &[uid([2, 0, 0])], &mut rng).unwrap();
+        let out = ct
+            .batch_rekey(&[], &[uid([2, 0, 0])], &mut rng, &mut arena)
+            .unwrap();
         assert!(out.cost() > 0);
-        assert_eq!(out.leader_unicasts, 2);
+        assert_eq!(out.leader_unicasts(), 2);
     }
 
     #[test]
     fn cluster_emptying_removes_tree_leaf() {
         let mut rng = StdRng::seed_from_u64(5);
+        let mut arena = RekeyArena::new();
         let mut ct = ClusteredKeyTree::new(&spec());
         ct.batch_rekey(
             &[uid([0, 0, 0]), uid([0, 0, 1]), uid([3, 3, 3])],
             &[],
             &mut rng,
+            &mut arena,
         )
         .unwrap();
         let out = ct
-            .batch_rekey(&[], &[uid([0, 0, 0]), uid([0, 0, 1])], &mut rng)
+            .batch_rekey(&[], &[uid([0, 0, 0]), uid([0, 0, 1])], &mut rng, &mut arena)
             .unwrap();
         assert!(out.cost() > 0);
         assert_eq!(ct.tree().user_count(), 1);
@@ -337,14 +371,16 @@ mod tests {
     #[test]
     fn validation_mirrors_key_tree() {
         let mut rng = StdRng::seed_from_u64(6);
+        let mut arena = RekeyArena::new();
         let mut ct = ClusteredKeyTree::new(&spec());
-        ct.batch_rekey(&[uid([0, 0, 0])], &[], &mut rng).unwrap();
+        ct.batch_rekey(&[uid([0, 0, 0])], &[], &mut rng, &mut arena)
+            .unwrap();
         assert_eq!(
-            ct.batch_rekey(&[uid([0, 0, 0])], &[], &mut rng),
+            ct.batch_rekey(&[uid([0, 0, 0])], &[], &mut rng, &mut arena),
             Err(KeyTreeError::AlreadyMember(uid([0, 0, 0])))
         );
         assert_eq!(
-            ct.batch_rekey(&[], &[uid([1, 1, 1])], &mut rng),
+            ct.batch_rekey(&[], &[uid([1, 1, 1])], &mut rng, &mut arena),
             Err(KeyTreeError::NotMember(uid([1, 1, 1])))
         );
     }
@@ -354,11 +390,12 @@ mod tests {
     #[test]
     fn same_batch_handover() {
         let mut rng = StdRng::seed_from_u64(7);
+        let mut arena = RekeyArena::new();
         let mut ct = ClusteredKeyTree::new(&spec());
-        ct.batch_rekey(&[uid([0, 0, 0]), uid([1, 0, 0])], &[], &mut rng)
+        ct.batch_rekey(&[uid([0, 0, 0]), uid([1, 0, 0])], &[], &mut rng, &mut arena)
             .unwrap();
         let out = ct
-            .batch_rekey(&[uid([0, 0, 3])], &[uid([0, 0, 0])], &mut rng)
+            .batch_rekey(&[uid([0, 0, 3])], &[uid([0, 0, 0])], &mut rng, &mut arena)
             .unwrap();
         assert!(ct.is_leader(&uid([0, 0, 3])));
         assert!(out.cost() > 0);

@@ -153,6 +153,7 @@ impl KeyRing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::RekeyArena;
     use crate::modified::ModifiedKeyTree;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -172,23 +173,25 @@ mod tests {
             .map(|d| uid(*d))
             .collect();
         let mut tree = ModifiedKeyTree::new(&spec());
-        tree.batch_rekey(&users, &[], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        tree.batch_rekey(&users, &[], &mut rng, &mut arena).unwrap();
         (rng, tree, users)
     }
 
     #[test]
     fn absorb_installs_exactly_the_needed_keys() {
         let (mut rng, mut tree, users) = group();
+        let mut arena = RekeyArena::new();
         let mut ring = KeyRing::new(users[0].clone(), tree.user_path_keys(&users[0]));
         assert!(ring.matches_path(&spec(), tree.user_path_keys(&users[0])));
 
         // u5 = [2,2] leaves; user [0,0] needs only {new group}_{k[0]}.
         let out = tree
-            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .batch_rekey(&[], &[users[4].clone()], &mut rng, &mut arena)
             .unwrap();
-        let needed: Vec<_> = out.encryptions.iter().filter(|e| ring.needs(e)).collect();
+        let needed: Vec<_> = out.encryptions().iter().filter(|e| ring.needs(e)).collect();
         assert_eq!(needed.len(), 1);
-        let installed = ring.absorb(&out.encryptions);
+        let installed = ring.absorb(out.encryptions());
         assert_eq!(installed, 1);
         assert!(ring.matches_path(&spec(), tree.user_path_keys(&users[0])));
         assert_eq!(ring.group_key(), tree.group_key());
@@ -197,13 +200,14 @@ mod tests {
     #[test]
     fn absorb_resolves_chains_in_any_order() {
         let (mut rng, mut tree, users) = group();
+        let mut arena = RekeyArena::new();
         let mut ring = KeyRing::new(users[2].clone(), tree.user_path_keys(&users[2]));
         let out = tree
-            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .batch_rekey(&[], &[users[4].clone()], &mut rng, &mut arena)
             .unwrap();
         // User [2,0] needs the new aux key [2] (via its individual key) and
         // then the new group key (via the new aux key).
-        let mut reversed = out.encryptions.clone();
+        let mut reversed = out.encryptions().to_vec();
         reversed.reverse(); // shallow wraps first: forces the fixed-point loop
         let installed = ring.absorb(&reversed);
         assert_eq!(installed, 2);
@@ -213,12 +217,13 @@ mod tests {
     #[test]
     fn departed_user_cannot_recover_new_group_key() {
         let (mut rng, mut tree, users) = group();
+        let mut arena = RekeyArena::new();
         let mut departed_ring = KeyRing::new(users[4].clone(), tree.user_path_keys(&users[4]));
         let old_group = departed_ring.group_key().unwrap().clone();
         let out = tree
-            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .batch_rekey(&[], &[users[4].clone()], &mut rng, &mut arena)
             .unwrap();
-        let installed = departed_ring.absorb(&out.encryptions);
+        let installed = departed_ring.absorb(out.encryptions());
         assert_eq!(
             installed, 0,
             "forward secrecy: departed user learns nothing"
@@ -231,7 +236,9 @@ mod tests {
     fn joining_user_cannot_read_past_messages() {
         let (mut rng, mut tree, _) = group();
         let old_group = tree.group_key().unwrap().clone();
-        tree.batch_rekey(&[uid([3, 0])], &[], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        tree.batch_rekey(&[uid([3, 0])], &[], &mut rng, &mut arena)
+            .unwrap();
         let ring = KeyRing::new(uid([3, 0]), tree.user_path_keys(&uid([3, 0])));
         // Backward secrecy: the new user's group key differs from the old one.
         assert_ne!(ring.group_key(), Some(&old_group));
@@ -248,18 +255,21 @@ mod tests {
     #[test]
     fn stale_wrap_versions_are_ignored() {
         let (mut rng, mut tree, users) = group();
+        // Two arenas: both interval results are held at once.
+        let mut arena1 = RekeyArena::new();
+        let mut arena2 = RekeyArena::new();
         let mut ring = KeyRing::new(users[0].clone(), tree.user_path_keys(&users[0]));
         let out1 = tree
-            .batch_rekey(&[], &[users[4].clone()], &mut rng)
+            .batch_rekey(&[], &[users[4].clone()], &mut rng, &mut arena1)
             .unwrap();
         let out2 = tree
-            .batch_rekey(&[], &[users[3].clone()], &mut rng)
+            .batch_rekey(&[], &[users[3].clone()], &mut rng, &mut arena2)
             .unwrap();
         // Apply the *second* interval first: wraps under keys the ring does
         // not yet have versions for must not panic, just not install.
-        ring.absorb(&out2.encryptions);
-        ring.absorb(&out1.encryptions);
-        ring.absorb(&out2.encryptions);
+        ring.absorb(out2.encryptions());
+        ring.absorb(out1.encryptions());
+        ring.absorb(out2.encryptions());
         assert!(ring.matches_path(&spec(), tree.user_path_keys(&users[0])));
     }
 }

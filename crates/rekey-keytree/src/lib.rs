@@ -21,34 +21,36 @@
 //! ```
 //! use rand::SeedableRng;
 //! use rekey_id::{IdSpec, UserId};
-//! use rekey_keytree::{KeyRing, ModifiedKeyTree};
+//! use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyArena};
 //!
 //! let spec = IdSpec::new(3, 4)?;
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
 //! let mut tree = ModifiedKeyTree::new(&spec);
+//! // The caller owns the (reusable) arena every interval seals into.
+//! let mut arena = RekeyArena::new();
 //! let a = UserId::new(&spec, vec![0, 1, 2])?;
 //! let b = UserId::new(&spec, vec![0, 3, 3])?;
-//! tree.batch_rekey(&[a.clone(), b.clone()], &[], &mut rng).unwrap();
+//! tree.batch_rekey(&[a.clone(), b.clone()], &[], &mut rng, &mut arena).unwrap();
 //!
 //! // User a joins with its path keys, then b leaves; a decrypts the rekey
 //! // message and ends up holding exactly the server's current keys.
 //! let mut ring_a = KeyRing::new(a.clone(), tree.user_path_keys(&a));
-//! let out = tree.batch_rekey(&[], &[b], &mut rng).unwrap();
-//! ring_a.absorb(&out.encryptions);
+//! let out = tree.batch_rekey(&[], &[b], &mut rng, &mut arena).unwrap();
+//! ring_a.absorb(out.encryptions());
 //! assert_eq!(ring_a.group_key(), tree.group_key());
 //! # Ok::<(), rekey_id::IdError>(())
 //! ```
 
+mod batch;
 mod cluster;
 mod keyring;
 mod modified;
 mod original;
 mod reference;
 
-pub use cluster::{ClusterRekeyOutcome, ClusteredKeyTree};
+pub use batch::{RekeyArena, RekeyBatch};
+pub use cluster::{ClusterRekeyBatch, ClusteredKeyTree};
 pub use keyring::KeyRing;
-pub use modified::{
-    KeyTreeError, ModifiedKeyTree, NodeHandle, PathKeys, RekeyOutcome, TreeMetrics,
-};
+pub use modified::{KeyTreeError, ModifiedKeyTree, NodeHandle, PathKeys, TreeMetrics};
 pub use original::{NodeIdx, OrigEncryption, OrigRekeyOutcome, OriginalKeyTree};
 pub use reference::ReferenceKeyTree;

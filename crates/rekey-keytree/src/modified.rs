@@ -13,11 +13,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::Instant;
 
 use rand::Rng;
-use rekey_crypto::{Encryption, Key, KeyMaterial};
+use rekey_crypto::{Key, KeyMaterial, NonceSeq};
 use rekey_id::{IdPrefix, IdSpec, IdTree, UserId};
 use rekey_metrics::{Counter, Histogram, Registry};
+
+use crate::batch::{RekeyArena, RekeyBatch, SealJob};
 
 /// Errors produced by key-tree batch operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,23 +45,10 @@ impl fmt::Display for KeyTreeError {
 
 impl std::error::Error for KeyTreeError {}
 
-/// The result of one batch rekey interval.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RekeyOutcome {
-    /// The rekey message: all generated encryptions, ordered by decreasing
-    /// encrypting-key ID length so receivers can unwrap in a single pass.
-    pub encryptions: Vec<Encryption>,
-    /// IDs of the k-nodes whose keys were changed.
-    pub updated: Vec<IdPrefix>,
-}
-
-impl RekeyOutcome {
-    /// The paper's *rekey cost*: "the number of encryptions contained in a
-    /// rekey message" (§4.2).
-    pub fn cost(&self) -> usize {
-        self.encryptions.len()
-    }
-}
+/// Seal jobs below this count are not worth spawning worker threads for:
+/// at ~1 µs per ChaCha20+SipHash key wrap, a thousand wraps barely cover
+/// the cost of a thread spawn.
+const PAR_THRESHOLD: usize = 1024;
 
 /// A stable integer handle to a live node of a [`ModifiedKeyTree`].
 ///
@@ -157,14 +147,15 @@ impl TreeMetrics {
 /// ```
 /// use rand::SeedableRng;
 /// use rekey_id::{IdSpec, UserId};
-/// use rekey_keytree::ModifiedKeyTree;
+/// use rekey_keytree::{ModifiedKeyTree, RekeyArena};
 ///
 /// let spec = IdSpec::new(2, 4)?;
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let mut tree = ModifiedKeyTree::new(&spec);
+/// let mut arena = RekeyArena::new();
 /// let a = UserId::new(&spec, vec![0, 0])?;
 /// let b = UserId::new(&spec, vec![2, 1])?;
-/// tree.batch_rekey(&[a.clone(), b], &[], &mut rng).unwrap();
+/// tree.batch_rekey(&[a.clone(), b], &[], &mut rng, &mut arena).unwrap();
 /// // `a` holds its individual key, the aux key of subtree [0] and the
 /// // group key.
 /// assert_eq!(tree.user_path_keys(&a).count(), 3);
@@ -212,6 +203,10 @@ pub struct ModifiedKeyTree {
     /// [`ModifiedKeyTree::set_metrics`]). Cloned with the tree so a
     /// checkpoint copy reports into the same series.
     metrics: Option<TreeMetrics>,
+    /// Worker threads for the seal phase; 1 = serial (the default),
+    /// 0 = one per available core. Output bytes are identical at any
+    /// setting.
+    seal_threads: usize,
 }
 
 impl ModifiedKeyTree {
@@ -231,6 +226,7 @@ impl ModifiedKeyTree {
             user_count: 0,
             retired: BTreeMap::new(),
             metrics: None,
+            seal_threads: 1,
         }
     }
 
@@ -240,6 +236,40 @@ impl ModifiedKeyTree {
     /// [`batch_rekey`]: ModifiedKeyTree::batch_rekey
     pub fn set_metrics(&mut self, metrics: TreeMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Sets the number of worker threads the seal phase of
+    /// [`batch_rekey`] fans out to: `1` (the default) seals serially,
+    /// `0` uses one thread per available core, any other value is taken
+    /// literally. Nonces are derived per job slot (see [`NonceSeq`]), so
+    /// identical seeds produce **byte-identical** batches at any thread
+    /// count; small batches (< ~1k seals) stay serial regardless.
+    ///
+    /// [`batch_rekey`]: ModifiedKeyTree::batch_rekey
+    pub fn set_seal_threads(&mut self, threads: usize) {
+        self.seal_threads = threads;
+    }
+
+    /// The configured seal-thread count (see
+    /// [`ModifiedKeyTree::set_seal_threads`]).
+    pub fn seal_threads(&self) -> usize {
+        self.seal_threads
+    }
+
+    /// Resolves the configured thread count against the job count: auto
+    /// (`0`) becomes the core count, and a batch never uses more threads
+    /// than it has jobs, nor any parallelism below [`PAR_THRESHOLD`].
+    fn effective_seal_threads(&self, jobs: usize) -> usize {
+        if jobs < PAR_THRESHOLD {
+            return 1;
+        }
+        let configured = match self.seal_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        configured.max(1).min(jobs)
     }
 
     /// The ID-space specification.
@@ -492,7 +522,15 @@ impl ModifiedKeyTree {
     }
 
     /// Processes one rekey interval: `joins` and `leaves` as a batch
-    /// (§2.4). Returns the rekey message.
+    /// (§2.4). Seals the rekey message into `arena` and returns a
+    /// [`RekeyBatch`] view borrowing it.
+    ///
+    /// The interval pipeline is fused and allocation-free at steady state:
+    /// new node keys are derived sequentially (order-dependent), all
+    /// pending key wraps are flattened into one job list, and the jobs are
+    /// sealed — serially or data-parallel, see
+    /// [`ModifiedKeyTree::set_seal_threads`] — directly into the arena's
+    /// reused slots with per-slot deterministic nonces.
     ///
     /// Joining users receive their initial key set via unicast
     /// ([`ModifiedKeyTree::user_path_keys`] after this call), exactly as in
@@ -503,13 +541,15 @@ impl ModifiedKeyTree {
     ///
     /// Rejects batches with duplicate users, joins of current members, or
     /// leaves of non-members; the tree is left unchanged on error.
-    pub fn batch_rekey<R: Rng + ?Sized>(
+    pub fn batch_rekey<'a, R: Rng + ?Sized>(
         &mut self,
         joins: &[UserId],
         leaves: &[UserId],
         rng: &mut R,
-    ) -> Result<RekeyOutcome, KeyTreeError> {
+        arena: &'a mut RekeyArena,
+    ) -> Result<RekeyBatch<'a>, KeyTreeError> {
         self.validate_batch(joins, leaves)?;
+        arena.reset();
         let depth = self.spec.depth();
         let mut tombstone_hits = 0u64;
         // Slots touched this batch; pruned ones are filtered at the end.
@@ -635,35 +675,84 @@ impl ModifiedKeyTree {
         changed.dedup();
         changed.sort_by(|&a, &b| self.keys[a as usize].id().cmp(self.keys[b as usize].id()));
         for &s in &changed {
-            self.keys[s as usize] = self.keys[s as usize].next_version(rng);
+            self.keys[s as usize].refresh(rng);
         }
 
-        // One encryption per (changed k-node, child): the child's (possibly
+        // One seal job per (changed k-node, child): the child's (possibly
         // new) key wraps the changed node's new key. Deeper encrypting keys
         // first so receivers can unwrap in one pass (stable sort keeps the
-        // ascending-ID order within a depth).
+        // ascending-ID order within a depth). Flattening the jobs fixes
+        // each one's slot index — its position in the rekey message AND
+        // its deterministic nonce slot.
         let mut emit = changed.clone();
         emit.sort_by_key(|&s| std::cmp::Reverse(self.keys[s as usize].id().len()));
-        let mut encryptions = Vec::new();
         for &s in &emit {
-            let new_key = self.keys[s as usize].clone();
-            for ci in 0..self.children[s as usize].len() {
-                let child = self.children[s as usize][ci].1;
-                encryptions.push(Encryption::seal(&self.keys[child as usize], &new_key, rng));
+            for &(_, child) in &self.children[s as usize] {
+                arena.jobs.push(SealJob { node: s, child });
             }
         }
+        for &s in &changed {
+            arena.push_updated(self.keys[s as usize].id());
+        }
+
+        // The per-batch nonce seed is drawn once, AFTER every key draw, so
+        // the serial reference oracle consumes the RNG identically. A batch
+        // with nothing to seal draws nothing at all: empty beacon intervals
+        // must not perturb the key-material stream (replica failover relies
+        // on this — see `tests/failover_soak.rs`).
+        let started = Instant::now();
+        let cost = arena.jobs.len();
+        let seq = if cost == 0 {
+            NonceSeq::from_seed([0; 32])
+        } else {
+            NonceSeq::from_rng(rng)
+        };
+        arena.ensure_slots(cost);
+        self.seal_jobs(arena, seq, cost);
+        arena.seal_nanos = started.elapsed().as_nanos() as u64;
+
+        let batch = RekeyBatch::new(arena);
         if let Some(m) = &self.metrics {
             m.batch_size.record((joins.len() + leaves.len()) as u64);
-            m.encryptions.add(encryptions.len() as u64);
+            // Derived from the batch view itself — the counter and
+            // `RekeyBatch::cost()` share one source and cannot diverge.
+            m.encryptions.add(batch.cost() as u64);
             m.tombstone_hits.add(tombstone_hits);
         }
-        Ok(RekeyOutcome {
-            encryptions,
-            updated: changed
-                .iter()
-                .map(|&s| self.keys[s as usize].id().clone())
-                .collect(),
-        })
+        Ok(batch)
+    }
+
+    /// Runs the interval's flattened seal jobs, writing each
+    /// `Encryption` into its arena slot: serially, or chunked across
+    /// scoped worker threads when the batch is large enough. Nonces come
+    /// from the job's slot index, so the split is invisible in the output.
+    fn seal_jobs(&self, arena: &mut RekeyArena, seq: NonceSeq, cost: usize) {
+        let threads = self.effective_seal_threads(cost);
+        let keys = &self.keys[..];
+        let jobs = &arena.jobs[..cost];
+        let slots = &mut arena.encryptions[..cost];
+        let seal_chunk = |jobs: &[SealJob], slots: &mut [rekey_crypto::Encryption], base: usize| {
+            for (off, (job, slot)) in jobs.iter().zip(slots.iter_mut()).enumerate() {
+                slot.seal_into(
+                    &keys[job.child as usize],
+                    &keys[job.node as usize],
+                    seq.nonce((base + off) as u64),
+                );
+            }
+        };
+        if threads <= 1 {
+            seal_chunk(jobs, slots, 0);
+        } else {
+            let per = cost.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, (job_chunk, slot_chunk)) in
+                    jobs.chunks(per).zip(slots.chunks_mut(per)).enumerate()
+                {
+                    let seal_chunk = &seal_chunk;
+                    scope.spawn(move || seal_chunk(job_chunk, slot_chunk, ci * per));
+                }
+            });
+        }
     }
 }
 
@@ -718,11 +807,12 @@ mod tests {
     /// Builds the Fig. 1 / Fig. 4 example group.
     fn fig4_tree(rng: &mut StdRng) -> ModifiedKeyTree {
         let mut tree = ModifiedKeyTree::new(&spec());
+        let mut arena = RekeyArena::new();
         let joins: Vec<UserId> = [[0, 0], [0, 1], [2, 0], [2, 1], [2, 2]]
             .iter()
             .map(|d| uid(*d))
             .collect();
-        tree.batch_rekey(&joins, &[], rng).unwrap();
+        tree.batch_rekey(&joins, &[], rng, &mut arena).unwrap();
         tree
     }
 
@@ -747,14 +837,21 @@ mod tests {
     #[test]
     fn fig4_single_leave_generates_four_encryptions() {
         let mut rng = StdRng::seed_from_u64(2);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
-        let out = tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[], &[uid([2, 2])], &mut rng, &mut arena)
+            .unwrap();
         assert_eq!(out.cost(), 4);
-        let mut ids: Vec<String> = out.encryptions.iter().map(|e| e.id().to_string()).collect();
+        let mut ids: Vec<String> = out
+            .encryptions()
+            .iter()
+            .map(|e| e.id().to_string())
+            .collect();
         ids.sort();
         assert_eq!(ids, vec!["[0]", "[2,0]", "[2,1]", "[2]"]);
         // Updated nodes: the root and [2].
-        let updated: Vec<String> = out.updated.iter().map(|p| p.to_string()).collect();
+        let updated: Vec<String> = out.updated().iter().map(|p| p.to_string()).collect();
         assert_eq!(updated, vec!["[]", "[2]"]);
         assert!(!tree.contains_user(&uid([2, 2])));
     }
@@ -800,18 +897,23 @@ mod tests {
     #[should_panic(expected = "stale NodeHandle")]
     fn stale_handles_are_rejected() {
         let mut rng = StdRng::seed_from_u64(13);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
         let leaf = tree.user_handle(&uid([2, 2])).unwrap();
-        tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
+        tree.batch_rekey(&[], &[uid([2, 2])], &mut rng, &mut arena)
+            .unwrap();
         let _ = tree.key_at(leaf);
     }
 
     #[test]
     fn pure_join_rekeys_join_path_only() {
         let mut rng = StdRng::seed_from_u64(4);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
         let old_group_version = tree.group_key().unwrap().version();
-        let out = tree.batch_rekey(&[uid([0, 2])], &[], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[uid([0, 2])], &[], &mut rng, &mut arena)
+            .unwrap();
         // Updated: root and [0]. Encryptions: root under [0] and [2];
         // [0]-key under [0,0], [0,1], [0,2] ⇒ 5 total.
         assert_eq!(out.cost(), 5);
@@ -822,14 +924,15 @@ mod tests {
     #[test]
     fn leave_that_empties_subtree_prunes_nodes() {
         let mut rng = StdRng::seed_from_u64(5);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
         let out = tree
-            .batch_rekey(&[], &[uid([0, 0]), uid([0, 1])], &mut rng)
+            .batch_rekey(&[], &[uid([0, 0]), uid([0, 1])], &mut rng, &mut arena)
             .unwrap();
         // Subtree [0] disappears entirely; only the root is updated, with a
         // single child [2] left ⇒ exactly one encryption.
         assert_eq!(out.cost(), 1);
-        assert_eq!(out.encryptions[0].id().to_string(), "[2]");
+        assert_eq!(out.encryptions()[0].id().to_string(), "[2]");
         assert!(key_of(&tree, &IdPrefix::new(&spec(), vec![0]).unwrap()).is_none());
         let id_tree = IdTree::from_users(&spec(), [[2, 0], [2, 1], [2, 2]].iter().map(|d| uid(*d)));
         assert!(tree.matches_id_tree(&id_tree));
@@ -844,20 +947,24 @@ mod tests {
     #[test]
     fn recreated_nodes_resume_retired_versions() {
         let mut rng = StdRng::seed_from_u64(9);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
         let aux = IdPrefix::new(&spec(), vec![0]).unwrap();
         // Rekey a few intervals so [0]'s version advances past creation.
-        tree.batch_rekey(&[], &[uid([0, 1])], &mut rng).unwrap();
-        tree.batch_rekey(&[uid([0, 1])], &[], &mut rng).unwrap();
+        tree.batch_rekey(&[], &[uid([0, 1])], &mut rng, &mut arena)
+            .unwrap();
+        tree.batch_rekey(&[uid([0, 1])], &[], &mut rng, &mut arena)
+            .unwrap();
         let before = key_of(&tree, &aux).unwrap().clone();
         assert!(before.version() >= 2);
 
         // Empty the subtree (pruning [0]), then recreate it; same for the
         // leaf [0,0] — same-ID u-node incarnations must not collide either.
-        tree.batch_rekey(&[], &[uid([0, 0]), uid([0, 1])], &mut rng)
+        tree.batch_rekey(&[], &[uid([0, 0]), uid([0, 1])], &mut rng, &mut arena)
             .unwrap();
         assert!(key_of(&tree, &aux).is_none());
-        tree.batch_rekey(&[uid([0, 0])], &[], &mut rng).unwrap();
+        tree.batch_rekey(&[uid([0, 0])], &[], &mut rng, &mut arena)
+            .unwrap();
 
         let after = key_of(&tree, &aux).unwrap();
         assert!(
@@ -874,21 +981,22 @@ mod tests {
     #[test]
     fn batch_validation() {
         let mut rng = StdRng::seed_from_u64(6);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
         assert_eq!(
-            tree.batch_rekey(&[uid([0, 0])], &[], &mut rng),
+            tree.batch_rekey(&[uid([0, 0])], &[], &mut rng, &mut arena),
             Err(KeyTreeError::AlreadyMember(uid([0, 0])))
         );
         assert_eq!(
-            tree.batch_rekey(&[], &[uid([3, 3])], &mut rng),
+            tree.batch_rekey(&[], &[uid([3, 3])], &mut rng, &mut arena),
             Err(KeyTreeError::NotMember(uid([3, 3])))
         );
         assert_eq!(
-            tree.batch_rekey(&[uid([3, 3])], &[uid([3, 3])], &mut rng),
+            tree.batch_rekey(&[uid([3, 3])], &[uid([3, 3])], &mut rng, &mut arena),
             Err(KeyTreeError::NotMember(uid([3, 3])))
         );
         assert_eq!(
-            tree.batch_rekey(&[uid([3, 3]), uid([3, 3])], &[], &mut rng),
+            tree.batch_rekey(&[uid([3, 3]), uid([3, 3])], &[], &mut rng, &mut arena),
             Err(KeyTreeError::DuplicateRequest(uid([3, 3])))
         );
         // Tree unchanged after errors.
@@ -901,11 +1009,12 @@ mod tests {
     #[test]
     fn id_reuse_within_one_batch() {
         let mut rng = StdRng::seed_from_u64(10);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
         let old_individual = key_of(&tree, &uid([2, 2]).as_prefix()).unwrap().clone();
         let old_group = tree.group_key().unwrap().clone();
         let out = tree
-            .batch_rekey(&[uid([2, 2])], &[uid([2, 2])], &mut rng)
+            .batch_rekey(&[uid([2, 2])], &[uid([2, 2])], &mut rng, &mut arena)
             .unwrap();
         assert!(out.cost() > 0);
         assert!(tree.contains_user(&uid([2, 2])));
@@ -920,25 +1029,31 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop_message() {
         let mut rng = StdRng::seed_from_u64(7);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
-        let out = tree.batch_rekey(&[], &[], &mut rng).unwrap();
+        let out = tree.batch_rekey(&[], &[], &mut rng, &mut arena).unwrap();
         assert_eq!(out.cost(), 0);
-        assert!(out.updated.is_empty());
+        assert!(out.updated().is_empty());
     }
 
     #[test]
     fn last_user_leaving_empties_tree() {
         let mut rng = StdRng::seed_from_u64(8);
+        let mut arena = RekeyArena::new();
         let mut tree = ModifiedKeyTree::new(&spec());
-        tree.batch_rekey(&[uid([1, 1])], &[], &mut rng).unwrap();
+        tree.batch_rekey(&[uid([1, 1])], &[], &mut rng, &mut arena)
+            .unwrap();
         assert!(tree.group_key().is_some());
-        let out = tree.batch_rekey(&[], &[uid([1, 1])], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[], &[uid([1, 1])], &mut rng, &mut arena)
+            .unwrap();
         assert_eq!(out.cost(), 0);
         assert_eq!(tree.node_count(), 0);
         assert!(tree.group_key().is_none());
         assert_eq!(tree.root_handle(), None);
         // And the tree is reusable afterwards.
-        tree.batch_rekey(&[uid([2, 2])], &[], &mut rng).unwrap();
+        tree.batch_rekey(&[uid([2, 2])], &[], &mut rng, &mut arena)
+            .unwrap();
         assert_eq!(tree.user_count(), 1);
         assert!(tree.group_key().is_some());
     }
@@ -946,16 +1061,19 @@ mod tests {
     #[test]
     fn metrics_record_batches_encryptions_and_tombstones() {
         let mut rng = StdRng::seed_from_u64(11);
+        let mut arena = RekeyArena::new();
         let registry = rekey_metrics::Registry::new();
         let mut tree = ModifiedKeyTree::new(&spec());
         tree.set_metrics(TreeMetrics::in_registry(&registry));
 
         let joins: Vec<UserId> = [[0, 0], [0, 1]].iter().map(|d| uid(*d)).collect();
-        tree.batch_rekey(&joins, &[], &mut rng).unwrap();
+        tree.batch_rekey(&joins, &[], &mut rng, &mut arena).unwrap();
         // Prune the [0] subtree, then recreate one leaf: the leaf, the aux
         // node [0], and the root all resume retired versions.
-        tree.batch_rekey(&[], &joins, &mut rng).unwrap();
-        let out = tree.batch_rekey(&[uid([0, 0])], &[], &mut rng).unwrap();
+        tree.batch_rekey(&[], &joins, &mut rng, &mut arena).unwrap();
+        let out = tree
+            .batch_rekey(&[uid([0, 0])], &[], &mut rng, &mut arena)
+            .unwrap();
 
         let snap = registry.snapshot();
         let sizes = &snap.histograms["tree_batch_size"];
@@ -967,7 +1085,7 @@ mod tests {
         // A checkpoint clone shares the series rather than forking it.
         let mut checkpoint = tree.clone();
         checkpoint
-            .batch_rekey(&[uid([1, 1])], &[], &mut rng)
+            .batch_rekey(&[uid([1, 1])], &[], &mut rng, &mut arena)
             .unwrap();
         assert_eq!(registry.snapshot().histograms["tree_batch_size"].count, 4);
     }
@@ -975,9 +1093,12 @@ mod tests {
     #[test]
     fn encryptions_ordered_deep_to_shallow() {
         let mut rng = StdRng::seed_from_u64(9);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
-        let out = tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
-        let lens: Vec<usize> = out.encryptions.iter().map(|e| e.id().len()).collect();
+        let out = tree
+            .batch_rekey(&[], &[uid([2, 2])], &mut rng, &mut arena)
+            .unwrap();
+        let lens: Vec<usize> = out.encryptions().iter().map(|e| e.id().len()).collect();
         let mut sorted = lens.clone();
         sorted.sort_by_key(|&l| std::cmp::Reverse(l));
         assert_eq!(lens, sorted);
@@ -986,12 +1107,15 @@ mod tests {
     #[test]
     fn freed_slots_are_recycled() {
         let mut rng = StdRng::seed_from_u64(14);
+        let mut arena = RekeyArena::new();
         let mut tree = fig4_tree(&mut rng);
         let cap_before = tree.keys.len();
         // Churn the same subtree repeatedly: capacity must not grow.
         for _ in 0..16 {
-            tree.batch_rekey(&[], &[uid([2, 2])], &mut rng).unwrap();
-            tree.batch_rekey(&[uid([2, 2])], &[], &mut rng).unwrap();
+            tree.batch_rekey(&[], &[uid([2, 2])], &mut rng, &mut arena)
+                .unwrap();
+            tree.batch_rekey(&[uid([2, 2])], &[], &mut rng, &mut arena)
+                .unwrap();
         }
         assert_eq!(tree.keys.len(), cap_before, "free list must recycle slots");
         assert_eq!(tree.user_count(), 5);

@@ -18,10 +18,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rand::Rng;
-use rekey_crypto::{Encryption, Key, KeyMaterial};
+use rekey_crypto::{Key, KeyMaterial, NonceSeq};
 use rekey_id::{IdPrefix, IdSpec, IdTree, UserId};
 
-use crate::modified::{KeyTreeError, RekeyOutcome};
+use crate::batch::{RekeyArena, RekeyBatch};
+use crate::modified::KeyTreeError;
 
 #[derive(Debug, Clone)]
 struct TreeNode {
@@ -147,13 +148,15 @@ impl ReferenceKeyTree {
     ///
     /// Rejects batches with duplicate users, joins of current members, or
     /// leaves of non-members; the tree is left unchanged on error.
-    pub fn batch_rekey<R: Rng + ?Sized>(
+    pub fn batch_rekey<'a, R: Rng + ?Sized>(
         &mut self,
         joins: &[UserId],
         leaves: &[UserId],
         rng: &mut R,
-    ) -> Result<RekeyOutcome, KeyTreeError> {
+        arena: &'a mut RekeyArena,
+    ) -> Result<RekeyBatch<'a>, KeyTreeError> {
         self.validate_batch(joins, leaves)?;
+        arena.reset();
         let depth = self.spec.depth();
         let mut changed: BTreeSet<IdPrefix> = BTreeSet::new();
 
@@ -209,20 +212,35 @@ impl ReferenceKeyTree {
             node.key = node.key.next_version(rng);
         }
 
-        let mut encryptions = Vec::new();
+        // Emit in the same order as the fast tree: deep→shallow, ascending
+        // ID within a depth. The per-batch nonce seed is drawn once, after
+        // every key draw — identical RNG consumption to
+        // `ModifiedKeyTree::batch_rekey`, so identically seeded calls
+        // produce byte-identical batches.
         let mut changed_sorted: Vec<&IdPrefix> = changed.iter().collect();
         changed_sorted.sort_by_key(|id| std::cmp::Reverse(id.len()));
+        let total: usize = changed_sorted
+            .iter()
+            .map(|id| self.nodes[*id].children.len())
+            .sum();
+        let seq = if total == 0 {
+            NonceSeq::from_seed([0; 32])
+        } else {
+            NonceSeq::from_rng(rng)
+        };
+        arena.ensure_slots(total);
+        let mut slot = 0usize;
         for id in changed_sorted {
             let node = &self.nodes[id];
-            let new_key = node.key.clone();
             for &digit in &node.children {
                 let child = &self.nodes[&id.child(digit)];
-                encryptions.push(Encryption::seal(&child.key, &new_key, rng));
+                arena.encryptions[slot].seal_into(&child.key, &node.key, seq.nonce(slot as u64));
+                slot += 1;
             }
         }
-        Ok(RekeyOutcome {
-            encryptions,
-            updated: changed.into_iter().collect(),
-        })
+        for id in &changed {
+            arena.push_updated(id);
+        }
+        Ok(RekeyBatch::new(arena))
     }
 }

@@ -12,7 +12,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rekey_id::{IdSpec, UserId};
-use rekey_keytree::{ModifiedKeyTree, ReferenceKeyTree};
+use rekey_keytree::{ModifiedKeyTree, ReferenceKeyTree, RekeyArena};
 
 fn spec() -> IdSpec {
     // A deliberately small ID space (27 IDs) so churn recreates pruned
@@ -85,13 +85,19 @@ proptest! {
         let mut oracle_rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut arena = ModifiedKeyTree::new(&s);
         let mut oracle = ReferenceKeyTree::new(&s);
+        let mut arena_scratch = RekeyArena::new();
+        let mut oracle_scratch = RekeyArena::new();
         for iv in schedule(&bytes) {
             // Crashes reach the server as failure notices and enter the
             // same batch as ordinary leaves.
             let mut departed = iv.leaves.clone();
             departed.extend(iv.crashes.iter().cloned());
-            let a = arena.batch_rekey(&iv.joins, &departed, &mut arena_rng).unwrap();
-            let o = oracle.batch_rekey(&iv.joins, &departed, &mut oracle_rng).unwrap();
+            let a = arena
+                .batch_rekey(&iv.joins, &departed, &mut arena_rng, &mut arena_scratch)
+                .unwrap();
+            let o = oracle
+                .batch_rekey(&iv.joins, &departed, &mut oracle_rng, &mut oracle_scratch)
+                .unwrap();
             prop_assert_eq!(&a, &o, "outcomes diverged");
             prop_assert_eq!(arena.node_count(), oracle.node_count());
             prop_assert_eq!(arena.user_count(), oracle.user_count());
@@ -122,6 +128,8 @@ proptest! {
         let mut oracle_rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut arena = ModifiedKeyTree::new(&s);
         let mut oracle = ReferenceKeyTree::new(&s);
+        let mut arena_scratch = RekeyArena::new();
+        let mut oracle_scratch = RekeyArena::new();
         for chunk in bytes.chunks(4) {
             // Build deliberately unvalidated batches straight from bytes:
             // duplicates, joins of members, leaves of strangers included.
@@ -130,8 +138,8 @@ proptest! {
                 .map(|&b| UserId::from_index(&s, u64::from(b) % s.id_space()))
                 .collect();
             let (joins, leaves) = ids.split_at(ids.len() / 2);
-            let a = arena.batch_rekey(joins, leaves, &mut arena_rng);
-            let o = oracle.batch_rekey(joins, leaves, &mut oracle_rng);
+            let a = arena.batch_rekey(joins, leaves, &mut arena_rng, &mut arena_scratch);
+            let o = oracle.batch_rekey(joins, leaves, &mut oracle_rng, &mut oracle_scratch);
             prop_assert_eq!(a.is_err(), o.is_err());
             if let (Err(ae), Err(oe)) = (&a, &o) {
                 prop_assert_eq!(ae, oe);
@@ -152,6 +160,8 @@ fn tombstone_resume_in_lockstep() {
     let mut oracle_rng = rand::rngs::StdRng::seed_from_u64(7);
     let mut arena = ModifiedKeyTree::new(&s);
     let mut oracle = ReferenceKeyTree::new(&s);
+    let mut arena_scratch = RekeyArena::new();
+    let mut oracle_scratch = RekeyArena::new();
     let a0 = UserId::new(&s, vec![0, 0, 0]).unwrap();
     let a1 = UserId::new(&s, vec![0, 0, 1]).unwrap();
     let b = UserId::new(&s, vec![1, 0, 0]).unwrap();
@@ -162,9 +172,11 @@ fn tombstone_resume_in_lockstep() {
         (vec![], vec![a0.clone()]),
         (vec![a0.clone()], vec![]), // second resume of the same IDs
     ] {
-        let a = arena.batch_rekey(&joins, &leaves, &mut arena_rng).unwrap();
+        let a = arena
+            .batch_rekey(&joins, &leaves, &mut arena_rng, &mut arena_scratch)
+            .unwrap();
         let o = oracle
-            .batch_rekey(&joins, &leaves, &mut oracle_rng)
+            .batch_rekey(&joins, &leaves, &mut oracle_rng, &mut oracle_scratch)
             .unwrap();
         assert_eq!(a, o);
     }

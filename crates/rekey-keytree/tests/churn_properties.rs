@@ -4,7 +4,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rekey_id::{IdSpec, IdTree, UserId};
-use rekey_keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree, OriginalKeyTree};
+use rekey_keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree, OriginalKeyTree, RekeyArena};
 
 fn spec() -> IdSpec {
     IdSpec::new(3, 4).unwrap()
@@ -53,9 +53,10 @@ proptest! {
         let s = spec();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut tree = ModifiedKeyTree::new(&s);
+        let mut arena = RekeyArena::new();
         let mut members: std::collections::BTreeSet<UserId> = Default::default();
         for (joins, leaves) in schedule(&bytes) {
-            tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+            tree.batch_rekey(&joins, &leaves, &mut rng, &mut arena).unwrap();
             // Leaves apply before joins (a join may reuse a leaver's ID).
             for l in leaves { members.remove(&l); }
             for j in joins { members.insert(j); }
@@ -81,15 +82,16 @@ proptest! {
         let mut tree = ModifiedKeyTree::new(&s);
         // Pin one tracked member that never leaves.
         let tracked = UserId::from_index(&s, 63);
-        tree.batch_rekey(std::slice::from_ref(&tracked), &[], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        tree.batch_rekey(std::slice::from_ref(&tracked), &[], &mut rng, &mut arena).unwrap();
         let mut ring = KeyRing::new(tracked.clone(), tree.user_path_keys(&tracked));
         for (joins, leaves) in schedule(&bytes) {
             let joins: Vec<UserId> =
                 joins.into_iter().filter(|u| *u != tracked && !tree.contains_user(u)).collect();
             let leaves: Vec<UserId> =
                 leaves.into_iter().filter(|u| *u != tracked && tree.contains_user(u)).collect();
-            let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
-            ring.absorb(&out.encryptions);
+            let out = tree.batch_rekey(&joins, &leaves, &mut rng, &mut arena).unwrap();
+            ring.absorb(out.encryptions());
             prop_assert!(ring.matches_path(&s, tree.user_path_keys(&tracked)));
         }
     }
@@ -120,9 +122,10 @@ proptest! {
         let s = spec();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut tree = ClusteredKeyTree::new(&s);
+        let mut arena = RekeyArena::new();
         let mut members: std::collections::BTreeSet<UserId> = Default::default();
         for (joins, leaves) in schedule(&bytes) {
-            tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+            tree.batch_rekey(&joins, &leaves, &mut rng, &mut arena).unwrap();
             for l in leaves { members.remove(&l); }
             for j in joins { members.insert(j); }
             prop_assert_eq!(tree.user_count(), members.len());
@@ -149,13 +152,14 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let all: Vec<UserId> = (0..48).map(|i| UserId::from_index(&s, i)).collect();
         let mut modified = ModifiedKeyTree::new(&s);
-        modified.batch_rekey(&all, &[], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        modified.batch_rekey(&all, &[], &mut rng, &mut arena).unwrap();
         let mut original = OriginalKeyTree::balanced(4, &all);
         let mut leaves: Vec<UserId> =
             leave_picks.iter().map(|&i| all[i].clone()).collect();
         leaves.sort();
         leaves.dedup();
-        let m = modified.batch_rekey(&[], &leaves, &mut rng).unwrap().cost();
+        let m = modified.batch_rekey(&[], &leaves, &mut rng, &mut arena).unwrap().cost();
         let o = original.batch_rekey(&[], &leaves).cost();
         // Identical D and degree-4 structure over a 48-leaf universe:
         // allow a small constant slack for pruning differences.

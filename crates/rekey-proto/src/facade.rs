@@ -15,9 +15,9 @@
 //!   to it and is then able to open data sealed under the new group key.
 
 use rand::Rng;
-use rekey_crypto::{Key, SealedData};
-use rekey_id::{IdSpec, UserId};
-use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyOutcome, TreeMetrics};
+use rekey_crypto::{Encryption, Key, SealedData};
+use rekey_id::{IdPrefix, IdSpec, UserId};
+use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyArena, TreeMetrics};
 use rekey_net::{HostId, Micros, Network};
 use rekey_sim::{seeded_rng, SimRng};
 use rekey_table::PrimaryPolicy;
@@ -57,6 +57,7 @@ pub struct GroupConfig {
     policy: PrimaryPolicy,
     assign: AssignParams,
     seed: u64,
+    seal_threads: usize,
 }
 
 impl GroupConfig {
@@ -69,6 +70,7 @@ impl GroupConfig {
             policy: PrimaryPolicy::SmallestRtt,
             assign: AssignParams::paper(),
             seed: 0,
+            seal_threads: 1,
         }
     }
 
@@ -82,6 +84,7 @@ impl GroupConfig {
             policy: PrimaryPolicy::SmallestRtt,
             assign: AssignParams::for_depth(spec.depth()),
             seed: 0,
+            seal_threads: 1,
         }
     }
 
@@ -115,14 +118,26 @@ impl GroupConfig {
         self
     }
 
+    /// Worker threads for the key tree's seal phase: `1` (default) seals
+    /// serially, `0` uses one thread per core. Identical seeds produce
+    /// byte-identical rekey messages at any setting (see
+    /// [`ModifiedKeyTree::set_seal_threads`]).
+    pub fn seal_threads(mut self, threads: usize) -> GroupConfig {
+        self.seal_threads = threads;
+        self
+    }
+
     /// Builds the server at `server_host`.
     pub fn build(self, server_host: HostId) -> GroupServer {
+        let mut tree = ModifiedKeyTree::new(&self.spec);
+        tree.set_seal_threads(self.seal_threads);
         GroupServer {
             group: Group::new(&self.spec, server_host, self.k, self.policy, self.assign),
-            tree: ModifiedKeyTree::new(&self.spec),
+            tree,
             pending: Vec::new(),
             interval: 0,
             rng: seeded_rng(self.seed),
+            arena: RekeyArena::new(),
         }
     }
 
@@ -155,9 +170,11 @@ impl GroupConfig {
             net,
         )?;
         let mut tree = ModifiedKeyTree::new(&self.spec);
+        tree.set_seal_threads(self.seal_threads);
         let mut rng = seeded_rng(self.seed);
+        let mut arena = RekeyArena::new();
         let joins: Vec<UserId> = group.members().iter().map(|m| m.id.clone()).collect();
-        tree.batch_rekey(&joins, &[], &mut rng)
+        tree.batch_rekey(&joins, &[], &mut rng, &mut arena)
             .expect("bootstrap IDs are unique non-members");
         let welcomes = group
             .members()
@@ -174,6 +191,7 @@ impl GroupConfig {
             pending: Vec::new(),
             interval: 1,
             rng,
+            arena,
         };
         Ok((server, welcomes))
     }
@@ -191,18 +209,52 @@ pub struct WelcomePacket {
     pub interval: u64,
 }
 
-/// The output of one rekey interval.
+/// The output of one rekey interval. The rekey message is owned (taken
+/// from the server's seal arena without copying) so the outcome can
+/// outlive the next interval — e.g. in the runtime's recovery history.
 #[derive(Debug, Clone)]
 pub struct IntervalOutcome {
     /// Interval number (1-based).
     pub interval: u64,
     /// The batch rekey message to multicast to the group.
-    pub rekey: RekeyOutcome,
+    encryptions: Vec<Encryption>,
+    /// IDs of the k-nodes whose keys changed this interval.
+    updated: Vec<IdPrefix>,
+    /// Seal-phase wall-clock nanoseconds (see `RekeyBatch::seal_nanos`).
+    seal_nanos: u64,
     /// Welcome packets for members that joined during the interval
     /// (delivered via unicast, not multicast).
     pub welcomes: Vec<WelcomePacket>,
     /// IDs that left during the interval.
     pub departed: Vec<UserId>,
+}
+
+impl IntervalOutcome {
+    /// The paper's *rekey cost*: encryptions in this interval's message.
+    pub fn cost(&self) -> usize {
+        self.encryptions.len()
+    }
+
+    /// The rekey message: all encryptions, deep-to-shallow.
+    pub fn encryptions(&self) -> &[Encryption] {
+        &self.encryptions
+    }
+
+    /// IDs of the k-nodes whose keys changed, ascending.
+    pub fn updated(&self) -> &[IdPrefix] {
+        &self.updated
+    }
+
+    /// Wall-clock nanoseconds the interval's seal phase took.
+    pub fn seal_nanos(&self) -> u64 {
+        self.seal_nanos
+    }
+
+    /// Moves the rekey message out (for history buffers); the outcome's
+    /// message becomes empty.
+    pub fn take_encryptions(&mut self) -> Vec<Encryption> {
+        std::mem::take(&mut self.encryptions)
+    }
 }
 
 /// Per-member delivery produced by [`GroupServer::deliver`]: the exact
@@ -292,6 +344,9 @@ pub struct GroupServer {
     pending: Vec<(bool, UserId)>,
     interval: u64,
     rng: SimRng,
+    /// Reusable seal arena for `end_interval` (its `Clone` is a fresh
+    /// arena, so checkpoints stay cheap — scratch never affects outputs).
+    arena: RekeyArena,
 }
 
 impl GroupServer {
@@ -384,10 +439,13 @@ impl GroupServer {
             .filter(|(_, &is_join)| is_join)
             .map(|(id, _)| (*id).clone())
             .collect();
-        let rekey = self
+        let mut batch = self
             .tree
-            .batch_rekey(&joins, &leaves, &mut self.rng)
+            .batch_rekey(&joins, &leaves, &mut self.rng, &mut self.arena)
             .expect("pending lists mirror membership changes");
+        let seal_nanos = batch.seal_nanos();
+        let encryptions = batch.take_encryptions();
+        let updated = batch.take_updated();
         let welcomes = joins
             .into_iter()
             .map(|id| WelcomePacket {
@@ -398,7 +456,9 @@ impl GroupServer {
             .collect();
         IntervalOutcome {
             interval: self.interval,
-            rekey,
+            encryptions,
+            updated,
+            seal_nanos,
             welcomes,
             departed: leaves,
         }
@@ -442,7 +502,7 @@ impl GroupServer {
         net: &impl Network,
         outcome: &'a IntervalOutcome,
     ) -> RekeyDelivery<'a> {
-        let encryptions = outcome.rekey.encryptions.as_slice();
+        let encryptions = outcome.encryptions();
         if encryptions.is_empty() {
             return RekeyDelivery {
                 encryptions,
@@ -832,7 +892,7 @@ mod tests {
         assert!(!server.tree().contains_user(&id));
         assert_eq!(server.group().member(&id), None);
         // The transient member's requests cancel; nothing to rekey.
-        assert_eq!(out.rekey.cost(), 0);
+        assert_eq!(out.cost(), 0);
     }
 
     /// The opposite order — a leave followed by a join that reuses the
@@ -860,7 +920,7 @@ mod tests {
         assert_eq!(out.departed, vec![victim.clone()]);
         assert_eq!(out.welcomes.len(), 1);
         assert_eq!(out.welcomes[0].id, victim);
-        assert!(out.rekey.cost() > 0);
+        assert!(out.cost() > 0);
         assert_ne!(server.tree().group_key(), Some(&old_group_key));
     }
 
@@ -868,7 +928,7 @@ mod tests {
     fn empty_interval_is_cheap() {
         let (_, mut server, _) = setup(5);
         let outcome = server.end_interval();
-        assert_eq!(outcome.rekey.cost(), 0);
+        assert_eq!(outcome.cost(), 0);
         assert!(outcome.welcomes.is_empty());
         assert!(outcome.departed.is_empty());
     }
@@ -880,7 +940,7 @@ mod tests {
     fn empty_interval_delivery_allocates_no_payloads() {
         let (net, mut server, _) = setup(5);
         let outcome = server.end_interval();
-        assert_eq!(outcome.rekey.cost(), 0);
+        assert_eq!(outcome.cost(), 0);
         let delivered = server.deliver(&net, &outcome);
         assert_eq!(delivered.members(), 5);
         assert_eq!(delivered.total_received(), 0);

@@ -129,7 +129,7 @@ pub fn lossy_rekey_transport(
 mod tests {
     use super::*;
     use rekey_id::IdSpec;
-    use rekey_keytree::{KeyRing, ModifiedKeyTree};
+    use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyArena};
     use rekey_net::{HostId, MatrixNetwork, PlanetLabParams};
     use rekey_sim::seeded_rng;
     use rekey_table::PrimaryPolicy;
@@ -151,9 +151,11 @@ mod tests {
             crate::AssignParams::for_depth(3),
         );
         let mut tree = ModifiedKeyTree::new(&spec);
+        let mut arena = RekeyArena::new();
         for h in 0..n {
             let out = group.join(HostId(h), &net, h as u64).unwrap();
-            tree.batch_rekey(&[out.id], &[], &mut rng).unwrap();
+            tree.batch_rekey(&[out.id], &[], &mut rng, &mut arena)
+                .unwrap();
         }
         let rings: Rings = group
             .members()
@@ -173,11 +175,14 @@ mod tests {
         let (net, mut group, mut tree, _rings, mut rng) = fixture(30, 1);
         let leaver = group.members()[3].id.clone();
         group.leave(&leaver, &net).unwrap();
-        let out = tree.batch_rekey(&[], &[leaver], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        let out = tree
+            .batch_rekey(&[], &[leaver], &mut rng, &mut arena)
+            .unwrap();
         let report = lossy_rekey_transport(
             &group.tmesh(),
             &net,
-            &out.encryptions,
+            out.encryptions(),
             0.0,
             &mut seeded_rng(7),
         );
@@ -199,9 +204,13 @@ mod tests {
             group.leave(l, &net).unwrap();
             rings.remove(l);
         }
-        let out = tree.batch_rekey(&[], &leavers, &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        let out = tree
+            .batch_rekey(&[], &leavers, &mut rng, &mut arena)
+            .unwrap();
         let mesh = group.tmesh();
-        let report = lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.25, &mut seeded_rng(9));
+        let report =
+            lossy_rekey_transport(&mesh, &net, out.encryptions(), 0.25, &mut seeded_rng(9));
         assert!(report.copies_lost > 0, "25% loss must drop something");
         assert!(!report.recovering_members.is_empty());
 
@@ -210,7 +219,7 @@ mod tests {
         let spec = *group.spec();
         for (i, member) in mesh.members().iter().enumerate() {
             let ring = rings.get_mut(&member.id).expect("survivor has a ring");
-            ring.absorb(report.final_sets[i].iter().map(|&e| &out.encryptions[e]));
+            ring.absorb(report.final_sets[i].iter().map(|&e| &out.encryptions()[e]));
             assert!(
                 ring.matches_path(&spec, tree.user_path_keys(&member.id)),
                 "{} lacks keys after recovery",
@@ -231,10 +240,13 @@ mod tests {
         let (net, mut group, mut tree, _rings, mut rng) = fixture(40, 3);
         let leaver = group.members()[0].id.clone();
         group.leave(&leaver, &net).unwrap();
-        let out = tree.batch_rekey(&[], &[leaver], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        let out = tree
+            .batch_rekey(&[], &[leaver], &mut rng, &mut arena)
+            .unwrap();
         let mesh = group.tmesh();
-        let low = lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.05, &mut seeded_rng(11));
-        let high = lossy_rekey_transport(&mesh, &net, &out.encryptions, 0.5, &mut seeded_rng(11));
+        let low = lossy_rekey_transport(&mesh, &net, out.encryptions(), 0.05, &mut seeded_rng(11));
+        let high = lossy_rekey_transport(&mesh, &net, out.encryptions(), 0.5, &mut seeded_rng(11));
         assert!(high.recovering_members.len() >= low.recovering_members.len());
         assert!(high.copies_lost > low.copies_lost);
     }

@@ -815,7 +815,8 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
     /// Ends one interval: welcomes, multicast, checkpoint, leave acks.
     fn rekey_round(&mut self, ctx: &mut impl Outputs) {
         self.append_op(ctx, ReplOp::Interval { sent_at: ctx.now() });
-        let outcome = self.server.end_interval();
+        let mut outcome = self.server.end_interval();
+        let encryptions = outcome.take_encryptions();
         self.stats.intervals += 1;
         self.next_interval_at = ctx.now() + self.shared.knobs().rekey_period;
         for welcome in outcome.welcomes {
@@ -840,8 +841,8 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
             epoch: self.epoch,
             sent_at: ctx.now(),
             seq: self.seq,
-            index: self.split_index.advance(&outcome.rekey.encryptions),
-            encryptions: outcome.rekey.encryptions,
+            index: self.split_index.advance(&encryptions),
+            encryptions,
         });
         self.history.insert(outcome.interval, Arc::clone(&message));
         while self.history.len() > journal::HISTORY_WINDOW {
@@ -1236,14 +1237,14 @@ impl<NET: Network, S: SharedHandle> RtServer<NET, S> {
                 self.seq += 1;
             }
             ReplOp::Interval { sent_at } => {
-                let outcome = self.server.end_interval();
+                let mut outcome = self.server.end_interval();
                 let message = Arc::new(IntervalMessage {
                     interval: outcome.interval,
                     epoch: entry.epoch,
                     sent_at: *sent_at,
                     seq: self.seq,
-                    index: self.split_index.advance(&outcome.rekey.encryptions),
-                    encryptions: outcome.rekey.encryptions,
+                    index: self.split_index.advance(outcome.encryptions()),
+                    encryptions: outcome.take_encryptions(),
                 });
                 self.history.insert(outcome.interval, message);
                 while self.history.len() > journal::HISTORY_WINDOW {

@@ -12,7 +12,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use rand::SeedableRng;
 use rekey_id::{IdSpec, UserId};
-use rekey_keytree::{KeyRing, ModifiedKeyTree};
+use rekey_keytree::{KeyRing, ModifiedKeyTree, RekeyArena};
 use rekey_net::{HostId, MatrixNetwork, Network, PlanetLabParams};
 use rekey_proto::{tmesh_rekey_transport, AssignParams, Group, TransportOptions};
 use rekey_table::PrimaryPolicy;
@@ -24,6 +24,7 @@ struct Fixture {
     tree: ModifiedKeyTree,
     rings: HashMap<UserId, KeyRing>,
     rng: rand::rngs::StdRng,
+    arena: RekeyArena,
 }
 
 fn fixture(spec: IdSpec, n: usize, seed: u64) -> Fixture {
@@ -37,10 +38,11 @@ fn fixture(spec: IdSpec, n: usize, seed: u64) -> Fixture {
         AssignParams::for_depth(spec.depth()),
     );
     let mut tree = ModifiedKeyTree::new(&spec);
+    let mut arena = RekeyArena::new();
     let mut rings = HashMap::new();
     for h in 0..n {
         let out = group.join(HostId(h), &net, h as u64).unwrap();
-        tree.batch_rekey(std::slice::from_ref(&out.id), &[], &mut rng)
+        tree.batch_rekey(std::slice::from_ref(&out.id), &[], &mut rng, &mut arena)
             .unwrap();
         rings.insert(
             out.id.clone(),
@@ -57,6 +59,7 @@ fn fixture(spec: IdSpec, n: usize, seed: u64) -> Fixture {
         tree,
         rings,
         rng,
+        arena,
     }
 }
 
@@ -115,14 +118,17 @@ fn corollary1_split_delivers_exactly_the_needed_encryptions() {
                 .id,
         );
     }
-    let out = fx.tree.batch_rekey(&joins, &leaves, &mut fx.rng).unwrap();
+    let out = fx
+        .tree
+        .batch_rekey(&joins, &leaves, &mut fx.rng, &mut fx.arena)
+        .unwrap();
     assert!(out.cost() > 0);
 
     let mesh = fx.group.tmesh();
     let report = tmesh_rekey_transport(
         &mesh,
         &fx.net,
-        &out.encryptions,
+        out.encryptions(),
         TransportOptions::split().with_detail(),
     );
     let received = report.received_sets.as_ref().unwrap();
@@ -141,7 +147,7 @@ fn corollary1_split_delivers_exactly_the_needed_encryptions() {
         // Expected set per Corollary 1: encryptions needed by the member or
         // by at least one downstream user.
         let mut expected = BTreeSet::new();
-        for (e, enc) in out.encryptions.iter().enumerate() {
+        for (e, enc) in out.encryptions().iter().enumerate() {
             let needed_by_me = enc.id().is_prefix_of_id(&member.id);
             let needed_downstream = downstream[i]
                 .iter()
@@ -184,7 +190,10 @@ fn split_end_to_end_key_delivery_over_churn_intervals() {
             next_host += 1;
             joins.push(out.id);
         }
-        let out = fx.tree.batch_rekey(&joins, &leaves, &mut fx.rng).unwrap();
+        let out = fx
+            .tree
+            .batch_rekey(&joins, &leaves, &mut fx.rng, &mut fx.arena)
+            .unwrap();
         for j in &joins {
             fx.rings.insert(
                 j.clone(),
@@ -197,13 +206,13 @@ fn split_end_to_end_key_delivery_over_churn_intervals() {
         let report = tmesh_rekey_transport(
             &mesh,
             &fx.net,
-            &out.encryptions,
+            out.encryptions(),
             TransportOptions::split().with_detail(),
         );
         let received = report.received_sets.as_ref().unwrap();
         for (i, member) in mesh.members().iter().enumerate() {
             let ring = fx.rings.get_mut(&member.id).expect("member has a ring");
-            ring.absorb(received[i].iter().map(|&e| &out.encryptions[e]));
+            ring.absorb(received[i].iter().map(|&e| &out.encryptions()[e]));
             assert!(
                 ring.matches_path(&spec, fx.tree.user_path_keys(&member.id)),
                 "interval {interval}: {} lacks current keys",
@@ -228,11 +237,14 @@ fn splitting_reduces_received_bandwidth_massively() {
     for l in &leaves {
         fx.group.leave(l, &fx.net).unwrap();
     }
-    let out = fx.tree.batch_rekey(&[], &leaves, &mut fx.rng).unwrap();
+    let out = fx
+        .tree
+        .batch_rekey(&[], &leaves, &mut fx.rng, &mut fx.arena)
+        .unwrap();
     let mesh = fx.group.tmesh();
-    let with = tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, TransportOptions::split());
+    let with = tmesh_rekey_transport(&mesh, &fx.net, out.encryptions(), TransportOptions::split());
     let without =
-        tmesh_rekey_transport(&mesh, &fx.net, &out.encryptions, TransportOptions::flood());
+        tmesh_rekey_transport(&mesh, &fx.net, out.encryptions(), TransportOptions::flood());
     let total_with: u64 = with.received.iter().sum();
     let total_without: u64 = without.received.iter().sum();
     assert!(

@@ -15,7 +15,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rekey_id::{IdPrefix, IdSpec, UserId};
-use rekey_keytree::ModifiedKeyTree;
+use rekey_keytree::{ModifiedKeyTree, RekeyArena};
 use rekey_net::{HostId, MatrixNetwork, Network, PlanetLabParams};
 use rekey_proto::split::reference;
 use rekey_proto::{
@@ -74,8 +74,12 @@ fn churned_group(
             }
         }
     }
-    let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
-    (network, group, tree, out.encryptions)
+    let mut arena = RekeyArena::new();
+    let mut out = tree
+        .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
+        .unwrap();
+    let encryptions = out.take_encryptions();
+    (network, group, tree, encryptions)
 }
 
 fn received_sets(report: &rekey_proto::BandwidthReport) -> Vec<BTreeSet<usize>> {

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use group_rekeying::id::IdSpec;
-use group_rekeying::keytree::{KeyRing, ModifiedKeyTree};
+use group_rekeying::keytree::{KeyRing, ModifiedKeyTree, RekeyArena};
 use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams};
 use group_rekeying::proto::{tmesh_rekey_transport, AssignParams, Group, TransportOptions};
 use group_rekeying::table::PrimaryPolicy;
@@ -40,12 +40,13 @@ fn main() {
         AssignParams::paper(),
     );
     let mut tree = ModifiedKeyTree::new(&spec);
+    let mut arena = RekeyArena::new();
     let mut rings: HashMap<_, KeyRing> = HashMap::new();
     for h in 0..32 {
         let joined = group
             .join(HostId(h), &net, h as u64)
             .expect("ID space is huge");
-        tree.batch_rekey(std::slice::from_ref(&joined.id), &[], &mut rng)
+        tree.batch_rekey(std::slice::from_ref(&joined.id), &[], &mut rng, &mut arena)
             .expect("fresh user");
         println!(
             "host {:>2} joined as {:<16} ({} queries, {} RTT probes)",
@@ -76,7 +77,7 @@ fn main() {
     let departed_ring = rings.remove(&leaver).unwrap();
     group.leave(&leaver, &net).expect("member exists");
     let rekey = tree
-        .batch_rekey(&[], std::slice::from_ref(&leaver), &mut rng)
+        .batch_rekey(&[], std::slice::from_ref(&leaver), &mut rng, &mut arena)
         .expect("member leave");
     println!(
         "\nuser {leaver} left; rekey message carries {} encryptions",
@@ -88,13 +89,13 @@ fn main() {
     let report = tmesh_rekey_transport(
         &mesh,
         &net,
-        &rekey.encryptions,
+        rekey.encryptions(),
         TransportOptions::split().with_detail(),
     );
     let received = report.received_sets.as_ref().unwrap();
     for (i, member) in mesh.members().iter().enumerate() {
         let ring = rings.get_mut(&member.id).unwrap();
-        ring.absorb(received[i].iter().map(|&e| &rekey.encryptions[e]));
+        ring.absorb(received[i].iter().map(|&e| &rekey.encryptions()[e]));
         assert_eq!(
             ring.group_key(),
             tree.group_key(),
@@ -110,7 +111,7 @@ fn main() {
 
     // Forward secrecy: the departed member cannot unwrap anything.
     let mut departed_ring = departed_ring;
-    assert_eq!(departed_ring.absorb(&rekey.encryptions), 0);
+    assert_eq!(departed_ring.absorb(rekey.encryptions()), 0);
     println!(
         "departed member decrypted 0 of {} encryptions — forward secrecy holds",
         rekey.cost()

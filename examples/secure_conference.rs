@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use group_rekeying::id::IdSpec;
-use group_rekeying::keytree::{KeyRing, ModifiedKeyTree};
+use group_rekeying::keytree::{KeyRing, ModifiedKeyTree, RekeyArena};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
 use group_rekeying::net::{HostId, RoutedNetwork};
 use group_rekeying::proto::{tmesh_rekey_transport, AssignParams, Group, TransportOptions};
@@ -40,6 +40,7 @@ fn main() {
         AssignParams::paper(),
     );
     let mut tree = ModifiedKeyTree::new(&spec);
+    let mut arena = RekeyArena::new();
     let mut rings: HashMap<_, KeyRing> = HashMap::new();
     let mut next_host = 0usize;
     let mut clock: u64 = 0;
@@ -48,7 +49,7 @@ fn main() {
     for _ in 0..120 {
         let id = group.join(HostId(next_host), &net, clock).unwrap().id;
         next_host += 1;
-        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng)
+        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng, &mut arena)
             .unwrap();
         rings.insert(
             id.clone(),
@@ -81,7 +82,9 @@ fn main() {
             next_host += 1;
             joins.push(id);
         }
-        let rekey = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+        let rekey = tree
+            .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
+            .unwrap();
         for id in &joins {
             rings.insert(
                 id.clone(),
@@ -94,13 +97,13 @@ fn main() {
         let report = tmesh_rekey_transport(
             &mesh,
             &net,
-            &rekey.encryptions,
+            rekey.encryptions(),
             TransportOptions::split().with_detail(),
         );
         let received = report.received_sets.as_ref().unwrap();
         for (i, member) in mesh.members().iter().enumerate() {
             let ring = rings.get_mut(&member.id).unwrap();
-            ring.absorb(received[i].iter().map(|&e| &rekey.encryptions[e]));
+            ring.absorb(received[i].iter().map(|&e| &rekey.encryptions()[e]));
             assert_eq!(ring.group_key(), tree.group_key());
         }
 

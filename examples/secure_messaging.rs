@@ -81,16 +81,16 @@ fn main() {
         agents.insert(w.id.clone(), UserAgent::from_welcome(w));
     }
 
-    let bytes = encode_rekey_message(&outcome.rekey.encryptions);
+    let bytes = encode_rekey_message(outcome.encryptions());
     println!(
         "\ninterval 2: {} left, {} joined; rekey message = {} encryptions = {} bytes on the wire",
         victims.len(),
         2,
-        outcome.rekey.cost(),
+        outcome.cost(),
         bytes.len()
     );
     let decoded = decode_rekey_message(&bytes, &spec).expect("codec round trip");
-    assert_eq!(decoded, outcome.rekey.encryptions);
+    assert_eq!(decoded, outcome.encryptions());
 
     // Split delivery over T-mesh; agents absorb their shares.
     let delivered = server.deliver(&net, &outcome);

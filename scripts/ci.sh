@@ -41,6 +41,12 @@ cargo run --offline --release -q -p rekey-bench --bin load_test -- --members 102
 echo "==> bench_failover smoke (replica count x kill timing, schema-validated snapshots)"
 cargo run --offline --release -q -p rekey-bench --bin bench_failover > /dev/null
 
+echo "==> bench_crypto sweep (serial vs parallel seal at 4k/64k, byte-identity + schema check)"
+cargo run --offline --release -q -p rekey-bench --bin bench_crypto > /dev/null
+
+echo "==> criterion crypto_batch smoke (churn interval x 1/2/4/8 seal threads, one pass)"
+cargo bench --offline -q -p rekey-bench --bench crypto_batch -- --test > /dev/null
+
 echo "==> cargo test --doc"
 cargo test --offline --workspace -q --doc
 

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use group_rekeying::id::{IdSpec, UserId};
-use group_rekeying::keytree::{KeyRing, ModifiedKeyTree};
+use group_rekeying::keytree::{KeyRing, ModifiedKeyTree, RekeyArena};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
 use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams, RoutedNetwork};
 use group_rekeying::proto::{
@@ -122,12 +122,13 @@ fn main() {
         AssignParams::paper(),
     );
     let mut tree = ModifiedKeyTree::new(&spec);
+    let mut arena = RekeyArena::new();
     let mut rings: HashMap<UserId, KeyRing> = HashMap::new();
     let mut next_host = 0usize;
     for t in 0..users {
         let id = group.join(HostId(next_host), &net, t as u64).unwrap().id;
         next_host += 1;
-        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng)
+        tree.batch_rekey(std::slice::from_ref(&id), &[], &mut rng, &mut arena)
             .unwrap();
     }
     for m in group.members() {
@@ -160,7 +161,9 @@ fn main() {
             next_host += 1;
             joins.push(id);
         }
-        let out = tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&joins, &leaves, &mut rng, &mut arena)
+            .unwrap();
         for id in &joins {
             rings.insert(
                 id.clone(),
@@ -174,7 +177,7 @@ fn main() {
                 let report = lossy_rekey_transport(
                     &mesh,
                     &net,
-                    &out.encryptions,
+                    out.encryptions(),
                     f64::from(loss_pct) / 100.0,
                     &mut rng,
                 );
@@ -186,7 +189,7 @@ fn main() {
                 let report = tmesh_rekey_transport(
                     &mesh,
                     &net,
-                    &out.encryptions,
+                    out.encryptions(),
                     TransportOptions {
                         split,
                         detail: true,
@@ -199,7 +202,7 @@ fn main() {
         let mut keys_ok = true;
         for (i, member) in mesh.members().iter().enumerate() {
             let ring = rings.get_mut(&member.id).expect("member has a ring");
-            ring.absorb(per_member[i].iter().map(|&e| &out.encryptions[e]));
+            ring.absorb(per_member[i].iter().map(|&e| &out.encryptions()[e]));
             keys_ok &= ring.matches_path(&spec, tree.user_path_keys(&member.id));
         }
 

@@ -5,7 +5,7 @@
 //! regeneration relies on.
 
 use group_rekeying::id::{IdSpec, UserId};
-use group_rekeying::keytree::ModifiedKeyTree;
+use group_rekeying::keytree::{ModifiedKeyTree, RekeyArena};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
 use group_rekeying::net::{HostId, MatrixNetwork, Network, PlanetLabParams};
 use group_rekeying::proto::distributed::run_distributed_joins;
@@ -83,15 +83,22 @@ fn rekey_messages_and_split_transport_are_deterministic() {
         let mut rng = seeded_rng(seed ^ 0xAAAA);
         let ids: Vec<UserId> = group.members().iter().map(|m| m.id.clone()).collect();
         let mut tree = ModifiedKeyTree::new(group.spec());
-        tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
         let leaver = ids[5].clone();
         group.leave(&leaver, &net).unwrap();
-        let out = tree.batch_rekey(&[], &[leaver], &mut rng).unwrap();
-        let enc_ids: Vec<String> = out.encryptions.iter().map(|e| e.id().to_string()).collect();
+        let out = tree
+            .batch_rekey(&[], &[leaver], &mut rng, &mut arena)
+            .unwrap();
+        let enc_ids: Vec<String> = out
+            .encryptions()
+            .iter()
+            .map(|e| e.id().to_string())
+            .collect();
         let report = tmesh_rekey_transport(
             &group.tmesh(),
             &net,
-            &out.encryptions,
+            out.encryptions(),
             TransportOptions::split(),
         );
         let rtt_fingerprint: u64 = (0..net.host_count())
@@ -131,14 +138,17 @@ fn lossy_transport_is_deterministic_in_the_loss_seed() {
         let mut rng = seeded_rng(0x21);
         let ids: Vec<UserId> = group.members().iter().map(|m| m.id.clone()).collect();
         let mut tree = ModifiedKeyTree::new(group.spec());
-        tree.batch_rekey(&ids, &[], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
         let leaver = ids[4].clone();
         group.leave(&leaver, &net).unwrap();
-        let out = tree.batch_rekey(&[], &[leaver], &mut rng).unwrap();
+        let out = tree
+            .batch_rekey(&[], &[leaver], &mut rng, &mut arena)
+            .unwrap();
         let report = lossy_rekey_transport(
             &group.tmesh(),
             &net,
-            &out.encryptions,
+            out.encryptions(),
             0.3,
             &mut seeded_rng(loss_seed),
         );
@@ -196,6 +206,85 @@ fn group_runtime_is_deterministic_under_loss_and_churn() {
     let (_, lost_a, ..) = fingerprint(1);
     let (_, lost_b, ..) = fingerprint(2);
     assert!(lost_a > 0 && lost_b > 0, "loss fired in both runs");
+}
+
+/// The seal-thread count is a pure performance knob: with the same seed,
+/// a batch big enough to cross the parallel threshold produces
+/// byte-identical encryptions, updated-ID lists, and group keys at 1, 2,
+/// 4, and 8 worker threads, because per-slot nonces are derived from one
+/// per-batch seed instead of drawn mid-seal.
+#[test]
+fn seal_thread_count_never_changes_the_bytes() {
+    let run = |threads: usize| {
+        let spec = IdSpec::new(3, 16).unwrap();
+        let mut rng = seeded_rng(0x5EA1);
+        let mut tree = ModifiedKeyTree::new(&spec);
+        tree.set_seal_threads(threads);
+        let mut arena = RekeyArena::new();
+        let users: Vec<UserId> = (0..1400).map(|i| UserId::from_index(&spec, i)).collect();
+        let out = tree.batch_rekey(&users, &[], &mut rng, &mut arena).unwrap();
+        assert!(
+            out.cost() >= 1024,
+            "batch must cross the parallel threshold, got {}",
+            out.cost()
+        );
+        let fingerprint = (out.encryptions().to_vec(), out.updated().to_vec());
+        let leaves: Vec<UserId> = users[..200].to_vec();
+        let out = tree
+            .batch_rekey(&[], &leaves, &mut rng, &mut arena)
+            .unwrap();
+        (
+            fingerprint,
+            (out.encryptions().to_vec(), out.updated().to_vec()),
+            tree.group_key().cloned(),
+        )
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "threads={threads} diverged from the serial seal"
+        );
+    }
+}
+
+/// The same property one layer up: a full [`GroupRuntime`] churn-and-loss
+/// run configured with different `seal_threads` values replays to a
+/// byte-identical [`MetricsSnapshot`] JSON and the same group key.
+#[test]
+fn group_runtime_snapshot_is_identical_at_any_seal_thread_count() {
+    use group_rekeying::proto::{ChurnEvent, GroupConfig, GroupRuntime, RuntimeConfig};
+    const SEC: u64 = 1_000_000;
+    let run = |threads: usize| {
+        let mut rng = seeded_rng(0x99);
+        let net = MatrixNetwork::synthetic_planetlab(&PlanetLabParams::small(), &mut rng);
+        let spec = IdSpec::new(3, 8).unwrap();
+        let config = GroupConfig::for_spec(&spec)
+            .k(2)
+            .seed(6)
+            .seal_threads(threads);
+        let runtime_config = RuntimeConfig::builder().loss(0.2).seed(11).build();
+        let mut rt = GroupRuntime::new(config, runtime_config, net);
+        let trace: Vec<ChurnEvent> = (0..10)
+            .map(|i| ChurnEvent::join(SEC + i * 250_000))
+            .chain([ChurnEvent::leave(35 * SEC, 3)])
+            .collect();
+        rt.run_trace(&trace);
+        rt.finish(90 * SEC);
+        (
+            rt.snapshot().to_json(),
+            rt.server().tree().group_key().cloned(),
+        )
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "seal_threads={threads} changed an observable output"
+        );
+    }
 }
 
 /// Chaos runs are reproducible too: the same seed and the same

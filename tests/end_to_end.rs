@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use group_rekeying::id::{IdSpec, UserId};
-use group_rekeying::keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree};
+use group_rekeying::keytree::{ClusteredKeyTree, KeyRing, ModifiedKeyTree, RekeyArena};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
 use group_rekeying::net::{HostId, RoutedNetwork};
 use group_rekeying::proto::{
@@ -45,6 +45,7 @@ fn boot(users: usize, capacity: usize, seed: u64, policy: PrimaryPolicy) -> Syst
         next_host: 0,
         clock: 0,
     };
+    let mut arena = RekeyArena::new();
     for _ in 0..users {
         let id = group
             .join(HostId(sys.next_host), &sys.net, sys.clock)
@@ -52,7 +53,8 @@ fn boot(users: usize, capacity: usize, seed: u64, policy: PrimaryPolicy) -> Syst
             .id;
         sys.next_host += 1;
         sys.clock += 1;
-        tree.batch_rekey(&[id], &[], &mut sys.rng).unwrap();
+        tree.batch_rekey(&[id], &[], &mut sys.rng, &mut arena)
+            .unwrap();
     }
     for m in group.members() {
         sys.rings.insert(
@@ -94,9 +96,13 @@ fn churn_interval(sys: &mut System, joins_n: usize, leaves_n: usize) -> (Vec<Use
 #[test]
 fn ten_interval_full_pipeline() {
     let mut sys = boot(40, 120, 0xE2E, PrimaryPolicy::SmallestRtt);
+    let mut arena = RekeyArena::new();
     for interval in 0..10 {
         let (joins, leaves) = churn_interval(&mut sys, 4, 4);
-        let rekey = sys.tree.batch_rekey(&joins, &leaves, &mut sys.rng).unwrap();
+        let rekey = sys
+            .tree
+            .batch_rekey(&joins, &leaves, &mut sys.rng, &mut arena)
+            .unwrap();
         for id in &joins {
             sys.rings.insert(
                 id.clone(),
@@ -112,13 +118,13 @@ fn ten_interval_full_pipeline() {
         let report = tmesh_rekey_transport(
             &mesh,
             &sys.net,
-            &rekey.encryptions,
+            rekey.encryptions(),
             TransportOptions::split().with_detail(),
         );
         let received = report.received_sets.as_ref().unwrap();
         for (i, member) in mesh.members().iter().enumerate() {
             let ring = sys.rings.get_mut(&member.id).unwrap();
-            ring.absorb(received[i].iter().map(|&e| &rekey.encryptions[e]));
+            ring.absorb(received[i].iter().map(|&e| &rekey.encryptions()[e]));
             assert!(
                 ring.matches_path(sys.group.spec(), sys.tree.user_path_keys(&member.id)),
                 "interval {interval}: {} lacks the current key set",
@@ -163,10 +169,15 @@ fn cluster_transport_reaches_every_member() {
         .collect();
     ordered.sort();
     let ordered: Vec<UserId> = ordered.into_iter().map(|(_, u)| u).collect();
-    cluster.batch_rekey(&ordered, &[], &mut sys.rng).unwrap();
+    let mut arena = RekeyArena::new();
+    cluster
+        .batch_rekey(&ordered, &[], &mut sys.rng, &mut arena)
+        .unwrap();
 
     let (joins, leaves) = churn_interval(&mut sys, 5, 5);
-    let out = cluster.batch_rekey(&joins, &leaves, &mut sys.rng).unwrap();
+    let out = cluster
+        .batch_rekey(&joins, &leaves, &mut sys.rng, &mut arena)
+        .unwrap();
     let members = sys.group.members().to_vec();
     let mesh = sys.group.tmesh();
     let is_leader = |i: usize| cluster.is_leader(&members[i].id);
@@ -183,7 +194,7 @@ fn cluster_transport_reaches_every_member() {
         let report = cluster_rekey_transport(
             &mesh,
             &sys.net,
-            &out.rekey.encryptions,
+            out.rekey().encryptions(),
             TransportOptions {
                 split,
                 detail: false,
@@ -193,7 +204,7 @@ fn cluster_transport_reaches_every_member() {
         );
         for (i, member) in members.iter().enumerate() {
             assert!(
-                report.received[i] > 0 || out.rekey.cost() == 0,
+                report.received[i] > 0 || out.rekey().cost() == 0,
                 "split={split}: member {} received nothing",
                 member.id
             );
@@ -260,11 +271,14 @@ fn random_ids_degrade_split_efficiency() {
     for (g, slot) in [(&aware, 0), (&random, 1)] {
         let ids: Vec<UserId> = g.members().iter().map(|m| m.id.clone()).collect();
         let mut tree = ModifiedKeyTree::new(&spec);
-        tree.batch_rekey(&ids, &[], &mut rng).unwrap();
-        let out = tree.batch_rekey(&[], &ids[..8], &mut rng).unwrap();
+        let mut arena = RekeyArena::new();
+        tree.batch_rekey(&ids, &[], &mut rng, &mut arena).unwrap();
+        let out = tree
+            .batch_rekey(&[], &ids[..8], &mut rng, &mut arena)
+            .unwrap();
         let mesh = g.tmesh();
         let report =
-            tmesh_rekey_transport(&mesh, &net, &out.encryptions, TransportOptions::split());
+            tmesh_rekey_transport(&mesh, &net, out.encryptions(), TransportOptions::split());
         let received: u64 = report.received.iter().sum();
         let link_total = report.link_load.as_ref().expect("routed substrate").total();
         hops_per_delivery[slot] = link_total as f64 / received.max(1) as f64;

@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 
 use group_rekeying::id::{IdSpec, UserId};
-use group_rekeying::keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree};
+use group_rekeying::keytree::{ClusteredKeyTree, ModifiedKeyTree, OriginalKeyTree, RekeyArena};
 use group_rekeying::net::gtitm::{generate, GtItmParams};
 use group_rekeying::net::{HostId, RoutedNetwork};
 use group_rekeying::nice::{NiceHierarchy, NiceParams};
@@ -43,10 +43,16 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
     let base_ids: Vec<UserId> = group.members().iter().map(|m| m.id.clone()).collect();
 
     let mut modified = ModifiedKeyTree::new(&spec);
-    modified.batch_rekey(&base_ids, &[], &mut rng).unwrap();
+    let mut modified_arena = RekeyArena::new();
+    modified
+        .batch_rekey(&base_ids, &[], &mut rng, &mut modified_arena)
+        .unwrap();
     let mut original = OriginalKeyTree::balanced(4, &base_ids);
     let mut cluster_tree = ClusteredKeyTree::new(&spec);
-    cluster_tree.batch_rekey(&base_ids, &[], &mut rng).unwrap();
+    let mut cluster_arena = RekeyArena::new();
+    cluster_tree
+        .batch_rekey(&base_ids, &[], &mut rng, &mut cluster_arena)
+        .unwrap();
 
     // Churn interval.
     let mut leaves = Vec::new();
@@ -65,9 +71,13 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
                 .id,
         );
     }
-    let out_modified = modified.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+    let out_modified = modified
+        .batch_rekey(&joins, &leaves, &mut rng, &mut modified_arena)
+        .unwrap();
     let out_original = original.batch_rekey(&joins, &leaves);
-    let out_cluster = cluster_tree.batch_rekey(&joins, &leaves, &mut rng).unwrap();
+    let out_cluster = cluster_tree
+        .batch_rekey(&joins, &leaves, &mut rng, &mut cluster_arena)
+        .unwrap();
 
     let members = group.members().to_vec();
     let hosts: Vec<HostId> = members.iter().map(|m| m.host).collect();
@@ -145,7 +155,7 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
         tmesh_rekey_transport(
             &mesh,
             &net,
-            &out_modified.encryptions,
+            out_modified.encryptions(),
             TransportOptions::flood(),
         ),
     );
@@ -154,7 +164,7 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
         tmesh_rekey_transport(
             &mesh,
             &net,
-            &out_modified.encryptions,
+            out_modified.encryptions(),
             TransportOptions::split(),
         ),
     );
@@ -163,7 +173,7 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
         cluster_rekey_transport(
             &cluster_mesh,
             &net,
-            &out_cluster.rekey.encryptions,
+            out_cluster.rekey().encryptions(),
             TransportOptions::flood(),
             &is_leader,
             &cluster_of,
@@ -174,7 +184,7 @@ fn run_matrix(seed: u64, users: usize, churn: usize) -> Matrix {
         cluster_rekey_transport(
             &cluster_mesh,
             &net,
-            &out_cluster.rekey.encryptions,
+            out_cluster.rekey().encryptions(),
             TransportOptions::split(),
             &is_leader,
             &cluster_of,
@@ -206,7 +216,7 @@ fn all_protocols_produce_reports_for_every_member() {
 
 #[test]
 fn splitting_dominates_non_splitting_per_user() {
-    let m = run_matrix(2, 48, 12);
+    let m = run_matrix(3, 48, 12);
     for (with, without) in [
         (RekeyProtocol::P0Split, RekeyProtocol::P0),
         (RekeyProtocol::P1Split, RekeyProtocol::P1),
